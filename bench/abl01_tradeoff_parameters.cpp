@@ -1,0 +1,68 @@
+// Ablation: the Tradeoff's parameter choice (Section 3.3).
+//
+// Sweeps alpha over its feasible grid (multiples of sqrt(p)*mu up to
+// alpha_max), pinning beta = max((CS - alpha^2)/(2 alpha), 1) as in the
+// paper, and simulates each pinned schedule under IDEAL.  The minimum of
+// the measured Tdata curve should sit at (or next to) the alpha the
+// closed-form solver picks — i.e. the analysis, not the simulation, is
+// what chooses the parameters.
+#include <cstdio>
+
+#include "alg/tradeoff.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "sim/machine.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV");
+  cli.add_option("order", "square matrix order in blocks", "96");
+  cli.add_option("r", "bandwidth ratio sigmaS/(sigmaS+sigmaD)", "0.5");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const MachineConfig cfg = [&] {
+    MachineConfig c;
+    c.p = 4;
+    c.cs = 977;
+    c.cd = 21;
+    return c.with_bandwidth_ratio(cli.real("r"));
+  }();
+  const Problem prob = Problem::square(cli.integer("order"));
+  const TradeoffParams chosen = tradeoff_params(cfg);
+
+  std::printf("# Ablation: Tradeoff alpha sweep (CS=977, CD=21, r=%s)\n",
+              cli.str("r").c_str());
+  std::printf("# solver picks alpha=%lld beta=%lld (alpha_num=%.2f)\n",
+              static_cast<long long>(chosen.alpha),
+              static_cast<long long>(chosen.beta), chosen.alpha_num);
+
+  SeriesTable table("alpha");
+  const auto s_beta = table.add_series("beta");
+  const auto s_meas = table.add_series("Tdata.measured");
+  const auto s_pred = table.add_series("Tdata.predicted");
+  const std::int64_t grain = chosen.grain();
+  for (std::int64_t alpha = grain; alpha <= chosen.alpha_max; alpha += grain) {
+    TradeoffParams pinned = chosen;
+    pinned.alpha = alpha;
+    pinned.beta =
+        std::max<std::int64_t>((cfg.cs - alpha * alpha) / (2 * alpha), 1);
+    if (alpha * alpha + 2 * alpha * pinned.beta > cfg.cs) continue;
+
+    Machine machine(cfg, Policy::kIdeal);
+    Tradeoff(pinned).run(machine, prob, cfg);
+
+    const auto x = static_cast<double>(alpha);
+    table.set(s_beta, x, static_cast<double>(pinned.beta));
+    table.set(s_meas, x, machine.stats().tdata(cfg.sigma_s, cfg.sigma_d));
+    table.set(s_pred, x,
+              predict_tradeoff(prob, cfg.p, pinned)
+                  .tdata(cfg.sigma_s, cfg.sigma_d));
+  }
+  bench::emit("Tdata vs alpha (beta from the paper's closed form)", table,
+              cli.flag("csv"));
+  return 0;
+}

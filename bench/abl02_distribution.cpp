@@ -1,0 +1,48 @@
+// Ablation: Distributed Opt.'s 2-D cyclic distribution vs contiguous
+// column strips (Section 3.2 motivates the 2-D layout; this bench
+// quantifies it).  Under IDEAL, the strip layout loads a sqrt(p)-times
+// taller A fragment per core per k: MD grows by the streaming ratio
+// (sqrt(p) + 1/sqrt(p)) / 2 = 1.25 for p = 4, MS is unchanged.
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Ablation 2",
+                                   /*default_max=*/160, /*paper_max=*/600,
+                                   /*default_step=*/32, &opt)) {
+    return 0;
+  }
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+
+  for (const Setting setting : {Setting::kIdeal, Setting::kLru50}) {
+    SeriesTable table("order");
+    const auto s_cyc_md = table.add_series("cyclic.MD");
+    const auto s_lin_md = table.add_series("linear.MD");
+    const auto s_cyc_ms = table.add_series("cyclic.MS");
+    const auto s_lin_ms = table.add_series("linear.MS");
+    for (const std::int64_t order :
+         order_sweep(opt.min_order, opt.max_order, opt.step)) {
+      const auto x = static_cast<double>(order);
+      const RunResult cyc =
+          run_experiment("distributed-opt", Problem::square(order), cfg,
+                         setting);
+      const RunResult lin =
+          run_experiment("distributed-opt-linear", Problem::square(order),
+                         cfg, setting);
+      table.set(s_cyc_md, x, static_cast<double>(cyc.md));
+      table.set(s_lin_md, x, static_cast<double>(lin.md));
+      table.set(s_cyc_ms, x, static_cast<double>(cyc.ms));
+      table.set(s_lin_ms, x, static_cast<double>(lin.ms));
+    }
+    bench::emit(std::string("Ablation: C-tile distribution, CS=977 CD=21, ") +
+                    to_string(setting) + " setting",
+                table, opt.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: the paper's Tdata counts only loads — what happens when the
+// write-back traffic each bus also carries is included?
+//
+// The distributed-level difference is structural: Shared Opt. writes its
+// C element back to the shared cache after EVERY block FMA (~mnz
+// write-backs), while Distributed Opt. keeps each C sub-block private
+// until fully computed (~mn).  Including writes therefore penalises
+// Shared Opt. specifically at the sigma_D level, moving the
+// Tradeoff/Shared Opt. crossover — the table shows both Tdata variants
+// side by side under the IDEAL setting.
+#include "alg/registry.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "sim/machine.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Ablation 6",
+                                   /*default_max=*/128, /*paper_max=*/384,
+                                   /*default_step=*/32, &opt)) {
+    return 0;
+  }
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+
+  SeriesTable table("order");
+  std::vector<std::size_t> plain_cols, write_cols;
+  const std::vector<std::string> algs = {"shared-opt", "distributed-opt",
+                                         "tradeoff"};
+  for (const auto& a : algs) {
+    plain_cols.push_back(table.add_series(a + ".loads-only"));
+    write_cols.push_back(table.add_series(a + ".with-writes"));
+  }
+
+  for (const std::int64_t order :
+       order_sweep(opt.min_order, opt.max_order, opt.step)) {
+    for (std::size_t i = 0; i < algs.size(); ++i) {
+      Machine machine(cfg, Policy::kIdeal);
+      make_algorithm(algs[i])->run(machine, Problem::square(order), cfg);
+      machine.flush();
+      const auto x = static_cast<double>(order);
+      table.set(plain_cols[i], x,
+                machine.stats().tdata(cfg.sigma_s, cfg.sigma_d));
+      table.set(write_cols[i], x,
+                machine.stats().tdata_with_writebacks(cfg.sigma_s,
+                                                      cfg.sigma_d));
+    }
+  }
+  bench::emit(
+      "Ablation: loads-only vs write-inclusive Tdata, IDEAL, CS=977 CD=21",
+      table, opt.csv);
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "exp/sweep.hpp"
+
+namespace mcmm::bench {
+
+bool parse_figure_options(int argc, const char* const* argv,
+                          const std::string& blurb, std::int64_t default_max,
+                          std::int64_t paper_max, std::int64_t default_step,
+                          FigureOptions* out) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+  cli.add_flag("full", "use the paper's full sweep range (slow)");
+  cli.add_option("max-order", "largest matrix order in blocks (0 = preset)",
+                 "0");
+  cli.add_option("min-order", "smallest matrix order in blocks (0 = step)",
+                 "0");
+  cli.add_option("step", "sweep step in blocks (0 = preset)", "0");
+  if (!cli.parse(argc, argv)) {
+    (void)blurb;
+    return false;
+  }
+  out->csv = cli.flag("csv");
+  out->max_order = cli.integer("max-order");
+  if (out->max_order == 0) {
+    out->max_order = cli.flag("full") ? paper_max : default_max;
+  }
+  out->step = cli.integer("step");
+  if (out->step == 0) out->step = default_step;
+  out->min_order = cli.integer("min-order");
+  if (out->min_order == 0) out->min_order = out->step;
+  return true;
+}
+
+void emit(const std::string& title, const SeriesTable& table, bool csv) {
+  std::printf("# %s\n", title.c_str());
+  if (csv) {
+    table.print_csv();
+  } else {
+    table.print_pretty();
+  }
+  std::printf("\n");
+}
+
+double measure(const std::string& algorithm, std::int64_t order,
+               const MachineConfig& cfg, Setting setting, Metric metric) {
+  const RunResult res =
+      run_experiment(algorithm, Problem::square(order), cfg, setting);
+  switch (metric) {
+    case Metric::kMs: return static_cast<double>(res.ms);
+    case Metric::kMd: return static_cast<double>(res.md);
+    case Metric::kTdata: return res.tdata;
+  }
+  return 0;
+}
+
+void run_tdata_figure(const std::string& figure, std::int64_t cs,
+                      const std::vector<std::int64_t>& cds,
+                      const FigureOptions& opt) {
+  const char* sub = "abcd";
+  int sub_idx = 0;
+  for (const std::int64_t cd : cds) {
+    MachineConfig cfg;
+    cfg.p = 4;
+    cfg.cs = cs;
+    cfg.cd = cd;
+    const std::vector<std::int64_t> orders =
+        order_sweep(opt.min_order, opt.max_order, opt.step);
+
+    for (const Setting setting : {Setting::kLru50, Setting::kIdeal}) {
+      SeriesTable table("order");
+      std::vector<std::size_t> cols;
+      const std::vector<std::string> algs = {
+          "shared-opt",    "distributed-opt", "tradeoff",
+          "outer-product", "shared-equal",    "distributed-equal"};
+      for (const auto& a : algs) {
+        cols.push_back(table.add_series(a + "." + to_string(setting)));
+      }
+      // The paper overlays Tradeoff IDEAL on the LRU-50 sub-figures.
+      std::size_t col_trade_ideal = 0;
+      if (setting == Setting::kLru50) {
+        col_trade_ideal = table.add_series("tradeoff.IDEAL");
+      }
+      const std::size_t col_bound = table.add_series("LowerBound");
+
+      for (const std::int64_t order : orders) {
+        const auto x = static_cast<double>(order);
+        for (std::size_t i = 0; i < algs.size(); ++i) {
+          table.set(cols[i], x,
+                    measure(algs[i], order, cfg, setting, Metric::kTdata));
+        }
+        if (setting == Setting::kLru50) {
+          table.set(col_trade_ideal, x,
+                    measure("tradeoff", order, cfg, Setting::kIdeal,
+                            Metric::kTdata));
+        }
+        table.set(col_bound, x,
+                  tdata_lower_bound(Problem::square(order), cfg));
+      }
+      const std::string title =
+          figure + "(" + sub[sub_idx] + "): Tdata vs order, CS=" +
+          std::to_string(cs) + " CD=" + std::to_string(cd) + ", " +
+          to_string(setting) + " setting";
+      emit(title, table, opt.csv);
+      ++sub_idx;
+    }
+  }
+}
+
+}  // namespace mcmm::bench

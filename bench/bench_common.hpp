@@ -1,0 +1,51 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench prints one table per sub-figure: a column per series (exactly
+// the series of the paper's plot) over a shared x axis.  Defaults sweep a
+// reduced range so the whole harness finishes in minutes; --full restores
+// the paper's ranges (the curves' shapes are identical, only the x extent
+// changes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sim/machine_config.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace mcmm::bench {
+
+/// Common CLI for the figure benches.
+struct FigureOptions {
+  bool csv = false;
+  std::int64_t max_order = 0;   ///< largest matrix order in blocks
+  std::int64_t step = 0;        ///< sweep step
+  std::int64_t min_order = 0;
+};
+
+/// Parse the standard options.  `default_max`/`paper_max` choose the sweep
+/// extent without/with --full.  Returns false if --help was printed.
+bool parse_figure_options(int argc, const char* const* argv,
+                          const std::string& blurb, std::int64_t default_max,
+                          std::int64_t paper_max, std::int64_t default_step,
+                          FigureOptions* out);
+
+/// Print a sub-figure header plus the table.
+void emit(const std::string& title, const SeriesTable& table, bool csv);
+
+/// Convenience: run one experiment point and return the requested metric.
+enum class Metric { kMs, kMd, kTdata };
+double measure(const std::string& algorithm, std::int64_t order,
+               const MachineConfig& cfg, Setting setting, Metric metric);
+
+/// Figures 9-11 share one layout: for each CD in `cds`, two sub-figures of
+/// Tdata vs order — all six algorithms under LRU-50 (plus Tradeoff IDEAL as
+/// reference) and all six under IDEAL — each with the lower bound.
+void run_tdata_figure(const std::string& figure, std::int64_t cs,
+                      const std::vector<std::int64_t>& cds,
+                      const FigureOptions& opt);
+
+}  // namespace mcmm::bench

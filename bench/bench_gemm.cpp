@@ -1,0 +1,93 @@
+// Timing benchmarks for the real-execution substrate: the sequential
+// kernels and the four multithreaded schedules on actual data (the paper's
+// future-work experiment, run on the host CPU).
+#include <benchmark/benchmark.h>
+
+#include "gemm/kernel.hpp"
+#include "gemm/parallel_gemm.hpp"
+
+namespace {
+
+using namespace mcmm;
+
+Tiling host_tiling() { return tiling_for_host(4, 8 << 20, 256 << 10, 64); }
+
+void BM_GemmReference(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    c.set_zero();
+    gemm_reference(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    c.set_zero();
+    gemm_blocked(c, a, b, 64);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_GemmBlockedPacked(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    c.set_zero();
+    gemm_blocked_packed(c, a, b, 64);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlockedPacked)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+template <typename Fn>
+void run_parallel(benchmark::State& state, Fn fn) {
+  const std::int64_t n = state.range(0);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  ThreadPool pool(4);
+  const Tiling t = host_tiling();
+  for (auto _ : state) {
+    c.set_zero();
+    fn(c, a, b, t, pool);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void BM_ParallelSharedOpt(benchmark::State& state) {
+  run_parallel(state, &parallel_gemm_shared_opt);
+}
+BENCHMARK(BM_ParallelSharedOpt)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelDistributedOpt(benchmark::State& state) {
+  run_parallel(state, &parallel_gemm_distributed_opt);
+}
+BENCHMARK(BM_ParallelDistributedOpt)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelTradeoff(benchmark::State& state) {
+  run_parallel(state, &parallel_gemm_tradeoff);
+}
+BENCHMARK(BM_ParallelTradeoff)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelOuterProduct(benchmark::State& state) {
+  run_parallel(state, &parallel_gemm_outer_product);
+}
+BENCHMARK(BM_ParallelOuterProduct)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace

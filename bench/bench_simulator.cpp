@@ -1,0 +1,92 @@
+// Timing benchmarks for the cache simulator itself: accesses per second of
+// the LRU hierarchy and end-to-end simulation throughput per schedule.
+// These guard the simulator's performance, which caps the figure sweeps.
+#include <benchmark/benchmark.h>
+
+#include "alg/registry.hpp"
+#include "exp/experiment.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace mcmm;
+
+MachineConfig quadcore() {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  return cfg;
+}
+
+void BM_LruAccessHit(benchmark::State& state) {
+  Machine m(quadcore(), Policy::kLru);
+  m.access(0, BlockId::a(0, 0), Rw::kRead);
+  for (auto _ : state) {
+    m.access(0, BlockId::a(0, 0), Rw::kRead);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruAccessHit);
+
+void BM_LruAccessStreaming(benchmark::State& state) {
+  // Worst case: every access misses both levels (block ids never repeat
+  // within a cache lifetime).
+  Machine m(quadcore(), Policy::kLru);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    m.access(0, BlockId::a(i & 0xFFFFF, (i >> 20) & 0x3FF), Rw::kRead);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruAccessStreaming);
+
+void BM_LruFma(benchmark::State& state) {
+  Machine m(quadcore(), Policy::kLru);
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    m.fma(0, k % 64, (k / 64) % 64, k % 97);
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruFma);
+
+void BM_EndToEnd(benchmark::State& state, const char* name, Setting setting) {
+  const auto order = state.range(0);
+  for (auto _ : state) {
+    const RunResult res =
+        run_experiment(name, Problem::square(order), quadcore(), setting);
+    benchmark::DoNotOptimize(res.ms);
+  }
+  state.SetItemsProcessed(state.iterations() * order * order * order);
+  state.counters["order"] = static_cast<double>(order);
+}
+
+void BM_SharedOptLru(benchmark::State& state) {
+  BM_EndToEnd(state, "shared-opt", Setting::kLru50);
+}
+BENCHMARK(BM_SharedOptLru)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SharedOptIdeal(benchmark::State& state) {
+  BM_EndToEnd(state, "shared-opt", Setting::kIdeal);
+}
+BENCHMARK(BM_SharedOptIdeal)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_DistributedOptLru(benchmark::State& state) {
+  BM_EndToEnd(state, "distributed-opt", Setting::kLru50);
+}
+BENCHMARK(BM_DistributedOptLru)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_TradeoffLru(benchmark::State& state) {
+  BM_EndToEnd(state, "tradeoff", Setting::kLru50);
+}
+BENCHMARK(BM_TradeoffLru)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_OuterProductLru(benchmark::State& state) {
+  BM_EndToEnd(state, "outer-product", Setting::kLru50);
+}
+BENCHMARK(BM_OuterProductLru)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Extension: problem-shape sensitivity at constant work.
+//
+// The paper evaluates square matrices only, but its formulas say the
+// schedules react very differently to the aspect ratio: every MS/MD
+// expression splits into an mn term (the C footprint, paid once) and
+// mnz/side streaming terms.  Sweeping shapes at FIXED total work
+// mnz = W^3 exposes this: outer-product-shaped problems (z small, mn
+// huge) are dominated by the C terms and hurt everyone; inner-product
+// shapes (z huge, mn small) make the Maximum Reuse schedules shine since
+// their C terms vanish.
+#include "bench_common.hpp"
+#include "alg/registry.hpp"
+#include "analysis/bounds.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV");
+  cli.add_option("work", "W: problems have m*n*z = W^3", "64");
+  if (!cli.parse(argc, argv)) return 0;
+
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  const std::int64_t w = cli.integer("work");
+
+  // Shapes (m, n, z) with m*n*z == w^3, from outer-product-like (small z)
+  // to inner-product-like (large z).  All dimensions kept >= 4 blocks.
+  const struct {
+    const char* label;
+    std::int64_t m, n, z;
+  } shapes[] = {
+      {"panel:z=W/16", w * 2, w * 2, w / 4},
+      {"flat:z=W/4", w * 2, w, w / 2},
+      {"square", w, w, w},
+      {"deep:z=4W", w / 2, w, 2 * w},
+      {"dot-like:z=16W", w / 4, w / 2, 8 * w},
+  };
+
+  SeriesTable table("shape#");
+  std::vector<std::size_t> cols;
+  for (const auto& name : algorithm_names()) {
+    cols.push_back(table.add_series(name + ".Tdata"));
+  }
+  const auto s_bound = table.add_series("LowerBound");
+
+  std::printf("# shapes at constant work W=%lld (x axis = shape index):\n",
+              static_cast<long long>(w));
+  int idx = 0;
+  for (const auto& s : shapes) {
+    std::printf("#   %d: %-14s m=%lld n=%lld z=%lld\n", idx, s.label,
+                static_cast<long long>(s.m), static_cast<long long>(s.n),
+                static_cast<long long>(s.z));
+    const Problem prob{s.m, s.n, s.z};
+    const auto x = static_cast<double>(idx++);
+    std::size_t col = 0;
+    for (const auto& name : algorithm_names()) {
+      const RunResult res = run_experiment(name, prob, cfg, Setting::kIdeal);
+      table.set(cols[col++], x, res.tdata);
+    }
+    table.set(s_bound, x, tdata_lower_bound(prob, cfg));
+  }
+  bench::emit("Extension: Tdata across aspect ratios at constant work",
+              table, cli.flag("csv"));
+  return 0;
+}

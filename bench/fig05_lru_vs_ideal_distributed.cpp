@@ -1,0 +1,46 @@
+// Figure 5: impact of the LRU policy on the distributed-cache misses MD of
+// Distributed Opt. (CD = 21, the q=32 quad-core).  Same four series as
+// Figure 4, for the distributed level.
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 5", /*default_max=*/240,
+                                   /*paper_max=*/600, /*default_step=*/40,
+                                   &opt)) {
+    return 0;
+  }
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+
+  SeriesTable table("order");
+  const auto s_2c = table.add_series("LRU(2C)");
+  const auto s_c = table.add_series("LRU(C)");
+  const auto s_formula = table.add_series("Formula(CD)");
+  const auto s_formula2 = table.add_series("2xFormula(CD)");
+
+  for (const std::int64_t order :
+       order_sweep(opt.min_order, opt.max_order, opt.step)) {
+    const Problem prob = Problem::square(order);
+    table.set(s_2c, static_cast<double>(order),
+              bench::measure("distributed-opt", order, cfg,
+                             Setting::kLruDouble, bench::Metric::kMd));
+    table.set(s_c, static_cast<double>(order),
+              bench::measure("distributed-opt", order, cfg, Setting::kLruFull,
+                             bench::Metric::kMd));
+    const double formula =
+        predict_distributed_opt(prob, cfg.p, distributed_opt_params(cfg)).md;
+    table.set(s_formula, static_cast<double>(order), formula);
+    table.set(s_formula2, static_cast<double>(order), 2 * formula);
+  }
+  bench::emit("Figure 5: MD of Distributed Opt. under LRU vs formula, CD=21",
+              table, opt.csv);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6: impact of the LRU policy on the data access time Tdata of
+// Tradeoff (CS = 977, CD = 21).  Same four series as Figures 4-5, for the
+// combined metric.
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 6", /*default_max=*/240,
+                                   /*paper_max=*/600, /*default_step=*/40,
+                                   &opt)) {
+    return 0;
+  }
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+
+  SeriesTable table("order");
+  const auto s_2c = table.add_series("LRU(2C)");
+  const auto s_c = table.add_series("LRU(C)");
+  const auto s_formula = table.add_series("Formula");
+  const auto s_formula2 = table.add_series("2xFormula");
+
+  for (const std::int64_t order :
+       order_sweep(opt.min_order, opt.max_order, opt.step)) {
+    const Problem prob = Problem::square(order);
+    table.set(s_2c, static_cast<double>(order),
+              bench::measure("tradeoff", order, cfg, Setting::kLruDouble,
+                             bench::Metric::kTdata));
+    table.set(s_c, static_cast<double>(order),
+              bench::measure("tradeoff", order, cfg, Setting::kLruFull,
+                             bench::Metric::kTdata));
+    const double formula = predict_tradeoff(prob, cfg.p, tradeoff_params(cfg))
+                               .tdata(cfg.sigma_s, cfg.sigma_d);
+    table.set(s_formula, static_cast<double>(order), formula);
+    table.set(s_formula2, static_cast<double>(order), 2 * formula);
+  }
+  bench::emit("Figure 6: Tdata of Tradeoff under LRU vs formula, CS=977 CD=21",
+              table, opt.csv);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7 (a,b,c): shared-cache misses MS vs matrix order for the three
+// quad-core configurations (q = 32, 64, 80).
+//
+// Series: Shared Opt. LRU-50, Shared Opt. IDEAL, Shared Equal LRU-50,
+//         Outer Product, and the lower bound m^3 sqrt(27/(8 CS)).
+//
+// Expected shape: Shared Opt. < Shared Equal < Outer Product under LRU-50;
+// Shared Opt. IDEAL close to the lower bound.
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+
+using namespace mcmm;
+
+namespace {
+
+void run_subfigure(const char* title, std::int64_t q,
+                   const bench::FigureOptions& opt) {
+  const MachineConfig cfg = MachineConfig::realistic_quadcore(q, 2.0 / 3.0);
+  SeriesTable table("order");
+  const auto s_opt_lru = table.add_series("SharedOpt.LRU-50");
+  const auto s_opt_ideal = table.add_series("SharedOpt.IDEAL");
+  const auto s_equal = table.add_series("SharedEqual.LRU-50");
+  const auto s_outer = table.add_series("OuterProduct");
+  const auto s_bound = table.add_series("LowerBound");
+
+  for (const std::int64_t order :
+       order_sweep(opt.min_order, opt.max_order, opt.step)) {
+    const auto x = static_cast<double>(order);
+    table.set(s_opt_lru, x,
+              bench::measure("shared-opt", order, cfg, Setting::kLru50,
+                             bench::Metric::kMs));
+    table.set(s_opt_ideal, x,
+              bench::measure("shared-opt", order, cfg, Setting::kIdeal,
+                             bench::Metric::kMs));
+    table.set(s_equal, x,
+              bench::measure("shared-equal", order, cfg, Setting::kLru50,
+                             bench::Metric::kMs));
+    table.set(s_outer, x,
+              bench::measure("outer-product", order, cfg, Setting::kLru50,
+                             bench::Metric::kMs));
+    table.set(s_bound, x, ms_lower_bound(Problem::square(order), cfg.cs));
+  }
+  bench::emit(title, table, opt.csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 7", /*default_max=*/192,
+                                   /*paper_max=*/1100, /*default_step=*/32,
+                                   &opt)) {
+    return 0;
+  }
+  run_subfigure("Figure 7(a): MS vs order, CS=977 (q=32)", 32, opt);
+  run_subfigure("Figure 7(b): MS vs order, CS=245 (q=64)", 64, opt);
+  run_subfigure("Figure 7(c): MS vs order, CS=157 (q=80)", 80, opt);
+  return 0;
+}

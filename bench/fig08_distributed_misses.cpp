@@ -1,0 +1,66 @@
+// Figure 8 (a,b,c): distributed-cache misses MD vs matrix order.
+//
+// Sub-figures: CD = 21 (q=32, 2/3 of the cache for data), CD = 16 (q=32,
+// 1/2 for data), CD = 6 (q=64 — the regime where mu = 1 and Distributed
+// Opt. loses its advantage).
+//
+// Series: Distributed Opt. LRU-50, Distributed Opt. IDEAL, Distributed
+//         Equal LRU-50, Outer Product, lower bound (m^3/p) sqrt(27/(8 CD)).
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+
+using namespace mcmm;
+
+namespace {
+
+void run_subfigure(const char* title, std::int64_t cs, std::int64_t cd,
+                   const bench::FigureOptions& opt) {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = cs;
+  cfg.cd = cd;
+  SeriesTable table("order");
+  const auto s_opt_lru = table.add_series("DistOpt.LRU-50");
+  const auto s_opt_ideal = table.add_series("DistOpt.IDEAL");
+  const auto s_equal = table.add_series("DistEqual.LRU-50");
+  const auto s_outer = table.add_series("OuterProduct");
+  const auto s_bound = table.add_series("LowerBound");
+
+  for (const std::int64_t order :
+       order_sweep(opt.min_order, opt.max_order, opt.step)) {
+    const auto x = static_cast<double>(order);
+    table.set(s_opt_lru, x,
+              bench::measure("distributed-opt", order, cfg, Setting::kLru50,
+                             bench::Metric::kMd));
+    table.set(s_opt_ideal, x,
+              bench::measure("distributed-opt", order, cfg, Setting::kIdeal,
+                             bench::Metric::kMd));
+    table.set(s_equal, x,
+              bench::measure("distributed-equal", order, cfg, Setting::kLru50,
+                             bench::Metric::kMd));
+    table.set(s_outer, x,
+              bench::measure("outer-product", order, cfg, Setting::kLru50,
+                             bench::Metric::kMd));
+    table.set(s_bound, x,
+              md_lower_bound(Problem::square(order), cfg.p, cfg.cd));
+  }
+  bench::emit(title, table, opt.csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 8", /*default_max=*/192,
+                                   /*paper_max=*/1100, /*default_step=*/32,
+                                   &opt)) {
+    return 0;
+  }
+  run_subfigure("Figure 8(a): MD vs order, CD=21 (q=32, 2/3 data)", 977, 21,
+                opt);
+  run_subfigure("Figure 8(b): MD vs order, CD=16 (q=32, 1/2 data)", 977, 16,
+                opt);
+  run_subfigure("Figure 8(c): MD vs order, CD=6 (q=64, mu=1)", 245, 6, opt);
+  return 0;
+}

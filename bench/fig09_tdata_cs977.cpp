@@ -1,0 +1,19 @@
+// Figure 9 (a-d): overall data access time Tdata for all six algorithms,
+// CS = 977 (q = 32), CD in {21, 16}, under the LRU-50 and IDEAL settings.
+//
+// Expected shape: Tradeoff offers the best Tdata with Shared Opt. a close
+// second; Outer Product is far worst.
+#include "bench_common.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 9", /*default_max=*/160,
+                                   /*paper_max=*/1100, /*default_step=*/32,
+                                   &opt)) {
+    return 0;
+  }
+  bench::run_tdata_figure("Figure 9", 977, {21, 16}, opt);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 10 (a-d): Tdata for all six algorithms, CS = 245 (q = 64),
+// CD in {6, 4}, under the LRU-50 and IDEAL settings.
+//
+// Expected shape: with mu = 1, Tradeoff only wins under the pessimistic
+// cache split; Shared Opt. ties or takes the lead.
+#include "bench_common.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 10",
+                                   /*default_max=*/160, /*paper_max=*/1100,
+                                   /*default_step=*/32, &opt)) {
+    return 0;
+  }
+  bench::run_tdata_figure("Figure 10", 245, {6, 4}, opt);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 11 (a-d): Tdata for all six algorithms, CS = 157 (q = 80),
+// CD in {4, 3}, under the LRU-50 and IDEAL settings.
+//
+// Expected shape: parameter rounding (alpha snapped to the sqrt(p) mu
+// grid) hurts Tradeoff; Shared Opt. ranks at least as well.
+#include "bench_common.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  bench::FigureOptions opt;
+  if (!bench::parse_figure_options(argc, argv, "Figure 11",
+                                   /*default_max=*/160, /*paper_max=*/1100,
+                                   /*default_step=*/32, &opt)) {
+    return 0;
+  }
+  bench::run_tdata_figure("Figure 11", 157, {4, 3}, opt);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 12 (a-f): impact of the cache-bandwidth ratio r = sigma_S /
+// (sigma_S + sigma_D) on Tdata, for a fixed square matrix (the paper uses
+// m = 384) under the IDEAL setting, across all six cache configurations.
+//
+// Series: the five IDEAL-capable algorithms plus Outer Product and the
+// lower bound.  Expected shape: Shared Opt. and Distributed Opt. cross
+// over as r grows; Tradeoff tracks the lower envelope, meeting Shared Opt.
+// at r -> 0 and Distributed Opt. at r -> 1 (for q = 32).
+#include "alg/registry.hpp"
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "util/cli.hpp"
+
+using namespace mcmm;
+
+namespace {
+
+void run_subfigure(const char* title, std::int64_t cs, std::int64_t cd,
+                   std::int64_t order, int points, bool csv) {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = cs;
+  cfg.cd = cd;
+  const Problem prob = Problem::square(order);
+
+  std::vector<double> ratios;
+  for (int i = 0; i <= points; ++i) {
+    ratios.push_back(static_cast<double>(i) / points);
+  }
+
+  SeriesTable table("r");
+  for (const auto& name : algorithm_names()) {
+    const std::size_t col = table.add_series(name);
+    const auto series =
+        bandwidth_ratio_sweep(name, prob, cfg, Setting::kIdeal, ratios);
+    for (const auto& pt : series) table.set(col, pt.r, pt.tdata);
+  }
+  const std::size_t col_bound = table.add_series("LowerBound");
+  for (const auto& pt : bandwidth_ratio_lower_bound(prob, cfg, ratios)) {
+    table.set(col_bound, pt.r, pt.tdata);
+  }
+  bench::emit(title, table, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+  cli.add_flag("full", "use the paper's matrix order (384; slow)");
+  cli.add_option("order", "square matrix order in blocks (0 = preset)", "0");
+  cli.add_option("points", "number of ratio steps", "10");
+  if (!cli.parse(argc, argv)) return 0;
+  const bool csv = cli.flag("csv");
+  std::int64_t order = cli.integer("order");
+  if (order == 0) order = cli.flag("full") ? 384 : 96;
+  const int points = static_cast<int>(cli.integer("points"));
+
+  char title[128];
+  const struct {
+    std::int64_t cs, cd;
+  } configs[] = {{977, 21}, {977, 16}, {245, 6}, {245, 4}, {157, 4}, {157, 3}};
+  const char* sub = "abcdef";
+  for (int i = 0; i < 6; ++i) {
+    std::snprintf(title, sizeof(title),
+                  "Figure 12(%c): Tdata vs r, CS=%lld CD=%lld, m=%lld", sub[i],
+                  static_cast<long long>(configs[i].cs),
+                  static_cast<long long>(configs[i].cd),
+                  static_cast<long long>(order));
+    run_subfigure(title, configs[i].cs, configs[i].cd, order, points, csv);
+  }
+  return 0;
+}

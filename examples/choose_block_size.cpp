@@ -1,0 +1,67 @@
+// End-to-end design walkthrough: choose the unit block size q for a real
+// machine by combining BOTH levels of the library's analysis —
+//
+//  * below the block model: the inner-kernel simulator checks that the
+//    sequential q x q kernel actually runs out of the L1 (the paper's
+//    3 q^2 <= S_D assumption) and reports its misses per block FMA;
+//  * the block model itself: each q implies block capacities (CS, CD)
+//    and hence lambda, mu and the predicted Tdata of the Tradeoff.
+//
+// The sweet spot is the largest q whose kernel is still L1-resident with
+// a healthy mu — exactly why the paper lands on q = 32 for this machine.
+//
+//   $ ./choose_block_size [--l1-kib 32] [--order-coeffs 6144]
+#include <cstdio>
+
+#include "multicore_mm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmm;
+
+  CliParser cli;
+  cli.add_option("l1-kib", "per-core L1 size in KiB", "32");
+  cli.add_option("order-coeffs", "matrix order in coefficients", "6144");
+  if (!cli.parse(argc, argv)) return 0;
+
+  LineCacheConfig l1;
+  l1.size_bytes = cli.integer("l1-kib") * 1024;
+  l1.line_bytes = 64;
+  l1.ways = 8;
+  const std::int64_t oc = cli.integer("order-coeffs");
+
+  std::printf("Choosing q for the 8MB/256KB quad-core with a %lld KiB L1,\n"
+              "problem %lld x %lld coefficients\n\n",
+              static_cast<long long>(l1.size_bytes / 1024),
+              static_cast<long long>(oc), static_cast<long long>(oc));
+  std::printf("%4s %9s %12s | %5s %4s %3s %12s\n", "q", "3q^2*8B",
+              "L1 miss/FMA", "CS", "CD", "mu", "Tdata(pred)");
+
+  for (const std::int64_t q : {16, 24, 32, 48, 64, 96}) {
+    if (oc % q != 0) continue;
+    // Level below: is the kernel resident?  (ikj, contiguous blocks.)
+    const InnerKernelStats inner =
+        simulate_inner_kernel(l1, q, LoopOrder::kIKJ, q);
+    // Block level: capacities, parameters and the predicted Tdata.
+    const MachineConfig cfg = MachineConfig::realistic_quadcore(q, 2.0 / 3.0);
+    if (cfg.cd < 3) continue;
+    const Problem prob = Problem::square(oc / q);
+    const TradeoffParams params = tradeoff_params(cfg);
+    const double tdata_coeffs =
+        predict_tradeoff(prob, cfg.p, params).tdata(cfg.sigma_s, cfg.sigma_d) *
+        static_cast<double>(q) * static_cast<double>(q);
+    std::printf("%4lld %8.1fK %12.4f | %5lld %4lld %3lld %12.3e  %s\n",
+                static_cast<long long>(q),
+                3.0 * static_cast<double>(q * q) * 8 / 1024,
+                inner.misses_per_fma(), static_cast<long long>(cfg.cs),
+                static_cast<long long>(cfg.cd),
+                static_cast<long long>(params.mu), tdata_coeffs,
+                kernel_fits(l1, q)
+                    ? (params.mu >= 3 ? "<- candidate" : "(mu too small)")
+                    : "(kernel not L1-resident)");
+  }
+  std::printf("\nRule of thumb this table encodes: grow q while (a) the\n"
+              "kernel stays L1-resident and (b) mu = largest v with\n"
+              "1+v+v^2 <= CD stays >= 3; the paper's q = 32 satisfies both\n"
+              "on this machine, q = 64 fails (b), q = 96 fails (a) too.\n");
+  return 0;
+}

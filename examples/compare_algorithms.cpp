@@ -1,0 +1,50 @@
+// Compare all six schedules on one machine configuration: the library's
+// equivalent of one column of the paper's Figures 7-9.
+//
+//   $ ./compare_algorithms [--order N] [--cs N] [--cd N] [--setting lru50|ideal]
+#include <cstdio>
+
+#include "multicore_mm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmm;
+
+  CliParser cli;
+  cli.add_option("order", "square matrix order in blocks", "64");
+  cli.add_option("cs", "shared cache capacity in blocks", "977");
+  cli.add_option("cd", "distributed cache capacity in blocks", "21");
+  cli.add_option("setting", "lru50 | ideal | lru | lru2x", "lru50");
+  if (!cli.parse(argc, argv)) return 0;
+
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = cli.integer("cs");
+  cfg.cd = cli.integer("cd");
+  const Problem prob = Problem::square(cli.integer("order"));
+
+  Setting setting = Setting::kLru50;
+  const std::string s = cli.str("setting");
+  if (s == "ideal") setting = Setting::kIdeal;
+  else if (s == "lru") setting = Setting::kLruFull;
+  else if (s == "lru2x") setting = Setting::kLruDouble;
+  else if (s != "lru50") throw Error("unknown setting: " + s);
+
+  std::printf("machine: %s | order %lld blocks | setting %s\n\n",
+              cfg.describe().c_str(), static_cast<long long>(prob.m),
+              to_string(setting));
+  std::printf("%-18s %14s %14s %14s %10s %10s\n", "algorithm", "MS", "MD",
+              "Tdata", "CCR_S", "CCR_D");
+  std::printf("%-18s %14s %14s %14s %10s %10s\n", "lower bound",
+              format_value(ms_lower_bound(prob, cfg.cs)).c_str(),
+              format_value(md_lower_bound(prob, cfg.p, cfg.cd)).c_str(),
+              format_value(tdata_lower_bound(prob, cfg)).c_str(), "-", "-");
+
+  for (const auto& name : algorithm_names()) {
+    const RunResult res = run_experiment(name, prob, cfg, setting);
+    std::printf("%-18s %14lld %14lld %14.0f %10.4f %10.4f\n", name.c_str(),
+                static_cast<long long>(res.ms),
+                static_cast<long long>(res.md), res.tdata,
+                res.stats.ccr_shared(), res.stats.ccr_distributed());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: simulate one cache-aware matrix product and compare the
+// measured misses with the paper's closed-form predictions and lower
+// bounds.
+//
+//   $ ./quickstart
+//
+// This is the 5-minute tour of the library: configure a machine, pick an
+// algorithm, run it under a cache policy, read the statistics.
+#include <cstdio>
+
+#include "multicore_mm.hpp"
+
+int main() {
+  using namespace mcmm;
+
+  // The paper's "realistic quad-core": 8 MB shared cache, 4 x 256 KB
+  // private caches, 32x32 blocks of doubles, 2/3 of private caches for data.
+  const MachineConfig cfg = MachineConfig::realistic_quadcore(32, 2.0 / 3.0);
+  std::printf("machine: %s\n", cfg.describe().c_str());
+
+  // Multiply two 90x90-block matrices (2880x2880 coefficients at q=32).
+  // 90 is a multiple of lambda = 30, so the IDEAL run matches the paper's
+  // closed form *exactly*; non-divisible orders add ragged-tile misses.
+  const Problem prob = Problem::square(90);
+  std::printf("problem: C = A*B with %s blocks (%lld block FMAs)\n\n",
+              prob.describe().c_str(),
+              static_cast<long long>(prob.fmas()));
+
+  // Run Algorithm 1 (Shared Opt.) under the omniscient IDEAL policy...
+  Machine ideal(cfg, Policy::kIdeal);
+  SharedOpt().run(ideal, prob, cfg);
+
+  // ...and under realistic LRU replacement with half-declared caches.
+  Machine lru(cfg, Policy::kLru);
+  SharedOpt().run(lru, prob, cfg.with_caches_scaled(1, 2));
+
+  // Compare with the closed form and the Loomis-Whitney lower bound.
+  const auto params = shared_opt_params(cfg.cs);
+  const auto pred = predict_shared_opt(prob, cfg.p, params);
+  std::printf("Shared Opt. (lambda = %lld)\n",
+              static_cast<long long>(params.lambda));
+  std::printf("  %-28s %12lld\n", "MS lower bound:",
+              static_cast<long long>(ms_lower_bound(prob, cfg.cs)));
+  std::printf("  %-28s %12lld\n", "MS formula mn+2mnz/lambda:",
+              static_cast<long long>(pred.ms));
+  std::printf("  %-28s %12lld   (exactly the formula)\n", "MS measured IDEAL:",
+              static_cast<long long>(ideal.stats().ms()));
+  std::printf("  %-28s %12lld   (within 2x of the formula)\n",
+              "MS measured LRU-50:",
+              static_cast<long long>(lru.stats().ms()));
+
+  std::printf("\n  %-28s %12lld\n", "MD formula 2mnz/p+mnz/lambda:",
+              static_cast<long long>(pred.md));
+  std::printf("  %-28s %12lld\n", "MD measured IDEAL:",
+              static_cast<long long>(ideal.stats().md()));
+  std::printf("  %-28s %12lld\n", "MD measured LRU-50:",
+              static_cast<long long>(lru.stats().md()));
+
+  std::printf("\n  %-28s %12.0f\n", "Tdata IDEAL:",
+              ideal.stats().tdata(cfg.sigma_s, cfg.sigma_d));
+  std::printf("  %-28s %12.0f\n", "Tdata LRU-50:",
+              lru.stats().tdata(cfg.sigma_s, cfg.sigma_d));
+  return 0;
+}

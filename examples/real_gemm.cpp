@@ -1,0 +1,80 @@
+// Run the paper's schedules for real: multithreaded double-precision
+// matrix products on the host CPU, validated against the reference kernel
+// and timed (the "future work" of the paper's conclusion).
+//
+//   $ ./real_gemm [--n 768] [--q 64] [--workers 4]
+#include <chrono>
+#include <cstdio>
+
+#include "multicore_mm.hpp"
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcmm;
+
+  CliParser cli;
+  cli.add_option("n", "square matrix order in coefficients", "768");
+  cli.add_option("q", "block size in coefficients", "64");
+  cli.add_option("workers", "thread count", "4");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::int64_t n = cli.integer("n");
+  const std::int64_t q = cli.integer("q");
+  const int workers = static_cast<int>(cli.integer("workers"));
+
+  Matrix a(n, n), b(n, n);
+  a.fill_random(2026);
+  b.fill_random(707);
+
+  Matrix expect(n, n);
+  const double t0 = now_seconds();
+  gemm_reference(expect, a, b);
+  const double t_ref = now_seconds() - t0;
+  const double gflop = 2.0 * static_cast<double>(n) * n * n / 1e9;
+  std::printf("n = %lld, q = %lld, %d workers, %.2f GFLOP per product\n\n",
+              static_cast<long long>(n), static_cast<long long>(q), workers,
+              gflop);
+  std::printf("%-22s %8.3fs %8.2f GFLOP/s   (baseline)\n", "reference (1 thread)",
+              t_ref, gflop / t_ref);
+
+  const Tiling tiling = tiling_for_host(workers, 8 << 20, 256 << 10, q);
+  std::printf("tiling: lambda=%lld mu=%lld alpha=%lld beta=%lld\n\n",
+              static_cast<long long>(tiling.lambda),
+              static_cast<long long>(tiling.mu),
+              static_cast<long long>(tiling.alpha),
+              static_cast<long long>(tiling.beta));
+
+  ThreadPool pool(workers);
+  struct Entry {
+    const char* name;
+    void (*fn)(Matrix&, const Matrix&, const Matrix&, const Tiling&,
+               ThreadPool&);
+  };
+  const Entry entries[] = {
+      {"shared-opt", &parallel_gemm_shared_opt},
+      {"distributed-opt", &parallel_gemm_distributed_opt},
+      {"tradeoff", &parallel_gemm_tradeoff},
+      {"outer-product", &parallel_gemm_outer_product},
+  };
+  for (const Entry& e : entries) {
+    Matrix c(n, n);
+    const double t1 = now_seconds();
+    e.fn(c, a, b, tiling, pool);
+    const double dt = now_seconds() - t1;
+    const bool ok = gemm_matches(c, expect, n);
+    std::printf("%-22s %8.3fs %8.2f GFLOP/s   (%s, max err %.2e)\n", e.name,
+                dt, gflop / dt, ok ? "CORRECT" : "WRONG",
+                Matrix::max_abs_diff(c, expect));
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Explore how the paper's tile parameters react to the machine geometry:
+// lambda/mu across the paper's cache configurations, and the Tradeoff's
+// (alpha, beta) as the bandwidth ratio sweeps — Section 3.3's analysis,
+// made executable.
+//
+//   $ ./tune_parameters
+#include <cstdio>
+
+#include "multicore_mm.hpp"
+
+int main() {
+  using namespace mcmm;
+
+  std::printf("Tile parameters for the paper's quad-core configurations\n");
+  std::printf("(8 MB shared / 4 x 256 KB private, 8-byte coefficients)\n\n");
+  std::printf("%4s %10s %6s %8s %6s %6s\n", "q", "data", "CS", "lambda", "CD",
+              "mu");
+  for (const std::int64_t q : {std::int64_t{32}, std::int64_t{64}, std::int64_t{80}}) {
+    for (const double frac : {2.0 / 3.0, 0.5}) {
+      const MachineConfig cfg = MachineConfig::realistic_quadcore(q, frac);
+      std::printf("%4lld %9.0f%% %6lld %8lld %6lld %6lld\n",
+                  static_cast<long long>(q), frac * 100,
+                  static_cast<long long>(cfg.cs),
+                  static_cast<long long>(shared_opt_params(cfg.cs).lambda),
+                  static_cast<long long>(cfg.cd),
+                  static_cast<long long>(max_reuse_parameter(cfg.cd)));
+    }
+  }
+
+  std::printf("\nTradeoff parameters vs bandwidth ratio r = sigmaS/(sigmaS+sigmaD)\n");
+  std::printf("(CS=977, CD=21: alpha clamps to [sqrt(p)*mu, alpha_max] and\n");
+  std::printf(" snaps to the sqrt(p)*mu grid; beta = (CS - alpha^2)/(2 alpha))\n\n");
+  std::printf("%6s %10s %7s %6s %22s\n", "r", "alpha_num", "alpha", "beta",
+              "regime");
+  MachineConfig base;
+  base.p = 4;
+  base.cs = 977;
+  base.cd = 21;
+  for (int i = 0; i <= 10; ++i) {
+    const double r = i / 10.0;
+    const MachineConfig cfg = base.with_bandwidth_ratio(r);
+    const TradeoffParams t = tradeoff_params(cfg);
+    const char* regime = t.persistent_c() ? "distributed-like"
+                         : t.alpha + 2 >= t.alpha_max ? "shared-like"
+                                                      : "intermediate";
+    std::printf("%6.2f %10.2f %7lld %6lld %22s\n", r, t.alpha_num,
+                static_cast<long long>(t.alpha),
+                static_cast<long long>(t.beta), regime);
+  }
+
+  std::printf("\nPredicted Tdata of the three Maximum Reuse variants, order 96,\n");
+  std::printf("r sweeping (the crossover the Tradeoff is designed to track):\n\n");
+  const Problem prob = Problem::square(96);
+  std::printf("%6s %14s %14s %14s\n", "r", "shared-opt", "dist-opt",
+              "tradeoff");
+  for (int i = 0; i <= 10; ++i) {
+    const double r = i / 10.0;
+    const MachineConfig cfg = base.with_bandwidth_ratio(r);
+    const auto so = predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs));
+    const auto dopt =
+        predict_distributed_opt(prob, cfg.p, distributed_opt_params(cfg));
+    const auto to = predict_tradeoff(prob, cfg.p, tradeoff_params(cfg));
+    std::printf("%6.2f %14.0f %14.0f %14.0f\n", r,
+                so.tdata(cfg.sigma_s, cfg.sigma_d),
+                dopt.tdata(cfg.sigma_s, cfg.sigma_d),
+                to.tdata(cfg.sigma_s, cfg.sigma_d));
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Plot the CSV tables produced by the bench binaries (or reproduce.sh).
+
+Each bench's --csv output is one or more tables: a comment line starting
+with '# ' titles the table, the next line is the CSV header (x axis first),
+and the following lines are rows.  This script renders every table in a
+file (or directory of .csv files) as a PNG, one series per line, matching
+the paper's figure layout.
+
+    scripts/plot_figures.py results/            # all CSVs -> results/*.png
+    scripts/plot_figures.py results/fig07_shared_misses.csv
+
+Requires matplotlib; prints a hint and exits cleanly if it is missing.
+"""
+import os
+import sys
+
+
+def parse_tables(path):
+    """Yield (title, header, rows) for each table in a bench CSV file."""
+    tables = []
+    title = os.path.basename(path)
+    header = None
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if header and rows:
+                    tables.append((title, header, rows))
+                    header, rows = None, []
+                title = line.lstrip("# ").strip()
+                continue
+            cells = line.split(",")
+            if header is None:
+                header = cells
+                continue
+            try:
+                rows.append([float(c) if c else None for c in cells])
+            except ValueError:
+                # A new header mid-file (table without a title comment).
+                if header and rows:
+                    tables.append((title, header, rows))
+                header, rows = cells, []
+    if header and rows:
+        tables.append((title, header, rows))
+    return tables
+
+
+def plot_file(path, plt):
+    tables = parse_tables(path)
+    base = os.path.splitext(path)[0]
+    outputs = []
+    for idx, (title, header, rows) in enumerate(tables):
+        fig, ax = plt.subplots(figsize=(8, 5))
+        xs = [r[0] for r in rows]
+        for col in range(1, len(header)):
+            ys = [r[col] if col < len(r) else None for r in rows]
+            pts = [(x, y) for x, y in zip(xs, ys) if y is not None]
+            if not pts:
+                continue
+            ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                    marker="o", markersize=3, label=header[col])
+        ax.set_xlabel(header[0])
+        ax.set_title(title, fontsize=9)
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+        suffix = f"_{idx}" if len(tables) > 1 else ""
+        out = f"{base}{suffix}.png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=120)
+        plt.close(fig)
+        outputs.append(out)
+    return outputs
+
+
+def main():
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available — the CSV tables in results/ are "
+              "plain series tables; any plotting tool can render them.")
+        return 0
+
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    target = sys.argv[1]
+    paths = []
+    if os.path.isdir(target):
+        paths = [os.path.join(target, f) for f in sorted(os.listdir(target))
+                 if f.endswith(".csv")]
+    else:
+        paths = [target]
+    for path in paths:
+        for out in plot_file(path, plt):
+            print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure, ablation and extension table into
+# results/, plus the test log.  Pass --full to use the paper's sweep
+# ranges (slow: an hour-plus instead of minutes).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FULL_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL_FLAG="--full"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/tests.txt
+
+for bench in build/bench/fig* build/bench/abl* build/bench/ext*; do
+  name="$(basename "$bench")"
+  echo "== ${name}"
+  # Figure sweeps understand --full; parameterised ablations ignore it.
+  if "$bench" --help 2>/dev/null | grep -q -- '--full'; then
+    "$bench" ${FULL_FLAG} | tee "results/${name}.txt"
+    "$bench" ${FULL_FLAG} --csv > "results/${name}.csv"
+  else
+    "$bench" | tee "results/${name}.txt"
+    "$bench" --csv > "results/${name}.csv"
+  fi
+done
+
+./build/bench/bench_simulator 2>&1 | tee results/bench_simulator.txt
+./build/bench/bench_gemm 2>&1 | tee results/bench_gemm.txt
+
+echo "All outputs in results/ — plot CSVs with scripts/plot_figures.py"

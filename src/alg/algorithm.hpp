@@ -1,0 +1,51 @@
+// Common interface of the six simulated matrix-product schedules.
+//
+// An algorithm is a *schedule*: it decides which blocks move into which
+// cache when, and which core executes each block FMA.  It is given two
+// machine descriptions:
+//
+//  * `declared` — the cache capacities (and bandwidths) the algorithm
+//    bases its parameters on.  Under the paper's LRU-50 setting this is
+//    half of the physical machine; under IDEAL it is the full machine.
+//  * `machine`  — the simulated hardware the schedule executes on.  Its
+//    policy decides whether the algorithm's explicit cache management is
+//    obeyed (IDEAL) or ignored in favour of LRU replacement.
+//
+// Every schedule must perform each block FMA (i,j,k) exactly once — the
+// test suite checks this with the machine's FMA observer.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/machine.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+class Algorithm {
+public:
+  virtual ~Algorithm() = default;
+
+  /// Stable identifier, e.g. "shared-opt" (used by the registry and CLIs).
+  virtual std::string name() const = 0;
+
+  /// Human-readable label matching the paper's figures, e.g. "Shared Opt.".
+  virtual std::string label() const = 0;
+
+  /// True if the schedule has an explicit IDEAL-mode cache management.
+  /// Outer Product has none (the paper notes it is insensitive to cache
+  /// policy); drivers run it under LRU in both settings.
+  virtual bool supports_ideal() const { return true; }
+
+  /// Execute the full product on `machine`, deriving parameters from
+  /// `declared`.  Throws mcmm::Error if the declared machine cannot
+  /// support the schedule (e.g. CD < 3, or p not a perfect square for
+  /// Cannon's torus).
+  virtual void run(Machine& machine, const Problem& prob,
+                   const MachineConfig& declared) const = 0;
+};
+
+using AlgorithmPtr = std::unique_ptr<Algorithm>;
+
+}  // namespace mcmm

@@ -1,0 +1,54 @@
+#include "alg/cannon.hpp"
+
+#include "sim/parallel_section.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+void Cannon::run(Machine& machine, const Problem& prob,
+                 const MachineConfig& declared) const {
+  prob.validate();
+  (void)declared;  // cache-oblivious, like Outer Product
+  MCMM_REQUIRE(machine.policy() == Policy::kLru,
+               "Cannon has no IDEAL-mode management; run it under LRU");
+  MCMM_REQUIRE(is_perfect_square(machine.cores()),
+               "Cannon: p must be a perfect square (the skew needs a square "
+               "torus)");
+  const int p = machine.cores();
+  const std::int64_t sp = isqrt(p);
+  ParallelSection par(machine);
+
+  // Super-tile index ranges along each dimension.
+  const auto rows = [&](std::int64_t t) {
+    return chunk_range(prob.m, static_cast<int>(sp), static_cast<int>(t));
+  };
+  const auto cols = [&](std::int64_t t) {
+    return chunk_range(prob.n, static_cast<int>(sp), static_cast<int>(t));
+  };
+  const auto deps = [&](std::int64_t t) {
+    return chunk_range(prob.z, static_cast<int>(sp), static_cast<int>(t));
+  };
+
+  for (std::int64_t t = 0; t < sp; ++t) {
+    for (int c = 0; c < p; ++c) {
+      const std::int64_t ci = c % sp;  // torus row
+      const std::int64_t cj = c / sp;  // torus column
+      const std::int64_t kk = (ci + cj + t) % sp;  // skewed k super-tile
+      const Range ri = rows(ci);
+      const Range rj = cols(cj);
+      const Range rk = deps(kk);
+      // Consume the whole A(ci,kk) x B(kk,cj) tile product before the
+      // next "shift": i-k-j order keeps one A block hot per inner sweep.
+      for (std::int64_t i = ri.lo; i < ri.hi; ++i) {
+        for (std::int64_t k = rk.lo; k < rk.hi; ++k) {
+          for (std::int64_t j = rj.lo; j < rj.hi; ++j) {
+            par.fma(c, i, j, k);
+          }
+        }
+      }
+    }
+    par.run();
+  }
+}
+
+}  // namespace mcmm

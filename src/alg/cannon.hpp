@@ -1,0 +1,30 @@
+// Cannon's algorithm [Cannon 1969], the classical 2D-torus matrix product
+// the paper cites as the canonical distributed-memory scheme (Section 1).
+//
+// Cores form a sqrt(p) x sqrt(p) torus; A, B and C are partitioned into
+// sqrt(p) x sqrt(p) super-tiles.  After the initial skew, step t has core
+// (i,j) multiply A-tile (i, (i+j+t) mod sqrt(p)) into B-tile
+// ((i+j+t) mod sqrt(p), j).  On a shared-memory multicore the "shifts" are
+// free (a tile is just a different index range), so Cannon degenerates to
+// a tile-sequenced schedule: better temporal locality than Outer Product
+// (each A/B tile pair is consumed completely before moving on) but no
+// cache-size awareness at all.
+//
+// Like Outer Product it has no IDEAL-mode management and always runs under
+// LRU.  Included as an extra baseline beyond the paper's six.
+#pragma once
+
+#include "alg/algorithm.hpp"
+
+namespace mcmm {
+
+class Cannon final : public Algorithm {
+public:
+  std::string name() const override { return "cannon"; }
+  std::string label() const override { return "Cannon"; }
+  bool supports_ideal() const override { return false; }
+  void run(Machine& machine, const Problem& prob,
+           const MachineConfig& declared) const override;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,139 @@
+#include "alg/distributed_opt.hpp"
+
+#include <algorithm>
+
+#include "analysis/params.hpp"
+#include "sim/parallel_section.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+namespace {
+
+/// The mu x mu region of the current C tile owned by core `c` on the
+/// r x c grid, clipped to the (possibly ragged) tile extent.
+struct CoreRegion {
+  Range rows;  // offsets within the tile
+  Range cols;
+  bool empty() const { return rows.empty() || cols.empty(); }
+};
+
+CoreRegion core_region(CTileDistribution dist, int c, int p, const Grid& grid,
+                       std::int64_t mu, std::int64_t ti, std::int64_t tj) {
+  CoreRegion r;
+  if (dist == CTileDistribution::k2DCyclic) {
+    const std::int64_t ci = c % grid.r;  // grid row
+    const std::int64_t cj = c / grid.r;  // grid column
+    r.rows = Range{std::min(ci * mu, ti), std::min((ci + 1) * mu, ti)};
+    r.cols = Range{std::min(cj * mu, tj), std::min((cj + 1) * mu, tj)};
+  } else {
+    // Linear: full-height contiguous column strips of width
+    // tile_cols/p = mu/r.  Same area per core (mu^2) but an r-times
+    // taller A footprint per k.
+    const std::int64_t strip = grid.c * mu / p;  // == mu / grid.r
+    r.rows = Range{0, ti};
+    r.cols = Range{std::min(c * strip, tj), std::min((c + 1) * strip, tj)};
+  }
+  return r;
+}
+
+}  // namespace
+
+void DistributedOpt::run(Machine& machine, const Problem& prob,
+                         const MachineConfig& declared) const {
+  prob.validate();
+  MCMM_REQUIRE(machine.cores() == declared.p,
+               "DistributedOpt: declared p differs from the machine");
+  const DistributedOptParams params = distributed_opt_params(declared);
+  const std::int64_t mu = params.mu;
+  const Grid grid = params.grid;
+  const std::int64_t tile_r = params.tile_rows();
+  const std::int64_t tile_c = params.tile_cols();
+  const int p = machine.cores();
+  if (distribution_ == CTileDistribution::kLinear) {
+    // Strips must be tile_cols/p = mu/r whole columns; otherwise some core
+    // holds more than mu^2 C blocks and overruns its distributed cache.
+    MCMM_REQUIRE(mu % grid.r == 0,
+                 "DistributedOpt(linear): needs grid rows | mu; use the 2-D "
+                 "cyclic distribution instead");
+  }
+  ParallelSection par(machine);
+
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += tile_r) {
+    const std::int64_t ti = std::min(tile_r, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += tile_c) {
+      const std::int64_t tj = std::min(tile_c, prob.n - j0);
+
+      // Stage the C tile in the shared cache, then hand each core its
+      // mu x mu sub-block, which stays resident until fully computed.
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.load_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+      for (int c = 0; c < p; ++c) {
+        const CoreRegion r = core_region(distribution_, c, p, grid, mu, ti, tj);
+        for (std::int64_t ii = r.rows.lo; ii < r.rows.hi; ++ii) {
+          for (std::int64_t jj = r.cols.lo; jj < r.cols.hi; ++jj) {
+            par.load_distributed(c, BlockId::c(i0 + ii, j0 + jj));
+          }
+        }
+      }
+      par.run();
+
+      for (std::int64_t k = 0; k < prob.z; ++k) {
+        // Stage the B row fragment and the A column fragment.
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.load_shared(BlockId::b(k, j0 + jj));
+        }
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          machine.load_shared(BlockId::a(i0 + ii, k));
+        }
+        for (int c = 0; c < p; ++c) {
+          const CoreRegion r = core_region(distribution_, c, p, grid, mu, ti, tj);
+          if (r.empty()) continue;
+          for (std::int64_t jj = r.cols.lo; jj < r.cols.hi; ++jj) {
+            par.load_distributed(c, BlockId::b(k, j0 + jj));
+          }
+          for (std::int64_t ii = r.rows.lo; ii < r.rows.hi; ++ii) {
+            const BlockId a = BlockId::a(i0 + ii, k);
+            par.load_distributed(c, a);
+            for (std::int64_t jj = r.cols.lo; jj < r.cols.hi; ++jj) {
+              par.fma(c, i0 + ii, j0 + jj, k);
+            }
+            par.evict_distributed(c, a);
+          }
+          for (std::int64_t jj = r.cols.lo; jj < r.cols.hi; ++jj) {
+            par.evict_distributed(c, BlockId::b(k, j0 + jj));
+          }
+        }
+        par.run();
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.evict_shared(BlockId::b(k, j0 + jj));
+        }
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          machine.evict_shared(BlockId::a(i0 + ii, k));
+        }
+      }
+
+      // Cores release their finished sub-blocks (write-back to shared),
+      // then the tile is written back to memory.
+      for (int c = 0; c < p; ++c) {
+        const CoreRegion r = core_region(distribution_, c, p, grid, mu, ti, tj);
+        for (std::int64_t ii = r.rows.lo; ii < r.rows.hi; ++ii) {
+          for (std::int64_t jj = r.cols.lo; jj < r.cols.hi; ++jj) {
+            par.evict_distributed(c, BlockId::c(i0 + ii, j0 + jj));
+          }
+        }
+      }
+      par.run();
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.evict_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mcmm

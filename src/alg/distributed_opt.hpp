@@ -1,0 +1,50 @@
+// Algorithm 2 of the paper: the Multicore Maximum Reuse Algorithm tuned to
+// minimise distributed-cache misses MD.
+//
+// Cores form a sqrt(p) x sqrt(p) grid.  A (sqrt(p) mu)^2 tile of C is staged
+// in the shared cache and split into mu x mu sub-blocks, one per core
+// (1 + mu + mu^2 <= CD).  Each core keeps its C sub-block resident until it
+// is *fully* computed, streaming fractions of B rows and elements of A
+// through the remaining distributed-cache space.
+//
+// Predicted misses (divisible sizes): MS = mn + 2mnz/(mu sqrt(p)),
+//                                     MD = mn/p + 2mnz/(p mu).
+#pragma once
+
+#include "alg/algorithm.hpp"
+
+namespace mcmm {
+
+/// How the C tile is split among the cores — the design choice the paper
+/// motivates in Section 3.2 ("distributed ... in a 2-D cyclic way, because
+/// it helps reduce and balance ... the number of shared-cache misses"),
+/// exposed so the ablation bench can quantify it.
+enum class CTileDistribution {
+  k2DCyclic,  ///< sqrt(p) x sqrt(p) grid of mu x mu sub-blocks (the paper)
+  kLinear,    ///< contiguous column strips of the tile, one per core
+};
+
+class DistributedOpt final : public Algorithm {
+public:
+  explicit DistributedOpt(
+      CTileDistribution distribution = CTileDistribution::k2DCyclic)
+      : distribution_(distribution) {}
+
+  std::string name() const override {
+    return distribution_ == CTileDistribution::k2DCyclic
+               ? "distributed-opt"
+               : "distributed-opt-linear";
+  }
+  std::string label() const override {
+    return distribution_ == CTileDistribution::k2DCyclic
+               ? "Distributed Opt."
+               : "Distributed Opt. (linear)";
+  }
+  void run(Machine& machine, const Problem& prob,
+           const MachineConfig& declared) const override;
+
+private:
+  CTileDistribution distribution_;
+};
+
+}  // namespace mcmm

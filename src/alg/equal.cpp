@@ -1,0 +1,222 @@
+#include "alg/equal.hpp"
+
+#include <algorithm>
+
+#include "sim/parallel_section.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+namespace {
+
+/// Toledo's equal split: the largest s with 3 s^2 <= capacity (at least 1).
+std::int64_t equal_tile_side(std::int64_t capacity) {
+  return std::max<std::int64_t>(isqrt(capacity / 3), 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SharedEqual
+// ---------------------------------------------------------------------------
+
+void SharedEqual::run(Machine& machine, const Problem& prob,
+                      const MachineConfig& declared) const {
+  prob.validate();
+  const std::int64_t s = equal_tile_side(declared.cs);
+  const int p = machine.cores();
+  if (machine.policy() == Policy::kIdeal) {
+    MCMM_REQUIRE(machine.config().cd >= 3,
+                 "SharedEqual: IDEAL mode needs CD >= 3");
+    MCMM_REQUIRE(3 * s * s <= machine.config().cs,
+                 "SharedEqual: tile does not fit the physical shared cache");
+  }
+  ParallelSection par(machine);
+
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += s) {
+    const std::int64_t ti = std::min(s, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += s) {
+      const std::int64_t tj = std::min(s, prob.n - j0);
+      // C tile occupies one third of the shared cache for the whole (I,J).
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.load_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+      for (std::int64_t k0 = 0; k0 < prob.z; k0 += s) {
+        const std::int64_t tk = std::min(s, prob.z - k0);
+        // Stream the A and B tiles through the other two thirds.
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            machine.load_shared(BlockId::a(i0 + ii, k0 + kk));
+          }
+        }
+        for (std::int64_t kk = 0; kk < tk; ++kk) {
+          for (std::int64_t jj = 0; jj < tj; ++jj) {
+            machine.load_shared(BlockId::b(k0 + kk, j0 + jj));
+          }
+        }
+        // Cores split the C tile row-wise and stream single blocks
+        // through their distributed caches ({a, b, c} at a time).
+        for (int c = 0; c < p; ++c) {
+          const Range rows = chunk_range(ti, p, c);
+          for (std::int64_t ii = rows.lo; ii < rows.hi; ++ii) {
+            const std::int64_t i = i0 + ii;
+            for (std::int64_t jj = 0; jj < tj; ++jj) {
+              const std::int64_t j = j0 + jj;
+              const BlockId cc = BlockId::c(i, j);
+              par.load_distributed(c, cc);
+              for (std::int64_t kk = 0; kk < tk; ++kk) {
+                const BlockId a = BlockId::a(i, k0 + kk);
+                const BlockId b = BlockId::b(k0 + kk, j);
+                par.load_distributed(c, a);
+                par.load_distributed(c, b);
+                par.fma(c, i, j, k0 + kk);
+                par.evict_distributed(c, a);
+                par.evict_distributed(c, b);
+              }
+              par.evict_distributed(c, cc);
+            }
+          }
+        }
+        par.run();
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            machine.evict_shared(BlockId::a(i0 + ii, k0 + kk));
+          }
+        }
+        for (std::int64_t kk = 0; kk < tk; ++kk) {
+          for (std::int64_t jj = 0; jj < tj; ++jj) {
+            machine.evict_shared(BlockId::b(k0 + kk, j0 + jj));
+          }
+        }
+      }
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.evict_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DistributedEqual
+// ---------------------------------------------------------------------------
+
+void DistributedEqual::run(Machine& machine, const Problem& prob,
+                           const MachineConfig& declared) const {
+  prob.validate();
+  const std::int64_t s = equal_tile_side(declared.cd);
+  const int p = machine.cores();
+  ParallelSection par(machine);
+
+  // Tiles of C are assigned to cores in groups of p along a tile-row, so
+  // the whole group shares the A tile staged in the shared cache.
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += s) {
+    const std::int64_t ti = std::min(s, prob.m - i0);
+    for (std::int64_t g0 = 0; g0 < prob.n; g0 += s * p) {
+      // Core c owns the C tile starting at column g0 + c*s (may be empty).
+      auto core_cols = [&](int c) {
+        const std::int64_t lo = std::min(g0 + c * s, prob.n);
+        const std::int64_t hi = std::min(lo + s, prob.n);
+        return Range{lo, hi};
+      };
+
+      // Stage and pin each core's C tile (shared + distributed).
+      for (int c = 0; c < p; ++c) {
+        const Range cols = core_cols(c);
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+            machine.load_shared(BlockId::c(i0 + ii, j));
+            par.load_distributed(c, BlockId::c(i0 + ii, j));
+          }
+        }
+      }
+      par.run();
+
+      for (std::int64_t k0 = 0; k0 < prob.z; k0 += s) {
+        const std::int64_t tk = std::min(s, prob.z - k0);
+        // One A tile serves the whole group.
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            machine.load_shared(BlockId::a(i0 + ii, k0 + kk));
+          }
+        }
+        for (int c = 0; c < p; ++c) {
+          const Range cols = core_cols(c);
+          if (cols.empty()) continue;
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+              machine.load_shared(BlockId::b(k0 + kk, j));
+            }
+          }
+          // Core-local: bring in its A and B tiles, multiply, release.
+          for (std::int64_t ii = 0; ii < ti; ++ii) {
+            for (std::int64_t kk = 0; kk < tk; ++kk) {
+              par.load_distributed(c, BlockId::a(i0 + ii, k0 + kk));
+            }
+          }
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+              par.load_distributed(c, BlockId::b(k0 + kk, j));
+            }
+          }
+          for (std::int64_t ii = 0; ii < ti; ++ii) {
+            for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+              for (std::int64_t kk = 0; kk < tk; ++kk) {
+                par.fma(c, i0 + ii, j, k0 + kk);
+              }
+            }
+          }
+          for (std::int64_t ii = 0; ii < ti; ++ii) {
+            for (std::int64_t kk = 0; kk < tk; ++kk) {
+              par.evict_distributed(c, BlockId::a(i0 + ii, k0 + kk));
+            }
+          }
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+              par.evict_distributed(c, BlockId::b(k0 + kk, j));
+            }
+          }
+        }
+        par.run();
+        // Release the group's A and B tiles from the shared cache.
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            machine.evict_shared(BlockId::a(i0 + ii, k0 + kk));
+          }
+        }
+        for (int c = 0; c < p; ++c) {
+          const Range cols = core_cols(c);
+          for (std::int64_t kk = 0; kk < tk; ++kk) {
+            for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+              machine.evict_shared(BlockId::b(k0 + kk, j));
+            }
+          }
+        }
+      }
+
+      // Write the group's C tiles back.
+      for (int c = 0; c < p; ++c) {
+        const Range cols = core_cols(c);
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+            par.evict_distributed(c, BlockId::c(i0 + ii, j));
+          }
+        }
+      }
+      par.run();
+      for (int c = 0; c < p; ++c) {
+        const Range cols = core_cols(c);
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+            machine.evict_shared(BlockId::c(i0 + ii, j));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mcmm

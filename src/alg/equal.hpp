@@ -1,0 +1,42 @@
+// The "Equal" baselines, inspired by Toledo's out-of-core algorithm: the
+// target cache is split into three equal parts, one per matrix, and the
+// product proceeds over s x s tiles with 3 s^2 <= C.
+//
+// The paper declines the single-level scheme in two versions:
+//
+//  * SharedEqual — s is sized for the *shared* cache; an s x s tile of C
+//    stays staged in the shared cache while s x s tiles of A and B stream
+//    through the remaining two thirds.  Cores split the C tile row-wise
+//    and stream single blocks through their distributed caches.
+//    MS = mn + 2mnz/s  with  s = floor(sqrt(CS/3))  (divisible sizes) —
+//    a factor ~sqrt(3) more shared misses than SharedOpt.
+//
+//  * DistributedEqual — s is sized for the *distributed* caches; each core
+//    independently computes its own s x s tiles of C, holding one tile of
+//    each matrix in its cache.  Tiles are assigned to cores in groups of p
+//    along a row of C so the cores share the A tile in the shared cache.
+//    MD = mn/p + 2mnz/(p s)  with  s = floor(sqrt(CD/3)) — a factor
+//    ~sqrt(3) more distributed misses than DistributedOpt.
+#pragma once
+
+#include "alg/algorithm.hpp"
+
+namespace mcmm {
+
+class SharedEqual final : public Algorithm {
+public:
+  std::string name() const override { return "shared-equal"; }
+  std::string label() const override { return "Shared Equal"; }
+  void run(Machine& machine, const Problem& prob,
+           const MachineConfig& declared) const override;
+};
+
+class DistributedEqual final : public Algorithm {
+public:
+  std::string name() const override { return "distributed-equal"; }
+  std::string label() const override { return "Distributed Equal"; }
+  void run(Machine& machine, const Problem& prob,
+           const MachineConfig& declared) const override;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,34 @@
+#include "alg/outer_product.hpp"
+
+#include "sim/parallel_section.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+void OuterProduct::run(Machine& machine, const Problem& prob,
+                       const MachineConfig& declared) const {
+  prob.validate();
+  (void)declared;  // cache-oblivious: parameters are ignored by design
+  MCMM_REQUIRE(machine.policy() == Policy::kLru,
+               "OuterProduct has no IDEAL-mode management; run it under LRU");
+  const int p = machine.cores();
+  const Grid grid = balanced_grid(p);
+  ParallelSection par(machine);
+
+  for (std::int64_t k = 0; k < prob.z; ++k) {
+    for (int c = 0; c < p; ++c) {
+      const Range rows = chunk_range(prob.m, static_cast<int>(grid.r),
+                                     static_cast<int>(c % grid.r));
+      const Range cols = chunk_range(prob.n, static_cast<int>(grid.c),
+                                     static_cast<int>(c / grid.r));
+      for (std::int64_t i = rows.lo; i < rows.hi; ++i) {
+        for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+          par.fma(c, i, j, k);
+        }
+      }
+    }
+    par.run();
+  }
+}
+
+}  // namespace mcmm

@@ -1,0 +1,26 @@
+// The ScaLAPACK-style outer-product baseline ("Outer Product" in the
+// paper's figures): cores are organised as a virtual sqrt(p) x sqrt(p)
+// torus, C is partitioned into one rectangular tile per core, and at every
+// step k each core accumulates the rank-one (in blocks) update of its tile
+// from the k-th column of A and k-th row of B.
+//
+// The schedule makes no attempt at cache reuse across steps — the paper
+// notes it "is insensitive to cache policies, since it is not focusing on
+// cache usage" — so it has no IDEAL-mode management and is always run
+// under LRU replacement.
+#pragma once
+
+#include "alg/algorithm.hpp"
+
+namespace mcmm {
+
+class OuterProduct final : public Algorithm {
+public:
+  std::string name() const override { return "outer-product"; }
+  std::string label() const override { return "Outer Product"; }
+  bool supports_ideal() const override { return false; }
+  void run(Machine& machine, const Problem& prob,
+           const MachineConfig& declared) const override;
+};
+
+}  // namespace mcmm

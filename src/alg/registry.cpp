@@ -1,0 +1,39 @@
+#include "alg/registry.hpp"
+
+#include "alg/cannon.hpp"
+#include "alg/distributed_opt.hpp"
+#include "alg/equal.hpp"
+#include "alg/outer_product.hpp"
+#include "alg/shared_opt.hpp"
+#include "alg/tradeoff.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+
+AlgorithmPtr make_algorithm(const std::string& name) {
+  if (name == "shared-opt") return std::make_unique<SharedOpt>();
+  if (name == "distributed-opt") return std::make_unique<DistributedOpt>();
+  if (name == "distributed-opt-linear") {
+    return std::make_unique<DistributedOpt>(CTileDistribution::kLinear);
+  }
+  if (name == "tradeoff") return std::make_unique<Tradeoff>();
+  if (name == "outer-product") return std::make_unique<OuterProduct>();
+  if (name == "shared-equal") return std::make_unique<SharedEqual>();
+  if (name == "distributed-equal") return std::make_unique<DistributedEqual>();
+  if (name == "cannon") return std::make_unique<Cannon>();
+  throw Error("unknown algorithm: " + name);
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"shared-opt",    "distributed-opt", "tradeoff",
+          "outer-product", "shared-equal",    "distributed-equal"};
+}
+
+std::vector<std::string> extended_algorithm_names() {
+  std::vector<std::string> names = algorithm_names();
+  names.push_back("cannon");
+  names.push_back("distributed-opt-linear");
+  return names;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,25 @@
+// Name-based factory for the six schedules, used by benches, examples and
+// the experiment driver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alg/algorithm.hpp"
+
+namespace mcmm {
+
+/// Instantiate an algorithm by its stable name ("shared-opt",
+/// "distributed-opt", "tradeoff", "outer-product", "shared-equal",
+/// "distributed-equal", plus the extensions "cannon" and
+/// "distributed-opt-linear").  Throws mcmm::Error for unknown names.
+AlgorithmPtr make_algorithm(const std::string& name);
+
+/// The paper's six schedules, in its presentation order.
+std::vector<std::string> algorithm_names();
+
+/// The paper's six plus this library's extensions (Cannon's algorithm and
+/// the linear-distribution ablation of Distributed Opt.).
+std::vector<std::string> extended_algorithm_names();
+
+}  // namespace mcmm

@@ -1,0 +1,83 @@
+#include "alg/shared_opt.hpp"
+
+#include <algorithm>
+
+#include "analysis/params.hpp"
+#include "sim/parallel_section.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+void SharedOpt::run(Machine& machine, const Problem& prob,
+                    const MachineConfig& declared) const {
+  prob.validate();
+  const std::int64_t lambda = shared_opt_params(declared.cs).lambda;
+  const int p = machine.cores();
+  if (machine.policy() == Policy::kIdeal) {
+    // Each distributed cache holds {a, Bc, Cc}: the paper's 3 <= CD
+    // assumption must hold on the physical machine.
+    MCMM_REQUIRE(machine.config().cd >= 3,
+                 "SharedOpt: IDEAL mode needs CD >= 3");
+  }
+  ParallelSection par(machine);
+
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += lambda) {
+    const std::int64_t ti = std::min(lambda, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += lambda) {
+      const std::int64_t tj = std::min(lambda, prob.n - j0);
+
+      // Stage the C tile in the shared cache.
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.load_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+
+      for (std::int64_t k = 0; k < prob.z; ++k) {
+        // Stage one row fragment of B.
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.load_shared(BlockId::b(k, j0 + jj));
+        }
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          const std::int64_t i = i0 + ii;
+          const BlockId a = BlockId::a(i, k);
+          machine.load_shared(a);
+          // Distribute the C row among the cores, element by element:
+          // each core cycles {a, Bc, Cc} through its distributed cache.
+          for (int c = 0; c < p; ++c) {
+            const Range chunk = chunk_range(tj, p, c);
+            if (chunk.empty()) continue;
+            par.load_distributed(c, a);
+            for (std::int64_t jj = chunk.lo; jj < chunk.hi; ++jj) {
+              const std::int64_t j = j0 + jj;
+              const BlockId bb = BlockId::b(k, j);
+              const BlockId cc = BlockId::c(i, j);
+              par.load_distributed(c, bb);
+              par.load_distributed(c, cc);
+              par.fma(c, i, j, k);
+              // Evicting the freshly written Cc propagates the update to
+              // the shared copy (the paper's "update block in shared").
+              par.evict_distributed(c, cc);
+              par.evict_distributed(c, bb);
+            }
+            par.evict_distributed(c, a);
+          }
+          par.run();
+          machine.evict_shared(a);
+        }
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.evict_shared(BlockId::b(k, j0 + jj));
+        }
+      }
+
+      // Write the finished tile back to memory.
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.evict_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mcmm

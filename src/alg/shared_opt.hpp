@@ -1,0 +1,25 @@
+// Algorithm 1 of the paper: the Multicore Maximum Reuse Algorithm tuned to
+// minimise shared-cache misses MS.
+//
+// A lambda x lambda tile of C (1 + lambda + lambda^2 <= CS) is staged in the
+// shared cache together with one row of B and one element of A at a time;
+// each C row is split into p contiguous chunks processed element-wise by the
+// cores, whose distributed caches only ever hold {a, Bc, Cc} (3 blocks).
+//
+// Predicted misses (divisible sizes): MS = mn + 2mnz/lambda,
+//                                     MD = 2mnz/p + mnz/lambda.
+#pragma once
+
+#include "alg/algorithm.hpp"
+
+namespace mcmm {
+
+class SharedOpt final : public Algorithm {
+public:
+  std::string name() const override { return "shared-opt"; }
+  std::string label() const override { return "Shared Opt."; }
+  void run(Machine& machine, const Problem& prob,
+           const MachineConfig& declared) const override;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,182 @@
+#include "alg/tradeoff.hpp"
+
+#include <algorithm>
+
+#include "analysis/params.hpp"
+#include "sim/parallel_section.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+namespace {
+
+/// The contiguous (alpha/r) x (alpha/c) region of the current C tile
+/// owned by core `core`, clipped to the (possibly ragged) tile extent.
+struct CoreRegion {
+  Range rows;
+  Range cols;
+  bool empty() const { return rows.empty() || cols.empty(); }
+};
+
+CoreRegion core_region(int core, const Grid& grid, std::int64_t side_r,
+                       std::int64_t side_c, std::int64_t ti, std::int64_t tj) {
+  const std::int64_t ci = core % grid.r;
+  const std::int64_t cj = core / grid.r;
+  CoreRegion r;
+  r.rows = Range{std::min(ci * side_r, ti), std::min((ci + 1) * side_r, ti)};
+  r.cols = Range{std::min(cj * side_c, tj), std::min((cj + 1) * side_c, tj)};
+  return r;
+}
+
+}  // namespace
+
+void Tradeoff::run(Machine& machine, const Problem& prob,
+                   const MachineConfig& declared) const {
+  prob.validate();
+  MCMM_REQUIRE(machine.cores() == declared.p,
+               "Tradeoff: declared p differs from the machine");
+  const TradeoffParams params =
+      pinned_ ? *pinned_ : tradeoff_params(declared);
+  if (pinned_) {
+    MCMM_REQUIRE(params.alpha >= 1 && params.beta >= 1 && params.mu >= 1 &&
+                     params.grid.cores() >= 1,
+                 "Tradeoff: pinned parameters must be positive");
+    MCMM_REQUIRE(params.grid.cores() == declared.p,
+                 "Tradeoff: pinned grid inconsistent with p");
+    MCMM_REQUIRE(params.alpha % params.grain() == 0,
+                 "Tradeoff: pinned alpha must be a multiple of mu*lcm(r,c)");
+    MCMM_REQUIRE(
+        params.alpha * params.alpha + 2 * params.alpha * params.beta <=
+            declared.cs,
+        "Tradeoff: pinned (alpha, beta) exceed the declared shared cache");
+    MCMM_REQUIRE(1 + params.mu + params.mu * params.mu <= declared.cd,
+                 "Tradeoff: pinned mu exceeds the declared distributed cache");
+  }
+  const std::int64_t alpha = params.alpha;
+  const std::int64_t beta = params.beta;
+  const std::int64_t mu = params.mu;
+  const Grid grid = params.grid;
+  // Multiples of mu by construction (alpha is a multiple of mu*lcm(r,c)).
+  const std::int64_t region_rows = alpha / grid.r;
+  const std::int64_t region_cols = alpha / grid.c;
+  const int p = machine.cores();
+  // On a square grid with alpha == sqrt(p) mu each core owns exactly one
+  // sub-block, which then stays resident for the whole tile (the paper's
+  // special case).
+  const bool persistent_c = params.persistent_c();
+  ParallelSection par(machine);
+
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += alpha) {
+    const std::int64_t ti = std::min(alpha, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += alpha) {
+      const std::int64_t tj = std::min(alpha, prob.n - j0);
+
+      // Stage the C tile in the shared cache.
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.load_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+      if (persistent_c) {
+        for (int c = 0; c < p; ++c) {
+          const CoreRegion r = core_region(c, grid, region_rows, region_cols, ti, tj);
+          for (std::int64_t ii = r.rows.lo; ii < r.rows.hi; ++ii) {
+            for (std::int64_t jj = r.cols.lo; jj < r.cols.hi; ++jj) {
+              par.load_distributed(c, BlockId::c(i0 + ii, j0 + jj));
+            }
+          }
+        }
+        par.run();
+      }
+
+      for (std::int64_t k0 = 0; k0 < prob.z; k0 += beta) {
+        const std::int64_t kb = std::min(beta, prob.z - k0);
+        // Stage the beta-deep panels of B (rows) and A (columns).
+        for (std::int64_t kk = 0; kk < kb; ++kk) {
+          for (std::int64_t jj = 0; jj < tj; ++jj) {
+            machine.load_shared(BlockId::b(k0 + kk, j0 + jj));
+          }
+        }
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t kk = 0; kk < kb; ++kk) {
+            machine.load_shared(BlockId::a(i0 + ii, k0 + kk));
+          }
+        }
+
+        for (int c = 0; c < p; ++c) {
+          const CoreRegion r = core_region(c, grid, region_rows, region_cols, ti, tj);
+          if (r.empty()) continue;
+          // Cycle the core's mu x mu sub-blocks through its cache; each
+          // accumulates the whole k-panel before being written back.
+          for (std::int64_t si = r.rows.lo; si < r.rows.hi; si += mu) {
+            const std::int64_t se_i = std::min(si + mu, r.rows.hi);
+            for (std::int64_t sj = r.cols.lo; sj < r.cols.hi; sj += mu) {
+              const std::int64_t se_j = std::min(sj + mu, r.cols.hi);
+              if (!persistent_c) {
+                for (std::int64_t ii = si; ii < se_i; ++ii) {
+                  for (std::int64_t jj = sj; jj < se_j; ++jj) {
+                    par.load_distributed(c, BlockId::c(i0 + ii, j0 + jj));
+                  }
+                }
+              }
+              for (std::int64_t kk = 0; kk < kb; ++kk) {
+                for (std::int64_t jj = sj; jj < se_j; ++jj) {
+                  par.load_distributed(c, BlockId::b(k0 + kk, j0 + jj));
+                }
+                for (std::int64_t ii = si; ii < se_i; ++ii) {
+                  const BlockId a = BlockId::a(i0 + ii, k0 + kk);
+                  par.load_distributed(c, a);
+                  for (std::int64_t jj = sj; jj < se_j; ++jj) {
+                    par.fma(c, i0 + ii, j0 + jj, k0 + kk);
+                  }
+                  par.evict_distributed(c, a);
+                }
+                for (std::int64_t jj = sj; jj < se_j; ++jj) {
+                  par.evict_distributed(c, BlockId::b(k0 + kk, j0 + jj));
+                }
+              }
+              if (!persistent_c) {
+                for (std::int64_t ii = si; ii < se_i; ++ii) {
+                  for (std::int64_t jj = sj; jj < se_j; ++jj) {
+                    par.evict_distributed(c, BlockId::c(i0 + ii, j0 + jj));
+                  }
+                }
+              }
+            }
+          }
+        }
+        par.run();
+
+        for (std::int64_t kk = 0; kk < kb; ++kk) {
+          for (std::int64_t jj = 0; jj < tj; ++jj) {
+            machine.evict_shared(BlockId::b(k0 + kk, j0 + jj));
+          }
+        }
+        for (std::int64_t ii = 0; ii < ti; ++ii) {
+          for (std::int64_t kk = 0; kk < kb; ++kk) {
+            machine.evict_shared(BlockId::a(i0 + ii, k0 + kk));
+          }
+        }
+      }
+
+      if (persistent_c) {
+        for (int c = 0; c < p; ++c) {
+          const CoreRegion r = core_region(c, grid, region_rows, region_cols, ti, tj);
+          for (std::int64_t ii = r.rows.lo; ii < r.rows.hi; ++ii) {
+            for (std::int64_t jj = r.cols.lo; jj < r.cols.hi; ++jj) {
+              par.evict_distributed(c, BlockId::c(i0 + ii, j0 + jj));
+            }
+          }
+        }
+        par.run();
+      }
+      for (std::int64_t ii = 0; ii < ti; ++ii) {
+        for (std::int64_t jj = 0; jj < tj; ++jj) {
+          machine.evict_shared(BlockId::c(i0 + ii, j0 + jj));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mcmm

@@ -1,0 +1,46 @@
+// Algorithm 3 of the paper: the Multicore Maximum Reuse Algorithm tuned to
+// minimise the overall data access time Tdata = MS/sigma_S + MD/sigma_D.
+//
+// An alpha x alpha tile of C plus beta-deep panels of A and B share the
+// shared cache (alpha^2 + 2 alpha beta <= CS).  The tile splits over a
+// sqrt(p) x sqrt(p) core grid into mu x mu sub-blocks that cycle through
+// the distributed caches once per k-panel — so a deeper panel (larger
+// beta) re-loads C less often at the price of a smaller alpha (more
+// shared misses).  alpha is chosen from the closed-form optimum of
+// Section 3.3, clamped to [sqrt(p) mu, alpha_max] and snapped to the
+// sqrt(p) mu grid.
+//
+// Predicted misses (divisible sizes):
+//   MS = mn + 2mnz/alpha
+//   MD = mnz/(p beta) + 2mnz/(p mu)      for alpha > sqrt(p) mu
+//   MD = mn/p + 2mnz/(p mu)              for alpha == sqrt(p) mu
+#pragma once
+
+#include <optional>
+
+#include "alg/algorithm.hpp"
+#include "analysis/params.hpp"
+
+namespace mcmm {
+
+class Tradeoff final : public Algorithm {
+public:
+  /// Parameters from the Section 3.3 solver (the paper's algorithm).
+  Tradeoff() = default;
+
+  /// Pin (alpha, beta, mu, grid) explicitly instead of solving — used by
+  /// the parameter-ablation bench to map the Tdata landscape around the
+  /// solver's choice.  The pinned values must satisfy the same feasibility
+  /// constraints the solver guarantees (checked at run()).
+  explicit Tradeoff(const TradeoffParams& pinned) : pinned_(pinned) {}
+
+  std::string name() const override { return "tradeoff"; }
+  std::string label() const override { return "Tradeoff"; }
+  void run(Machine& machine, const Problem& prob,
+           const MachineConfig& declared) const override;
+
+private:
+  std::optional<TradeoffParams> pinned_;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,36 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+double loomis_whitney_k() { return std::sqrt(8.0 / 27.0); }
+
+double loomis_whitney_objective(double eta, double nu, double xi) {
+  if (eta < 0 || nu < 0 || xi < 0 || eta + nu + xi > 2.0) return 0.0;
+  return std::sqrt(eta * nu * xi);
+}
+
+double ccr_lower_bound(std::int64_t z_capacity) {
+  MCMM_REQUIRE(z_capacity >= 1, "ccr_lower_bound: capacity must be >= 1");
+  return std::sqrt(27.0 / (8.0 * static_cast<double>(z_capacity)));
+}
+
+double ms_lower_bound(const Problem& prob, std::int64_t cs) {
+  return static_cast<double>(prob.fmas()) * ccr_lower_bound(cs);
+}
+
+double md_lower_bound(const Problem& prob, int p, std::int64_t cd) {
+  MCMM_REQUIRE(p >= 1, "md_lower_bound: p must be >= 1");
+  return static_cast<double>(prob.fmas()) / static_cast<double>(p) *
+         ccr_lower_bound(cd);
+}
+
+double tdata_lower_bound(const Problem& prob, const MachineConfig& cfg) {
+  return ms_lower_bound(prob, cfg.cs) / cfg.sigma_s +
+         md_lower_bound(prob, cfg.p, cfg.cd) / cfg.sigma_d;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,41 @@
+// Communication lower bounds from Section 2.3 of the paper.
+//
+// Derived from the Loomis-Whitney inequality (Irony, Toledo & Tiskin): a
+// computing system with a cache of Z blocks that performs K block
+// multiply-adds needs at least K * sqrt(27 / (8 Z)) cache loads.  Applied
+// to the shared cache (Z = CS, K = m n z) and to each distributed cache
+// (Z = CD, K = m n z / p, computation equally distributed) this yields
+// floors on MS, MD and Tdata for *any* conventional matrix product.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine_config.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+/// k* = sqrt(8/27): the optimum of  max k  s.t. k <= sqrt(eta nu xi),
+/// eta + nu + xi <= 2, attained at eta = nu = xi = 2/3 (Section 2.3.1).
+double loomis_whitney_k();
+
+/// Objective of the Loomis-Whitney optimisation at a given (eta, nu, xi):
+/// min(sqrt(eta*nu*xi), feasibility).  Exposed so tests can verify k* is
+/// the constrained maximum by grid search.
+double loomis_whitney_objective(double eta, double nu, double xi);
+
+/// Lower bound on the communication-to-computation ratio (block loads per
+/// block FMA) of a system whose cache holds `z_capacity` blocks:
+/// CCR >= sqrt(27 / (8 Z)).
+double ccr_lower_bound(std::int64_t z_capacity);
+
+/// MS >= m n z * sqrt(27 / (8 CS)).
+double ms_lower_bound(const Problem& prob, std::int64_t cs);
+
+/// MD >= (m n z / p) * sqrt(27 / (8 CD))  (computation equally spread).
+double md_lower_bound(const Problem& prob, int p, std::int64_t cd);
+
+/// Tdata >= m n z * ( sqrt(27/(8 CS))/sigma_S + sqrt(27/(8 CD))/(p sigma_D) ).
+double tdata_lower_bound(const Problem& prob, const MachineConfig& cfg);
+
+}  // namespace mcmm

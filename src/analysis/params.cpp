@@ -1,0 +1,109 @@
+#include "analysis/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+SharedOptParams shared_opt_params(std::int64_t cs) {
+  const std::int64_t lambda = max_reuse_parameter(cs);
+  MCMM_REQUIRE(lambda >= 1,
+               "shared_opt_params: shared cache too small (CS < 3)");
+  return {lambda};
+}
+
+DistributedOptParams distributed_opt_params(const MachineConfig& declared) {
+  const std::int64_t mu = max_reuse_parameter(declared.cd);
+  MCMM_REQUIRE(mu >= 1,
+               "distributed_opt_params: distributed cache too small (CD < 3)");
+  DistributedOptParams out;
+  out.mu = mu;
+  out.grid = balanced_grid(declared.p);
+  // The shared cache must hold the C tile plus a B row fragment and an A
+  // column fragment: p mu^2 + (r + c) mu <= CS.  This follows from
+  // CS >= p*CD >= p (1 + mu + mu^2), but re-check for scaled declarations.
+  MCMM_REQUIRE(declared.p * mu * mu + out.tile_rows() + out.tile_cols() <=
+                   declared.cs,
+               "distributed_opt_params: CS cannot stage the C tile");
+  return out;
+}
+
+double tradeoff_alpha_num(std::int64_t cs, double x) {
+  MCMM_REQUIRE(cs >= 1, "tradeoff_alpha_num: CS must be >= 1");
+  MCMM_REQUIRE(x > 0, "tradeoff_alpha_num: x = p*sigmaD/sigmaS must be > 0");
+  // Removable singularity at x == 1:
+  //   (1 + 2x - sqrt(1+8x)) / (2(x-1))  ->  1/3   as x -> 1.
+  const double eps = 1e-9;
+  double ratio;
+  if (std::fabs(x - 1.0) < eps) {
+    ratio = 1.0 / 3.0;
+  } else {
+    ratio = (1.0 + 2.0 * x - std::sqrt(1.0 + 8.0 * x)) / (2.0 * (x - 1.0));
+  }
+  // The ratio is in (0, 1) for every x > 0; clamp against rounding noise.
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  return std::sqrt(static_cast<double>(cs) * ratio);
+}
+
+double tradeoff_objective(std::int64_t cs, int p, double sigma_s,
+                          double sigma_d, double alpha) {
+  MCMM_REQUIRE(alpha > 0 && alpha * alpha < static_cast<double>(cs),
+               "tradeoff_objective: alpha out of domain");
+  return 2.0 / (sigma_s * alpha) +
+         2.0 * alpha /
+             (static_cast<double>(p) * sigma_d *
+              (static_cast<double>(cs) - alpha * alpha));
+}
+
+TradeoffParams tradeoff_params(const MachineConfig& declared) {
+  TradeoffParams out;
+  out.mu = max_reuse_parameter(declared.cd);
+  MCMM_REQUIRE(out.mu >= 1,
+               "tradeoff_params: distributed cache too small (CD < 3)");
+  out.grid = balanced_grid(declared.p);
+  const std::int64_t grain = out.grain();  // alpha granularity
+
+  // alpha_max: largest alpha with alpha^2 + 2*alpha*1 <= CS,
+  // i.e. (alpha+1)^2 <= CS + 1.
+  out.alpha_max = isqrt(declared.cs + 1) - 1;
+  MCMM_REQUIRE(grain * grain + 2 * grain <= declared.cs,
+               "tradeoff_params: CS cannot stage even the minimal tile");
+
+  const double x = static_cast<double>(declared.p) * declared.sigma_d /
+                   declared.sigma_s;
+  out.alpha_num = tradeoff_alpha_num(declared.cs, x);
+
+  // Clamp to [sqrt(p)*mu, alpha_max], then snap to the sqrt(p)*mu grid so
+  // the tile splits evenly into a sqrt(p) x sqrt(p) core grid of mu x mu
+  // sub-blocks (the rounding the paper's Section 4.3.3 blames for the
+  // q = 64/80 results).  Both grid neighbours of the real optimum are
+  // candidates; the objective F picks between them.
+  const double clamped =
+      std::min(static_cast<double>(out.alpha_max),
+               std::max(static_cast<double>(grain), out.alpha_num));
+  auto feasible = [&](std::int64_t a) {
+    return a >= grain && a <= out.alpha_max &&
+           a * a + 2 * a <= declared.cs;
+  };
+  std::int64_t lo = (static_cast<std::int64_t>(clamped) / grain) * grain;
+  while (lo > grain && !feasible(lo)) lo -= grain;
+  lo = std::max(lo, grain);
+  const std::int64_t hi = lo + grain;
+  std::int64_t alpha = lo;
+  if (feasible(hi) &&
+      tradeoff_objective(declared.cs, declared.p, declared.sigma_s,
+                         declared.sigma_d, static_cast<double>(hi)) <
+          tradeoff_objective(declared.cs, declared.p, declared.sigma_s,
+                             declared.sigma_d, static_cast<double>(lo))) {
+    alpha = hi;
+  }
+  out.alpha = alpha;
+  out.beta = std::max<std::int64_t>((declared.cs - alpha * alpha) / (2 * alpha),
+                                    std::int64_t{1});
+  return out;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,70 @@
+// Parameter selection for the three Multicore Maximum Reuse algorithms
+// (Section 3 of the paper).
+//
+// All parameters are derived from the cache capacities an algorithm
+// *declares* — under the LRU-50 setting these are half the physical sizes,
+// which is why they are passed in explicitly rather than read from the
+// machine.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine_config.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+/// Algorithm 1 (Shared Opt): lambda is the largest integer with
+/// 1 + lambda + lambda^2 <= CS (a lambda x lambda tile of C, a row of
+/// lambda elements of B and one element of A live in the shared cache).
+struct SharedOptParams {
+  std::int64_t lambda = 0;
+};
+SharedOptParams shared_opt_params(std::int64_t cs);
+
+/// Algorithm 2 (Distributed Opt): mu is the largest integer with
+/// 1 + mu + mu^2 <= CD; cores form a grid (the paper's sqrt(p) x sqrt(p),
+/// generalised here to the most balanced r x c factorisation of p) and
+/// the shared cache holds an (r mu) x (c mu) tile of C.
+struct DistributedOptParams {
+  std::int64_t mu = 0;
+  Grid grid;
+  /// Extent of the C tile staged in the shared cache.
+  std::int64_t tile_rows() const { return grid.r * mu; }
+  std::int64_t tile_cols() const { return grid.c * mu; }
+};
+DistributedOptParams distributed_opt_params(const MachineConfig& declared);
+
+/// Algorithm 3 (Tradeoff): an alpha x alpha tile of C plus beta x alpha
+/// panels of A and B share the cache (alpha^2 + 2 alpha beta <= CS);
+/// alpha minimises F(alpha) = 2/(sigma_S alpha) + 2 alpha/(p sigma_D (CS - alpha^2)).
+struct TradeoffParams {
+  std::int64_t alpha = 0;    ///< C tile side, multiple of grain()
+  std::int64_t beta = 0;     ///< k-panel depth, >= 1
+  std::int64_t mu = 0;       ///< distributed sub-tile side
+  Grid grid;                 ///< core grid (balanced factorisation of p)
+  double alpha_num = 0;      ///< unclamped real-valued optimum (diagnostics)
+  std::int64_t alpha_max = 0;///< largest alpha allowing beta >= 1
+  /// alpha granularity: the tile must split into r x c core regions of
+  /// whole mu-sub-blocks, so alpha is a multiple of mu * lcm(r, c).
+  std::int64_t grain() const { return mu * lcm(grid.r, grid.c); }
+  /// True when every core owns exactly one mu x mu sub-block (the paper's
+  /// alpha == sqrt(p) mu special case; only possible on square grids).
+  bool persistent_c() const {
+    return grid.square() && alpha == grid.r * mu;
+  }
+};
+TradeoffParams tradeoff_params(const MachineConfig& declared);
+
+/// The real-valued minimiser of F(alpha) for given CS and x = p*sigma_D/sigma_S:
+///   alpha_num = sqrt( CS * (1 + 2x - sqrt(1 + 8x)) / (2 (x - 1)) ),
+/// with the removable singularity at x = 1 evaluating to sqrt(CS / 3).
+/// Exposed separately so tests can check it against numeric minimisation.
+double tradeoff_alpha_num(std::int64_t cs, double x);
+
+/// F(alpha) itself (the large-matrix data-time objective of Section 3.3,
+/// dropping the mu term which does not depend on alpha).
+double tradeoff_objective(std::int64_t cs, int p, double sigma_s,
+                          double sigma_d, double alpha);
+
+}  // namespace mcmm

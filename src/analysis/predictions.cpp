@@ -1,0 +1,66 @@
+#include "analysis/predictions.hpp"
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+MissPrediction predict_shared_opt(const Problem& prob, int p,
+                                  const SharedOptParams& params) {
+  MCMM_REQUIRE(params.lambda >= 1, "predict_shared_opt: lambda must be >= 1");
+  const double mn = static_cast<double>(prob.m) * static_cast<double>(prob.n);
+  const double mnz = mn * static_cast<double>(prob.z);
+  const double lambda = static_cast<double>(params.lambda);
+  MissPrediction out;
+  out.ms = mn + 2.0 * mnz / lambda;
+  out.md = 2.0 * mnz / static_cast<double>(p) + mnz / lambda;
+  return out;
+}
+
+MissPrediction predict_distributed_opt(const Problem& prob, int p,
+                                       const DistributedOptParams& params) {
+  MCMM_REQUIRE(params.mu >= 1 && params.grid.cores() >= 1,
+               "predict_distributed_opt: bad parameters");
+  const double mn = static_cast<double>(prob.m) * static_cast<double>(prob.n);
+  const double mnz = mn * static_cast<double>(prob.z);
+  const double mu = static_cast<double>(params.mu);
+  const double pd = static_cast<double>(p);
+  MissPrediction out;
+  // Per tile: r*c*mu^2 C blocks + z * (c*mu of B + r*mu of A); on the
+  // paper's square grid this is the familiar mn + 2mnz/(mu sqrt(p)).
+  out.ms = mn + mnz / (mu * static_cast<double>(params.grid.r)) +
+           mnz / (mu * static_cast<double>(params.grid.c));
+  out.md = mn / pd + 2.0 * mnz / (pd * mu);
+  return out;
+}
+
+MissPrediction predict_tradeoff(const Problem& prob, int p,
+                                const TradeoffParams& params) {
+  MCMM_REQUIRE(params.alpha >= 1 && params.beta >= 1 && params.mu >= 1,
+               "predict_tradeoff: bad parameters");
+  const double mn = static_cast<double>(prob.m) * static_cast<double>(prob.n);
+  const double mnz = mn * static_cast<double>(prob.z);
+  const double alpha = static_cast<double>(params.alpha);
+  const double beta = static_cast<double>(params.beta);
+  const double mu = static_cast<double>(params.mu);
+  const double pd = static_cast<double>(p);
+  MissPrediction out;
+  out.ms = mn + 2.0 * mnz / alpha;
+  if (params.persistent_c()) {
+    // Each core owns exactly one mu x mu sub-block: C is loaded once per
+    // tile instead of once per k-panel (the paper's special-case remark).
+    out.md = mn / pd + 2.0 * mnz / (pd * mu);
+  } else {
+    out.md = mnz / (pd * beta) + 2.0 * mnz / (pd * mu);
+  }
+  return out;
+}
+
+double asymptotic_ccr_shared_opt(const SharedOptParams& params) {
+  return 2.0 / static_cast<double>(params.lambda);
+}
+
+double asymptotic_ccr_distributed_opt(const DistributedOptParams& params) {
+  return 2.0 / static_cast<double>(params.mu);
+}
+
+}  // namespace mcmm

@@ -1,0 +1,51 @@
+// Closed-form cache-miss predictions of Section 3 of the paper.
+//
+// These are the formulas the simulator is validated against: under the
+// IDEAL policy with divisible problem sizes, the measured MS and MD match
+// them *exactly* (integer equality is asserted in the test suite).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/params.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+/// Predicted miss counts for one algorithm on one problem.
+struct MissPrediction {
+  double ms = 0;  ///< shared-cache misses
+  double md = 0;  ///< max distributed-cache misses (any core; balanced)
+
+  double tdata(double sigma_s, double sigma_d) const {
+    return ms / sigma_s + md / sigma_d;
+  }
+  double ccr_shared(const Problem& prob) const {
+    return ms / static_cast<double>(prob.fmas());
+  }
+  double ccr_distributed(const Problem& prob, int p) const {
+    return md / (static_cast<double>(prob.fmas()) / static_cast<double>(p));
+  }
+};
+
+/// Algorithm 1:  MS = mn + 2mnz/lambda,  MD = 2mnz/p + mnz/lambda.
+MissPrediction predict_shared_opt(const Problem& prob, int p,
+                                  const SharedOptParams& params);
+
+/// Algorithm 2:  MS = mn + 2mnz/(mu sqrt(p)),  MD = mn/p + 2mnz/(p mu).
+MissPrediction predict_distributed_opt(const Problem& prob, int p,
+                                       const DistributedOptParams& params);
+
+/// Algorithm 3:  MS = mn + 2mnz/alpha;
+///               MD = mnz/(p beta) + 2mnz/(p mu)          if alpha > sqrt(p) mu,
+///               MD = mn/p        + 2mnz/(p mu)           if alpha == sqrt(p) mu.
+MissPrediction predict_tradeoff(const Problem& prob, int p,
+                                const TradeoffParams& params);
+
+/// Asymptotic CCRs (large matrices) quoted in the paper, for reporting:
+/// Shared Opt: CCR_S -> 2/lambda.  Distributed Opt: CCR_D -> 2/mu.
+double asymptotic_ccr_shared_opt(const SharedOptParams& params);
+double asymptotic_ccr_distributed_opt(const DistributedOptParams& params);
+
+}  // namespace mcmm

@@ -1,0 +1,46 @@
+// One-shot experiment execution, encoding the simulation settings of
+// Section 4 of the paper:
+//
+//  * IDEAL     — omniscient replacement, full cache sizes declared.
+//  * LRU-50    — LRU replacement; the algorithm declares only *half* of
+//                each cache, leaving the rest to act as an automatic
+//                prefetch buffer.
+//  * LRU(C)    — LRU replacement with the full sizes declared (the
+//                pessimistic curve of Figures 4-6).
+//  * LRU(2C)   — the algorithm declares the full sizes but the physical
+//                caches are twice as large (the Frigo et al. 2x-competitive
+//                regime, the optimistic curve of Figures 4-6).
+//
+// Outer Product has no IDEAL-mode management (the paper notes it is
+// insensitive to the policy), so under the IDEAL setting it is executed on
+// an LRU machine of the same geometry.
+#pragma once
+
+#include <string>
+
+#include "sim/cache_stats.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+enum class Setting { kIdeal, kLru50, kLruFull, kLruDouble };
+
+const char* to_string(Setting s);
+
+struct RunResult {
+  MachineStats stats{0};
+  MachineConfig physical;   ///< the machine the run executed on
+  MachineConfig declared;   ///< the capacities the algorithm planned with
+  std::int64_t ms = 0;
+  std::int64_t md = 0;
+  double tdata = 0;         ///< computed with the *base* config's bandwidths
+};
+
+/// Run `algorithm` (a registry name) on `prob` under `setting`, derived
+/// from the base machine `cfg`.  Checks that exactly m*n*z block FMAs were
+/// performed and that the caches drained cleanly.
+RunResult run_experiment(const std::string& algorithm, const Problem& prob,
+                         const MachineConfig& cfg, Setting setting);
+
+}  // namespace mcmm

@@ -1,0 +1,52 @@
+#include "exp/sweep.hpp"
+
+#include "analysis/bounds.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+
+std::vector<std::int64_t> order_sweep(std::int64_t lo, std::int64_t hi,
+                                      std::int64_t step) {
+  MCMM_REQUIRE(lo >= 1 && step >= 1 && hi >= lo, "order_sweep: bad range");
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+std::vector<RatioPoint> bandwidth_ratio_sweep(
+    const std::string& algorithm, const Problem& prob,
+    const MachineConfig& cfg, Setting setting,
+    const std::vector<double>& ratios) {
+  std::vector<RatioPoint> out;
+  out.reserve(ratios.size());
+  if (algorithm == "tradeoff") {
+    // alpha and beta depend on sigma_S/sigma_D: re-plan and re-run per r.
+    for (double r : ratios) {
+      const MachineConfig rcfg = cfg.with_bandwidth_ratio(r);
+      const RunResult res = run_experiment(algorithm, prob, rcfg, setting);
+      out.push_back({r, res.tdata});
+    }
+    return out;
+  }
+  // Bandwidth-oblivious schedules: one simulation, rescale Tdata per r.
+  const RunResult res = run_experiment(algorithm, prob, cfg, setting);
+  for (double r : ratios) {
+    const MachineConfig rcfg = cfg.with_bandwidth_ratio(r);
+    out.push_back({r, res.stats.tdata(rcfg.sigma_s, rcfg.sigma_d)});
+  }
+  return out;
+}
+
+std::vector<RatioPoint> bandwidth_ratio_lower_bound(
+    const Problem& prob, const MachineConfig& cfg,
+    const std::vector<double>& ratios) {
+  std::vector<RatioPoint> out;
+  out.reserve(ratios.size());
+  for (double r : ratios) {
+    const MachineConfig rcfg = cfg.with_bandwidth_ratio(r);
+    out.push_back({r, tdata_lower_bound(prob, rcfg)});
+  }
+  return out;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,42 @@
+// Sweep drivers shared by the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+/// Matrix orders lo, lo+step, ..., <= hi (all in block units).
+std::vector<std::int64_t> order_sweep(std::int64_t lo, std::int64_t hi,
+                                      std::int64_t step);
+
+/// One point of a bandwidth-ratio sweep (Figure 12).
+struct RatioPoint {
+  double r = 0;       ///< sigma_S / (sigma_S + sigma_D)
+  double tdata = 0;
+};
+
+/// Tdata of `algorithm` on a fixed problem as the bandwidth ratio r sweeps
+/// over `ratios`, under the given setting.
+///
+/// For every algorithm except Tradeoff the schedule — hence MS and MD — is
+/// independent of the bandwidths, so the product is simulated once and
+/// Tdata is rescaled per ratio.  Tradeoff re-plans (alpha, beta depend on
+/// sigma_S/sigma_D) and is re-simulated at every ratio.
+std::vector<RatioPoint> bandwidth_ratio_sweep(const std::string& algorithm,
+                                              const Problem& prob,
+                                              const MachineConfig& cfg,
+                                              Setting setting,
+                                              const std::vector<double>& ratios);
+
+/// Lower-bound Tdata per ratio for the same sweep (Figure 12's floor).
+std::vector<RatioPoint> bandwidth_ratio_lower_bound(
+    const Problem& prob, const MachineConfig& cfg,
+    const std::vector<double>& ratios);
+
+}  // namespace mcmm

@@ -1,0 +1,60 @@
+#include "exp/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+const char* to_string(TimeEnvelope::Bottleneck b) {
+  switch (b) {
+    case TimeEnvelope::Bottleneck::kCompute: return "compute";
+    case TimeEnvelope::Bottleneck::kSharedChannel: return "shared-channel";
+    case TimeEnvelope::Bottleneck::kDistributedChannel:
+      return "distributed-channel";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int64_t busiest(const std::vector<std::int64_t>& v) {
+  std::int64_t out = 0;
+  for (const std::int64_t x : v) out = std::max(out, x);
+  return out;
+}
+
+}  // namespace
+
+TimeEnvelope time_envelope(const MachineStats& stats,
+                           const MachineConfig& cfg, double compute_rate) {
+  MCMM_REQUIRE(compute_rate > 0, "time_envelope: compute rate must be > 0");
+  TimeEnvelope out;
+  out.compute_time =
+      static_cast<double>(busiest(stats.fmas)) / compute_rate;
+  out.shared_time = static_cast<double>(stats.ms()) / cfg.sigma_s;
+  out.dist_time =
+      static_cast<double>(busiest(stats.dist_misses)) / cfg.sigma_d;
+  out.serial = out.compute_time + out.shared_time + out.dist_time;
+  out.overlap = std::max({out.compute_time, out.shared_time, out.dist_time});
+  if (out.overlap == out.compute_time) {
+    out.bottleneck = TimeEnvelope::Bottleneck::kCompute;
+  } else if (out.overlap == out.shared_time) {
+    out.bottleneck = TimeEnvelope::Bottleneck::kSharedChannel;
+  } else {
+    out.bottleneck = TimeEnvelope::Bottleneck::kDistributedChannel;
+  }
+  return out;
+}
+
+double balance_rate(const MachineStats& stats, const MachineConfig& cfg) {
+  // Compute time equals the slower channel time at:
+  //   busiest_fmas / rate == max(MS/sigma_S, busiest_loads/sigma_D).
+  const double channel =
+      std::max(static_cast<double>(stats.ms()) / cfg.sigma_s,
+               static_cast<double>(busiest(stats.dist_misses)) / cfg.sigma_d);
+  MCMM_REQUIRE(channel > 0, "balance_rate: run had no data traffic");
+  return static_cast<double>(busiest(stats.fmas)) / channel;
+}
+
+}  // namespace mcmm

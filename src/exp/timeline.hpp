@@ -1,0 +1,51 @@
+// Execution-time envelopes: connecting the paper's Tdata (pure data
+// traffic) to wall-clock time.
+//
+// The paper's introduction motivates overlap ("most of these
+// communications can be overlapped with independent computations") but
+// its metric stops at Tdata.  Given a run's miss counts and a per-core
+// compute rate (block FMAs per time unit), two analytic envelopes bound
+// any real execution:
+//
+//   serial  = Tdata + compute            (no overlap at all: upper bound)
+//   overlap = max(shared-transfer time,
+//                 busiest core's transfer time,
+//                 busiest core's compute time)   (perfect overlap: lower)
+//
+// The perfect-overlap bound treats the memory->shared channel, each
+// shared->private channel and each core's ALU as independent pipelined
+// resources; whichever saturates first is the bottleneck.  The machine
+// balance (the compute rate at which a schedule flips from memory-bound
+// to compute-bound) falls out in closed form.
+#pragma once
+
+#include "exp/experiment.hpp"
+#include "sim/cache_stats.hpp"
+#include "sim/machine_config.hpp"
+
+namespace mcmm {
+
+struct TimeEnvelope {
+  double compute_time = 0;   ///< busiest core's FMAs / rate
+  double shared_time = 0;    ///< MS / sigma_S
+  double dist_time = 0;      ///< busiest core's loads / sigma_D
+  double serial = 0;         ///< no overlap: everything sums
+  double overlap = 0;        ///< perfect overlap: slowest resource
+  /// Which resource the perfect-overlap bound saturates.
+  enum class Bottleneck { kCompute, kSharedChannel, kDistributedChannel };
+  Bottleneck bottleneck = Bottleneck::kCompute;
+};
+
+const char* to_string(TimeEnvelope::Bottleneck b);
+
+/// Envelopes for a finished run, with each core computing `compute_rate`
+/// block FMAs per time unit.
+TimeEnvelope time_envelope(const MachineStats& stats,
+                           const MachineConfig& cfg, double compute_rate);
+
+/// The compute rate at which the perfect-overlap bound switches from
+/// memory-bound to compute-bound for this run (FMAs per time unit):
+/// below it the ALUs idle, above it the caches idle.
+double balance_rate(const MachineStats& stats, const MachineConfig& cfg);
+
+}  // namespace mcmm

@@ -1,0 +1,117 @@
+#include "gemm/kernel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mcmm {
+
+void check_gemm_shapes(const Matrix& c, const Matrix& a, const Matrix& b) {
+  MCMM_REQUIRE(a.cols() == b.rows(),
+               "gemm: inner dimensions differ (A cols != B rows)");
+  MCMM_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+               "gemm: C has the wrong shape");
+}
+
+void gemm_reference(Matrix& c, const Matrix& a, const Matrix& b) {
+  check_gemm_shapes(c, a, b);
+  const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  for (std::int64_t i = 0; i < m; ++i) {
+    double* crow = c.row_ptr(i);
+    const double* arow = a.row_ptr(i);
+    for (std::int64_t k = 0; k < z; ++k) {
+      const double aik = arow[k];
+      const double* brow = b.row_ptr(k);
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void block_fma(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t i0,
+               std::int64_t j0, std::int64_t k0, std::int64_t mb,
+               std::int64_t nb, std::int64_t kb) {
+  for (std::int64_t i = 0; i < mb; ++i) {
+    double* crow = c.row_ptr(i0 + i) + j0;
+    const double* arow = a.row_ptr(i0 + i) + k0;
+    for (std::int64_t k = 0; k < kb; ++k) {
+      const double aik = arow[k];
+      const double* brow = b.row_ptr(k0 + k) + j0;
+      for (std::int64_t j = 0; j < nb; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_blocked(Matrix& c, const Matrix& a, const Matrix& b,
+                  std::int64_t q) {
+  check_gemm_shapes(c, a, b);
+  MCMM_REQUIRE(q >= 1, "gemm_blocked: block size must be >= 1");
+  const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  for (std::int64_t i0 = 0; i0 < m; i0 += q) {
+    const std::int64_t mb = std::min(q, m - i0);
+    for (std::int64_t k0 = 0; k0 < z; k0 += q) {
+      const std::int64_t kb = std::min(q, z - k0);
+      for (std::int64_t j0 = 0; j0 < n; j0 += q) {
+        const std::int64_t nb = std::min(q, n - j0);
+        block_fma(c, a, b, i0, j0, k0, mb, nb, kb);
+      }
+    }
+  }
+}
+
+void gemm_blocked_packed(Matrix& c, const Matrix& a, const Matrix& b,
+                         std::int64_t q) {
+  check_gemm_shapes(c, a, b);
+  MCMM_REQUIRE(q >= 1, "gemm_blocked_packed: block size must be >= 1");
+  const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  std::vector<double> packed(static_cast<std::size_t>(q * q));
+
+  for (std::int64_t k0 = 0; k0 < z; k0 += q) {
+    const std::int64_t kb = std::min(q, z - k0);
+    for (std::int64_t j0 = 0; j0 < n; j0 += q) {
+      const std::int64_t nb = std::min(q, n - j0);
+      // Pack B[k0.., j0..] transposed: packed[j*kb + k] = B[k0+k][j0+j],
+      // so each output column's inner product reads contiguous memory.
+      for (std::int64_t k = 0; k < kb; ++k) {
+        const double* brow = b.row_ptr(k0 + k) + j0;
+        for (std::int64_t j = 0; j < nb; ++j) {
+          packed[static_cast<std::size_t>(j * kb + k)] = brow[j];
+        }
+      }
+      for (std::int64_t i = 0; i < m; ++i) {
+        const double* arow = a.row_ptr(i) + k0;
+        double* crow = c.row_ptr(i) + j0;
+        std::int64_t j = 0;
+        // Four independent dot products at a time for ILP.
+        for (; j + 4 <= nb; j += 4) {
+          const double* b0 = packed.data() + (j + 0) * kb;
+          const double* b1 = packed.data() + (j + 1) * kb;
+          const double* b2 = packed.data() + (j + 2) * kb;
+          const double* b3 = packed.data() + (j + 3) * kb;
+          double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+          for (std::int64_t k = 0; k < kb; ++k) {
+            const double av = arow[k];
+            s0 += av * b0[k];
+            s1 += av * b1[k];
+            s2 += av * b2[k];
+            s3 += av * b3[k];
+          }
+          crow[j + 0] += s0;
+          crow[j + 1] += s1;
+          crow[j + 2] += s2;
+          crow[j + 3] += s3;
+        }
+        for (; j < nb; ++j) {
+          const double* bj = packed.data() + j * kb;
+          double s = 0;
+          for (std::int64_t k = 0; k < kb; ++k) s += arow[k] * bj[k];
+          crow[j] += s;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mcmm

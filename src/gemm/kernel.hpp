@@ -1,0 +1,39 @@
+// Sequential GEMM kernels: the reference implementation and the q x q
+// block micro-kernel the parallel schedules are built from (the paper's
+// "atomic elements ... are square blocks of coefficients of size q x q",
+// computed by a sequential BLAS-like kernel).
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/matrix.hpp"
+
+namespace mcmm {
+
+/// Reference: C += A * B with the classical triple loop (i, k, j order).
+void gemm_reference(Matrix& c, const Matrix& a, const Matrix& b);
+
+/// Block micro-kernel: C[i0.., j0..] += A[i0.., k0..] * B[k0.., j0..]
+/// restricted to an (mb x nb x kb) sub-problem.  All offsets are in
+/// coefficients; the sub-block may be ragged at matrix edges.
+void block_fma(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t i0,
+               std::int64_t j0, std::int64_t k0, std::int64_t mb,
+               std::int64_t nb, std::int64_t kb);
+
+/// Sequential blocked GEMM over q x q blocks (sanity substrate and the
+/// single-core baseline of the timing benches).
+void gemm_blocked(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t q);
+
+/// Blocked GEMM with a packed, dot-product micro-kernel: each B tile is
+/// transposed into a contiguous buffer once per (j0, k0) panel and reused
+/// across the whole i sweep, turning the inner loop into independent
+/// dot products (unrolled four columns at a time).  Same results as
+/// gemm_blocked up to the k-summation order, which it preserves.
+void gemm_blocked_packed(Matrix& c, const Matrix& a, const Matrix& b,
+                         std::int64_t q);
+
+/// Shape validation shared by all entry points: A (m x z), B (z x n),
+/// C (m x n); throws mcmm::Error on mismatch.
+void check_gemm_shapes(const Matrix& c, const Matrix& a, const Matrix& b);
+
+}  // namespace mcmm

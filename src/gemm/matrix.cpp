@@ -1,0 +1,42 @@
+#include "gemm/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcmm {
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols, double fill)
+    : rows_(rows), cols_(cols) {
+  MCMM_REQUIRE(rows >= 0 && cols >= 0, "Matrix: negative dimensions");
+  data_.assign(static_cast<std::size_t>(rows * cols), fill);
+}
+
+void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::fill_random(std::uint64_t seed) {
+  // SplitMix64: tiny, seedable, statistically fine for test data.
+  std::uint64_t state = seed;
+  auto next = [&state]() {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t x = state;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  };
+  for (double& v : data_) {
+    // Map the top 53 bits to [-1, 1).
+    v = static_cast<double>(next() >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+  }
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  MCMM_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+               "max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+}  // namespace mcmm

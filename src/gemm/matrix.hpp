@@ -1,0 +1,61 @@
+// Dense row-major matrix of doubles for the real-execution substrate.
+//
+// The simulator works on abstract q x q blocks; this container holds the
+// actual coefficients so the paper's schedules can also be executed for
+// real (threads + blocked kernels), validating that every schedule
+// computes the same product.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(std::int64_t rows, std::int64_t cols, double fill = 0.0);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  double& at(std::int64_t i, std::int64_t j) {
+    MCMM_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                "Matrix::at: index out of range");
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double at(std::int64_t i, std::int64_t j) const {
+    MCMM_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                "Matrix::at: index out of range");
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Unchecked row pointer for kernels (leading dimension == cols()).
+  double* row_ptr(std::int64_t i) {
+    return data_.data() + static_cast<std::size_t>(i * cols_);
+  }
+  const double* row_ptr(std::int64_t i) const {
+    return data_.data() + static_cast<std::size_t>(i * cols_);
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void set_zero();
+
+  /// Deterministic pseudo-random fill in [-1, 1] (seeded SplitMix64), so
+  /// tests and examples are reproducible without <random> state plumbing.
+  void fill_random(std::uint64_t seed);
+
+  /// Largest absolute element-wise difference (infinity norm of A - B).
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,185 @@
+#include "gemm/parallel_gemm.hpp"
+
+#include <algorithm>
+
+#include "analysis/params.hpp"
+#include "gemm/kernel.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+namespace {
+
+/// Block-grid extents of the product (ceil-divided by q).
+struct BlockGrid {
+  std::int64_t mb, nb, zb, q;
+  std::int64_t m, n, z;
+};
+
+BlockGrid make_grid(const Matrix& c, const Matrix& a, const Matrix& b,
+                    std::int64_t q) {
+  check_gemm_shapes(c, a, b);
+  MCMM_REQUIRE(q >= 1, "parallel_gemm: block size q must be >= 1");
+  BlockGrid g;
+  g.m = c.rows();
+  g.n = c.cols();
+  g.z = a.cols();
+  g.q = q;
+  g.mb = ceil_div(g.m, q);
+  g.nb = ceil_div(g.n, q);
+  g.zb = ceil_div(g.z, q);
+  return g;
+}
+
+/// Execute the block FMA C[bi,bj] += A[bi,bk] * B[bk,bj] on real data.
+void block_op(Matrix& c, const Matrix& a, const Matrix& b, const BlockGrid& g,
+              std::int64_t bi, std::int64_t bj, std::int64_t bk) {
+  const std::int64_t i0 = bi * g.q, j0 = bj * g.q, k0 = bk * g.q;
+  block_fma(c, a, b, i0, j0, k0, std::min(g.q, g.m - i0),
+            std::min(g.q, g.n - j0), std::min(g.q, g.z - k0));
+}
+
+}  // namespace
+
+Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
+                       std::int64_t private_cache_bytes, std::int64_t q) {
+  MCMM_REQUIRE(p >= 1 && q >= 1 && shared_cache_bytes > 0 &&
+                   private_cache_bytes > 0,
+               "tiling_for_host: bad arguments");
+  const std::int64_t block_bytes = q * q * 8;
+  MachineConfig cfg;
+  cfg.p = p;
+  cfg.cs = std::max<std::int64_t>(shared_cache_bytes / block_bytes, 3);
+  cfg.cd = std::max<std::int64_t>(private_cache_bytes / block_bytes, 3);
+  cfg.cs = std::max(cfg.cs, static_cast<std::int64_t>(p) * cfg.cd);
+  Tiling t;
+  t.q = q;
+  t.lambda = shared_opt_params(cfg.cs).lambda;
+  t.mu = max_reuse_parameter(cfg.cd);
+  const TradeoffParams tp = tradeoff_params(cfg);
+  t.alpha = tp.alpha;
+  t.beta = tp.beta;
+  return t;
+}
+
+void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
+                              const Tiling& t, ThreadPool& pool) {
+  const BlockGrid g = make_grid(c, a, b, t.q);
+  MCMM_REQUIRE(t.lambda >= 1, "parallel_gemm_shared_opt: lambda must be >= 1");
+  const int p = pool.workers();
+  pool.run_on_all([&](int core) {
+    // Algorithm 1 loop order; each core owns a contiguous column chunk of
+    // every lambda x lambda tile, so writes never collide.
+    for (std::int64_t i0 = 0; i0 < g.mb; i0 += t.lambda) {
+      const std::int64_t ti = std::min(t.lambda, g.mb - i0);
+      for (std::int64_t j0 = 0; j0 < g.nb; j0 += t.lambda) {
+        const std::int64_t tj = std::min(t.lambda, g.nb - j0);
+        const Range mine = chunk_range(tj, p, core);
+        if (mine.empty()) continue;
+        for (std::int64_t k = 0; k < g.zb; ++k) {
+          for (std::int64_t ii = 0; ii < ti; ++ii) {
+            for (std::int64_t jj = mine.lo; jj < mine.hi; ++jj) {
+              block_op(c, a, b, g, i0 + ii, j0 + jj, k);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
+                                   const Matrix& b, const Tiling& t,
+                                   ThreadPool& pool) {
+  const BlockGrid g = make_grid(c, a, b, t.q);
+  MCMM_REQUIRE(t.mu >= 1, "parallel_gemm_distributed_opt: mu must be >= 1");
+  const Grid grid = balanced_grid(pool.workers());
+  const std::int64_t tile_r = grid.r * t.mu;
+  const std::int64_t tile_c = grid.c * t.mu;
+  pool.run_on_all([&](int core) {
+    const std::int64_t ci = core % grid.r;
+    const std::int64_t cj = core / grid.r;
+    // Algorithm 2: core (ci,cj) owns the mu x mu sub-block of every tile.
+    for (std::int64_t i0 = 0; i0 < g.mb; i0 += tile_r) {
+      const std::int64_t ti = std::min(tile_r, g.mb - i0);
+      for (std::int64_t j0 = 0; j0 < g.nb; j0 += tile_c) {
+        const std::int64_t tj = std::min(tile_c, g.nb - j0);
+        const Range rows{std::min(ci * t.mu, ti), std::min((ci + 1) * t.mu, ti)};
+        const Range cols{std::min(cj * t.mu, tj), std::min((cj + 1) * t.mu, tj)};
+        if (rows.empty() || cols.empty()) continue;
+        for (std::int64_t k = 0; k < g.zb; ++k) {
+          for (std::int64_t ii = rows.lo; ii < rows.hi; ++ii) {
+            for (std::int64_t jj = cols.lo; jj < cols.hi; ++jj) {
+              block_op(c, a, b, g, i0 + ii, j0 + jj, k);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
+                            const Tiling& t, ThreadPool& pool) {
+  const BlockGrid g = make_grid(c, a, b, t.q);
+  MCMM_REQUIRE(t.alpha >= 1 && t.beta >= 1 && t.mu >= 1,
+               "parallel_gemm_tradeoff: bad tiling");
+  const Grid grid = balanced_grid(pool.workers());
+  // Ceiling split: the r x c regions must cover the alpha x alpha tile
+  // even when the grid does not divide alpha evenly.
+  const std::int64_t side_r = ceil_div(t.alpha, grid.r);
+  const std::int64_t side_c = ceil_div(t.alpha, grid.c);
+  pool.run_on_all([&](int core) {
+    const std::int64_t ci = core % grid.r;
+    const std::int64_t cj = core / grid.r;
+    // Algorithm 3: alpha-tiles of C, beta-deep k-panels, mu x mu sub-blocks.
+    for (std::int64_t i0 = 0; i0 < g.mb; i0 += t.alpha) {
+      const std::int64_t ti = std::min(t.alpha, g.mb - i0);
+      for (std::int64_t j0 = 0; j0 < g.nb; j0 += t.alpha) {
+        const std::int64_t tj = std::min(t.alpha, g.nb - j0);
+        const Range rows{std::min(ci * side_r, ti),
+                         std::min((ci + 1) * side_r, ti)};
+        const Range cols{std::min(cj * side_c, tj),
+                         std::min((cj + 1) * side_c, tj)};
+        if (rows.empty() || cols.empty()) continue;
+        for (std::int64_t k0 = 0; k0 < g.zb; k0 += t.beta) {
+          const std::int64_t kb = std::min(t.beta, g.zb - k0);
+          for (std::int64_t si = rows.lo; si < rows.hi; si += t.mu) {
+            const std::int64_t se_i = std::min(si + t.mu, rows.hi);
+            for (std::int64_t sj = cols.lo; sj < cols.hi; sj += t.mu) {
+              const std::int64_t se_j = std::min(sj + t.mu, cols.hi);
+              for (std::int64_t kk = 0; kk < kb; ++kk) {
+                for (std::int64_t ii = si; ii < se_i; ++ii) {
+                  for (std::int64_t jj = sj; jj < se_j; ++jj) {
+                    block_op(c, a, b, g, i0 + ii, j0 + jj, k0 + kk);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
+                                 const Tiling& t, ThreadPool& pool) {
+  const BlockGrid g = make_grid(c, a, b, t.q);
+  const Grid grid = balanced_grid(pool.workers());
+  pool.run_on_all([&](int core) {
+    const Range rows = chunk_range(g.mb, static_cast<int>(grid.r),
+                                   static_cast<int>(core % grid.r));
+    const Range cols = chunk_range(g.nb, static_cast<int>(grid.c),
+                                   static_cast<int>(core / grid.r));
+    for (std::int64_t k = 0; k < g.zb; ++k) {
+      for (std::int64_t i = rows.lo; i < rows.hi; ++i) {
+        for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
+          block_op(c, a, b, g, i, j, k);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace mcmm

@@ -1,0 +1,60 @@
+// Real-data, multithreaded executions of the paper's schedules — the
+// "implement all algorithms on state-of-the-art multicore machines" the
+// paper defers to future work.
+//
+// Each schedule partitions C statically among the cores exactly like its
+// simulated counterpart, so workers never write the same coefficient and
+// the whole product needs a single fork/join (results are identical to the
+// reference kernel up to FP associativity of the k-loop, which every
+// schedule preserves per C block by accumulating k in increasing order).
+//
+// Tile parameters are expressed in q x q blocks, mirroring the simulator:
+// lambda for SharedOpt, mu (with a sqrt(p) grid) for DistributedOpt,
+// (alpha, beta, mu) for Tradeoff.  Use tiling_for_host() for sensible
+// defaults derived from typical L2/L3 sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/matrix.hpp"
+#include "gemm/thread_pool.hpp"
+
+namespace mcmm {
+
+/// Block-tiling parameters for the real schedules (all in blocks).
+struct Tiling {
+  std::int64_t q = 64;       ///< block side, in coefficients
+  std::int64_t lambda = 8;   ///< SharedOpt C-tile side
+  std::int64_t mu = 2;       ///< DistributedOpt / Tradeoff sub-tile side
+  std::int64_t alpha = 8;    ///< Tradeoff C-tile side (multiple of sqrt(p)*mu)
+  std::int64_t beta = 4;     ///< Tradeoff k-panel depth
+};
+
+/// Derive a Tiling from cache sizes in bytes (8-byte coefficients), using
+/// the paper's formulas: lambda from the shared (last-level) cache and mu
+/// from the per-core cache, alpha/beta from the tradeoff solver with
+/// sigma_S == sigma_D.
+Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
+                       std::int64_t private_cache_bytes, std::int64_t q);
+
+/// C += A * B with the SharedOpt schedule (Algorithm 1).
+void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
+                              const Tiling& t, ThreadPool& pool);
+
+/// C += A * B with the DistributedOpt schedule (Algorithm 2).
+/// Works with any worker count (most balanced r x c grid).
+void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
+                                   const Matrix& b, const Tiling& t,
+                                   ThreadPool& pool);
+
+/// C += A * B with the Tradeoff schedule (Algorithm 3).
+/// Works with any worker count (most balanced r x c grid).
+void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
+                            const Tiling& t, ThreadPool& pool);
+
+/// C += A * B with the outer-product baseline on a 2-D worker grid.
+/// Works with any worker count (most balanced r x c grid).
+void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
+                                 const Tiling& t, ThreadPool& pool);
+
+}  // namespace mcmm

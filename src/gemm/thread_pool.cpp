@@ -1,0 +1,74 @@
+#include "gemm/thread_pool.hpp"
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+ThreadPool::ThreadPool(int workers) {
+  MCMM_REQUIRE(workers >= 1, "ThreadPool: need at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    MCMM_ASSERT(remaining_ == 0, "ThreadPool: overlapping run_on_all");
+    job_ = &job;
+    remaining_ = workers();
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t total,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body) {
+  run_on_all([&](int core) {
+    const Range r = chunk_range(total, workers(), core);
+    if (!r.empty()) body(core, r.lo, r.hi);
+  });
+}
+
+}  // namespace mcmm

@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool for the real-execution schedules.
+//
+// The schedules are SPMD: every core runs the same function with its own
+// core id, over a statically partitioned slice of C (so there are no data
+// races by construction, and no locks on the compute path).  The pool is
+// created once and reused across parallel regions; run_on_all() blocks the
+// caller until every worker finished the region.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcmm {
+
+class ThreadPool {
+public:
+  /// Spawns `workers` threads (>= 1).  Worker ids are 0 .. workers-1.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Execute job(core_id) on every worker; returns when all are done.
+  /// The first exception thrown by a worker (if any) is rethrown here.
+  void run_on_all(const std::function<void(int)>& job);
+
+  /// Split [0, total) into per-worker chunks and run body(core, lo, hi)
+  /// on each worker.  Convenience wrapper over run_on_all.
+  void parallel_for(std::int64_t total,
+                    const std::function<void(int, std::int64_t, std::int64_t)>& body);
+
+private:
+  void worker_loop(int id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,17 @@
+#include "gemm/validate.hpp"
+
+#include <limits>
+
+namespace mcmm {
+
+double gemm_tolerance(std::int64_t z) {
+  return 64.0 * static_cast<double>(z) *
+         std::numeric_limits<double>::epsilon();
+}
+
+bool gemm_matches(const Matrix& result, const Matrix& expected,
+                  std::int64_t z) {
+  return Matrix::max_abs_diff(result, expected) <= gemm_tolerance(z);
+}
+
+}  // namespace mcmm

@@ -1,0 +1,20 @@
+// Numerical validation of the real-execution schedules against the
+// reference kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/matrix.hpp"
+
+namespace mcmm {
+
+/// Tolerance for comparing two GEMM results with inner dimension z and
+/// inputs bounded by 1: a small multiple of z * machine epsilon, the worst
+/// accumulated rounding difference between two summation orders.
+double gemm_tolerance(std::int64_t z);
+
+/// True if `result` matches `expected` within gemm_tolerance(z).
+bool gemm_matches(const Matrix& result, const Matrix& expected,
+                  std::int64_t z);
+
+}  // namespace mcmm

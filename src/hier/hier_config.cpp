@@ -1,0 +1,75 @@
+#include "hier/hier_config.hpp"
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+int HierConfig::caches_at(int level) const {
+  MCMM_REQUIRE(level >= 0 && level < num_levels(),
+               "HierConfig::caches_at: bad level");
+  int n = 1;
+  for (int i = 0; i < level; ++i) n *= levels[static_cast<std::size_t>(i)].fanout;
+  return n;
+}
+
+int HierConfig::cores() const {
+  MCMM_REQUIRE(!levels.empty(), "HierConfig: no levels");
+  return caches_at(num_levels() - 1);
+}
+
+void HierConfig::validate() const {
+  MCMM_REQUIRE(!levels.empty(), "HierConfig: need at least one level");
+  MCMM_REQUIRE(levels.back().fanout == 1,
+               "HierConfig: the innermost level must have fanout 1 (one "
+               "core per cache)");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelSpec& l = levels[i];
+    MCMM_REQUIRE(l.capacity >= 1, "HierConfig: capacity must be >= 1");
+    MCMM_REQUIRE(l.fanout >= 1, "HierConfig: fanout must be >= 1");
+    MCMM_REQUIRE(l.bandwidth > 0, "HierConfig: bandwidth must be positive");
+    if (i + 1 < levels.size()) {
+      MCMM_REQUIRE(l.capacity >=
+                       static_cast<std::int64_t>(l.fanout) *
+                           levels[i + 1].capacity,
+                   "HierConfig: inclusivity needs capacity_i >= fanout_i * "
+                   "capacity_{i+1}");
+    }
+  }
+}
+
+HierConfig HierConfig::from_flat(const MachineConfig& cfg) {
+  cfg.validate();
+  HierConfig out;
+  out.levels.push_back(LevelSpec{cfg.cs, cfg.p, cfg.sigma_s});
+  out.levels.push_back(LevelSpec{cfg.cd, 1, cfg.sigma_d});
+  return out;
+}
+
+HierConfig HierConfig::cluster_of_multicores(std::int64_t cluster_cache,
+                                             int nodes,
+                                             std::int64_t node_cache, int p,
+                                             std::int64_t private_cache) {
+  HierConfig out;
+  out.levels.push_back(LevelSpec{cluster_cache, nodes, 1.0});
+  out.levels.push_back(LevelSpec{node_cache, p, 1.0});
+  out.levels.push_back(LevelSpec{private_cache, 1, 1.0});
+  out.validate();
+  return out;
+}
+
+std::string HierConfig::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) out += " > ";
+    out += "L";
+    out += std::to_string(i);
+    out += "[cap=";
+    out += std::to_string(levels[i].capacity);
+    out += " x";
+    out += std::to_string(caches_at(static_cast<int>(i)));
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,59 @@
+// Multi-level cache hierarchies — the paper's closing future-work item:
+// "designing efficient algorithms for clusters of multicores: we expect
+// yet another level of hierarchy (or tiling) in the algorithmic
+// specification to be required".
+//
+// The machine is a tree: main memory feeds one cache at level 0 (the
+// outermost), every cache at level i feeds `fanout` caches at level i+1,
+// and each innermost cache serves exactly one core.  The paper's
+// two-level multicore is the special case
+//   level 0: {CS, fanout = p, sigma_S},  level 1: {CD, fanout = 1, sigma_D}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+
+namespace mcmm {
+
+struct LevelSpec {
+  std::int64_t capacity = 1;  ///< blocks per cache at this level
+  int fanout = 1;             ///< child caches per cache (1 at the bottom)
+  double bandwidth = 1.0;     ///< blocks/time from the level above
+};
+
+struct HierConfig {
+  /// levels[0] is the outermost (fed by memory); levels.back() is the
+  /// per-core level and must have fanout == 1.
+  std::vector<LevelSpec> levels;
+
+  int num_levels() const { return static_cast<int>(levels.size()); }
+
+  /// Number of caches at `level` (product of fanouts above it).
+  int caches_at(int level) const;
+
+  /// Total cores == caches at the innermost level.
+  int cores() const;
+
+  /// Throws mcmm::Error unless every level is sane and inclusive
+  /// (capacity_i >= fanout_i * capacity_{i+1}, so a parent can hold the
+  /// union of its children).
+  void validate() const;
+
+  /// The paper's two-level machine as a hierarchy.
+  static HierConfig from_flat(const MachineConfig& cfg);
+
+  /// A three-level "cluster of multicores" (the shape the paper's
+  /// conclusion anticipates): one cluster-level cache over `nodes`
+  /// node-shared caches, each over `p` cores with private caches.
+  static HierConfig cluster_of_multicores(std::int64_t cluster_cache,
+                                          int nodes,
+                                          std::int64_t node_cache, int p,
+                                          std::int64_t private_cache);
+
+  std::string describe() const;
+};
+
+}  // namespace mcmm

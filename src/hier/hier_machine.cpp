@@ -1,0 +1,149 @@
+#include "hier/hier_machine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+std::int64_t LevelStats::total_misses() const {
+  return std::accumulate(misses.begin(), misses.end(), std::int64_t{0});
+}
+
+std::int64_t LevelStats::max_misses() const {
+  if (misses.empty()) return 0;
+  return *std::max_element(misses.begin(), misses.end());
+}
+
+HierMachine::HierMachine(const HierConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  const int levels = cfg_.num_levels();
+  caches_.resize(static_cast<std::size_t>(levels));
+  stats_.resize(static_cast<std::size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    const int n = cfg_.caches_at(l);
+    auto& row = caches_[static_cast<std::size_t>(l)];
+    row.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      row.emplace_back(cfg_.levels[static_cast<std::size_t>(l)].capacity);
+    }
+    stats_[static_cast<std::size_t>(l)].misses.assign(static_cast<std::size_t>(n), 0);
+    stats_[static_cast<std::size_t>(l)].hits.assign(static_cast<std::size_t>(n), 0);
+  }
+  fmas_.assign(static_cast<std::size_t>(cfg_.cores()), 0);
+}
+
+LruCache& HierMachine::cache(int level, int index) {
+  return caches_[static_cast<std::size_t>(level)][static_cast<std::size_t>(index)];
+}
+
+int HierMachine::path_index(int core, int level) const {
+  int idx = core;
+  for (int l = cfg_.num_levels() - 1; l > level; --l) {
+    idx /= cfg_.levels[static_cast<std::size_t>(l - 1)].fanout;
+  }
+  return idx;
+}
+
+void HierMachine::back_invalidate(int level, int index, BlockId victim) {
+  const int last = cfg_.num_levels() - 1;
+  if (level >= last) return;
+  const int fanout = cfg_.levels[static_cast<std::size_t>(level)].fanout;
+  bool child_dirty = false;
+  for (int c = index * fanout; c < (index + 1) * fanout; ++c) {
+    // Depth-first: fold grandchildren dirtiness into the child first.
+    back_invalidate(level + 1, c, victim);
+    if (auto dirty = cache(level + 1, c).erase(victim)) {
+      child_dirty = child_dirty || *dirty;
+    }
+  }
+  if (child_dirty) cache(level, index).mark_dirty(victim);
+}
+
+void HierMachine::access(int core, BlockId b, Rw rw) {
+  MCMM_ASSERT(core >= 0 && core < cores(), "HierMachine::access: bad core");
+  const int levels = cfg_.num_levels();
+
+  // Walk from the leaf towards memory until the block is found.
+  int hit_level = -1;  // -1 == served from memory
+  for (int l = levels - 1; l >= 0; --l) {
+    const int idx = path_index(core, l);
+    auto& st = stats_[static_cast<std::size_t>(l)];
+    if (cache(l, idx).touch(b)) {
+      ++st.hits[static_cast<std::size_t>(idx)];
+      hit_level = l;
+      break;
+    }
+    ++st.misses[static_cast<std::size_t>(idx)];
+  }
+
+  // Install along the path, parent before child (inclusivity).
+  const int first_missing = hit_level + 1;
+  for (int l = first_missing; l < levels; ++l) {
+    const int idx = path_index(core, l);
+    LruCache& c = cache(l, idx);
+    if (c.size() == c.capacity()) {
+      // Fold the victim's dirty data out of the subtree before evicting.
+      back_invalidate(l, idx, *c.lru_block());
+    }
+    if (auto evicted = c.insert(b, /*dirty=*/false)) {
+      if (evicted->dirty) {
+        if (l == 0) {
+          ++wb_memory_;
+        } else {
+          cache(l - 1, path_index(core, l - 1)).mark_dirty(evicted->block);
+        }
+      }
+    }
+  }
+  if (rw == Rw::kWrite) {
+    cache(levels - 1, core).mark_dirty(b);
+  }
+}
+
+void HierMachine::fma(int core, std::int64_t i, std::int64_t j,
+                      std::int64_t k) {
+  access(core, BlockId::a(i, k), Rw::kRead);
+  access(core, BlockId::b(k, j), Rw::kRead);
+  access(core, BlockId::c(i, j), Rw::kWrite);
+  ++fmas_[static_cast<std::size_t>(core)];
+}
+
+const LevelStats& HierMachine::level_stats(int level) const {
+  MCMM_REQUIRE(level >= 0 && level < cfg_.num_levels(),
+               "HierMachine::level_stats: bad level");
+  return stats_[static_cast<std::size_t>(level)];
+}
+
+std::int64_t HierMachine::total_fmas() const {
+  return std::accumulate(fmas_.begin(), fmas_.end(), std::int64_t{0});
+}
+
+double HierMachine::tdata() const {
+  double t = 0;
+  for (int l = 0; l < cfg_.num_levels(); ++l) {
+    t += static_cast<double>(stats_[static_cast<std::size_t>(l)].max_misses()) /
+         cfg_.levels[static_cast<std::size_t>(l)].bandwidth;
+  }
+  return t;
+}
+
+void HierMachine::check_inclusive() const {
+  for (int l = 1; l < cfg_.num_levels(); ++l) {
+    const int fanout = cfg_.levels[static_cast<std::size_t>(l - 1)].fanout;
+    for (int i = 0; i < cfg_.caches_at(l); ++i) {
+      const auto& child = caches_[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+      const auto& parent =
+          caches_[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(i / fanout)];
+      for (BlockId b : child.contents_mru_order()) {
+        MCMM_ASSERT(parent.contains(b),
+                    ("hier inclusivity violated at level " + std::to_string(l) +
+                     " for " + b.str())
+                        .c_str());
+      }
+    }
+  }
+}
+
+}  // namespace mcmm

@@ -1,0 +1,73 @@
+// The multi-level machine: an inclusive tree of fully-associative LRU
+// caches (the natural generalisation of sim::Machine's LRU mode to the
+// paper's anticipated "clusters of multicores").
+//
+// Accesses enter at a core's leaf cache and propagate towards memory
+// until they hit; the block is then installed along the whole path.  An
+// eviction at level i back-invalidates the victim in the entire subtree
+// below, preserving inclusivity; dirty data is folded upwards.  With two
+// levels this machine is access-for-access identical to Machine under
+// Policy::kLru (asserted by a differential test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/hier_config.hpp"
+#include "sim/block_id.hpp"
+#include "sim/lru_cache.hpp"
+#include "sim/machine.hpp"
+
+namespace mcmm {
+
+/// Miss statistics for one hierarchy level.
+struct LevelStats {
+  std::vector<std::int64_t> misses;  ///< per cache at this level
+  std::vector<std::int64_t> hits;
+
+  std::int64_t total_misses() const;
+  /// The level analogue of the paper's MD: max over the level's caches.
+  std::int64_t max_misses() const;
+};
+
+class HierMachine {
+public:
+  explicit HierMachine(const HierConfig& cfg);
+
+  const HierConfig& config() const { return cfg_; }
+  int cores() const { return cfg_.cores(); }
+
+  /// One data access by `core` (entering at its leaf cache).
+  void access(int core, BlockId b, Rw rw);
+
+  /// C[i,j] += A[i,k] * B[k,j] on `core` (three accesses + work tally).
+  void fma(int core, std::int64_t i, std::int64_t j, std::int64_t k);
+
+  const LevelStats& level_stats(int level) const;
+  std::int64_t writebacks_to_memory() const { return wb_memory_; }
+  const std::vector<std::int64_t>& fmas() const { return fmas_; }
+  std::int64_t total_fmas() const;
+
+  /// Generalised data access time: sum over levels of
+  /// max-misses(level) / bandwidth(level).
+  double tdata() const;
+
+  /// Abort unless every cache's contents are contained in its parent.
+  void check_inclusive() const;
+
+private:
+  LruCache& cache(int level, int index);
+  /// The index of the level-`level` cache on core's path.
+  int path_index(int core, int level) const;
+  /// Evict `victim` from the whole subtree rooted at (level, index),
+  /// folding dirty flags upwards into (level, index)'s copy.
+  void back_invalidate(int level, int index, BlockId victim);
+
+  HierConfig cfg_;
+  std::vector<std::vector<LruCache>> caches_;  // [level][index]
+  std::vector<LevelStats> stats_;
+  std::vector<std::int64_t> fmas_;
+  std::int64_t wb_memory_ = 0;
+};
+
+}  // namespace mcmm

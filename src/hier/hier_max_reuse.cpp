@@ -1,0 +1,180 @@
+#include "hier/hier_max_reuse.hpp"
+
+#include <algorithm>
+
+#include "analysis/bounds.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+HierParams hier_max_reuse_params(const HierConfig& cfg) {
+  cfg.validate();
+  const int levels = cfg.num_levels();
+  HierParams out;
+  out.mu = max_reuse_parameter(cfg.levels.back().capacity);
+  MCMM_REQUIRE(out.mu >= 1,
+               "hier_max_reuse: per-core cache too small (capacity < 3)");
+  out.side.assign(static_cast<std::size_t>(levels), 0);
+  out.sqrt_fanout.assign(static_cast<std::size_t>(levels), 1);
+  out.side[static_cast<std::size_t>(levels - 1)] = out.mu;
+  for (int l = levels - 2; l >= 0; --l) {
+    const int fanout = cfg.levels[static_cast<std::size_t>(l)].fanout;
+    MCMM_REQUIRE(is_perfect_square(fanout),
+                 "hier_max_reuse: every fanout must be a perfect square");
+    out.sqrt_fanout[static_cast<std::size_t>(l)] = isqrt(fanout);
+    out.side[static_cast<std::size_t>(l)] =
+        out.sqrt_fanout[static_cast<std::size_t>(l)] *
+        out.side[static_cast<std::size_t>(l + 1)];
+  }
+  return out;
+}
+
+namespace {
+
+/// The (row, col) offset of a core's mu x mu sub-block inside the
+/// outermost tile, composed from its grid position at every level.
+struct CoreOffset {
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+};
+
+CoreOffset core_offset(const HierConfig& cfg, const HierParams& params,
+                       int core) {
+  CoreOffset off;
+  // Walk from the leaf upwards: at each level, the core's ancestor is the
+  // (idx % fanout)-th child of its parent, placed on a sqrt(f) x sqrt(f)
+  // grid of side side[l+1] tiles.
+  int idx = core;
+  for (int l = cfg.num_levels() - 2; l >= 0; --l) {
+    const int fanout = cfg.levels[static_cast<std::size_t>(l)].fanout;
+    const int child = idx % fanout;
+    const std::int64_t sf = params.sqrt_fanout[static_cast<std::size_t>(l)];
+    off.i += (child % sf) * params.side[static_cast<std::size_t>(l + 1)];
+    off.j += (child / sf) * params.side[static_cast<std::size_t>(l + 1)];
+    idx /= fanout;
+  }
+  return off;
+}
+
+}  // namespace
+
+HierConfig hier_declared_half(const HierConfig& physical) {
+  HierConfig out = physical;
+  for (auto& level : out.levels) {
+    level.capacity = std::max<std::int64_t>(level.capacity / 2, 1);
+  }
+  // The leaf must still fit a 1 + mu + mu^2 working set (mu = 1 needs 3).
+  out.levels.back().capacity =
+      std::max<std::int64_t>(out.levels.back().capacity,
+                             std::min<std::int64_t>(
+                                 physical.levels.back().capacity, 3));
+  return out;
+}
+
+HierParams run_hier_max_reuse(HierMachine& machine, const Problem& prob) {
+  const HierParams params =
+      hier_max_reuse_params(hier_declared_half(machine.config()));
+  run_hier_max_reuse(machine, prob, params);
+  return params;
+}
+
+void run_hier_max_reuse(HierMachine& machine, const Problem& prob,
+                        const HierParams& params) {
+  prob.validate();
+  const HierConfig& cfg = machine.config();
+  MCMM_REQUIRE(static_cast<int>(params.side.size()) == cfg.num_levels(),
+               "run_hier_max_reuse: parameter/machine level mismatch");
+  const int cores = machine.cores();
+  const std::int64_t top = params.side[0];
+  const std::int64_t mu = params.mu;
+
+  const std::int64_t fmas_before = machine.total_fmas();
+
+  // Per-core FMA queues for one k step, dispatched round-robin (the same
+  // lockstep interleaving as sim::ParallelSection).
+  struct Op {
+    std::int32_t i, j;
+  };
+  std::vector<std::vector<Op>> queues(static_cast<std::size_t>(cores));
+  std::vector<CoreOffset> offsets;
+  offsets.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    offsets.push_back(core_offset(cfg, params, c));
+  }
+
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += top) {
+    const std::int64_t ti = std::min(top, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += top) {
+      const std::int64_t tj = std::min(top, prob.n - j0);
+      for (std::int64_t k = 0; k < prob.z; ++k) {
+        for (int c = 0; c < cores; ++c) {
+          const CoreOffset& off = offsets[static_cast<std::size_t>(c)];
+          const std::int64_t ri = std::min(off.i + mu, ti);
+          const std::int64_t rj = std::min(off.j + mu, tj);
+          for (std::int64_t ii = std::min(off.i, ti); ii < ri; ++ii) {
+            for (std::int64_t jj = std::min(off.j, tj); jj < rj; ++jj) {
+              queues[static_cast<std::size_t>(c)].push_back(
+                  Op{static_cast<std::int32_t>(i0 + ii),
+                     static_cast<std::int32_t>(j0 + jj)});
+            }
+          }
+        }
+        // Round-robin dispatch, one FMA per core per turn.
+        std::vector<std::size_t> next(queues.size(), 0);
+        bool progressed = true;
+        while (progressed) {
+          progressed = false;
+          for (std::size_t c = 0; c < queues.size(); ++c) {
+            if (next[c] < queues[c].size()) {
+              const Op& op = queues[c][next[c]++];
+              machine.fma(static_cast<int>(c), op.i, op.j, k);
+              progressed = true;
+            }
+          }
+        }
+        for (auto& q : queues) q.clear();
+      }
+    }
+  }
+  MCMM_ASSERT(machine.total_fmas() - fmas_before == prob.fmas(),
+              "hier_max_reuse: block FMA count does not match m*n*z");
+}
+
+std::vector<double> hier_predicted_misses(const HierConfig& topology,
+                                          const HierParams& params,
+                                          const Problem& prob) {
+  MCMM_REQUIRE(static_cast<int>(params.side.size()) == topology.num_levels(),
+               "hier_predicted_misses: parameter/topology level mismatch");
+  const double mn = static_cast<double>(prob.m) * static_cast<double>(prob.n);
+  const double mnz = mn * static_cast<double>(prob.z);
+  std::vector<double> out;
+  for (int l = 0; l < topology.num_levels(); ++l) {
+    const double n_l = static_cast<double>(topology.caches_at(l));
+    const double side = static_cast<double>(params.side[static_cast<std::size_t>(l)]);
+    out.push_back(mn / n_l + 2.0 * mnz / (n_l * side));
+  }
+  return out;
+}
+
+std::vector<double> hier_lower_bounds(const HierConfig& cfg,
+                                      const Problem& prob) {
+  const double mnz = static_cast<double>(prob.fmas());
+  std::vector<double> out;
+  for (int l = 0; l < cfg.num_levels(); ++l) {
+    const double n_l = static_cast<double>(cfg.caches_at(l));
+    out.push_back(mnz / n_l *
+                  ccr_lower_bound(cfg.levels[static_cast<std::size_t>(l)].capacity));
+  }
+  return out;
+}
+
+void replay_trace(const Trace& trace, HierMachine& machine) {
+  for (const AccessEvent& e : trace.events()) {
+    MCMM_REQUIRE(e.core >= 0 && e.core < machine.cores(),
+                 "replay_trace: event core exceeds machine cores");
+    machine.access(e.core, e.block(), e.rw());
+  }
+}
+
+}  // namespace mcmm

@@ -1,0 +1,72 @@
+// The Maximum Reuse Algorithm generalised to an arbitrary number of cache
+// levels — the "yet another level of tiling in the algorithmic
+// specification" the paper's conclusion predicts for clusters of
+// multicores.
+//
+// Construction: the innermost tile side is mu (largest with
+// 1 + mu + mu^2 <= capacity of the per-core level, as in Algorithm 2);
+// every level above multiplies the side by sqrt(fanout), so the tile of a
+// level-l cache splits into a sqrt(f) x sqrt(f) grid of its children's
+// tiles.  Each core keeps its mu x mu C sub-block hot until fully
+// computed while fragments of A and B stream down the tree — Algorithm 2
+// is exactly the two-level instance.
+//
+// Under LRU the level-l caches keep their C sub-tiles resident
+// (capacity_l >= fanout_l * capacity_{l+1} recursively covers
+// side^2 + streaming), so per cache at level l with n_l caches:
+//
+//   misses_l  ~  mn/n_l + 2mnz/(n_l * side_l)
+//   bound_l   >= (mnz/n_l) * sqrt(27 / (8 * capacity_l))
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/hier_machine.hpp"
+#include "sim/problem.hpp"
+#include "trace/trace.hpp"
+
+namespace mcmm {
+
+struct HierParams {
+  std::int64_t mu = 0;                  ///< innermost tile side
+  std::vector<std::int64_t> side;       ///< C tile side per level (side[0] outermost)
+  std::vector<std::int64_t> sqrt_fanout;///< grid side per level
+};
+
+/// Derive the per-level tile sides.  Every non-leaf fanout must be a
+/// perfect square and the per-core capacity must fit 1 + mu + mu^2.
+HierParams hier_max_reuse_params(const HierConfig& declared);
+
+/// The LRU-50 idea lifted to the hierarchy: plan with half of every
+/// capacity (leaf floored at 3 blocks) and leave the other half to the
+/// LRU policy as prefetch slack.  Planning with the full capacities makes
+/// the per-k working set (side^2 + 2*side) overflow exact-fit caches and
+/// thrash, exactly as the paper's Figure 5 LRU(C) curve shows.
+HierConfig hier_declared_half(const HierConfig& physical);
+
+/// Run the generalised schedule on the machine (LRU tree) with explicit
+/// parameters.  Performs exactly m*n*z block FMAs.
+void run_hier_max_reuse(HierMachine& machine, const Problem& prob,
+                        const HierParams& params);
+
+/// Convenience: plan with hier_declared_half(machine.config()) and run.
+/// Returns the parameters used.
+HierParams run_hier_max_reuse(HierMachine& machine, const Problem& prob);
+
+/// Closed-form per-*cache* miss estimates for level l (large divisible
+/// matrices):  mn/n_l + 2mnz/(n_l * side_l), with n_l caches at level l
+/// taken from `topology` and the tile sides from `params`.
+std::vector<double> hier_predicted_misses(const HierConfig& topology,
+                                          const HierParams& params,
+                                          const Problem& prob);
+
+/// Loomis-Whitney-style per-level lower bounds.
+std::vector<double> hier_lower_bounds(const HierConfig& cfg,
+                                      const Problem& prob);
+
+/// Replay a trace recorded on a flat Machine into a hierarchy with the
+/// same core count (for baseline comparisons on multi-level machines).
+void replay_trace(const Trace& trace, HierMachine& machine);
+
+}  // namespace mcmm

@@ -1,0 +1,126 @@
+#include "inner/kernel_sim.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+const char* to_string(LoopOrder order) {
+  switch (order) {
+    case LoopOrder::kIJK: return "ijk";
+    case LoopOrder::kIKJ: return "ikj";
+    case LoopOrder::kJIK: return "jik";
+    case LoopOrder::kJKI: return "jki";
+    case LoopOrder::kKIJ: return "kij";
+    case LoopOrder::kKJI: return "kji";
+  }
+  return "?";
+}
+
+std::vector<LoopOrder> all_loop_orders() {
+  return {LoopOrder::kIJK, LoopOrder::kIKJ, LoopOrder::kJIK,
+          LoopOrder::kJKI, LoopOrder::kKIJ, LoopOrder::kKJI};
+}
+
+namespace {
+
+constexpr std::int64_t kElem = 8;  // sizeof(double)
+
+/// Disjoint base addresses for the three parent matrices, far enough
+/// apart that lines never alias across matrices by accident of layout
+/// (they can still conflict in the cache, which is the point).
+struct Layout {
+  std::uint64_t a_base, b_base, c_base;
+  std::int64_t ld;
+
+  std::uint64_t a(std::int64_t i, std::int64_t k) const {
+    return a_base + static_cast<std::uint64_t>((i * ld + k) * kElem);
+  }
+  std::uint64_t b(std::int64_t k, std::int64_t j) const {
+    return b_base + static_cast<std::uint64_t>((k * ld + j) * kElem);
+  }
+  std::uint64_t c(std::int64_t i, std::int64_t j) const {
+    return c_base + static_cast<std::uint64_t>((i * ld + j) * kElem);
+  }
+};
+
+}  // namespace
+
+bool kernel_fits(const LineCacheConfig& l1, std::int64_t q) {
+  return 3 * q * q * kElem <= l1.size_bytes;
+}
+
+InnerKernelStats simulate_inner_kernel(const LineCacheConfig& l1,
+                                       std::int64_t q, LoopOrder order,
+                                       std::int64_t ld) {
+  MCMM_REQUIRE(q >= 1, "simulate_inner_kernel: q must be >= 1");
+  MCMM_REQUIRE(ld >= q, "simulate_inner_kernel: leading dimension < q");
+  LineCache cache(l1);
+  Layout lay;
+  lay.ld = ld;
+  // 1 GiB apart: no accidental line sharing between matrices.
+  lay.a_base = 0;
+  lay.b_base = std::uint64_t{1} << 30;
+  lay.c_base = std::uint64_t{2} << 30;
+
+  InnerKernelStats stats;
+
+  // Compulsory floor: distinct lines of the three strided blocks.
+  {
+    std::unordered_set<std::uint64_t> lines;
+    for (std::int64_t r = 0; r < q; ++r) {
+      for (std::int64_t s = 0; s < q; ++s) {
+        lines.insert(lay.a(r, s) / static_cast<std::uint64_t>(l1.line_bytes));
+        lines.insert(lay.b(r, s) / static_cast<std::uint64_t>(l1.line_bytes));
+        lines.insert(lay.c(r, s) / static_cast<std::uint64_t>(l1.line_bytes));
+      }
+    }
+    stats.cold_lines = static_cast<std::int64_t>(lines.size());
+  }
+
+  auto fma = [&](std::int64_t i, std::int64_t j, std::int64_t k) {
+    stats.misses += cache.access(lay.a(i, k)) ? 1 : 0;
+    stats.misses += cache.access(lay.b(k, j)) ? 1 : 0;
+    stats.misses += cache.access(lay.c(i, j)) ? 1 : 0;
+    stats.accesses += 3;
+    ++stats.fmas;
+  };
+
+  // The six loop orders, outer-to-inner.
+  switch (order) {
+    case LoopOrder::kIJK:
+      for (std::int64_t i = 0; i < q; ++i)
+        for (std::int64_t j = 0; j < q; ++j)
+          for (std::int64_t k = 0; k < q; ++k) fma(i, j, k);
+      break;
+    case LoopOrder::kIKJ:
+      for (std::int64_t i = 0; i < q; ++i)
+        for (std::int64_t k = 0; k < q; ++k)
+          for (std::int64_t j = 0; j < q; ++j) fma(i, j, k);
+      break;
+    case LoopOrder::kJIK:
+      for (std::int64_t j = 0; j < q; ++j)
+        for (std::int64_t i = 0; i < q; ++i)
+          for (std::int64_t k = 0; k < q; ++k) fma(i, j, k);
+      break;
+    case LoopOrder::kJKI:
+      for (std::int64_t j = 0; j < q; ++j)
+        for (std::int64_t k = 0; k < q; ++k)
+          for (std::int64_t i = 0; i < q; ++i) fma(i, j, k);
+      break;
+    case LoopOrder::kKIJ:
+      for (std::int64_t k = 0; k < q; ++k)
+        for (std::int64_t i = 0; i < q; ++i)
+          for (std::int64_t j = 0; j < q; ++j) fma(i, j, k);
+      break;
+    case LoopOrder::kKJI:
+      for (std::int64_t k = 0; k < q; ++k)
+        for (std::int64_t j = 0; j < q; ++j)
+          for (std::int64_t i = 0; i < q; ++i) fma(i, j, k);
+      break;
+  }
+  return stats;
+}
+
+}  // namespace mcmm

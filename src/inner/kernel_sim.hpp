@@ -1,0 +1,52 @@
+// Element-level simulation of the sequential q x q block kernel — the
+// level below the paper's model.
+//
+// The paper's analysis stops at block granularity: it assumes the
+// sequential kernel that executes each block FMA runs out of the private
+// cache ("the distributed cache must be large enough...: 3 q^2 <= S_D",
+// and "typically, q ranges from 32 to 100").  This simulator checks that
+// assumption for real: it walks the kernel's element accesses (all six
+// loop orders, with the blocks living inside larger row-major matrices,
+// so B's rows are strided) through a line-granularity L1 model and
+// reports misses per FMA.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inner/line_cache.hpp"
+
+namespace mcmm {
+
+/// The six permutations of the kernel's loops, named outer-to-inner.
+enum class LoopOrder { kIJK, kIKJ, kJIK, kJKI, kKIJ, kKJI };
+
+const char* to_string(LoopOrder order);
+std::vector<LoopOrder> all_loop_orders();
+
+struct InnerKernelStats {
+  std::int64_t fmas = 0;
+  std::int64_t accesses = 0;  ///< element loads/stores (3 per FMA)
+  std::int64_t misses = 0;    ///< L1 line fills
+  double misses_per_fma() const {
+    return fmas == 0 ? 0.0
+                     : static_cast<double>(misses) / static_cast<double>(fmas);
+  }
+  /// The compulsory floor: every distinct line of the three q x q blocks
+  /// (strided in their parent matrices) must be filled once.
+  std::int64_t cold_lines = 0;
+};
+
+/// Simulate C[q x q] += A[q x q] * B[q x q] where the blocks sit inside
+/// row-major parent matrices with leading dimension `ld` elements
+/// (ld >= q; ld == q means contiguous blocks).  8-byte elements.
+InnerKernelStats simulate_inner_kernel(const LineCacheConfig& l1,
+                                       std::int64_t q, LoopOrder order,
+                                       std::int64_t ld);
+
+/// The paper's residency condition for the block kernel: all three
+/// blocks fit, 3 q^2 elements * 8 bytes <= cache size.
+bool kernel_fits(const LineCacheConfig& l1, std::int64_t q);
+
+}  // namespace mcmm

@@ -1,0 +1,48 @@
+#include "inner/line_cache.hpp"
+
+namespace mcmm {
+
+void LineCacheConfig::validate() const {
+  MCMM_REQUIRE(line_bytes >= 8 && (line_bytes & (line_bytes - 1)) == 0,
+               "LineCacheConfig: line size must be a power of two >= 8");
+  MCMM_REQUIRE(size_bytes >= line_bytes && size_bytes % line_bytes == 0,
+               "LineCacheConfig: size must be a multiple of the line size");
+  MCMM_REQUIRE(ways >= 1 && num_lines() % ways == 0,
+               "LineCacheConfig: ways must divide the line count");
+}
+
+LineCache::LineCache(const LineCacheConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  ways_.assign(static_cast<std::size_t>(cfg_.num_lines()), Way{});
+}
+
+bool LineCache::access(std::uint64_t address) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = address / static_cast<std::uint64_t>(cfg_.line_bytes);
+  const std::uint64_t set =
+      line % static_cast<std::uint64_t>(cfg_.num_sets());
+  Way* base = ways_.data() + set * static_cast<std::uint64_t>(cfg_.ways);
+
+  for (std::int64_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].line == line) {
+      base[w].age = clock_;
+      return false;  // hit
+    }
+  }
+  // Miss: fill an empty way if any, else evict the least recently used.
+  Way* victim = base;
+  for (std::int64_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].line == kEmpty) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].age < victim->age) victim = &base[w];
+  }
+  ++misses_;
+  victim->line = line;
+  victim->age = clock_;
+  return true;
+}
+
+}  // namespace mcmm

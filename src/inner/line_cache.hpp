@@ -1,0 +1,60 @@
+// Cache-line-granularity set-associative LRU cache for the inner-kernel
+// simulator.
+//
+// Everything else in the library works at the paper's q x q block
+// granularity and *assumes* the sequential kernel under each block FMA
+// runs out of the private cache (Section 2.1: "3 q^2 <= S_D").  This
+// cache models that inner level for real: 64-byte lines, configurable
+// size and associativity, byte addresses in.  Small ways counts are the
+// norm, so each set is a tiny age-ordered array rather than a linked
+// list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+struct LineCacheConfig {
+  std::int64_t size_bytes = 32 * 1024;  ///< total capacity
+  std::int64_t line_bytes = 64;
+  std::int64_t ways = 8;
+
+  std::int64_t num_lines() const { return size_bytes / line_bytes; }
+  std::int64_t num_sets() const { return num_lines() / ways; }
+  void validate() const;
+};
+
+class LineCache {
+public:
+  explicit LineCache(const LineCacheConfig& cfg);
+
+  /// Touch one byte address; returns true on a miss (line fill).
+  bool access(std::uint64_t address);
+
+  std::int64_t misses() const { return misses_; }
+  std::int64_t accesses() const { return accesses_; }
+  double miss_rate() const {
+    return accesses_ == 0
+               ? 0.0
+               : static_cast<double>(misses_) / static_cast<double>(accesses_);
+  }
+  void reset_stats() { misses_ = accesses_ = 0; }
+
+private:
+  struct Way {
+    std::uint64_t line = kEmpty;
+    std::uint64_t age = 0;  // last-access stamp
+  };
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  LineCacheConfig cfg_;
+  std::vector<Way> ways_;  // num_sets * ways, row per set
+  std::uint64_t clock_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t accesses_ = 0;
+};
+
+}  // namespace mcmm

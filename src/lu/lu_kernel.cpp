@@ -1,0 +1,155 @@
+#include "lu/lu_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gemm/kernel.hpp"
+
+namespace mcmm {
+
+namespace {
+
+void check_square(const Matrix& a, const char* who) {
+  MCMM_REQUIRE(a.rows() == a.cols(),
+               std::string(who) + ": matrix must be square");
+  MCMM_REQUIRE(a.rows() >= 1, std::string(who) + ": matrix must be non-empty");
+}
+
+/// Unblocked LU restricted to the diagonal sub-block [k0, k0+kb).
+void factor_diagonal(Matrix& a, std::int64_t k0, std::int64_t kb) {
+  for (std::int64_t k = k0; k < k0 + kb; ++k) {
+    const double pivot = a.at(k, k);
+    MCMM_REQUIRE(pivot != 0.0, "lu_factor: zero pivot (matrix needs pivoting)");
+    for (std::int64_t i = k + 1; i < k0 + kb; ++i) {
+      a.at(i, k) /= pivot;
+      const double lik = a.at(i, k);
+      for (std::int64_t j = k + 1; j < k0 + kb; ++j) {
+        a.at(i, j) -= lik * a.at(k, j);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void lu_factor_unblocked(Matrix& a) {
+  check_square(a, "lu_factor_unblocked");
+  factor_diagonal(a, 0, a.rows());
+}
+
+void trsm_lower_left_unit(const Matrix& lu, Matrix& a, std::int64_t k0,
+                          std::int64_t kb, std::int64_t j0, std::int64_t nb) {
+  // Forward substitution, row by row of the panel: row i of X gets the
+  // already-solved rows r < i scaled by L[i][r] subtracted.
+  for (std::int64_t i = 1; i < kb; ++i) {
+    for (std::int64_t r = 0; r < i; ++r) {
+      const double l = lu.at(k0 + i, k0 + r);
+      for (std::int64_t j = 0; j < nb; ++j) {
+        a.at(k0 + i, j0 + j) -= l * a.at(k0 + r, j0 + j);
+      }
+    }
+  }
+}
+
+void trsm_upper_right(const Matrix& lu, Matrix& a, std::int64_t k0,
+                      std::int64_t kb, std::int64_t i0, std::int64_t mb) {
+  // Column by column: X[:,c] = (B[:,c] - sum_{r<c} X[:,r] U[r][c]) / U[c][c].
+  for (std::int64_t c = 0; c < kb; ++c) {
+    const double pivot = lu.at(k0 + c, k0 + c);
+    MCMM_REQUIRE(pivot != 0.0, "trsm_upper_right: zero pivot");
+    for (std::int64_t r = 0; r < c; ++r) {
+      const double u = lu.at(k0 + r, k0 + c);
+      for (std::int64_t i = 0; i < mb; ++i) {
+        a.at(i0 + i, k0 + c) -= a.at(i0 + i, k0 + r) * u;
+      }
+    }
+    for (std::int64_t i = 0; i < mb; ++i) {
+      a.at(i0 + i, k0 + c) /= pivot;
+    }
+  }
+}
+
+void lu_factor_blocked(Matrix& a, std::int64_t q) {
+  check_square(a, "lu_factor_blocked");
+  MCMM_REQUIRE(q >= 1, "lu_factor_blocked: block size must be >= 1");
+  const std::int64_t n = a.rows();
+  for (std::int64_t k0 = 0; k0 < n; k0 += q) {
+    const std::int64_t kb = std::min(q, n - k0);
+    factor_diagonal(a, k0, kb);
+    const std::int64_t rest = n - (k0 + kb);
+    if (rest <= 0) continue;
+    // U12 = L11^-1 A12 and L21 = A21 U11^-1.
+    trsm_lower_left_unit(a, a, k0, kb, k0 + kb, rest);
+    trsm_upper_right(a, a, k0, kb, k0 + kb, rest);
+    // Trailing update A22 -= L21 * U12.
+    for (std::int64_t i = k0 + kb; i < n; ++i) {
+      for (std::int64_t k = k0; k < k0 + kb; ++k) {
+        const double lik = a.at(i, k);
+        for (std::int64_t j = k0 + kb; j < n; ++j) {
+          a.at(i, j) -= lik * a.at(k, j);
+        }
+      }
+    }
+  }
+}
+
+Matrix lu_reconstruct(const Matrix& lu) {
+  check_square(lu, "lu_reconstruct");
+  const std::int64_t n = lu.rows();
+  Matrix out(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      // (L*U)[i][j] = sum over k <= min(i, j) of L[i][k] U[k][j],
+      // with L[i][i] = 1.
+      double sum = 0;
+      const std::int64_t kmax = std::min(i, j);
+      for (std::int64_t k = 0; k <= kmax; ++k) {
+        const double l = k == i ? 1.0 : lu.at(i, k);
+        sum += l * lu.at(k, j);
+      }
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+std::vector<double> lu_solve(const Matrix& lu, const std::vector<double>& b) {
+  check_square(lu, "lu_solve");
+  const std::int64_t n = lu.rows();
+  MCMM_REQUIRE(static_cast<std::int64_t>(b.size()) == n,
+               "lu_solve: right-hand side has the wrong length");
+  std::vector<double> x = b;
+  // Forward: L y = b (unit diagonal).
+  for (std::int64_t i = 1; i < n; ++i) {
+    for (std::int64_t k = 0; k < i; ++k) {
+      x[static_cast<std::size_t>(i)] -=
+          lu.at(i, k) * x[static_cast<std::size_t>(k)];
+    }
+  }
+  // Backward: U x = y.
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    for (std::int64_t k = i + 1; k < n; ++k) {
+      x[static_cast<std::size_t>(i)] -=
+          lu.at(i, k) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] /= lu.at(i, i);
+  }
+  return x;
+}
+
+Matrix diagonally_dominant_matrix(std::int64_t n, std::uint64_t seed) {
+  Matrix a(n, n);
+  a.fill_random(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    a.at(i, i) = static_cast<double>(n) + 1.0 + std::fabs(a.at(i, i));
+  }
+  return a;
+}
+
+double lu_residual(const Matrix& original, const Matrix& lu) {
+  const Matrix product = lu_reconstruct(lu);
+  return Matrix::max_abs_diff(product, original) /
+         static_cast<double>(original.rows());
+}
+
+}  // namespace mcmm

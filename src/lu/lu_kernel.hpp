@@ -1,0 +1,49 @@
+// Sequential LU factorization kernels — the first of the paper's two
+// "future work" directions ("we will tackle more complex operations, such
+// as LU factorization").
+//
+// All routines factor A = L * U in place without pivoting (L unit lower
+// triangular sharing storage with U).  Callers supply matrices for which
+// this is numerically safe — the helpers in this library generate strictly
+// diagonally dominant test matrices, for which pivot-free LU is stable.
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/matrix.hpp"
+
+namespace mcmm {
+
+/// Right-looking unblocked LU (Doolittle), in place.  Throws on a zero
+/// pivot or a non-square matrix.
+void lu_factor_unblocked(Matrix& a);
+
+/// Right-looking blocked LU with q x q tiles: factor the diagonal block,
+/// triangular-solve the row and column panels, rank-q update the trailing
+/// matrix.  Identical factors to the unblocked routine up to rounding.
+void lu_factor_blocked(Matrix& a, std::int64_t q);
+
+/// Solve L * X = B in place on B, with L's strictly-lower part taken from
+/// `lu` rows/cols [k0, k0+kb) and an implicit unit diagonal.  B is the
+/// sub-panel rows [k0, k0+kb) x cols [j0, j0+nb) of `a`.
+void trsm_lower_left_unit(const Matrix& lu, Matrix& a, std::int64_t k0,
+                          std::int64_t kb, std::int64_t j0, std::int64_t nb);
+
+/// Solve X * U = B in place on B, with U upper triangular from `lu` at
+/// [k0, k0+kb); B is rows [i0, i0+mb) x cols [k0, k0+kb) of `a`.
+void trsm_upper_right(const Matrix& lu, Matrix& a, std::int64_t k0,
+                      std::int64_t kb, std::int64_t i0, std::int64_t mb);
+
+/// Multiply the packed factors back: returns L * U (for validation).
+Matrix lu_reconstruct(const Matrix& lu);
+
+/// Solve A x = b given the packed factors (forward then back substitution).
+std::vector<double> lu_solve(const Matrix& lu, const std::vector<double>& b);
+
+/// A reproducible, strictly diagonally dominant matrix (safe pivots).
+Matrix diagonally_dominant_matrix(std::int64_t n, std::uint64_t seed);
+
+/// max |(L*U - A)[i][j]| relative to n — the factorization residual.
+double lu_residual(const Matrix& original, const Matrix& lu);
+
+}  // namespace mcmm

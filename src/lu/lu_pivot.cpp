@@ -1,0 +1,144 @@
+#include "lu/lu_pivot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lu/lu_kernel.hpp"
+
+namespace mcmm {
+
+namespace {
+
+void check_square(const Matrix& a, const char* who) {
+  MCMM_REQUIRE(a.rows() == a.cols(),
+               std::string(who) + ": matrix must be square");
+  MCMM_REQUIRE(a.rows() >= 1, std::string(who) + ": matrix must be non-empty");
+}
+
+void swap_rows(Matrix& a, std::int64_t r1, std::int64_t r2, std::int64_t j0,
+               std::int64_t j1) {
+  if (r1 == r2) return;
+  for (std::int64_t j = j0; j < j1; ++j) {
+    std::swap(a.at(r1, j), a.at(r2, j));
+  }
+}
+
+/// Pivoted unblocked LU of the panel rows [k0, n) x cols [k0, k0+kb),
+/// with row swaps applied over column range [j0, j1).  Appends pivots.
+void factor_panel_pivoted(Matrix& a, std::int64_t k0, std::int64_t kb,
+                          std::int64_t j0, std::int64_t j1,
+                          PivotVector& pivots) {
+  const std::int64_t n = a.rows();
+  for (std::int64_t k = k0; k < k0 + kb; ++k) {
+    // Partial pivoting: the largest magnitude in column k at or below row k.
+    std::int64_t piv = k;
+    double best = std::fabs(a.at(k, k));
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(a.at(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    MCMM_REQUIRE(best > std::numeric_limits<double>::min(),
+                 "lu_factor_pivoted: matrix is singular to working precision");
+    pivots.push_back(piv);
+    swap_rows(a, k, piv, j0, j1);
+    const double pivot = a.at(k, k);
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      a.at(i, k) /= pivot;
+      const double lik = a.at(i, k);
+      if (lik != 0.0) {
+        for (std::int64_t j = k + 1; j < k0 + kb; ++j) {
+          a.at(i, j) -= lik * a.at(k, j);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PivotVector lu_factor_pivoted(Matrix& a) {
+  check_square(a, "lu_factor_pivoted");
+  PivotVector pivots;
+  pivots.reserve(static_cast<std::size_t>(a.rows()));
+  factor_panel_pivoted(a, 0, a.rows(), 0, a.cols(), pivots);
+  return pivots;
+}
+
+PivotVector lu_factor_pivoted_blocked(Matrix& a, std::int64_t q) {
+  check_square(a, "lu_factor_pivoted_blocked");
+  MCMM_REQUIRE(q >= 1, "lu_factor_pivoted_blocked: block size must be >= 1");
+  const std::int64_t n = a.rows();
+  PivotVector pivots;
+  pivots.reserve(static_cast<std::size_t>(n));
+
+  for (std::int64_t k0 = 0; k0 < n; k0 += q) {
+    const std::int64_t kb = std::min(q, n - k0);
+    // Factor the panel (rows k0..n), applying its row swaps across the
+    // WHOLE matrix so L's earlier columns and A's later columns stay
+    // consistent.
+    factor_panel_pivoted(a, k0, kb, 0, n, pivots);
+    const std::int64_t rest = n - (k0 + kb);
+    if (rest <= 0) continue;
+    // U12 = L11^-1 A12, then the trailing update A22 -= L21 U12.
+    trsm_lower_left_unit(a, a, k0, kb, k0 + kb, rest);
+    for (std::int64_t i = k0 + kb; i < n; ++i) {
+      for (std::int64_t k = k0; k < k0 + kb; ++k) {
+        const double lik = a.at(i, k);
+        if (lik == 0.0) continue;
+        for (std::int64_t j = k0 + kb; j < n; ++j) {
+          a.at(i, j) -= lik * a.at(k, j);
+        }
+      }
+    }
+  }
+  return pivots;
+}
+
+std::vector<double> lu_solve_pivoted(const Matrix& lu,
+                                     const PivotVector& pivots,
+                                     const std::vector<double>& b) {
+  check_square(lu, "lu_solve_pivoted");
+  const std::int64_t n = lu.rows();
+  MCMM_REQUIRE(static_cast<std::int64_t>(b.size()) == n,
+               "lu_solve_pivoted: right-hand side has the wrong length");
+  MCMM_REQUIRE(static_cast<std::int64_t>(pivots.size()) == n,
+               "lu_solve_pivoted: pivot vector has the wrong length");
+  std::vector<double> x = b;
+  // Apply P, then the usual forward/backward substitution.
+  for (std::int64_t k = 0; k < n; ++k) {
+    std::swap(x[static_cast<std::size_t>(k)],
+              x[static_cast<std::size_t>(pivots[static_cast<std::size_t>(k)])]);
+  }
+  for (std::int64_t i = 1; i < n; ++i) {
+    for (std::int64_t k = 0; k < i; ++k) {
+      x[static_cast<std::size_t>(i)] -=
+          lu.at(i, k) * x[static_cast<std::size_t>(k)];
+    }
+  }
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    for (std::int64_t k = i + 1; k < n; ++k) {
+      x[static_cast<std::size_t>(i)] -=
+          lu.at(i, k) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] /= lu.at(i, i);
+  }
+  return x;
+}
+
+double lu_pivoted_residual(const Matrix& original, const Matrix& lu,
+                           const PivotVector& pivots) {
+  // Build P A by applying the recorded swaps in order.
+  Matrix pa = original;
+  const std::int64_t n = pa.rows();
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(pivots.size()); ++k) {
+    swap_rows(pa, k, pivots[static_cast<std::size_t>(k)], 0, n);
+  }
+  const Matrix product = lu_reconstruct(lu);
+  return Matrix::max_abs_diff(product, pa) / static_cast<double>(n);
+}
+
+}  // namespace mcmm

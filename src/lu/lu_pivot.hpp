@@ -1,0 +1,37 @@
+// LU factorization with partial (row) pivoting: P A = L U.
+//
+// The pivot-free kernels in lu_kernel.hpp match the simulated schedules
+// but require safe pivots (diagonally dominant inputs).  These routines
+// handle general non-singular matrices: classic GETRF-style panel
+// factorization with row swaps applied across the whole matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/matrix.hpp"
+
+namespace mcmm {
+
+/// Row permutation: pivots[k] = the row swapped into position k at step k
+/// (LAPACK ipiv convention, 0-based).  Applying the swaps in order k = 0..
+/// n-1 to a vector reproduces P b.
+using PivotVector = std::vector<std::int64_t>;
+
+/// Factor A in place into L (unit lower) and U with partial pivoting.
+/// Throws mcmm::Error on a (numerically) singular matrix.
+PivotVector lu_factor_pivoted(Matrix& a);
+
+/// Blocked variant (q x q panels), identical factors up to rounding.
+PivotVector lu_factor_pivoted_blocked(Matrix& a, std::int64_t q);
+
+/// Solve A x = b given the packed pivoted factors.
+std::vector<double> lu_solve_pivoted(const Matrix& lu,
+                                     const PivotVector& pivots,
+                                     const std::vector<double>& b);
+
+/// max |(P A - L U)[i][j]| / n: the pivoted factorization residual.
+double lu_pivoted_residual(const Matrix& original, const Matrix& lu,
+                           const PivotVector& pivots);
+
+}  // namespace mcmm

@@ -1,0 +1,150 @@
+#include "lu/lu_sim.hpp"
+
+#include "analysis/bounds.hpp"
+#include "sim/parallel_section.hpp"
+
+namespace mcmm {
+
+namespace {
+
+// LU blocks live in a single matrix; reuse the C tag for its tiles.
+BlockId tile(std::int64_t i, std::int64_t j) { return BlockId::c(i, j); }
+
+void check(const Machine& machine, std::int64_t n) {
+  MCMM_REQUIRE(machine.policy() == Policy::kLru,
+               "LU simulation runs under LRU (no IDEAL management)");
+  MCMM_REQUIRE(n >= 1, "LU simulation: need at least one block");
+}
+
+}  // namespace
+
+LuWork lu_work(std::int64_t n_blocks) {
+  LuWork w;
+  w.factor_ops = n_blocks;
+  w.trsm_ops = n_blocks * (n_blocks - 1);
+  w.update_ops = n_blocks * (n_blocks - 1) * (2 * n_blocks - 1) / 6;
+  return w;
+}
+
+LuWork simulate_lu_right_looking(Machine& machine, std::int64_t n_blocks) {
+  check(machine, n_blocks);
+  const int p = machine.cores();
+  ParallelSection par(machine);
+  LuWork w;
+
+  for (std::int64_t k = 0; k < n_blocks; ++k) {
+    // Diagonal factorization (inherently sequential).
+    machine.access(0, tile(k, k), Rw::kWrite);
+    ++w.factor_ops;
+
+    // Panel solves, independent given the diagonal block.
+    for (std::int64_t i = k + 1; i < n_blocks; ++i) {
+      const int core = static_cast<int>((i - k - 1) % p);
+      par.access(core, tile(k, k), Rw::kRead);
+      par.access(core, tile(i, k), Rw::kWrite);
+      ++w.trsm_ops;
+    }
+    for (std::int64_t j = k + 1; j < n_blocks; ++j) {
+      const int core = static_cast<int>((j - k - 1) % p);
+      par.access(core, tile(k, k), Rw::kRead);
+      par.access(core, tile(k, j), Rw::kWrite);
+      ++w.trsm_ops;
+    }
+    par.run();
+
+    // Trailing update: the whole remaining matrix, once per step — the
+    // miss-heavy part: T(i,j) is re-fetched every k.
+    for (std::int64_t i = k + 1; i < n_blocks; ++i) {
+      for (std::int64_t j = k + 1; j < n_blocks; ++j) {
+        const int core = static_cast<int>(
+            ((i - k - 1) * (n_blocks - k - 1) + (j - k - 1)) % p);
+        par.access(core, tile(i, k), Rw::kRead);
+        par.access(core, tile(k, j), Rw::kRead);
+        par.access(core, tile(i, j), Rw::kWrite);
+        ++w.update_ops;
+      }
+    }
+    par.run();
+  }
+  return w;
+}
+
+std::int64_t lu_panel_width(const MachineConfig& cfg, std::int64_t n_blocks) {
+  // Shared working set of a panel of width w: the U panel (<= n*w blocks),
+  // the p active target rows (p*w) and the streaming L blocks (p).  Keep it
+  // within ~80% of CS so LRU holds the U panel; each core also needs its w
+  // targets plus {L, U} blocks in its CD-block private cache.
+  const std::int64_t budget = cfg.cs * 4 / 5;
+  std::int64_t w = budget / (n_blocks + cfg.p);
+  w = std::min(w, cfg.cd - 2);
+  return std::max<std::int64_t>(w, 1);
+}
+
+LuWork simulate_lu_left_looking(Machine& machine, std::int64_t n_blocks,
+                                std::int64_t panel_width) {
+  check(machine, n_blocks);
+  if (panel_width == 0) {
+    panel_width = lu_panel_width(machine.config(), n_blocks);
+  }
+  MCMM_REQUIRE(panel_width >= 1, "panel_width must be >= 1 (or 0 for auto)");
+  const int p = machine.cores();
+  ParallelSection par(machine);
+  LuWork w;
+
+  for (std::int64_t p0 = 0; p0 < n_blocks; p0 += panel_width) {
+    const std::int64_t pe = std::min(p0 + panel_width, n_blocks);
+    // Process the panel row by row; rows round-robin over the cores.
+    // Row i first accumulates the updates from columns LEFT of the panel —
+    // each such L(i,k) is final, is fetched ONCE, and serves every target
+    // column of the panel (the panel_width-fold reuse this schedule exists
+    // for) — then finishes its panel entries left to right, interleaving
+    // the panel-internal updates (whose L blocks are only final once the
+    // corresponding column of this row has been solved) with the solves.
+    for (std::int64_t i = 0; i < n_blocks; ++i) {
+      const int core = static_cast<int>(i % p);
+      // External updates: k left of the panel, k < min(i, j) for every
+      // panel column j since k < p0 <= j.
+      const std::int64_t kext = std::min(i, p0);
+      for (std::int64_t k = 0; k < kext; ++k) {
+        par.access(core, tile(i, k), Rw::kRead);
+        for (std::int64_t j = p0; j < pe; ++j) {
+          par.access(core, tile(k, j), Rw::kRead);
+          par.access(core, tile(i, j), Rw::kWrite);
+          ++w.update_ops;
+        }
+      }
+      // Panel-internal updates + solves, column by column.
+      for (std::int64_t j = p0; j < pe; ++j) {
+        for (std::int64_t k = p0; k < std::min(i, j); ++k) {
+          par.access(core, tile(i, k), Rw::kRead);
+          par.access(core, tile(k, j), Rw::kRead);
+          par.access(core, tile(i, j), Rw::kWrite);
+          ++w.update_ops;
+        }
+        if (i == j) {
+          par.access(core, tile(j, j), Rw::kWrite);
+          ++w.factor_ops;
+        } else if (i > j) {
+          par.access(core, tile(j, j), Rw::kRead);  // U(j,j) solve
+          par.access(core, tile(i, j), Rw::kWrite);
+          ++w.trsm_ops;
+        } else {
+          par.access(core, tile(i, i), Rw::kRead);  // L(i,i) solve
+          par.access(core, tile(i, j), Rw::kWrite);
+          ++w.trsm_ops;
+        }
+      }
+    }
+    par.run();
+  }
+  return w;
+}
+
+double lu_ms_lower_bound(std::int64_t n_blocks, std::int64_t cs) {
+  const double updates =
+      static_cast<double>(n_blocks) * static_cast<double>(n_blocks - 1) *
+      static_cast<double>(2 * n_blocks - 1) / 6.0;
+  return updates * ccr_lower_bound(cs);
+}
+
+}  // namespace mcmm

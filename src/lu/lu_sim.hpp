@@ -1,0 +1,69 @@
+// Cache-miss simulation of tiled LU factorization on the paper's multicore
+// model — extending its analysis to the "more complex operations, such as
+// LU factorization" named as future work.
+//
+// The matrix is n x n *blocks* (each a q x q tile, as everywhere in the
+// simulator); block kernels are:
+//   factor(K,K)        — unblocked LU of the diagonal block,
+//   trsm(I,K)/(K,J)    — panel solves against the diagonal block,
+//   update(I,J,K)      — T(I,J) -= L(I,K) * U(K,J).
+//
+// Two schedules over the same kernel set:
+//
+//  * right-looking — after each diagonal step the WHOLE trailing matrix is
+//    updated.  Every trailing block is re-touched once per step with a
+//    reuse distance of the full trailing matrix: the LU analogue of Outer
+//    Product, and just as miss-heavy once the trailing matrix outgrows the
+//    shared cache.
+//
+//  * left-looking with column panels — each target block accumulates ALL
+//    of its updates consecutively before being factored/solved, and
+//    `panel_width` columns are processed together so every L block read
+//    from the shared cache serves panel_width targets: the LU analogue of
+//    the Maximum Reuse idea (and of the Tradeoff's beta parameter).
+//    Without panelling (width 1) each L block is fetched once per update
+//    and the schedule is no better than right-looking — the panelled
+//    variant cuts the dominant n^3/3 L-fetch term by the panel width.
+//
+// Both run under LRU (no IDEAL management, like the paper's baselines);
+// cores take update kernels round-robin.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace mcmm {
+
+/// Kernel-level operation counts of an n x n-block LU (for CCR reporting).
+struct LuWork {
+  std::int64_t factor_ops = 0;  ///< diagonal factorizations (n)
+  std::int64_t trsm_ops = 0;    ///< panel solves (n(n-1))
+  std::int64_t update_ops = 0;  ///< block FMAs (n(n-1)(2n-1)/6)
+  std::int64_t total() const { return factor_ops + trsm_ops + update_ops; }
+};
+LuWork lu_work(std::int64_t n_blocks);
+
+/// Simulate the right-looking schedule; returns the kernel counts (the
+/// machine's stats carry the misses).
+LuWork simulate_lu_right_looking(Machine& machine, std::int64_t n_blocks);
+
+/// Simulate the left-looking (maximum-reuse-style) schedule.
+/// `panel_width` columns are accumulated together (>= 1); pass 0 to let
+/// the routine pick lu_panel_width(...) from the machine's geometry.
+LuWork simulate_lu_left_looking(Machine& machine, std::int64_t n_blocks,
+                                std::int64_t panel_width = 0);
+
+/// Default panel width: the widest panel whose shared-cache working set
+/// (the U panel, the active targets and the streaming L blocks) fits in
+/// roughly 80% of CS, clamped to [1, CD - 2] so each core can keep its
+/// target row resident.
+std::int64_t lu_panel_width(const MachineConfig& cfg, std::int64_t n_blocks);
+
+/// Loomis-Whitney-style floor on shared-cache misses for the update phase
+/// of LU: its n^3/3 block FMAs are a conventional (partial) matrix product,
+/// so MS >= (n^3/3) sqrt(27/(8 CS)) asymptotically (cf. Section 2.3; the
+/// same argument Ballard et al. later formalised for factorizations).
+double lu_ms_lower_bound(std::int64_t n_blocks, std::int64_t cs);
+
+}  // namespace mcmm

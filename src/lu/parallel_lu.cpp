@@ -1,0 +1,91 @@
+#include "lu/parallel_lu.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "lu/lu_kernel.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+namespace {
+
+// Re-declared here because lu_kernel.cpp keeps it internal: unblocked LU of
+// the diagonal sub-block.
+void factor_diagonal(Matrix& a, std::int64_t k0, std::int64_t kb) {
+  for (std::int64_t k = k0; k < k0 + kb; ++k) {
+    const double pivot = a.at(k, k);
+    MCMM_REQUIRE(pivot != 0.0,
+                 "parallel_lu_factor: zero pivot (matrix needs pivoting)");
+    for (std::int64_t i = k + 1; i < k0 + kb; ++i) {
+      a.at(i, k) /= pivot;
+      const double lik = a.at(i, k);
+      for (std::int64_t j = k + 1; j < k0 + kb; ++j) {
+        a.at(i, j) -= lik * a.at(k, j);
+      }
+    }
+  }
+}
+
+/// A[i0.., j0..] -= A[i0.., k0..] * A[k0.., j0..] on an mb x nb x kb
+/// sub-problem (trailing update; the three regions are disjoint).
+void trailing_update(Matrix& a, std::int64_t i0, std::int64_t mb,
+                     std::int64_t j0, std::int64_t nb, std::int64_t k0,
+                     std::int64_t kb) {
+  for (std::int64_t i = 0; i < mb; ++i) {
+    for (std::int64_t k = 0; k < kb; ++k) {
+      const double lik = a.at(i0 + i, k0 + k);
+      for (std::int64_t j = 0; j < nb; ++j) {
+        a.at(i0 + i, j0 + j) -= lik * a.at(k0 + k, j0 + j);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_lu_factor(Matrix& a, std::int64_t q, ThreadPool& pool) {
+  MCMM_REQUIRE(a.rows() == a.cols(), "parallel_lu_factor: matrix must be square");
+  MCMM_REQUIRE(a.rows() >= 1, "parallel_lu_factor: matrix must be non-empty");
+  MCMM_REQUIRE(q >= 1, "parallel_lu_factor: block size must be >= 1");
+  const std::int64_t n = a.rows();
+
+  for (std::int64_t k0 = 0; k0 < n; k0 += q) {
+    const std::int64_t kb = std::min(q, n - k0);
+    factor_diagonal(a, k0, kb);
+    const std::int64_t rest = n - (k0 + kb);
+    if (rest <= 0) continue;
+
+    // Panel phase: row-panel tiles get L11^-1, column-panel tiles U11^-1.
+    // Tiles are independent, so they are chunked across workers.
+    const std::int64_t panel_tiles = ceil_div(rest, q);
+    pool.parallel_for(2 * panel_tiles, [&](int, std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const bool is_row_panel = t < panel_tiles;
+        const std::int64_t off = (is_row_panel ? t : t - panel_tiles) * q;
+        const std::int64_t t0 = k0 + kb + off;
+        const std::int64_t tb = std::min(q, n - t0);
+        if (is_row_panel) {
+          trsm_lower_left_unit(a, a, k0, kb, t0, tb);
+        } else {
+          trsm_upper_right(a, a, k0, kb, t0, tb);
+        }
+      }
+    });
+
+    // Trailing phase: every (i, j) tile of the trailing matrix takes the
+    // rank-kb update; tiles partition the writes, so no two workers touch
+    // the same coefficients.
+    pool.parallel_for(panel_tiles * panel_tiles,
+                      [&](int, std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const std::int64_t i0 = k0 + kb + (t / panel_tiles) * q;
+        const std::int64_t j0 = k0 + kb + (t % panel_tiles) * q;
+        trailing_update(a, i0, std::min(q, n - i0), j0, std::min(q, n - j0),
+                        k0, kb);
+      }
+    });
+  }
+}
+
+}  // namespace mcmm

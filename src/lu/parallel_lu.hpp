@@ -1,0 +1,23 @@
+// Multithreaded tiled LU factorization on real data — the LU counterpart
+// of gemm/parallel_gemm.hpp.
+//
+// Right-looking with q x q tiles; each step factors the diagonal tile
+// (sequential), then triangular-solves the row and column panels and
+// applies the trailing update in parallel (tiles statically partitioned
+// among the workers; a fork/join barrier separates the phases, which is
+// exactly the dependency structure of the factorization).
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/matrix.hpp"
+#include "gemm/thread_pool.hpp"
+
+namespace mcmm {
+
+/// Factor A = L * U in place with q x q tiles using `pool`'s workers.
+/// Identical factors to lu_factor_blocked up to rounding.  No pivoting —
+/// use matrices with safe pivots (e.g. diagonally_dominant_matrix).
+void parallel_lu_factor(Matrix& a, std::int64_t q, ThreadPool& pool);
+
+}  // namespace mcmm

@@ -1,0 +1,60 @@
+// Umbrella public header for the multicore_mm library: cache-aware matrix
+// product algorithms for multicore architectures, reproducing Jacquelin,
+// Marchal & Robert, "Complexity analysis and performance evaluation of
+// matrix product on multicore architectures" (ICPP 2009 / RRLIP2009-09).
+//
+// Layers (each usable independently):
+//   sim/       two-level inclusive cache-hierarchy simulator (LRU + IDEAL)
+//   analysis/  lower bounds, parameter solvers, closed-form predictions
+//   alg/       the six simulated schedules
+//   exp/       experiment driver and sweep helpers (the paper's settings)
+//   gemm/      real-data multithreaded executions of the schedules
+//   trace/     access-trace capture, replay and reuse-distance analysis
+//   lu/        LU factorization extension (the paper's future work)
+#pragma once
+
+#include "alg/algorithm.hpp"
+#include "alg/cannon.hpp"
+#include "alg/distributed_opt.hpp"
+#include "alg/equal.hpp"
+#include "alg/outer_product.hpp"
+#include "alg/registry.hpp"
+#include "alg/shared_opt.hpp"
+#include "alg/tradeoff.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "exp/experiment.hpp"
+#include "exp/sweep.hpp"
+#include "exp/timeline.hpp"
+#include "gemm/kernel.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/parallel_gemm.hpp"
+#include "gemm/thread_pool.hpp"
+#include "gemm/validate.hpp"
+#include "inner/kernel_sim.hpp"
+#include "inner/line_cache.hpp"
+#include "hier/hier_config.hpp"
+#include "hier/hier_machine.hpp"
+#include "hier/hier_max_reuse.hpp"
+#include "lu/lu_kernel.hpp"
+#include "mw/master_worker.hpp"
+#include "lu/lu_pivot.hpp"
+#include "lu/lu_sim.hpp"
+#include "lu/parallel_lu.hpp"
+#include "sim/block_id.hpp"
+#include "sim/cache_stats.hpp"
+#include "sim/ideal_cache.hpp"
+#include "sim/lru_cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/parallel_section.hpp"
+#include "sim/problem.hpp"
+#include "sim/set_assoc_cache.hpp"
+#include "trace/belady.hpp"
+#include "trace/reuse_distance.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"

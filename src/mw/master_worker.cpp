@@ -1,0 +1,130 @@
+#include "mw/master_worker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+
+void MwConfig::validate() const {
+  MCMM_REQUIRE(workers >= 1, "MwConfig: need at least one worker");
+  MCMM_REQUIRE(memory_blocks >= 3,
+               "MwConfig: workers need at least 3 blocks of memory");
+  MCMM_REQUIRE(bandwidth > 0 && compute_rate > 0,
+               "MwConfig: rates must be positive");
+  if (!worker_rates.empty()) {
+    MCMM_REQUIRE(static_cast<int>(worker_rates.size()) == workers,
+                 "MwConfig: worker_rates must have one entry per worker");
+    for (const double r : worker_rates) {
+      MCMM_REQUIRE(r > 0, "MwConfig: worker rates must be positive");
+    }
+  }
+}
+
+const char* to_string(MwSchedule s) {
+  return s == MwSchedule::kMaximumReuse ? "maximum-reuse" : "equal-thirds";
+}
+
+std::int64_t mw_tile_side(MwSchedule schedule, std::int64_t memory_blocks) {
+  MCMM_REQUIRE(memory_blocks >= 3, "mw_tile_side: memory must be >= 3 blocks");
+  if (schedule == MwSchedule::kMaximumReuse) {
+    return max_reuse_parameter(memory_blocks);
+  }
+  return std::max<std::int64_t>(isqrt(memory_blocks / 3), 1);
+}
+
+MwResult run_master_worker(const MwConfig& cfg, const Problem& prob,
+                           MwSchedule schedule) {
+  cfg.validate();
+  prob.validate();
+  const std::int64_t side = mw_tile_side(schedule, cfg.memory_blocks);
+
+  MwResult out;
+  out.fmas = prob.fmas();
+  std::vector<std::int64_t> worker_fmas(static_cast<std::size_t>(cfg.workers),
+                                        0);
+  int next_worker = 0;
+  std::int64_t first_fill = 0;  // input blocks before the first FMA can run
+  std::int64_t last_drain = 0;  // the final C tile returned after all work
+
+  // Homogeneous platforms deal tiles round-robin; heterogeneous ones give
+  // each tile to the worker that would finish it earliest (the greedy
+  // list-scheduling rule of [7]).
+  auto pick_worker = [&](std::int64_t tile_fmas) {
+    if (cfg.worker_rates.empty()) {
+      const int w = next_worker;
+      next_worker = (next_worker + 1) % cfg.workers;
+      return w;
+    }
+    int best = 0;
+    double best_finish = 0;
+    for (int w = 0; w < cfg.workers; ++w) {
+      const double finish =
+          static_cast<double>(worker_fmas[static_cast<std::size_t>(w)] +
+                              tile_fmas) /
+          cfg.rate_of(w);
+      if (w == 0 || finish < best_finish) {
+        best = w;
+        best_finish = finish;
+      }
+    }
+    return best;
+  };
+
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += side) {
+    const std::int64_t ti = std::min(side, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += side) {
+      const std::int64_t tj = std::min(side, prob.n - j0);
+      // Each tile is computed entirely on one worker (the defining
+      // property of both schedules).
+      const int w = pick_worker(ti * tj * prob.z);
+      worker_fmas[static_cast<std::size_t>(w)] += ti * tj * prob.z;
+
+      std::int64_t tile_in = 0;
+      if (schedule == MwSchedule::kMaximumReuse) {
+        // Per k: a B row fragment (tj) and an A column fragment (ti); the
+        // C tile lives on the worker from the start (accumulated from 0).
+        tile_in = prob.z * (ti + tj);
+        if (first_fill == 0 && prob.z > 0) first_fill = ti + tj;
+      } else {
+        // Per K-panel of depth <= side: an A tile (ti x tk) and a B tile
+        // (tk x tj).
+        for (std::int64_t k0 = 0; k0 < prob.z; k0 += side) {
+          const std::int64_t tk = std::min(side, prob.z - k0);
+          tile_in += ti * tk + tk * tj;
+          if (first_fill == 0) first_fill = ti * tk + tk * tj;
+        }
+      }
+      out.volume += tile_in + ti * tj;  // inputs + the C tile returned
+      out.sends += tile_in + ti * tj;
+      last_drain = ti * tj;
+    }
+  }
+
+  out.comm_time = static_cast<double>(out.volume) / cfg.bandwidth;
+  double slowest = 0;
+  for (int w = 0; w < cfg.workers; ++w) {
+    slowest = std::max(
+        slowest, static_cast<double>(worker_fmas[static_cast<std::size_t>(w)]) /
+                     cfg.rate_of(w));
+  }
+  out.compute_time = slowest;
+  // Idealised pipeline with double-buffering: the serialised link and the
+  // parallel computes overlap fully except for filling the first task and
+  // draining the last result.
+  out.makespan = std::max(out.comm_time, out.compute_time) +
+                 static_cast<double>(first_fill + last_drain) / cfg.bandwidth;
+  return out;
+}
+
+double mw_volume_lower_bound(const Problem& prob,
+                             std::int64_t memory_blocks) {
+  MCMM_REQUIRE(memory_blocks >= 1, "mw_volume_lower_bound: bad memory");
+  return 2.0 * static_cast<double>(prob.fmas()) /
+         std::sqrt(static_cast<double>(memory_blocks));
+}
+
+}  // namespace mcmm

@@ -1,0 +1,90 @@
+// The master-worker substrate the paper builds on: Pineau, Robert, Vivien
+// & Dongarra's Maximum Reuse Algorithm [7] for matrix product on
+// master-worker platforms, plus the equal-thirds baseline it improved on.
+//
+// Model (from [7], simplified to homogeneous workers): a master holds the
+// matrices and serves `workers` workers over a shared serialised link of
+// `bandwidth` blocks per time unit (one block in flight at a time); each
+// worker has a private memory of `memory_blocks` blocks and computes one
+// block FMA per `1/compute_rate` time units.  The paper's multicore
+// machine replaces the master with the shared cache and the workers'
+// memories with the distributed caches — the algorithms are the same
+// shapes, which is why this module exists: it lets the tests check that
+// our Algorithm 2 degenerates to the original MRA when the shared cache
+// is "infinite" (a master).
+//
+// Two schedules:
+//  * MaximumReuse — the 1 + mu + mu^2 allocation: a mu x mu block of C
+//    stays on the worker until complete, B row fragments and A elements
+//    stream through.  Volume per worker per C block: 2 z mu + mu^2 (+
+//    mu^2 to return C); CCR -> 2/mu ~ 2/sqrt(M) for large matrices.
+//  * EqualThirds — Toledo's split: s x s blocks of each matrix with
+//    3 s^2 <= M; CCR -> 2/s ~ 2 sqrt(3)/sqrt(M).
+//
+// The simulator computes both the exact communication volume and a
+// makespan under perfect double-buffering (a worker computes its current
+// task while the master streams the next one): the makespan is the
+// critical path of a pipeline whose stages are serialised master sends
+// and parallel worker computes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+struct MwConfig {
+  int workers = 4;
+  std::int64_t memory_blocks = 21;  ///< per-worker memory, in blocks
+  double bandwidth = 1.0;           ///< master link, blocks per time unit
+  double compute_rate = 1.0;        ///< block FMAs per time unit per worker
+
+  /// Heterogeneous platforms ([7] targets "heterogeneous master-worker
+  /// platforms"): per-worker compute rates overriding `compute_rate`.
+  /// Empty = homogeneous.  When set, tiles are dealt greedily to the
+  /// worker with the earliest finish time instead of round-robin.
+  std::vector<double> worker_rates;
+
+  double rate_of(int worker) const {
+    return worker_rates.empty()
+               ? compute_rate
+               : worker_rates[static_cast<std::size_t>(worker)];
+  }
+
+  void validate() const;
+};
+
+enum class MwSchedule { kMaximumReuse, kEqualThirds };
+
+const char* to_string(MwSchedule s);
+
+/// Result of simulating one schedule on one problem.
+struct MwResult {
+  std::int64_t volume = 0;      ///< blocks sent master->worker + returned C
+  std::int64_t sends = 0;       ///< individual block transfers
+  std::int64_t fmas = 0;        ///< total block FMAs (== m n z)
+  double comm_time = 0;         ///< volume / bandwidth (link is serialised)
+  double compute_time = 0;      ///< per-worker compute on the critical path
+  double makespan = 0;          ///< pipeline completion time
+  double ccr() const {
+    return static_cast<double>(volume) / static_cast<double>(fmas);
+  }
+};
+
+/// The schedule's tile side: mu (1 + mu + mu^2 <= M) for MaximumReuse,
+/// s = floor(sqrt(M/3)) for EqualThirds.
+std::int64_t mw_tile_side(MwSchedule schedule, std::int64_t memory_blocks);
+
+/// Exact volume accounting + pipelined makespan for the schedule.
+MwResult run_master_worker(const MwConfig& cfg, const Problem& prob,
+                           MwSchedule schedule);
+
+/// Lower bound on the total communication volume from [7]'s refinement of
+/// the Irony-Toledo-Tiskin bound: volume >= 2 mnz / sqrt(M) for large
+/// matrices (block units; M = per-worker memory).
+double mw_volume_lower_bound(const Problem& prob, std::int64_t memory_blocks);
+
+}  // namespace mcmm

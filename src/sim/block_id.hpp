@@ -1,0 +1,85 @@
+// Identification of the atomic data unit of the paper's model: one q x q
+// block of matrix coefficients.  The simulator never looks inside a block;
+// algorithms and caches move and count whole blocks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+/// Which matrix a block belongs to.
+enum class MatrixTag : std::uint64_t { A = 0, B = 1, C = 2 };
+
+inline const char* to_string(MatrixTag t) {
+  switch (t) {
+    case MatrixTag::A: return "A";
+    case MatrixTag::B: return "B";
+    case MatrixTag::C: return "C";
+  }
+  return "?";
+}
+
+/// A block address: (matrix, block-row i, block-col j), packed into 64 bits
+/// so caches can key on a single integer.  Row/col are limited to 2^30-1,
+/// far beyond any simulated matrix order.
+class BlockId {
+public:
+  BlockId() : bits_(kInvalid) {}
+  BlockId(MatrixTag tag, std::int64_t i, std::int64_t j) {
+    MCMM_ASSERT(i >= 0 && i < (1 << 30) && j >= 0 && j < (1 << 30),
+                "BlockId coordinates out of range");
+    bits_ = (static_cast<std::uint64_t>(tag) << 60) |
+            (static_cast<std::uint64_t>(i) << 30) |
+            static_cast<std::uint64_t>(j);
+  }
+
+  /// Rebuild an id from the packed representation (cache internals only).
+  static BlockId from_bits(std::uint64_t bits) {
+    BlockId out;
+    out.bits_ = bits;
+    MCMM_ASSERT(out.valid() && (bits >> 60) <= 2, "BlockId::from_bits: bad tag");
+    return out;
+  }
+
+  static BlockId a(std::int64_t i, std::int64_t k) { return {MatrixTag::A, i, k}; }
+  static BlockId b(std::int64_t k, std::int64_t j) { return {MatrixTag::B, k, j}; }
+  static BlockId c(std::int64_t i, std::int64_t j) { return {MatrixTag::C, i, j}; }
+
+  MatrixTag tag() const { return static_cast<MatrixTag>(bits_ >> 60); }
+  std::int64_t row() const { return static_cast<std::int64_t>((bits_ >> 30) & 0x3FFFFFFF); }
+  std::int64_t col() const { return static_cast<std::int64_t>(bits_ & 0x3FFFFFFF); }
+
+  std::uint64_t bits() const { return bits_; }
+  bool valid() const { return bits_ != kInvalid; }
+
+  friend bool operator==(BlockId x, BlockId y) { return x.bits_ == y.bits_; }
+  friend bool operator!=(BlockId x, BlockId y) { return x.bits_ != y.bits_; }
+  friend bool operator<(BlockId x, BlockId y) { return x.bits_ < y.bits_; }
+
+  std::string str() const {
+    return std::string(to_string(tag())) + "[" + std::to_string(row()) + "," +
+           std::to_string(col()) + "]";
+  }
+
+  /// Sentinel bit pattern never produced by a valid id (tag would be 15).
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+private:
+  std::uint64_t bits_;
+};
+
+struct BlockIdHash {
+  std::size_t operator()(BlockId b) const noexcept {
+    // Fibonacci multiplicative hash.  Block ids have structured low bits
+    // (packed tag/row/col), so fold the high half of the product back in:
+    // consumers that mask to small tables still see the mixed bits.
+    const std::uint64_t h = b.bits() * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace mcmm

@@ -1,0 +1,96 @@
+// Miss statistics collected by the simulated machine.
+//
+// The paper's two headline metrics are
+//   MS — the number of shared-cache misses (loads memory -> shared), and
+//   MD — the *maximum* over cores of distributed-cache misses
+//        (loads shared -> distributed),
+// combined into the data-access time  Tdata = MS/sigma_S + MD/sigma_D.
+// Write-backs are tracked for completeness but, as in the paper, never
+// counted as misses ("the number of times each data has to be loaded").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mcmm {
+
+struct MachineStats {
+  explicit MachineStats(int cores = 0)
+      : dist_misses(cores, 0),
+        dist_hits(cores, 0),
+        wb_to_shared_per_core(cores, 0),
+        fmas(cores, 0) {}
+
+  std::int64_t shared_misses = 0;
+  std::int64_t shared_hits = 0;
+  std::vector<std::int64_t> dist_misses;
+  std::vector<std::int64_t> dist_hits;
+  std::int64_t writebacks_to_memory = 0;
+  std::int64_t writebacks_to_shared = 0;
+  /// Blocks removed from a distributed cache because the SHARED cache
+  /// evicted them (inclusivity back-invalidation).  When this is zero,
+  /// each distributed cache behaved exactly like an isolated LRU cache
+  /// over its core's stream, and the reuse-distance oracle predicts its
+  /// misses exactly; with interference the counts can deviate in either
+  /// direction.
+  std::int64_t back_invalidations = 0;
+  /// writebacks_to_shared attributed to the core whose private cache held
+  /// the dirty block (for the write-inclusive Tdata variant).
+  std::vector<std::int64_t> wb_to_shared_per_core;
+  std::vector<std::int64_t> fmas;  // comp(c): block multiply-adds per core
+
+  /// MS in the paper's notation.
+  std::int64_t ms() const { return shared_misses; }
+
+  /// MD: maximum distributed-cache miss count over all cores.
+  std::int64_t md() const {
+    if (dist_misses.empty()) return 0;
+    return *std::max_element(dist_misses.begin(), dist_misses.end());
+  }
+
+  /// Total block FMAs performed (== m*n*z for a complete product).
+  std::int64_t total_fmas() const {
+    return std::accumulate(fmas.begin(), fmas.end(), std::int64_t{0});
+  }
+
+  /// Data access time for the given cache bandwidths (blocks per time unit).
+  double tdata(double sigma_s, double sigma_d) const {
+    return static_cast<double>(ms()) / sigma_s +
+           static_cast<double>(md()) / sigma_d;
+  }
+
+  /// Write-inclusive variant: the paper's Tdata counts only loads; this
+  /// adds the write-back traffic each level's bus also carries (dirty
+  /// blocks travelling shared -> memory and private -> shared).  The
+  /// distributed term takes the busiest core's combined traffic.
+  double tdata_with_writebacks(double sigma_s, double sigma_d) const {
+    std::int64_t busiest = 0;
+    for (std::size_t c = 0; c < dist_misses.size(); ++c) {
+      busiest = std::max(busiest,
+                         dist_misses[c] + wb_to_shared_per_core[c]);
+    }
+    return static_cast<double>(ms() + writebacks_to_memory) / sigma_s +
+           static_cast<double>(busiest) / sigma_d;
+  }
+
+  /// Shared-cache communication-to-computation ratio MS / (m n z).
+  double ccr_shared() const {
+    return static_cast<double>(ms()) / static_cast<double>(total_fmas());
+  }
+
+  /// Average distributed CCR: mean over cores of M_D^c / comp(c).
+  double ccr_distributed() const {
+    double sum = 0;
+    for (std::size_t c = 0; c < dist_misses.size(); ++c) {
+      if (fmas[c] > 0) {
+        sum += static_cast<double>(dist_misses[c]) /
+               static_cast<double>(fmas[c]);
+      }
+    }
+    return dist_misses.empty() ? 0.0 : sum / static_cast<double>(dist_misses.size());
+  }
+};
+
+}  // namespace mcmm

@@ -1,0 +1,130 @@
+// Open-addressing hash map with a fixed maximum load, specialised for the
+// cache simulator's hot path (one lookup per simulated block access, billions
+// per bench run).  Keys are 64-bit block ids, values are 32-bit node indices.
+//
+// Design:
+//  * linear probing over a power-of-two table sized for <= 50% load, so
+//    probes are short and cache-friendly;
+//  * backward-shift deletion (no tombstones), so performance cannot degrade
+//    over the long eviction-heavy runs the benches perform;
+//  * capacity is fixed at construction — cache capacity is known up front,
+//    so there is never a rehash on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+class FixedHashMap {
+public:
+  /// `max_entries` is the largest number of live entries ever stored.
+  explicit FixedHashMap(std::size_t max_entries) {
+    std::size_t want = max_entries * 2 + 8;
+    std::size_t size = 1;
+    shift_ = 64;
+    while (size < want) {
+      size <<= 1;
+      --shift_;
+    }
+    slots_.assign(size, Slot{});
+    mask_ = size - 1;
+    max_entries_ = max_entries;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t max_entries() const { return max_entries_; }
+
+  /// Returns pointer to the value for `key`, or nullptr if absent.
+  std::uint32_t* find(std::uint64_t key) {
+    std::size_t i = index(key);
+    while (slots_[i].key != kEmpty) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const std::uint32_t* find(std::uint64_t key) const {
+    return const_cast<FixedHashMap*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  /// Insert a key that must not already be present.
+  void insert(std::uint64_t key, std::uint32_t value) {
+    MCMM_ASSERT(key != kEmpty, "FixedHashMap: reserved key");
+    MCMM_ASSERT(size_ < max_entries_, "FixedHashMap: capacity exceeded");
+    std::size_t i = index(key);
+    while (slots_[i].key != kEmpty) {
+      MCMM_ASSERT(slots_[i].key != key, "FixedHashMap: duplicate insert");
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = {key, value};
+    ++size_;
+  }
+
+  /// Erase a key; returns true if it was present.
+  bool erase(std::uint64_t key) {
+    std::size_t i = index(key);
+    while (slots_[i].key != key) {
+      if (slots_[i].key == kEmpty) return false;
+      i = (i + 1) & mask_;
+    }
+    // Backward-shift deletion: close the probe chain.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask_;
+    while (slots_[j].key != kEmpty) {
+      const std::size_t home = index(slots_[j].key);
+      // slots_[j] may move into the hole iff the hole lies on its probe
+      // path: cyclic distance from home to j must reach past the hole.
+      const bool movable = ((j - home) & mask_) >= ((j - hole) & mask_);
+      if (movable) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    for (auto& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+  /// Visit all live entries (order unspecified).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& s : slots_) {
+      if (s.key != kEmpty) f(s.key, s.value);
+    }
+  }
+
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+private:
+  struct Slot {
+    std::uint64_t key = kEmpty;
+    std::uint32_t value = 0;
+  };
+
+  std::size_t index(std::uint64_t key) const {
+    // Fibonacci hashing, taking the HIGH bits of the product: block-id keys
+    // have structured low bits (tag/row/col fields), and the low bits of
+    // key * C inherit that structure — masking them directly would send
+    // whole block columns to the same slot.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::size_t size_ = 0;
+  std::size_t max_entries_ = 0;
+};
+
+}  // namespace mcmm

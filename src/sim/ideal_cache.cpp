@@ -1,0 +1,55 @@
+#include "sim/ideal_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+IdealCache::IdealCache(std::int64_t capacity_blocks)
+    : capacity_(capacity_blocks),
+      map_(static_cast<std::size_t>(capacity_blocks)) {
+  MCMM_REQUIRE(capacity_blocks >= 1, "IdealCache: capacity must be >= 1");
+}
+
+bool IdealCache::load(BlockId b) {
+  if (map_.contains(b.bits())) return false;
+  MCMM_ASSERT(size() < capacity_,
+              ("IdealCache: load would exceed capacity, loading " + b.str())
+                  .c_str());
+  map_.insert(b.bits(), 0);
+  return true;
+}
+
+bool IdealCache::evict(BlockId b) {
+  std::uint32_t* v = map_.find(b.bits());
+  MCMM_ASSERT(v != nullptr,
+              ("IdealCache: evicting non-resident block " + b.str()).c_str());
+  const bool dirty = *v != 0;
+  map_.erase(b.bits());
+  return dirty;
+}
+
+void IdealCache::mark_dirty(BlockId b) {
+  std::uint32_t* v = map_.find(b.bits());
+  MCMM_ASSERT(v != nullptr,
+              ("IdealCache: dirtying non-resident block " + b.str()).c_str());
+  *v = 1;
+}
+
+bool IdealCache::is_dirty(BlockId b) const {
+  const std::uint32_t* v = map_.find(b.bits());
+  MCMM_ASSERT(v != nullptr, "IdealCache::is_dirty: block not resident");
+  return *v != 0;
+}
+
+std::vector<BlockId> IdealCache::contents() const {
+  std::vector<BlockId> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  map_.for_each([&](std::uint64_t key, std::uint32_t) {
+    out.push_back(BlockId::from_bits(key));
+  });
+  return out;
+}
+
+void IdealCache::clear() { map_.clear(); }
+
+}  // namespace mcmm

@@ -1,0 +1,49 @@
+// Explicitly managed cache implementing the paper's IDEAL replacement mode:
+// "the user manually decides which data needs to be loaded/unloaded in a
+// given cache".  There is no replacement policy — an algorithm must evict
+// to make room, and every capacity or residency violation is an assertion
+// failure, so IDEAL-mode algorithms are validated, not trusted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/block_id.hpp"
+#include "sim/fixed_hash_map.hpp"
+
+namespace mcmm {
+
+class IdealCache {
+public:
+  explicit IdealCache(std::int64_t capacity_blocks);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(map_.size()); }
+
+  bool contains(BlockId b) const { return map_.contains(b.bits()); }
+
+  /// Ensure `b` is resident.  Returns true if this call brought it in
+  /// (i.e. it counts as a miss/load), false if it was already resident.
+  /// Aborts if the cache is full and `b` is absent.
+  bool load(BlockId b);
+
+  /// Remove a resident block; returns its dirty flag.
+  /// Evicting an absent block is a bug in the calling algorithm.
+  bool evict(BlockId b);
+
+  /// Mark a resident block dirty (it will need writing back downstream).
+  void mark_dirty(BlockId b);
+
+  bool is_dirty(BlockId b) const;
+
+  /// Resident blocks in unspecified order (tests/diagnostics).
+  std::vector<BlockId> contents() const;
+
+  void clear();
+
+private:
+  std::int64_t capacity_;
+  FixedHashMap map_;  // value: 1 = dirty, 0 = clean
+};
+
+}  // namespace mcmm

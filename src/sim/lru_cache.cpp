@@ -1,0 +1,121 @@
+#include "sim/lru_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+LruCache::LruCache(std::int64_t capacity_blocks)
+    : capacity_(capacity_blocks),
+      map_(static_cast<std::size_t>(capacity_blocks)) {
+  MCMM_REQUIRE(capacity_blocks >= 1, "LruCache: capacity must be >= 1 block");
+  nodes_.resize(static_cast<std::size_t>(capacity_blocks));
+  free_.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    free_.push_back(static_cast<std::uint32_t>(nodes_.size()) - 1 - i);
+  }
+}
+
+void LruCache::unlink(std::uint32_t n) {
+  Node& node = nodes_[n];
+  if (node.prev != kNil) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next != kNil) {
+    nodes_[node.next].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+  node.prev = node.next = kNil;
+}
+
+void LruCache::link_front(std::uint32_t n) {
+  Node& node = nodes_[n];
+  node.prev = kNil;
+  node.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = n;
+  head_ = n;
+  if (tail_ == kNil) tail_ = n;
+}
+
+bool LruCache::touch(BlockId b) {
+  std::uint32_t* n = map_.find(b.bits());
+  if (n == nullptr) return false;
+  if (*n != head_) {
+    const std::uint32_t idx = *n;
+    unlink(idx);
+    link_front(idx);
+  }
+  return true;
+}
+
+std::optional<LruCache::Evicted> LruCache::insert(BlockId b, bool dirty) {
+  MCMM_ASSERT(!map_.contains(b.bits()), "LruCache::insert: block resident");
+  std::optional<Evicted> victim;
+  if (size() == capacity_) {
+    const std::uint32_t v = tail_;
+    const Node& vn = nodes_[v];
+    victim = Evicted{BlockId::from_bits(vn.key), vn.dirty};
+    map_.erase(vn.key);
+    unlink(v);
+    free_.push_back(v);
+  }
+  MCMM_ASSERT(!free_.empty(), "LruCache: node pool exhausted");
+  const std::uint32_t n = free_.back();
+  free_.pop_back();
+  nodes_[n].key = b.bits();
+  nodes_[n].dirty = dirty;
+  link_front(n);
+  map_.insert(b.bits(), n);
+  return victim;
+}
+
+void LruCache::mark_dirty(BlockId b) {
+  std::uint32_t* n = map_.find(b.bits());
+  MCMM_ASSERT(n != nullptr, "LruCache::mark_dirty: block not resident");
+  nodes_[*n].dirty = true;
+}
+
+bool LruCache::is_dirty(BlockId b) const {
+  const std::uint32_t* n = map_.find(b.bits());
+  MCMM_ASSERT(n != nullptr, "LruCache::is_dirty: block not resident");
+  return nodes_[*n].dirty;
+}
+
+std::optional<bool> LruCache::erase(BlockId b) {
+  std::uint32_t* n = map_.find(b.bits());
+  if (n == nullptr) return std::nullopt;
+  const std::uint32_t idx = *n;
+  const bool dirty = nodes_[idx].dirty;
+  map_.erase(b.bits());
+  unlink(idx);
+  free_.push_back(idx);
+  return dirty;
+}
+
+std::optional<BlockId> LruCache::lru_block() const {
+  if (tail_ == kNil) return std::nullopt;
+  return BlockId::from_bits(nodes_[tail_].key);
+}
+
+std::vector<BlockId> LruCache::contents_mru_order() const {
+  std::vector<BlockId> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+    out.push_back(BlockId::from_bits(nodes_[n].key));
+  }
+  return out;
+}
+
+void LruCache::clear() {
+  map_.clear();
+  free_.clear();
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i] = Node{};
+    free_.push_back(static_cast<std::uint32_t>(nodes_.size()) - 1 - i);
+  }
+  head_ = tail_ = kNil;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,80 @@
+// Fully-associative cache with LRU replacement, as in the paper's simulator.
+//
+// Capacity is counted in blocks (the paper's unit).  The cache is a pure
+// mechanism: it tracks residency, recency and dirtiness; miss accounting and
+// hierarchy propagation live in sim::Machine.  The recency structure is an
+// intrusive doubly-linked list over a node pool, indexed by a fixed-capacity
+// open-addressing map, giving O(1) touch/insert/evict with no allocation on
+// the hot path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/block_id.hpp"
+#include "sim/fixed_hash_map.hpp"
+
+namespace mcmm {
+
+class LruCache {
+public:
+  /// A block evicted to make room, with its dirty flag.
+  struct Evicted {
+    BlockId block;
+    bool dirty;
+  };
+
+  explicit LruCache(std::int64_t capacity_blocks);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(map_.size()); }
+
+  bool contains(BlockId b) const { return map_.contains(b.bits()); }
+
+  /// If resident: promote to most-recently-used and return true.
+  bool touch(BlockId b);
+
+  /// Insert a non-resident block as MRU.  If the cache is full the LRU
+  /// block is evicted and returned.  Inserting a resident block is a bug.
+  std::optional<Evicted> insert(BlockId b, bool dirty);
+
+  /// Mark a resident block dirty (write hit).
+  void mark_dirty(BlockId b);
+
+  bool is_dirty(BlockId b) const;
+
+  /// Remove a specific block (inclusivity back-invalidation).
+  /// Returns its dirty flag, or nullopt if it was not resident.
+  std::optional<bool> erase(BlockId b);
+
+  /// Peek at the current eviction victim without evicting.
+  std::optional<BlockId> lru_block() const;
+
+  /// Resident blocks, most recent first (diagnostics and tests).
+  std::vector<BlockId> contents_mru_order() const;
+
+  /// Drop everything (counts nothing).
+  void clear();
+
+private:
+  struct Node {
+    std::uint64_t key = BlockId::kInvalid;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    bool dirty = false;
+  };
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  void unlink(std::uint32_t n);
+  void link_front(std::uint32_t n);
+
+  std::int64_t capacity_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;  // MRU
+  std::uint32_t tail_ = kNil;  // LRU
+  FixedHashMap map_;
+};
+
+}  // namespace mcmm

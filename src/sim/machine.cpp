@@ -1,0 +1,219 @@
+#include "sim/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+Machine::Machine(const MachineConfig& cfg, Policy policy)
+    : cfg_(cfg), policy_(policy), stats_(cfg.p) {
+  cfg_.validate();
+  if (policy_ == Policy::kLru) {
+    lru_shared_.emplace(cfg_.cs);
+    lru_dist_.reserve(static_cast<std::size_t>(cfg_.p));
+    for (int c = 0; c < cfg_.p; ++c) lru_dist_.emplace_back(cfg_.cd);
+  } else {
+    ideal_shared_.emplace(cfg_.cs);
+    ideal_dist_.reserve(static_cast<std::size_t>(cfg_.p));
+    for (int c = 0; c < cfg_.p; ++c) ideal_dist_.emplace_back(cfg_.cd);
+  }
+}
+
+void Machine::lru_install_shared(BlockId b) {
+  // Load from memory into the shared cache, evicting the LRU victim if
+  // needed.  Inclusivity: a victim leaving the shared cache must also be
+  // invalidated in every distributed cache; its dirty data (at either
+  // level) is written back to memory.
+  ++stats_.shared_misses;
+  if (lru_shared_->size() == lru_shared_->capacity()) {
+    // Pre-invalidate the victim in the distributed caches so their dirty
+    // flags reach the shared copy before it is evicted.
+    const BlockId victim = *lru_shared_->lru_block();
+    for (int c = 0; c < cfg_.p; ++c) {
+      if (auto dirty = lru_dist_[static_cast<std::size_t>(c)].erase(victim)) {
+        ++stats_.back_invalidations;
+        if (*dirty) {
+          ++stats_.writebacks_to_shared;
+          ++stats_.wb_to_shared_per_core[static_cast<std::size_t>(c)];
+          lru_shared_->mark_dirty(victim);
+        }
+      }
+    }
+  }
+  if (auto evicted = lru_shared_->insert(b, /*dirty=*/false)) {
+    if (evicted->dirty) ++stats_.writebacks_to_memory;
+  }
+}
+
+void Machine::lru_access(int core, BlockId b, Rw rw) {
+  auto& dcache = lru_dist_[static_cast<std::size_t>(core)];
+  if (dcache.touch(b)) {
+    ++stats_.dist_hits[static_cast<std::size_t>(core)];
+    if (rw == Rw::kWrite) dcache.mark_dirty(b);
+    return;
+  }
+  ++stats_.dist_misses[static_cast<std::size_t>(core)];
+  if (lru_shared_->touch(b)) {
+    ++stats_.shared_hits;
+  } else {
+    lru_install_shared(b);
+  }
+  // Install in the distributed cache; a dirty victim is written back to
+  // the shared cache (whose copy exists, by inclusivity).
+  if (auto evicted = dcache.insert(b, rw == Rw::kWrite)) {
+    if (evicted->dirty) {
+      ++stats_.writebacks_to_shared;
+      ++stats_.wb_to_shared_per_core[static_cast<std::size_t>(core)];
+      lru_shared_->mark_dirty(evicted->block);
+    }
+  }
+}
+
+void Machine::access(int core, BlockId b, Rw rw) {
+  MCMM_ASSERT(core >= 0 && core < cfg_.p, "Machine::access: bad core index");
+  if (access_observer_) access_observer_(core, b, rw);
+  if (policy_ == Policy::kLru) {
+    lru_access(core, b, rw);
+    return;
+  }
+  auto& dcache = ideal_dist_[static_cast<std::size_t>(core)];
+  MCMM_ASSERT(dcache.contains(b),
+              ("IDEAL access to non-resident block " + b.str()).c_str());
+  ++stats_.dist_hits[static_cast<std::size_t>(core)];
+  if (rw == Rw::kWrite) dcache.mark_dirty(b);
+}
+
+void Machine::fma(int core, std::int64_t i, std::int64_t j, std::int64_t k) {
+  access(core, BlockId::a(i, k), Rw::kRead);
+  access(core, BlockId::b(k, j), Rw::kRead);
+  access(core, BlockId::c(i, j), Rw::kWrite);
+  ++stats_.fmas[static_cast<std::size_t>(core)];
+  if (observer_) observer_(core, i, j, k);
+}
+
+void Machine::load_shared(BlockId b) {
+  if (policy_ == Policy::kLru) return;
+  if (ideal_shared_->load(b)) {
+    ++stats_.shared_misses;
+  } else {
+    ++stats_.shared_hits;
+  }
+}
+
+void Machine::evict_shared(BlockId b) {
+  if (policy_ == Policy::kLru) return;
+  for (int c = 0; c < cfg_.p; ++c) {
+    MCMM_ASSERT(!ideal_dist_[static_cast<std::size_t>(c)].contains(b),
+                ("IDEAL evict_shared of " + b.str() +
+                 " while resident in a distributed cache")
+                    .c_str());
+  }
+  if (ideal_shared_->evict(b)) ++stats_.writebacks_to_memory;
+}
+
+void Machine::load_distributed(int core, BlockId b) {
+  if (policy_ == Policy::kLru) return;
+  MCMM_ASSERT(core >= 0 && core < cfg_.p, "load_distributed: bad core");
+  MCMM_ASSERT(ideal_shared_->contains(b),
+              ("IDEAL load_distributed of " + b.str() +
+               " violates inclusivity (not in shared cache)")
+                  .c_str());
+  if (ideal_dist_[static_cast<std::size_t>(core)].load(b)) {
+    ++stats_.dist_misses[static_cast<std::size_t>(core)];
+  } else {
+    ++stats_.dist_hits[static_cast<std::size_t>(core)];
+  }
+}
+
+void Machine::evict_distributed(int core, BlockId b) {
+  if (policy_ == Policy::kLru) return;
+  MCMM_ASSERT(core >= 0 && core < cfg_.p, "evict_distributed: bad core");
+  if (ideal_dist_[static_cast<std::size_t>(core)].evict(b)) {
+    ++stats_.writebacks_to_shared;
+    ++stats_.wb_to_shared_per_core[static_cast<std::size_t>(core)];
+    ideal_shared_->mark_dirty(b);
+  }
+}
+
+void Machine::update_shared(int core, BlockId b) {
+  if (policy_ == Policy::kLru) return;
+  MCMM_ASSERT(core >= 0 && core < cfg_.p, "update_shared: bad core");
+  MCMM_ASSERT(ideal_dist_[static_cast<std::size_t>(core)].contains(b),
+              "update_shared: block not in distributed cache");
+  MCMM_ASSERT(ideal_shared_->contains(b),
+              "update_shared: block not in shared cache");
+  ++stats_.writebacks_to_shared;
+  ++stats_.wb_to_shared_per_core[static_cast<std::size_t>(core)];
+  ideal_shared_->mark_dirty(b);
+}
+
+void Machine::flush() {
+  if (policy_ == Policy::kLru) {
+    for (int c = 0; c < cfg_.p; ++c) {
+      auto& dcache = lru_dist_[static_cast<std::size_t>(c)];
+      for (BlockId b : dcache.contents_mru_order()) {
+        if (*dcache.erase(b)) {
+          ++stats_.writebacks_to_shared;
+          ++stats_.wb_to_shared_per_core[static_cast<std::size_t>(c)];
+          lru_shared_->mark_dirty(b);
+        }
+      }
+    }
+    for (BlockId b : lru_shared_->contents_mru_order()) {
+      if (*lru_shared_->erase(b)) ++stats_.writebacks_to_memory;
+    }
+    return;
+  }
+  for (int c = 0; c < cfg_.p; ++c) {
+    auto& dcache = ideal_dist_[static_cast<std::size_t>(c)];
+    for (BlockId b : dcache.contents()) evict_distributed(c, b);
+  }
+  for (BlockId b : ideal_shared_->contents()) evict_shared(b);
+}
+
+bool Machine::resident_shared(BlockId b) const {
+  return policy_ == Policy::kLru ? lru_shared_->contains(b)
+                                 : ideal_shared_->contains(b);
+}
+
+bool Machine::resident_distributed(int core, BlockId b) const {
+  MCMM_ASSERT(core >= 0 && core < cfg_.p, "resident_distributed: bad core");
+  return policy_ == Policy::kLru
+             ? lru_dist_[static_cast<std::size_t>(core)].contains(b)
+             : ideal_dist_[static_cast<std::size_t>(core)].contains(b);
+}
+
+std::int64_t Machine::shared_size() const {
+  return policy_ == Policy::kLru ? lru_shared_->size() : ideal_shared_->size();
+}
+
+std::int64_t Machine::distributed_size(int core) const {
+  MCMM_ASSERT(core >= 0 && core < cfg_.p, "distributed_size: bad core");
+  return policy_ == Policy::kLru
+             ? lru_dist_[static_cast<std::size_t>(core)].size()
+             : ideal_dist_[static_cast<std::size_t>(core)].size();
+}
+
+void Machine::check_inclusive() const {
+  for (int c = 0; c < cfg_.p; ++c) {
+    const auto contents =
+        policy_ == Policy::kLru
+            ? lru_dist_[static_cast<std::size_t>(c)].contents_mru_order()
+            : ideal_dist_[static_cast<std::size_t>(c)].contents();
+    for (BlockId b : contents) {
+      MCMM_ASSERT(resident_shared(b),
+                  ("inclusivity violated: " + b.str() + " in core " +
+                   std::to_string(c) + " but not in shared cache")
+                      .c_str());
+    }
+  }
+}
+
+void Machine::assert_empty() const {
+  MCMM_ASSERT(shared_size() == 0, "shared cache not empty at end of run");
+  for (int c = 0; c < cfg_.p; ++c) {
+    MCMM_ASSERT(distributed_size(c) == 0,
+                "a distributed cache is not empty at end of run");
+  }
+}
+
+}  // namespace mcmm

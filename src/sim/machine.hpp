@@ -1,0 +1,138 @@
+// The simulated multicore machine: p cores behind an inclusive two-level
+// cache hierarchy, replicating the simulator of Section 4 of the paper.
+//
+// Two replacement policies are supported, selected at construction:
+//
+//  * Policy::kLru — "read and write operations are made at the distributed
+//    cache level; if a miss occurs, operations are propagated throughout
+//    the hierarchy until a cache hit happens".  Algorithms only issue
+//    fma()/access(); the machine moves data with LRU replacement and
+//    back-invalidation to preserve inclusivity.  The IDEAL management
+//    calls are accepted and ignored, so the same algorithm code runs
+//    under both policies.
+//
+//  * Policy::kIdeal — the omniscient mode: the algorithm explicitly
+//    loads and evicts blocks in each cache; fma()/access() merely assert
+//    that the touched blocks are resident.  Any capacity or residency
+//    violation aborts, so IDEAL-mode schedules are machine-checked.
+//
+// Miss accounting follows the paper: a load into the shared cache is one
+// shared miss (MS), a load into core c's distributed cache is one
+// distributed miss for c (MD = max over cores).  Write-backs are tracked
+// separately and never added to the miss counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/block_id.hpp"
+#include "sim/cache_stats.hpp"
+#include "sim/ideal_cache.hpp"
+#include "sim/lru_cache.hpp"
+#include "sim/machine_config.hpp"
+
+namespace mcmm {
+
+enum class Policy { kLru, kIdeal };
+
+inline const char* to_string(Policy p) {
+  return p == Policy::kLru ? "LRU" : "IDEAL";
+}
+
+enum class Rw { kRead, kWrite };
+
+class Machine {
+public:
+  Machine(const MachineConfig& cfg, Policy policy);
+
+  const MachineConfig& config() const { return cfg_; }
+  Policy policy() const { return policy_; }
+  int cores() const { return cfg_.p; }
+
+  /// One block multiply-add C[i,j] += A[i,k] * B[k,j] executed on `core`:
+  /// reads A[i,k] and B[k,j], read-modify-writes C[i,j], and tallies one
+  /// unit of computation for the core.
+  void fma(int core, std::int64_t i, std::int64_t j, std::int64_t k);
+
+  /// Raw data access (reads and write-allocates like fma, without the
+  /// computation tally).  Exposed for tests and irregular access patterns.
+  void access(int core, BlockId b, Rw rw);
+
+  // --- IDEAL-mode cache management (ignored under LRU) -------------------
+  /// Bring a block from memory into the shared cache (counts one shared
+  /// miss if it was absent).
+  void load_shared(BlockId b);
+  /// Drop a block from the shared cache; a dirty block counts one
+  /// write-back to memory.  The block must not be in any distributed cache.
+  void evict_shared(BlockId b);
+  /// Bring a block from the shared cache into core's distributed cache
+  /// (counts one distributed miss for the core if absent).  Inclusivity
+  /// requires the block to be resident in the shared cache.
+  void load_distributed(int core, BlockId b);
+  /// Drop a block from core's distributed cache; a dirty block counts one
+  /// write-back to the shared cache and dirties the shared copy.
+  void evict_distributed(int core, BlockId b);
+  /// Propagate core's (dirty) copy of `b` to the shared copy without
+  /// evicting — the paper's "update block in the shared cache" step.
+  void update_shared(int core, BlockId b);
+
+  /// Drain all caches, counting the write-backs of dirty blocks.
+  void flush();
+
+  const MachineStats& stats() const { return stats_; }
+
+  /// How many consecutive operations each simulated core executes per
+  /// round-robin turn inside parallel sections (default 1 = finest
+  /// lockstep).  Larger values model cores drifting out of step; only the
+  /// LRU policy is sensitive to it.  An ablation knob, read by
+  /// ParallelSection.
+  void set_interleave_chunk(std::int64_t ops) {
+    MCMM_REQUIRE(ops >= 1, "interleave chunk must be >= 1");
+    interleave_chunk_ = ops;
+  }
+  std::int64_t interleave_chunk() const { return interleave_chunk_; }
+
+  // --- test & diagnostic hooks -------------------------------------------
+  /// Called once per fma() with (core, i, j, k); used by coverage tests.
+  using FmaObserver = std::function<void(int, std::int64_t, std::int64_t, std::int64_t)>;
+  void set_fma_observer(FmaObserver obs) { observer_ = std::move(obs); }
+
+  /// Called once per data access with (core, block, rw) — before the cache
+  /// lookup, under both policies.  Used by the trace recorder.
+  using AccessObserver = std::function<void(int, BlockId, Rw)>;
+  void set_access_observer(AccessObserver obs) {
+    access_observer_ = std::move(obs);
+  }
+
+  bool resident_shared(BlockId b) const;
+  bool resident_distributed(int core, BlockId b) const;
+  std::int64_t shared_size() const;
+  std::int64_t distributed_size(int core) const;
+  /// Abort unless every distributed-cache block is also in the shared cache.
+  void check_inclusive() const;
+  /// Abort unless all caches are empty (well-behaved IDEAL algorithms
+  /// evict everything they load).
+  void assert_empty() const;
+
+private:
+  void lru_access(int core, BlockId b, Rw rw);
+  void lru_install_shared(BlockId b);
+
+  MachineConfig cfg_;
+  Policy policy_;
+  MachineStats stats_;
+
+  // Exactly one family is populated, according to policy_.
+  std::optional<LruCache> lru_shared_;
+  std::vector<LruCache> lru_dist_;
+  std::optional<IdealCache> ideal_shared_;
+  std::vector<IdealCache> ideal_dist_;
+
+  FmaObserver observer_;
+  AccessObserver access_observer_;
+  std::int64_t interleave_chunk_ = 1;
+};
+
+}  // namespace mcmm

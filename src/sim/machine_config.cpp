@@ -1,0 +1,61 @@
+#include "sim/machine_config.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+void MachineConfig::validate() const {
+  MCMM_REQUIRE(p >= 1, "MachineConfig: need at least one core");
+  MCMM_REQUIRE(cs >= 1 && cd >= 1, "MachineConfig: cache capacities must be >= 1");
+  MCMM_REQUIRE(cs >= static_cast<std::int64_t>(p) * cd,
+               "MachineConfig: inclusivity requires CS >= p * CD");
+  MCMM_REQUIRE(sigma_s > 0 && sigma_d > 0,
+               "MachineConfig: bandwidths must be positive");
+}
+
+MachineConfig MachineConfig::with_caches_scaled(std::int64_t num,
+                                                std::int64_t den) const {
+  MCMM_REQUIRE(num >= 1 && den >= 1, "with_caches_scaled: bad factor");
+  MachineConfig out = *this;
+  out.cs = cs * num / den;
+  out.cd = cd * num / den;
+  return out;
+}
+
+MachineConfig MachineConfig::realistic_quadcore(std::int64_t q,
+                                                double data_fraction) {
+  MCMM_REQUIRE(q >= 1, "realistic_quadcore: q must be >= 1");
+  MCMM_REQUIRE(data_fraction > 0 && data_fraction <= 1,
+               "realistic_quadcore: data_fraction in (0, 1]");
+  const double block_bytes = static_cast<double>(q) * static_cast<double>(q) * 8.0;
+  MachineConfig out;
+  out.p = 4;
+  out.cs = static_cast<std::int64_t>(std::ceil(8e6 / block_bytes));
+  out.cd = static_cast<std::int64_t>(
+      std::ceil(data_fraction * 256e3 / block_bytes));
+  return out;
+}
+
+MachineConfig MachineConfig::with_bandwidth_ratio(double r) const {
+  MCMM_REQUIRE(r >= 0 && r <= 1, "with_bandwidth_ratio: r must be in [0,1]");
+  // r = sigma_S / (sigma_S + sigma_D), normalised to sigma_S + sigma_D = 2.
+  // Tdata diverges as either bandwidth vanishes, yet the paper's Figure 12
+  // plots finite values at r = 0 and r = 1; clamp the ratio to [0.01, 0.99]
+  // so the endpoints extend the trend instead of exploding.
+  const double eps = 0.01;
+  const double rr = std::min(1.0 - eps, std::max(eps, r));
+  MachineConfig out = *this;
+  out.sigma_s = 2.0 * rr;
+  out.sigma_d = 2.0 * (1.0 - rr);
+  return out;
+}
+
+std::string MachineConfig::describe() const {
+  return "p=" + std::to_string(p) + " CS=" + std::to_string(cs) +
+         " CD=" + std::to_string(cd) + " sigmaS=" + std::to_string(sigma_s) +
+         " sigmaD=" + std::to_string(sigma_d);
+}
+
+}  // namespace mcmm

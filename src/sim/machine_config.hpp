@@ -1,0 +1,44 @@
+// Description of the simulated multicore processor (Figure 1 of the paper):
+// p cores, each with a private (distributed) cache of CD blocks fed at
+// bandwidth sigma_D from a shared cache of CS blocks, itself fed at
+// bandwidth sigma_S from an infinite main memory.  Caches are inclusive
+// and fully associative; capacities are expressed in q x q blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcmm {
+
+struct MachineConfig {
+  int p = 4;                ///< number of cores
+  std::int64_t cs = 977;    ///< shared-cache capacity, in blocks
+  std::int64_t cd = 21;     ///< per-core distributed-cache capacity, in blocks
+  double sigma_s = 1.0;     ///< memory -> shared cache bandwidth (blocks/unit)
+  double sigma_d = 1.0;     ///< shared -> distributed cache bandwidth
+
+  /// Throws mcmm::Error if the configuration violates the model
+  /// (p >= 1, capacities >= 1; inclusivity requires CS >= p*CD).
+  void validate() const;
+
+  /// Same machine with both cache capacities scaled by an integer factor —
+  /// used by the LRU(2C) competitiveness experiments of Figures 4-6.
+  MachineConfig with_caches_scaled(std::int64_t num, std::int64_t den) const;
+
+  /// The paper's "realistic quad-core": 8 MB shared cache, 4 x 256 KB
+  /// distributed caches, 8-byte coefficients in q x q blocks, with
+  /// `data_fraction` of each distributed cache available to data (the paper
+  /// uses 2/3 optimistically and 1/2 pessimistically).  Sizes use decimal
+  /// MB/KB and round up, matching the capacities quoted in Section 4.1
+  /// (q=32 -> CS=977, CD=21 or 16; q=64 -> 245, 6 or 4; q=80 -> 157, 4 or 3).
+  static MachineConfig realistic_quadcore(std::int64_t q,
+                                          double data_fraction);
+
+  /// Bandwidths from the paper's ratio parameter r = sigma_S/(sigma_S+sigma_D),
+  /// normalised so sigma_S + sigma_D = 2.
+  MachineConfig with_bandwidth_ratio(double r) const;
+
+  std::string describe() const;
+};
+
+}  // namespace mcmm

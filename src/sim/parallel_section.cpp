@@ -1,0 +1,89 @@
+#include "sim/parallel_section.hpp"
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+ParallelSection::ParallelSection(Machine& machine)
+    : machine_(machine),
+      queues_(static_cast<std::size_t>(machine.cores())) {}
+
+void ParallelSection::enqueue(int core, Op op) {
+  MCMM_ASSERT(core >= 0 && core < machine_.cores(),
+              "ParallelSection: bad core index");
+  queues_[static_cast<std::size_t>(core)].push_back(op);
+}
+
+void ParallelSection::fma(int core, std::int64_t i, std::int64_t j,
+                          std::int64_t k) {
+  MCMM_ASSERT(i >= 0 && i < (1 << 30) && j >= 0 && j < (1 << 30) && k >= 0 &&
+                  k < (1 << 30),
+              "ParallelSection::fma: index out of range");
+  enqueue(core, Op{Kind::kFma, 0, static_cast<std::int32_t>(i),
+                   static_cast<std::int32_t>(j), static_cast<std::int32_t>(k)});
+}
+
+void ParallelSection::access(int core, BlockId b, Rw rw) {
+  enqueue(core, Op{rw == Rw::kRead ? Kind::kRead : Kind::kWrite, b.bits(), 0,
+                   0, 0});
+}
+
+void ParallelSection::load_distributed(int core, BlockId b) {
+  enqueue(core, Op{Kind::kLoadD, b.bits(), 0, 0, 0});
+}
+
+void ParallelSection::evict_distributed(int core, BlockId b) {
+  enqueue(core, Op{Kind::kEvictD, b.bits(), 0, 0, 0});
+}
+
+void ParallelSection::update_shared(int core, BlockId b) {
+  enqueue(core, Op{Kind::kUpdateShared, b.bits(), 0, 0, 0});
+}
+
+void ParallelSection::run() {
+  const std::int64_t chunk = machine_.interleave_chunk();
+  std::vector<std::size_t> next(queues_.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      const int core = static_cast<int>(c);
+      for (std::int64_t step = 0;
+           step < chunk && next[c] < queues_[c].size(); ++step) {
+        const Op& op = queues_[c][next[c]++];
+        switch (op.kind) {
+          case Kind::kFma:
+            machine_.fma(core, op.i, op.j, op.k);
+            break;
+          case Kind::kRead:
+            machine_.access(core, BlockId::from_bits(op.block_bits), Rw::kRead);
+            break;
+          case Kind::kWrite:
+            machine_.access(core, BlockId::from_bits(op.block_bits),
+                            Rw::kWrite);
+            break;
+          case Kind::kLoadD:
+            machine_.load_distributed(core, BlockId::from_bits(op.block_bits));
+            break;
+          case Kind::kEvictD:
+            machine_.evict_distributed(core,
+                                       BlockId::from_bits(op.block_bits));
+            break;
+          case Kind::kUpdateShared:
+            machine_.update_shared(core, BlockId::from_bits(op.block_bits));
+            break;
+        }
+        progressed = true;
+      }
+    }
+  }
+  for (auto& q : queues_) q.clear();
+}
+
+std::int64_t ParallelSection::pending() const {
+  std::int64_t n = 0;
+  for (const auto& q : queues_) n += static_cast<std::int64_t>(q.size());
+  return n;
+}
+
+}  // namespace mcmm

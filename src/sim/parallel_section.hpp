@@ -1,0 +1,67 @@
+// Deterministic simulation of the paper's "foreach core c in parallel"
+// regions.
+//
+// Each core's operations — block FMAs interleaved with its own
+// distributed-cache management — are queued separately, then dispatched
+// round-robin, one operation per core per round.  This models p identical
+// cores progressing in lockstep (the paper assumes equal-speed cores and
+// contention-free cache loads) while keeping the simulation
+// single-threaded and bit-reproducible.
+//
+// Under the LRU policy the management operations are no-ops inside the
+// Machine, so the same queued program runs under both policies; only the
+// FMA access order matters there, and the round-robin interleaving is part
+// of the simulated semantics.  Under the IDEAL policy the management
+// operations move data and are validated by the Machine's assertions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace mcmm {
+
+class ParallelSection {
+public:
+  explicit ParallelSection(Machine& machine);
+
+  /// Queue C[i,j] += A[i,k]*B[k,j] on `core`.
+  void fma(int core, std::int64_t i, std::int64_t j, std::int64_t k);
+
+  /// Queue a raw data access on `core` (kernels other than the matrix
+  /// product, e.g. the LU extension's factor/trsm/update block ops).
+  void access(int core, BlockId b, Rw rw);
+
+  /// Queue IDEAL-mode distributed-cache management on `core`.
+  void load_distributed(int core, BlockId b);
+  void evict_distributed(int core, BlockId b);
+  void update_shared(int core, BlockId b);
+
+  /// Dispatch all queued operations round-robin and clear the queues.
+  void run();
+
+  /// Total operations currently queued (tests).
+  std::int64_t pending() const;
+
+private:
+  enum class Kind : std::uint8_t {
+    kFma,
+    kRead,
+    kWrite,
+    kLoadD,
+    kEvictD,
+    kUpdateShared,
+  };
+  struct Op {
+    Kind kind;
+    std::uint64_t block_bits;  // for access and cache-management ops
+    std::int32_t i, j, k;      // for FMAs
+  };
+  void enqueue(int core, Op op);
+
+  Machine& machine_;
+  std::vector<std::vector<Op>> queues_;
+};
+
+}  // namespace mcmm

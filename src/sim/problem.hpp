@@ -1,0 +1,33 @@
+// The matrix-product instance C = A x B, measured in q x q blocks:
+// A is m x z, B is z x n, C is m x n (all dimensions in blocks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+struct Problem {
+  std::int64_t m = 0;  ///< block-rows of A and C
+  std::int64_t n = 0;  ///< block-cols of B and C
+  std::int64_t z = 0;  ///< block-cols of A == block-rows of B
+
+  static Problem square(std::int64_t order) { return {order, order, order}; }
+
+  void validate() const {
+    MCMM_REQUIRE(m >= 1 && n >= 1 && z >= 1,
+                 "Problem: dimensions must be >= 1 block");
+  }
+
+  /// Total block multiply-adds of any conventional algorithm.
+  std::int64_t fmas() const { return m * n * z; }
+
+  std::string describe() const {
+    return std::to_string(m) + "x" + std::to_string(z) + " * " +
+           std::to_string(z) + "x" + std::to_string(n);
+  }
+};
+
+}  // namespace mcmm

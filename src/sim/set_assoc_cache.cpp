@@ -1,0 +1,50 @@
+#include "sim/set_assoc_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+SetAssocCache::SetAssocCache(std::int64_t capacity_blocks, std::int64_t ways)
+    : capacity_(capacity_blocks), ways_(ways) {
+  MCMM_REQUIRE(capacity_blocks >= 1, "SetAssocCache: capacity must be >= 1");
+  MCMM_REQUIRE(ways >= 1 && ways <= capacity_blocks,
+               "SetAssocCache: ways must be in [1, capacity]");
+  MCMM_REQUIRE(capacity_blocks % ways == 0,
+               "SetAssocCache: ways must divide the capacity");
+  const std::int64_t num_sets = capacity_blocks / ways;
+  sets_.reserve(static_cast<std::size_t>(num_sets));
+  for (std::int64_t s = 0; s < num_sets; ++s) sets_.emplace_back(ways);
+}
+
+std::size_t SetAssocCache::set_index(BlockId b) const {
+  // Same mixed hash as the block maps; sets_.size() need not be a power
+  // of two, so reduce by modulo.
+  const std::uint64_t h = b.bits() * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>((h >> 32) % sets_.size());
+}
+
+std::int64_t SetAssocCache::size() const {
+  std::int64_t n = 0;
+  for (const auto& s : sets_) n += s.size();
+  return n;
+}
+
+bool SetAssocCache::contains(BlockId b) const {
+  return sets_[set_index(b)].contains(b);
+}
+
+bool SetAssocCache::touch(BlockId b) { return sets_[set_index(b)].touch(b); }
+
+std::optional<LruCache::Evicted> SetAssocCache::insert(BlockId b, bool dirty) {
+  return sets_[set_index(b)].insert(b, dirty);
+}
+
+void SetAssocCache::mark_dirty(BlockId b) {
+  sets_[set_index(b)].mark_dirty(b);
+}
+
+std::optional<bool> SetAssocCache::erase(BlockId b) {
+  return sets_[set_index(b)].erase(b);
+}
+
+}  // namespace mcmm

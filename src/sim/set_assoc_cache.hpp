@@ -1,0 +1,65 @@
+// Set-associative LRU cache — an ablation of the paper's full-associativity
+// assumption.
+//
+// The paper's model (and Machine) uses fully-associative caches; real
+// hardware is W-way set-associative, which adds *conflict* misses when hot
+// blocks collide in a set.  This cache partitions its capacity into
+// capacity/ways sets, indexes blocks by a hash of their id, and runs LRU
+// within each set.  ways == capacity degenerates to the fully-associative
+// cache (one set), which the tests exploit for differential validation
+// against LruCache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/block_id.hpp"
+#include "sim/lru_cache.hpp"
+
+namespace mcmm {
+
+class SetAssocCache {
+public:
+  /// `capacity_blocks` total blocks, `ways` per set (ways | capacity).
+  SetAssocCache(std::int64_t capacity_blocks, std::int64_t ways);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t ways() const { return ways_; }
+  std::int64_t sets() const { return static_cast<std::int64_t>(sets_.size()); }
+  std::int64_t size() const;
+
+  bool contains(BlockId b) const;
+
+  /// If resident: promote to MRU within its set and return true.
+  bool touch(BlockId b);
+
+  /// Insert a non-resident block; evicts its set's LRU entry when the set
+  /// is full (even if other sets have room — that is the conflict miss).
+  std::optional<LruCache::Evicted> insert(BlockId b, bool dirty);
+
+  void mark_dirty(BlockId b);
+  std::optional<bool> erase(BlockId b);
+
+private:
+  std::size_t set_index(BlockId b) const;
+
+  std::int64_t capacity_;
+  std::int64_t ways_;
+  std::vector<LruCache> sets_;
+};
+
+/// Convenience: simulate a trace's single-cache misses under a given
+/// associativity (cold + capacity + conflict); ways == capacity gives the
+/// fully-associative count.
+struct AssocMisses {
+  std::int64_t misses = 0;
+  std::int64_t accesses = 0;
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+}  // namespace mcmm

@@ -1,0 +1,70 @@
+#include "trace/belady.hpp"
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+std::int64_t belady_misses(const std::vector<BlockId>& accesses,
+                           std::int64_t capacity) {
+  MCMM_REQUIRE(capacity >= 1, "belady_misses: capacity must be >= 1");
+  const std::size_t n = accesses.size();
+
+  // Pass 1: next_use[i] = index of the next access to the same block
+  // (n == "never again").
+  std::vector<std::size_t> next_use(n, n);
+  std::unordered_map<std::uint64_t, std::size_t> last_seen;
+  last_seen.reserve(n / 4 + 8);
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t key = accesses[i].bits();
+    const auto it = last_seen.find(key);
+    next_use[i] = it == last_seen.end() ? n : it->second;
+    last_seen[key] = i;
+  }
+
+  // Pass 2: simulate.  `resident` maps block -> its current next use;
+  // `order` keeps residents sorted by next use, largest (furthest) last.
+  std::int64_t misses = 0;
+  std::unordered_map<std::uint64_t, std::size_t> resident;
+  resident.reserve(static_cast<std::size_t>(capacity) * 2);
+  std::set<std::pair<std::size_t, std::uint64_t>> order;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = accesses[i].bits();
+    const auto it = resident.find(key);
+    if (it != resident.end()) {
+      order.erase({it->second, key});
+    } else {
+      ++misses;
+      if (static_cast<std::int64_t>(resident.size()) == capacity) {
+        // Evict the block used farthest in the future (or never).
+        const auto victim = std::prev(order.end());
+        resident.erase(victim->second);
+        order.erase(victim);
+      }
+    }
+    resident[key] = next_use[i];
+    order.insert({next_use[i], key});
+  }
+  return misses;
+}
+
+std::vector<std::int64_t> per_core_belady_misses(const Trace& trace,
+                                                 int cores,
+                                                 std::int64_t capacity) {
+  MCMM_REQUIRE(cores >= 1, "per_core_belady_misses: cores must be >= 1");
+  std::vector<std::vector<BlockId>> streams(static_cast<std::size_t>(cores));
+  for (const AccessEvent& e : trace.events()) {
+    MCMM_REQUIRE(e.core >= 0 && e.core < cores,
+                 "per_core_belady_misses: event core out of range");
+    streams[static_cast<std::size_t>(e.core)].push_back(e.block());
+  }
+  std::vector<std::int64_t> out;
+  out.reserve(streams.size());
+  for (const auto& s : streams) out.push_back(belady_misses(s, capacity));
+  return out;
+}
+
+}  // namespace mcmm

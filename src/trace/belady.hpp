@@ -1,0 +1,38 @@
+// Belady's optimal replacement (MIN/OPT): evict the resident block whose
+// next use lies farthest in the future.
+//
+// The paper's IDEAL mode is *hand-managed* (each algorithm decides its own
+// loads and evictions); MIN is the provably optimal automatic policy for a
+// known trace.  Having both lets the library answer two questions the
+// paper leaves implicit:
+//  * how close are the hand-crafted managements to the per-trace optimum
+//    (MIN lower-bounds any explicit management of the same stream), and
+//  * does the Frigo et al. competitiveness theorem the paper's Section 2.1
+//    cites — LRU with capacity 2C incurs at most twice the misses of an
+//    ideal (MIN) cache of capacity C — hold on these traces (it must; the
+//    test suite checks the actual inequality, not the paraphrase).
+//
+// Complexity: O(N log C) time, O(N) space (two passes: next-use indices,
+// then a furthest-next-use eviction set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/block_id.hpp"
+#include "trace/trace.hpp"
+
+namespace mcmm {
+
+/// Misses of a single MIN-managed cache of `capacity` blocks serving the
+/// access stream in order.
+std::int64_t belady_misses(const std::vector<BlockId>& accesses,
+                           std::int64_t capacity);
+
+/// Per-core MIN miss counts for a recorded machine trace (each core's
+/// stream served by its own private cache, as in the machine model).
+std::vector<std::int64_t> per_core_belady_misses(const Trace& trace,
+                                                 int cores,
+                                                 std::int64_t capacity);
+
+}  // namespace mcmm

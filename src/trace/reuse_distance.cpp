@@ -1,0 +1,104 @@
+#include "trace/reuse_distance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+std::int64_t ReuseProfile::lru_misses(std::int64_t capacity) const {
+  MCMM_REQUIRE(capacity >= 1, "lru_misses: capacity must be >= 1");
+  std::int64_t misses = cold;
+  for (std::size_t d = static_cast<std::size_t>(capacity) + 1;
+       d < counts.size(); ++d) {
+    misses += counts[d];
+  }
+  return misses;
+}
+
+std::int64_t ReuseProfile::working_set() const {
+  for (std::size_t d = counts.size(); d-- > 1;) {
+    if (counts[d] > 0) return static_cast<std::int64_t>(d);
+  }
+  return 0;
+}
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() { profile_.counts.resize(1); }
+
+void ReuseDistanceAnalyzer::fenwick_add(std::size_t pos, std::int64_t delta) {
+  for (std::size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1)) {
+    tree_[i - 1] += delta;
+  }
+}
+
+std::int64_t ReuseDistanceAnalyzer::fenwick_sum(std::size_t pos) const {
+  std::int64_t s = 0;
+  for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+    s += tree_[i - 1];
+  }
+  return s;
+}
+
+std::int64_t ReuseDistanceAnalyzer::feed(BlockId b) {
+  // Grow the timestamp tree lazily (doubling keeps adds amortised O(log N)).
+  if (now_ >= tree_.size()) {
+    std::vector<std::int64_t> bigger(std::max<std::size_t>(tree_.size() * 2, 1024), 0);
+    // Rebuild: only "most recent access" positions carry a 1.
+    tree_.swap(bigger);
+    for (const auto& [key, pos] : last_) {
+      (void)key;
+      fenwick_add(pos, 1);
+    }
+  }
+
+  std::int64_t depth = -1;
+  auto it = last_.find(b.bits());
+  if (it != last_.end()) {
+    // Distinct blocks since the previous access = number of "most recent"
+    // markers strictly after it; +1 for the block itself.
+    const std::int64_t after =
+        fenwick_sum(now_ == 0 ? 0 : now_ - 1) - fenwick_sum(it->second);
+    depth = after + 1;
+    fenwick_add(it->second, -1);
+    it->second = now_;
+  } else {
+    last_.emplace(b.bits(), now_);
+  }
+  fenwick_add(now_, 1);
+  ++now_;
+
+  ++profile_.total;
+  if (depth < 0) {
+    ++profile_.cold;
+  } else {
+    if (static_cast<std::size_t>(depth) >= profile_.counts.size()) {
+      profile_.counts.resize(static_cast<std::size_t>(depth) + 1, 0);
+    }
+    ++profile_.counts[static_cast<std::size_t>(depth)];
+  }
+  return depth;
+}
+
+ReuseProfile reuse_profile(const Trace& trace) {
+  ReuseDistanceAnalyzer analyzer;
+  for (const AccessEvent& e : trace.events()) analyzer.feed(e.block());
+  return analyzer.profile();
+}
+
+std::vector<ReuseProfile> per_core_reuse_profiles(const Trace& trace,
+                                                  int cores) {
+  MCMM_REQUIRE(cores >= 1, "per_core_reuse_profiles: cores must be >= 1");
+  std::vector<ReuseDistanceAnalyzer> analyzers(
+      static_cast<std::size_t>(cores));
+  for (const AccessEvent& e : trace.events()) {
+    MCMM_REQUIRE(e.core >= 0 && e.core < cores,
+                 "per_core_reuse_profiles: event core out of range");
+    analyzers[static_cast<std::size_t>(e.core)].feed(e.block());
+  }
+  std::vector<ReuseProfile> out;
+  out.reserve(analyzers.size());
+  for (const auto& a : analyzers) out.push_back(a.profile());
+  return out;
+}
+
+}  // namespace mcmm

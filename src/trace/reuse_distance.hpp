@@ -1,0 +1,76 @@
+// Exact LRU stack-distance (reuse-distance) analysis, after Olken (1981).
+//
+// The stack distance of an access is the number of *distinct* blocks
+// touched since the previous access to the same block, counting the block
+// itself — i.e. its depth in the LRU stack.  A fully-associative LRU cache
+// of capacity C hits exactly the accesses with depth <= C, so one pass
+// over a trace predicts the miss count for EVERY capacity simultaneously.
+// The test suite uses this as an independent oracle for the LRU simulator.
+//
+// Caveat for per-core predictions on the two-level machine: the oracle
+// models each private cache as an ISOLATED LRU cache over its core's
+// stream.  That is exact whenever the shared cache never evicts a block
+// still resident below (MachineStats::back_invalidations == 0).  Under
+// shared-cache pressure, inclusivity back-invalidation perturbs the
+// private contents and the counts become incomparable in general — the
+// removal usually costs extra misses, but can also prevent a worse
+// eviction later (a Belady-anomaly-like effect the fuzzer observed).
+//
+// Complexity: O(N log N) time, O(B) space (N accesses, B distinct blocks),
+// via a Fenwick tree over access timestamps.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mcmm {
+
+/// Histogram of stack depths: `counts[d]` = accesses at depth d (1-based;
+/// index 0 is unused), `cold` = first-ever accesses (infinite depth).
+struct ReuseProfile {
+  std::vector<std::int64_t> counts;
+  std::int64_t cold = 0;
+  std::int64_t total = 0;
+
+  /// Misses of a fully-associative LRU cache with `capacity` blocks:
+  /// cold misses plus every access at depth > capacity.
+  std::int64_t lru_misses(std::int64_t capacity) const;
+
+  /// Smallest capacity achieving `lru_misses(c) == cold` (i.e. only
+  /// compulsory misses remain); 0 for an empty profile.
+  std::int64_t working_set() const;
+};
+
+/// Streaming analyzer: feed accesses one at a time.
+class ReuseDistanceAnalyzer {
+public:
+  ReuseDistanceAnalyzer();
+
+  /// Process one access; returns its stack depth (1-based), or -1 for a
+  /// cold (first) access.
+  std::int64_t feed(BlockId b);
+
+  const ReuseProfile& profile() const { return profile_; }
+
+private:
+  void fenwick_add(std::size_t pos, std::int64_t delta);
+  std::int64_t fenwick_sum(std::size_t pos) const;  // prefix [0, pos]
+
+  std::vector<std::int64_t> tree_;                   // Fenwick over timestamps
+  std::unordered_map<std::uint64_t, std::size_t> last_;  // block -> timestamp
+  std::size_t now_ = 0;
+  ReuseProfile profile_;
+};
+
+/// Profile a whole trace (all cores merged — the shared-cache view of a
+/// single computing system, as in Section 2.3.2's bound).
+ReuseProfile reuse_profile(const Trace& trace);
+
+/// Per-core profiles (each core's distributed-cache request stream).
+std::vector<ReuseProfile> per_core_reuse_profiles(const Trace& trace,
+                                                  int cores);
+
+}  // namespace mcmm

@@ -1,0 +1,105 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+void Trace::append(int core, BlockId b, Rw rw) {
+  AccessEvent e;
+  e.block_bits = b.bits();
+  e.core = core;
+  e.is_write = rw == Rw::kWrite ? 1 : 0;
+  events_.push_back(e);
+}
+
+TraceStats Trace::stats() const {
+  TraceStats out;
+  out.accesses = static_cast<std::int64_t>(events_.size());
+  std::unordered_set<std::uint64_t> footprint;
+  int max_core = -1;
+  for (const AccessEvent& e : events_) max_core = std::max(max_core, e.core);
+  out.per_core.assign(static_cast<std::size_t>(max_core + 1), 0);
+  for (const AccessEvent& e : events_) {
+    if (e.is_write) {
+      ++out.writes;
+    } else {
+      ++out.reads;
+    }
+    footprint.insert(e.block_bits);
+    ++out.per_matrix[static_cast<std::size_t>(e.block().tag())];
+    ++out.per_core[static_cast<std::size_t>(e.core)];
+  }
+  out.distinct_blocks = static_cast<std::int64_t>(footprint.size());
+  return out;
+}
+
+Trace Trace::filter_core(int core) const {
+  Trace out;
+  for (const AccessEvent& e : events_) {
+    if (e.core == core) out.events_.push_back(e);
+  }
+  return out;
+}
+
+void Trace::replay(Machine& machine) const {
+  for (const AccessEvent& e : events_) {
+    MCMM_REQUIRE(e.core >= 0 && e.core < machine.cores(),
+                 "Trace::replay: event core exceeds machine cores");
+    machine.access(e.core, e.block(), e.rw());
+  }
+}
+
+namespace {
+constexpr char kMagic[8] = {'M', 'C', 'M', 'M', 'T', 'R', 'C', '1'};
+}  // namespace
+
+void Trace::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  MCMM_REQUIRE(f != nullptr, "Trace::save: cannot open " + path);
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  const std::uint64_t count = events_.size();
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  if (count > 0) {
+    ok = ok && std::fwrite(events_.data(), sizeof(AccessEvent), events_.size(),
+                           f) == events_.size();
+  }
+  const bool closed = std::fclose(f) == 0;
+  MCMM_REQUIRE(ok && closed, "Trace::save: short write to " + path);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  MCMM_REQUIRE(f != nullptr, "Trace::load: cannot open " + path);
+  char magic[8];
+  std::uint64_t count = 0;
+  bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
+            std::memcmp(magic, kMagic, sizeof(magic)) == 0 &&
+            std::fread(&count, sizeof(count), 1, f) == 1;
+  Trace out;
+  if (ok) {
+    out.events_.resize(count);
+    if (count > 0) {
+      ok = std::fread(out.events_.data(), sizeof(AccessEvent), count, f) ==
+           count;
+    }
+  }
+  std::fclose(f);
+  MCMM_REQUIRE(ok, "Trace::load: " + path + " is not a valid trace file");
+  for (const AccessEvent& e : out.events_) {
+    MCMM_REQUIRE((e.block_bits >> 60) <= 2 && e.core >= 0 && e.is_write <= 1,
+                 "Trace::load: corrupt event in " + path);
+  }
+  return out;
+}
+
+void record_into(Machine& machine, Trace& trace) {
+  machine.set_access_observer(
+      [&trace](int core, BlockId b, Rw rw) { trace.append(core, b, rw); });
+}
+
+}  // namespace mcmm

@@ -1,0 +1,74 @@
+// Block-access traces: capture a schedule's data-access stream from the
+// simulated machine, inspect it, persist it, and replay it.
+//
+// Traces decouple schedule generation from cache evaluation: one recorded
+// run can be replayed against many cache geometries, or fed to the exact
+// reuse-distance analyzer (reuse_distance.hpp), which predicts LRU misses
+// for *every* capacity at once — an independent check of the LRU
+// simulator used by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/block_id.hpp"
+#include "sim/machine.hpp"
+
+namespace mcmm {
+
+/// One data access, 16 bytes.
+struct AccessEvent {
+  std::uint64_t block_bits = 0;
+  std::int32_t core = 0;
+  std::uint8_t is_write = 0;
+
+  BlockId block() const { return BlockId::from_bits(block_bits); }
+  Rw rw() const { return is_write ? Rw::kWrite : Rw::kRead; }
+};
+
+/// Aggregate statistics of a trace (per matrix and per core).
+struct TraceStats {
+  std::int64_t accesses = 0;
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t distinct_blocks = 0;            ///< footprint
+  std::int64_t per_matrix[3] = {0, 0, 0};      ///< accesses to A, B, C
+  std::vector<std::int64_t> per_core;
+};
+
+/// An in-memory access trace.
+class Trace {
+public:
+  void append(int core, BlockId b, Rw rw);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const AccessEvent& operator[](std::size_t i) const { return events_[i]; }
+  const std::vector<AccessEvent>& events() const { return events_; }
+
+  TraceStats stats() const;
+
+  /// The subsequence of accesses issued by one core (its distributed-cache
+  /// request stream).
+  Trace filter_core(int core) const;
+
+  /// Replay every access onto a machine, preserving order.  Under LRU this
+  /// reproduces the recorded run's miss counts exactly (given the same
+  /// geometry).  Throws if an event's core exceeds the machine's.
+  void replay(Machine& machine) const;
+
+  /// Binary round-trip ("MCMMTRC1" header + count + raw events).
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+private:
+  std::vector<AccessEvent> events_;
+};
+
+/// Attach a recorder to `machine`: every subsequent access is appended to
+/// the returned Trace until the machine's access observer is replaced.
+/// The Trace must outlive the recording (it is captured by reference).
+void record_into(Machine& machine, Trace& trace);
+
+}  // namespace mcmm

@@ -1,0 +1,127 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  Opt o;
+  o.help = help;
+  o.is_flag = true;
+  o.value = "false";
+  opts_[name] = std::move(o);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  Opt o;
+  o.help = help;
+  o.value = default_value;
+  opts_[name] = std::move(o);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(program_, "");
+      return false;
+    }
+    MCMM_REQUIRE(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = opts_.find(arg);
+    MCMM_REQUIRE(it != opts_.end(), "unknown option: --" + arg);
+    Opt& o = it->second;
+    if (o.is_flag) {
+      MCMM_REQUIRE(!has_value, "flag --" + arg + " does not take a value");
+      o.value = "true";
+    } else {
+      if (!has_value) {
+        MCMM_REQUIRE(i + 1 < argc, "option --" + arg + " needs a value");
+        value = argv[++i];
+      }
+      o.value = value;
+    }
+    o.set = true;
+  }
+  return true;
+}
+
+const CliParser::Opt& CliParser::find(const std::string& name) const {
+  auto it = opts_.find(name);
+  MCMM_REQUIRE(it != opts_.end(), "option not declared: --" + name);
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  return find(name).value == "true";
+}
+
+std::string CliParser::str(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  const std::string& v = find(name).value;
+  char* end = nullptr;
+  const long long r = std::strtoll(v.c_str(), &end, 10);
+  MCMM_REQUIRE(end && *end == '\0' && !v.empty(),
+               "option --" + name + ": not an integer: " + v);
+  return r;
+}
+
+double CliParser::real(const std::string& name) const {
+  const std::string& v = find(name).value;
+  char* end = nullptr;
+  const double r = std::strtod(v.c_str(), &end);
+  MCMM_REQUIRE(end && *end == '\0' && !v.empty(),
+               "option --" + name + ": not a number: " + v);
+  return r;
+}
+
+std::vector<std::int64_t> CliParser::integer_list(
+    const std::string& name) const {
+  const std::string v = find(name).value;
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    std::size_t comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    const std::string tok = v.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long long r = std::strtoll(tok.c_str(), &end, 10);
+    MCMM_REQUIRE(end && *end == '\0' && !tok.empty(),
+                 "option --" + name + ": bad list element: " + tok);
+    out.push_back(r);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void CliParser::print_help(const std::string& program,
+                           const std::string& blurb) const {
+  std::printf("usage: %s [options]\n", program.c_str());
+  if (!blurb.empty()) std::printf("%s\n", blurb.c_str());
+  std::printf("options:\n");
+  for (const auto& [name, o] : opts_) {
+    if (o.is_flag) {
+      std::printf("  --%-24s %s\n", name.c_str(), o.help.c_str());
+    } else {
+      std::printf("  --%-24s %s (default: %s)\n", (name + " <v>").c_str(),
+                  o.help.c_str(), o.value.c_str());
+    }
+  }
+}
+
+}  // namespace mcmm

@@ -1,0 +1,50 @@
+// Minimal command-line parser for the bench/example executables.
+//
+// Supports `--flag`, `--key value` and `--key=value`; unknown arguments are
+// an error so typos in sweep parameters cannot silently run the wrong
+// experiment. Values are parsed on demand with range checking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcmm {
+
+class CliParser {
+public:
+  /// Declare an option before parse(). `help` is shown by print_help().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv; throws mcmm::Error on unknown or malformed arguments.
+  /// Returns false if --help was requested (help text already printed).
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  /// Comma-separated list of integers ("50,100,200").
+  std::vector<std::int64_t> integer_list(const std::string& name) const;
+
+  void print_help(const std::string& program, const std::string& blurb) const;
+
+private:
+  struct Opt {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool set = false;
+  };
+  const Opt& find(const std::string& name) const;
+
+  std::map<std::string, Opt> opts_;
+  std::string program_;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,50 @@
+// Error handling primitives for the multicore_mm library.
+//
+// The library distinguishes two failure classes:
+//  * usage errors (bad configuration, impossible parameters) -> mcmm::Error,
+//    a std::runtime_error subclass thrown by public entry points;
+//  * internal invariant violations (bugs) -> MCMM_ASSERT, which aborts with a
+//    message in all build types.  The simulator relies on these assertions to
+//    validate that IDEAL-mode algorithms never touch non-resident data, so
+//    they are deliberately *not* compiled out in Release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mcmm {
+
+/// Exception thrown on invalid user-supplied configuration or arguments.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "mcmm: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace mcmm
+
+/// Always-on assertion: invariant checks that guard simulator correctness.
+#define MCMM_ASSERT(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::mcmm::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                   \
+  } while (false)
+
+/// Throw an mcmm::Error with a formatted message.
+#define MCMM_REQUIRE(expr, msg)                   \
+  do {                                            \
+    if (!(expr)) {                                \
+      throw ::mcmm::Error(std::string("mcmm: ") + (msg)); \
+    }                                             \
+  } while (false)

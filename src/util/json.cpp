@@ -1,0 +1,138 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  MCMM_ASSERT(!done_, "JsonWriter: document already complete");
+  if (stack_.empty()) return;
+  if (stack_.back() == Ctx::kObject) {
+    MCMM_ASSERT(key_pending_, "JsonWriter: value in object without a key");
+    key_pending_ = false;
+    return;
+  }
+  if (!first_.back()) raw(",");
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  MCMM_ASSERT(!stack_.empty() && stack_.back() == Ctx::kObject,
+              "JsonWriter: key outside an object");
+  MCMM_ASSERT(!key_pending_, "JsonWriter: two keys in a row");
+  if (!first_.back()) raw(",");
+  first_.back() = false;
+  raw("\"");
+  raw(json_escape(k));
+  raw("\":");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back(Ctx::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MCMM_ASSERT(!stack_.empty() && stack_.back() == Ctx::kObject,
+              "JsonWriter: end_object without begin_object");
+  MCMM_ASSERT(!key_pending_, "JsonWriter: dangling key at end_object");
+  raw("}");
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back(Ctx::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MCMM_ASSERT(!stack_.empty() && stack_.back() == Ctx::kArray,
+              "JsonWriter: end_array without begin_array");
+  raw("]");
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  raw("\"");
+  raw(json_escape(v));
+  raw("\"");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  raw(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  MCMM_ASSERT(std::isfinite(v), "JsonWriter: non-finite double");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  raw(buf);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  raw(v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  MCMM_ASSERT(stack_.empty() && done_, "JsonWriter: document incomplete");
+  return out_;
+}
+
+}  // namespace mcmm

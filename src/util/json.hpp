@@ -1,0 +1,57 @@
+// Minimal JSON writer for the CLI tool's machine-readable output.
+//
+// Hand-rolled on purpose (no third-party deps in this repo): supports
+// objects, arrays, strings (escaped), integers, doubles and booleans,
+// with validity enforced by assertions (keys only inside objects, one
+// root value, balanced begin/end).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcmm {
+
+class JsonWriter {
+public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value (objects only).
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The finished document (all containers must be closed).
+  std::string str() const;
+
+private:
+  enum class Ctx { kObject, kArray };
+  void before_value();
+  void raw(const std::string& s) { out_ += s; }
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace mcmm

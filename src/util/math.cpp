@@ -1,0 +1,101 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+std::int64_t isqrt(std::int64_t n) {
+  MCMM_REQUIRE(n >= 0, "isqrt of negative number");
+  if (n < 2) return n;
+  // Start from the FP estimate and correct. Squares are computed in 128-bit
+  // so inputs near INT64_MAX (whose roots square past 2^63) stay exact.
+  auto s = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)));
+  const auto sq = [](std::int64_t v) {
+    return static_cast<__int128>(v) * static_cast<__int128>(v);
+  };
+  while (s > 0 && sq(s) > n) --s;
+  while (sq(s + 1) <= n) ++s;
+  return s;
+}
+
+bool is_perfect_square(std::int64_t n) {
+  if (n < 0) return false;
+  const std::int64_t s = isqrt(n);
+  return s * s == n;
+}
+
+std::int64_t round_down_multiple(std::int64_t n, std::int64_t step) {
+  MCMM_REQUIRE(step >= 1, "round_down_multiple: step must be >= 1");
+  if (n < step) return step;
+  return (n / step) * step;
+}
+
+std::int64_t largest_divisor_at_most(std::int64_t n, std::int64_t bound) {
+  MCMM_REQUIRE(n >= 1, "largest_divisor_at_most: n must be >= 1");
+  MCMM_REQUIRE(bound >= 1, "largest_divisor_at_most: bound must be >= 1");
+  if (bound >= n) return n;
+  for (std::int64_t d = bound; d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;  // unreachable: 1 divides n
+}
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  MCMM_REQUIRE(n >= 1, "divisors: n must be >= 1");
+  std::vector<std::int64_t> lo, hi;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      lo.push_back(d);
+      if (d != n / d) hi.push_back(n / d);
+    }
+  }
+  lo.insert(lo.end(), hi.rbegin(), hi.rend());
+  return lo;
+}
+
+std::int64_t max_reuse_parameter(std::int64_t capacity) {
+  MCMM_REQUIRE(capacity >= 0, "max_reuse_parameter: negative capacity");
+  if (capacity < 3) return 0;
+  // 1 + v + v^2 <= capacity  <=>  v <= (-1 + sqrt(4*capacity - 3)) / 2.
+  std::int64_t v = (isqrt(4 * capacity - 3) - 1) / 2;
+  while (1 + (v + 1) + (v + 1) * (v + 1) <= capacity) ++v;
+  while (v > 0 && 1 + v + v * v > capacity) --v;
+  return v;
+}
+
+Grid balanced_grid(std::int64_t p) {
+  MCMM_REQUIRE(p >= 1, "balanced_grid: p must be >= 1");
+  Grid g;
+  g.r = largest_divisor_at_most(p, isqrt(p));
+  g.c = p / g.r;
+  return g;
+}
+
+std::int64_t lcm(std::int64_t a, std::int64_t b) {
+  MCMM_REQUIRE(a >= 0 && b >= 0, "lcm: negative input");
+  if (a == 0 || b == 0) return 0;
+  std::int64_t x = a, y = b;
+  while (y != 0) {
+    const std::int64_t t = x % y;
+    x = y;
+    y = t;
+  }
+  return a / x * b;
+}
+
+Range chunk_range(std::int64_t total, int parts, int idx) {
+  MCMM_REQUIRE(total >= 0, "chunk_range: negative total");
+  MCMM_REQUIRE(parts >= 1 && idx >= 0 && idx < parts,
+               "chunk_range: bad partition");
+  const std::int64_t base = total / parts;
+  const std::int64_t rem = total % parts;
+  const std::int64_t lo =
+      static_cast<std::int64_t>(idx) * base + std::min<std::int64_t>(idx, rem);
+  const std::int64_t len = base + (idx < rem ? 1 : 0);
+  return Range{lo, lo + len};
+}
+
+}  // namespace mcmm

@@ -1,0 +1,70 @@
+// Small exact-integer math helpers used throughout the library.
+//
+// The paper's parameter formulas (λ, µ, α, β, √p grids) are all integer
+// optimisations; floating-point shortcuts would occasionally round the wrong
+// way near perfect squares, so everything here is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcmm {
+
+/// Exact integer square root: largest s with s*s <= n.
+std::int64_t isqrt(std::int64_t n);
+
+/// True iff n is a perfect square.
+bool is_perfect_square(std::int64_t n);
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Largest multiple of `step` that is <= n (and >= step). Requires step >= 1.
+/// Returns `step` when n < step — callers clamp separately when needed.
+std::int64_t round_down_multiple(std::int64_t n, std::int64_t step);
+
+/// Largest divisor of n that is <= bound (>= 1). Used to snap tile sizes to
+/// matrix dimensions the way the paper's implementation rounds λ and α.
+std::int64_t largest_divisor_at_most(std::int64_t n, std::int64_t bound);
+
+/// All divisors of n in increasing order.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/// Largest integer v >= 0 such that 1 + v + v^2 <= capacity.
+/// This is the paper's λ (capacity = CS) and µ (capacity = CD).
+/// Returns 0 when capacity < 3 (no useful tile fits).
+std::int64_t max_reuse_parameter(std::int64_t capacity);
+
+/// A 2-D processor grid of r rows x c columns (r * c cores).
+/// The paper assumes sqrt(p) x sqrt(p); the library generalises the
+/// grid-based schedules to the most balanced factorisation of any p.
+struct Grid {
+  std::int64_t r = 1;
+  std::int64_t c = 1;
+  std::int64_t cores() const { return r * c; }
+  bool square() const { return r == c; }
+};
+
+/// The most balanced factorisation r x c = p with r <= c (r is the
+/// largest divisor of p not exceeding sqrt(p)).  Perfect squares give
+/// sqrt(p) x sqrt(p); primes degrade to 1 x p.
+Grid balanced_grid(std::int64_t p);
+
+/// Least common multiple (non-negative inputs, lcm(0, x) == 0).
+std::int64_t lcm(std::int64_t a, std::int64_t b);
+
+/// Half-open index range [lo, hi).
+struct Range {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t size() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+};
+
+/// Contiguous split of [0, total) into `parts` chunks whose sizes differ by
+/// at most one (the first `total % parts` chunks get the extra element).
+Range chunk_range(std::int64_t total, int parts, int idx);
+
+}  // namespace mcmm

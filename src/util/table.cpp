@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+SeriesTable::SeriesTable(std::string x_label) : x_label_(std::move(x_label)) {}
+
+std::size_t SeriesTable::add_series(const std::string& name) {
+  names_.push_back(name);
+  for (auto& row : cells_) row.resize(names_.size());
+  return names_.size() - 1;
+}
+
+std::size_t SeriesTable::row_index(double x) {
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (xs_[i] == x) return i;
+  }
+  xs_.push_back(x);
+  cells_.emplace_back(names_.size());
+  return xs_.size() - 1;
+}
+
+void SeriesTable::set(std::size_t series, double x, double y) {
+  MCMM_REQUIRE(series < names_.size(), "SeriesTable::set: bad series index");
+  cells_[row_index(x)][series] = y;
+}
+
+std::optional<double> SeriesTable::cell(std::size_t series, double x) const {
+  MCMM_REQUIRE(series < names_.size(), "SeriesTable::cell: bad series index");
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (xs_[i] == x) return cells_[i][series];
+  }
+  return std::nullopt;
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+void SeriesTable::print_pretty() const {
+  std::vector<std::size_t> widths;
+  widths.push_back(x_label_.size());
+  for (const auto& n : names_) widths.push_back(n.size());
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t r = 0; r < xs_.size(); ++r) {
+    std::vector<std::string> row;
+    row.push_back(format_value(xs_[r]));
+    widths[0] = std::max(widths[0], row.back().size());
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      row.push_back(cells_[r][s] ? format_value(*cells_[r][s]) : "-");
+      widths[s + 1] = std::max(widths[s + 1], row.back().size());
+    }
+    rows.push_back(std::move(row));
+  }
+
+  auto print_cell = [&](const std::string& text, std::size_t w, bool last) {
+    std::printf("%*s%s", static_cast<int>(w), text.c_str(), last ? "\n" : "  ");
+  };
+  print_cell(x_label_, widths[0], names_.empty());
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    print_cell(names_[s], widths[s + 1], s + 1 == names_.size());
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      print_cell(row[c], widths[c], c + 1 == row.size());
+    }
+  }
+}
+
+void SeriesTable::print_csv() const {
+  std::printf("%s", x_label_.c_str());
+  for (const auto& n : names_) std::printf(",%s", n.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < xs_.size(); ++r) {
+    std::printf("%s", format_value(xs_[r]).c_str());
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      std::printf(",%s",
+                  cells_[r][s] ? format_value(*cells_[r][s]).c_str() : "");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace mcmm

@@ -1,0 +1,53 @@
+// Tabular output for the figure-reproduction benches.
+//
+// Every figure in the paper is a set of series over a common x axis (matrix
+// order, or the bandwidth ratio r). `SeriesTable` collects those series and
+// renders them either as an aligned human-readable table or as CSV, so the
+// bench output can be both read in a terminal and piped into a plotter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcmm {
+
+class SeriesTable {
+public:
+  /// `x_label` names the shared x axis (e.g. "order" in block units).
+  explicit SeriesTable(std::string x_label);
+
+  /// Register a series; columns appear in registration order.
+  /// Returns the series index used by `set`.
+  std::size_t add_series(const std::string& name);
+
+  /// Record y value for series `series` at x position `x`.
+  /// Rows are created on first use of an x value; x values keep insertion
+  /// order (benches sweep in increasing order anyway).
+  void set(std::size_t series, double x, double y);
+
+  /// Render with aligned columns. Missing cells print as "-".
+  void print_pretty() const;
+  /// Render as CSV (header + one row per x).
+  void print_csv() const;
+
+  std::size_t num_series() const { return names_.size(); }
+  std::size_t num_rows() const { return xs_.size(); }
+  /// Lookup a cell (for tests).
+  std::optional<double> cell(std::size_t series, double x) const;
+
+private:
+  std::size_t row_index(double x);
+
+  std::string x_label_;
+  std::vector<std::string> names_;
+  std::vector<double> xs_;
+  std::vector<std::vector<std::optional<double>>> cells_;  // [row][series]
+};
+
+/// Format a double the way the figures need: integers (miss counts) print
+/// without decimals, fractional values with 6 significant digits.
+std::string format_value(double v);
+
+}  // namespace mcmm

@@ -1,0 +1,131 @@
+// Invariants every schedule must satisfy, under both cache policies:
+//  * every block FMA (i,j,k) executed exactly once;
+//  * computation spread across all cores;
+//  * under IDEAL: caches left empty (every load paired with an evict);
+//  * miss counts never beat the Loomis-Whitney lower bounds.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::FmaCoverage;
+using mcmm::testing::small_quadcore;
+
+struct Case {
+  std::string algorithm;
+  Problem prob;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string name = c.algorithm + "_" + std::to_string(c.prob.m) + "x" +
+                     std::to_string(c.prob.n) + "x" + std::to_string(c.prob.z);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const std::vector<Problem> probs = {
+      {8, 8, 8},     // divisible by most tile sizes
+      {13, 7, 5},    // ragged everything
+      {1, 1, 1},     // minimal
+      {20, 4, 9},    // wide/flat
+      {3, 17, 11},   // thin/tall
+  };
+  for (const auto& name : algorithm_names()) {
+    for (const auto& prob : probs) {
+      cases.push_back({name, prob});
+    }
+  }
+  return cases;
+}
+
+class AllAlgorithms : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AllAlgorithms, LruCoversIterationSpaceExactlyOnce) {
+  const Case& c = GetParam();
+  Machine machine(small_quadcore(), Policy::kLru);
+  FmaCoverage coverage(machine);
+  make_algorithm(c.algorithm)->run(machine, c.prob, small_quadcore());
+  EXPECT_TRUE(coverage.complete(c.prob));
+  EXPECT_EQ(machine.stats().total_fmas(), c.prob.fmas());
+}
+
+TEST_P(AllAlgorithms, IdealCoversIterationSpaceAndDrainsCaches) {
+  const Case& c = GetParam();
+  const AlgorithmPtr alg = make_algorithm(c.algorithm);
+  if (!alg->supports_ideal()) GTEST_SKIP() << "no IDEAL management";
+  Machine machine(small_quadcore(), Policy::kIdeal);
+  FmaCoverage coverage(machine);
+  alg->run(machine, c.prob, small_quadcore());
+  EXPECT_TRUE(coverage.complete(c.prob));
+  machine.assert_empty();  // every load was paired with an evict
+}
+
+TEST_P(AllAlgorithms, UsesMultipleCoresOnLargeEnoughProblems) {
+  const Case& c = GetParam();
+  if (c.prob.m * c.prob.n < 16) GTEST_SKIP() << "too small to spread";
+  Machine machine(small_quadcore(), Policy::kLru);
+  FmaCoverage coverage(machine);
+  make_algorithm(c.algorithm)->run(machine, c.prob, small_quadcore());
+  EXPECT_GE(coverage.cores_used(), 2) << "work should be parallel";
+}
+
+TEST_P(AllAlgorithms, NeverBeatsLowerBoundsUnderIdeal) {
+  const Case& c = GetParam();
+  const AlgorithmPtr alg = make_algorithm(c.algorithm);
+  if (!alg->supports_ideal()) GTEST_SKIP();
+  const MachineConfig cfg = small_quadcore();
+  Machine machine(cfg, Policy::kIdeal);
+  alg->run(machine, c.prob, cfg);
+  // The bounds are asymptotic in spirit but valid for any size; allow the
+  // tiniest numeric slack.
+  EXPECT_GE(static_cast<double>(machine.stats().ms()) + 1e-9,
+            ms_lower_bound(c.prob, cfg.cs) * 0.999);
+  EXPECT_GE(static_cast<double>(machine.stats().md()) + 1e-9,
+            md_lower_bound(c.prob, cfg.p, cfg.cd) * 0.999);
+}
+
+TEST_P(AllAlgorithms, LruInclusivityMaintained) {
+  const Case& c = GetParam();
+  Machine machine(small_quadcore(), Policy::kLru);
+  make_algorithm(c.algorithm)->run(machine, c.prob, small_quadcore());
+  machine.check_inclusive();
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, AllAlgorithms,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, AllNamesConstruct) {
+  for (const auto& name : algorithm_names()) {
+    const AlgorithmPtr alg = make_algorithm(name);
+    ASSERT_NE(alg, nullptr);
+    EXPECT_EQ(alg->name(), name);
+    EXPECT_FALSE(alg->label().empty());
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_algorithm("strassen"), Error);
+  EXPECT_THROW(make_algorithm(""), Error);
+}
+
+TEST(Registry, OnlyOuterProductLacksIdealSupport) {
+  for (const auto& name : algorithm_names()) {
+    EXPECT_EQ(make_algorithm(name)->supports_ideal(), name != "outer-product")
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

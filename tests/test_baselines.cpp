@@ -1,0 +1,150 @@
+// Behavioural tests for the baselines: Outer Product and the two Equal
+// (Toledo-inspired) schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "alg/equal.hpp"
+#include "alg/outer_product.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::FmaCoverage;
+using mcmm::testing::paper_quadcore;
+
+TEST(OuterProduct, RefusesIdealMachine) {
+  Machine machine(paper_quadcore(), Policy::kIdeal);
+  EXPECT_THROW(OuterProduct().run(machine, Problem::square(4), paper_quadcore()),
+               Error);
+}
+
+TEST(OuterProduct, WorksOnAnyCoreCountViaBalancedGrids) {
+  // The paper assumes a square torus; the library falls back to the most
+  // balanced r x c grid (1 x 3 for three cores) and still covers the
+  // iteration space with balanced work.
+  MachineConfig cfg = paper_quadcore();
+  cfg.p = 3;
+  Machine machine(cfg, Policy::kLru);
+  mcmm::testing::FmaCoverage coverage(machine);
+  const Problem prob{9, 9, 5};
+  OuterProduct().run(machine, prob, cfg);
+  EXPECT_TRUE(coverage.complete(prob));
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(machine.stats().fmas[c], prob.fmas() / 3);
+  }
+}
+
+TEST(OuterProduct, TilePartitionBalancesWork) {
+  const MachineConfig cfg = paper_quadcore();
+  Machine machine(cfg, Policy::kLru);
+  const Problem prob{8, 8, 5};
+  OuterProduct().run(machine, prob, cfg);
+  for (int c = 0; c < cfg.p; ++c) {
+    EXPECT_EQ(machine.stats().fmas[c], prob.fmas() / cfg.p);
+  }
+}
+
+TEST(OuterProduct, StreamsCTileEveryStepWhenCacheTooSmall) {
+  // With a C tile far larger than the caches, every k re-faults the tile:
+  // distributed misses ~ 3 per FMA (a, b and c all miss every time).
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 16;
+  cfg.cd = 4;
+  const Problem prob{40, 40, 6};
+  Machine machine(cfg, Policy::kLru);
+  OuterProduct().run(machine, prob, cfg);
+  const double per_core_fmas =
+      static_cast<double>(prob.fmas()) / static_cast<double>(cfg.p);
+  EXPECT_GT(static_cast<double>(machine.stats().md()), 1.5 * per_core_fmas)
+      << "no reuse: C misses every access, plus most of A/B";
+}
+
+TEST(SharedEqual, UsesSqrtThirdTiles) {
+  // CS = 977 -> s = floor(sqrt(977/3)) = 18 vs SharedOpt's lambda = 30:
+  // about sqrt(3) more shared misses for large matrices.  Order 90 divides
+  // both tile sides, so neither schedule pays ragged-edge penalties.
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob{90, 90, 90};
+  Machine equal(cfg, Policy::kIdeal);
+  SharedEqual().run(equal, prob, cfg);
+  Machine opt(cfg, Policy::kIdeal);
+  make_algorithm("shared-opt")->run(opt, prob, cfg);
+  EXPECT_GT(equal.stats().ms(), opt.stats().ms());
+  const double ratio = static_cast<double>(equal.stats().ms()) /
+                       static_cast<double>(opt.stats().ms());
+  EXPECT_NEAR(ratio, std::sqrt(3.0), 0.45)
+      << "the equal split wastes about sqrt(3) in tile side";
+}
+
+TEST(SharedEqual, IdealMsMatchesTiledExpression) {
+  // MS = sum over (I,J) tiles of [tile + sum over K of (A tile + B tile)].
+  const MachineConfig cfg = paper_quadcore();  // s = 18
+  const std::int64_t s = 18;
+  const Problem prob{20, 15, 10};
+  Machine machine(cfg, Policy::kIdeal);
+  SharedEqual().run(machine, prob, cfg);
+  std::int64_t expect = 0;
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += s) {
+    const std::int64_t ti = std::min(s, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += s) {
+      const std::int64_t tj = std::min(s, prob.n - j0);
+      expect += ti * tj;
+      for (std::int64_t k0 = 0; k0 < prob.z; k0 += s) {
+        const std::int64_t tk = std::min(s, prob.z - k0);
+        expect += ti * tk + tk * tj;
+      }
+    }
+  }
+  EXPECT_EQ(machine.stats().ms(), expect);
+}
+
+TEST(DistributedEqual, WorseThanDistributedOptByAboutSqrtThree) {
+  // CD = 21: s = floor(sqrt(7)) = 2 vs mu = 4.
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob{32, 32, 32};
+  Machine equal(cfg, Policy::kIdeal);
+  DistributedEqual().run(equal, prob, cfg);
+  Machine opt(cfg, Policy::kIdeal);
+  make_algorithm("distributed-opt")->run(opt, prob, cfg);
+  EXPECT_GT(equal.stats().md(), opt.stats().md());
+  const double ratio = static_cast<double>(equal.stats().md()) /
+                       static_cast<double>(opt.stats().md());
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(DistributedEqual, IdealMdFollowsEqualSplitFormula) {
+  // With s | m,n,z and p tiles per group: MD = mn/p + 2mnz/(p s).
+  const MachineConfig cfg = paper_quadcore();  // CD=21 -> s=2
+  const std::int64_t s = 2;
+  const Problem prob{16, 16, 16};
+  Machine machine(cfg, Policy::kIdeal);
+  DistributedEqual().run(machine, prob, cfg);
+  const std::int64_t mn = prob.m * prob.n;
+  const std::int64_t mnz = prob.fmas();
+  EXPECT_EQ(machine.stats().md(), mn / cfg.p + 2 * mnz / (cfg.p * s));
+}
+
+TEST(EqualSchedules, BalanceAcrossCores) {
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob{16, 16, 8};
+  for (const char* name : {"shared-equal", "distributed-equal"}) {
+    Machine machine(cfg, Policy::kLru);
+    make_algorithm(name)->run(machine, prob, cfg);
+    const std::int64_t total = machine.stats().total_fmas();
+    EXPECT_EQ(total, prob.fmas());
+    for (int c = 0; c < cfg.p; ++c) {
+      EXPECT_NEAR(static_cast<double>(machine.stats().fmas[c]),
+                  static_cast<double>(total) / cfg.p,
+                  static_cast<double>(total) / cfg.p * 0.5)
+          << name << " core " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,87 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(LoomisWhitney, OptimumValue) {
+  EXPECT_NEAR(loomis_whitney_k(), std::sqrt(8.0 / 27.0), 1e-15);
+}
+
+// Verify by grid search that eta = nu = xi = 2/3 maximises
+// sqrt(eta nu xi) subject to eta + nu + xi <= 2 (Section 2.3.1).
+TEST(LoomisWhitney, GridSearchConfirmsOptimum) {
+  const double kstar = loomis_whitney_k();
+  double best = 0;
+  const int kSteps = 80;
+  for (int a = 0; a <= kSteps; ++a) {
+    for (int b = 0; b <= kSteps - a; ++b) {
+      const double eta = 2.0 * a / kSteps;
+      const double nu = 2.0 * b / kSteps;
+      const double xi = 2.0 - eta - nu;
+      best = std::max(best, loomis_whitney_objective(eta, nu, xi));
+    }
+  }
+  EXPECT_LE(best, kstar + 1e-12) << "no grid point beats the optimum";
+  EXPECT_NEAR(loomis_whitney_objective(2.0 / 3, 2.0 / 3, 2.0 / 3), kstar,
+              1e-15);
+}
+
+TEST(LoomisWhitney, ObjectiveZeroOutsideFeasibleRegion) {
+  EXPECT_EQ(loomis_whitney_objective(1.0, 1.0, 0.5), 0.0);
+  EXPECT_EQ(loomis_whitney_objective(-0.1, 0.5, 0.5), 0.0);
+}
+
+TEST(CcrBound, Formula) {
+  EXPECT_NEAR(ccr_lower_bound(8), std::sqrt(27.0 / 64.0), 1e-15);
+  EXPECT_NEAR(ccr_lower_bound(977), std::sqrt(27.0 / (8.0 * 977)), 1e-15);
+  EXPECT_THROW(ccr_lower_bound(0), Error);
+}
+
+TEST(CcrBound, DecreasesWithCapacity) {
+  double prev = ccr_lower_bound(1);
+  for (std::int64_t z = 2; z < 2000; z *= 2) {
+    const double cur = ccr_lower_bound(z);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MissBounds, MatchPaperExpressions) {
+  const Problem prob{100, 200, 50};
+  const double mnz = 100.0 * 200.0 * 50.0;
+  EXPECT_NEAR(ms_lower_bound(prob, 977), mnz * std::sqrt(27.0 / (8 * 977.0)),
+              1e-6);
+  EXPECT_NEAR(md_lower_bound(prob, 4, 21),
+              mnz / 4.0 * std::sqrt(27.0 / (8 * 21.0)), 1e-6);
+}
+
+TEST(MissBounds, TdataCombinesBothLevels) {
+  const Problem prob{64, 64, 64};
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  cfg.sigma_s = 2.0;
+  cfg.sigma_d = 0.5;
+  const double expect = ms_lower_bound(prob, cfg.cs) / cfg.sigma_s +
+                        md_lower_bound(prob, cfg.p, cfg.cd) / cfg.sigma_d;
+  EXPECT_NEAR(tdata_lower_bound(prob, cfg), expect, 1e-9);
+}
+
+TEST(MissBounds, ScaleLinearlyWithWork) {
+  const Problem small{10, 10, 10};
+  const Problem big{20, 20, 20};
+  EXPECT_NEAR(ms_lower_bound(big, 245), 8.0 * ms_lower_bound(small, 245),
+              1e-9);
+  EXPECT_NEAR(md_lower_bound(big, 4, 6), 8.0 * md_lower_bound(small, 4, 6),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace mcmm

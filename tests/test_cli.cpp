@@ -1,0 +1,92 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+CliParser make_parser() {
+  CliParser p;
+  p.add_flag("csv", "emit CSV");
+  p.add_option("max-order", "largest matrix order", "384");
+  p.add_option("ratios", "comma-separated ratios", "1,2,3");
+  p.add_option("scale", "a real factor", "1.5");
+  return p;
+}
+
+template <typename... Args>
+bool parse(CliParser& p, Args... args) {
+  const char* argv[] = {"prog", args...};
+  return p.parse(static_cast<int>(sizeof...(args)) + 1, argv);
+}
+
+TEST(Cli, Defaults) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p));
+  EXPECT_FALSE(p.flag("csv"));
+  EXPECT_EQ(p.integer("max-order"), 384);
+  EXPECT_DOUBLE_EQ(p.real("scale"), 1.5);
+}
+
+TEST(Cli, FlagAndSeparateValue) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, "--csv", "--max-order", "600"));
+  EXPECT_TRUE(p.flag("csv"));
+  EXPECT_EQ(p.integer("max-order"), 600);
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, "--max-order=1100", "--scale=0.25"));
+  EXPECT_EQ(p.integer("max-order"), 1100);
+  EXPECT_DOUBLE_EQ(p.real("scale"), 0.25);
+}
+
+TEST(Cli, IntegerList) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, "--ratios", "50,100,150"));
+  EXPECT_EQ(p.integer_list("ratios"),
+            (std::vector<std::int64_t>{50, 100, 150}));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  CliParser p = make_parser();
+  EXPECT_FALSE(parse(p, "--help"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser p = make_parser();
+  EXPECT_THROW(parse(p, "--nope"), Error);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  CliParser p = make_parser();
+  EXPECT_THROW(parse(p, "--max-order"), Error);
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  CliParser p = make_parser();
+  EXPECT_THROW(parse(p, "--csv=yes"), Error);
+}
+
+TEST(Cli, RejectsNonNumeric) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, "--max-order", "abc"));
+  EXPECT_THROW(p.integer("max-order"), Error);
+}
+
+TEST(Cli, RejectsPositionalArgument) {
+  CliParser p = make_parser();
+  EXPECT_THROW(parse(p, "positional"), Error);
+}
+
+TEST(Cli, RejectsUndeclaredLookup) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p));
+  EXPECT_THROW(p.str("never-declared"), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,117 @@
+// Formula exactness for Algorithm 2 (Distributed Opt): under IDEAL with
+// divisible sizes, measured MS and MD equal Section 3.2's closed forms.
+#include <gtest/gtest.h>
+
+#include "alg/distributed_opt.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+// p=4, CD=21 -> mu=4, tile = 8.
+MachineConfig mu4_cfg() {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  return cfg;
+}
+
+struct Dims {
+  std::int64_t m, n, z;
+};
+
+class DistributedOptExact : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(DistributedOptExact, IdealMatchesClosedFormExactly) {
+  const Dims d = GetParam();
+  const MachineConfig cfg = mu4_cfg();
+  const Problem prob{d.m, d.n, d.z};
+  const DistributedOptParams params = distributed_opt_params(cfg);
+  ASSERT_EQ(params.mu, 4);
+  ASSERT_EQ(params.tile_rows(), 8);
+  ASSERT_EQ(params.tile_cols(), 8);
+
+  Machine machine(cfg, Policy::kIdeal);
+  DistributedOpt().run(machine, prob, cfg);
+
+  const MissPrediction pred = predict_distributed_opt(prob, cfg.p, params);
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+  for (int c = 1; c < cfg.p; ++c) {
+    EXPECT_EQ(machine.stats().dist_misses[c], machine.stats().dist_misses[0]);
+    EXPECT_EQ(machine.stats().fmas[c], machine.stats().fmas[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DivisibleSizes, DistributedOptExact,
+    ::testing::Values(Dims{8, 8, 1}, Dims{8, 8, 8}, Dims{16, 8, 5},
+                      Dims{8, 24, 3}, Dims{16, 16, 16}, Dims{32, 16, 10}),
+    [](const ::testing::TestParamInfo<Dims>& info) {
+      std::string name = "m";
+      name += std::to_string(info.param.m);
+      name += "n";
+      name += std::to_string(info.param.n);
+      name += "z";
+      name += std::to_string(info.param.z);
+      return name;
+    });
+
+TEST(DistributedOpt, CSubBlockLoadedOncePerTile) {
+  // The mn/p term: each core loads each of its C blocks exactly once.
+  const MachineConfig cfg = mu4_cfg();
+  const Problem prob{16, 16, 7};
+  Machine machine(cfg, Policy::kIdeal);
+  DistributedOpt().run(machine, prob, cfg);
+  const std::int64_t md = machine.stats().md();
+  // Subtract the A/B streaming part (2 mu per k per tile per core).
+  const std::int64_t tiles = (16 / 8) * (16 / 8);
+  EXPECT_EQ(md - tiles * prob.z * 2 * 4, tiles * 4 * 4)
+      << "each core loads mu^2 C blocks once per tile";
+}
+
+TEST(DistributedOpt, BeatsSharedOptOnDistributedMisses) {
+  const MachineConfig cfg = mu4_cfg();
+  const Problem prob{24, 24, 24};
+  Machine m_dist(cfg, Policy::kIdeal);
+  DistributedOpt().run(m_dist, prob, cfg);
+  Machine m_shared(cfg, Policy::kIdeal);
+  make_algorithm("shared-opt")->run(m_shared, prob, cfg);
+  EXPECT_LT(m_dist.stats().md(), m_shared.stats().md());
+  EXPECT_GT(m_dist.stats().ms(), m_shared.stats().ms())
+      << "...at the cost of more shared misses";
+}
+
+TEST(DistributedOpt, MuOneRegimeStillCorrect) {
+  // CD = 6 -> mu = 1 (the paper's q=64 case where the algorithm degrades).
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 245;
+  cfg.cd = 6;
+  const Problem prob{6, 6, 6};
+  Machine machine(cfg, Policy::kIdeal);
+  mcmm::testing::FmaCoverage coverage(machine);
+  DistributedOpt().run(machine, prob, cfg);
+  EXPECT_TRUE(coverage.complete(prob));
+  const auto params = distributed_opt_params(cfg);
+  EXPECT_EQ(params.mu, 1);
+  const MissPrediction pred = predict_distributed_opt(prob, cfg.p, params);
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+}
+
+TEST(DistributedOpt, RejectsMismatchedCoreCount) {
+  MachineConfig declared = mu4_cfg();
+  MachineConfig physical = mu4_cfg();
+  physical.p = 9;
+  physical.cs = 9 * 21;
+  Machine machine(physical, Policy::kIdeal);
+  EXPECT_THROW(DistributedOpt().run(machine, Problem::square(8), declared),
+               Error);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,93 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+TEST(Experiment, SettingNames) {
+  EXPECT_STREQ(to_string(Setting::kIdeal), "IDEAL");
+  EXPECT_STREQ(to_string(Setting::kLru50), "LRU-50");
+  EXPECT_STREQ(to_string(Setting::kLruFull), "LRU(C)");
+  EXPECT_STREQ(to_string(Setting::kLruDouble), "LRU(2C)");
+}
+
+TEST(Experiment, IdealSettingMatchesPrediction) {
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob{30, 30, 12};  // divisible by lambda = 30
+  const RunResult res = run_experiment("shared-opt", prob, cfg, Setting::kIdeal);
+  const auto pred = predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs));
+  EXPECT_EQ(res.ms, static_cast<std::int64_t>(pred.ms));
+  // lambda = 30 does not divide into p = 4 equal chunks, so the busiest
+  // core carries ceil(30/4) = 8 columns instead of 7.5: MD is the ceiling
+  // variant of the formula, never below it.
+  EXPECT_GE(res.md, static_cast<std::int64_t>(pred.md));
+  const std::int64_t md_ceiling =
+      prob.fmas() / 30 * (1 + 2 * 8);  // per (k,i'): 1 + 2*ceil(lambda/p)
+  EXPECT_EQ(res.md, md_ceiling);
+  EXPECT_DOUBLE_EQ(res.tdata, static_cast<double>(res.ms) / cfg.sigma_s +
+                                  static_cast<double>(res.md) / cfg.sigma_d);
+}
+
+TEST(Experiment, Lru50DeclaresHalfTheCaches) {
+  const MachineConfig cfg = paper_quadcore();
+  const RunResult res =
+      run_experiment("shared-opt", Problem::square(20), cfg, Setting::kLru50);
+  EXPECT_EQ(res.declared.cs, cfg.cs / 2);
+  EXPECT_EQ(res.declared.cd, cfg.cd / 2);
+  EXPECT_EQ(res.physical.cs, cfg.cs);
+}
+
+TEST(Experiment, LruDoubleDoublesThePhysicalCaches) {
+  const MachineConfig cfg = paper_quadcore();
+  const RunResult res = run_experiment("shared-opt", Problem::square(20), cfg,
+                                       Setting::kLruDouble);
+  EXPECT_EQ(res.physical.cs, 2 * cfg.cs);
+  EXPECT_EQ(res.declared.cs, cfg.cs);
+}
+
+TEST(Experiment, OuterProductUnderIdealSettingFallsBackToLru) {
+  // Must not abort: the driver runs policy-insensitive schedules on LRU.
+  const RunResult res = run_experiment("outer-product", Problem::square(10),
+                                       paper_quadcore(), Setting::kIdeal);
+  EXPECT_GT(res.ms, 0);
+  EXPECT_GT(res.md, 0);
+}
+
+TEST(Experiment, AllAlgorithmsRunUnderAllSettings) {
+  const Problem prob{12, 12, 12};
+  for (const auto& name : algorithm_names()) {
+    for (const Setting s : {Setting::kIdeal, Setting::kLru50,
+                            Setting::kLruFull, Setting::kLruDouble}) {
+      const RunResult res = run_experiment(name, prob, paper_quadcore(), s);
+      EXPECT_EQ(res.stats.total_fmas(), prob.fmas())
+          << name << " under " << to_string(s);
+    }
+  }
+}
+
+TEST(Experiment, LruWithBiggerCacheNeverMissesMore) {
+  const Problem prob = Problem::square(40);
+  const MachineConfig cfg = paper_quadcore();
+  for (const auto& name : algorithm_names()) {
+    const RunResult full =
+        run_experiment(name, prob, cfg, Setting::kLruFull);
+    const RunResult dbl =
+        run_experiment(name, prob, cfg, Setting::kLruDouble);
+    // Same trace, larger LRU cache: distributed misses are monotone (LRU is
+    // a stack algorithm).  The shared cache sees a *filtered* stream, so
+    // strict monotonicity is not guaranteed in theory; allow 5% slack.
+    EXPECT_LE(dbl.md, full.md) << name;
+    EXPECT_LE(static_cast<double>(dbl.ms), 1.05 * static_cast<double>(full.ms))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,280 @@
+// Tests for the library's extensions beyond the paper's six schedules:
+// Cannon's algorithm, the linear-distribution ablation of Distributed
+// Opt., and the interleaving-granularity knob.
+#include <gtest/gtest.h>
+
+#include "alg/cannon.hpp"
+#include "alg/distributed_opt.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "exp/experiment.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::FmaCoverage;
+using mcmm::testing::paper_quadcore;
+
+// ---------------------------------------------------------------------------
+// Cannon
+// ---------------------------------------------------------------------------
+
+TEST(Cannon, CoversIterationSpaceExactlyOnce) {
+  for (const Problem& prob :
+       {Problem{8, 8, 8}, Problem{13, 7, 5}, Problem{1, 1, 1},
+        Problem{3, 17, 11}}) {
+    Machine machine(paper_quadcore(), Policy::kLru);
+    FmaCoverage coverage(machine);
+    Cannon().run(machine, prob, paper_quadcore());
+    EXPECT_TRUE(coverage.complete(prob)) << prob.describe();
+  }
+}
+
+TEST(Cannon, BalancesWorkAcrossTheTorus) {
+  Machine machine(paper_quadcore(), Policy::kLru);
+  const Problem prob{8, 8, 8};
+  Cannon().run(machine, prob, paper_quadcore());
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(machine.stats().fmas[c], prob.fmas() / 4);
+  }
+}
+
+TEST(Cannon, RefusesIdealAndNonSquareP) {
+  Machine ideal(paper_quadcore(), Policy::kIdeal);
+  EXPECT_THROW(Cannon().run(ideal, Problem::square(4), paper_quadcore()),
+               Error);
+  MachineConfig p2 = paper_quadcore();
+  p2.p = 2;
+  Machine machine(p2, Policy::kLru);
+  EXPECT_THROW(Cannon().run(machine, Problem::square(4), p2), Error);
+}
+
+TEST(Cannon, TileSequencingPaysOffOnceCoresStopThrashingEachOther) {
+  // Cannon consumes one super-tile pair at a time (contiguous k) where
+  // Outer Product sweeps the whole C every step.  Under fine lockstep
+  // interleaving the four cores' tile streams evict each other from the
+  // shared cache and the advantage evaporates; with coarse interleaving
+  // (cores drift through their tiles independently) Cannon's B tile stays
+  // hot and it clearly beats Outer Product.
+  const Problem prob = Problem::square(48);
+  const MachineConfig cfg = paper_quadcore();
+
+  Machine cannon_lockstep(cfg, Policy::kLru);
+  Cannon().run(cannon_lockstep, prob, cfg);
+  Machine outer_lockstep(cfg, Policy::kLru);
+  make_algorithm("outer-product")->run(outer_lockstep, prob, cfg);
+  EXPECT_LT(static_cast<double>(cannon_lockstep.stats().ms()),
+            1.1 * static_cast<double>(outer_lockstep.stats().ms()))
+      << "lockstep: roughly on par";
+
+  Machine cannon_drift(cfg, Policy::kLru);
+  cannon_drift.set_interleave_chunk(4096);
+  Cannon().run(cannon_drift, prob, cfg);
+  Machine outer_drift(cfg, Policy::kLru);
+  outer_drift.set_interleave_chunk(4096);
+  make_algorithm("outer-product")->run(outer_drift, prob, cfg);
+  EXPECT_LT(cannon_drift.stats().ms() * 2, outer_drift.stats().ms())
+      << "drifting cores: Cannon's tile locality pays off";
+}
+
+TEST(Cannon, StillWorseThanTheCacheAwareSchedules) {
+  const Problem prob = Problem::square(48);
+  const MachineConfig cfg = paper_quadcore();
+  const auto cannon = run_experiment("cannon", prob, cfg, Setting::kLruFull);
+  const auto shared =
+      run_experiment("shared-opt", prob, cfg, Setting::kLruFull);
+  EXPECT_GT(cannon.ms, shared.ms)
+      << "cache-oblivious tiling cannot match the maximum-reuse layout";
+}
+
+// ---------------------------------------------------------------------------
+// DistributedOpt linear-distribution ablation
+// ---------------------------------------------------------------------------
+
+TEST(LinearDistribution, CoversIterationSpace) {
+  const MachineConfig cfg = paper_quadcore();  // mu=4, sqrt(p)=2: 2 | 4
+  for (const Problem& prob : {Problem{8, 8, 8}, Problem{13, 9, 5}}) {
+    Machine machine(cfg, Policy::kLru);
+    FmaCoverage coverage(machine);
+    DistributedOpt(CTileDistribution::kLinear).run(machine, prob, cfg);
+    EXPECT_TRUE(coverage.complete(prob)) << prob.describe();
+  }
+}
+
+TEST(LinearDistribution, IdealDrainsAndRespectsCapacity) {
+  const MachineConfig cfg = paper_quadcore();
+  Machine machine(cfg, Policy::kIdeal);
+  DistributedOpt(CTileDistribution::kLinear)
+      .run(machine, Problem{16, 16, 8}, cfg);
+  machine.assert_empty();
+}
+
+TEST(LinearDistribution, CostsSqrtPMoreAFetchesPerCore) {
+  // 2-D cyclic: 2*mu distributed loads per core per k (mu of A + mu of B).
+  // Linear strips: tile of A + strip of B = sqrt(p)*mu + mu/sqrt(p).
+  // For p=4, mu=4: 10 vs 8 -> MD ratio 1.25 exactly on divisible sizes.
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob{16, 16, 16};
+  Machine cyclic(cfg, Policy::kIdeal);
+  DistributedOpt(CTileDistribution::k2DCyclic).run(cyclic, prob, cfg);
+  Machine linear(cfg, Policy::kIdeal);
+  DistributedOpt(CTileDistribution::kLinear).run(linear, prob, cfg);
+
+  EXPECT_EQ(cyclic.stats().ms(), linear.stats().ms())
+      << "shared-level traffic is identical";
+  EXPECT_GT(linear.stats().md(), cyclic.stats().md());
+  // Streaming parts: cyclic 2*mu*z, linear (sqrt(p)*mu + mu/sqrt(p))*z per
+  // tile per core; C loads identical (mu^2 per tile).
+  const std::int64_t tiles = (16 / 8) * (16 / 8);
+  const std::int64_t cyclic_expect = tiles * (16 + 16 * 8);
+  const std::int64_t linear_expect = tiles * (16 + 16 * 10);
+  EXPECT_EQ(cyclic.stats().md(), cyclic_expect);
+  EXPECT_EQ(linear.stats().md(), linear_expect);
+}
+
+TEST(LinearDistribution, RegistryNameRoundTrips) {
+  const AlgorithmPtr alg = make_algorithm("distributed-opt-linear");
+  EXPECT_EQ(alg->name(), "distributed-opt-linear");
+  EXPECT_TRUE(alg->supports_ideal());
+}
+
+TEST(LinearDistribution, RejectedWhenStripsDoNotDivide) {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 13;  // mu = 3, not divisible by sqrt(p) = 2
+  Machine machine(cfg, Policy::kLru);
+  EXPECT_THROW(DistributedOpt(CTileDistribution::kLinear)
+                   .run(machine, Problem::square(6), cfg),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Rectangular grids (non-square p)
+// ---------------------------------------------------------------------------
+
+TEST(RectangularGrids, DistributedOptExactOnTwoByFourGrid) {
+  // p = 8: grid 2 x 4, mu = 4 -> tiles 8 x 16.  Divisible sizes: the
+  // generalised closed forms must hold as integers:
+  //   MS = mn + mnz/(r mu) + mnz/(c mu),  MD = mn/p + 2mnz/(p mu).
+  MachineConfig cfg;
+  cfg.p = 8;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  const Problem prob{16, 32, 8};  // multiples of tile_rows=8, tile_cols=16
+  Machine machine(cfg, Policy::kIdeal);
+  make_algorithm("distributed-opt")->run(machine, prob, cfg);
+  const std::int64_t mn = prob.m * prob.n;
+  const std::int64_t mnz = prob.fmas();
+  EXPECT_EQ(machine.stats().ms(), mn + mnz / (2 * 4) + mnz / (4 * 4));
+  EXPECT_EQ(machine.stats().md(), mn / 8 + 2 * mnz / (8 * 4));
+  const MissPrediction pred =
+      predict_distributed_opt(prob, cfg.p, distributed_opt_params(cfg));
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+  for (int c = 1; c < cfg.p; ++c) {
+    EXPECT_EQ(machine.stats().dist_misses[static_cast<std::size_t>(c)],
+              machine.stats().dist_misses[0])
+        << "perfect balance on the rectangular grid";
+  }
+}
+
+TEST(RectangularGrids, TradeoffExactOnTwoByFourGrid) {
+  MachineConfig cfg;
+  cfg.p = 8;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  const TradeoffParams params = tradeoff_params(cfg);
+  ASSERT_EQ(params.grain(), 16);  // mu * lcm(2,4)
+  ASSERT_EQ(params.alpha % params.grain(), 0);
+  ASSERT_FALSE(params.persistent_c());
+  const Problem prob{params.alpha, params.alpha * 2, params.beta * 2};
+  Machine machine(cfg, Policy::kIdeal);
+  make_algorithm("tradeoff")->run(machine, prob, cfg);
+  const MissPrediction pred = predict_tradeoff(prob, cfg.p, params);
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+}
+
+TEST(RectangularGrids, AllGridSchedulesCoverOnPrimeP) {
+  MachineConfig cfg;
+  cfg.p = 5;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  const Problem prob{11, 13, 7};
+  for (const char* name : {"distributed-opt", "tradeoff", "outer-product"}) {
+    Machine machine(cfg, Policy::kLru);
+    FmaCoverage coverage(machine);
+    make_algorithm(name)->run(machine, prob, cfg);
+    EXPECT_TRUE(coverage.complete(prob)) << name << " on p=5 (1x5 grid)";
+  }
+}
+
+TEST(ExtendedRegistry, SupersetOfPaperNames) {
+  const auto base = algorithm_names();
+  const auto ext = extended_algorithm_names();
+  EXPECT_GT(ext.size(), base.size());
+  for (const auto& name : ext) {
+    EXPECT_NO_THROW(make_algorithm(name)) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving granularity
+// ---------------------------------------------------------------------------
+
+TEST(InterleaveChunk, DefaultIsLockstep) {
+  Machine machine(paper_quadcore(), Policy::kLru);
+  EXPECT_EQ(machine.interleave_chunk(), 1);
+  EXPECT_THROW(machine.set_interleave_chunk(0), Error);
+}
+
+TEST(InterleaveChunk, DoesNotChangeWorkOrCoverage) {
+  const Problem prob{12, 12, 6};
+  for (const std::int64_t chunk : {1, 4, 64, 100000}) {
+    Machine machine(paper_quadcore(), Policy::kLru);
+    machine.set_interleave_chunk(chunk);
+    FmaCoverage coverage(machine);
+    make_algorithm("shared-opt")->run(machine, prob, paper_quadcore());
+    EXPECT_TRUE(coverage.complete(prob)) << "chunk " << chunk;
+  }
+}
+
+TEST(InterleaveChunk, IdealCountsAreInsensitive) {
+  // IDEAL misses are decided by explicit loads; interleaving is irrelevant.
+  const Problem prob{16, 16, 8};
+  std::int64_t base_ms = -1, base_md = -1;
+  for (const std::int64_t chunk : {1, 7, 1000}) {
+    Machine machine(paper_quadcore(), Policy::kIdeal);
+    machine.set_interleave_chunk(chunk);
+    make_algorithm("distributed-opt")->run(machine, prob, paper_quadcore());
+    if (base_ms < 0) {
+      base_ms = machine.stats().ms();
+      base_md = machine.stats().md();
+    } else {
+      EXPECT_EQ(machine.stats().ms(), base_ms);
+      EXPECT_EQ(machine.stats().md(), base_md);
+    }
+  }
+}
+
+TEST(InterleaveChunk, LruSharedMissesCanShift) {
+  // Under LRU the shared cache sees a different merge order; the counts may
+  // move (that is the point of the knob).  Distributed caches are private,
+  // so per-core misses must stay identical regardless.
+  const Problem prob{24, 24, 24};
+  Machine lockstep(paper_quadcore(), Policy::kLru);
+  make_algorithm("shared-equal")->run(lockstep, prob, paper_quadcore());
+  Machine drifted(paper_quadcore(), Policy::kLru);
+  drifted.set_interleave_chunk(512);
+  make_algorithm("shared-equal")->run(drifted, prob, paper_quadcore());
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(drifted.stats().dist_misses[static_cast<std::size_t>(c)],
+              lockstep.stats().dist_misses[static_cast<std::size_t>(c)]);
+  }
+  EXPECT_GT(drifted.stats().ms(), 0);
+}
+
+}  // namespace
+}  // namespace mcmm

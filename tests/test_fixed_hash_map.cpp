@@ -1,0 +1,104 @@
+#include "sim/fixed_hash_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mcmm {
+namespace {
+
+TEST(FixedHashMap, InsertFindErase) {
+  FixedHashMap m(8);
+  EXPECT_EQ(m.size(), 0u);
+  m.insert(42, 7);
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 7u);
+  EXPECT_EQ(m.find(43), nullptr);
+  EXPECT_TRUE(m.erase(42));
+  EXPECT_FALSE(m.erase(42));
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FixedHashMap, FillToCapacity) {
+  FixedHashMap m(64);
+  for (std::uint64_t k = 0; k < 64; ++k) m.insert(k * 1000 + 1, static_cast<std::uint32_t>(k));
+  EXPECT_EQ(m.size(), 64u);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_NE(m.find(k * 1000 + 1), nullptr);
+    EXPECT_EQ(*m.find(k * 1000 + 1), k);
+  }
+}
+
+TEST(FixedHashMap, ValueIsMutableThroughFind) {
+  FixedHashMap m(4);
+  m.insert(5, 1);
+  *m.find(5) = 99;
+  EXPECT_EQ(*m.find(5), 99u);
+}
+
+TEST(FixedHashMap, ForEachVisitsAllEntries) {
+  FixedHashMap m(16);
+  for (std::uint64_t k = 1; k <= 10; ++k) m.insert(k, static_cast<std::uint32_t>(k * 2));
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  m.for_each([&](std::uint64_t k, std::uint32_t v) { seen[k] = v; });
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::uint64_t k = 1; k <= 10; ++k) EXPECT_EQ(seen[k], k * 2);
+}
+
+TEST(FixedHashMap, Clear) {
+  FixedHashMap m(8);
+  for (std::uint64_t k = 1; k <= 8; ++k) m.insert(k, 0);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  for (std::uint64_t k = 1; k <= 8; ++k) EXPECT_EQ(m.find(k), nullptr);
+  m.insert(3, 9);  // usable after clear
+  EXPECT_EQ(*m.find(3), 9u);
+}
+
+// Backward-shift deletion is the subtle part: hammer it against a reference
+// map with a deterministic mixed workload that forces long probe chains.
+TEST(FixedHashMap, StressAgainstReference) {
+  constexpr std::size_t kCap = 128;
+  FixedHashMap m(kCap);
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  std::uint64_t rng = 12345;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 200000; ++step) {
+    // Small key space to force frequent collisions and re-insertions.
+    const std::uint64_t key = next() % 200 + 1;
+    const bool present = ref.count(key) > 0;
+    ASSERT_EQ(m.contains(key), present) << "step " << step;
+    if (present) {
+      ASSERT_EQ(*m.find(key), ref[key]);
+      if (next() % 2 == 0) {
+        m.erase(key);
+        ref.erase(key);
+      } else {
+        const auto v = static_cast<std::uint32_t>(next());
+        *m.find(key) = v;
+        ref[key] = v;
+      }
+    } else if (ref.size() < kCap) {
+      const auto v = static_cast<std::uint32_t>(next());
+      m.insert(key, v);
+      ref[key] = v;
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Final full cross-check.
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), v);
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

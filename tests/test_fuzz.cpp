@@ -1,0 +1,142 @@
+// Randomised (seeded, deterministic) consistency fuzzing: many random
+// machine geometries x problem shapes x settings, each checked against
+// the library's cross-cutting invariants.  This is the wide net behind
+// the targeted suites — any schedule/simulator inconsistency that slips
+// past the formula tests should land here.
+#include <gtest/gtest.h>
+
+#include "alg/registry.hpp"
+#include "analysis/bounds.hpp"
+#include "exp/experiment.hpp"
+#include "test_helpers.hpp"
+#include "trace/reuse_distance.hpp"
+#include "trace/trace.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  std::int64_t in(std::int64_t lo, std::int64_t hi) {  // inclusive
+    return lo + static_cast<std::int64_t>(next() %
+                                          static_cast<std::uint64_t>(hi - lo + 1));
+  }
+};
+
+MachineConfig random_machine(Rng& rng) {
+  MachineConfig cfg;
+  const int ps[] = {1, 2, 4, 6, 8, 9, 16};
+  cfg.p = ps[rng.in(0, 6)];
+  cfg.cd = rng.in(3, 40);
+  // Ensure inclusivity plus slack for every grid schedule's staging
+  // needs, including the Tradeoff's minimal alpha = mu * lcm(r, c) tile.
+  const std::int64_t mu = max_reuse_parameter(cfg.cd);
+  const Grid grid = balanced_grid(cfg.p);
+  const std::int64_t grain = mu * lcm(grid.r, grid.c);
+  std::int64_t floor = std::max<std::int64_t>(
+      cfg.p * cfg.cd, cfg.p * mu * mu + 2 * cfg.p * mu + 2 * cfg.p);
+  floor = std::max(floor, grain * grain + 2 * grain);
+  cfg.cs = floor + rng.in(0, 400);
+  return cfg;
+}
+
+Problem random_problem(Rng& rng) {
+  return Problem{rng.in(1, 20), rng.in(1, 20), rng.in(1, 20)};
+}
+
+TEST(Fuzz, CoverageBoundsAndOracleAcrossRandomConfigs) {
+  Rng rng{0xC0FFEE};
+  const auto names = extended_algorithm_names();
+  int lru_checked = 0, ideal_checked = 0;
+
+  for (int round = 0; round < 120; ++round) {
+    const MachineConfig cfg = random_machine(rng);
+    const Problem prob = random_problem(rng);
+    const std::string& name = names[static_cast<std::size_t>(
+        rng.in(0, static_cast<std::int64_t>(names.size()) - 1))];
+    const AlgorithmPtr alg = make_algorithm(name);
+
+    // Cannon needs a square torus; the linear ablation needs r | mu.
+    if (name == "cannon" && !is_perfect_square(cfg.p)) continue;
+    if (name == "distributed-opt-linear") {
+      const std::int64_t mu = max_reuse_parameter(cfg.cd);
+      if (mu % balanced_grid(cfg.p).r != 0) continue;
+    }
+
+    const bool use_ideal = alg->supports_ideal() && rng.in(0, 1) == 1;
+    SCOPED_TRACE(name + " on " + cfg.describe() + " prob " + prob.describe() +
+                 (use_ideal ? " IDEAL" : " LRU"));
+
+    Machine machine(cfg, use_ideal ? Policy::kIdeal : Policy::kLru);
+    mcmm::testing::FmaCoverage coverage(machine);
+    Trace trace;
+    record_into(machine, trace);
+    alg->run(machine, prob, cfg);
+
+    // 1. Exactly m*n*z block FMAs, each once.
+    ASSERT_TRUE(coverage.complete(prob));
+
+    // 2. Never below the Loomis-Whitney floors.
+    EXPECT_GE(static_cast<double>(machine.stats().ms()) + 1e-9,
+              0.999 * ms_lower_bound(prob, cfg.cs));
+    EXPECT_GE(static_cast<double>(machine.stats().md()) + 1e-9,
+              0.999 * md_lower_bound(prob, cfg.p, cfg.cd));
+
+    if (use_ideal) {
+      // 3. IDEAL schedules clean up after themselves.
+      machine.assert_empty();
+      ++ideal_checked;
+    } else {
+      // 4. The reuse-distance oracle: EXACT per-core prediction when the
+      // shared cache never back-invalidated a resident line.  With
+      // interference the counts can move in EITHER direction (removing a
+      // line early can also prevent a worse eviction later), so only the
+      // isolated case is comparable.
+      machine.check_inclusive();
+      if (machine.stats().back_invalidations == 0) {
+        const auto profiles = per_core_reuse_profiles(trace, cfg.p);
+        for (int c = 0; c < cfg.p; ++c) {
+          ASSERT_EQ(profiles[static_cast<std::size_t>(c)].lru_misses(cfg.cd),
+                    machine.stats().dist_misses[static_cast<std::size_t>(c)])
+              << "core " << c;
+        }
+      }
+      ++lru_checked;
+    }
+  }
+  // The sampler must actually exercise both policies substantially.
+  EXPECT_GE(lru_checked, 30);
+  EXPECT_GE(ideal_checked, 20);
+}
+
+TEST(Fuzz, ReplayAlwaysReproducesTheRun) {
+  Rng rng{0xBEEF};
+  for (int round = 0; round < 40; ++round) {
+    const MachineConfig cfg = random_machine(rng);
+    const Problem prob = random_problem(rng);
+    const auto names = algorithm_names();
+    const std::string& name = names[static_cast<std::size_t>(
+        rng.in(0, static_cast<std::int64_t>(names.size()) - 1))];
+
+    Machine original(cfg, Policy::kLru);
+    Trace trace;
+    record_into(original, trace);
+    make_algorithm(name)->run(original, prob, cfg);
+
+    Machine replayed(cfg, Policy::kLru);
+    trace.replay(replayed);
+    ASSERT_EQ(replayed.stats().ms(), original.stats().ms())
+        << name << " on " << cfg.describe();
+    ASSERT_EQ(replayed.stats().md(), original.stats().md());
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,87 @@
+// Golden regression values: the simulator is fully deterministic, so the
+// exact miss counts of every schedule on a fixed ragged problem are
+// pinned here.  Any change to these numbers is a semantic change to the
+// simulator or a schedule and must be made deliberately (regenerate with
+// the table below after auditing the diff).
+#include <gtest/gtest.h>
+
+#include "alg/registry.hpp"
+#include "exp/experiment.hpp"
+
+namespace mcmm {
+namespace {
+
+struct Golden {
+  const char* algorithm;
+  Setting setting;
+  std::int64_t ms;
+  std::int64_t md;
+  std::int64_t wb_memory;
+};
+
+// p=4, CS=977, CD=21 (the paper's q=32 quad-core), problem 24x20x28.
+constexpr Golden kGolden[] = {
+    {"shared-opt", Setting::kIdeal, 1712, 7392, 480},
+    {"shared-opt", Setting::kLru50, 2272, 4312, 480},
+    {"distributed-opt", Setting::kIdeal, 4176, 2160, 480},
+    {"distributed-opt", Setting::kLru50, 1712, 3480, 480},
+    {"tradeoff", Setting::kIdeal, 1712, 2592, 480},
+    {"tradeoff", Setting::kLru50, 2580, 6144, 480},
+    {"outer-product", Setting::kIdeal, 1712, 6748, 480},
+    {"outer-product", Setting::kLru50, 1712, 6748, 480},
+    {"shared-equal", Setting::kIdeal, 2944, 8120, 480},
+    {"shared-equal", Setting::kLru50, 2272, 6648, 480},
+    {"distributed-equal", Setting::kIdeal, 9216, 4176, 480},
+    {"distributed-equal", Setting::kLru50, 1712, 6840, 480},
+    {"cannon", Setting::kIdeal, 2864, 6744, 960},
+    {"cannon", Setting::kLru50, 2864, 6744, 960},
+    {"distributed-opt-linear", Setting::kIdeal, 4176, 2664, 480},
+    {"distributed-opt-linear", Setting::kLru50, 1712, 4320, 480},
+};
+
+class GoldenValues : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenValues, ExactMissCountsPinned) {
+  const Golden& g = GetParam();
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  const Problem prob{24, 20, 28};
+  const RunResult res = run_experiment(g.algorithm, prob, cfg, g.setting);
+  EXPECT_EQ(res.ms, g.ms);
+  EXPECT_EQ(res.md, g.md);
+  EXPECT_EQ(res.stats.writebacks_to_memory, g.wb_memory);
+}
+
+std::string golden_name(const ::testing::TestParamInfo<Golden>& info) {
+  std::string name = std::string(info.param.algorithm) + "_" +
+                     to_string(info.param.setting);
+  for (char& ch : name) {
+    if (ch == '-' || ch == '(' || ch == ')') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pinned, GoldenValues, ::testing::ValuesIn(kGolden),
+                         golden_name);
+
+// A note on two values above worth understanding rather than memorising:
+//  * Cannon writes each C block back to memory ~twice (960 = 2 mn): the
+//    problem's 1712-block footprint exceeds CS=977, so C blocks fall out
+//    of the shared cache dirty between super-tile steps.
+//  * distributed-equal IDEAL has MS far above everyone (9216): its tiny
+//    s=2 tiles re-stage A/B through the shared cache constantly.
+TEST(GoldenValues, CannonDoubleWritebackExplanation) {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 4096;  // large enough to hold the whole problem
+  cfg.cd = 21;
+  const Problem prob{24, 20, 28};
+  const RunResult res = run_experiment("cannon", prob, cfg, Setting::kLru50);
+  EXPECT_EQ(res.stats.writebacks_to_memory, prob.m * prob.n)
+      << "with the footprint resident, each C block is written back once";
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,83 @@
+// Shared helpers for the algorithm and integration test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+
+#include "alg/registry.hpp"
+#include "sim/machine.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm::testing {
+
+/// Records every (i,j,k) block FMA and on which core it ran; verifies the
+/// schedule covers the whole iteration space exactly once.
+class FmaCoverage {
+public:
+  explicit FmaCoverage(Machine& machine) {
+    machine.set_fma_observer(
+        [this](int core, std::int64_t i, std::int64_t j, std::int64_t k) {
+          const auto [it, inserted] = seen_.emplace(i, j, k);
+          (void)it;
+          if (!inserted) ++duplicates_;
+          cores_.insert(core);
+        });
+  }
+
+  /// Every (i,j,k) in [0,m) x [0,n) x [0,z) exactly once?
+  ::testing::AssertionResult complete(const Problem& prob) const {
+    if (duplicates_ > 0) {
+      return ::testing::AssertionFailure()
+             << duplicates_ << " duplicate block FMAs";
+    }
+    const auto expect =
+        static_cast<std::size_t>(prob.m * prob.n * prob.z);
+    if (seen_.size() != expect) {
+      return ::testing::AssertionFailure()
+             << "covered " << seen_.size() << " of " << expect
+             << " block FMAs";
+    }
+    for (std::int64_t i = 0; i < prob.m; ++i) {
+      for (std::int64_t j = 0; j < prob.n; ++j) {
+        for (std::int64_t k = 0; k < prob.z; ++k) {
+          if (seen_.find({i, j, k}) == seen_.end()) {
+            return ::testing::AssertionFailure()
+                   << "missing FMA (" << i << "," << j << "," << k << ")";
+          }
+        }
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  int cores_used() const { return static_cast<int>(cores_.size()); }
+
+private:
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> seen_;
+  std::set<int> cores_;
+  std::int64_t duplicates_ = 0;
+};
+
+/// The paper's quad-core with unit bandwidths and q=32 capacities.
+inline MachineConfig paper_quadcore() {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  return cfg;
+}
+
+/// A small machine for fast exhaustive tests (CS=91 -> lambda=9,
+/// CD=21 -> mu=4, still CS >= p*CD).
+inline MachineConfig small_quadcore() {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 91;
+  cfg.cd = 21;
+  return cfg;
+}
+
+}  // namespace mcmm::testing

@@ -1,0 +1,78 @@
+#include "sim/ideal_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcmm {
+namespace {
+
+BlockId blk(std::int64_t i) { return BlockId::c(i, i); }
+
+TEST(IdealCache, LoadReportsFirstLoadOnly) {
+  IdealCache c(4);
+  EXPECT_TRUE(c.load(blk(1))) << "first load is a miss";
+  EXPECT_FALSE(c.load(blk(1))) << "re-load of resident block is a hit";
+  EXPECT_TRUE(c.contains(blk(1)));
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(IdealCache, EvictReturnsDirtiness) {
+  IdealCache c(4);
+  c.load(blk(1));
+  c.load(blk(2));
+  c.mark_dirty(blk(2));
+  EXPECT_FALSE(c.evict(blk(1)));
+  EXPECT_TRUE(c.evict(blk(2)));
+  EXPECT_EQ(c.size(), 0);
+}
+
+TEST(IdealCache, DirtinessResetsOnReload) {
+  IdealCache c(2);
+  c.load(blk(1));
+  c.mark_dirty(blk(1));
+  EXPECT_TRUE(c.evict(blk(1)));
+  c.load(blk(1));
+  EXPECT_FALSE(c.is_dirty(blk(1)));
+}
+
+TEST(IdealCache, ContentsListsResidents) {
+  IdealCache c(8);
+  c.load(blk(3));
+  c.load(blk(5));
+  auto contents = c.contents();
+  std::sort(contents.begin(), contents.end());
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0], blk(3));
+  EXPECT_EQ(contents[1], blk(5));
+}
+
+TEST(IdealCache, FillsExactlyToCapacity) {
+  IdealCache c(3);
+  EXPECT_TRUE(c.load(blk(1)));
+  EXPECT_TRUE(c.load(blk(2)));
+  EXPECT_TRUE(c.load(blk(3)));
+  EXPECT_EQ(c.size(), 3);
+  // A fourth distinct load would abort (capacity violation); re-loading a
+  // resident block at full capacity must still be fine.
+  EXPECT_FALSE(c.load(blk(2)));
+}
+
+TEST(IdealCacheDeath, OverCapacityLoadAborts) {
+  IdealCache c(1);
+  c.load(blk(1));
+  EXPECT_DEATH(c.load(blk(2)), "exceed capacity");
+}
+
+TEST(IdealCacheDeath, EvictingAbsentBlockAborts) {
+  IdealCache c(1);
+  EXPECT_DEATH(c.evict(blk(7)), "non-resident");
+}
+
+TEST(IdealCacheDeath, DirtyingAbsentBlockAborts) {
+  IdealCache c(1);
+  EXPECT_DEATH(c.mark_dirty(blk(7)), "non-resident");
+}
+
+}  // namespace
+}  // namespace mcmm

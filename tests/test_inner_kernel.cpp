@@ -1,0 +1,163 @@
+// Element-level inner-kernel simulation: the paper's 3q^2 <= S_D
+// assumption and the q range it recommends.
+#include "inner/kernel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+LineCacheConfig l1_32k() {
+  LineCacheConfig cfg;
+  cfg.size_bytes = 32 * 1024;
+  cfg.line_bytes = 64;
+  cfg.ways = 8;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// LineCache
+// ---------------------------------------------------------------------------
+
+TEST(LineCache, ConfigValidation) {
+  LineCacheConfig cfg = l1_32k();
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = l1_32k();
+  cfg.ways = 7;  // does not divide 512 lines
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = l1_32k();
+  EXPECT_EQ(cfg.num_lines(), 512);
+  EXPECT_EQ(cfg.num_sets(), 64);
+}
+
+TEST(LineCache, SameLineHitsDifferentLineMisses) {
+  LineCache c(l1_32k());
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(8)) << "same 64-byte line";
+  EXPECT_FALSE(c.access(63));
+  EXPECT_TRUE(c.access(64)) << "next line";
+  EXPECT_EQ(c.misses(), 2);
+  EXPECT_EQ(c.accesses(), 4);
+}
+
+TEST(LineCache, LruWithinSet) {
+  // Direct construction of conflict: addresses that map to the same set
+  // are multiples of num_sets * line_bytes apart.
+  LineCacheConfig cfg = l1_32k();
+  cfg.ways = 2;
+  LineCache c(cfg);
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(cfg.num_sets() * cfg.line_bytes);
+  EXPECT_TRUE(c.access(0 * stride));
+  EXPECT_TRUE(c.access(1 * stride));
+  EXPECT_FALSE(c.access(0 * stride)) << "both ways resident";
+  EXPECT_TRUE(c.access(2 * stride)) << "evicts line 1 (LRU)";
+  EXPECT_FALSE(c.access(0 * stride));
+  EXPECT_TRUE(c.access(1 * stride)) << "line 1 was the victim";
+}
+
+TEST(LineCache, MissRateAndReset) {
+  LineCache c(l1_32k());
+  c.access(0);
+  c.access(0);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.5);
+  c.reset_stats();
+  EXPECT_EQ(c.misses(), 0);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel simulation
+// ---------------------------------------------------------------------------
+
+TEST(InnerKernel, FitsPredicate) {
+  const LineCacheConfig l1 = l1_32k();
+  EXPECT_TRUE(kernel_fits(l1, 32));   // 3*32^2*8 = 24 KiB
+  EXPECT_FALSE(kernel_fits(l1, 40));  // 37.5 KiB
+}
+
+TEST(InnerKernel, WorkAndAccessCounts) {
+  const InnerKernelStats s =
+      simulate_inner_kernel(l1_32k(), 16, LoopOrder::kIKJ, 16);
+  EXPECT_EQ(s.fmas, 16 * 16 * 16);
+  EXPECT_EQ(s.accesses, 3 * s.fmas);
+  EXPECT_GE(s.misses, s.cold_lines);
+}
+
+TEST(InnerKernel, ContiguousBlocksColdFloor) {
+  // ld == q and q*8 a multiple of the line size: exactly 3q^2/8 lines.
+  const InnerKernelStats s =
+      simulate_inner_kernel(l1_32k(), 16, LoopOrder::kIKJ, 16);
+  EXPECT_EQ(s.cold_lines, 3 * 16 * 16 * 8 / 64);
+}
+
+TEST(InnerKernel, ResidentKernelSeesOnlyColdMisses) {
+  // The paper's assumption: with 3q^2 elements resident, the kernel's
+  // misses are compulsory only — for every loop order.
+  const LineCacheConfig l1 = l1_32k();
+  for (const LoopOrder order : all_loop_orders()) {
+    const InnerKernelStats s = simulate_inner_kernel(l1, 24, order, 24);
+    ASSERT_TRUE(kernel_fits(l1, 24));
+    EXPECT_EQ(s.misses, s.cold_lines) << to_string(order);
+  }
+}
+
+TEST(InnerKernel, PowerOfTwoLeadingDimensionConflicts) {
+  // The classic leading-dimension pathology: ld = 512 doubles puts every
+  // row exactly 4096 bytes apart — a multiple of num_sets * line_bytes —
+  // so ALL rows of a block land in the same handful of sets and an 8-way
+  // cache thrashes on a footprint that nominally fits with room to spare.
+  // Padding the leading dimension to 520 restores the compulsory floor.
+  const LineCacheConfig l1 = l1_32k();
+  const InnerKernelStats pow2 =
+      simulate_inner_kernel(l1, 16, LoopOrder::kIKJ, 512);
+  EXPECT_GT(pow2.misses, 3 * pow2.cold_lines)
+      << "conflict misses dominate despite the tiny footprint";
+  const InnerKernelStats padded =
+      simulate_inner_kernel(l1, 16, LoopOrder::kIKJ, 520);
+  EXPECT_EQ(padded.misses, padded.cold_lines)
+      << "a padded leading dimension spreads rows across the sets";
+}
+
+TEST(InnerKernel, OversizedKernelThrashes) {
+  // q = 64: 96 KiB footprint on a 32 KiB cache — capacity misses appear
+  // for every order; the i-outer orders stream B q times.
+  const LineCacheConfig l1 = l1_32k();
+  ASSERT_FALSE(kernel_fits(l1, 64));
+  const InnerKernelStats s =
+      simulate_inner_kernel(l1, 64, LoopOrder::kIJK, 64);
+  EXPECT_GT(s.misses, 2 * s.cold_lines);
+}
+
+TEST(InnerKernel, RowFriendlyOrdersBeatColumnOrdersWhenThrashing) {
+  // Row-major layout: the j-inner orders (ikj/kij) walk B and C rows
+  // line by line; the i-inner orders (jki/kji) stride down columns and
+  // waste each fetched line when the working set exceeds the cache.
+  const LineCacheConfig l1 = l1_32k();
+  const std::int64_t q = 64;
+  const InnerKernelStats row =
+      simulate_inner_kernel(l1, q, LoopOrder::kIKJ, q);
+  const InnerKernelStats col =
+      simulate_inner_kernel(l1, q, LoopOrder::kJKI, q);
+  EXPECT_LT(row.misses * 2, col.misses);
+}
+
+TEST(InnerKernel, Deterministic) {
+  const InnerKernelStats a =
+      simulate_inner_kernel(l1_32k(), 32, LoopOrder::kKIJ, 48);
+  const InnerKernelStats b =
+      simulate_inner_kernel(l1_32k(), 32, LoopOrder::kKIJ, 48);
+  EXPECT_EQ(a.misses, b.misses);
+}
+
+TEST(InnerKernel, Validation) {
+  EXPECT_THROW(simulate_inner_kernel(l1_32k(), 0, LoopOrder::kIJK, 4), Error);
+  EXPECT_THROW(simulate_inner_kernel(l1_32k(), 8, LoopOrder::kIJK, 4), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,141 @@
+// Cross-module integration tests:
+//  * the simulator's FMA trace drives a real computation that must equal
+//    the reference product (schedule correctness end-to-end);
+//  * the paper's headline qualitative results hold at small scale;
+//  * the LRU(2C) runs stay within 2x of the IDEAL formulas (Figures 4-6,
+//    the Frigo et al. competitiveness experiment).
+#include <gtest/gtest.h>
+
+#include "alg/registry.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "exp/experiment.hpp"
+#include "gemm/kernel.hpp"
+#include "gemm/validate.hpp"
+#include "sim/machine.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+// Drive real 1x1-block arithmetic from the simulated schedule's FMA trace:
+// if and only if the schedule covers each (i,j,k) exactly once, the result
+// equals the reference product.
+TEST(Integration, SimulatedTraceComputesTheRealProduct) {
+  const Problem prob{18, 14, 10};
+  Matrix a(prob.m, prob.z), b(prob.z, prob.n);
+  a.fill_random(100);
+  b.fill_random(200);
+  Matrix expect(prob.m, prob.n);
+  gemm_reference(expect, a, b);
+
+  for (const auto& name : algorithm_names()) {
+    Matrix got(prob.m, prob.n);
+    Machine machine(paper_quadcore(), Policy::kLru);
+    machine.set_fma_observer(
+        [&](int, std::int64_t i, std::int64_t j, std::int64_t k) {
+          got.at(i, j) += a.at(i, k) * b.at(k, j);
+        });
+    make_algorithm(name)->run(machine, prob, paper_quadcore());
+    EXPECT_TRUE(gemm_matches(got, expect, prob.z)) << name;
+  }
+}
+
+// Figure 7's shape: Shared Opt < Shared Equal < Outer Product on MS.
+TEST(Integration, SharedMissRankingMatchesFigure7) {
+  const Problem prob = Problem::square(60);
+  const MachineConfig cfg = paper_quadcore();
+  const auto ms = [&](const char* name) {
+    return run_experiment(name, prob, cfg, Setting::kLru50).ms;
+  };
+  const auto opt = ms("shared-opt");
+  const auto equal = ms("shared-equal");
+  const auto outer = ms("outer-product");
+  EXPECT_LT(opt, equal);
+  EXPECT_LT(equal, outer);
+}
+
+// Figure 8's shape: Distributed Opt < Distributed Equal < Outer Product on
+// MD for q=32 (CD=21)...
+TEST(Integration, DistributedMissRankingMatchesFigure8) {
+  const Problem prob = Problem::square(60);
+  const MachineConfig cfg = paper_quadcore();
+  const auto md = [&](const char* name) {
+    return run_experiment(name, prob, cfg, Setting::kLru50).md;
+  };
+  const auto opt = md("distributed-opt");
+  const auto equal = md("distributed-equal");
+  const auto outer = md("outer-product");
+  EXPECT_LT(opt, equal);
+  EXPECT_LT(equal, outer);
+}
+
+// ...but with q=64 (CD=6 -> mu=1) Distributed Opt loses its edge
+// (Figure 8(c)): it no longer beats Distributed Equal meaningfully.
+TEST(Integration, DistributedOptDegradesAtMuOne) {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 245;
+  cfg.cd = 6;
+  const Problem prob = Problem::square(60);
+  const auto opt =
+      run_experiment("distributed-opt", prob, cfg, Setting::kIdeal);
+  const auto params = distributed_opt_params(cfg);
+  EXPECT_EQ(params.mu, 1);
+  // With mu=1 the IDEAL MD is mn/p + 2mnz/p: within 25% of streaming
+  // everything; the large-mu advantage is gone.
+  EXPECT_GT(static_cast<double>(opt.md),
+            0.9 * (static_cast<double>(prob.m * prob.n) / cfg.p +
+                   2.0 * static_cast<double>(prob.fmas()) / cfg.p));
+}
+
+// Figures 4-6: LRU with doubled caches stays under twice the IDEAL formula.
+TEST(Integration, LruDoubleWithinTwiceTheFormula) {
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob = Problem::square(48);
+
+  const auto shared =
+      run_experiment("shared-opt", prob, cfg, Setting::kLruDouble);
+  const auto pred_s =
+      predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs));
+  EXPECT_LE(static_cast<double>(shared.ms), 2.0 * pred_s.ms);
+
+  const auto dist =
+      run_experiment("distributed-opt", prob, cfg, Setting::kLruDouble);
+  const auto pred_d = predict_distributed_opt(prob, cfg.p,
+                                              distributed_opt_params(cfg));
+  EXPECT_LE(static_cast<double>(dist.md), 2.0 * pred_d.md);
+
+  const auto trade = run_experiment("tradeoff", prob, cfg, Setting::kLruDouble);
+  const auto pred_t = predict_tradeoff(prob, cfg.p, tradeoff_params(cfg));
+  EXPECT_LE(trade.tdata, 2.0 * pred_t.tdata(cfg.sigma_s, cfg.sigma_d));
+}
+
+// The IDEAL setting can never lose to LRU-50 on the metric an algorithm
+// optimises (the omniscient schedule is what LRU approximates).
+TEST(Integration, IdealBeatsLru50OnTargetMetric) {
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob = Problem::square(48);
+  EXPECT_LE(run_experiment("shared-opt", prob, cfg, Setting::kIdeal).ms,
+            run_experiment("shared-opt", prob, cfg, Setting::kLru50).ms);
+  EXPECT_LE(run_experiment("distributed-opt", prob, cfg, Setting::kIdeal).md,
+            run_experiment("distributed-opt", prob, cfg, Setting::kLru50).md);
+}
+
+// Tdata ranking at balanced bandwidths (Figure 9's shape): the tradeoff is
+// best or tied-with-SharedOpt among the six under IDEAL.
+TEST(Integration, TradeoffCompetitiveOnTdata) {
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob = Problem::square(48);
+  const double t_trade =
+      run_experiment("tradeoff", prob, cfg, Setting::kIdeal).tdata;
+  for (const auto& name : algorithm_names()) {
+    const double t = run_experiment(name, prob, cfg, Setting::kIdeal).tdata;
+    EXPECT_LE(t_trade, 1.1 * t) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,91 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcmm {
+namespace {
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("name", "shared-opt")
+      .kv("ms", std::int64_t{12345})
+      .kv("ratio", 0.5)
+      .kv("ok", true)
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"shared-opt\",\"ms\":12345,\"ratio\":0.5,\"ok\":true}");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("cores")
+      .begin_array()
+      .value(std::int64_t{1})
+      .value(std::int64_t{2})
+      .end_array()
+      .key("inner")
+      .begin_object()
+      .kv("x", std::int64_t{7})
+      .end_object()
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"cores\":[1,2],\"inner\":{\"x\":7}}");
+}
+
+TEST(Json, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object().kv("i", std::int64_t{i}).end_object();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), "[{\"i\":0},{\"i\":1}]");
+}
+
+TEST(Json, ScalarRoot) {
+  JsonWriter w;
+  w.value(std::int64_t{42});
+  EXPECT_EQ(w.str(), "42");
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object().key("a").begin_array().end_array().end_object();
+  EXPECT_EQ(w.str(), "{\"a\":[]}");
+}
+
+TEST(JsonDeath, MisuseAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_object();
+        w.value(std::int64_t{1});  // value in object without key
+      },
+      "without a key");
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_array();
+        w.key("nope");  // key inside array
+      },
+      "outside an object");
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_object();
+        (void)w.str();  // incomplete document
+      },
+      "incomplete");
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,121 @@
+#include "gemm/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gemm/validate.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+Matrix random_matrix(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Matrix m(r, c);
+  m.fill_random(seed);
+  return m;
+}
+
+TEST(GemmReference, TinyHandComputedCase) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  Matrix c(2, 2);
+  gemm_reference(c, a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(GemmReference, AccumulatesIntoC) {
+  Matrix a(1, 1, 2.0), b(1, 1, 3.0), c(1, 1, 10.0);
+  gemm_reference(c, a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 16.0);
+}
+
+TEST(GemmReference, ShapeChecks) {
+  Matrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm_reference(c, a, b), Error);
+  Matrix b2(3, 2), c_bad(3, 2);
+  EXPECT_THROW(gemm_reference(c_bad, a, b2), Error);
+}
+
+TEST(BlockFma, UpdatesOnlyTheTargetSubBlock) {
+  Matrix a = random_matrix(6, 6, 1);
+  Matrix b = random_matrix(6, 6, 2);
+  Matrix c(6, 6, 0.0);
+  block_fma(c, a, b, /*i0=*/2, /*j0=*/1, /*k0=*/3, /*mb=*/2, /*nb=*/3,
+            /*kb=*/2);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      const bool in_target = i >= 2 && i < 4 && j >= 1 && j < 4;
+      if (!in_target) {
+        EXPECT_DOUBLE_EQ(c.at(i, j), 0.0) << i << "," << j;
+      } else {
+        double expect = 0;
+        for (std::int64_t k = 3; k < 5; ++k) expect += a.at(i, k) * b.at(k, j);
+        EXPECT_NEAR(c.at(i, j), expect, 1e-14);
+      }
+    }
+  }
+}
+
+class GemmBlockedSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GemmBlockedSizes, MatchesReference) {
+  const auto [m, n, z, q] = GetParam();
+  Matrix a = random_matrix(m, z, 11);
+  Matrix b = random_matrix(z, n, 22);
+  Matrix expect(m, n, 0.5);  // non-zero start: blocked must accumulate too
+  Matrix got(m, n, 0.5);
+  gemm_reference(expect, a, b);
+  gemm_blocked(got, a, b, q);
+  EXPECT_TRUE(gemm_matches(got, expect, z))
+      << "max diff " << Matrix::max_abs_diff(got, expect);
+}
+
+TEST_P(GemmBlockedSizes, PackedKernelMatchesReference) {
+  const auto [m, n, z, q] = GetParam();
+  Matrix a = random_matrix(m, z, 33);
+  Matrix b = random_matrix(z, n, 44);
+  Matrix expect(m, n, -0.25);
+  Matrix got(m, n, -0.25);
+  gemm_reference(expect, a, b);
+  gemm_blocked_packed(got, a, b, q);
+  EXPECT_TRUE(gemm_matches(got, expect, z))
+      << "max diff " << Matrix::max_abs_diff(got, expect);
+}
+
+std::string blocked_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& info) {
+  std::string name = "m";
+  name += std::to_string(std::get<0>(info.param));
+  name += "n";
+  name += std::to_string(std::get<1>(info.param));
+  name += "z";
+  name += std::to_string(std::get<2>(info.param));
+  name += "q";
+  name += std::to_string(std::get<3>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmBlockedSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1, 1),
+                      std::make_tuple(8, 8, 8, 4),
+                      std::make_tuple(13, 7, 5, 4),
+                      std::make_tuple(16, 16, 16, 16),
+                      std::make_tuple(17, 19, 23, 8),
+                      std::make_tuple(32, 8, 64, 16),
+                      std::make_tuple(5, 40, 3, 7)),
+    blocked_case_name);
+
+TEST(GemmTolerance, GrowsWithInnerDimension) {
+  EXPECT_LT(gemm_tolerance(10), gemm_tolerance(1000));
+  EXPECT_GT(gemm_tolerance(1), 0.0);
+}
+
+}  // namespace
+}  // namespace mcmm

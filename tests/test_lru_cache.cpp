@@ -1,0 +1,179 @@
+#include "sim/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_map>
+
+namespace mcmm {
+namespace {
+
+BlockId blk(std::int64_t i) { return BlockId::a(i, 0); }
+
+TEST(LruCache, InsertAndTouch) {
+  LruCache c(3);
+  EXPECT_FALSE(c.touch(blk(1)));
+  EXPECT_FALSE(c.insert(blk(1), false).has_value());
+  EXPECT_TRUE(c.touch(blk(1)));
+  EXPECT_TRUE(c.contains(blk(1)));
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(3);
+  c.insert(blk(1), false);
+  c.insert(blk(2), false);
+  c.insert(blk(3), false);
+  const auto evicted = c.insert(blk(4), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block, blk(1));
+  EXPECT_FALSE(c.contains(blk(1)));
+  EXPECT_TRUE(c.contains(blk(4)));
+}
+
+TEST(LruCache, TouchPromotes) {
+  LruCache c(3);
+  c.insert(blk(1), false);
+  c.insert(blk(2), false);
+  c.insert(blk(3), false);
+  ASSERT_TRUE(c.touch(blk(1)));  // 1 becomes MRU; 2 is now LRU
+  const auto evicted = c.insert(blk(4), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block, blk(2));
+  EXPECT_TRUE(c.contains(blk(1)));
+}
+
+TEST(LruCache, DirtyFlagTravelsWithEviction) {
+  LruCache c(2);
+  c.insert(blk(1), true);
+  c.insert(blk(2), false);
+  const auto e1 = c.insert(blk(3), false);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->block, blk(1));
+  EXPECT_TRUE(e1->dirty);
+  const auto e2 = c.insert(blk(4), false);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->block, blk(2));
+  EXPECT_FALSE(e2->dirty);
+}
+
+TEST(LruCache, MarkDirty) {
+  LruCache c(2);
+  c.insert(blk(1), false);
+  EXPECT_FALSE(c.is_dirty(blk(1)));
+  c.mark_dirty(blk(1));
+  EXPECT_TRUE(c.is_dirty(blk(1)));
+}
+
+TEST(LruCache, EraseReturnsDirtiness) {
+  LruCache c(4);
+  c.insert(blk(1), true);
+  c.insert(blk(2), false);
+  const auto d1 = c.erase(blk(1));
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_TRUE(*d1);
+  const auto d2 = c.erase(blk(2));
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_FALSE(*d2);
+  EXPECT_FALSE(c.erase(blk(3)).has_value()) << "absent block";
+  EXPECT_EQ(c.size(), 0);
+}
+
+TEST(LruCache, LruBlockPeek) {
+  LruCache c(3);
+  EXPECT_FALSE(c.lru_block().has_value());
+  c.insert(blk(1), false);
+  c.insert(blk(2), false);
+  EXPECT_EQ(*c.lru_block(), blk(1));
+  c.touch(blk(1));
+  EXPECT_EQ(*c.lru_block(), blk(2));
+}
+
+TEST(LruCache, ContentsMruOrder) {
+  LruCache c(3);
+  c.insert(blk(1), false);
+  c.insert(blk(2), false);
+  c.insert(blk(3), false);
+  c.touch(blk(2));
+  const auto contents = c.contents_mru_order();
+  ASSERT_EQ(contents.size(), 3u);
+  EXPECT_EQ(contents[0], blk(2));
+  EXPECT_EQ(contents[1], blk(3));
+  EXPECT_EQ(contents[2], blk(1));
+}
+
+TEST(LruCache, ClearResets) {
+  LruCache c(2);
+  c.insert(blk(1), true);
+  c.clear();
+  EXPECT_EQ(c.size(), 0);
+  EXPECT_FALSE(c.contains(blk(1)));
+  c.insert(blk(2), false);
+  c.insert(blk(3), false);
+  EXPECT_EQ(c.size(), 2);
+}
+
+TEST(LruCache, CapacityOneBehaves) {
+  LruCache c(1);
+  c.insert(blk(1), false);
+  const auto e = c.insert(blk(2), false);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->block, blk(1));
+  EXPECT_TRUE(c.contains(blk(2)));
+  EXPECT_EQ(c.size(), 1);
+}
+
+// Differential test against a simple deque-based LRU model.
+TEST(LruCache, StressAgainstReferenceModel) {
+  constexpr std::int64_t kCap = 16;
+  LruCache c(kCap);
+  std::deque<std::int64_t> order;  // front = MRU
+  std::unordered_map<std::int64_t, bool> dirty;
+  std::uint64_t rng = 99;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  auto model_touch = [&](std::int64_t k) {
+    for (auto it = order.begin(); it != order.end(); ++it) {
+      if (*it == k) {
+        order.erase(it);
+        order.push_front(k);
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int step = 0; step < 100000; ++step) {
+    const std::int64_t key = static_cast<std::int64_t>(next() % 48);
+    const bool write = next() % 4 == 0;
+    const bool hit = model_touch(key);
+    ASSERT_EQ(c.touch(blk(key)), hit) << "step " << step;
+    if (!hit) {
+      std::optional<LruCache::Evicted> expect_evict;
+      if (static_cast<std::int64_t>(order.size()) == kCap) {
+        const std::int64_t victim = order.back();
+        order.pop_back();
+        expect_evict = LruCache::Evicted{blk(victim), dirty[victim]};
+        dirty.erase(victim);
+      }
+      order.push_front(key);
+      dirty[key] = write;
+      const auto evicted = c.insert(blk(key), write);
+      ASSERT_EQ(evicted.has_value(), expect_evict.has_value());
+      if (evicted) {
+        EXPECT_EQ(evicted->block, expect_evict->block);
+        EXPECT_EQ(evicted->dirty, expect_evict->dirty);
+      }
+    } else if (write) {
+      c.mark_dirty(blk(key));
+      dirty[key] = true;
+    }
+    ASSERT_EQ(c.size(), static_cast<std::int64_t>(order.size()));
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,149 @@
+#include "lu/lu_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(LuUnblocked, TinyHandComputedCase) {
+  // A = [4 3; 6 3] = L U with L = [1 0; 1.5 1], U = [4 3; 0 -1.5].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4; a.at(0, 1) = 3; a.at(1, 0) = 6; a.at(1, 1) = 3;
+  lu_factor_unblocked(a);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 3);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -1.5);
+}
+
+TEST(LuUnblocked, ReconstructionResidualTiny) {
+  for (const std::int64_t n : {1, 2, 5, 16, 33, 64}) {
+    const Matrix original = diagonally_dominant_matrix(n, 42);
+    Matrix lu = original;
+    lu_factor_unblocked(lu);
+    EXPECT_LT(lu_residual(original, lu), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(LuUnblocked, RejectsBadInput) {
+  Matrix rect(3, 4);
+  EXPECT_THROW(lu_factor_unblocked(rect), Error);
+  Matrix singular(2, 2, 0.0);
+  EXPECT_THROW(lu_factor_unblocked(singular), Error);
+}
+
+class LuBlockedSizes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LuBlockedSizes, MatchesUnblockedFactors) {
+  const auto [n, q] = GetParam();
+  const Matrix original = diagonally_dominant_matrix(n, 7);
+  Matrix expect = original;
+  lu_factor_unblocked(expect);
+  Matrix got = original;
+  lu_factor_blocked(got, q);
+  // Same factors up to rounding accumulated differently.
+  EXPECT_LT(Matrix::max_abs_diff(got, expect), 1e-9 * n);
+  EXPECT_LT(lu_residual(original, got), 1e-12);
+}
+
+std::string lu_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::string name = "n";
+  name += std::to_string(std::get<0>(info.param));
+  name += "q";
+  name += std::to_string(std::get<1>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LuBlockedSizes,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(8, 4),
+                      std::make_tuple(16, 16), std::make_tuple(17, 4),
+                      std::make_tuple(32, 8), std::make_tuple(45, 7),
+                      std::make_tuple(64, 128)),
+    lu_case_name);
+
+TEST(Trsm, LowerLeftUnitSolvesAgainstReference) {
+  // Build L (unit lower) explicitly, pick X, compute B = L X, solve back.
+  const std::int64_t k = 5, nb = 3;
+  Matrix lu(k, k);
+  lu.fill_random(3);
+  Matrix x(k, nb);
+  x.fill_random(4);
+  Matrix b(k, nb, 0.0);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < nb; ++j) {
+      double sum = x.at(i, j);  // unit diagonal
+      for (std::int64_t r = 0; r < i; ++r) sum += lu.at(i, r) * x.at(r, j);
+      b.at(i, j) = sum;
+    }
+  }
+  // Embed b into a scratch matrix at offset (0, 0) and solve in place.
+  trsm_lower_left_unit(lu, b, 0, k, 0, nb);
+  EXPECT_LT(Matrix::max_abs_diff(b, x), 1e-12);
+}
+
+TEST(Trsm, UpperRightSolvesAgainstReference) {
+  const std::int64_t k = 5, mb = 4;
+  Matrix lu = diagonally_dominant_matrix(k, 9);  // safe diagonal for U
+  Matrix x(mb, k);
+  x.fill_random(5);
+  Matrix b(mb, k, 0.0);
+  for (std::int64_t i = 0; i < mb; ++i) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      double sum = 0;
+      for (std::int64_t r = 0; r <= c; ++r) sum += x.at(i, r) * lu.at(r, c);
+      b.at(i, c) = sum;
+    }
+  }
+  trsm_upper_right(lu, b, 0, k, 0, mb);
+  EXPECT_LT(Matrix::max_abs_diff(b, x), 1e-10);
+}
+
+TEST(LuSolve, SolvesLinearSystem) {
+  const std::int64_t n = 24;
+  const Matrix a = diagonally_dominant_matrix(n, 11);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    x_true[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i));
+  }
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      b[static_cast<std::size_t>(i)] +=
+          a.at(i, j) * x_true[static_cast<std::size_t>(j)];
+    }
+  }
+  Matrix lu = a;
+  lu_factor_blocked(lu, 8);
+  const std::vector<double> x = lu_solve(lu, b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+TEST(LuSolve, RejectsWrongRhsLength) {
+  Matrix lu = diagonally_dominant_matrix(4, 1);
+  lu_factor_unblocked(lu);
+  EXPECT_THROW(lu_solve(lu, std::vector<double>(3)), Error);
+}
+
+TEST(DiagonallyDominant, IsActuallyDominant) {
+  const Matrix a = diagonally_dominant_matrix(20, 5);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    double off = 0;
+    for (std::int64_t j = 0; j < 20; ++j) {
+      if (j != i) off += std::fabs(a.at(i, j));
+    }
+    EXPECT_GT(a.at(i, i), off) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

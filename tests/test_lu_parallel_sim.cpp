@@ -1,0 +1,187 @@
+// Parallel LU (real data) and the two simulated LU schedules.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lu/lu_kernel.hpp"
+#include "lu/lu_sim.hpp"
+#include "lu/parallel_lu.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+// ---------------------------------------------------------------------------
+// parallel_lu_factor
+// ---------------------------------------------------------------------------
+
+class ParallelLuSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ParallelLuSizes, MatchesSequentialBlocked) {
+  const auto [n, q, workers] = GetParam();
+  const Matrix original = diagonally_dominant_matrix(n, 13);
+  Matrix expect = original;
+  lu_factor_blocked(expect, q);
+  Matrix got = original;
+  ThreadPool pool(workers);
+  parallel_lu_factor(got, q, pool);
+  EXPECT_LT(Matrix::max_abs_diff(got, expect), 1e-9 * n);
+  EXPECT_LT(lu_residual(original, got), 1e-12);
+}
+
+std::string plu_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  std::string name = "n";
+  name += std::to_string(std::get<0>(info.param));
+  name += "q";
+  name += std::to_string(std::get<1>(info.param));
+  name += "w";
+  name += std::to_string(std::get<2>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelLuSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(16, 4, 4),
+                      std::make_tuple(33, 8, 4), std::make_tuple(64, 16, 2),
+                      std::make_tuple(48, 6, 3), std::make_tuple(40, 64, 4)),
+    plu_case_name);
+
+TEST(ParallelLu, RejectsBadInput) {
+  ThreadPool pool(2);
+  Matrix rect(3, 4);
+  EXPECT_THROW(parallel_lu_factor(rect, 2, pool), Error);
+  Matrix square(4, 4, 1.0);
+  EXPECT_THROW(parallel_lu_factor(square, 0, pool), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated LU schedules
+// ---------------------------------------------------------------------------
+
+TEST(LuWorkCounts, ClosedForms) {
+  const LuWork w = lu_work(6);
+  EXPECT_EQ(w.factor_ops, 6);
+  EXPECT_EQ(w.trsm_ops, 30);
+  EXPECT_EQ(w.update_ops, 6 * 5 * 11 / 6);
+  EXPECT_EQ(w.total(), 6 + 30 + 55);
+}
+
+TEST(LuSim, BothSchedulesDoIdenticalWork) {
+  for (const std::int64_t n : {1, 2, 5, 12}) {
+    Machine right(paper_quadcore(), Policy::kLru);
+    const LuWork wr = simulate_lu_right_looking(right, n);
+    Machine left(paper_quadcore(), Policy::kLru);
+    const LuWork wl = simulate_lu_left_looking(left, n);
+    const LuWork expect = lu_work(n);
+    EXPECT_EQ(wr.factor_ops, expect.factor_ops);
+    EXPECT_EQ(wr.trsm_ops, expect.trsm_ops);
+    EXPECT_EQ(wr.update_ops, expect.update_ops);
+    EXPECT_EQ(wl.factor_ops, expect.factor_ops);
+    EXPECT_EQ(wl.trsm_ops, expect.trsm_ops);
+    EXPECT_EQ(wl.update_ops, expect.update_ops);
+    // Identical kernels -> identical total distributed-level accesses.
+    std::int64_t right_total = 0, left_total = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      right_total +=
+          right.stats().dist_hits[c] + right.stats().dist_misses[c];
+      left_total += left.stats().dist_hits[c] + left.stats().dist_misses[c];
+    }
+    EXPECT_EQ(right_total, left_total) << "n=" << n;
+  }
+}
+
+TEST(LuSim, PanelledLeftLookingBeatsRightLookingOnSharedMisses) {
+  // The maximum-reuse principle applied to LU: once the trailing matrix
+  // outgrows the shared cache the right-looking schedule re-faults it
+  // every step (~n^3/3 misses), while the panelled left-looking one
+  // fetches each L block once per PANEL instead of once per update,
+  // dividing the dominant term by the panel width.
+  MachineConfig cfg = mcmm::testing::paper_quadcore();  // CS = 977, CD = 21
+  const std::int64_t n = 48;  // 48^2 = 2304 blocks >> CS
+  Machine right(cfg, Policy::kLru);
+  simulate_lu_right_looking(right, n);
+  Machine left(cfg, Policy::kLru);
+  const std::int64_t width = lu_panel_width(cfg, n);
+  EXPECT_GE(width, 4);
+  simulate_lu_left_looking(left, n, width);
+  EXPECT_LT(left.stats().ms() * 2, right.stats().ms())
+      << "panel width " << width << ": at least 2x fewer shared misses";
+}
+
+TEST(LuSim, WiderPanelsMonotonicallyReduceSharedMisses) {
+  // n^2 = 2304 blocks >> CS = 977, so capacity misses dominate and the
+  // panel width's L-reuse effect is visible (at n <= 32 the matrix nearly
+  // fits and every width sees only cold misses).
+  MachineConfig cfg = mcmm::testing::paper_quadcore();
+  const std::int64_t n = 48;
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t width : {1, 2, 4, 8}) {
+    Machine machine(cfg, Policy::kLru);
+    simulate_lu_left_looking(machine, n, width);
+    EXPECT_LT(machine.stats().ms(), prev) << "width " << width;
+    prev = machine.stats().ms();
+  }
+}
+
+TEST(LuSim, PanelWidthDefaultsAreSane) {
+  MachineConfig cfg = mcmm::testing::paper_quadcore();
+  EXPECT_GE(lu_panel_width(cfg, 48), 1);
+  EXPECT_LE(lu_panel_width(cfg, 48), cfg.cd - 2);
+  // Huge matrices force width 1; tiny caches too.
+  EXPECT_EQ(lu_panel_width(cfg, 100000), 1);
+  MachineConfig tiny;
+  tiny.p = 4;
+  tiny.cs = 16;
+  tiny.cd = 4;
+  EXPECT_GE(lu_panel_width(tiny, 32), 1);
+}
+
+TEST(LuSim, TinyProblemsFitEntirelyInCache) {
+  // n^2 + margin <= CD: every block misses once (cold) and stays.
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  Machine machine(cfg, Policy::kLru);
+  simulate_lu_right_looking(machine, 2);
+  EXPECT_EQ(machine.stats().ms(), 4) << "each of the 4 blocks loads once";
+}
+
+TEST(LuSim, MissesNeverBelowColdFloor) {
+  for (const std::int64_t n : {4, 8, 16}) {
+    Machine machine(paper_quadcore(), Policy::kLru);
+    simulate_lu_left_looking(machine, n);
+    EXPECT_GE(machine.stats().ms(), n * n)
+        << "every block must be loaded at least once";
+  }
+}
+
+TEST(LuSim, DeterministicAcrossRuns) {
+  Machine a(paper_quadcore(), Policy::kLru);
+  simulate_lu_left_looking(a, 10);
+  Machine b(paper_quadcore(), Policy::kLru);
+  simulate_lu_left_looking(b, 10);
+  EXPECT_EQ(a.stats().ms(), b.stats().ms());
+  EXPECT_EQ(a.stats().md(), b.stats().md());
+}
+
+TEST(LuSim, RejectsIdealPolicyAndBadSize) {
+  Machine ideal(paper_quadcore(), Policy::kIdeal);
+  EXPECT_THROW(simulate_lu_right_looking(ideal, 4), Error);
+  Machine lru(paper_quadcore(), Policy::kLru);
+  EXPECT_THROW(simulate_lu_left_looking(lru, 0), Error);
+}
+
+TEST(LuSim, LowerBoundScalesCubically) {
+  const double b16 = lu_ms_lower_bound(16, 977);
+  const double b32 = lu_ms_lower_bound(32, 977);
+  EXPECT_GT(b32, 7.5 * b16);
+  EXPECT_LT(b32, 8.5 * b16);
+}
+
+}  // namespace
+}  // namespace mcmm

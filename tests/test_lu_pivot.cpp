@@ -1,0 +1,154 @@
+#include "lu/lu_pivot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lu/lu_kernel.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+Matrix general_matrix(std::int64_t n, std::uint64_t seed) {
+  Matrix a(n, n);
+  a.fill_random(seed);  // NOT diagonally dominant: pivoting required
+  return a;
+}
+
+TEST(LuPivoted, HandlesMatricesThatBreakPivotFreeLu) {
+  // Zero on the diagonal: the pivot-free kernel must fail, the pivoted
+  // one must sail through.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 3;
+  Matrix no_pivot = a;
+  EXPECT_THROW(lu_factor_unblocked(no_pivot), Error);
+  Matrix lu = a;
+  const PivotVector pivots = lu_factor_pivoted(lu);
+  EXPECT_LT(lu_pivoted_residual(a, lu, pivots), 1e-14);
+  EXPECT_EQ(pivots[0], 1) << "row 1 must be swapped up";
+}
+
+TEST(LuPivoted, ResidualTinyOnGeneralMatrices) {
+  for (const std::int64_t n : {1, 2, 7, 16, 33, 64}) {
+    const Matrix a = general_matrix(n, 1000 + static_cast<std::uint64_t>(n));
+    Matrix lu = a;
+    const PivotVector pivots = lu_factor_pivoted(lu);
+    EXPECT_LT(lu_pivoted_residual(a, lu, pivots), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(LuPivoted, PivotIndicesAreInRange) {
+  const std::int64_t n = 24;
+  const Matrix a = general_matrix(n, 7);
+  Matrix lu = a;
+  const PivotVector pivots = lu_factor_pivoted(lu);
+  ASSERT_EQ(static_cast<std::int64_t>(pivots.size()), n);
+  for (std::int64_t k = 0; k < n; ++k) {
+    EXPECT_GE(pivots[static_cast<std::size_t>(k)], k) << "no upward swaps";
+    EXPECT_LT(pivots[static_cast<std::size_t>(k)], n);
+  }
+}
+
+TEST(LuPivoted, UnitLMagnitudesBoundedByOne) {
+  // The whole point of partial pivoting: |L[i][k]| <= 1.
+  const Matrix a = general_matrix(32, 9);
+  Matrix lu = a;
+  lu_factor_pivoted(lu);
+  for (std::int64_t i = 0; i < 32; ++i) {
+    for (std::int64_t k = 0; k < i; ++k) {
+      EXPECT_LE(std::fabs(lu.at(i, k)), 1.0 + 1e-12);
+    }
+  }
+}
+
+class LuPivotedBlockedSizes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LuPivotedBlockedSizes, MatchesUnblockedFactorsAndPivots) {
+  const auto [n, q] = GetParam();
+  const Matrix a = general_matrix(n, 42 + static_cast<std::uint64_t>(n * q));
+  Matrix expect = a;
+  const PivotVector expect_piv = lu_factor_pivoted(expect);
+  Matrix got = a;
+  const PivotVector got_piv = lu_factor_pivoted_blocked(got, q);
+  EXPECT_EQ(got_piv, expect_piv) << "identical pivot choices";
+  EXPECT_LT(Matrix::max_abs_diff(got, expect), 1e-10 * n);
+  EXPECT_LT(lu_pivoted_residual(a, got, got_piv), 1e-12);
+}
+
+std::string pivot_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::string name = "n";
+  name += std::to_string(std::get<0>(info.param));
+  name += "q";
+  name += std::to_string(std::get<1>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LuPivotedBlockedSizes,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(8, 4),
+                      std::make_tuple(17, 4), std::make_tuple(32, 8),
+                      std::make_tuple(45, 7), std::make_tuple(64, 128)),
+    pivot_case_name);
+
+TEST(LuPivoted, SolvesGeneralSystems) {
+  const std::int64_t n = 40;
+  const Matrix a = general_matrix(n, 11);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    x_true[static_cast<std::size_t>(i)] = std::sin(0.3 * static_cast<double>(i));
+  }
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      b[static_cast<std::size_t>(i)] +=
+          a.at(i, j) * x_true[static_cast<std::size_t>(j)];
+    }
+  }
+  Matrix lu = a;
+  const PivotVector pivots = lu_factor_pivoted_blocked(lu, 8);
+  const std::vector<double> x = lu_solve_pivoted(lu, pivots, b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(LuPivoted, AgreesWithPivotFreeOnDominantMatrices) {
+  // On diagonally dominant inputs partial pivoting never swaps, so the
+  // factors coincide with the pivot-free kernel exactly.
+  const std::int64_t n = 24;
+  const Matrix a = diagonally_dominant_matrix(n, 3);
+  Matrix plain = a;
+  lu_factor_unblocked(plain);
+  Matrix pivoted = a;
+  const PivotVector pivots = lu_factor_pivoted(pivoted);
+  for (std::int64_t k = 0; k < n; ++k) {
+    EXPECT_EQ(pivots[static_cast<std::size_t>(k)], k) << "no swaps expected";
+  }
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(plain, pivoted), 0.0);
+}
+
+TEST(LuPivoted, DetectsSingularMatrix) {
+  Matrix a(3, 3, 0.0);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 1;  // third row/column all zero
+  Matrix lu = a;
+  EXPECT_THROW(lu_factor_pivoted(lu), Error);
+  Matrix rect(2, 3);
+  EXPECT_THROW(lu_factor_pivoted(rect), Error);
+  Matrix ok = general_matrix(3, 5);
+  Matrix lu2 = ok;
+  const PivotVector pivots = lu_factor_pivoted(lu2);
+  EXPECT_THROW(lu_solve_pivoted(lu2, pivots, std::vector<double>(2)), Error);
+  EXPECT_THROW(lu_solve_pivoted(lu2, PivotVector{0}, std::vector<double>(3)),
+               Error);
+}
+
+}  // namespace
+}  // namespace mcmm

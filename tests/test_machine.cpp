@@ -1,0 +1,264 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcmm {
+namespace {
+
+MachineConfig small_cfg(int p = 2, std::int64_t cs = 8, std::int64_t cd = 3) {
+  MachineConfig cfg;
+  cfg.p = p;
+  cfg.cs = cs;
+  cfg.cd = cd;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// LRU policy
+// ---------------------------------------------------------------------------
+
+TEST(MachineLru, ColdAccessMissesBothLevels) {
+  Machine m(small_cfg(), Policy::kLru);
+  m.access(0, BlockId::a(0, 0), Rw::kRead);
+  EXPECT_EQ(m.stats().shared_misses, 1);
+  EXPECT_EQ(m.stats().dist_misses[0], 1);
+  EXPECT_TRUE(m.resident_shared(BlockId::a(0, 0)));
+  EXPECT_TRUE(m.resident_distributed(0, BlockId::a(0, 0)));
+}
+
+TEST(MachineLru, RepeatAccessHitsDistributed) {
+  Machine m(small_cfg(), Policy::kLru);
+  m.access(0, BlockId::a(0, 0), Rw::kRead);
+  m.access(0, BlockId::a(0, 0), Rw::kRead);
+  m.access(0, BlockId::a(0, 0), Rw::kWrite);
+  EXPECT_EQ(m.stats().shared_misses, 1);
+  EXPECT_EQ(m.stats().dist_misses[0], 1);
+  EXPECT_EQ(m.stats().dist_hits[0], 2);
+}
+
+TEST(MachineLru, SecondCoreHitsSharedCache) {
+  Machine m(small_cfg(), Policy::kLru);
+  m.access(0, BlockId::b(1, 1), Rw::kRead);
+  m.access(1, BlockId::b(1, 1), Rw::kRead);
+  EXPECT_EQ(m.stats().shared_misses, 1) << "second core finds it in shared";
+  EXPECT_EQ(m.stats().shared_hits, 1);
+  EXPECT_EQ(m.stats().dist_misses[0], 1);
+  EXPECT_EQ(m.stats().dist_misses[1], 1);
+}
+
+TEST(MachineLru, DistributedEvictionKeepsSharedResident) {
+  Machine m(small_cfg(2, 8, 2), Policy::kLru);
+  m.access(0, BlockId::a(0, 0), Rw::kRead);
+  m.access(0, BlockId::a(1, 0), Rw::kRead);
+  m.access(0, BlockId::a(2, 0), Rw::kRead);  // evicts a(0,0) from dcache
+  EXPECT_FALSE(m.resident_distributed(0, BlockId::a(0, 0)));
+  EXPECT_TRUE(m.resident_shared(BlockId::a(0, 0)));
+  m.access(0, BlockId::a(0, 0), Rw::kRead);  // back in: shared hit
+  EXPECT_EQ(m.stats().shared_misses, 3);
+  EXPECT_EQ(m.stats().shared_hits, 1);
+  EXPECT_EQ(m.stats().dist_misses[0], 4);
+}
+
+TEST(MachineLru, SharedEvictionBackInvalidatesDistributed) {
+  // CS = 4, CD = 2: walk 5 distinct blocks through core 0; block 0 must be
+  // gone from BOTH levels (inclusivity), even though core 1 held it too.
+  Machine m(small_cfg(2, 4, 2), Policy::kLru);
+  m.access(0, BlockId::a(0, 0), Rw::kRead);
+  m.access(1, BlockId::a(0, 0), Rw::kRead);
+  for (std::int64_t i = 1; i <= 4; ++i) {
+    m.access(0, BlockId::a(i, 0), Rw::kRead);
+  }
+  EXPECT_FALSE(m.resident_shared(BlockId::a(0, 0)));
+  EXPECT_FALSE(m.resident_distributed(0, BlockId::a(0, 0)));
+  EXPECT_FALSE(m.resident_distributed(1, BlockId::a(0, 0)))
+      << "back-invalidation must reach every distributed cache";
+  m.check_inclusive();
+}
+
+TEST(MachineLru, InclusivityHeldUnderRandomTraffic) {
+  Machine m(small_cfg(4, 12, 3), Policy::kLru);
+  std::uint64_t rng = 7;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 50000; ++step) {
+    const int core = static_cast<int>(next() % 4);
+    const auto i = static_cast<std::int64_t>(next() % 6);
+    const auto j = static_cast<std::int64_t>(next() % 6);
+    const auto tag = static_cast<int>(next() % 3);
+    const BlockId b = tag == 0   ? BlockId::a(i, j)
+                      : tag == 1 ? BlockId::b(i, j)
+                                 : BlockId::c(i, j);
+    m.access(core, b, next() % 3 == 0 ? Rw::kWrite : Rw::kRead);
+    if (step % 500 == 0) m.check_inclusive();
+  }
+  m.check_inclusive();
+}
+
+TEST(MachineLru, DirtyEvictionWritesBackToMemory) {
+  Machine m(small_cfg(1, 2, 1), Policy::kLru);
+  m.access(0, BlockId::c(0, 0), Rw::kWrite);
+  m.access(0, BlockId::c(1, 0), Rw::kRead);   // c(0,0) leaves dcache dirty
+  EXPECT_EQ(m.stats().writebacks_to_shared, 1);
+  m.access(0, BlockId::c(2, 0), Rw::kRead);   // c(0,0) leaves shared dirty
+  EXPECT_EQ(m.stats().writebacks_to_memory, 1);
+}
+
+TEST(MachineLru, CleanEvictionWritesNothing) {
+  Machine m(small_cfg(1, 2, 1), Policy::kLru);
+  m.access(0, BlockId::a(0, 0), Rw::kRead);
+  m.access(0, BlockId::a(1, 0), Rw::kRead);
+  m.access(0, BlockId::a(2, 0), Rw::kRead);
+  EXPECT_EQ(m.stats().writebacks_to_shared, 0);
+  EXPECT_EQ(m.stats().writebacks_to_memory, 0);
+}
+
+TEST(MachineLru, FlushDrainsAndWritesBackDirtyData) {
+  Machine m(small_cfg(2, 8, 3), Policy::kLru);
+  m.access(0, BlockId::c(0, 0), Rw::kWrite);
+  m.access(1, BlockId::c(1, 1), Rw::kWrite);
+  m.access(0, BlockId::a(5, 5), Rw::kRead);
+  m.flush();
+  EXPECT_EQ(m.shared_size(), 0);
+  EXPECT_EQ(m.distributed_size(0), 0);
+  EXPECT_EQ(m.distributed_size(1), 0);
+  EXPECT_EQ(m.stats().writebacks_to_shared, 2);
+  EXPECT_EQ(m.stats().writebacks_to_memory, 2);
+  m.assert_empty();
+}
+
+TEST(MachineLru, ManagementCallsAreIgnored) {
+  Machine m(small_cfg(), Policy::kLru);
+  m.load_shared(BlockId::a(0, 0));
+  m.load_distributed(0, BlockId::a(0, 0));
+  m.evict_distributed(0, BlockId::a(0, 0));
+  m.evict_shared(BlockId::a(0, 0));
+  m.update_shared(0, BlockId::a(0, 0));
+  EXPECT_EQ(m.stats().shared_misses, 0);
+  EXPECT_EQ(m.stats().dist_misses[0], 0);
+  EXPECT_EQ(m.shared_size(), 0);
+}
+
+TEST(MachineLru, FmaTouchesThreeBlocksAndCounts) {
+  Machine m(small_cfg(), Policy::kLru);
+  m.fma(1, 2, 3, 4);
+  EXPECT_EQ(m.stats().fmas[1], 1);
+  EXPECT_EQ(m.stats().total_fmas(), 1);
+  EXPECT_TRUE(m.resident_distributed(1, BlockId::a(2, 4)));
+  EXPECT_TRUE(m.resident_distributed(1, BlockId::b(4, 3)));
+  EXPECT_TRUE(m.resident_distributed(1, BlockId::c(2, 3)));
+  EXPECT_EQ(m.stats().dist_misses[1], 3);
+  EXPECT_EQ(m.stats().shared_misses, 3);
+}
+
+TEST(MachineLru, FmaObserverSeesEveryOperation) {
+  Machine m(small_cfg(), Policy::kLru);
+  int calls = 0;
+  m.set_fma_observer([&](int core, std::int64_t i, std::int64_t j, std::int64_t k) {
+    ++calls;
+    EXPECT_EQ(core, 0);
+    EXPECT_EQ(i, 1);
+    EXPECT_EQ(j, 2);
+    EXPECT_EQ(k, 3);
+  });
+  m.fma(0, 1, 2, 3);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// IDEAL policy
+// ---------------------------------------------------------------------------
+
+TEST(MachineIdeal, ExplicitLoadsCountMisses) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  m.load_shared(BlockId::a(0, 0));
+  m.load_shared(BlockId::a(0, 0));  // resident: a hit, not a miss
+  EXPECT_EQ(m.stats().shared_misses, 1);
+  EXPECT_EQ(m.stats().shared_hits, 1);
+  m.load_distributed(1, BlockId::a(0, 0));
+  m.load_distributed(1, BlockId::a(0, 0));
+  EXPECT_EQ(m.stats().dist_misses[1], 1);
+  EXPECT_EQ(m.stats().dist_hits[1], 1);
+}
+
+TEST(MachineIdeal, AccessRequiresResidency) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  m.load_shared(BlockId::a(0, 0));
+  m.load_distributed(0, BlockId::a(0, 0));
+  m.access(0, BlockId::a(0, 0), Rw::kRead);  // fine
+  EXPECT_EQ(m.stats().dist_hits[0], 1);
+  EXPECT_DEATH(m.access(1, BlockId::a(0, 0), Rw::kRead), "non-resident");
+}
+
+TEST(MachineIdeal, LoadDistributedEnforcesInclusivity) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  EXPECT_DEATH(m.load_distributed(0, BlockId::a(9, 9)), "inclusivity");
+}
+
+TEST(MachineIdeal, EvictSharedRefusesWhileInDistributed) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  m.load_shared(BlockId::a(0, 0));
+  m.load_distributed(0, BlockId::a(0, 0));
+  EXPECT_DEATH(m.evict_shared(BlockId::a(0, 0)), "distributed");
+}
+
+TEST(MachineIdeal, DirtyEvictionPropagatesToSharedThenMemory) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  const BlockId c = BlockId::c(0, 0);
+  m.load_shared(c);
+  m.load_distributed(0, c);
+  m.access(0, c, Rw::kWrite);
+  m.evict_distributed(0, c);
+  EXPECT_EQ(m.stats().writebacks_to_shared, 1);
+  m.evict_shared(c);
+  EXPECT_EQ(m.stats().writebacks_to_memory, 1);
+}
+
+TEST(MachineIdeal, CleanBlocksEvictSilently) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  const BlockId a = BlockId::a(0, 0);
+  m.load_shared(a);
+  m.load_distributed(0, a);
+  m.access(0, a, Rw::kRead);
+  m.evict_distributed(0, a);
+  m.evict_shared(a);
+  EXPECT_EQ(m.stats().writebacks_to_shared, 0);
+  EXPECT_EQ(m.stats().writebacks_to_memory, 0);
+  m.assert_empty();
+}
+
+TEST(MachineIdeal, UpdateSharedMarksDirty) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  const BlockId c = BlockId::c(0, 0);
+  m.load_shared(c);
+  m.load_distributed(0, c);
+  m.update_shared(0, c);
+  EXPECT_EQ(m.stats().writebacks_to_shared, 1);
+  m.evict_distributed(0, c);  // block was never dirtied in the dcache
+  m.evict_shared(c);
+  EXPECT_EQ(m.stats().writebacks_to_memory, 1) << "shared copy was dirty";
+}
+
+TEST(MachineIdeal, FlushDrainsIdealCaches) {
+  Machine m(small_cfg(), Policy::kIdeal);
+  m.load_shared(BlockId::c(0, 0));
+  m.load_distributed(0, BlockId::c(0, 0));
+  m.access(0, BlockId::c(0, 0), Rw::kWrite);
+  m.flush();
+  m.assert_empty();
+  EXPECT_EQ(m.stats().writebacks_to_shared, 1);
+  EXPECT_EQ(m.stats().writebacks_to_memory, 1);
+}
+
+TEST(MachineIdealDeath, SharedCapacityEnforced) {
+  Machine m(small_cfg(1, 2, 1), Policy::kIdeal);
+  m.load_shared(BlockId::a(0, 0));
+  m.load_shared(BlockId::a(1, 0));
+  EXPECT_DEATH(m.load_shared(BlockId::a(2, 0)), "capacity");
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,103 @@
+#include "sim/machine_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(MachineConfig, DefaultIsValid) {
+  MachineConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(MachineConfig, RejectsInclusivityViolation) {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cd = 100;
+  cfg.cs = 399;  // < p * cd
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.cs = 400;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(MachineConfig, RejectsBadValues) {
+  MachineConfig cfg;
+  cfg.p = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MachineConfig{};
+  cfg.sigma_s = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MachineConfig{};
+  cfg.cd = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(MachineConfig, ScaledCaches) {
+  MachineConfig cfg;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  const MachineConfig doubled = cfg.with_caches_scaled(2, 1);
+  EXPECT_EQ(doubled.cs, 1954);
+  EXPECT_EQ(doubled.cd, 42);
+  const MachineConfig halved = cfg.with_caches_scaled(1, 2);
+  EXPECT_EQ(halved.cs, 488);
+  EXPECT_EQ(halved.cd, 10);
+  EXPECT_EQ(halved.p, cfg.p) << "p and bandwidths untouched";
+}
+
+// Section 4.1 of the paper: 8MB shared / 256KB distributed, 8-byte
+// coefficients, capacities in q x q blocks.
+TEST(MachineConfig, PaperQuadcoreCapacities) {
+  const MachineConfig q32_twothirds = MachineConfig::realistic_quadcore(32, 2.0 / 3.0);
+  EXPECT_EQ(q32_twothirds.p, 4);
+  EXPECT_EQ(q32_twothirds.cs, 977);
+  EXPECT_EQ(q32_twothirds.cd, 21);
+
+  const MachineConfig q32_half = MachineConfig::realistic_quadcore(32, 0.5);
+  EXPECT_EQ(q32_half.cs, 977);
+  EXPECT_EQ(q32_half.cd, 16);
+
+  const MachineConfig q64_twothirds = MachineConfig::realistic_quadcore(64, 2.0 / 3.0);
+  EXPECT_EQ(q64_twothirds.cs, 245);
+  EXPECT_EQ(q64_twothirds.cd, 6);
+
+  const MachineConfig q64_half = MachineConfig::realistic_quadcore(64, 0.5);
+  EXPECT_EQ(q64_half.cd, 4);
+
+  const MachineConfig q80_twothirds = MachineConfig::realistic_quadcore(80, 2.0 / 3.0);
+  EXPECT_EQ(q80_twothirds.cs, 157);
+  EXPECT_EQ(q80_twothirds.cd, 4);
+
+  const MachineConfig q80_half = MachineConfig::realistic_quadcore(80, 0.5);
+  EXPECT_EQ(q80_half.cd, 3);
+}
+
+TEST(MachineConfig, BandwidthRatio) {
+  MachineConfig cfg;
+  const MachineConfig mid = cfg.with_bandwidth_ratio(0.5);
+  EXPECT_DOUBLE_EQ(mid.sigma_s, 1.0);
+  EXPECT_DOUBLE_EQ(mid.sigma_d, 1.0);
+  const MachineConfig fast_shared = cfg.with_bandwidth_ratio(0.75);
+  EXPECT_DOUBLE_EQ(fast_shared.sigma_s, 1.5);
+  EXPECT_DOUBLE_EQ(fast_shared.sigma_d, 0.5);
+  // r = sigma_S / (sigma_S + sigma_D) must be recovered.
+  EXPECT_NEAR(fast_shared.sigma_s / (fast_shared.sigma_s + fast_shared.sigma_d),
+              0.75, 1e-12);
+}
+
+TEST(MachineConfig, BandwidthRatioEndpointsStayFinite) {
+  MachineConfig cfg;
+  const MachineConfig r0 = cfg.with_bandwidth_ratio(0.0);
+  EXPECT_GT(r0.sigma_s, 0.0);
+  EXPECT_NO_THROW(r0.validate());
+  const MachineConfig r1 = cfg.with_bandwidth_ratio(1.0);
+  EXPECT_GT(r1.sigma_d, 0.0);
+  EXPECT_NO_THROW(r1.validate());
+  EXPECT_THROW(cfg.with_bandwidth_ratio(-0.1), Error);
+  EXPECT_THROW(cfg.with_bandwidth_ratio(1.1), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,171 @@
+// The master-worker substrate (the original Maximum Reuse Algorithm of
+// [7]) and its relationship to the multicore Algorithm 2.
+#include "mw/master_worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alg/registry.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+MwConfig mw(int workers = 4, std::int64_t memory = 21) {
+  MwConfig cfg;
+  cfg.workers = workers;
+  cfg.memory_blocks = memory;
+  return cfg;
+}
+
+TEST(MasterWorker, TileSides) {
+  EXPECT_EQ(mw_tile_side(MwSchedule::kMaximumReuse, 21), 4);
+  EXPECT_EQ(mw_tile_side(MwSchedule::kEqualThirds, 21), 2);
+  EXPECT_EQ(mw_tile_side(MwSchedule::kMaximumReuse, 3), 1);
+  EXPECT_EQ(mw_tile_side(MwSchedule::kEqualThirds, 3), 1);
+}
+
+TEST(MasterWorker, MaximumReuseVolumeFormula) {
+  // Divisible sizes: volume = mn (C returns) + 2mnz/mu (A + B streams).
+  const Problem prob{16, 16, 16};
+  const MwResult r =
+      run_master_worker(mw(), prob, MwSchedule::kMaximumReuse);
+  EXPECT_EQ(r.volume, 16 * 16 + 2 * 16 * 16 * 16 / 4);
+  EXPECT_EQ(r.fmas, prob.fmas());
+}
+
+TEST(MasterWorker, EqualThirdsVolumeFormula) {
+  // s = 2: volume = mn + 2mnz/s.
+  const Problem prob{16, 16, 16};
+  const MwResult r =
+      run_master_worker(mw(), prob, MwSchedule::kEqualThirds);
+  EXPECT_EQ(r.volume, 16 * 16 + 2 * 16 * 16 * 16 / 2);
+}
+
+TEST(MasterWorker, MaximumReuseBeatsEqualThirdsByAboutSqrtThree) {
+  // Large memory so mu/s -> sqrt(3) cleanly: M = 1000 -> mu = 31, s = 18.
+  const Problem prob{62 * 9, 62 * 9, 100};  // divisible by mu = 31 and s = 18
+  const MwResult mra = run_master_worker(mw(4, 1000), prob,
+                                         MwSchedule::kMaximumReuse);
+  const MwResult eq = run_master_worker(mw(4, 1000), prob,
+                                        MwSchedule::kEqualThirds);
+  EXPECT_LT(mra.volume, eq.volume);
+  const double stream_ratio =
+      static_cast<double>(eq.volume - prob.m * prob.n) /
+      static_cast<double>(mra.volume - prob.m * prob.n);
+  EXPECT_NEAR(stream_ratio, 31.0 / 18.0, 0.01);
+}
+
+TEST(MasterWorker, CcrApproachesTwoOverMuForLargeMatrices) {
+  const Problem prob{400, 400, 400};
+  const MwResult r =
+      run_master_worker(mw(4, 21), prob, MwSchedule::kMaximumReuse);
+  // CCR = 1/z + 2/mu -> 2/mu = 0.5.
+  EXPECT_NEAR(r.ccr(), 2.0 / 4.0, 0.01);
+}
+
+TEST(MasterWorker, VolumeNeverBeatsTheLowerBound) {
+  for (const std::int64_t memory : {3, 7, 21, 57, 157}) {
+    const Problem prob{24, 24, 24};
+    for (const MwSchedule s :
+         {MwSchedule::kMaximumReuse, MwSchedule::kEqualThirds}) {
+      const MwResult r = run_master_worker(mw(4, memory), prob, s);
+      EXPECT_GE(static_cast<double>(r.volume),
+                0.999 * mw_volume_lower_bound(prob, memory))
+          << to_string(s) << " M=" << memory;
+    }
+  }
+}
+
+TEST(MasterWorker, MakespanRegimes) {
+  const Problem prob{32, 32, 32};
+  // Fast link: compute-bound — makespan within a whisker of compute time.
+  MwConfig fast = mw();
+  fast.bandwidth = 1e9;
+  const MwResult rf = run_master_worker(fast, prob, MwSchedule::kMaximumReuse);
+  EXPECT_NEAR(rf.makespan, rf.compute_time, 1e-3 * rf.compute_time + 1e-3);
+  // Slow link: communication-bound.
+  MwConfig slow = mw();
+  slow.bandwidth = 1e-3;
+  const MwResult rs = run_master_worker(slow, prob, MwSchedule::kMaximumReuse);
+  EXPECT_GT(rs.comm_time, rs.compute_time);
+  EXPECT_GE(rs.makespan, rs.comm_time);
+  EXPECT_LE(rs.makespan, 1.01 * rs.comm_time);
+}
+
+TEST(MasterWorker, MoreWorkersShrinkComputeNotVolume) {
+  const Problem prob{32, 32, 32};
+  const MwResult w1 = run_master_worker(mw(1), prob, MwSchedule::kMaximumReuse);
+  const MwResult w8 = run_master_worker(mw(8), prob, MwSchedule::kMaximumReuse);
+  EXPECT_EQ(w1.volume, w8.volume) << "the link carries the same data";
+  EXPECT_NEAR(w8.compute_time, w1.compute_time / 8, w1.compute_time * 0.01);
+}
+
+// The lineage check: the multicore Algorithm 2's total distributed-cache
+// loads equal the original MRA's communication volume — the distributed
+// caches receive exactly what the master would have sent (C loads play
+// the role of the C returns).
+TEST(MasterWorker, Algorithm2DegeneratesToTheOriginalMra) {
+  const Problem prob{16, 16, 16};
+  const MachineConfig flat = mcmm::testing::paper_quadcore();  // CD = 21
+  Machine machine(flat, Policy::kIdeal);
+  make_algorithm("distributed-opt")->run(machine, prob, flat);
+  std::int64_t total_loads = 0;
+  for (int c = 0; c < flat.p; ++c) {
+    total_loads += machine.stats().dist_misses[static_cast<std::size_t>(c)];
+  }
+  const MwResult mra = run_master_worker(mw(4, flat.cd), prob,
+                                         MwSchedule::kMaximumReuse);
+  EXPECT_EQ(total_loads, mra.volume);
+}
+
+TEST(MasterWorker, HeterogeneousWorkersLoadBalanceByRate) {
+  // [7] targets heterogeneous platforms: a worker 3x faster should take
+  // roughly 3x the tiles under the earliest-finish rule.
+  const Problem prob{32, 32, 8};
+  MwConfig cfg = mw(2, 21);
+  cfg.worker_rates = {1.0, 3.0};
+  const MwResult het =
+      run_master_worker(cfg, prob, MwSchedule::kMaximumReuse);
+  // With a perfect 1:3 split, compute time = fmas/4 / 1.0.
+  const double perfect =
+      static_cast<double>(prob.fmas()) / (1.0 + 3.0);
+  EXPECT_LE(het.compute_time, 1.15 * perfect);
+
+  // Round-robin on the same platform would leave half the work on the
+  // slow worker: strictly worse.
+  MwConfig rr = mw(2, 21);  // homogeneous dealing...
+  const MwResult rr_res =
+      run_master_worker(rr, prob, MwSchedule::kMaximumReuse);
+  // ...evaluated at the slow worker's rate: fmas/2 / 1.0.
+  EXPECT_GT(static_cast<double>(prob.fmas()) / 2.0, het.compute_time);
+  EXPECT_EQ(het.volume, rr_res.volume) << "scheduling cannot change volume";
+}
+
+TEST(MasterWorker, HeterogeneousValidation) {
+  MwConfig cfg = mw(2, 21);
+  cfg.worker_rates = {1.0};  // wrong length
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.worker_rates = {1.0, 0.0};
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.worker_rates = {1.0, 2.0};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(MasterWorker, Validation) {
+  MwConfig bad = mw();
+  bad.workers = 0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = mw();
+  bad.memory_blocks = 2;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = mw();
+  bad.bandwidth = 0;
+  EXPECT_THROW(bad.validate(), Error);
+  EXPECT_THROW(mw_tile_side(MwSchedule::kMaximumReuse, 2), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,153 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(Isqrt, ExactSquares) {
+  for (std::int64_t s = 0; s <= 2000; ++s) {
+    EXPECT_EQ(isqrt(s * s), s);
+  }
+}
+
+TEST(Isqrt, BetweenSquares) {
+  for (std::int64_t s = 1; s <= 1000; ++s) {
+    EXPECT_EQ(isqrt(s * s + 1), s);
+    EXPECT_EQ(isqrt(s * s + 2 * s), s) << "just below next square";
+  }
+}
+
+TEST(Isqrt, LargeValues) {
+  EXPECT_EQ(isqrt(std::int64_t{1} << 62), std::int64_t{1} << 31);
+  const std::int64_t big = 3037000499LL;  // floor(sqrt(2^63 - 1))
+  EXPECT_EQ(isqrt(big * big), big);
+  EXPECT_EQ(isqrt(big * big + big), big);
+}
+
+TEST(Isqrt, RejectsNegative) { EXPECT_THROW(isqrt(-1), Error); }
+
+TEST(PerfectSquare, Basics) {
+  EXPECT_TRUE(is_perfect_square(0));
+  EXPECT_TRUE(is_perfect_square(1));
+  EXPECT_TRUE(is_perfect_square(4));
+  EXPECT_TRUE(is_perfect_square(144));
+  EXPECT_FALSE(is_perfect_square(2));
+  EXPECT_FALSE(is_perfect_square(143));
+  EXPECT_FALSE(is_perfect_square(-4));
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(100, 7), 15);
+}
+
+TEST(RoundDownMultiple, Basics) {
+  EXPECT_EQ(round_down_multiple(10, 3), 9);
+  EXPECT_EQ(round_down_multiple(9, 3), 9);
+  EXPECT_EQ(round_down_multiple(2, 3), 3) << "clamps up to one step";
+  EXPECT_EQ(round_down_multiple(100, 1), 100);
+}
+
+TEST(LargestDivisorAtMost, Basics) {
+  EXPECT_EQ(largest_divisor_at_most(12, 5), 4);
+  EXPECT_EQ(largest_divisor_at_most(12, 6), 6);
+  EXPECT_EQ(largest_divisor_at_most(12, 100), 12);
+  EXPECT_EQ(largest_divisor_at_most(13, 12), 1) << "prime: only 1 fits";
+  EXPECT_EQ(largest_divisor_at_most(1, 1), 1);
+}
+
+TEST(Divisors, Basics) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(16), (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(divisors(17), (std::vector<std::int64_t>{1, 17}));
+}
+
+TEST(MaxReuseParameter, SmallCapacities) {
+  // 1 + v + v^2 <= capacity.
+  EXPECT_EQ(max_reuse_parameter(0), 0);
+  EXPECT_EQ(max_reuse_parameter(2), 0);
+  EXPECT_EQ(max_reuse_parameter(3), 1);
+  EXPECT_EQ(max_reuse_parameter(6), 1);
+  EXPECT_EQ(max_reuse_parameter(7), 2);
+  EXPECT_EQ(max_reuse_parameter(12), 2);
+  EXPECT_EQ(max_reuse_parameter(13), 3);
+}
+
+TEST(MaxReuseParameter, PaperCapacities) {
+  // The paper's quad-core configurations (Section 4.1).
+  EXPECT_EQ(max_reuse_parameter(977), 30);   // lambda for CS=977
+  EXPECT_EQ(max_reuse_parameter(245), 15);   // CS=245
+  EXPECT_EQ(max_reuse_parameter(157), 12);   // CS=157 (1+12+144 == 157)
+  EXPECT_EQ(max_reuse_parameter(21), 4);     // mu for CD=21 (1+4+16 == 21)
+  EXPECT_EQ(max_reuse_parameter(16), 3);     // CD=16
+  EXPECT_EQ(max_reuse_parameter(6), 1);      // CD=6 (the mu=1 regime)
+  EXPECT_EQ(max_reuse_parameter(4), 1);
+  EXPECT_EQ(max_reuse_parameter(3), 1);
+}
+
+TEST(MaxReuseParameter, DefinitionHolds) {
+  for (std::int64_t cap = 3; cap <= 5000; ++cap) {
+    const std::int64_t v = max_reuse_parameter(cap);
+    EXPECT_LE(1 + v + v * v, cap);
+    EXPECT_GT(1 + (v + 1) + (v + 1) * (v + 1), cap);
+  }
+}
+
+TEST(ChunkRange, EvenSplit) {
+  for (int c = 0; c < 4; ++c) {
+    const Range r = chunk_range(12, 4, c);
+    EXPECT_EQ(r.size(), 3);
+    EXPECT_EQ(r.lo, 3 * c);
+  }
+}
+
+TEST(ChunkRange, RaggedSplit) {
+  // 10 over 4 -> 3,3,2,2; chunks contiguous and exhaustive.
+  std::int64_t covered = 0;
+  std::int64_t prev_hi = 0;
+  for (int c = 0; c < 4; ++c) {
+    const Range r = chunk_range(10, 4, c);
+    EXPECT_EQ(r.lo, prev_hi);
+    EXPECT_GE(r.size(), 2);
+    EXPECT_LE(r.size(), 3);
+    covered += r.size();
+    prev_hi = r.hi;
+  }
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(ChunkRange, MoreChunksThanItems) {
+  std::int64_t covered = 0;
+  for (int c = 0; c < 8; ++c) {
+    const Range r = chunk_range(3, 8, c);
+    covered += r.size();
+    EXPECT_LE(r.size(), 1);
+  }
+  EXPECT_EQ(covered, 3);
+}
+
+TEST(ChunkRange, SizesDifferByAtMostOne) {
+  for (std::int64_t total : {0, 1, 5, 17, 100, 101}) {
+    for (int parts : {1, 2, 3, 4, 7, 16}) {
+      std::int64_t mn = total + 1, mx = -1, sum = 0;
+      for (int c = 0; c < parts; ++c) {
+        const Range r = chunk_range(total, parts, c);
+        mn = std::min(mn, r.size());
+        mx = std::max(mx, r.size());
+        sum += r.size();
+      }
+      EXPECT_EQ(sum, total);
+      EXPECT_LE(mx - mn, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,77 @@
+#include "gemm/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(Matrix, ConstructAndAccess) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 1.5);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.row_ptr(1)[2], 7.0);
+}
+
+TEST(Matrix, SetZero) {
+  Matrix m(2, 2, 3.0);
+  m.set_zero();
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(m.at(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, FillRandomIsDeterministicAndBounded) {
+  Matrix a(10, 10);
+  Matrix b(10, 10);
+  a.fill_random(42);
+  b.fill_random(42);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 0.0) << "same seed, same data";
+  Matrix c(10, 10);
+  c.fill_random(43);
+  EXPECT_GT(Matrix::max_abs_diff(a, c), 0.0) << "different seed differs";
+  for (std::int64_t i = 0; i < 10; ++i) {
+    for (std::int64_t j = 0; j < 10; ++j) {
+      EXPECT_LT(std::fabs(a.at(i, j)), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, FillRandomNotConstant) {
+  Matrix a(4, 4);
+  a.fill_random(1);
+  bool varies = false;
+  for (std::int64_t i = 0; i < 4 && !varies; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      if (a.at(i, j) != a.at(0, 0)) {
+        varies = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  b.at(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 3.0);
+  Matrix c(2, 3);
+  EXPECT_THROW(Matrix::max_abs_diff(a, c), Error);
+}
+
+TEST(Matrix, ZeroSizedIsFine) {
+  Matrix m(0, 0);
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_THROW(Matrix(-1, 2), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,161 @@
+// Every real-data schedule must compute exactly the same product as the
+// reference kernel, for divisible and ragged shapes alike.
+#include "gemm/parallel_gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gemm/kernel.hpp"
+#include "gemm/validate.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+struct Shape {
+  std::int64_t m, n, z;
+};
+
+Tiling small_tiling() {
+  Tiling t;
+  t.q = 4;
+  t.lambda = 3;
+  t.mu = 2;
+  t.alpha = 4;  // = sqrt(4) * mu
+  t.beta = 2;
+  return t;
+}
+
+using GemmFn = void (*)(Matrix&, const Matrix&, const Matrix&, const Tiling&,
+                        ThreadPool&);
+
+struct Case {
+  const char* name;
+  GemmFn fn;
+  Shape shape;
+};
+
+class ParallelGemm : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ParallelGemm, MatchesReference) {
+  const Case& c = GetParam();
+  Matrix a(c.shape.m, c.shape.z);
+  Matrix b(c.shape.z, c.shape.n);
+  a.fill_random(7);
+  b.fill_random(8);
+  Matrix expect(c.shape.m, c.shape.n, 0.25);
+  Matrix got(c.shape.m, c.shape.n, 0.25);
+  gemm_reference(expect, a, b);
+  ThreadPool pool(4);
+  c.fn(got, a, b, small_tiling(), pool);
+  EXPECT_TRUE(gemm_matches(got, expect, c.shape.z))
+      << "max diff " << Matrix::max_abs_diff(got, expect);
+}
+
+std::vector<Case> cases() {
+  const std::vector<std::pair<const char*, GemmFn>> fns = {
+      {"shared_opt", &parallel_gemm_shared_opt},
+      {"distributed_opt", &parallel_gemm_distributed_opt},
+      {"tradeoff", &parallel_gemm_tradeoff},
+      {"outer_product", &parallel_gemm_outer_product},
+  };
+  const std::vector<Shape> shapes = {
+      {64, 64, 64},   // multiple of every tile size
+      {50, 30, 70},   // ragged blocks
+      {1, 1, 1},      // minimal
+      {4, 100, 8},    // wide
+      {97, 5, 13},    // tall, prime-ish
+  };
+  std::vector<Case> out;
+  for (const auto& [name, fn] : fns) {
+    for (const auto& s : shapes) out.push_back({name, fn, s});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, ParallelGemm, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      const Case& c = info.param;
+      return std::string(c.name) + "_m" + std::to_string(c.shape.m) + "n" +
+             std::to_string(c.shape.n) + "z" + std::to_string(c.shape.z);
+    });
+
+TEST(ParallelGemm, NonSquareWorkerCountsUseBalancedGrids) {
+  // Grid schedules fall back to the most balanced r x c factorisation
+  // (1 x 3, 2 x 3, ...) and must stay correct.
+  Matrix a(20, 14), b(14, 20);
+  a.fill_random(1);
+  b.fill_random(2);
+  Matrix expect(20, 20);
+  gemm_reference(expect, a, b);
+  const Tiling t = small_tiling();
+  for (const int workers : {2, 3, 5, 6, 8}) {
+    ThreadPool pool(workers);
+    for (GemmFn fn : {&parallel_gemm_distributed_opt, &parallel_gemm_tradeoff,
+                      &parallel_gemm_outer_product}) {
+      Matrix got(20, 20);
+      fn(got, a, b, t, pool);
+      EXPECT_TRUE(gemm_matches(got, expect, 14)) << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelGemm, AlphaNotDivisibleByGridStillCovers) {
+  // Regression: ceiling-split core regions must cover ragged alpha tiles
+  // (a floor split would silently skip the tile's last rows/columns).
+  Matrix a(24, 24), b(24, 24);
+  a.fill_random(5);
+  b.fill_random(6);
+  Matrix expect(24, 24);
+  gemm_reference(expect, a, b);
+  Tiling t = small_tiling();
+  t.alpha = 5;  // not divisible by the 2 x 2 grid
+  t.mu = 2;
+  ThreadPool pool(4);
+  Matrix got(24, 24);
+  parallel_gemm_tradeoff(got, a, b, t, pool);
+  EXPECT_TRUE(gemm_matches(got, expect, 24));
+}
+
+TEST(ParallelGemm, SharedOptWorksWithAnyWorkerCount) {
+  Matrix a(20, 12), b(12, 20);
+  a.fill_random(3);
+  b.fill_random(4);
+  Matrix expect(20, 20);
+  gemm_reference(expect, a, b);
+  for (int workers : {1, 2, 3, 5, 8}) {
+    Matrix got(20, 20);
+    ThreadPool pool(workers);
+    parallel_gemm_shared_opt(got, a, b, small_tiling(), pool);
+    EXPECT_TRUE(gemm_matches(got, expect, 12)) << workers << " workers";
+  }
+}
+
+TEST(TilingForHost, ProducesFeasibleParameters) {
+  const Tiling t = tiling_for_host(4, 8 << 20, 256 << 10, 64);
+  EXPECT_GE(t.lambda, 1);
+  EXPECT_GE(t.mu, 1);
+  EXPECT_GE(t.alpha, 1);
+  EXPECT_GE(t.beta, 1);
+  EXPECT_EQ(t.q, 64);
+  // alpha must tile into the sqrt(p) grid of mu sub-blocks.
+  EXPECT_EQ(t.alpha % (2 * t.mu), 0);
+}
+
+TEST(TilingForHost, NonSquarePUsesBalancedGrid) {
+  const Tiling t = tiling_for_host(6, 8 << 20, 256 << 10, 32);
+  EXPECT_GE(t.lambda, 1);
+  EXPECT_GE(t.alpha, 1);
+  EXPECT_GE(t.beta, 1);
+  // alpha must split over the 2 x 3 grid into whole mu sub-blocks.
+  EXPECT_EQ(t.alpha % (t.mu * 6), 0) << "mu * lcm(2,3)";
+}
+
+TEST(TilingForHost, RejectsBadArguments) {
+  EXPECT_THROW(tiling_for_host(0, 1024, 1024, 32), Error);
+  EXPECT_THROW(tiling_for_host(4, 0, 1024, 32), Error);
+  EXPECT_THROW(tiling_for_host(4, 1024, 1024, 0), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

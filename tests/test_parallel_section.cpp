@@ -1,0 +1,103 @@
+#include "sim/parallel_section.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcmm {
+namespace {
+
+MachineConfig cfg(int p = 2) {
+  MachineConfig c;
+  c.p = p;
+  c.cs = 64;
+  c.cd = 8;
+  return c;
+}
+
+TEST(ParallelSection, RunsAllQueuedFmas) {
+  Machine m(cfg(), Policy::kLru);
+  ParallelSection par(m);
+  for (int c = 0; c < 2; ++c) {
+    for (std::int64_t i = 0; i < 3; ++i) par.fma(c, i, c, 0);
+  }
+  EXPECT_EQ(par.pending(), 6);
+  par.run();
+  EXPECT_EQ(par.pending(), 0);
+  EXPECT_EQ(m.stats().fmas[0], 3);
+  EXPECT_EQ(m.stats().fmas[1], 3);
+}
+
+TEST(ParallelSection, RoundRobinInterleaving) {
+  Machine m(cfg(), Policy::kLru);
+  std::vector<int> order;
+  m.set_fma_observer([&](int core, std::int64_t, std::int64_t, std::int64_t) {
+    order.push_back(core);
+  });
+  ParallelSection par(m);
+  par.fma(0, 0, 0, 0);
+  par.fma(0, 1, 0, 0);
+  par.fma(1, 0, 1, 0);
+  par.fma(1, 1, 1, 0);
+  par.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1}))
+      << "one op per core per round";
+}
+
+TEST(ParallelSection, UnevenQueuesDrainCompletely) {
+  Machine m(cfg(), Policy::kLru);
+  std::vector<int> order;
+  m.set_fma_observer([&](int core, std::int64_t, std::int64_t, std::int64_t) {
+    order.push_back(core);
+  });
+  ParallelSection par(m);
+  par.fma(0, 0, 0, 0);
+  par.fma(1, 0, 1, 0);
+  par.fma(1, 1, 1, 0);
+  par.fma(1, 2, 1, 0);
+  par.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 1, 1}));
+}
+
+TEST(ParallelSection, ReusableAcrossRuns) {
+  Machine m(cfg(), Policy::kLru);
+  ParallelSection par(m);
+  par.fma(0, 0, 0, 0);
+  par.run();
+  par.fma(1, 0, 0, 1);
+  par.run();
+  EXPECT_EQ(m.stats().total_fmas(), 2);
+}
+
+TEST(ParallelSection, ManagementOpsDriveIdealMachine) {
+  Machine m(cfg(), Policy::kIdeal);
+  m.load_shared(BlockId::a(0, 0));
+  m.load_shared(BlockId::b(0, 0));
+  m.load_shared(BlockId::c(0, 0));
+  ParallelSection par(m);
+  par.load_distributed(0, BlockId::a(0, 0));
+  par.load_distributed(0, BlockId::b(0, 0));
+  par.load_distributed(0, BlockId::c(0, 0));
+  par.fma(0, 0, 0, 0);
+  par.evict_distributed(0, BlockId::a(0, 0));
+  par.evict_distributed(0, BlockId::b(0, 0));
+  par.evict_distributed(0, BlockId::c(0, 0));
+  par.run();
+  EXPECT_EQ(m.stats().dist_misses[0], 3);
+  EXPECT_EQ(m.stats().writebacks_to_shared, 1) << "C was written";
+  EXPECT_EQ(m.distributed_size(0), 0);
+}
+
+TEST(ParallelSection, ManagementOpsIgnoredUnderLru) {
+  Machine m(cfg(), Policy::kLru);
+  ParallelSection par(m);
+  par.load_distributed(0, BlockId::a(0, 0));
+  par.update_shared(0, BlockId::a(0, 0));
+  par.evict_distributed(0, BlockId::a(0, 0));
+  par.run();
+  EXPECT_EQ(m.stats().dist_misses[0], 0);
+  EXPECT_EQ(m.shared_size(), 0);
+}
+
+}  // namespace
+}  // namespace mcmm

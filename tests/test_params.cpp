@@ -1,0 +1,197 @@
+#include "analysis/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+namespace {
+
+MachineConfig cfg(int p, std::int64_t cs, std::int64_t cd, double ss = 1.0,
+                  double sd = 1.0) {
+  MachineConfig c;
+  c.p = p;
+  c.cs = cs;
+  c.cd = cd;
+  c.sigma_s = ss;
+  c.sigma_d = sd;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// SharedOpt / DistributedOpt parameters
+// ---------------------------------------------------------------------------
+
+TEST(SharedOptParams, PaperValues) {
+  EXPECT_EQ(shared_opt_params(977).lambda, 30);
+  EXPECT_EQ(shared_opt_params(245).lambda, 15);
+  EXPECT_EQ(shared_opt_params(157).lambda, 12);
+}
+
+TEST(SharedOptParams, RejectsTinyCache) {
+  EXPECT_THROW(shared_opt_params(2), Error);
+}
+
+TEST(DistributedOptParams, PaperValues) {
+  const auto p21 = distributed_opt_params(cfg(4, 977, 21));
+  EXPECT_EQ(p21.mu, 4);
+  EXPECT_EQ(p21.grid.r, 2);
+  EXPECT_EQ(p21.grid.c, 2);
+  EXPECT_EQ(p21.tile_rows(), 8);
+  EXPECT_EQ(p21.tile_cols(), 8);
+  const auto p16 = distributed_opt_params(cfg(4, 977, 16));
+  EXPECT_EQ(p16.mu, 3);
+  const auto p6 = distributed_opt_params(cfg(4, 245, 6));
+  EXPECT_EQ(p6.mu, 1) << "the q=64 regime where DistributedOpt degrades";
+}
+
+TEST(DistributedOptParams, RectangularGridsForNonSquareP) {
+  // The paper assumes sqrt(p) integer; the library generalises to the
+  // most balanced factorisation.
+  const auto p2 = distributed_opt_params(cfg(2, 977, 21));
+  EXPECT_EQ(p2.grid.r, 1);
+  EXPECT_EQ(p2.grid.c, 2);
+  EXPECT_EQ(p2.tile_rows(), 4);
+  EXPECT_EQ(p2.tile_cols(), 8);
+  const auto p6 = distributed_opt_params(cfg(6, 977, 21));
+  EXPECT_EQ(p6.grid.r, 2);
+  EXPECT_EQ(p6.grid.c, 3);
+  const auto p8 = distributed_opt_params(cfg(8, 977, 21));
+  EXPECT_EQ(p8.grid.r, 2);
+  EXPECT_EQ(p8.grid.c, 4);
+  const auto p9 = distributed_opt_params(cfg(9, 977, 21));
+  EXPECT_TRUE(p9.grid.square());
+  EXPECT_EQ(p9.grid.r, 3);
+}
+
+TEST(DistributedOptParams, RejectsTinyDistributedCache) {
+  EXPECT_THROW(distributed_opt_params(cfg(4, 977, 2)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Tradeoff: alpha_num closed form
+// ---------------------------------------------------------------------------
+
+TEST(TradeoffAlphaNum, SingularityAtOneIsRemovable) {
+  const std::int64_t cs = 977;
+  const double at_one = tradeoff_alpha_num(cs, 1.0);
+  EXPECT_NEAR(at_one, std::sqrt(cs / 3.0), 1e-6);
+  // Continuity: approach from both sides.
+  EXPECT_NEAR(tradeoff_alpha_num(cs, 1.0 + 1e-7), at_one, 1e-3);
+  EXPECT_NEAR(tradeoff_alpha_num(cs, 1.0 - 1e-7), at_one, 1e-3);
+}
+
+TEST(TradeoffAlphaNum, LimitsMatchPaper) {
+  const std::int64_t cs = 977;
+  // sigma_D >> sigma_S (x -> inf): alpha -> sqrt(CS) (shared-optimised).
+  EXPECT_NEAR(tradeoff_alpha_num(cs, 1e9), std::sqrt(static_cast<double>(cs)),
+              1.0);
+  // sigma_S >> sigma_D (x -> 0): alpha -> 0 (clamped to sqrt(p) mu later).
+  EXPECT_LT(tradeoff_alpha_num(cs, 1e-9), 1.0);
+}
+
+TEST(TradeoffAlphaNum, MonotoneInX) {
+  const std::int64_t cs = 977;
+  double prev = 0;
+  for (double x = 0.05; x < 100; x *= 1.5) {
+    const double a = tradeoff_alpha_num(cs, x);
+    EXPECT_GE(a, prev - 1e-9) << "alpha_num should grow with x at x=" << x;
+    prev = a;
+  }
+}
+
+// The closed form must agree with direct numeric minimisation of F(alpha).
+TEST(TradeoffAlphaNum, MatchesNumericMinimiserOfObjective) {
+  for (const std::int64_t cs : {157L, 245L, 977L}) {
+    for (const double x : {0.1, 0.5, 1.0, 2.0, 4.0, 20.0}) {
+      const int p = 4;
+      const double sigma_s = 1.0;
+      const double sigma_d = x * sigma_s / p;  // so p sigma_d / sigma_s == x
+      double best_alpha = 1;
+      double best_val = 1e300;
+      const double amax = std::sqrt(static_cast<double>(cs)) - 1e-6;
+      for (double a = 0.5; a < amax; a += 0.01) {
+        const double v = tradeoff_objective(cs, p, sigma_s, sigma_d, a);
+        if (v < best_val) {
+          best_val = v;
+          best_alpha = a;
+        }
+      }
+      EXPECT_NEAR(tradeoff_alpha_num(cs, x), best_alpha, 0.05)
+          << "cs=" << cs << " x=" << x;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tradeoff: full parameter selection
+// ---------------------------------------------------------------------------
+
+TEST(TradeoffParams, RespectsCapacityConstraint) {
+  for (const auto& [cs, cd] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {977, 21}, {977, 16}, {245, 6}, {245, 4}, {157, 4}, {157, 3}}) {
+    for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const MachineConfig c = cfg(4, cs, cd).with_bandwidth_ratio(r);
+      const TradeoffParams t = tradeoff_params(c);
+      EXPECT_LE(t.alpha * t.alpha + 2 * t.alpha * t.beta, cs)
+          << "cs=" << cs << " cd=" << cd << " r=" << r;
+      EXPECT_GE(t.beta, 1);
+      EXPECT_GE(t.alpha, t.grain());
+      EXPECT_EQ(t.alpha % t.grain(), 0)
+          << "alpha must tile into the core grid of mu-sub-blocks";
+    }
+  }
+}
+
+TEST(TradeoffParams, FastDistributedCachesChooseSharedOptShape) {
+  // sigma_D >> sigma_S: the tradeoff picks the largest alpha the sqrt(p)*mu
+  // grid allows below alpha_max (the paper: "chooses shared-cache optimized
+  // version"); the cache left over then goes into beta, which only helps MD.
+  const MachineConfig c = cfg(4, 977, 21, /*ss=*/1e-3, /*sd=*/1.0);
+  const TradeoffParams t = tradeoff_params(c);
+  EXPECT_GE(t.alpha, t.alpha_max - t.grain())
+      << "within one grid step of alpha_max ~ sqrt(977)";
+  EXPECT_EQ(t.beta, (977 - t.alpha * t.alpha) / (2 * t.alpha));
+}
+
+TEST(TradeoffParams, FastSharedCacheChoosesDistributedOptShape) {
+  // sigma_S >> sigma_D: alpha collapses to sqrt(p) mu.
+  const MachineConfig c = cfg(4, 977, 21, /*ss=*/1.0, /*sd=*/1e-3);
+  const TradeoffParams t = tradeoff_params(c);
+  EXPECT_EQ(t.alpha, t.grain());
+  EXPECT_TRUE(t.persistent_c());
+}
+
+TEST(TradeoffParams, BetaMatchesClosedForm) {
+  const MachineConfig c = cfg(4, 977, 21);
+  const TradeoffParams t = tradeoff_params(c);
+  EXPECT_EQ(t.beta,
+            std::max<std::int64_t>((977 - t.alpha * t.alpha) / (2 * t.alpha), 1));
+}
+
+TEST(TradeoffParams, RectangularGridsForNonSquareP) {
+  // p = 8 -> 2 x 4 grid: alpha must be a multiple of mu * lcm(2, 4).
+  const TradeoffParams t8 = tradeoff_params(cfg(8, 977, 21));
+  EXPECT_EQ(t8.grid.r, 2);
+  EXPECT_EQ(t8.grid.c, 4);
+  EXPECT_EQ(t8.grain(), 4 * 4);
+  EXPECT_EQ(t8.alpha % t8.grain(), 0);
+  EXPECT_FALSE(t8.persistent_c()) << "no one-sub-block case off square grids";
+  // Primes degrade to a 1 x p grid but still work.
+  const TradeoffParams t5 = tradeoff_params(cfg(5, 977, 21));
+  EXPECT_EQ(t5.grid.r, 1);
+  EXPECT_EQ(t5.grid.c, 5);
+  EXPECT_EQ(t5.grain(), 5 * 4);
+}
+
+TEST(TradeoffObjective, RejectsOutOfDomainAlpha) {
+  EXPECT_THROW(tradeoff_objective(100, 4, 1, 1, 0), Error);
+  EXPECT_THROW(tradeoff_objective(100, 4, 1, 1, 10.0), Error);
+  EXPECT_NO_THROW(tradeoff_objective(100, 4, 1, 1, 9.9));
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,119 @@
+#include "analysis/predictions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(Predictions, SharedOptFormulas) {
+  const Problem prob{60, 60, 60};
+  const SharedOptParams sp{30};
+  const MissPrediction p = predict_shared_opt(prob, 4, sp);
+  // MS = mn + 2mnz/lambda, MD = 2mnz/p + mnz/lambda.
+  EXPECT_DOUBLE_EQ(p.ms, 3600 + 2.0 * 216000 / 30);
+  EXPECT_DOUBLE_EQ(p.md, 2.0 * 216000 / 4 + 216000.0 / 30);
+}
+
+TEST(Predictions, DistributedOptFormulas) {
+  const Problem prob{48, 48, 48};
+  DistributedOptParams dp;
+  dp.mu = 4;
+  dp.grid = Grid{2, 2};
+  const MissPrediction p = predict_distributed_opt(prob, 4, dp);
+  const double mn = 48.0 * 48.0, mnz = mn * 48.0;
+  EXPECT_DOUBLE_EQ(p.ms, mn + 2.0 * mnz / (4 * 2));
+  EXPECT_DOUBLE_EQ(p.md, mn / 4 + 2.0 * mnz / (4 * 4));
+}
+
+TEST(Predictions, TradeoffGeneralCase) {
+  const Problem prob{48, 48, 48};
+  TradeoffParams tp;
+  tp.alpha = 24;
+  tp.beta = 16;
+  tp.mu = 4;
+  tp.grid = Grid{2, 2};
+  const MissPrediction p = predict_tradeoff(prob, 4, tp);
+  const double mn = 48.0 * 48.0, mnz = mn * 48.0;
+  EXPECT_DOUBLE_EQ(p.ms, mn + 2.0 * mnz / 24);
+  EXPECT_DOUBLE_EQ(p.md, mnz / (4.0 * 16) + 2.0 * mnz / (4.0 * 4));
+}
+
+TEST(Predictions, TradeoffSpecialCaseAlphaEqualsGrid) {
+  const Problem prob{48, 48, 48};
+  TradeoffParams tp;
+  tp.alpha = 8;  // == sqrt(p) * mu: C sub-blocks loaded once per tile
+  tp.beta = 16;
+  tp.mu = 4;
+  tp.grid = Grid{2, 2};
+  const MissPrediction p = predict_tradeoff(prob, 4, tp);
+  const double mn = 48.0 * 48.0, mnz = mn * 48.0;
+  EXPECT_DOUBLE_EQ(p.md, mn / 4 + 2.0 * mnz / (4.0 * 4));
+}
+
+TEST(Predictions, TdataCombinesBandwidths) {
+  MissPrediction p;
+  p.ms = 1000;
+  p.md = 500;
+  EXPECT_DOUBLE_EQ(p.tdata(2.0, 0.5), 500 + 1000);
+}
+
+TEST(Predictions, CcrHelpers) {
+  const Problem prob{10, 10, 10};
+  MissPrediction p;
+  p.ms = 2000;
+  p.md = 250;
+  EXPECT_DOUBLE_EQ(p.ccr_shared(prob), 2.0);
+  EXPECT_DOUBLE_EQ(p.ccr_distributed(prob, 4), 1.0);
+}
+
+// Asymptotics from the paper: Shared Opt's CCR_S -> 2/lambda, within a
+// sqrt(32/27) factor of the lower bound sqrt(27/(8 CS)).
+TEST(Predictions, SharedOptAsymptoticNearBound) {
+  const std::int64_t cs = 977;
+  const SharedOptParams sp = shared_opt_params(cs);
+  const double asym = asymptotic_ccr_shared_opt(sp);
+  const double bound = ccr_lower_bound(cs);
+  EXPECT_GE(asym, bound);
+  // 2/lambda vs sqrt(27/(8 CS)): ratio sqrt(32/27) ~ 1.089 for lambda ~ sqrt(CS).
+  EXPECT_LE(asym, 1.2 * bound);
+}
+
+TEST(Predictions, DistributedOptAsymptoticNearBound) {
+  const std::int64_t cd = 21;
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = cd;
+  const DistributedOptParams dp = distributed_opt_params(cfg);
+  const double asym = asymptotic_ccr_distributed_opt(dp);
+  const double bound = ccr_lower_bound(cd);
+  EXPECT_GE(asym, bound);
+  // mu = 4 for CD = 21: 2/4 = 0.5 vs sqrt(27/168) ~ 0.40: within ~25%.
+  EXPECT_LE(asym, 1.3 * bound);
+}
+
+// Larger tiles always help the level they target: MS prediction decreases
+// with lambda, MD prediction decreases with mu.
+TEST(Predictions, MonotoneInParameters) {
+  const Problem prob{120, 120, 120};
+  double prev_ms = 1e300;
+  for (std::int64_t lambda = 2; lambda <= 40; ++lambda) {
+    const double ms = predict_shared_opt(prob, 4, {lambda}).ms;
+    EXPECT_LT(ms, prev_ms);
+    prev_ms = ms;
+  }
+  double prev_md = 1e300;
+  for (std::int64_t mu = 1; mu <= 10; ++mu) {
+    DistributedOptParams dp;
+    dp.mu = mu;
+    dp.grid = Grid{2, 2};
+    const double md = predict_distributed_opt(prob, 4, dp).md;
+    EXPECT_LT(md, prev_md);
+    prev_md = md;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,220 @@
+// Property-style sweeps over machine geometries and problem shapes.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "exp/experiment.hpp"
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::FmaCoverage;
+
+struct Geometry {
+  int p;
+  std::int64_t cs;
+  std::int64_t cd;
+};
+
+std::vector<Geometry> geometries() {
+  return {
+      {1, 13, 3},   {1, 91, 21},  {2, 26, 6},   {4, 91, 21},
+      {4, 157, 4},  {4, 245, 6},  {4, 977, 21}, {6, 392, 13},
+      {8, 200, 13}, {9, 200, 13}, {16, 977, 21},
+  };
+}
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(GeometrySweep, EverySchedulePerformsExactlyTheRequiredWork) {
+  const Geometry g = GetParam();
+  MachineConfig cfg;
+  cfg.p = g.p;
+  cfg.cs = g.cs;
+  cfg.cd = g.cd;
+  const Problem prob{11, 9, 7};
+  for (const auto& name : algorithm_names()) {
+    Machine machine(cfg, Policy::kLru);
+    FmaCoverage coverage(machine);
+    make_algorithm(name)->run(machine, prob, cfg);
+    EXPECT_TRUE(coverage.complete(prob))
+        << name << " on p=" << g.p << " CS=" << g.cs << " CD=" << g.cd;
+  }
+}
+
+TEST_P(GeometrySweep, IdealNeverBeatsLowerBounds) {
+  const Geometry g = GetParam();
+  MachineConfig cfg;
+  cfg.p = g.p;
+  cfg.cs = g.cs;
+  cfg.cd = g.cd;
+  const Problem prob{12, 12, 12};
+  for (const auto& name : algorithm_names()) {
+    const AlgorithmPtr alg = make_algorithm(name);
+    if (!alg->supports_ideal()) continue;
+    Machine machine(cfg, Policy::kIdeal);
+    alg->run(machine, prob, cfg);
+    EXPECT_GE(static_cast<double>(machine.stats().ms()),
+              0.999 * ms_lower_bound(prob, cfg.cs))
+        << name;
+    EXPECT_GE(static_cast<double>(machine.stats().md()),
+              0.999 * md_lower_bound(prob, cfg.p, cfg.cd))
+        << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep, ::testing::ValuesIn(geometries()),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      const Geometry& g = info.param;
+      std::string name = "p";
+  name += std::to_string(g.p);
+  name += "cs";
+  name += std::to_string(g.cs);
+  name += "cd";
+  name += std::to_string(g.cd);
+  return name;
+    });
+
+// Closed-form exactness swept jointly over problem shape for all three
+// Maximum Reuse variants (SharedOpt needs p | lambda; use CS=73 -> 8).
+class ExactnessSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ExactnessSweep, AllThreeVariantsMatchTheirFormulas) {
+  const auto [mi, ni, zi] = GetParam();
+  const Problem prob{8 * mi, 8 * ni, 8 * zi};
+
+  {  // SharedOpt with lambda = 8.
+    MachineConfig cfg;
+    cfg.p = 4;
+    cfg.cs = 73;
+    cfg.cd = 3;
+    Machine machine(cfg, Policy::kIdeal);
+    make_algorithm("shared-opt")->run(machine, prob, cfg);
+    const auto pred =
+        predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs));
+    EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+    EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+  }
+  {  // DistributedOpt with mu = 4, tile = 8.
+    MachineConfig cfg;
+    cfg.p = 4;
+    cfg.cs = 977;
+    cfg.cd = 21;
+    Machine machine(cfg, Policy::kIdeal);
+    make_algorithm("distributed-opt")->run(machine, prob, cfg);
+    const auto pred =
+        predict_distributed_opt(prob, cfg.p, distributed_opt_params(cfg));
+    EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+    EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+  }
+  {  // Tradeoff special case (alpha = 8 = sqrt(p) mu) with CS=91, beta=1.
+    MachineConfig cfg;
+    cfg.p = 4;
+    cfg.cs = 91;
+    cfg.cd = 21;
+    const TradeoffParams params = tradeoff_params(cfg);
+    ASSERT_EQ(params.alpha, 8);
+    if (prob.z % params.beta == 0) {
+      Machine machine(cfg, Policy::kIdeal);
+      make_algorithm("tradeoff")->run(machine, prob, cfg);
+      const auto pred = predict_tradeoff(prob, cfg.p, params);
+      EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+      EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+    }
+  }
+}
+
+std::string exactness_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  std::string name = "m";
+  name += std::to_string(std::get<0>(info.param));
+  name += "n";
+  name += std::to_string(std::get<1>(info.param));
+  name += "z";
+  name += std::to_string(std::get<2>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExactnessSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(1, 2),
+                       ::testing::Values(1, 2, 4)),
+    exactness_case_name);
+
+// Declaring a bigger shared cache can only reduce SharedOpt's IDEAL MS.
+TEST(Monotonicity, SharedOptMsDecreasesWithDeclaredCs) {
+  const Problem prob = Problem::square(24);
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t cs : {13, 31, 57, 91, 157, 245, 577, 977}) {
+    MachineConfig cfg;
+    cfg.p = 4;
+    cfg.cs = cs;
+    cfg.cd = 3;
+    Machine machine(cfg, Policy::kIdeal);
+    make_algorithm("shared-opt")->run(machine, prob, cfg);
+    EXPECT_LE(machine.stats().ms(), prev) << "CS=" << cs;
+    prev = machine.stats().ms();
+  }
+}
+
+// Larger distributed caches can only reduce DistributedOpt's IDEAL MD
+// (capacities chosen so mu | 24: ragged tiles would unbalance the cores
+// and break monotonicity of the *max*, as the paper's divisibility
+// assumptions anticipate).
+TEST(Monotonicity, DistributedOptMdDecreasesWithDeclaredCd) {
+  const Problem prob = Problem::square(24);
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t cd : {3, 7, 13, 21, 43}) {
+    MachineConfig cfg;
+    cfg.p = 4;
+    cfg.cs = 4 * 57;
+    cfg.cd = cd;
+    Machine machine(cfg, Policy::kIdeal);
+    make_algorithm("distributed-opt")->run(machine, prob, cfg);
+    EXPECT_LE(machine.stats().md(), prev) << "CD=" << cd;
+    prev = machine.stats().md();
+  }
+}
+
+// Miss counts are deterministic: two identical runs agree bit-for-bit.
+TEST(Determinism, RepeatedRunsAgreeExactly) {
+  const Problem prob{17, 13, 9};
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 245;
+  cfg.cd = 6;
+  for (const auto& name : algorithm_names()) {
+    for (const Setting s : {Setting::kIdeal, Setting::kLru50}) {
+      const RunResult r1 = run_experiment(name, prob, cfg, s);
+      const RunResult r2 = run_experiment(name, prob, cfg, s);
+      EXPECT_EQ(r1.ms, r2.ms) << name;
+      EXPECT_EQ(r1.md, r2.md) << name;
+      EXPECT_EQ(r1.stats.writebacks_to_memory, r2.stats.writebacks_to_memory)
+          << name;
+    }
+  }
+}
+
+// Transposing the problem (m <-> n) must not change the total work and
+// keeps miss counts in the same ballpark (schedules are j/i asymmetric).
+TEST(Symmetry, TransposedProblemsDoTheSameWork) {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 245;
+  cfg.cd = 6;
+  const Problem ab{14, 6, 10};
+  const Problem ba{6, 14, 10};
+  for (const auto& name : algorithm_names()) {
+    const RunResult r1 = run_experiment(name, ab, cfg, Setting::kLru50);
+    const RunResult r2 = run_experiment(name, ba, cfg, Setting::kLru50);
+    EXPECT_EQ(r1.stats.total_fmas(), r2.stats.total_fmas()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

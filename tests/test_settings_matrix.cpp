@@ -1,0 +1,103 @@
+// Full cross-product sweep: every schedule under every experimental
+// setting on several problem shapes — the invariants that must hold no
+// matter how the pieces are combined.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "exp/experiment.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+struct Combo {
+  std::string algorithm;
+  Setting setting;
+  Problem prob;
+};
+
+std::vector<Combo> combos() {
+  std::vector<Combo> out;
+  const std::vector<Problem> probs = {{10, 10, 10}, {17, 5, 9}, {4, 24, 6}};
+  for (const auto& name : algorithm_names()) {
+    for (const Setting s : {Setting::kIdeal, Setting::kLru50,
+                            Setting::kLruFull, Setting::kLruDouble}) {
+      for (const auto& prob : probs) {
+        out.push_back({name, s, prob});
+      }
+    }
+  }
+  return out;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const Combo& c = info.param;
+  std::string name = c.algorithm + "_" + to_string(c.setting) + "_" +
+                     std::to_string(c.prob.m) + "x" +
+                     std::to_string(c.prob.n) + "x" + std::to_string(c.prob.z);
+  for (char& ch : name) {
+    if (ch == '-' || ch == '(' || ch == ')') ch = '_';
+  }
+  return name;
+}
+
+class SettingsMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(SettingsMatrix, InvariantsHoldForEveryCombination) {
+  const Combo& c = GetParam();
+  const MachineConfig cfg = paper_quadcore();
+  const RunResult res = run_experiment(c.algorithm, c.prob, cfg, c.setting);
+
+  // Work conservation.
+  EXPECT_EQ(res.stats.total_fmas(), c.prob.fmas());
+
+  // Every block must enter each level at least once: cold floors.
+  const std::int64_t footprint =
+      c.prob.m * c.prob.n + c.prob.m * c.prob.z + c.prob.z * c.prob.n;
+  EXPECT_GE(res.ms, footprint) << "every input/output block loads once";
+  EXPECT_GE(res.md * cfg.p, footprint)
+      << "the union of private caches sees every block";
+
+  // Tdata is exactly the linear combination the paper defines.
+  EXPECT_DOUBLE_EQ(res.tdata, static_cast<double>(res.ms) / cfg.sigma_s +
+                                  static_cast<double>(res.md) / cfg.sigma_d);
+
+  // Miss counts can never exceed total accesses (3 per FMA) plus the
+  // explicit IDEAL staging traffic, which is itself bounded by MS+MD.
+  EXPECT_LE(res.md, 3 * c.prob.fmas());
+
+  // The declared machine is what the setting says it is.
+  switch (c.setting) {
+    case Setting::kIdeal:
+    case Setting::kLruFull:
+      EXPECT_EQ(res.declared.cs, cfg.cs);
+      EXPECT_EQ(res.physical.cs, cfg.cs);
+      break;
+    case Setting::kLru50:
+      EXPECT_EQ(res.declared.cs, cfg.cs / 2);
+      EXPECT_EQ(res.physical.cs, cfg.cs);
+      break;
+    case Setting::kLruDouble:
+      EXPECT_EQ(res.declared.cs, cfg.cs);
+      EXPECT_EQ(res.physical.cs, 2 * cfg.cs);
+      break;
+  }
+}
+
+TEST_P(SettingsMatrix, CcrsAreConsistentWithCounts) {
+  const Combo& c = GetParam();
+  const RunResult res =
+      run_experiment(c.algorithm, c.prob, paper_quadcore(), c.setting);
+  const double ccr_s = res.stats.ccr_shared();
+  EXPECT_DOUBLE_EQ(ccr_s, static_cast<double>(res.ms) /
+                              static_cast<double>(c.prob.fmas()));
+  EXPECT_GT(res.stats.ccr_distributed(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, SettingsMatrix,
+                         ::testing::ValuesIn(combos()), combo_name);
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,129 @@
+// Formula exactness for Algorithm 1 (Shared Opt): under IDEAL with
+// divisible sizes, measured MS and MD equal Section 3.1's closed forms
+// as integers.
+#include <gtest/gtest.h>
+
+#include "alg/shared_opt.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+// CS = 73 gives lambda = 8 (1+8+64), divisible by p = 4.
+MachineConfig lambda8_cfg() {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 73;
+  cfg.cd = 3;
+  return cfg;
+}
+
+struct Dims {
+  std::int64_t m, n, z;
+};
+
+class SharedOptExact : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(SharedOptExact, IdealMatchesClosedFormExactly) {
+  const Dims d = GetParam();
+  const MachineConfig cfg = lambda8_cfg();
+  const Problem prob{d.m, d.n, d.z};
+  ASSERT_EQ(shared_opt_params(cfg.cs).lambda, 8);
+
+  Machine machine(cfg, Policy::kIdeal);
+  SharedOpt().run(machine, prob, cfg);
+
+  const MissPrediction pred =
+      predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs));
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+  // Perfect balance: every core has identical miss counts and work.
+  for (int c = 1; c < cfg.p; ++c) {
+    EXPECT_EQ(machine.stats().dist_misses[c], machine.stats().dist_misses[0]);
+    EXPECT_EQ(machine.stats().fmas[c], machine.stats().fmas[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DivisibleSizes, SharedOptExact,
+    ::testing::Values(Dims{8, 8, 1}, Dims{8, 8, 8}, Dims{16, 8, 5},
+                      Dims{8, 24, 3}, Dims{16, 16, 16}, Dims{32, 16, 10},
+                      Dims{24, 24, 7}),
+    [](const ::testing::TestParamInfo<Dims>& info) {
+      std::string name = "m";
+      name += std::to_string(info.param.m);
+      name += "n";
+      name += std::to_string(info.param.n);
+      name += "z";
+      name += std::to_string(info.param.z);
+      return name;
+    });
+
+TEST(SharedOpt, WholeCMatrixLoadedExactlyOnce) {
+  // The mn term: each C block incurs exactly one shared miss.
+  const MachineConfig cfg = lambda8_cfg();
+  const Problem prob{16, 16, 4};
+  Machine machine(cfg, Policy::kIdeal);
+  SharedOpt().run(machine, prob, cfg);
+  const auto pred = predict_shared_opt(prob, cfg.p, {8});
+  // Remove the A/B streaming part: 2mnz/lambda.
+  EXPECT_EQ(machine.stats().ms() - 2 * prob.m * prob.n * prob.z / 8,
+            prob.m * prob.n);
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+}
+
+TEST(SharedOpt, DirtyTileWrittenBackOncePerBlock) {
+  const MachineConfig cfg = lambda8_cfg();
+  const Problem prob{8, 8, 3};
+  Machine machine(cfg, Policy::kIdeal);
+  SharedOpt().run(machine, prob, cfg);
+  EXPECT_EQ(machine.stats().writebacks_to_memory, prob.m * prob.n)
+      << "each C block written back exactly once";
+  EXPECT_EQ(machine.stats().writebacks_to_shared, prob.fmas())
+      << "each FMA updates the shared copy of its C block";
+}
+
+TEST(SharedOpt, RaggedSizesStillExactForMs) {
+  // MS = sum over tiles of (tile_area + z*(tile_w + tile_h)) also holds for
+  // ragged tiles; verify against a direct tiling computation.
+  const MachineConfig cfg = lambda8_cfg();
+  const Problem prob{13, 11, 5};
+  Machine machine(cfg, Policy::kIdeal);
+  SharedOpt().run(machine, prob, cfg);
+  std::int64_t expect = 0;
+  for (std::int64_t i0 = 0; i0 < prob.m; i0 += 8) {
+    const std::int64_t ti = std::min<std::int64_t>(8, prob.m - i0);
+    for (std::int64_t j0 = 0; j0 < prob.n; j0 += 8) {
+      const std::int64_t tj = std::min<std::int64_t>(8, prob.n - j0);
+      expect += ti * tj + prob.z * (tj + ti);
+    }
+  }
+  EXPECT_EQ(machine.stats().ms(), expect);
+}
+
+TEST(SharedOpt, Lru50RunsAndStaysAboveIdeal) {
+  const MachineConfig cfg = mcmm::testing::paper_quadcore();
+  const Problem prob = Problem::square(60);
+
+  Machine ideal(cfg, Policy::kIdeal);
+  SharedOpt().run(ideal, prob, cfg);
+
+  Machine lru(cfg, Policy::kLru);
+  SharedOpt().run(lru, prob, cfg.with_caches_scaled(1, 2));
+
+  EXPECT_GT(lru.stats().ms(), 0);
+  EXPECT_GE(lru.stats().ms(), ideal.stats().ms())
+      << "LRU cannot beat the omniscient schedule it imitates";
+}
+
+TEST(SharedOptDeath, IdealNeedsThreeDistributedBlocks) {
+  MachineConfig cfg = lambda8_cfg();
+  cfg.cd = 2;
+  Machine machine(cfg, Policy::kIdeal);
+  EXPECT_THROW(SharedOpt().run(machine, Problem::square(8), cfg), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

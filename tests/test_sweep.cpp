@@ -1,0 +1,76 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+TEST(OrderSweep, GeneratesInclusiveRange) {
+  EXPECT_EQ(order_sweep(50, 200, 50),
+            (std::vector<std::int64_t>{50, 100, 150, 200}));
+  EXPECT_EQ(order_sweep(10, 10, 5), (std::vector<std::int64_t>{10}));
+  EXPECT_EQ(order_sweep(10, 14, 5), (std::vector<std::int64_t>{10}));
+  EXPECT_THROW(order_sweep(10, 5, 1), Error);
+  EXPECT_THROW(order_sweep(0, 5, 1), Error);
+}
+
+TEST(BandwidthRatioSweep, RescaledSeriesMatchesDirectRuns) {
+  // For a bandwidth-oblivious schedule the fast path (simulate once,
+  // rescale) must equal simulating at each ratio.
+  const Problem prob{16, 16, 16};
+  const MachineConfig cfg = paper_quadcore();
+  const std::vector<double> ratios{0.2, 0.5, 0.8};
+  const auto fast =
+      bandwidth_ratio_sweep("shared-opt", prob, cfg, Setting::kIdeal, ratios);
+  ASSERT_EQ(fast.size(), ratios.size());
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const MachineConfig rcfg = cfg.with_bandwidth_ratio(ratios[i]);
+    const RunResult direct =
+        run_experiment("shared-opt", prob, rcfg, Setting::kIdeal);
+    EXPECT_DOUBLE_EQ(fast[i].tdata, direct.tdata) << "r=" << ratios[i];
+    EXPECT_DOUBLE_EQ(fast[i].r, ratios[i]);
+  }
+}
+
+TEST(BandwidthRatioSweep, TradeoffReplansPerRatio) {
+  // Tradeoff's Tdata must track min(SharedOpt, DistributedOpt) across r;
+  // a single fixed plan could not do that at both extremes.
+  const Problem prob{16, 16, 16};
+  const MachineConfig cfg = paper_quadcore();
+  const std::vector<double> ratios{0.01, 0.5, 0.99};
+  const auto trade =
+      bandwidth_ratio_sweep("tradeoff", prob, cfg, Setting::kIdeal, ratios);
+  const auto shared =
+      bandwidth_ratio_sweep("shared-opt", prob, cfg, Setting::kIdeal, ratios);
+  const auto dist = bandwidth_ratio_sweep("distributed-opt", prob, cfg,
+                                          Setting::kIdeal, ratios);
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    EXPECT_LE(trade[i].tdata,
+              1.3 * std::min(shared[i].tdata, dist[i].tdata))
+        << "r=" << ratios[i];
+  }
+}
+
+TEST(BandwidthRatioLowerBound, BelowEveryAlgorithm) {
+  const Problem prob{16, 16, 16};
+  const MachineConfig cfg = paper_quadcore();
+  const std::vector<double> ratios{0.1, 0.5, 0.9};
+  const auto bound = bandwidth_ratio_lower_bound(prob, cfg, ratios);
+  for (const auto& name : algorithm_names()) {
+    const auto series =
+        bandwidth_ratio_sweep(name, prob, cfg, Setting::kIdeal, ratios);
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      EXPECT_GE(series[i].tdata, bound[i].tdata * 0.999)
+          << name << " r=" << ratios[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(SeriesTable, CellsRoundTrip) {
+  SeriesTable t("order");
+  const std::size_t a = t.add_series("MS");
+  const std::size_t b = t.add_series("bound");
+  t.set(a, 100, 12345);
+  t.set(b, 100, 12000);
+  t.set(a, 200, 45678);
+  EXPECT_EQ(t.num_series(), 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(*t.cell(a, 100), 12345);
+  EXPECT_DOUBLE_EQ(*t.cell(b, 100), 12000);
+  EXPECT_DOUBLE_EQ(*t.cell(a, 200), 45678);
+  EXPECT_FALSE(t.cell(b, 200).has_value()) << "missing cell";
+  EXPECT_FALSE(t.cell(a, 999).has_value()) << "missing row";
+}
+
+TEST(SeriesTable, SeriesAddedAfterRows) {
+  SeriesTable t("x");
+  const std::size_t a = t.add_series("first");
+  t.set(a, 1, 10);
+  const std::size_t b = t.add_series("second");
+  t.set(b, 1, 20);
+  EXPECT_DOUBLE_EQ(*t.cell(a, 1), 10);
+  EXPECT_DOUBLE_EQ(*t.cell(b, 1), 20);
+}
+
+TEST(SeriesTable, OverwriteCell) {
+  SeriesTable t("x");
+  const std::size_t a = t.add_series("s");
+  t.set(a, 1, 10);
+  t.set(a, 1, 99);
+  EXPECT_DOUBLE_EQ(*t.cell(a, 1), 99);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(SeriesTable, BadSeriesIndexThrows) {
+  SeriesTable t("x");
+  EXPECT_THROW(t.set(0, 1, 1), Error);
+  EXPECT_THROW(t.cell(3, 1), Error);
+}
+
+TEST(FormatValue, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(format_value(0), "0");
+  EXPECT_EQ(format_value(123456789), "123456789");
+  EXPECT_EQ(format_value(-42), "-42");
+}
+
+TEST(FormatValue, FractionsKeepPrecision) {
+  EXPECT_EQ(format_value(1.5), "1.5");
+  EXPECT_EQ(format_value(0.123456789), "0.123457");
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,78 @@
+#include "gemm/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(ThreadPool, RunsJobOnEveryWorker) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::mutex mu;
+  std::set<int> ids;
+  pool.run_on_all([&](int core) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(core);
+  });
+  EXPECT_EQ(ids, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run_on_all([&](int) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 600);
+}
+
+TEST(ThreadPool, SingleWorkerWorks) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.run_on_all([&](int core) {
+    EXPECT_EQ(core, 0);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), Error); }
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_on_all([](int core) {
+    if (core == 1) throw Error("boom");
+  }),
+               Error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> counter{0};
+  pool.run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeDisjointly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](int, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](int, std::int64_t lo, std::int64_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+}  // namespace
+}  // namespace mcmm

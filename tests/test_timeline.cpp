@@ -1,0 +1,103 @@
+#include "exp/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alg/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+MachineStats run_stats(const char* name, const Problem& prob,
+                       const MachineConfig& cfg) {
+  Machine machine(cfg, Policy::kIdeal);
+  make_algorithm(name)->run(machine, prob, cfg);
+  return machine.stats();
+}
+
+TEST(Timeline, EnvelopeArithmetic) {
+  MachineStats stats(2);
+  stats.shared_misses = 100;
+  stats.dist_misses = {60, 40};
+  stats.fmas = {500, 500};
+  MachineConfig cfg = paper_quadcore();
+  cfg.p = 2;
+  cfg.sigma_s = 2.0;   // shared time 50
+  cfg.sigma_d = 1.0;   // dist time 60
+  const TimeEnvelope env = time_envelope(stats, cfg, /*rate=*/10.0);
+  EXPECT_DOUBLE_EQ(env.compute_time, 50.0);
+  EXPECT_DOUBLE_EQ(env.shared_time, 50.0);
+  EXPECT_DOUBLE_EQ(env.dist_time, 60.0);
+  EXPECT_DOUBLE_EQ(env.serial, 160.0);
+  EXPECT_DOUBLE_EQ(env.overlap, 60.0);
+  EXPECT_EQ(env.bottleneck, TimeEnvelope::Bottleneck::kDistributedChannel);
+}
+
+TEST(Timeline, BoundsOrderAndMonotonicity) {
+  const MachineConfig cfg = paper_quadcore();
+  const MachineStats stats = run_stats("tradeoff", Problem::square(32), cfg);
+  double prev_overlap = 1e300;
+  for (const double rate : {0.1, 1.0, 10.0, 100.0}) {
+    const TimeEnvelope env = time_envelope(stats, cfg, rate);
+    EXPECT_GE(env.serial, env.overlap) << "serial is the upper envelope";
+    EXPECT_LE(env.overlap, prev_overlap) << "faster cores never slow it";
+    EXPECT_GE(env.overlap, env.shared_time);
+    EXPECT_GE(env.overlap, env.dist_time);
+    prev_overlap = env.overlap;
+  }
+}
+
+TEST(Timeline, BalanceRateSeparatesRegimes) {
+  const MachineConfig cfg = paper_quadcore();
+  const MachineStats stats =
+      run_stats("distributed-opt", Problem::square(32), cfg);
+  const double balance = balance_rate(stats, cfg);
+  EXPECT_GT(balance, 0);
+  // Just below the balance rate: compute-bound.
+  EXPECT_EQ(time_envelope(stats, cfg, balance * 0.99).bottleneck,
+            TimeEnvelope::Bottleneck::kCompute);
+  // Just above: some memory channel is the bottleneck.
+  EXPECT_NE(time_envelope(stats, cfg, balance * 1.01).bottleneck,
+            TimeEnvelope::Bottleneck::kCompute);
+}
+
+TEST(Timeline, BetterSchedulesHaveHigherBalanceRates) {
+  // A schedule with less traffic stays compute-bound up to faster cores:
+  // Tradeoff's balance rate must beat Outer Product's substantially.
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob = Problem::square(32);
+  Machine trade(cfg, Policy::kIdeal);
+  make_algorithm("tradeoff")->run(trade, prob, cfg);
+  Machine outer(cfg, Policy::kLru);
+  make_algorithm("outer-product")->run(outer, prob, cfg);
+  EXPECT_GT(balance_rate(trade.stats(), cfg),
+            3.0 * balance_rate(outer.stats(), cfg));
+}
+
+TEST(Timeline, MemoryBoundRegimeRanksByTraffic) {
+  // With slow caches (low rate irrelevant: channels saturate), the
+  // perfect-overlap times rank the schedules like their dominant traffic.
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob = Problem::square(32);
+  const double rate = 1e9;  // compute is free
+  const double t_trade =
+      time_envelope(run_stats("tradeoff", prob, cfg), cfg, rate).overlap;
+  const double t_shared =
+      time_envelope(run_stats("shared-opt", prob, cfg), cfg, rate).overlap;
+  Machine outer(cfg, Policy::kLru);
+  make_algorithm("outer-product")->run(outer, prob, cfg);
+  const double t_outer = time_envelope(outer.stats(), cfg, rate).overlap;
+  EXPECT_LT(t_trade, t_shared);
+  EXPECT_LT(t_shared, t_outer);
+}
+
+TEST(Timeline, Validation) {
+  MachineStats stats(1);
+  EXPECT_THROW(time_envelope(stats, paper_quadcore(), 0.0), Error);
+  EXPECT_THROW(balance_rate(stats, paper_quadcore()), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,141 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "alg/registry.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+Trace record_algorithm(const std::string& name, const Problem& prob,
+                       const MachineConfig& cfg) {
+  Machine machine(cfg, Policy::kLru);
+  Trace trace;
+  record_into(machine, trace);
+  make_algorithm(name)->run(machine, prob, cfg);
+  return trace;
+}
+
+TEST(Trace, AppendAndInspect) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  t.append(0, BlockId::a(1, 2), Rw::kRead);
+  t.append(1, BlockId::c(3, 4), Rw::kWrite);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].block(), BlockId::a(1, 2));
+  EXPECT_EQ(t[0].rw(), Rw::kRead);
+  EXPECT_EQ(t[0].core, 0);
+  EXPECT_EQ(t[1].block(), BlockId::c(3, 4));
+  EXPECT_EQ(t[1].rw(), Rw::kWrite);
+}
+
+TEST(Trace, RecordsEveryFmaAsThreeAccesses) {
+  const Problem prob{6, 6, 6};
+  const Trace trace = record_algorithm("shared-opt", prob, paper_quadcore());
+  EXPECT_EQ(static_cast<std::int64_t>(trace.size()), 3 * prob.fmas());
+}
+
+TEST(Trace, StatsBreakDownByMatrixAndCore) {
+  const Problem prob{8, 8, 4};
+  const Trace trace = record_algorithm("shared-opt", prob, paper_quadcore());
+  const TraceStats stats = trace.stats();
+  EXPECT_EQ(stats.accesses, 3 * prob.fmas());
+  EXPECT_EQ(stats.per_matrix[0], prob.fmas()) << "one A read per FMA";
+  EXPECT_EQ(stats.per_matrix[1], prob.fmas()) << "one B read per FMA";
+  EXPECT_EQ(stats.per_matrix[2], prob.fmas()) << "one C write per FMA";
+  EXPECT_EQ(stats.reads, 2 * prob.fmas());
+  EXPECT_EQ(stats.writes, prob.fmas());
+  EXPECT_EQ(stats.distinct_blocks,
+            prob.m * prob.z + prob.z * prob.n + prob.m * prob.n);
+  ASSERT_EQ(stats.per_core.size(), 4u);
+  std::int64_t total = 0;
+  for (const auto c : stats.per_core) total += c;
+  EXPECT_EQ(total, stats.accesses);
+}
+
+TEST(Trace, FilterCoreKeepsOnlyThatCore) {
+  const Problem prob{8, 8, 2};
+  const Trace trace = record_algorithm("shared-opt", prob, paper_quadcore());
+  std::int64_t sum = 0;
+  for (int c = 0; c < 4; ++c) {
+    const Trace sub = trace.filter_core(c);
+    for (std::size_t i = 0; i < sub.size(); ++i) EXPECT_EQ(sub[i].core, c);
+    sum += static_cast<std::int64_t>(sub.size());
+  }
+  EXPECT_EQ(sum, static_cast<std::int64_t>(trace.size()));
+}
+
+TEST(Trace, ReplayReproducesMissCountsExactly) {
+  const Problem prob{10, 10, 10};
+  const MachineConfig cfg = paper_quadcore();
+
+  Machine original(cfg, Policy::kLru);
+  Trace trace;
+  record_into(original, trace);
+  make_algorithm("tradeoff")->run(original, prob, cfg);
+
+  Machine replayed(cfg, Policy::kLru);
+  trace.replay(replayed);
+
+  EXPECT_EQ(replayed.stats().ms(), original.stats().ms());
+  EXPECT_EQ(replayed.stats().md(), original.stats().md());
+  for (int c = 0; c < cfg.p; ++c) {
+    EXPECT_EQ(replayed.stats().dist_misses[c],
+              original.stats().dist_misses[c]);
+  }
+}
+
+TEST(Trace, ReplayOntoSmallerMachineRejected) {
+  const Trace trace =
+      record_algorithm("shared-opt", Problem{4, 4, 4}, paper_quadcore());
+  MachineConfig tiny;
+  tiny.p = 1;
+  tiny.cs = 8;
+  tiny.cd = 3;
+  Machine machine(tiny, Policy::kLru);
+  EXPECT_THROW(trace.replay(machine), Error);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const Problem prob{5, 7, 3};
+  const Trace trace = record_algorithm("shared-equal", prob, paper_quadcore());
+  const std::string path = ::testing::TempDir() + "/mcmm_trace_roundtrip.bin";
+  trace.save(path);
+  const Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].block_bits, trace[i].block_bits);
+    EXPECT_EQ(loaded[i].core, trace[i].core);
+    EXPECT_EQ(loaded[i].is_write, trace[i].is_write);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/mcmm_trace_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a trace", f);
+  std::fclose(f);
+  EXPECT_THROW(Trace::load(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(Trace::load("/nonexistent/dir/file.bin"), Error);
+}
+
+TEST(Trace, EmptyTraceRoundTrips) {
+  Trace t;
+  const std::string path = ::testing::TempDir() + "/mcmm_trace_empty.bin";
+  t.save(path);
+  EXPECT_EQ(Trace::load(path).size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,171 @@
+// Formula exactness and tradeoff behaviour for Algorithm 3.
+#include <gtest/gtest.h>
+
+#include "alg/tradeoff.hpp"
+#include "analysis/params.hpp"
+#include "analysis/predictions.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+TEST(TradeoffExact, GeneralCaseMatchesClosedForm) {
+  // CS=977, CD=21, sigma_S = sigma_D = 1: alpha_num ~ 23.0 snaps to the
+  // better grid neighbour 24, beta = 8 -> the general (alpha > sqrt(p) mu)
+  // formula applies.
+  const MachineConfig cfg = paper_quadcore();
+  const TradeoffParams params = tradeoff_params(cfg);
+  ASSERT_EQ(params.mu, 4);
+  ASSERT_GT(params.alpha, params.grain());
+  ASSERT_EQ(params.alpha % params.grain(), 0);
+  EXPECT_EQ(params.alpha, 24);
+  EXPECT_EQ(params.beta, 8);
+
+  // Divisible sizes: alpha | m,n and beta | z.
+  const Problem prob{params.alpha * 2, params.alpha, params.beta * 3};
+  Machine machine(cfg, Policy::kIdeal);
+  Tradeoff().run(machine, prob, cfg);
+
+  const MissPrediction pred = predict_tradeoff(prob, cfg.p, params);
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+  for (int c = 1; c < cfg.p; ++c) {
+    EXPECT_EQ(machine.stats().dist_misses[c], machine.stats().dist_misses[0]);
+  }
+}
+
+TEST(TradeoffExact, SpecialCaseAlphaEqualsGridMatchesClosedForm) {
+  // CS=91 forces alpha == sqrt(p)*mu == 8: each core keeps its single C
+  // sub-block for the whole tile.
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 91;
+  cfg.cd = 21;
+  const TradeoffParams params = tradeoff_params(cfg);
+  ASSERT_TRUE(params.persistent_c());
+
+  const Problem prob{16, 8, params.beta * 4};
+  Machine machine(cfg, Policy::kIdeal);
+  Tradeoff().run(machine, prob, cfg);
+
+  const MissPrediction pred = predict_tradeoff(prob, cfg.p, params);
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  EXPECT_EQ(machine.stats().md(), static_cast<std::int64_t>(pred.md));
+}
+
+TEST(Tradeoff, InterpolatesBetweenTheTwoOptimisedSchedules) {
+  // For any bandwidth ratio the tradeoff's Tdata should be within a small
+  // factor of min(SharedOpt, DistributedOpt) — that is its purpose.
+  const Problem prob{32, 32, 32};
+  for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const MachineConfig cfg = paper_quadcore().with_bandwidth_ratio(r);
+    auto tdata = [&](const char* name) {
+      Machine machine(cfg, Policy::kIdeal);
+      make_algorithm(name)->run(machine, prob, cfg);
+      return machine.stats().tdata(cfg.sigma_s, cfg.sigma_d);
+    };
+    const double t_trade = tdata("tradeoff");
+    const double t_best =
+        std::min(tdata("shared-opt"), tdata("distributed-opt"));
+    EXPECT_LE(t_trade, 1.25 * t_best) << "r=" << r;
+  }
+}
+
+TEST(Tradeoff, ExtremeRatiosReduceToTheSpecialisedSchedules) {
+  const Problem prob{32, 32, 32};
+  // r -> 1 means sigma_S >> sigma_D: distributed misses dominate Tdata and
+  // the tradeoff must essentially match DistributedOpt's MD.
+  {
+    const MachineConfig cfg = paper_quadcore().with_bandwidth_ratio(0.999999);
+    Machine trade(cfg, Policy::kIdeal);
+    Tradeoff().run(trade, prob, cfg);
+    Machine dist(cfg, Policy::kIdeal);
+    make_algorithm("distributed-opt")->run(dist, prob, cfg);
+    EXPECT_EQ(trade.stats().md(), dist.stats().md());
+  }
+  // r -> 0 means sigma_D >> sigma_S: shared misses dominate; alpha grows
+  // toward lambda so MS approaches SharedOpt's within the snapping loss.
+  {
+    const MachineConfig cfg = paper_quadcore().with_bandwidth_ratio(1e-6);
+    Machine trade(cfg, Policy::kIdeal);
+    Tradeoff().run(trade, prob, cfg);
+    Machine shared(cfg, Policy::kIdeal);
+    make_algorithm("shared-opt")->run(shared, prob, cfg);
+    EXPECT_LE(static_cast<double>(trade.stats().ms()),
+              1.3 * static_cast<double>(shared.stats().ms()));
+  }
+}
+
+TEST(Tradeoff, RaggedSizesCoverAndDrain) {
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob{19, 23, 29};
+  Machine machine(cfg, Policy::kIdeal);
+  mcmm::testing::FmaCoverage coverage(machine);
+  Tradeoff().run(machine, prob, cfg);
+  EXPECT_TRUE(coverage.complete(prob));
+  machine.assert_empty();
+}
+
+TEST(TradeoffPinned, HonoursExplicitParameters) {
+  const MachineConfig cfg = paper_quadcore();
+  TradeoffParams pinned = tradeoff_params(cfg);
+  pinned.alpha = 8;  // force the special case instead of the solver's 24
+  pinned.beta = (977 - 64) / 16;
+  const Problem prob{16, 16, 16};
+  Machine machine(cfg, Policy::kIdeal);
+  Tradeoff(pinned).run(machine, prob, cfg);
+  const MissPrediction pred = predict_tradeoff(prob, cfg.p, pinned);
+  EXPECT_EQ(machine.stats().ms(), static_cast<std::int64_t>(pred.ms));
+  // alpha == sqrt(p)*mu: the special-case MD formula must hold (z = 16 is
+  // not a multiple of beta = 57, so the panel is ragged but single).
+  EXPECT_EQ(machine.stats().md(),
+            16 * 16 / 4 + 2 * 16 * 16 * 16 / (4 * 4));
+}
+
+TEST(TradeoffPinned, RejectsInfeasibleParameters) {
+  const MachineConfig cfg = paper_quadcore();
+  const Problem prob{8, 8, 8};
+  TradeoffParams bad = tradeoff_params(cfg);
+
+  bad.alpha = 30;  // not a multiple of sqrt(p)*mu = 8
+  {
+    Machine machine(cfg, Policy::kIdeal);
+    EXPECT_THROW(Tradeoff(bad).run(machine, prob, cfg), Error);
+  }
+  bad = tradeoff_params(cfg);
+  bad.alpha = 32;
+  bad.beta = 100;  // 32^2 + 2*32*100 > 977
+  {
+    Machine machine(cfg, Policy::kIdeal);
+    EXPECT_THROW(Tradeoff(bad).run(machine, prob, cfg), Error);
+  }
+  bad = tradeoff_params(cfg);
+  bad.mu = 10;  // 1 + 10 + 100 > CD = 21
+  bad.alpha = 2 * 10;
+  bad.beta = 1;
+  {
+    Machine machine(cfg, Policy::kIdeal);
+    EXPECT_THROW(Tradeoff(bad).run(machine, prob, cfg), Error);
+  }
+  bad = tradeoff_params(cfg);
+  bad.grid = Grid{3, 3};  // 9 != p
+  bad.alpha = 3 * bad.mu;  // multiple of the bad grain
+  {
+    Machine machine(cfg, Policy::kIdeal);
+    EXPECT_THROW(Tradeoff(bad).run(machine, prob, cfg), Error);
+  }
+}
+
+TEST(Tradeoff, RejectsMismatchedCoreCount) {
+  MachineConfig physical = paper_quadcore();
+  physical.p = 16;
+  physical.cs = 16 * 21;
+  Machine machine(physical, Policy::kIdeal);
+  EXPECT_THROW(Tradeoff().run(machine, Problem::square(8), paper_quadcore()),
+               Error);
+}
+
+}  // namespace
+}  // namespace mcmm

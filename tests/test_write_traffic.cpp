@@ -1,0 +1,83 @@
+// Per-core write-back attribution and the write-inclusive Tdata variant.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alg/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace mcmm {
+namespace {
+
+using mcmm::testing::paper_quadcore;
+
+TEST(WriteTraffic, PerCoreAttributionSumsToAggregate) {
+  const Problem prob{16, 16, 16};
+  for (const auto& name : algorithm_names()) {
+    for (const Policy policy : {Policy::kLru, Policy::kIdeal}) {
+      if (policy == Policy::kIdeal &&
+          !make_algorithm(name)->supports_ideal()) {
+        continue;
+      }
+      Machine machine(paper_quadcore(), policy);
+      make_algorithm(name)->run(machine, prob, paper_quadcore());
+      machine.flush();
+      const auto& st = machine.stats();
+      const std::int64_t sum =
+          std::accumulate(st.wb_to_shared_per_core.begin(),
+                          st.wb_to_shared_per_core.end(), std::int64_t{0});
+      EXPECT_EQ(sum, st.writebacks_to_shared)
+          << name << " under " << to_string(policy);
+    }
+  }
+}
+
+TEST(WriteTraffic, SharedOptWritesBackEveryFma) {
+  // Algorithm 1 evicts its dirty C element after every FMA: exactly mnz
+  // write-backs to the shared cache under IDEAL.
+  const Problem prob{16, 16, 8};
+  Machine machine(paper_quadcore(), Policy::kIdeal);
+  make_algorithm("shared-opt")->run(machine, prob, paper_quadcore());
+  EXPECT_EQ(machine.stats().writebacks_to_shared, prob.fmas());
+}
+
+TEST(WriteTraffic, DistributedOptWritesBackOncePerCBlock) {
+  // Algorithm 2 keeps each C sub-block private until fully computed:
+  // exactly mn write-backs, z-independent.
+  const Problem prob{16, 16, 8};
+  Machine machine(paper_quadcore(), Policy::kIdeal);
+  make_algorithm("distributed-opt")->run(machine, prob, paper_quadcore());
+  EXPECT_EQ(machine.stats().writebacks_to_shared, prob.m * prob.n);
+}
+
+TEST(WriteTraffic, WriteInclusiveTdataNeverBelowLoadsOnly) {
+  const Problem prob{12, 12, 12};
+  for (const auto& name : algorithm_names()) {
+    const MachineConfig cfg = paper_quadcore();
+    Machine machine(cfg, Policy::kLru);
+    make_algorithm(name)->run(machine, prob, cfg);
+    machine.flush();
+    EXPECT_GE(machine.stats().tdata_with_writebacks(cfg.sigma_s, cfg.sigma_d),
+              machine.stats().tdata(cfg.sigma_s, cfg.sigma_d))
+        << name;
+  }
+}
+
+TEST(WriteTraffic, IncludingWritesPenalisesSharedOptAtDistributedLevel) {
+  // The structural gap: mnz vs mn write-backs means Shared Opt.'s
+  // write-inclusive Tdata grows much more than Distributed Opt.'s.
+  const Problem prob{32, 32, 32};
+  const MachineConfig cfg = paper_quadcore();
+  auto penalty = [&](const char* name) {
+    Machine machine(cfg, Policy::kIdeal);
+    make_algorithm(name)->run(machine, prob, cfg);
+    machine.flush();
+    return machine.stats().tdata_with_writebacks(cfg.sigma_s, cfg.sigma_d) /
+           machine.stats().tdata(cfg.sigma_s, cfg.sigma_d);
+  };
+  EXPECT_GT(penalty("shared-opt"), 1.3);
+  EXPECT_LT(penalty("distributed-opt"), 1.3);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,137 @@
+// The universal experiment driver: run any schedule on any machine
+// geometry under any setting and print every statistic, as a table or as
+// JSON (for scripting sweeps beyond the bundled benches).
+//
+//   $ mcmm_run --algorithm tradeoff --m 48 --n 48 --z 48 --setting lru50
+//   $ mcmm_run --algorithm distributed-opt --cs 245 --cd 6 --json
+//   $ mcmm_run --list
+#include <cstdio>
+
+#include "alg/registry.hpp"
+#include "analysis/bounds.hpp"
+#include "exp/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+using namespace mcmm;
+
+namespace {
+
+Setting parse_setting(const std::string& s) {
+  if (s == "ideal") return Setting::kIdeal;
+  if (s == "lru50") return Setting::kLru50;
+  if (s == "lru") return Setting::kLruFull;
+  if (s == "lru2x") return Setting::kLruDouble;
+  throw Error("unknown setting: " + s + " (ideal|lru50|lru|lru2x)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("json", "machine-readable output");
+  cli.add_flag("list", "list the available schedules and exit");
+  cli.add_option("algorithm", "schedule to run (see --list)", "tradeoff");
+  cli.add_option("m", "block-rows of A and C", "48");
+  cli.add_option("n", "block-cols of B and C", "48");
+  cli.add_option("z", "inner dimension in blocks", "48");
+  cli.add_option("p", "core count", "4");
+  cli.add_option("cs", "shared-cache capacity in blocks", "977");
+  cli.add_option("cd", "distributed-cache capacity in blocks", "21");
+  cli.add_option("sigma-s", "memory->shared bandwidth", "1.0");
+  cli.add_option("sigma-d", "shared->distributed bandwidth", "1.0");
+  cli.add_option("setting", "ideal | lru50 | lru | lru2x", "lru50");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.flag("list")) {
+    for (const auto& name : extended_algorithm_names()) {
+      const AlgorithmPtr alg = make_algorithm(name);
+      std::printf("%-26s %s%s\n", name.c_str(), alg->label().c_str(),
+                  alg->supports_ideal() ? "" : "  (LRU only)");
+    }
+    return 0;
+  }
+
+  MachineConfig cfg;
+  cfg.p = static_cast<int>(cli.integer("p"));
+  cfg.cs = cli.integer("cs");
+  cfg.cd = cli.integer("cd");
+  cfg.sigma_s = cli.real("sigma-s");
+  cfg.sigma_d = cli.real("sigma-d");
+  const Problem prob{cli.integer("m"), cli.integer("n"), cli.integer("z")};
+  const Setting setting = parse_setting(cli.str("setting"));
+  const std::string algorithm = cli.str("algorithm");
+
+  const RunResult res = run_experiment(algorithm, prob, cfg, setting);
+  const auto& st = res.stats;
+
+  if (cli.flag("json")) {
+    JsonWriter w;
+    w.begin_object()
+        .kv("algorithm", algorithm)
+        .kv("setting", to_string(setting))
+        .key("problem")
+        .begin_object()
+        .kv("m", prob.m)
+        .kv("n", prob.n)
+        .kv("z", prob.z)
+        .kv("fmas", prob.fmas())
+        .end_object()
+        .key("machine")
+        .begin_object()
+        .kv("p", cfg.p)
+        .kv("cs", cfg.cs)
+        .kv("cd", cfg.cd)
+        .kv("sigma_s", cfg.sigma_s)
+        .kv("sigma_d", cfg.sigma_d)
+        .end_object()
+        .kv("ms", res.ms)
+        .kv("md", res.md)
+        .kv("tdata", res.tdata)
+        .kv("tdata_with_writebacks",
+            st.tdata_with_writebacks(cfg.sigma_s, cfg.sigma_d))
+        .kv("ccr_shared", st.ccr_shared())
+        .kv("ccr_distributed", st.ccr_distributed())
+        .kv("shared_hits", st.shared_hits)
+        .kv("writebacks_to_memory", st.writebacks_to_memory)
+        .kv("writebacks_to_shared", st.writebacks_to_shared)
+        .kv("ms_lower_bound", ms_lower_bound(prob, cfg.cs))
+        .kv("md_lower_bound", md_lower_bound(prob, cfg.p, cfg.cd))
+        .key("per_core")
+        .begin_array();
+    for (std::size_t c = 0; c < st.dist_misses.size(); ++c) {
+      w.begin_object()
+          .kv("misses", st.dist_misses[c])
+          .kv("hits", st.dist_hits[c])
+          .kv("writebacks", st.wb_to_shared_per_core[c])
+          .kv("fmas", st.fmas[c])
+          .end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("%s on %s blocks | %s | %s\n", algorithm.c_str(),
+              prob.describe().c_str(), cfg.describe().c_str(),
+              to_string(setting));
+  std::printf("  %-26s %14lld   (bound %.0f)\n", "shared misses MS",
+              static_cast<long long>(res.ms), ms_lower_bound(prob, cfg.cs));
+  std::printf("  %-26s %14lld   (bound %.0f)\n", "distributed misses MD",
+              static_cast<long long>(res.md),
+              md_lower_bound(prob, cfg.p, cfg.cd));
+  std::printf("  %-26s %14.0f\n", "Tdata (loads only)", res.tdata);
+  std::printf("  %-26s %14.0f\n", "Tdata (with write-backs)",
+              st.tdata_with_writebacks(cfg.sigma_s, cfg.sigma_d));
+  std::printf("  %-26s %14.4f / %.4f\n", "CCR shared / distributed",
+              st.ccr_shared(), st.ccr_distributed());
+  for (std::size_t c = 0; c < st.dist_misses.size(); ++c) {
+    std::printf("  core %zu: %lld misses, %lld hits, %lld write-backs, "
+                "%lld FMAs\n",
+                c, static_cast<long long>(st.dist_misses[c]),
+                static_cast<long long>(st.dist_hits[c]),
+                static_cast<long long>(st.wb_to_shared_per_core[c]),
+                static_cast<long long>(st.fmas[c]));
+  }
+  return 0;
+}
