@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the project's first-party sources (src/, tools/,
+# bench/) using a build tree's compile_commands.json and the checked-in
+# .clang-tidy.  Any finding fails the script (WarningsAsErrors: '*').
+#
+#   scripts/run_clang_tidy.sh [build-dir]     # default build dir: ./build
+#
+# Override the binary with CLANG_TIDY=clang-tidy-18 etc.  The build dir must
+# have been configured by CMake (compile_commands.json is always exported).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: '$TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing; run cmake -B $BUILD_DIR first" >&2
+  exit 2
+fi
+
+SOURCES=()
+while IFS= read -r f; do
+  SOURCES+=("$f")
+done < <(find src tools bench -name '*.cpp' | sort)
+
+echo "clang-tidy ($("$TIDY" --version | head -n 1)) over ${#SOURCES[@]} files"
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+echo "clang-tidy: clean"

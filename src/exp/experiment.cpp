@@ -1,10 +1,14 @@
 #include "exp/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "alg/registry.hpp"
 #include "sim/machine.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
+#include "verify/invariant_auditor.hpp"
 
 namespace mcmm {
 
@@ -20,6 +24,14 @@ const char* to_string(Setting s) {
 
 RunResult run_experiment(const std::string& algorithm, const Problem& prob,
                          const MachineConfig& cfg, Setting setting) {
+  return run_audited_experiment(algorithm, prob, cfg, setting,
+                                /*audit=*/nullptr);
+}
+
+RunResult run_audited_experiment(const std::string& algorithm,
+                                 const Problem& prob, const MachineConfig& cfg,
+                                 Setting setting, AuditReport* audit,
+                                 Trace* trace) {
   prob.validate();
   cfg.validate();
   const AlgorithmPtr alg = make_algorithm(algorithm);
@@ -50,8 +62,16 @@ RunResult run_experiment(const std::string& algorithm, const Problem& prob,
   }
 
   Machine machine(physical, policy);
+  std::optional<InvariantAuditor> auditor;
+  std::optional<TraceRecorder> recorder;
+  if (audit != nullptr) auditor.emplace(machine);
+  if (trace != nullptr) recorder.emplace(machine, *trace);
   alg->run(machine, prob, declared);
   machine.flush();
+  if (auditor) {
+    auditor->finalize(prob);
+    *audit = auditor->report();
+  }
 
   RunResult out;
   out.stats = machine.stats();

@@ -21,8 +21,11 @@
 #include "sim/cache_stats.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/problem.hpp"
+#include "verify/invariant_auditor.hpp"
 
 namespace mcmm {
+
+class Trace;
 
 enum class Setting { kIdeal, kLru50, kLruFull, kLruDouble };
 
@@ -42,5 +45,15 @@ struct RunResult {
 /// performed and that the caches drained cleanly.
 RunResult run_experiment(const std::string& algorithm, const Problem& prob,
                          const MachineConfig& cfg, Setting setting);
+
+/// Same run with the invariant auditor attached (capacity, inclusion,
+/// write-race and lower-bound checks — see src/verify).  The report is
+/// written to `audit`.  When `trace` is non-null, the run's access stream
+/// and parallel-step structure are also recorded into it, so the exact
+/// schedule can be re-audited later with `mcmm_audit --trace`.
+RunResult run_audited_experiment(const std::string& algorithm,
+                                 const Problem& prob, const MachineConfig& cfg,
+                                 Setting setting, AuditReport* audit,
+                                 Trace* trace = nullptr);
 
 }  // namespace mcmm

@@ -11,6 +11,7 @@
 //   gemm/      real-data multithreaded executions of the schedules
 //   trace/     access-trace capture, replay and reuse-distance analysis
 //   lu/        LU factorization extension (the paper's future work)
+//   verify/    invariant auditor (capacity, inclusion, races, bounds)
 #pragma once
 
 #include "alg/algorithm.hpp"
@@ -42,6 +43,7 @@
 #include "lu/lu_pivot.hpp"
 #include "lu/lu_sim.hpp"
 #include "lu/parallel_lu.hpp"
+#include "sim/audit_hook.hpp"
 #include "sim/block_id.hpp"
 #include "sim/cache_stats.hpp"
 #include "sim/ideal_cache.hpp"
@@ -55,6 +57,7 @@
 #include "trace/reuse_distance.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
+#include "verify/invariant_auditor.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"

@@ -1,0 +1,39 @@
+// Observation interface for machine-level verification tools.
+//
+// A hook attached to a Machine sees every data access *after* the machine
+// has applied it (so cache occupancy queries reflect the post-state), every
+// IDEAL-mode cache-management operation, and the begin/end of each
+// ParallelSection step.  Multiple hooks can be attached at once — the
+// invariant auditor (src/verify) and the step-aware trace recorder
+// (src/trace) compose freely.
+//
+// Hooks are deliberately passive: they may inspect the machine but must not
+// drive it, so attaching one never changes the simulated miss counts.
+#pragma once
+
+#include "sim/block_id.hpp"
+#include "sim/machine.hpp"
+
+namespace mcmm {
+
+class AuditHook {
+ public:
+  AuditHook() = default;
+  virtual ~AuditHook() = default;
+  AuditHook(const AuditHook&) = delete;
+  AuditHook& operator=(const AuditHook&) = delete;
+
+  /// A data access (read or write) by `core` just completed.
+  virtual void on_access(int core, BlockId b, Rw rw) = 0;
+
+  /// An IDEAL-mode cache-management operation touching `b` just completed
+  /// (load/evict at either level, or update_shared).  Never fires under LRU,
+  /// where management calls are no-ops.
+  virtual void on_cache_op(BlockId b) = 0;
+
+  /// A ParallelSection began/finished dispatching one parallel step.
+  virtual void on_step_begin() = 0;
+  virtual void on_step_end() = 0;
+};
+
+}  // namespace mcmm

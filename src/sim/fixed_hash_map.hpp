@@ -38,16 +38,9 @@ public:
   std::size_t max_entries() const { return max_entries_; }
 
   /// Returns pointer to the value for `key`, or nullptr if absent.
-  std::uint32_t* find(std::uint64_t key) {
-    std::size_t i = index(key);
-    while (slots_[i].key != kEmpty) {
-      if (slots_[i].key == key) return &slots_[i].value;
-      i = (i + 1) & mask_;
-    }
-    return nullptr;
-  }
+  std::uint32_t* find(std::uint64_t key) { return find_impl(*this, key); }
   const std::uint32_t* find(std::uint64_t key) const {
-    return const_cast<FixedHashMap*>(this)->find(key);
+    return find_impl(*this, key);
   }
 
   bool contains(std::uint64_t key) const { return find(key) != nullptr; }
@@ -111,6 +104,20 @@ private:
     std::uint64_t key = kEmpty;
     std::uint32_t value = 0;
   };
+
+  /// Shared lookup for the const and non-const find() overloads: `Self`
+  /// deduces as `FixedHashMap` or `const FixedHashMap`, and the returned
+  /// pointer's constness follows, with no const_cast.
+  template <typename Self>
+  static auto find_impl(Self& self, std::uint64_t key)
+      -> decltype(&self.slots_[0].value) {
+    std::size_t i = self.index(key);
+    while (self.slots_[i].key != kEmpty) {
+      if (self.slots_[i].key == key) return &self.slots_[i].value;
+      i = (i + 1) & self.mask_;
+    }
+    return nullptr;
+  }
 
   std::size_t index(std::uint64_t key) const {
     // Fibonacci hashing, taking the HIGH bits of the product: block-id keys

@@ -1,5 +1,8 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
+
+#include "sim/audit_hook.hpp"
 #include "util/error.hpp"
 
 namespace mcmm {
@@ -68,11 +71,42 @@ void Machine::lru_access(int core, BlockId b, Rw rw) {
   }
 }
 
+void Machine::attach_audit_hook(AuditHook* hook) {
+  MCMM_ASSERT(hook != nullptr, "attach_audit_hook: null hook");
+  MCMM_ASSERT(std::find(audit_hooks_.begin(), audit_hooks_.end(), hook) ==
+                  audit_hooks_.end(),
+              "attach_audit_hook: hook already attached");
+  audit_hooks_.push_back(hook);
+}
+
+void Machine::detach_audit_hook(AuditHook* hook) {
+  const auto it = std::find(audit_hooks_.begin(), audit_hooks_.end(), hook);
+  MCMM_ASSERT(it != audit_hooks_.end(), "detach_audit_hook: hook not attached");
+  audit_hooks_.erase(it);
+}
+
+void Machine::audit_step_begin() {
+  for (AuditHook* h : audit_hooks_) h->on_step_begin();
+}
+
+void Machine::audit_step_end() {
+  for (AuditHook* h : audit_hooks_) h->on_step_end();
+}
+
+void Machine::notify_access(int core, BlockId b, Rw rw) {
+  for (AuditHook* h : audit_hooks_) h->on_access(core, b, rw);
+}
+
+void Machine::notify_cache_op(BlockId b) {
+  for (AuditHook* h : audit_hooks_) h->on_cache_op(b);
+}
+
 void Machine::access(int core, BlockId b, Rw rw) {
   MCMM_ASSERT(core >= 0 && core < cfg_.p, "Machine::access: bad core index");
   if (access_observer_) access_observer_(core, b, rw);
   if (policy_ == Policy::kLru) {
     lru_access(core, b, rw);
+    notify_access(core, b, rw);
     return;
   }
   auto& dcache = ideal_dist_[static_cast<std::size_t>(core)];
@@ -80,6 +114,7 @@ void Machine::access(int core, BlockId b, Rw rw) {
               ("IDEAL access to non-resident block " + b.str()).c_str());
   ++stats_.dist_hits[static_cast<std::size_t>(core)];
   if (rw == Rw::kWrite) dcache.mark_dirty(b);
+  notify_access(core, b, rw);
 }
 
 void Machine::fma(int core, std::int64_t i, std::int64_t j, std::int64_t k) {
@@ -97,6 +132,7 @@ void Machine::load_shared(BlockId b) {
   } else {
     ++stats_.shared_hits;
   }
+  notify_cache_op(b);
 }
 
 void Machine::evict_shared(BlockId b) {
@@ -108,6 +144,7 @@ void Machine::evict_shared(BlockId b) {
                     .c_str());
   }
   if (ideal_shared_->evict(b)) ++stats_.writebacks_to_memory;
+  notify_cache_op(b);
 }
 
 void Machine::load_distributed(int core, BlockId b) {
@@ -122,6 +159,7 @@ void Machine::load_distributed(int core, BlockId b) {
   } else {
     ++stats_.dist_hits[static_cast<std::size_t>(core)];
   }
+  notify_cache_op(b);
 }
 
 void Machine::evict_distributed(int core, BlockId b) {
@@ -132,6 +170,7 @@ void Machine::evict_distributed(int core, BlockId b) {
     ++stats_.wb_to_shared_per_core[static_cast<std::size_t>(core)];
     ideal_shared_->mark_dirty(b);
   }
+  notify_cache_op(b);
 }
 
 void Machine::update_shared(int core, BlockId b) {
@@ -144,6 +183,7 @@ void Machine::update_shared(int core, BlockId b) {
   ++stats_.writebacks_to_shared;
   ++stats_.wb_to_shared_per_core[static_cast<std::size_t>(core)];
   ideal_shared_->mark_dirty(b);
+  notify_cache_op(b);
 }
 
 void Machine::flush() {
@@ -191,6 +231,13 @@ std::int64_t Machine::distributed_size(int core) const {
   return policy_ == Policy::kLru
              ? lru_dist_[static_cast<std::size_t>(core)].size()
              : ideal_dist_[static_cast<std::size_t>(core)].size();
+}
+
+std::vector<BlockId> Machine::distributed_contents(int core) const {
+  MCMM_ASSERT(core >= 0 && core < cfg_.p, "distributed_contents: bad core");
+  return policy_ == Policy::kLru
+             ? lru_dist_[static_cast<std::size_t>(core)].contents_mru_order()
+             : ideal_dist_[static_cast<std::size_t>(core)].contents();
 }
 
 void Machine::check_inclusive() const {

@@ -35,6 +35,8 @@
 
 namespace mcmm {
 
+class AuditHook;
+
 enum class Policy { kLru, kIdeal };
 
 inline const char* to_string(Policy p) {
@@ -106,10 +108,26 @@ public:
     access_observer_ = std::move(obs);
   }
 
+  // --- verification hooks (src/sim/audit_hook.hpp) -----------------------
+  /// Attach a passive observer that sees accesses, IDEAL cache-management
+  /// operations and parallel-step boundaries.  Hooks stack; each attach
+  /// must be paired with a detach before the hook is destroyed.
+  void attach_audit_hook(AuditHook* hook);
+  void detach_audit_hook(AuditHook* hook);
+  bool has_audit_hooks() const { return !audit_hooks_.empty(); }
+
+  /// Parallel-step boundary notifications, called by ParallelSection::run()
+  /// (and by Trace::replay when the trace carries step markers).
+  void audit_step_begin();
+  void audit_step_end();
+
   bool resident_shared(BlockId b) const;
   bool resident_distributed(int core, BlockId b) const;
   std::int64_t shared_size() const;
   std::int64_t distributed_size(int core) const;
+  /// Blocks currently resident in core's distributed cache (either policy;
+  /// order unspecified).  For diagnostics and the invariant auditor.
+  std::vector<BlockId> distributed_contents(int core) const;
   /// Abort unless every distributed-cache block is also in the shared cache.
   void check_inclusive() const;
   /// Abort unless all caches are empty (well-behaved IDEAL algorithms
@@ -119,6 +137,8 @@ public:
 private:
   void lru_access(int core, BlockId b, Rw rw);
   void lru_install_shared(BlockId b);
+  void notify_access(int core, BlockId b, Rw rw);
+  void notify_cache_op(BlockId b);
 
   MachineConfig cfg_;
   Policy policy_;
@@ -132,6 +152,7 @@ private:
 
   FmaObserver observer_;
   AccessObserver access_observer_;
+  std::vector<AuditHook*> audit_hooks_;
   std::int64_t interleave_chunk_ = 1;
 };
 

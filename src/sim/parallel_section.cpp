@@ -41,6 +41,7 @@ void ParallelSection::update_shared(int core, BlockId b) {
 }
 
 void ParallelSection::run() {
+  machine_.audit_step_begin();
   const std::int64_t chunk = machine_.interleave_chunk();
   std::vector<std::size_t> next(queues_.size(), 0);
   bool progressed = true;
@@ -78,6 +79,7 @@ void ParallelSection::run() {
     }
   }
   for (auto& q : queues_) q.clear();
+  machine_.audit_step_end();
 }
 
 std::int64_t ParallelSection::pending() const {

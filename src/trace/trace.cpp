@@ -13,19 +13,41 @@ void Trace::append(int core, BlockId b, Rw rw) {
   AccessEvent e;
   e.block_bits = b.bits();
   e.core = core;
-  e.is_write = rw == Rw::kWrite ? 1 : 0;
+  e.is_write = rw == Rw::kWrite ? AccessEvent::kWrite : AccessEvent::kRead;
   events_.push_back(e);
+}
+
+namespace {
+AccessEvent make_marker(std::uint8_t kind) {
+  AccessEvent e;
+  e.block_bits = BlockId::kInvalid;
+  e.core = -1;
+  e.is_write = kind;
+  return e;
+}
+}  // namespace
+
+void Trace::append_step_begin() {
+  events_.push_back(make_marker(AccessEvent::kStepBegin));
+}
+
+void Trace::append_step_end() {
+  events_.push_back(make_marker(AccessEvent::kStepEnd));
 }
 
 TraceStats Trace::stats() const {
   TraceStats out;
-  out.accesses = static_cast<std::int64_t>(events_.size());
   std::unordered_set<std::uint64_t> footprint;
   int max_core = -1;
   for (const AccessEvent& e : events_) max_core = std::max(max_core, e.core);
   out.per_core.assign(static_cast<std::size_t>(max_core + 1), 0);
   for (const AccessEvent& e : events_) {
-    if (e.is_write) {
+    if (e.is_marker()) {
+      if (e.is_step_begin()) ++out.steps;
+      continue;
+    }
+    ++out.accesses;
+    if (e.is_write == AccessEvent::kWrite) {
       ++out.writes;
     } else {
       ++out.reads;
@@ -48,6 +70,14 @@ Trace Trace::filter_core(int core) const {
 
 void Trace::replay(Machine& machine) const {
   for (const AccessEvent& e : events_) {
+    if (e.is_step_begin()) {
+      machine.audit_step_begin();
+      continue;
+    }
+    if (e.is_step_end()) {
+      machine.audit_step_end();
+      continue;
+    }
     MCMM_REQUIRE(e.core >= 0 && e.core < machine.cores(),
                  "Trace::replay: event core exceeds machine cores");
     machine.access(e.core, e.block(), e.rw());
@@ -55,13 +85,23 @@ void Trace::replay(Machine& machine) const {
 }
 
 namespace {
-constexpr char kMagic[8] = {'M', 'C', 'M', 'M', 'T', 'R', 'C', '1'};
+constexpr char kMagicV1[8] = {'M', 'C', 'M', 'M', 'T', 'R', 'C', '1'};
+constexpr char kMagicV2[8] = {'M', 'C', 'M', 'M', 'T', 'R', 'C', '2'};
+
+bool valid_event(const AccessEvent& e) {
+  if (e.block_bits == BlockId::kInvalid) {
+    return e.core == -1 && (e.is_write == AccessEvent::kStepBegin ||
+                            e.is_write == AccessEvent::kStepEnd);
+  }
+  return (e.block_bits >> 60) <= 2 && e.core >= 0 &&
+         e.is_write <= AccessEvent::kWrite;
+}
 }  // namespace
 
 void Trace::save(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   MCMM_REQUIRE(f != nullptr, "Trace::save: cannot open " + path);
-  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  bool ok = std::fwrite(kMagicV2, sizeof(kMagicV2), 1, f) == 1;
   const std::uint64_t count = events_.size();
   ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
   if (count > 0) {
@@ -78,7 +118,8 @@ Trace Trace::load(const std::string& path) {
   char magic[8];
   std::uint64_t count = 0;
   bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
-            std::memcmp(magic, kMagic, sizeof(magic)) == 0 &&
+            (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0 ||
+             std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) &&
             std::fread(&count, sizeof(count), 1, f) == 1;
   Trace out;
   if (ok) {
@@ -91,8 +132,7 @@ Trace Trace::load(const std::string& path) {
   std::fclose(f);
   MCMM_REQUIRE(ok, "Trace::load: " + path + " is not a valid trace file");
   for (const AccessEvent& e : out.events_) {
-    MCMM_REQUIRE((e.block_bits >> 60) <= 2 && e.core >= 0 && e.is_write <= 1,
-                 "Trace::load: corrupt event in " + path);
+    MCMM_REQUIRE(valid_event(e), "Trace::load: corrupt event in " + path);
   }
   return out;
 }
@@ -101,5 +141,20 @@ void record_into(Machine& machine, Trace& trace) {
   machine.set_access_observer(
       [&trace](int core, BlockId b, Rw rw) { trace.append(core, b, rw); });
 }
+
+TraceRecorder::TraceRecorder(Machine& machine, Trace& trace)
+    : machine_(machine), trace_(trace) {
+  machine_.attach_audit_hook(this);
+}
+
+TraceRecorder::~TraceRecorder() { machine_.detach_audit_hook(this); }
+
+void TraceRecorder::on_access(int core, BlockId b, Rw rw) {
+  trace_.append(core, b, rw);
+}
+
+void TraceRecorder::on_step_begin() { trace_.append_step_begin(); }
+
+void TraceRecorder::on_step_end() { trace_.append_step_end(); }
 
 }  // namespace mcmm

@@ -12,19 +12,32 @@
 #include <string>
 #include <vector>
 
+#include "sim/audit_hook.hpp"
 #include "sim/block_id.hpp"
 #include "sim/machine.hpp"
 
 namespace mcmm {
 
-/// One data access, 16 bytes.
+/// One trace event, 16 bytes: a data access, or a parallel-step marker.
+/// Markers (kind 2/3) carry no block — block_bits is BlockId::kInvalid and
+/// core is -1.  Traces recorded via the legacy record_into() contain only
+/// accesses; TraceRecorder also captures the ParallelSection step
+/// structure, which the invariant auditor needs for write-race provenance.
 struct AccessEvent {
+  static constexpr std::uint8_t kRead = 0;
+  static constexpr std::uint8_t kWrite = 1;
+  static constexpr std::uint8_t kStepBegin = 2;
+  static constexpr std::uint8_t kStepEnd = 3;
+
   std::uint64_t block_bits = 0;
   std::int32_t core = 0;
-  std::uint8_t is_write = 0;
+  std::uint8_t is_write = 0;  ///< one of kRead/kWrite/kStepBegin/kStepEnd
 
+  bool is_marker() const { return is_write >= kStepBegin; }
+  bool is_step_begin() const { return is_write == kStepBegin; }
+  bool is_step_end() const { return is_write == kStepEnd; }
   BlockId block() const { return BlockId::from_bits(block_bits); }
-  Rw rw() const { return is_write ? Rw::kWrite : Rw::kRead; }
+  Rw rw() const { return is_write == kWrite ? Rw::kWrite : Rw::kRead; }
 };
 
 /// Aggregate statistics of a trace (per matrix and per core).
@@ -32,6 +45,7 @@ struct TraceStats {
   std::int64_t accesses = 0;
   std::int64_t reads = 0;
   std::int64_t writes = 0;
+  std::int64_t steps = 0;                      ///< recorded parallel steps
   std::int64_t distinct_blocks = 0;            ///< footprint
   std::int64_t per_matrix[3] = {0, 0, 0};      ///< accesses to A, B, C
   std::vector<std::int64_t> per_core;
@@ -41,6 +55,9 @@ struct TraceStats {
 class Trace {
 public:
   void append(int core, BlockId b, Rw rw);
+  /// Record a parallel-step boundary (TraceRecorder; audit replay).
+  void append_step_begin();
+  void append_step_end();
 
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
@@ -55,10 +72,13 @@ public:
 
   /// Replay every access onto a machine, preserving order.  Under LRU this
   /// reproduces the recorded run's miss counts exactly (given the same
-  /// geometry).  Throws if an event's core exceeds the machine's.
+  /// geometry).  Step markers are forwarded to the machine's audit hooks,
+  /// so an attached InvariantAuditor sees the original step structure.
+  /// Throws if an event's core exceeds the machine's.
   void replay(Machine& machine) const;
 
-  /// Binary round-trip ("MCMMTRC1" header + count + raw events).
+  /// Binary round-trip.  save() writes the "MCMMTRC2" format (which can
+  /// carry step markers); load() accepts both it and the marker-less v1.
   void save(const std::string& path) const;
   static Trace load(const std::string& path);
 
@@ -69,6 +89,26 @@ private:
 /// Attach a recorder to `machine`: every subsequent access is appended to
 /// the returned Trace until the machine's access observer is replaced.
 /// The Trace must outlive the recording (it is captured by reference).
+/// Captures accesses only; use TraceRecorder to also capture step markers.
 void record_into(Machine& machine, Trace& trace);
+
+/// RAII step-aware recorder: while alive, every data access and every
+/// ParallelSection step boundary on `machine` is appended to `trace`.
+/// Implemented as an AuditHook, so it leaves the machine's access observer
+/// free and composes with a simultaneously attached InvariantAuditor.
+class TraceRecorder final : public AuditHook {
+public:
+  TraceRecorder(Machine& machine, Trace& trace);
+  ~TraceRecorder() override;
+
+  void on_access(int core, BlockId b, Rw rw) override;
+  void on_cache_op(BlockId /*b*/) override {}
+  void on_step_begin() override;
+  void on_step_end() override;
+
+private:
+  Machine& machine_;
+  Trace& trace_;
+};
 
 }  // namespace mcmm

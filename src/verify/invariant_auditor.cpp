@@ -1,0 +1,183 @@
+#include "verify/invariant_auditor.hpp"
+
+#include <utility>
+
+#include "analysis/bounds.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+
+const char* to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kSharedCapacity: return "shared-capacity";
+    case ViolationKind::kDistributedCapacity: return "distributed-capacity";
+    case ViolationKind::kInclusion: return "inclusion";
+    case ViolationKind::kWriteRace: return "write-race";
+    case ViolationKind::kMsBound: return "ms-bound";
+    case ViolationKind::kMdBound: return "md-bound";
+  }
+  return "?";
+}
+
+std::string Violation::str() const {
+  std::string out = "[" + std::string(to_string(kind)) + "]";
+  if (step >= 0) out += " step " + std::to_string(step);
+  if (core >= 0) out += " core " + std::to_string(core);
+  if (block.valid()) out += " block " + block.str();
+  out += ": " + detail;
+  return out;
+}
+
+std::int64_t AuditReport::total() const {
+  std::int64_t n = 0;
+  for (const std::int64_t c : count_by_kind) n += c;
+  return n;
+}
+
+std::string AuditReport::summary() const {
+  std::string out;
+  if (clean()) {
+    out = "audit: clean (" + std::to_string(steps) + " parallel steps, " +
+          std::to_string(accesses) + " accesses";
+    if (bounds_checked) {
+      out += ", MS " + std::to_string(ms_measured) + " >= bound " +
+             std::to_string(static_cast<std::int64_t>(ms_bound)) + ", MD " +
+             std::to_string(md_measured) + " >= bound " +
+             std::to_string(static_cast<std::int64_t>(md_bound));
+    }
+    out += ")";
+    return out;
+  }
+  out = "audit: " + std::to_string(total()) + " violation(s) in " +
+        std::to_string(steps) + " parallel steps / " +
+        std::to_string(accesses) + " accesses\n";
+  for (int k = 0; k < kViolationKinds; ++k) {
+    if (count_by_kind[k] > 0) {
+      out += "  " + std::string(to_string(static_cast<ViolationKind>(k))) +
+             ": " + std::to_string(count_by_kind[k]) + "\n";
+    }
+  }
+  const std::size_t shown = violations.size();
+  out += "  first " + std::to_string(shown) + " recorded:\n";
+  for (const Violation& v : violations) out += "    " + v.str() + "\n";
+  return out;
+}
+
+InvariantAuditor::InvariantAuditor(Machine& machine, AuditLimits limits)
+    : machine_(machine), limits_(limits) {
+  if (limits_.cs <= 0) limits_.cs = machine.config().cs;
+  if (limits_.cd <= 0) limits_.cd = machine.config().cd;
+  dist_over_.assign(static_cast<std::size_t>(machine.cores()), false);
+  machine_.attach_audit_hook(this);
+}
+
+InvariantAuditor::~InvariantAuditor() { machine_.detach_audit_hook(this); }
+
+void InvariantAuditor::record(ViolationKind kind, int core, BlockId block,
+                              std::string detail) {
+  ++report_.count_by_kind[static_cast<int>(kind)];
+  if (report_.violations.size() < AuditReport::kMaxRecorded) {
+    report_.violations.push_back(
+        Violation{kind, step_index_, core, block, std::move(detail)});
+  }
+}
+
+void InvariantAuditor::check_capacity(BlockId b) {
+  // Edge-triggered: one violation per excursion above the limit, not one
+  // per access while over it.
+  const std::int64_t ss = machine_.shared_size();
+  if (ss > limits_.cs) {
+    if (!shared_over_) {
+      shared_over_ = true;
+      record(ViolationKind::kSharedCapacity, -1, b,
+             "shared cache holds " + std::to_string(ss) + " blocks, limit " +
+                 std::to_string(limits_.cs));
+    }
+  } else {
+    shared_over_ = false;
+  }
+  for (int c = 0; c < machine_.cores(); ++c) {
+    const std::int64_t ds = machine_.distributed_size(c);
+    if (ds > limits_.cd) {
+      if (!dist_over_[static_cast<std::size_t>(c)]) {
+        dist_over_[static_cast<std::size_t>(c)] = true;
+        record(ViolationKind::kDistributedCapacity, c, b,
+               "distributed cache holds " + std::to_string(ds) +
+                   " blocks, limit " + std::to_string(limits_.cd));
+      }
+    } else {
+      dist_over_[static_cast<std::size_t>(c)] = false;
+    }
+  }
+}
+
+void InvariantAuditor::check_inclusion() {
+  for (int c = 0; c < machine_.cores(); ++c) {
+    for (const BlockId b : machine_.distributed_contents(c)) {
+      if (!machine_.resident_shared(b)) {
+        record(ViolationKind::kInclusion, c, b,
+               "resident in core " + std::to_string(c) +
+                   "'s distributed cache but not in the shared cache");
+      }
+    }
+  }
+}
+
+void InvariantAuditor::on_access(int core, BlockId b, Rw rw) {
+  ++report_.accesses;
+  check_capacity(b);
+  if (in_step_ && rw == Rw::kWrite) {
+    const auto [it, inserted] = step_writers_.try_emplace(b.bits(), core);
+    if (!inserted && it->second != core) {
+      record(ViolationKind::kWriteRace, core, b,
+             "also written by core " + std::to_string(it->second) +
+                 " in the same parallel step");
+    }
+  }
+}
+
+void InvariantAuditor::on_cache_op(BlockId b) { check_capacity(b); }
+
+void InvariantAuditor::on_step_begin() {
+  step_index_ = report_.steps;
+  ++report_.steps;
+  in_step_ = true;
+  step_writers_.clear();
+}
+
+void InvariantAuditor::on_step_end() {
+  check_inclusion();
+  in_step_ = false;
+  step_writers_.clear();
+  step_index_ = -1;
+}
+
+void InvariantAuditor::finalize_without_bounds() { check_inclusion(); }
+
+void InvariantAuditor::finalize(const Problem& prob) {
+  check_inclusion();
+  const MachineConfig& cfg = machine_.config();
+  const MachineStats& st = machine_.stats();
+  report_.bounds_checked = true;
+  report_.ms_bound = ms_lower_bound(prob, cfg.cs);
+  report_.md_bound = md_lower_bound(prob, cfg.p, cfg.cd);
+  report_.ms_measured = st.ms();
+  report_.md_measured = st.md();
+  // A measured count below the Loomis-Whitney floor cannot come from a
+  // valid schedule: it means misses were dropped somewhere in the
+  // simulator's accounting.  Small epsilon absorbs the double rounding.
+  if (static_cast<double>(report_.ms_measured) < report_.ms_bound - 1e-6) {
+    record(ViolationKind::kMsBound, -1, BlockId{},
+           "measured MS " + std::to_string(report_.ms_measured) +
+               " below the Loomis-Whitney bound " +
+               std::to_string(report_.ms_bound));
+  }
+  if (static_cast<double>(report_.md_measured) < report_.md_bound - 1e-6) {
+    record(ViolationKind::kMdBound, -1, BlockId{},
+           "measured MD " + std::to_string(report_.md_measured) +
+               " below the Loomis-Whitney bound " +
+               std::to_string(report_.md_bound));
+  }
+}
+
+}  // namespace mcmm

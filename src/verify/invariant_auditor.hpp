@@ -1,0 +1,130 @@
+// Machine-checked verification of the invariants the paper's model rests
+// on.  The auditor attaches to a Machine as a passive AuditHook and checks,
+// as the schedule executes:
+//
+//  * capacity   — shared-cache occupancy never exceeds CS and no
+//                 distributed cache exceeds CD (Section 2.1's machine
+//                 model; limits default to the machine's own geometry but
+//                 can be tightened to audit a declared footprint);
+//  * inclusion  — at every parallel-step boundary, every block resident in
+//                 a distributed cache is also resident in the shared cache
+//                 (the hierarchy of Figure 1 is inclusive);
+//  * write race — no two cores write the same block within one parallel
+//                 step (the SPMD schedules are race-free "by construction";
+//                 this checks the construction);
+//  * bounds     — after a complete m x n x z product, measured MS and MD
+//                 are at least the Loomis-Whitney lower bounds of
+//                 Section 2.3 (Irony-Toledo-Tiskin): counting fewer misses
+//                 than any schedule can achieve means the simulator's
+//                 accounting is broken.
+//
+// Violations are recorded with provenance (step, core, block) rather than
+// aborting, so tools can replay a whole schedule and report every problem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/audit_hook.hpp"
+#include "sim/block_id.hpp"
+#include "sim/machine.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+enum class ViolationKind {
+  kSharedCapacity,
+  kDistributedCapacity,
+  kInclusion,
+  kWriteRace,
+  kMsBound,
+  kMdBound,
+};
+
+const char* to_string(ViolationKind k);
+inline constexpr int kViolationKinds = 6;
+
+/// One detected invariant violation, with provenance.
+struct Violation {
+  ViolationKind kind = ViolationKind::kSharedCapacity;
+  std::int64_t step = -1;  ///< parallel-step index, -1 if outside any step
+  int core = -1;           ///< offending core, -1 if not core-specific
+  BlockId block;           ///< offending block, invalid if not block-specific
+  std::string detail;
+
+  std::string str() const;
+};
+
+struct AuditReport {
+  /// Stored violations, capped at kMaxRecorded; counts are always complete.
+  static constexpr std::size_t kMaxRecorded = 64;
+  std::vector<Violation> violations;
+  std::int64_t count_by_kind[kViolationKinds] = {};
+
+  std::int64_t steps = 0;     ///< parallel steps observed
+  std::int64_t accesses = 0;  ///< data accesses observed
+  bool bounds_checked = false;
+  double ms_bound = 0.0;  ///< Loomis-Whitney floor used by finalize()
+  double md_bound = 0.0;
+  std::int64_t ms_measured = 0;
+  std::int64_t md_measured = 0;
+
+  std::int64_t total() const;
+  bool clean() const { return total() == 0; }
+  /// Human-readable multi-line account (counts per kind + first samples).
+  std::string summary() const;
+};
+
+/// Capacity limits to audit against.  Zero fields default to the machine's
+/// physical geometry; tightening them audits a *declared* footprint (e.g.
+/// the capacity a schedule promised its working set would fit in).
+struct AuditLimits {
+  std::int64_t cs = 0;
+  std::int64_t cd = 0;
+};
+
+class InvariantAuditor final : public AuditHook {
+ public:
+  /// Attaches itself to `machine`; detaches on destruction.  The machine
+  /// must outlive the auditor.
+  explicit InvariantAuditor(Machine& machine, AuditLimits limits = {});
+  ~InvariantAuditor() override;
+
+  void on_access(int core, BlockId b, Rw rw) override;
+  void on_cache_op(BlockId b) override;
+  void on_step_begin() override;
+  void on_step_end() override;
+
+  /// End-of-run checks for a complete m x n x z product: inclusion once
+  /// more, then measured MS/MD against the Section 2.3 lower bounds.
+  /// Call after Machine::flush().
+  void finalize(const Problem& prob);
+
+  /// Inclusion-only end-of-run check, for runs that are not a complete
+  /// matrix product (e.g. replayed traces, LU sweeps).
+  void finalize_without_bounds();
+
+  const AuditReport& report() const { return report_; }
+  const AuditLimits& limits() const { return limits_; }
+
+ private:
+  void record(ViolationKind kind, int core, BlockId block, std::string detail);
+  void check_capacity(BlockId b);
+  void check_inclusion();
+
+  Machine& machine_;
+  AuditLimits limits_;
+  AuditReport report_;
+  bool in_step_ = false;
+  std::int64_t step_index_ = -1;  ///< current step, -1 between steps
+  /// block -> first core that wrote it in the current parallel step.
+  std::unordered_map<std::uint64_t, int> step_writers_;
+  /// Capacity-violation edge detection, so a persistently over-full cache
+  /// is reported once per excursion rather than once per access.
+  bool shared_over_ = false;
+  std::vector<bool> dist_over_;
+};
+
+}  // namespace mcmm

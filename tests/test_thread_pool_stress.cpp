@@ -1,0 +1,91 @@
+// Stress tests for ThreadPool, written for the sanitizer builds: many
+// short parallel regions back to back (hammers the generation/condvar
+// handshake), exception paths under contention, and pool churn.  They pass
+// in normal builds too, but their value is running under
+// -DMCMM_SANITIZE=thread where any handshake race becomes a report.
+#include "gemm/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mcmm {
+namespace {
+
+TEST(ThreadPoolStress, ManyShortRegionsBackToBack) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  constexpr int kRegions = 500;
+  for (int r = 0; r < kRegions; ++r) {
+    pool.run_on_all([&](int core) { sum += core + 1; });
+  }
+  // Each region adds 1+2+3+4 = 10.
+  EXPECT_EQ(sum.load(), kRegions * 10);
+}
+
+TEST(ThreadPoolStress, RegionsSynchronizeWithCaller) {
+  // Unsynchronized writes to plain (non-atomic) per-worker slots, read by
+  // the caller between regions: only correct if run_on_all is a full
+  // barrier with release/acquire ordering.  TSan verifies the ordering.
+  ThreadPool pool(4);
+  std::vector<std::int64_t> slots(4, 0);
+  for (int r = 0; r < 200; ++r) {
+    pool.run_on_all([&](int core) { slots[static_cast<std::size_t>(core)] += 1; });
+    const std::int64_t total =
+        std::accumulate(slots.begin(), slots.end(), std::int64_t{0});
+    ASSERT_EQ(total, 4 * (r + 1));
+  }
+}
+
+TEST(ThreadPoolStress, ExceptionsUnderContentionAreRethrownOnce) {
+  ThreadPool pool(4);
+  for (int r = 0; r < 100; ++r) {
+    EXPECT_THROW(
+        pool.run_on_all([](int core) {
+          if (core % 2 == 0) throw std::runtime_error("boom");
+        }),
+        std::runtime_error);
+    // The pool must be reusable after a throwing region.
+    std::atomic<int> ran{0};
+    pool.run_on_all([&](int) { ++ran; });
+    EXPECT_EQ(ran.load(), 4);
+  }
+}
+
+TEST(ThreadPoolStress, ParallelForPartitionsWithoutOverlap) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kTotal = 10'000;
+  std::vector<std::atomic<std::uint8_t>> touched(kTotal);
+  pool.parallel_for(kTotal, [&](int, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      touched[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(touched[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolStress, PoolChurn) {
+  // Construct/destroy pools rapidly, each doing a little work: exercises
+  // the startup and shutdown handshakes where lost-wakeup bugs live.
+  for (int r = 0; r < 50; ++r) {
+    ThreadPool pool(1 + r % 4);
+    std::atomic<int> ran{0};
+    pool.run_on_all([&](int) { ++ran; });
+    EXPECT_EQ(ran.load(), pool.workers());
+  }
+}
+
+TEST(ThreadPoolStress, DestructionWithoutAnyRegion) {
+  for (int r = 0; r < 50; ++r) {
+    ThreadPool pool(4);
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,167 @@
+// Schedule auditor CLI: run a schedule (or replay a recorded trace) with
+// the invariant auditor attached and report every violation with step/core/
+// block provenance.  Exit code 0 = all invariants hold, 1 = violations.
+//
+//   # audit a schedule end to end (capacity, inclusion, races, bounds)
+//   $ mcmm_audit --algorithm tradeoff --m 48 --n 48 --z 48 --setting lru50
+//
+//   # record the audited run, then re-audit the exact access stream later
+//   $ mcmm_audit --algorithm shared-opt --save-trace run.trc
+//   $ mcmm_audit --trace run.trc --p 4 --cs 977 --cd 21
+//
+//   # tighten the capacity limits to audit a declared footprint
+//   $ mcmm_audit --algorithm tradeoff --limit-cs 900
+//
+// Trace replay runs under LRU and checks capacity, inclusion and (when the
+// trace carries step markers) write races; the Loomis-Whitney bound checks
+// need FMA counts, which traces do not carry, so they apply only to the
+// --algorithm mode.
+#include <cstdio>
+#include <optional>
+
+#include "alg/registry.hpp"
+#include "exp/experiment.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "verify/invariant_auditor.hpp"
+
+using namespace mcmm;
+
+namespace {
+
+Setting parse_setting(const std::string& s) {
+  if (s == "ideal") return Setting::kIdeal;
+  if (s == "lru50") return Setting::kLru50;
+  if (s == "lru") return Setting::kLruFull;
+  if (s == "lru2x") return Setting::kLruDouble;
+  throw Error("unknown setting: " + s + " (ideal|lru50|lru|lru2x)");
+}
+
+void print_report(const AuditReport& report, bool json) {
+  if (json) {
+    JsonWriter w;
+    w.begin_object()
+        .kv("clean", report.clean())
+        .kv("violations", report.total())
+        .kv("steps", report.steps)
+        .kv("accesses", report.accesses);
+    if (report.bounds_checked) {
+      w.kv("ms_measured", report.ms_measured)
+          .kv("ms_bound", report.ms_bound)
+          .kv("md_measured", report.md_measured)
+          .kv("md_bound", report.md_bound);
+    }
+    w.key("by_kind").begin_object();
+    for (int k = 0; k < kViolationKinds; ++k) {
+      w.kv(to_string(static_cast<ViolationKind>(k)), report.count_by_kind[k]);
+    }
+    w.end_object().key("recorded").begin_array();
+    for (const Violation& v : report.violations) w.value(v.str());
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return;
+  }
+  std::printf("%s\n", report.summary().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("json", "machine-readable output");
+  cli.add_flag("list", "list the available schedules and exit");
+  cli.add_option("algorithm", "schedule to audit (see --list)", "tradeoff");
+  cli.add_option("trace", "replay and audit a saved trace instead", "");
+  cli.add_option("save-trace", "record the audited run to this file", "");
+  cli.add_option("m", "block-rows of A and C", "48");
+  cli.add_option("n", "block-cols of B and C", "48");
+  cli.add_option("z", "inner dimension in blocks", "48");
+  cli.add_option("p", "core count", "4");
+  cli.add_option("cs", "shared-cache capacity in blocks", "977");
+  cli.add_option("cd", "distributed-cache capacity in blocks", "21");
+  cli.add_option("setting", "ideal | lru50 | lru | lru2x", "lru50");
+  cli.add_option("limit-cs", "audit limit on shared occupancy (0 = CS)", "0");
+  cli.add_option("limit-cd", "audit limit on distributed occupancy (0 = CD)",
+                 "0");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.flag("list")) {
+    for (const auto& name : extended_algorithm_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  MachineConfig cfg;
+  cfg.p = static_cast<int>(cli.integer("p"));
+  cfg.cs = cli.integer("cs");
+  cfg.cd = cli.integer("cd");
+  AuditLimits limits;
+  limits.cs = cli.integer("limit-cs");
+  limits.cd = cli.integer("limit-cd");
+  const bool json = cli.flag("json");
+
+  if (!cli.str("trace").empty()) {
+    // Replay mode: the trace drives an LRU machine of the given geometry;
+    // step markers recorded by TraceRecorder restore race provenance.
+    const Trace trace = Trace::load(cli.str("trace"));
+    cfg.validate();
+    Machine machine(cfg, Policy::kLru);
+    InvariantAuditor auditor(machine, limits);
+    trace.replay(machine);
+    machine.flush();
+    auditor.finalize_without_bounds();
+    if (!json) {
+      const TraceStats ts = trace.stats();
+      std::printf("replayed %lld accesses / %lld steps from %s\n",
+                  static_cast<long long>(ts.accesses),
+                  static_cast<long long>(ts.steps),
+                  cli.str("trace").c_str());
+    }
+    print_report(auditor.report(), json);
+    return auditor.report().clean() ? 0 : 1;
+  }
+
+  // Schedule mode: full audit, including the Section 2.3 bound checks.
+  // Custom limits re-run the machine directly since run_audited_experiment
+  // audits against the physical geometry.
+  const Problem prob{cli.integer("m"), cli.integer("n"), cli.integer("z")};
+  const std::string algorithm = cli.str("algorithm");
+  const Setting setting = parse_setting(cli.str("setting"));
+
+  AuditReport report;
+  Trace trace;
+  const bool want_trace = !cli.str("save-trace").empty();
+  if (limits.cs > 0 || limits.cd > 0) {
+    prob.validate();
+    cfg.validate();
+    Machine machine(cfg, setting == Setting::kIdeal ? Policy::kIdeal
+                                                    : Policy::kLru);
+    InvariantAuditor auditor(machine, limits);
+    std::optional<TraceRecorder> recorder;
+    if (want_trace) recorder.emplace(machine, trace);
+    make_algorithm(algorithm)->run(machine, prob, cfg);
+    machine.flush();
+    auditor.finalize(prob);
+    report = auditor.report();
+  } else {
+    run_audited_experiment(algorithm, prob, cfg, setting, &report,
+                           want_trace ? &trace : nullptr);
+  }
+
+  if (want_trace) {
+    trace.save(cli.str("save-trace"));
+    if (!json) {
+      std::printf("trace saved to %s (%zu events)\n",
+                  cli.str("save-trace").c_str(), trace.size());
+    }
+  }
+  if (!json) {
+    std::printf("%s on %s blocks | %s | %s\n", algorithm.c_str(),
+                prob.describe().c_str(), cfg.describe().c_str(),
+                cli.str("setting").c_str());
+  }
+  print_report(report, json);
+  return report.clean() ? 0 : 1;
+}

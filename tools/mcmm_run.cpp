@@ -4,7 +4,12 @@
 //
 //   $ mcmm_run --algorithm tradeoff --m 48 --n 48 --z 48 --setting lru50
 //   $ mcmm_run --algorithm distributed-opt --cs 245 --cd 6 --json
+//   $ mcmm_run --algorithm shared-opt --audit
 //   $ mcmm_run --list
+//
+// With --audit the invariant auditor (src/verify) rides along: cache
+// capacities, hierarchy inclusion, per-step write races and the Section 2.3
+// lower bounds are machine-checked, and violations fail the run (exit 1).
 #include <cstdio>
 
 #include "alg/registry.hpp"
@@ -12,6 +17,7 @@
 #include "exp/experiment.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "verify/invariant_auditor.hpp"
 
 using namespace mcmm;
 
@@ -30,6 +36,7 @@ Setting parse_setting(const std::string& s) {
 int main(int argc, char** argv) {
   CliParser cli;
   cli.add_flag("json", "machine-readable output");
+  cli.add_flag("audit", "run the invariant auditor; violations exit 1");
   cli.add_flag("list", "list the available schedules and exit");
   cli.add_option("algorithm", "schedule to run (see --list)", "tradeoff");
   cli.add_option("m", "block-rows of A and C", "48");
@@ -62,7 +69,11 @@ int main(int argc, char** argv) {
   const Setting setting = parse_setting(cli.str("setting"));
   const std::string algorithm = cli.str("algorithm");
 
-  const RunResult res = run_experiment(algorithm, prob, cfg, setting);
+  const bool audit = cli.flag("audit");
+  AuditReport report;
+  const RunResult res =
+      audit ? run_audited_experiment(algorithm, prob, cfg, setting, &report)
+            : run_experiment(algorithm, prob, cfg, setting);
   const auto& st = res.stats;
 
   if (cli.flag("json")) {
@@ -96,9 +107,17 @@ int main(int argc, char** argv) {
         .kv("writebacks_to_memory", st.writebacks_to_memory)
         .kv("writebacks_to_shared", st.writebacks_to_shared)
         .kv("ms_lower_bound", ms_lower_bound(prob, cfg.cs))
-        .kv("md_lower_bound", md_lower_bound(prob, cfg.p, cfg.cd))
-        .key("per_core")
-        .begin_array();
+        .kv("md_lower_bound", md_lower_bound(prob, cfg.p, cfg.cd));
+    if (audit) {
+      w.key("audit")
+          .begin_object()
+          .kv("clean", report.clean())
+          .kv("violations", report.total())
+          .kv("steps", report.steps)
+          .kv("accesses", report.accesses)
+          .end_object();
+    }
+    w.key("per_core").begin_array();
     for (std::size_t c = 0; c < st.dist_misses.size(); ++c) {
       w.begin_object()
           .kv("misses", st.dist_misses[c])
@@ -109,6 +128,10 @@ int main(int argc, char** argv) {
     }
     w.end_array().end_object();
     std::printf("%s\n", w.str().c_str());
+    if (audit && !report.clean()) {
+      std::fprintf(stderr, "%s", report.summary().c_str());
+      return 1;
+    }
     return 0;
   }
 
@@ -132,6 +155,10 @@ int main(int argc, char** argv) {
                 static_cast<long long>(st.dist_hits[c]),
                 static_cast<long long>(st.wb_to_shared_per_core[c]),
                 static_cast<long long>(st.fmas[c]));
+  }
+  if (audit) {
+    std::printf("  %s\n", report.summary().c_str());
+    if (!report.clean()) return 1;
   }
   return 0;
 }
