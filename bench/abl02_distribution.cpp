@@ -20,8 +20,14 @@ int main(int argc, char** argv) {
   cfg.cs = 977;
   cfg.cd = 21;
 
+  // The MD and MS columns of one layout read the same simulation; the
+  // sweep engine's memo cache runs it once.
+  bench::BenchDriver driver("abl02", opt);
   for (const Setting setting : {Setting::kIdeal, Setting::kLru50}) {
-    SeriesTable table("order");
+    SeriesTable& table = driver.table(
+        std::string("Ablation: C-tile distribution, CS=977 CD=21, ") +
+            to_string(setting) + " setting",
+        "order");
     const auto s_cyc_md = table.add_series("cyclic.MD");
     const auto s_lin_md = table.add_series("linear.MD");
     const auto s_cyc_ms = table.add_series("cyclic.MS");
@@ -29,20 +35,16 @@ int main(int argc, char** argv) {
     for (const std::int64_t order :
          order_sweep(opt.min_order, opt.max_order, opt.step)) {
       const auto x = static_cast<double>(order);
-      const RunResult cyc =
-          run_experiment("distributed-opt", Problem::square(order), cfg,
-                         setting);
-      const RunResult lin =
-          run_experiment("distributed-opt-linear", Problem::square(order),
-                         cfg, setting);
-      table.set(s_cyc_md, x, static_cast<double>(cyc.md));
-      table.set(s_lin_md, x, static_cast<double>(lin.md));
-      table.set(s_cyc_ms, x, static_cast<double>(cyc.ms));
-      table.set(s_lin_ms, x, static_cast<double>(lin.ms));
+      driver.cell(s_cyc_md, x, "distributed-opt", order, cfg, setting,
+                  Metric::kMd);
+      driver.cell(s_lin_md, x, "distributed-opt-linear", order, cfg, setting,
+                  Metric::kMd);
+      driver.cell(s_cyc_ms, x, "distributed-opt", order, cfg, setting,
+                  Metric::kMs);
+      driver.cell(s_lin_ms, x, "distributed-opt-linear", order, cfg, setting,
+                  Metric::kMs);
     }
-    bench::emit(std::string("Ablation: C-tile distribution, CS=977 CD=21, ") +
-                    to_string(setting) + " setting",
-                table, opt.csv);
   }
+  driver.finish();
   return 0;
 }

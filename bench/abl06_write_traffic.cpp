@@ -8,10 +8,8 @@
 // Shared Opt. specifically at the sigma_D level, moving the
 // Tradeoff/Shared Opt. crossover — the table shows both Tdata variants
 // side by side under the IDEAL setting.
-#include "alg/registry.hpp"
 #include "bench_common.hpp"
 #include "exp/sweep.hpp"
-#include "sim/machine.hpp"
 
 using namespace mcmm;
 
@@ -27,7 +25,12 @@ int main(int argc, char** argv) {
   cfg.cs = 977;
   cfg.cd = 21;
 
-  SeriesTable table("order");
+  // Both Tdata variants of one algorithm read the same IDEAL simulation;
+  // the sweep engine's memo cache runs it once.
+  bench::BenchDriver driver("abl06", opt);
+  SeriesTable& table = driver.table(
+      "Ablation: loads-only vs write-inclusive Tdata, IDEAL, CS=977 CD=21",
+      "order");
   std::vector<std::size_t> plain_cols, write_cols;
   const std::vector<std::string> algs = {"shared-opt", "distributed-opt",
                                          "tradeoff"};
@@ -38,20 +41,14 @@ int main(int argc, char** argv) {
 
   for (const std::int64_t order :
        order_sweep(opt.min_order, opt.max_order, opt.step)) {
+    const auto x = static_cast<double>(order);
     for (std::size_t i = 0; i < algs.size(); ++i) {
-      Machine machine(cfg, Policy::kIdeal);
-      make_algorithm(algs[i])->run(machine, Problem::square(order), cfg);
-      machine.flush();
-      const auto x = static_cast<double>(order);
-      table.set(plain_cols[i], x,
-                machine.stats().tdata(cfg.sigma_s, cfg.sigma_d));
-      table.set(write_cols[i], x,
-                machine.stats().tdata_with_writebacks(cfg.sigma_s,
-                                                      cfg.sigma_d));
+      driver.cell(plain_cols[i], x, algs[i], order, cfg, Setting::kIdeal,
+                  Metric::kTdata);
+      driver.cell(write_cols[i], x, algs[i], order, cfg, Setting::kIdeal,
+                  Metric::kTdataWithWritebacks);
     }
   }
-  bench::emit(
-      "Ablation: loads-only vs write-inclusive Tdata, IDEAL, CS=977 CD=21",
-      table, opt.csv);
+  driver.finish();
   return 0;
 }

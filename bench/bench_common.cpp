@@ -1,39 +1,27 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <utility>
 
 #include "analysis/bounds.hpp"
+#include "exp/bench_report.hpp"
 #include "exp/sweep.hpp"
+#include "gemm/thread_pool.hpp"
 
 namespace mcmm::bench {
 
-bool parse_figure_options(int argc, const char* const* argv,
-                          const std::string& blurb, std::int64_t default_max,
-                          std::int64_t paper_max, std::int64_t default_step,
-                          FigureOptions* out) {
-  CliParser cli;
-  cli.add_flag("csv", "emit CSV instead of an aligned table");
-  cli.add_flag("full", "use the paper's full sweep range (slow)");
-  cli.add_option("max-order", "largest matrix order in blocks (0 = preset)",
-                 "0");
-  cli.add_option("min-order", "smallest matrix order in blocks (0 = step)",
-                 "0");
-  cli.add_option("step", "sweep step in blocks (0 = preset)", "0");
-  if (!cli.parse(argc, argv)) {
-    (void)blurb;
-    return false;
-  }
-  out->csv = cli.flag("csv");
-  out->max_order = cli.integer("max-order");
-  if (out->max_order == 0) {
-    out->max_order = cli.flag("full") ? paper_max : default_max;
-  }
-  out->step = cli.integer("step");
-  if (out->step == 0) out->step = default_step;
-  out->min_order = cli.integer("min-order");
-  if (out->min_order == 0) out->min_order = out->step;
-  return true;
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
 }
+
+}  // namespace
 
 void emit(const std::string& title, const SeriesTable& table, bool csv) {
   std::printf("# %s\n", title.c_str());
@@ -47,19 +35,102 @@ void emit(const std::string& title, const SeriesTable& table, bool csv) {
 
 double measure(const std::string& algorithm, std::int64_t order,
                const MachineConfig& cfg, Setting setting, Metric metric) {
-  const RunResult res =
-      run_experiment(algorithm, Problem::square(order), cfg, setting);
-  switch (metric) {
-    case Metric::kMs: return static_cast<double>(res.ms);
-    case Metric::kMd: return static_cast<double>(res.md);
-    case Metric::kTdata: return res.tdata;
+  return metric_of(
+      run_experiment(algorithm, Problem::square(order), cfg, setting), metric);
+}
+
+BenchDriver::BenchDriver(std::string bench_name, const FigureOptions& opt)
+    : name_(std::move(bench_name)), opt_(opt), runner_(opt.jobs) {}
+
+SeriesTable& BenchDriver::table(const std::string& title,
+                                const std::string& x_label) {
+  tables_.push_back(Titled{title, SeriesTable(x_label)});
+  return tables_.back().table;
+}
+
+void BenchDriver::cell(std::size_t series, double x,
+                       const std::string& algorithm, std::int64_t order,
+                       const MachineConfig& cfg, Setting setting,
+                       Metric metric) {
+  MCMM_REQUIRE(!tables_.empty(), "BenchDriver::cell: no table started");
+  const std::size_t req =
+      runner_.request(SweepPoint::square(algorithm, order, cfg, setting),
+                      metric);
+  sim_fills_.push_back(SimFill{tables_.size() - 1, series, x, req});
+}
+
+void BenchDriver::cell_custom(std::size_t series, double x,
+                              std::function<double()> fn) {
+  MCMM_REQUIRE(!tables_.empty(), "BenchDriver::cell_custom: no table started");
+  custom_fills_.push_back(
+      CustomFill{tables_.size() - 1, series, x, std::move(fn), 0, 0});
+}
+
+void BenchDriver::finish() {
+  MCMM_REQUIRE(!finished_, "BenchDriver::finish: called twice");
+  finished_ = true;
+
+  runner_.run();
+
+  // Custom closures ride the same generic task-batch machinery; each one
+  // writes only its own slot, so results stay deterministic.
+  double custom_wall_ms = 0;
+  if (!custom_fills_.empty()) {
+    const double t0 = now_ms();
+    const auto evaluate = [this](std::size_t i) {
+      CustomFill& c = custom_fills_[i];
+      const double start = now_ms();
+      c.value = c.fn();
+      c.wall_ms = now_ms() - start;
+    };
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(opt_.jobs), custom_fills_.size()));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < custom_fills_.size(); ++i) evaluate(i);
+    } else {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(custom_fills_.size());
+      for (std::size_t i = 0; i < custom_fills_.size(); ++i) {
+        tasks.emplace_back([&evaluate, i] { evaluate(i); });
+      }
+      ThreadPool pool(workers);
+      pool.run_batch(tasks);
+    }
+    custom_wall_ms = now_ms() - t0;
   }
-  return 0;
+
+  for (const SimFill& f : sim_fills_) {
+    tables_[f.table].table.set(f.series, f.x, runner_.value(f.request));
+  }
+  for (const CustomFill& c : custom_fills_) {
+    tables_[c.table].table.set(c.series, c.x, c.value);
+  }
+
+  for (const Titled& t : tables_) emit(t.title, t.table, opt_.csv);
+
+  if (opt_.json_path.empty()) return;
+  BenchReport report(name_);
+  for (const Titled& t : tables_) report.add_table(t.title, t.table);
+  for (std::size_t sim = 0; sim < runner_.num_simulations(); ++sim) {
+    const RunResult& res = runner_.result(sim);
+    report.add_point(runner_.simulation(sim), static_cast<double>(res.ms),
+                     static_cast<double>(res.md), res.tdata,
+                     runner_.wall_ms(sim));
+  }
+  report.set_requests(runner_.num_requests(), runner_.cache_hits());
+  double custom_serial_ms = 0;
+  for (const CustomFill& c : custom_fills_) custom_serial_ms += c.wall_ms;
+  report.set_timing(opt_.jobs, runner_.total_wall_ms() + custom_wall_ms,
+                    runner_.serial_wall_ms() + custom_serial_ms);
+  report.write(opt_.json_path);
+  // Status note on stderr so stdout stays byte-comparable across --jobs.
+  std::fprintf(stderr, "bench report written to %s\n", opt_.json_path.c_str());
 }
 
 void run_tdata_figure(const std::string& figure, std::int64_t cs,
                       const std::vector<std::int64_t>& cds,
                       const FigureOptions& opt) {
+  BenchDriver driver(figure, opt);
   const char* sub = "abcd";
   int sub_idx = 0;
   for (const std::int64_t cd : cds) {
@@ -71,7 +142,11 @@ void run_tdata_figure(const std::string& figure, std::int64_t cs,
         order_sweep(opt.min_order, opt.max_order, opt.step);
 
     for (const Setting setting : {Setting::kLru50, Setting::kIdeal}) {
-      SeriesTable table("order");
+      const std::string title =
+          figure + "(" + sub[sub_idx] + "): Tdata vs order, CS=" +
+          std::to_string(cs) + " CD=" + std::to_string(cd) + ", " +
+          to_string(setting) + " setting";
+      SeriesTable& table = driver.table(title, "order");
       std::vector<std::size_t> cols;
       const std::vector<std::string> algs = {
           "shared-opt",    "distributed-opt", "tradeoff",
@@ -79,7 +154,9 @@ void run_tdata_figure(const std::string& figure, std::int64_t cs,
       for (const auto& a : algs) {
         cols.push_back(table.add_series(a + "." + to_string(setting)));
       }
-      // The paper overlays Tradeoff IDEAL on the LRU-50 sub-figures.
+      // The paper overlays Tradeoff IDEAL on the LRU-50 sub-figures; the
+      // memo cache makes the overlay free (the IDEAL sub-figure simulates
+      // the same points).
       std::size_t col_trade_ideal = 0;
       if (setting == Setting::kLru50) {
         col_trade_ideal = table.add_series("tradeoff.IDEAL");
@@ -89,25 +166,20 @@ void run_tdata_figure(const std::string& figure, std::int64_t cs,
       for (const std::int64_t order : orders) {
         const auto x = static_cast<double>(order);
         for (std::size_t i = 0; i < algs.size(); ++i) {
-          table.set(cols[i], x,
-                    measure(algs[i], order, cfg, setting, Metric::kTdata));
+          driver.cell(cols[i], x, algs[i], order, cfg, setting,
+                      Metric::kTdata);
         }
         if (setting == Setting::kLru50) {
-          table.set(col_trade_ideal, x,
-                    measure("tradeoff", order, cfg, Setting::kIdeal,
-                            Metric::kTdata));
+          driver.cell(col_trade_ideal, x, "tradeoff", order, cfg,
+                      Setting::kIdeal, Metric::kTdata);
         }
         table.set(col_bound, x,
                   tdata_lower_bound(Problem::square(order), cfg));
       }
-      const std::string title =
-          figure + "(" + sub[sub_idx] + "): Tdata vs order, CS=" +
-          std::to_string(cs) + " CD=" + std::to_string(cd) + ", " +
-          to_string(setting) + " setting";
-      emit(title, table, opt.csv);
       ++sub_idx;
     }
   }
+  driver.finish();
 }
 
 }  // namespace mcmm::bench

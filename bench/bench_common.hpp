@@ -5,39 +5,98 @@
 // reduced range so the whole harness finishes in minutes; --full restores
 // the paper's ranges (the curves' shapes are identical, only the x extent
 // changes).
+//
+// Since PR 2 the benches no longer simulate inline: they *declare* their
+// sweep cells against a BenchDriver, which shards the points across a
+// thread pool (--jobs), memoises points shared between sub-figures, prints
+// the tables in declaration order (bit-identical for every --jobs value)
+// and optionally writes the machine-readable BENCH_*.json report (--json,
+// schema in docs/benchmarking.md).
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/figure_options.hpp"
+#include "exp/sweep_runner.hpp"
 #include "sim/machine_config.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace mcmm::bench {
 
-/// Common CLI for the figure benches.
-struct FigureOptions {
-  bool csv = false;
-  std::int64_t max_order = 0;   ///< largest matrix order in blocks
-  std::int64_t step = 0;        ///< sweep step
-  std::int64_t min_order = 0;
-};
-
-/// Parse the standard options.  `default_max`/`paper_max` choose the sweep
-/// extent without/with --full.  Returns false if --help was printed.
-bool parse_figure_options(int argc, const char* const* argv,
-                          const std::string& blurb, std::int64_t default_max,
-                          std::int64_t paper_max, std::int64_t default_step,
-                          FigureOptions* out);
+using mcmm::FigureOptions;
+using mcmm::Metric;
+using mcmm::parse_figure_options;
 
 /// Print a sub-figure header plus the table.
 void emit(const std::string& title, const SeriesTable& table, bool csv);
 
-/// Convenience: run one experiment point and return the requested metric.
-enum class Metric { kMs, kMd, kTdata };
+/// Declarative sweep executor: benches register tables and cells, then
+/// finish() simulates every pending point in parallel, fills the tables,
+/// prints them in order and writes the JSON report if requested.
+class BenchDriver {
+public:
+  BenchDriver(std::string bench_name, const FigureOptions& opt);
+
+  /// Start a new sub-figure.  The reference stays valid for the driver's
+  /// lifetime; analytic series (closed forms, lower bounds) may be set on
+  /// it directly.
+  SeriesTable& table(const std::string& title, const std::string& x_label);
+
+  /// Declare a simulated cell of the *current* table: metric of one
+  /// experiment point.  Points appearing in several cells (across tables,
+  /// sub-figures or metrics) are simulated once.
+  void cell(std::size_t series, double x, const std::string& algorithm,
+            std::int64_t order, const MachineConfig& cfg, Setting setting,
+            Metric metric);
+
+  /// Declare a cell computed by an arbitrary closure (for benches whose
+  /// simulations do not go through run_experiment — LU, hierarchy, ...).
+  /// Closures run in parallel alongside the sweep points; each must be
+  /// self-contained (no shared mutable state).
+  void cell_custom(std::size_t series, double x, std::function<double()> fn);
+
+  /// Simulate, fill, print, and (with --json) write the report.
+  void finish();
+
+  SweepRunner& runner() { return runner_; }
+
+private:
+  struct SimFill {
+    std::size_t table = 0;
+    std::size_t series = 0;
+    double x = 0;
+    std::size_t request = 0;
+  };
+  struct CustomFill {
+    std::size_t table = 0;
+    std::size_t series = 0;
+    double x = 0;
+    std::function<double()> fn;
+    double value = 0;
+    double wall_ms = 0;
+  };
+  struct Titled {
+    std::string title;
+    SeriesTable table;
+  };
+
+  std::string name_;
+  FigureOptions opt_;
+  SweepRunner runner_;
+  std::deque<Titled> tables_;
+  std::vector<SimFill> sim_fills_;
+  std::vector<CustomFill> custom_fills_;
+  bool finished_ = false;
+};
+
+/// Convenience: run one experiment point serially and return the requested
+/// metric (used by tiny one-off probes; sweeps go through BenchDriver).
 double measure(const std::string& algorithm, std::int64_t order,
                const MachineConfig& cfg, Setting setting, Metric metric);
 

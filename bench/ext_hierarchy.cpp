@@ -6,6 +6,10 @@
 // cache).  The table reports the busiest cache's misses per level; the
 // hierarchical tiling is the only schedule that behaves at the middle
 // (node) level.
+//
+// The hierarchical simulator bypasses run_experiment, so the cells ride
+// the sweep engine as custom closures — each builds its own machines and
+// traces, keeping the parallel run race-free.
 #include "alg/registry.hpp"
 #include "bench_common.hpp"
 #include "exp/sweep.hpp"
@@ -46,8 +50,15 @@ int main(int argc, char** argv) {
   }
   const HierConfig cfg = cluster();
 
+  bench::BenchDriver driver("ext_hierarchy", opt);
   for (int level = 0; level < 3; ++level) {
-    SeriesTable table("order");
+    const char* names[] = {"cluster cache (4096)", "node caches (512 x4)",
+                           "private caches (21 x16)"};
+    SeriesTable& table = driver.table(
+        std::string("Hierarchy extension: busiest-cache misses at level ") +
+            std::to_string(level) + " — " +
+            names[static_cast<std::size_t>(level)],
+        "order");
     const auto s_ours = table.add_series("hier-max-reuse");
     const auto s_shared = table.add_series("flat-shared-opt");
     const auto s_outer = table.add_series("flat-outer-product");
@@ -58,30 +69,25 @@ int main(int argc, char** argv) {
       const Problem prob = Problem::square(order);
       const auto x = static_cast<double>(order);
 
-      HierMachine ours(cfg);
-      run_hier_max_reuse(ours, prob);
-      table.set(s_ours, x,
-                static_cast<double>(ours.level_stats(level).max_misses()));
-
-      HierMachine shared(cfg);
-      replay_trace(record_flat("shared-opt", prob), shared);
-      table.set(s_shared, x,
-                static_cast<double>(shared.level_stats(level).max_misses()));
-
-      HierMachine outer(cfg);
-      replay_trace(record_flat("outer-product", prob), outer);
-      table.set(s_outer, x,
-                static_cast<double>(outer.level_stats(level).max_misses()));
-
+      driver.cell_custom(s_ours, x, [cfg, prob, level] {
+        HierMachine ours(cfg);
+        run_hier_max_reuse(ours, prob);
+        return static_cast<double>(ours.level_stats(level).max_misses());
+      });
+      driver.cell_custom(s_shared, x, [cfg, prob, level] {
+        HierMachine shared(cfg);
+        replay_trace(record_flat("shared-opt", prob), shared);
+        return static_cast<double>(shared.level_stats(level).max_misses());
+      });
+      driver.cell_custom(s_outer, x, [cfg, prob, level] {
+        HierMachine outer(cfg);
+        replay_trace(record_flat("outer-product", prob), outer);
+        return static_cast<double>(outer.level_stats(level).max_misses());
+      });
       table.set(s_bound, x,
                 hier_lower_bounds(cfg, prob)[static_cast<std::size_t>(level)]);
     }
-    const char* names[] = {"cluster cache (4096)", "node caches (512 x4)",
-                           "private caches (21 x16)"};
-    bench::emit(std::string("Hierarchy extension: busiest-cache misses at "
-                            "level ") +
-                    std::to_string(level) + " — " + names[level],
-                table, opt.csv);
   }
+  driver.finish();
   return 0;
 }

@@ -5,6 +5,10 @@
 //     floor on the update phase;
 //  2. the left-looking panel-width sweep at a fixed order (the LU
 //     counterpart of the Tradeoff's beta ablation).
+//
+// The LU simulators bypass run_experiment, so the cells ride the sweep
+// engine as custom closures — each builds its own Machine, keeping the
+// parallel run race-free and the tables bit-identical for every --jobs.
 #include "bench_common.hpp"
 #include "exp/sweep.hpp"
 #include "lu/lu_sim.hpp"
@@ -23,8 +27,10 @@ int main(int argc, char** argv) {
   cfg.cs = 977;
   cfg.cd = 21;
 
+  bench::BenchDriver driver("ext_lu", opt);
   {
-    SeriesTable table("order");
+    SeriesTable& table =
+        driver.table("LU extension: MS vs order, CS=977 CD=21 (LRU)", "order");
     const auto s_right = table.add_series("right-looking.MS");
     const auto s_left = table.add_series("left-looking.MS");
     const auto s_width = table.add_series("panel-width");
@@ -32,37 +38,44 @@ int main(int argc, char** argv) {
     for (const std::int64_t n :
          order_sweep(opt.min_order, opt.max_order, opt.step)) {
       const auto x = static_cast<double>(n);
-      Machine right(cfg, Policy::kLru);
-      simulate_lu_right_looking(right, n);
-      table.set(s_right, x, static_cast<double>(right.stats().ms()));
-      Machine left(cfg, Policy::kLru);
+      driver.cell_custom(s_right, x, [cfg, n] {
+        Machine right(cfg, Policy::kLru);
+        simulate_lu_right_looking(right, n);
+        return static_cast<double>(right.stats().ms());
+      });
       const std::int64_t width = lu_panel_width(cfg, n);
-      simulate_lu_left_looking(left, n, width);
-      table.set(s_left, x, static_cast<double>(left.stats().ms()));
+      driver.cell_custom(s_left, x, [cfg, n, width] {
+        Machine left(cfg, Policy::kLru);
+        simulate_lu_left_looking(left, n, width);
+        return static_cast<double>(left.stats().ms());
+      });
       table.set(s_width, x, static_cast<double>(width));
       table.set(s_bound, x, lu_ms_lower_bound(n, cfg.cs));
     }
-    bench::emit("LU extension: MS vs order, CS=977 CD=21 (LRU)", table,
-                opt.csv);
   }
 
   {
     const std::int64_t n = std::max<std::int64_t>(opt.max_order / 2, 48);
-    SeriesTable table("panel-width");
+    SeriesTable& table = driver.table(
+        "LU extension: panel-width sweep at order " + std::to_string(n),
+        "panel-width");
     const auto s_ms = table.add_series("left-looking.MS");
     const auto s_md = table.add_series("left-looking.MD");
     for (const std::int64_t width : {1, 2, 3, 4, 6, 8, 12, 16}) {
       if (width > cfg.cd - 2) break;
-      Machine machine(cfg, Policy::kLru);
-      simulate_lu_left_looking(machine, n, width);
-      table.set(s_ms, static_cast<double>(width),
-                static_cast<double>(machine.stats().ms()));
-      table.set(s_md, static_cast<double>(width),
-                static_cast<double>(machine.stats().md()));
+      const auto x = static_cast<double>(width);
+      driver.cell_custom(s_ms, x, [cfg, n, width] {
+        Machine machine(cfg, Policy::kLru);
+        simulate_lu_left_looking(machine, n, width);
+        return static_cast<double>(machine.stats().ms());
+      });
+      driver.cell_custom(s_md, x, [cfg, n, width] {
+        Machine machine(cfg, Policy::kLru);
+        simulate_lu_left_looking(machine, n, width);
+        return static_cast<double>(machine.stats().md());
+      });
     }
-    bench::emit("LU extension: panel-width sweep at order " +
-                    std::to_string(n),
-                table, opt.csv);
   }
+  driver.finish();
   return 0;
 }

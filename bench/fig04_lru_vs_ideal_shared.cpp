@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
   cfg.cs = 977;
   cfg.cd = 21;
 
-  SeriesTable table("order");
+  bench::BenchDriver driver("fig04", opt);
+  SeriesTable& table = driver.table(
+      "Figure 4: MS of Shared Opt. under LRU vs formula, CS=977", "order");
   const auto s_2cs = table.add_series("LRU(2CS)");
   const auto s_cs = table.add_series("LRU(CS)");
   const auto s_formula = table.add_series("Formula(CS)");
@@ -37,18 +39,16 @@ int main(int argc, char** argv) {
   for (const std::int64_t order :
        order_sweep(opt.min_order, opt.max_order, opt.step)) {
     const Problem prob = Problem::square(order);
-    table.set(s_2cs, static_cast<double>(order),
-              bench::measure("shared-opt", order, cfg, Setting::kLruDouble,
-                             bench::Metric::kMs));
-    table.set(s_cs, static_cast<double>(order),
-              bench::measure("shared-opt", order, cfg, Setting::kLruFull,
-                             bench::Metric::kMs));
+    const auto x = static_cast<double>(order);
+    driver.cell(s_2cs, x, "shared-opt", order, cfg, Setting::kLruDouble,
+                Metric::kMs);
+    driver.cell(s_cs, x, "shared-opt", order, cfg, Setting::kLruFull,
+                Metric::kMs);
     const double formula =
         predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs)).ms;
-    table.set(s_formula, static_cast<double>(order), formula);
-    table.set(s_formula2, static_cast<double>(order), 2 * formula);
+    table.set(s_formula, x, formula);
+    table.set(s_formula2, x, 2 * formula);
   }
-  bench::emit("Figure 4: MS of Shared Opt. under LRU vs formula, CS=977",
-              table, opt.csv);
+  driver.finish();
   return 0;
 }

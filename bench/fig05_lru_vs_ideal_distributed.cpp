@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   cfg.cs = 977;
   cfg.cd = 21;
 
-  SeriesTable table("order");
+  bench::BenchDriver driver("fig05", opt);
+  SeriesTable& table = driver.table(
+      "Figure 5: MD of Distributed Opt. under LRU vs formula, CD=21", "order");
   const auto s_2c = table.add_series("LRU(2C)");
   const auto s_c = table.add_series("LRU(C)");
   const auto s_formula = table.add_series("Formula(CD)");
@@ -29,18 +31,16 @@ int main(int argc, char** argv) {
   for (const std::int64_t order :
        order_sweep(opt.min_order, opt.max_order, opt.step)) {
     const Problem prob = Problem::square(order);
-    table.set(s_2c, static_cast<double>(order),
-              bench::measure("distributed-opt", order, cfg,
-                             Setting::kLruDouble, bench::Metric::kMd));
-    table.set(s_c, static_cast<double>(order),
-              bench::measure("distributed-opt", order, cfg, Setting::kLruFull,
-                             bench::Metric::kMd));
+    const auto x = static_cast<double>(order);
+    driver.cell(s_2c, x, "distributed-opt", order, cfg, Setting::kLruDouble,
+                Metric::kMd);
+    driver.cell(s_c, x, "distributed-opt", order, cfg, Setting::kLruFull,
+                Metric::kMd);
     const double formula =
         predict_distributed_opt(prob, cfg.p, distributed_opt_params(cfg)).md;
-    table.set(s_formula, static_cast<double>(order), formula);
-    table.set(s_formula2, static_cast<double>(order), 2 * formula);
+    table.set(s_formula, x, formula);
+    table.set(s_formula2, x, 2 * formula);
   }
-  bench::emit("Figure 5: MD of Distributed Opt. under LRU vs formula, CD=21",
-              table, opt.csv);
+  driver.finish();
   return 0;
 }

@@ -20,7 +20,10 @@ int main(int argc, char** argv) {
   cfg.cs = 977;
   cfg.cd = 21;
 
-  SeriesTable table("order");
+  bench::BenchDriver driver("fig06", opt);
+  SeriesTable& table = driver.table(
+      "Figure 6: Tdata of Tradeoff under LRU vs formula, CS=977 CD=21",
+      "order");
   const auto s_2c = table.add_series("LRU(2C)");
   const auto s_c = table.add_series("LRU(C)");
   const auto s_formula = table.add_series("Formula");
@@ -29,18 +32,16 @@ int main(int argc, char** argv) {
   for (const std::int64_t order :
        order_sweep(opt.min_order, opt.max_order, opt.step)) {
     const Problem prob = Problem::square(order);
-    table.set(s_2c, static_cast<double>(order),
-              bench::measure("tradeoff", order, cfg, Setting::kLruDouble,
-                             bench::Metric::kTdata));
-    table.set(s_c, static_cast<double>(order),
-              bench::measure("tradeoff", order, cfg, Setting::kLruFull,
-                             bench::Metric::kTdata));
+    const auto x = static_cast<double>(order);
+    driver.cell(s_2c, x, "tradeoff", order, cfg, Setting::kLruDouble,
+                Metric::kTdata);
+    driver.cell(s_c, x, "tradeoff", order, cfg, Setting::kLruFull,
+                Metric::kTdata);
     const double formula = predict_tradeoff(prob, cfg.p, tradeoff_params(cfg))
                                .tdata(cfg.sigma_s, cfg.sigma_d);
-    table.set(s_formula, static_cast<double>(order), formula);
-    table.set(s_formula2, static_cast<double>(order), 2 * formula);
+    table.set(s_formula, x, formula);
+    table.set(s_formula2, x, 2 * formula);
   }
-  bench::emit("Figure 6: Tdata of Tradeoff under LRU vs formula, CS=977 CD=21",
-              table, opt.csv);
+  driver.finish();
   return 0;
 }

@@ -14,10 +14,10 @@ using namespace mcmm;
 
 namespace {
 
-void run_subfigure(const char* title, std::int64_t q,
-                   const bench::FigureOptions& opt) {
+void run_subfigure(bench::BenchDriver& driver, const char* title,
+                   std::int64_t q, const bench::FigureOptions& opt) {
   const MachineConfig cfg = MachineConfig::realistic_quadcore(q, 2.0 / 3.0);
-  SeriesTable table("order");
+  SeriesTable& table = driver.table(title, "order");
   const auto s_opt_lru = table.add_series("SharedOpt.LRU-50");
   const auto s_opt_ideal = table.add_series("SharedOpt.IDEAL");
   const auto s_equal = table.add_series("SharedEqual.LRU-50");
@@ -27,21 +27,16 @@ void run_subfigure(const char* title, std::int64_t q,
   for (const std::int64_t order :
        order_sweep(opt.min_order, opt.max_order, opt.step)) {
     const auto x = static_cast<double>(order);
-    table.set(s_opt_lru, x,
-              bench::measure("shared-opt", order, cfg, Setting::kLru50,
-                             bench::Metric::kMs));
-    table.set(s_opt_ideal, x,
-              bench::measure("shared-opt", order, cfg, Setting::kIdeal,
-                             bench::Metric::kMs));
-    table.set(s_equal, x,
-              bench::measure("shared-equal", order, cfg, Setting::kLru50,
-                             bench::Metric::kMs));
-    table.set(s_outer, x,
-              bench::measure("outer-product", order, cfg, Setting::kLru50,
-                             bench::Metric::kMs));
+    driver.cell(s_opt_lru, x, "shared-opt", order, cfg, Setting::kLru50,
+                Metric::kMs);
+    driver.cell(s_opt_ideal, x, "shared-opt", order, cfg, Setting::kIdeal,
+                Metric::kMs);
+    driver.cell(s_equal, x, "shared-equal", order, cfg, Setting::kLru50,
+                Metric::kMs);
+    driver.cell(s_outer, x, "outer-product", order, cfg, Setting::kLru50,
+                Metric::kMs);
     table.set(s_bound, x, ms_lower_bound(Problem::square(order), cfg.cs));
   }
-  bench::emit(title, table, opt.csv);
 }
 
 }  // namespace
@@ -53,8 +48,10 @@ int main(int argc, char** argv) {
                                    &opt)) {
     return 0;
   }
-  run_subfigure("Figure 7(a): MS vs order, CS=977 (q=32)", 32, opt);
-  run_subfigure("Figure 7(b): MS vs order, CS=245 (q=64)", 64, opt);
-  run_subfigure("Figure 7(c): MS vs order, CS=157 (q=80)", 80, opt);
+  bench::BenchDriver driver("fig07", opt);
+  run_subfigure(driver, "Figure 7(a): MS vs order, CS=977 (q=32)", 32, opt);
+  run_subfigure(driver, "Figure 7(b): MS vs order, CS=245 (q=64)", 64, opt);
+  run_subfigure(driver, "Figure 7(c): MS vs order, CS=157 (q=80)", 80, opt);
+  driver.finish();
   return 0;
 }

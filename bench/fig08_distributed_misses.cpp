@@ -14,13 +14,14 @@ using namespace mcmm;
 
 namespace {
 
-void run_subfigure(const char* title, std::int64_t cs, std::int64_t cd,
+void run_subfigure(bench::BenchDriver& driver, const char* title,
+                   std::int64_t cs, std::int64_t cd,
                    const bench::FigureOptions& opt) {
   MachineConfig cfg;
   cfg.p = 4;
   cfg.cs = cs;
   cfg.cd = cd;
-  SeriesTable table("order");
+  SeriesTable& table = driver.table(title, "order");
   const auto s_opt_lru = table.add_series("DistOpt.LRU-50");
   const auto s_opt_ideal = table.add_series("DistOpt.IDEAL");
   const auto s_equal = table.add_series("DistEqual.LRU-50");
@@ -30,22 +31,17 @@ void run_subfigure(const char* title, std::int64_t cs, std::int64_t cd,
   for (const std::int64_t order :
        order_sweep(opt.min_order, opt.max_order, opt.step)) {
     const auto x = static_cast<double>(order);
-    table.set(s_opt_lru, x,
-              bench::measure("distributed-opt", order, cfg, Setting::kLru50,
-                             bench::Metric::kMd));
-    table.set(s_opt_ideal, x,
-              bench::measure("distributed-opt", order, cfg, Setting::kIdeal,
-                             bench::Metric::kMd));
-    table.set(s_equal, x,
-              bench::measure("distributed-equal", order, cfg, Setting::kLru50,
-                             bench::Metric::kMd));
-    table.set(s_outer, x,
-              bench::measure("outer-product", order, cfg, Setting::kLru50,
-                             bench::Metric::kMd));
+    driver.cell(s_opt_lru, x, "distributed-opt", order, cfg, Setting::kLru50,
+                Metric::kMd);
+    driver.cell(s_opt_ideal, x, "distributed-opt", order, cfg, Setting::kIdeal,
+                Metric::kMd);
+    driver.cell(s_equal, x, "distributed-equal", order, cfg, Setting::kLru50,
+                Metric::kMd);
+    driver.cell(s_outer, x, "outer-product", order, cfg, Setting::kLru50,
+                Metric::kMd);
     table.set(s_bound, x,
               md_lower_bound(Problem::square(order), cfg.p, cfg.cd));
   }
-  bench::emit(title, table, opt.csv);
 }
 
 }  // namespace
@@ -57,10 +53,13 @@ int main(int argc, char** argv) {
                                    &opt)) {
     return 0;
   }
-  run_subfigure("Figure 8(a): MD vs order, CD=21 (q=32, 2/3 data)", 977, 21,
+  bench::BenchDriver driver("fig08", opt);
+  run_subfigure(driver, "Figure 8(a): MD vs order, CD=21 (q=32, 2/3 data)",
+                977, 21, opt);
+  run_subfigure(driver, "Figure 8(b): MD vs order, CD=16 (q=32, 1/2 data)",
+                977, 16, opt);
+  run_subfigure(driver, "Figure 8(c): MD vs order, CD=6 (q=64, mu=1)", 245, 6,
                 opt);
-  run_subfigure("Figure 8(b): MD vs order, CD=16 (q=32, 1/2 data)", 977, 16,
-                opt);
-  run_subfigure("Figure 8(c): MD vs order, CD=6 (q=64, mu=1)", 245, 6, opt);
+  driver.finish();
   return 0;
 }

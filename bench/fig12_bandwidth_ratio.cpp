@@ -6,41 +6,37 @@
 // lower bound.  Expected shape: Shared Opt. and Distributed Opt. cross
 // over as r grows; Tradeoff tracks the lower envelope, meeting Shared Opt.
 // at r -> 0 and Distributed Opt. at r -> 1 (for q = 32).
+//
+// The x axis is the bandwidth ratio, not the matrix order, so this bench
+// keeps its own command line (--order/--points) but shares the sweep
+// engine's task-batch machinery: each (sub-figure, algorithm) series is
+// one task, sharded across --jobs workers into indexed slots so the tables
+// stay bit-identical for every worker count.  --json emits the same
+// mcmm-bench-v1 report as the order-sweep benches (tables + timing; there
+// are no run_experiment points to list).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
 #include "alg/registry.hpp"
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
+#include "exp/bench_report.hpp"
 #include "exp/sweep.hpp"
+#include "gemm/thread_pool.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 using namespace mcmm;
 
 namespace {
 
-void run_subfigure(const char* title, std::int64_t cs, std::int64_t cd,
-                   std::int64_t order, int points, bool csv) {
-  MachineConfig cfg;
-  cfg.p = 4;
-  cfg.cs = cs;
-  cfg.cd = cd;
-  const Problem prob = Problem::square(order);
-
-  std::vector<double> ratios;
-  for (int i = 0; i <= points; ++i) {
-    ratios.push_back(static_cast<double>(i) / points);
-  }
-
-  SeriesTable table("r");
-  for (const auto& name : algorithm_names()) {
-    const std::size_t col = table.add_series(name);
-    const auto series =
-        bandwidth_ratio_sweep(name, prob, cfg, Setting::kIdeal, ratios);
-    for (const auto& pt : series) table.set(col, pt.r, pt.tdata);
-  }
-  const std::size_t col_bound = table.add_series("LowerBound");
-  for (const auto& pt : bandwidth_ratio_lower_bound(prob, cfg, ratios)) {
-    table.set(col_bound, pt.r, pt.tdata);
-  }
-  bench::emit(title, table, csv);
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -51,24 +47,112 @@ int main(int argc, char** argv) {
   cli.add_flag("full", "use the paper's matrix order (384; slow)");
   cli.add_option("order", "square matrix order in blocks (0 = preset)", "0");
   cli.add_option("points", "number of ratio steps", "10");
+  cli.add_option("jobs", "sweep worker threads (0 = hardware concurrency)",
+                 "0");
+  cli.add_option("json", "write the machine-readable bench report here", "");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.flag("csv");
   std::int64_t order = cli.integer("order");
   if (order == 0) order = cli.flag("full") ? 384 : 96;
   const int points = static_cast<int>(cli.integer("points"));
+  const std::int64_t jobs_raw = cli.integer("jobs");
+  MCMM_REQUIRE(!(cli.is_set("jobs") && jobs_raw < 1),
+               "--jobs must be >= 1 (omit it for hardware concurrency)");
+  const int jobs =
+      jobs_raw >= 1 ? static_cast<int>(jobs_raw) : default_sweep_jobs();
+  const std::string json_path = cli.str("json");
+  require_writable_report_path(json_path);
 
-  char title[128];
+  const Problem prob = Problem::square(order);
+  std::vector<double> ratios;
+  for (int i = 0; i <= points; ++i) {
+    ratios.push_back(static_cast<double>(i) / points);
+  }
+
   const struct {
     std::int64_t cs, cd;
   } configs[] = {{977, 21}, {977, 16}, {245, 6}, {245, 4}, {157, 4}, {157, 3}};
   const char* sub = "abcdef";
+
+  // One task per (sub-figure, algorithm) series; each writes only its own
+  // result slot, so the fill below is deterministic for every --jobs.
+  struct Task {
+    std::size_t table = 0;
+    std::size_t col = 0;
+    std::string alg;
+    MachineConfig cfg;
+  };
+  std::vector<std::string> titles;
+  std::vector<SeriesTable> tables;
+  std::vector<MachineConfig> cfgs;
+  std::vector<Task> tasks;
   for (int i = 0; i < 6; ++i) {
+    MachineConfig cfg;
+    cfg.p = 4;
+    cfg.cs = configs[i].cs;
+    cfg.cd = configs[i].cd;
+    cfgs.push_back(cfg);
+    char title[128];
     std::snprintf(title, sizeof(title),
                   "Figure 12(%c): Tdata vs r, CS=%lld CD=%lld, m=%lld", sub[i],
-                  static_cast<long long>(configs[i].cs),
-                  static_cast<long long>(configs[i].cd),
+                  static_cast<long long>(cfg.cs),
+                  static_cast<long long>(cfg.cd),
                   static_cast<long long>(order));
-    run_subfigure(title, configs[i].cs, configs[i].cd, order, points, csv);
+    titles.emplace_back(title);
+    tables.emplace_back("r");
+    for (const auto& name : algorithm_names()) {
+      tasks.push_back(
+          Task{tables.size() - 1, tables.back().add_series(name), name, cfg});
+    }
+  }
+
+  std::vector<std::vector<RatioPoint>> results(tasks.size());
+  std::vector<double> wall(tasks.size(), 0);
+  const double t0 = now_ms();
+  const auto evaluate = [&](std::size_t i) {
+    const double start = now_ms();
+    results[i] = bandwidth_ratio_sweep(tasks[i].alg, prob, tasks[i].cfg,
+                                       Setting::kIdeal, ratios);
+    wall[i] = now_ms() - start;
+  };
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), tasks.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) evaluate(i);
+  } else {
+    std::vector<std::function<void()>> batch;
+    batch.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      batch.emplace_back([&evaluate, i] { evaluate(i); });
+    }
+    ThreadPool pool(workers);
+    pool.run_batch(batch);
+  }
+  const double total_wall_ms = now_ms() - t0;
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (const auto& pt : results[i]) {
+      tables[tasks[i].table].set(tasks[i].col, pt.r, pt.tdata);
+    }
+  }
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const std::size_t col_bound = tables[t].add_series("LowerBound");
+    for (const auto& pt : bandwidth_ratio_lower_bound(prob, cfgs[t], ratios)) {
+      tables[t].set(col_bound, pt.r, pt.tdata);
+    }
+    bench::emit(titles[t], tables[t], csv);
+  }
+
+  if (!json_path.empty()) {
+    BenchReport report("fig12");
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      report.add_table(titles[t], tables[t]);
+    }
+    double serial_wall_ms = 0;
+    for (const double w : wall) serial_wall_ms += w;
+    report.set_timing(jobs, total_wall_ms, serial_wall_ms);
+    report.write(json_path);
+    std::fprintf(stderr, "bench report written to %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Diff two mcmm-bench-v1 reports, ignoring the nondeterministic subtree.
+
+The schema splits every report into a deterministic "results" subtree
+(tables, points, memo accounting — identical bytes for every --jobs value)
+and a "timing" subtree (wall times, speedup — different on every run).
+The sweep-parity CI job runs a bench twice, serially and with
+--jobs $(nproc), and uses this script to assert the "results" subtrees
+match exactly:
+
+    scripts/bench_json_diff.py BENCH_fig09_serial.json BENCH_fig09.json
+
+Exit status 0 on a match; 1 with a pinpointed path on the first mismatch.
+"""
+import json
+import sys
+
+
+def first_difference(a, b, path="results"):
+    """Return a human-readable path to the first mismatch, or None."""
+    if type(a) is not type(b):
+        return f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        if list(a.keys()) != list(b.keys()):
+            return f"{path}: keys {sorted(a)} != {sorted(b)}"
+        for key in a:
+            diff = first_difference(a[key], b[key], f"{path}.{key}")
+            if diff:
+                return diff
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = first_difference(x, y, f"{path}[{i}]")
+            if diff:
+                return diff
+        return None
+    if a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    docs = []
+    for arg in sys.argv[1:3]:
+        with open(arg) as f:
+            doc = json.load(f)
+        if doc.get("schema") != "mcmm-bench-v1":
+            print(f"{arg}: not an mcmm-bench-v1 document")
+            return 2
+        docs.append(doc)
+    diff = first_difference(docs[0]["results"], docs[1]["results"])
+    if diff:
+        print(f"results subtrees differ — {diff}")
+        return 1
+    print("results subtrees are identical (timing ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

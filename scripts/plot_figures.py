@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Plot the CSV tables produced by the bench binaries (or reproduce.sh).
+"""Plot the tables produced by the bench binaries (or reproduce.sh).
 
-Each bench's --csv output is one or more tables: a comment line starting
-with '# ' titles the table, the next line is the CSV header (x axis first),
-and the following lines are rows.  This script renders every table in a
-file (or directory of .csv files) as a PNG, one series per line, matching
-the paper's figure layout.
+Two input formats, chosen by extension:
 
-    scripts/plot_figures.py results/            # all CSVs -> results/*.png
+  *.csv   — the benches' --csv output: a comment line starting with '# '
+            titles each table, the next line is the CSV header (x axis
+            first), and the following lines are rows.
+  *.json  — the benches' --json output (schema mcmm-bench-v1, see
+            docs/benchmarking.md): every table under results.tables is
+            rendered; null cells are skipped like empty CSV cells.
+
+This script renders every table in a file (or directory of .csv/.json
+files) as a PNG, one series per line, matching the paper's figure layout.
+
+    scripts/plot_figures.py results/            # all tables -> results/*.png
     scripts/plot_figures.py results/fig07_shared_misses.csv
+    scripts/plot_figures.py results/BENCH_fig09.json
 
 Requires matplotlib; prints a hint and exits cleanly if it is missing.
 """
+import json
 import os
 import sys
 
@@ -49,8 +57,25 @@ def parse_tables(path):
     return tables
 
 
+def parse_tables_json(path):
+    """Yield (title, header, rows) for each table in an mcmm-bench-v1 file."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "mcmm-bench-v1":
+        raise ValueError(f"{path}: not an mcmm-bench-v1 document")
+    tables = []
+    for table in doc["results"]["tables"]:
+        header = [table["x_label"]] + list(table["series"])
+        rows = [[row["x"]] + list(row["values"]) for row in table["rows"]]
+        tables.append((table["title"], header, rows))
+    return tables
+
+
 def plot_file(path, plt):
-    tables = parse_tables(path)
+    if path.endswith(".json"):
+        tables = parse_tables_json(path)
+    else:
+        tables = parse_tables(path)
     base = os.path.splitext(path)[0]
     outputs = []
     for idx, (title, header, rows) in enumerate(tables):
@@ -93,7 +118,7 @@ def main():
     paths = []
     if os.path.isdir(target):
         paths = [os.path.join(target, f) for f in sorted(os.listdir(target))
-                 if f.endswith(".csv")]
+                 if f.endswith(".csv") or f.endswith(".json")]
     else:
         paths = [target]
     for path in paths:

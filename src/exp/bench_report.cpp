@@ -1,0 +1,145 @@
+#include "exp/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mcmm {
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_(std::move(bench_name)) {}
+
+void BenchReport::add_table(const std::string& title,
+                            const SeriesTable& table) {
+  tables_.push_back(Table{title, table});
+}
+
+void BenchReport::add_point(const SweepPoint& point, double ms, double md,
+                            double tdata, double wall_ms) {
+  MCMM_REQUIRE(std::isfinite(wall_ms) && wall_ms >= 0,
+               "BenchReport: wall time must be finite and non-negative");
+  MCMM_REQUIRE(std::isfinite(ms) && std::isfinite(md) && std::isfinite(tdata),
+               "BenchReport: metric values must be finite");
+  points_.push_back(Point{point, ms, md, tdata, wall_ms});
+}
+
+void BenchReport::set_timing(int jobs, double total_wall_ms,
+                             double serial_wall_ms) {
+  MCMM_REQUIRE(jobs >= 1, "BenchReport: jobs must be >= 1");
+  MCMM_REQUIRE(std::isfinite(total_wall_ms) && total_wall_ms >= 0 &&
+                   std::isfinite(serial_wall_ms) && serial_wall_ms >= 0,
+               "BenchReport: wall time must be finite and non-negative");
+  jobs_ = jobs;
+  total_wall_ms_ = total_wall_ms;
+  serial_wall_ms_ = serial_wall_ms;
+}
+
+void BenchReport::set_requests(std::size_t requests, std::size_t cache_hits) {
+  requests_ = requests;
+  cache_hits_ = cache_hits;
+}
+
+void BenchReport::emit(JsonWriter& w, bool include_timing) const {
+  w.begin_object()
+      .kv("schema", "mcmm-bench-v1")
+      .kv("bench", bench_)
+      .key("results")
+      .begin_object();
+
+  w.key("tables").begin_array();
+  for (const Table& t : tables_) {
+    w.begin_object().kv("title", t.title).kv("x_label", t.table.x_label());
+    w.key("series").begin_array();
+    for (std::size_t s = 0; s < t.table.num_series(); ++s) {
+      w.value(t.table.series_name(s));
+    }
+    w.end_array();
+    w.key("rows").begin_array();
+    for (std::size_t r = 0; r < t.table.num_rows(); ++r) {
+      w.begin_object().kv("x", t.table.x_at(r));
+      w.key("values").begin_array();
+      for (std::size_t s = 0; s < t.table.num_series(); ++s) {
+        if (const auto v = t.table.at(r, s)) {
+          w.value(*v);
+        } else {
+          w.null_value();
+        }
+      }
+      w.end_array().end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+
+  w.key("points").begin_array();
+  for (const Point& p : points_) {
+    w.begin_object()
+        .kv("algorithm", p.point.algorithm)
+        .key("problem")
+        .begin_object()
+        .kv("m", p.point.problem.m)
+        .kv("n", p.point.problem.n)
+        .kv("z", p.point.problem.z)
+        .end_object()
+        .key("machine")
+        .begin_object()
+        .kv("p", p.point.cfg.p)
+        .kv("cs", p.point.cfg.cs)
+        .kv("cd", p.point.cfg.cd)
+        .kv("sigma_s", p.point.cfg.sigma_s)
+        .kv("sigma_d", p.point.cfg.sigma_d)
+        .end_object()
+        .kv("setting", to_string(p.point.setting))
+        .kv("ms", p.ms)
+        .kv("md", p.md)
+        .kv("tdata", p.tdata)
+        .end_object();
+  }
+  w.end_array();
+
+  w.kv("requests", static_cast<std::int64_t>(requests_))
+      .kv("cache_hits", static_cast<std::int64_t>(cache_hits_))
+      .kv("simulations", static_cast<std::int64_t>(points_.size()));
+  w.end_object();  // results
+
+  if (include_timing) {
+    w.key("timing")
+        .begin_object()
+        .kv("jobs", jobs_)
+        .kv("total_wall_ms", total_wall_ms_)
+        .kv("serial_wall_ms", serial_wall_ms_)
+        .kv("speedup_vs_serial",
+            total_wall_ms_ > 0 ? serial_wall_ms_ / total_wall_ms_ : 1.0);
+    w.key("point_wall_ms").begin_array();
+    for (const Point& p : points_) w.value(p.wall_ms);
+    w.end_array().end_object();
+  }
+  w.end_object();
+}
+
+std::string BenchReport::results_json() const {
+  JsonWriter w;
+  emit(w, /*include_timing=*/false);
+  return w.str();
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  emit(w, /*include_timing=*/true);
+  return w.str();
+}
+
+void BenchReport::write(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  MCMM_REQUIRE(f != nullptr, "BenchReport: cannot write " + path);
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = n == doc.size() && std::fputc('\n', f) != EOF;
+  const bool closed = std::fclose(f) == 0;
+  MCMM_REQUIRE(ok && closed, "BenchReport: short write to " + path);
+}
+
+}  // namespace mcmm

@@ -1,0 +1,86 @@
+// Machine-readable bench output (the BENCH_*.json files).
+//
+// Schema `mcmm-bench-v1` — see docs/benchmarking.md.  The document has a
+// deliberately split shape:
+//
+//   * "results"  — everything deterministic: the rendered series tables,
+//     the deduplicated simulation points with their metric values, and the
+//     memo-cache accounting.  Two runs of the same sweep produce these
+//     bytes identically regardless of --jobs; the sweep-parity CI job and
+//     tests/test_sweep_runner.cpp diff exactly this subtree.
+//   * "timing"   — everything nondeterministic: worker count, per-point
+//     and total wall times, and the measured speedup versus a serial
+//     replay (sum of per-point wall times / total wall time).
+//
+// Key order is fixed by construction (JsonWriter emits in call order) and
+// locked in by the golden test (tests/test_bench_json.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/sweep_runner.hpp"
+#include "util/table.hpp"
+
+namespace mcmm {
+
+class JsonWriter;
+
+class BenchReport {
+public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Append a rendered sub-figure (snapshots the table).
+  void add_table(const std::string& title, const SeriesTable& table);
+
+  /// Append one deduplicated simulation point with its metric values and
+  /// measured wall time.  Throws mcmm::Error on a non-finite or negative
+  /// wall time (a NaN here would silently poison every speedup statistic
+  /// downstream).
+  void add_point(const SweepPoint& point, double ms, double md, double tdata,
+                 double wall_ms);
+
+  /// Record the run's parallelism and aggregate wall times.
+  void set_timing(int jobs, double total_wall_ms, double serial_wall_ms);
+
+  /// Memo-cache accounting (deterministic, lives under "results").
+  void set_requests(std::size_t requests, std::size_t cache_hits);
+
+  /// The deterministic subtree only: schema, bench, "results".  Identical
+  /// bytes for every --jobs value.
+  std::string results_json() const;
+
+  /// The full document: results + "timing".
+  std::string to_json() const;
+
+  /// Write to_json() (plus a trailing newline) to `path`; throws
+  /// mcmm::Error if the file cannot be written.
+  void write(const std::string& path) const;
+
+private:
+  struct Point {
+    SweepPoint point;
+    double ms = 0;
+    double md = 0;
+    double tdata = 0;
+    double wall_ms = 0;
+  };
+  struct Table {
+    std::string title;
+    SeriesTable table;
+  };
+
+  void emit(JsonWriter& w, bool include_timing) const;
+
+  std::string bench_;
+  std::vector<Table> tables_;
+  std::vector<Point> points_;
+  std::size_t requests_ = 0;
+  std::size_t cache_hits_ = 0;
+  int jobs_ = 1;
+  double total_wall_ms_ = 0;
+  double serial_wall_ms_ = 0;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,76 @@
+#include "exp/figure_options.hpp"
+
+#include <cstdio>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+
+int default_sweep_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+bool parse_figure_options(int argc, const char* const* argv,
+                          const std::string& blurb, std::int64_t default_max,
+                          std::int64_t paper_max, std::int64_t default_step,
+                          FigureOptions* out) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+  cli.add_flag("full", "use the paper's full sweep range (slow)");
+  cli.add_option("max-order", "largest matrix order in blocks (0 = preset)",
+                 "0");
+  cli.add_option("min-order", "smallest matrix order in blocks (0 = step)",
+                 "0");
+  cli.add_option("step", "sweep step in blocks (0 = preset)", "0");
+  cli.add_option("jobs", "sweep worker threads (0 = hardware concurrency)",
+                 "0");
+  cli.add_option("json", "write the machine-readable bench report here", "");
+  if (!cli.parse(argc, argv)) {
+    (void)blurb;
+    return false;
+  }
+  out->csv = cli.flag("csv");
+  out->max_order = cli.integer("max-order");
+  if (out->max_order == 0) {
+    out->max_order = cli.flag("full") ? paper_max : default_max;
+  }
+  out->step = cli.integer("step");
+  MCMM_REQUIRE(!(cli.is_set("step") && out->step == 0),
+               "--step must be nonzero (omit it for the preset)");
+  if (out->step == 0) out->step = default_step;
+  out->min_order = cli.integer("min-order");
+  if (out->min_order == 0) out->min_order = out->step;
+
+  // An inverted or degenerate range used to slip through and only fail —
+  // cryptically, or not at all — deep inside the sweep; reject it here.
+  MCMM_REQUIRE(out->step >= 1, "--step must be >= 1");
+  MCMM_REQUIRE(out->min_order >= 1, "--min-order must be >= 1");
+  MCMM_REQUIRE(out->max_order >= 1, "--max-order must be >= 1");
+  MCMM_REQUIRE(out->min_order <= out->max_order,
+               "--min-order (" + std::to_string(out->min_order) +
+                   ") must be <= --max-order (" +
+                   std::to_string(out->max_order) + "): empty sweep");
+
+  const std::int64_t jobs = cli.integer("jobs");
+  MCMM_REQUIRE(!(cli.is_set("jobs") && jobs < 1),
+               "--jobs must be >= 1 (omit it for hardware concurrency)");
+  out->jobs = jobs >= 1 ? static_cast<int>(jobs) : default_sweep_jobs();
+
+  out->json_path = cli.str("json");
+  // Fail fast, before a long sweep, if the report cannot be written.
+  require_writable_report_path(out->json_path);
+  return true;
+}
+
+void require_writable_report_path(const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* probe = std::fopen(path.c_str(), "ab");
+  MCMM_REQUIRE(probe != nullptr,
+               "cannot open --json path for writing: " + path);
+  std::fclose(probe);
+}
+
+}  // namespace mcmm

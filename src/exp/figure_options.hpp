@@ -1,0 +1,47 @@
+// The standard command line shared by the figure/ablation/extension
+// benches, split out of bench/ so the parsing and validation rules are
+// unit-testable (tests/test_cli.cpp).
+//
+//   --csv            machine-friendly tables
+//   --full           the paper's sweep extent instead of the reduced preset
+//   --min-order/--max-order/--step
+//                    sweep range in blocks (0 = preset)
+//   --jobs N         sweep-point worker threads (default: hardware
+//                    concurrency); results are bit-identical for every N
+//   --json FILE      write the machine-readable bench report (see
+//                    docs/benchmarking.md for the schema)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcmm {
+
+struct FigureOptions {
+  bool csv = false;
+  std::int64_t max_order = 0;   ///< largest matrix order in blocks
+  std::int64_t step = 0;        ///< sweep step
+  std::int64_t min_order = 0;
+  int jobs = 1;                 ///< sweep worker threads (>= 1)
+  std::string json_path;        ///< empty = no JSON report
+};
+
+/// Parse and validate the standard options.  `default_max`/`paper_max`
+/// choose the sweep extent without/with --full.  Returns false if --help
+/// was printed.  Throws mcmm::Error on invalid input: an inverted range
+/// (--min-order > --max-order), a zero or negative --step, --jobs < 1, or
+/// a --json path that cannot be opened for writing.
+bool parse_figure_options(int argc, const char* const* argv,
+                          const std::string& blurb, std::int64_t default_max,
+                          std::int64_t paper_max, std::int64_t default_step,
+                          FigureOptions* out);
+
+/// The --jobs default: hardware concurrency, floored at 1.
+int default_sweep_jobs();
+
+/// Throws mcmm::Error unless `path` can be opened for writing (no-op for
+/// an empty path).  Benches call this up front so a bad --json destination
+/// fails before the sweep, not after it.
+void require_writable_report_path(const std::string& path);
+
+}  // namespace mcmm

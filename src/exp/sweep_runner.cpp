@@ -1,0 +1,151 @@
+#include "exp/sweep_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "gemm/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+std::string fmt_real(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::kMs: return "ms";
+    case Metric::kMd: return "md";
+    case Metric::kTdata: return "tdata";
+    case Metric::kTdataWithWritebacks: return "tdata_writebacks";
+  }
+  return "?";
+}
+
+double metric_of(const RunResult& res, Metric m) {
+  switch (m) {
+    case Metric::kMs: return static_cast<double>(res.ms);
+    case Metric::kMd: return static_cast<double>(res.md);
+    case Metric::kTdata: return res.tdata;
+    case Metric::kTdataWithWritebacks:
+      return res.stats.tdata_with_writebacks(res.physical.sigma_s,
+                                             res.physical.sigma_d);
+  }
+  return 0;
+}
+
+std::string SweepPoint::key() const {
+  return algorithm + '|' + std::to_string(problem.m) + 'x' +
+         std::to_string(problem.n) + 'x' + std::to_string(problem.z) + '|' +
+         std::to_string(cfg.p) + '|' + std::to_string(cfg.cs) + '|' +
+         std::to_string(cfg.cd) + '|' + fmt_real(cfg.sigma_s) + '|' +
+         fmt_real(cfg.sigma_d) + '|' + to_string(setting);
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs) {
+  MCMM_REQUIRE(jobs >= 1, "SweepRunner: jobs must be >= 1");
+}
+
+std::size_t SweepRunner::request(const SweepPoint& point, Metric metric) {
+  ++num_requests_;
+  const std::string sim_key = point.key();
+  const auto [sim_it, sim_inserted] = memo_.emplace(sim_key, points_.size());
+  if (sim_inserted) {
+    points_.push_back(Simulation{point, RunResult{}, 0, false});
+  } else {
+    ++cache_hits_;
+  }
+  const std::string req_key = sim_key + '#' + to_string(metric);
+  const auto [req_it, req_inserted] =
+      request_ids_.emplace(req_key, requests_.size());
+  if (req_inserted) {
+    requests_.push_back(Request{sim_it->second, metric});
+  }
+  return req_it->second;
+}
+
+void SweepRunner::run() {
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!points_[i].done) pending.push_back(i);
+  }
+  if (pending.empty()) return;
+
+  const double t0 = now_ms();
+  const auto evaluate = [this](std::size_t sim) {
+    Simulation& s = points_[sim];
+    const double start = now_ms();
+    s.result = run_experiment(s.point.algorithm, s.point.problem, s.point.cfg,
+                              s.point.setting);
+    s.wall_ms = now_ms() - start;
+    s.done = true;
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(jobs_), pending.size()));
+  if (workers <= 1) {
+    for (const std::size_t sim : pending) evaluate(sim);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(pending.size());
+    for (const std::size_t sim : pending) {
+      tasks.emplace_back([&evaluate, sim] { evaluate(sim); });
+    }
+    ThreadPool pool(workers);
+    pool.run_batch(tasks);
+  }
+  total_wall_ms_ += now_ms() - t0;
+}
+
+double SweepRunner::value(std::size_t request_id) const {
+  MCMM_REQUIRE(request_id < requests_.size(),
+               "SweepRunner::value: bad request id");
+  const Request& req = requests_[request_id];
+  const Simulation& sim = points_[req.sim];
+  MCMM_REQUIRE(sim.done, "SweepRunner::value: run() has not evaluated this "
+                         "point yet");
+  return metric_of(sim.result, req.metric);
+}
+
+const SweepPoint& SweepRunner::simulation(std::size_t sim) const {
+  MCMM_REQUIRE(sim < points_.size(), "SweepRunner::simulation: bad index");
+  return points_[sim].point;
+}
+
+const RunResult& SweepRunner::result(std::size_t sim) const {
+  MCMM_REQUIRE(sim < points_.size() && points_[sim].done,
+               "SweepRunner::result: point not evaluated");
+  return points_[sim].result;
+}
+
+double SweepRunner::wall_ms(std::size_t sim) const {
+  MCMM_REQUIRE(sim < points_.size() && points_[sim].done,
+               "SweepRunner::wall_ms: point not evaluated");
+  return points_[sim].wall_ms;
+}
+
+double SweepRunner::serial_wall_ms() const {
+  double sum = 0;
+  for (const Simulation& s : points_) {
+    if (s.done) sum += s.wall_ms;
+  }
+  return sum;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,123 @@
+// Parallel sweep engine for the figure benches and sweep tools.
+//
+// Every bench replays a Section 4 sweep point-by-point, and every point —
+// one `run_experiment` call — builds its own Machine, so the points are
+// embarrassingly parallel.  SweepRunner shards them across an
+// mcmm::ThreadPool while keeping the output *deterministic*:
+//
+//  * requests return indexed result slots, so values are read back in
+//    request order no matter which worker finished first;
+//  * a memo cache keyed on the full simulation tuple (algorithm, problem,
+//    machine, setting) guarantees that points shared between figures or
+//    metrics (e.g. the Tdata figures' Tradeoff-IDEAL overlay, or a bench
+//    reading both MS and MD of one run) are simulated exactly once;
+//  * per-point wall time is captured so the JSON bench output can record
+//    the measured speedup versus a serial replay.
+//
+// The simulator itself is pure (no globals; each run owns its Machine), so
+// `--jobs N` and `--jobs 1` produce bit-identical tables — a property the
+// sweep-parity test layer (tests/test_sweep_runner.cpp and the CI
+// sweep-parity job) locks in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm {
+
+/// The paper's per-run scalar metrics.
+enum class Metric { kMs, kMd, kTdata, kTdataWithWritebacks };
+
+const char* to_string(Metric m);
+
+/// Extract `m` from a finished run.  Tdata variants use the bandwidths of
+/// the run's base machine (RunResult::tdata is already computed that way).
+double metric_of(const RunResult& res, Metric m);
+
+/// One simulation of the sweep: the full tuple that determines a
+/// RunResult.  Two points with equal keys are guaranteed to produce the
+/// same result, which is what makes the memo cache sound.
+struct SweepPoint {
+  std::string algorithm;
+  Problem problem;
+  MachineConfig cfg;
+  Setting setting = Setting::kLru50;
+
+  static SweepPoint square(std::string algorithm, std::int64_t order,
+                           const MachineConfig& cfg, Setting setting) {
+    return {std::move(algorithm), Problem::square(order), cfg, setting};
+  }
+
+  /// Canonical encoding of the tuple (memo key; doubles printed with
+  /// round-trip precision so distinct bandwidths never collide).
+  std::string key() const;
+};
+
+class SweepRunner {
+public:
+  /// `jobs` >= 1 worker threads for run(); throws mcmm::Error otherwise.
+  explicit SweepRunner(int jobs);
+
+  /// Schedule `metric` of `point`.  Returns a request id — a stable slot
+  /// index whose value can be read after run().  Duplicate (point, metric)
+  /// requests return the same id; duplicate points across metrics share
+  /// one simulation.  Requests made after a run() are evaluated by the
+  /// next run() (the memo persists across runs).
+  std::size_t request(const SweepPoint& point, Metric metric);
+
+  /// Simulate every scheduled point that has not run yet.  Points are
+  /// claimed dynamically by the workers but results land in indexed slots,
+  /// so values are deterministic.  The first worker exception (e.g. an
+  /// unknown algorithm name) is rethrown.
+  void run();
+
+  /// Metric value of a finished request.
+  double value(std::size_t request_id) const;
+
+  int jobs() const { return jobs_; }
+
+  /// Accounting: every request() call, the subset that hit the memo, and
+  /// the distinct simulations actually executed.
+  std::size_t num_requests() const { return num_requests_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t num_simulations() const { return points_.size(); }
+
+  /// Per-simulation introspection (for the JSON bench report).
+  const SweepPoint& simulation(std::size_t sim) const;
+  const RunResult& result(std::size_t sim) const;
+  double wall_ms(std::size_t sim) const;
+
+  /// Wall-clock spent inside run() calls, and the serial-replay estimate
+  /// (the sum of per-simulation wall times).
+  double total_wall_ms() const { return total_wall_ms_; }
+  double serial_wall_ms() const;
+
+private:
+  struct Request {
+    std::size_t sim = 0;
+    Metric metric = Metric::kTdata;
+  };
+  struct Simulation {
+    SweepPoint point;
+    RunResult result;
+    double wall_ms = 0;
+    bool done = false;
+  };
+
+  int jobs_;
+  std::vector<Request> requests_;
+  std::vector<Simulation> points_;
+  std::unordered_map<std::string, std::size_t> memo_;      // key -> sim
+  std::unordered_map<std::string, std::size_t> request_ids_;  // key+metric
+  std::size_t num_requests_ = 0;
+  std::size_t cache_hits_ = 0;
+  double total_wall_ms_ = 0;
+};
+
+}  // namespace mcmm

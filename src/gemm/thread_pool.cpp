@@ -1,5 +1,7 @@
 #include "gemm/thread_pool.hpp"
 
+#include <atomic>
+
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -60,6 +62,18 @@ void ThreadPool::run_on_all(const std::function<void(int)>& job) {
   cv_done_.wait(lock, [&] { return remaining_ == 0; });
   job_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  std::atomic<std::size_t> next{0};
+  run_on_all([&](int) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < tasks.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      tasks[i]();
+    }
+  });
 }
 
 void ThreadPool::parallel_for(

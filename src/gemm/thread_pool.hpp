@@ -36,6 +36,14 @@ public:
   void parallel_for(std::int64_t total,
                     const std::function<void(int, std::int64_t, std::int64_t)>& body);
 
+  /// Generic task-batch submit: execute every task in `tasks` exactly once,
+  /// dynamically load-balanced across the workers (tasks are claimed from a
+  /// shared atomic cursor, so heterogeneous task costs don't leave workers
+  /// idle).  Blocks until the batch drains; the first exception thrown by a
+  /// task is rethrown here.  Tasks must not submit further work to this
+  /// pool.
+  void run_batch(const std::vector<std::function<void()>>& tasks);
+
 private:
   void worker_loop(int id);
 

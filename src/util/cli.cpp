@@ -68,6 +68,10 @@ bool CliParser::flag(const std::string& name) const {
   return find(name).value == "true";
 }
 
+bool CliParser::is_set(const std::string& name) const {
+  return find(name).set;
+}
+
 std::string CliParser::str(const std::string& name) const {
   return find(name).value;
 }

@@ -25,6 +25,9 @@ public:
   bool parse(int argc, const char* const* argv);
 
   bool flag(const std::string& name) const;
+  /// True iff the user supplied the option on the command line (as opposed
+  /// to the declared default being in effect).
+  bool is_set(const std::string& name) const;
   std::string str(const std::string& name) const;
   std::int64_t integer(const std::string& name) const;
   double real(const std::string& name) const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -130,9 +131,293 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::null_value() {
+  before_value();
+  raw("null");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
 std::string JsonWriter::str() const {
   MCMM_ASSERT(stack_.empty() && done_, "JsonWriter: document incomplete");
   return out_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over the writer's dialect (strict JSON).
+class JsonParser {
+public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue root = parse_value(0);
+    skip_ws();
+    MCMM_REQUIRE(pos_ == text_.size(), "json_parse: trailing characters");
+    return root;
+  }
+
+private:
+  static constexpr int kMaxDepth = 128;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    MCMM_REQUIRE(pos_ < text_.size(), "json_parse: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    MCMM_REQUIRE(peek() == c, std::string("json_parse: expected '") + c +
+                                  "' at offset " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    MCMM_REQUIRE(depth < kMaxDepth, "json_parse: nesting too deep");
+    JsonValue v;
+    switch (peek()) {
+      case 'n':
+        MCMM_REQUIRE(consume_literal("null"), "json_parse: bad literal");
+        return v;
+      case 't':
+        MCMM_REQUIRE(consume_literal("true"), "json_parse: bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        MCMM_REQUIRE(consume_literal("false"), "json_parse: bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        return v;
+      case '"':
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value(depth + 1));
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      MCMM_REQUIRE(c == ',', "json_parse: expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      MCMM_REQUIRE(peek() == '"', "json_parse: object key must be a string");
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value(depth + 1));
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      MCMM_REQUIRE(c == ',', "json_parse: expected ',' or '}' in object");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      MCMM_REQUIRE(pos_ < text_.size(), "json_parse: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      MCMM_REQUIRE(static_cast<unsigned char>(c) >= 0x20,
+                   "json_parse: raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      MCMM_REQUIRE(pos_ < text_.size(), "json_parse: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: throw Error("json_parse: bad escape character");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    MCMM_REQUIRE(pos_ + 4 <= text_.size(), "json_parse: short \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4U;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        throw Error("json_parse: bad \\u escape digit");
+      }
+    }
+    MCMM_REQUIRE(cp < 0xD800 || cp > 0xDFFF,
+                 "json_parse: surrogate escapes are not supported");
+    // Encode the BMP code point as UTF-8.
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0U | (cp >> 6U));
+      out += static_cast<char>(0x80U | (cp & 0x3FU));
+    } else {
+      out += static_cast<char>(0xE0U | (cp >> 12U));
+      out += static_cast<char>(0x80U | ((cp >> 6U) & 0x3FU));
+      out += static_cast<char>(0x80U | (cp & 0x3FU));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    MCMM_REQUIRE(digits() > 0, "json_parse: invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      MCMM_REQUIRE(digits() > 0, "json_parse: digits required after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      MCMM_REQUIRE(digits() > 0, "json_parse: digits required in exponent");
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void serialize_into(const JsonValue& v, std::string& out) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: out += "null"; return;
+    case JsonValue::Type::kBool: out += v.boolean ? "true" : "false"; return;
+    case JsonValue::Type::kNumber: {
+      char buf[32];
+      // Integral values print without a decimal point, matching both
+      // JsonWriter::value(int64) and %.17g's output for integral doubles.
+      if (std::isfinite(v.number) && v.number == std::floor(v.number) &&
+          std::fabs(v.number) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v.number);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      }
+      out += buf;
+      return;
+    }
+    case JsonValue::Type::kString:
+      out += '"';
+      out += json_escape(v.string);
+      out += '"';
+      return;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        serialize_into(e, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        serialize_into(e, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+std::string json_serialize(const JsonValue& v) {
+  std::string out;
+  serialize_into(v, out);
+  return out;
 }
 
 }  // namespace mcmm

@@ -1,13 +1,16 @@
-// Minimal JSON writer for the CLI tool's machine-readable output.
+// Minimal JSON writer and reader for the machine-readable outputs.
 //
-// Hand-rolled on purpose (no third-party deps in this repo): supports
-// objects, arrays, strings (escaped), integers, doubles and booleans,
-// with validity enforced by assertions (keys only inside objects, one
-// root value, balanced begin/end).
+// Hand-rolled on purpose (no third-party deps in this repo): the writer
+// supports objects, arrays, strings (escaped), integers, doubles, booleans
+// and null, with validity enforced by assertions (keys only inside objects,
+// one root value, balanced begin/end).  The reader parses the same dialect
+// back into an order-preserving `JsonValue` tree, so bench JSON documents
+// can be round-tripped byte-for-byte (the golden-schema tests rely on it).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mcmm {
@@ -28,6 +31,7 @@ public:
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
+  JsonWriter& null_value();
 
   /// Convenience: key + value in one call.
   template <typename T>
@@ -53,5 +57,30 @@ private:
 
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& s);
+
+/// Parsed JSON document.  Object members keep their textual order, so a
+/// parse/serialize round trip preserves key order exactly — the bench JSON
+/// schema promises stable key order and the tests check it through here.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse a complete JSON document; throws mcmm::Error on malformed input
+/// or trailing garbage.
+JsonValue json_parse(const std::string& text);
+
+/// Serialize a JsonValue with the same formatting as JsonWriter (compact
+/// separators, %.17g doubles, integral values without a decimal point).
+std::string json_serialize(const JsonValue& v);
 
 }  // namespace mcmm

@@ -38,6 +38,24 @@ std::optional<double> SeriesTable::cell(std::size_t series, double x) const {
   return std::nullopt;
 }
 
+const std::string& SeriesTable::series_name(std::size_t series) const {
+  MCMM_REQUIRE(series < names_.size(),
+               "SeriesTable::series_name: bad series index");
+  return names_[series];
+}
+
+double SeriesTable::x_at(std::size_t row) const {
+  MCMM_REQUIRE(row < xs_.size(), "SeriesTable::x_at: bad row index");
+  return xs_[row];
+}
+
+std::optional<double> SeriesTable::at(std::size_t row,
+                                      std::size_t series) const {
+  MCMM_REQUIRE(row < xs_.size() && series < names_.size(),
+               "SeriesTable::at: bad cell index");
+  return cells_[row][series];
+}
+
 std::string format_value(double v) {
   char buf[64];
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
@@ -48,7 +66,7 @@ std::string format_value(double v) {
   return buf;
 }
 
-void SeriesTable::print_pretty() const {
+std::string SeriesTable::to_pretty() const {
   std::vector<std::size_t> widths;
   widths.push_back(x_label_.size());
   for (const auto& n : names_) widths.push_back(n.size());
@@ -65,32 +83,46 @@ void SeriesTable::print_pretty() const {
     rows.push_back(std::move(row));
   }
 
-  auto print_cell = [&](const std::string& text, std::size_t w, bool last) {
-    std::printf("%*s%s", static_cast<int>(w), text.c_str(), last ? "\n" : "  ");
+  std::string out;
+  auto emit_cell = [&](const std::string& text, std::size_t w, bool last) {
+    if (text.size() < w) out.append(w - text.size(), ' ');
+    out += text;
+    out += last ? "\n" : "  ";
   };
-  print_cell(x_label_, widths[0], names_.empty());
+  emit_cell(x_label_, widths[0], names_.empty());
   for (std::size_t s = 0; s < names_.size(); ++s) {
-    print_cell(names_[s], widths[s + 1], s + 1 == names_.size());
+    emit_cell(names_[s], widths[s + 1], s + 1 == names_.size());
   }
   for (const auto& row : rows) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      print_cell(row[c], widths[c], c + 1 == row.size());
+      emit_cell(row[c], widths[c], c + 1 == row.size());
     }
   }
+  return out;
 }
 
-void SeriesTable::print_csv() const {
-  std::printf("%s", x_label_.c_str());
-  for (const auto& n : names_) std::printf(",%s", n.c_str());
-  std::printf("\n");
-  for (std::size_t r = 0; r < xs_.size(); ++r) {
-    std::printf("%s", format_value(xs_[r]).c_str());
-    for (std::size_t s = 0; s < names_.size(); ++s) {
-      std::printf(",%s",
-                  cells_[r][s] ? format_value(*cells_[r][s]).c_str() : "");
-    }
-    std::printf("\n");
+std::string SeriesTable::to_csv() const {
+  std::string out = x_label_;
+  for (const auto& n : names_) {
+    out += ',';
+    out += n;
   }
+  out += '\n';
+  for (std::size_t r = 0; r < xs_.size(); ++r) {
+    out += format_value(xs_[r]);
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      out += ',';
+      if (cells_[r][s]) out += format_value(*cells_[r][s]);
+    }
+    out += '\n';
+  }
+  return out;
 }
+
+void SeriesTable::print_pretty() const {
+  std::fputs(to_pretty().c_str(), stdout);
+}
+
+void SeriesTable::print_csv() const { std::fputs(to_csv().c_str(), stdout); }
 
 }  // namespace mcmm

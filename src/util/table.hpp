@@ -32,10 +32,21 @@ public:
   /// Render as CSV (header + one row per x).
   void print_csv() const;
 
+  /// The same renderings as strings (for parity diffs and the JSON bench
+  /// report); print_pretty/print_csv emit exactly these bytes.
+  std::string to_pretty() const;
+  std::string to_csv() const;
+
   std::size_t num_series() const { return names_.size(); }
   std::size_t num_rows() const { return xs_.size(); }
   /// Lookup a cell (for tests).
   std::optional<double> cell(std::size_t series, double x) const;
+
+  /// Row-order accessors (for serialisers).
+  const std::string& x_label() const { return x_label_; }
+  const std::string& series_name(std::size_t series) const;
+  double x_at(std::size_t row) const;
+  std::optional<double> at(std::size_t row, std::size_t series) const;
 
 private:
   std::size_t row_index(double x);

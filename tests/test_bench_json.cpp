@@ -1,0 +1,144 @@
+// Golden tests for the mcmm-bench-v1 JSON schema: the deterministic
+// "results" subtree is locked byte-for-byte, key order is stable, the
+// document round-trips through the util/json reader, and NaN wall times
+// are rejected at the door.
+#include "exp/bench_report.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace mcmm {
+namespace {
+
+MachineConfig quadcore_q32() {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  return cfg;
+}
+
+BenchReport golden_report() {
+  SeriesTable table("order");
+  const auto a = table.add_series("alpha");
+  const auto b = table.add_series("beta");
+  table.set(a, 8, 1.5);
+  table.set(b, 8, 2);
+  table.set(a, 16, 3);  // beta missing at order 16 -> null cell
+
+  BenchReport report("golden");
+  report.add_table("T", table);
+  report.add_point(
+      SweepPoint::square("shared-opt", 8, quadcore_q32(), Setting::kIdeal),
+      /*ms=*/192, /*md=*/616, /*tdata=*/808, /*wall_ms=*/0.25);
+  report.set_requests(/*requests=*/3, /*cache_hits=*/1);
+  report.set_timing(/*jobs=*/2, /*total_wall_ms=*/0.5, /*serial_wall_ms=*/1);
+  return report;
+}
+
+// The schema contract: these exact bytes, for every --jobs value.
+constexpr const char* kGoldenResults =
+    R"({"schema":"mcmm-bench-v1","bench":"golden","results":{)"
+    R"("tables":[{"title":"T","x_label":"order","series":["alpha","beta"],)"
+    R"("rows":[{"x":8,"values":[1.5,2]},{"x":16,"values":[3,null]}]}],)"
+    R"("points":[{"algorithm":"shared-opt","problem":{"m":8,"n":8,"z":8},)"
+    R"("machine":{"p":4,"cs":977,"cd":21,"sigma_s":1,"sigma_d":1},)"
+    R"("setting":"IDEAL","ms":192,"md":616,"tdata":808}],)"
+    R"("requests":3,"cache_hits":1,"simulations":1}})";
+
+TEST(BenchJson, GoldenResultsBytes) {
+  EXPECT_EQ(golden_report().results_json(), kGoldenResults);
+}
+
+TEST(BenchJson, TimingLivesOutsideTheDeterministicSubtree) {
+  const BenchReport report = golden_report();
+  const std::string full = report.to_json();
+  EXPECT_EQ(full.find(report.results_json().substr(
+                0, report.results_json().size() - 1)),
+            0u)
+      << "to_json must extend results_json, not reorder it";
+  const JsonValue doc = json_parse(full);
+  ASSERT_NE(doc.find("timing"), nullptr);
+  EXPECT_EQ(json_parse(report.results_json()).find("timing"), nullptr);
+  const JsonValue& timing = *doc.find("timing");
+  EXPECT_DOUBLE_EQ(timing.find("speedup_vs_serial")->number, 2.0);
+  EXPECT_EQ(timing.find("jobs")->number, 2);
+  ASSERT_NE(timing.find("point_wall_ms"), nullptr);
+  EXPECT_EQ(timing.find("point_wall_ms")->array.size(), 1u);
+}
+
+TEST(BenchJson, RoundTripsThroughTheJsonReaderByteForByte) {
+  const std::string full = golden_report().to_json();
+  EXPECT_EQ(json_serialize(json_parse(full)), full);
+  const std::string results = golden_report().results_json();
+  EXPECT_EQ(json_serialize(json_parse(results)), results);
+}
+
+TEST(BenchJson, KeyOrderIsStable) {
+  const JsonValue doc = json_parse(golden_report().to_json());
+  ASSERT_EQ(doc.object.size(), 4u);
+  EXPECT_EQ(doc.object[0].first, "schema");
+  EXPECT_EQ(doc.object[1].first, "bench");
+  EXPECT_EQ(doc.object[2].first, "results");
+  EXPECT_EQ(doc.object[3].first, "timing");
+  const JsonValue& results = doc.object[2].second;
+  ASSERT_EQ(results.object.size(), 5u);
+  EXPECT_EQ(results.object[0].first, "tables");
+  EXPECT_EQ(results.object[1].first, "points");
+  EXPECT_EQ(results.object[2].first, "requests");
+  EXPECT_EQ(results.object[3].first, "cache_hits");
+  EXPECT_EQ(results.object[4].first, "simulations");
+}
+
+TEST(BenchJson, RejectsNonFiniteWallTimesAndMetrics) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const SweepPoint point =
+      SweepPoint::square("shared-opt", 8, quadcore_q32(), Setting::kIdeal);
+  BenchReport report("bad");
+  EXPECT_THROW(report.add_point(point, 1, 1, 1, nan), Error);
+  EXPECT_THROW(report.add_point(point, 1, 1, 1, -0.5), Error);
+  EXPECT_THROW(report.add_point(point, nan, 1, 1, 0), Error);
+  EXPECT_THROW(report.add_point(point, 1, inf, 1, 0), Error);
+  EXPECT_THROW(report.set_timing(2, nan, 1), Error);
+  EXPECT_THROW(report.set_timing(2, 1, -1), Error);
+  EXPECT_THROW(report.set_timing(0, 1, 1), Error);
+}
+
+TEST(BenchJson, WriteFailsLoudlyOnAnUnwritablePath) {
+  EXPECT_THROW(golden_report().write("/nonexistent-dir-mcmm/report.json"),
+               Error);
+}
+
+TEST(BenchJson, ParserRejectsMalformedDocuments) {
+  EXPECT_THROW(json_parse(""), Error);
+  EXPECT_THROW(json_parse("{"), Error);
+  EXPECT_THROW(json_parse("[1,]"), Error);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(json_parse("{'a':1}"), Error);
+  EXPECT_THROW(json_parse("1 2"), Error);          // trailing garbage
+  EXPECT_THROW(json_parse("\"\\x\""), Error);      // bad escape
+  EXPECT_THROW(json_parse("\"\\ud800\""), Error);  // surrogate escape
+  EXPECT_THROW(json_parse("nul"), Error);
+  EXPECT_THROW(json_parse("01a"), Error);
+}
+
+TEST(BenchJson, ParserHandlesScalarsAndEscapes) {
+  EXPECT_EQ(json_parse("null").type, JsonValue::Type::kNull);
+  EXPECT_TRUE(json_parse("true").boolean);
+  EXPECT_DOUBLE_EQ(json_parse("-2.5e2").number, -250.0);
+  EXPECT_EQ(json_parse(R"("a\"b\\c\n\u0041")").string, "a\"b\\c\nA");
+  const JsonValue arr = json_parse("[1,[2,3],{}]");
+  ASSERT_EQ(arr.array.size(), 3u);
+  EXPECT_EQ(arr.array[1].array.size(), 2u);
+  EXPECT_EQ(arr.array[2].type, JsonValue::Type::kObject);
+}
+
+}  // namespace
+}  // namespace mcmm

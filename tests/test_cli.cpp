@@ -1,7 +1,10 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
+#include "exp/figure_options.hpp"
 #include "util/error.hpp"
 
 namespace mcmm {
@@ -86,6 +89,83 @@ TEST(Cli, RejectsUndeclaredLookup) {
   CliParser p = make_parser();
   ASSERT_TRUE(parse(p));
   EXPECT_THROW(p.str("never-declared"), Error);
+}
+
+TEST(Cli, IsSetDistinguishesDefaultsFromExplicitValues) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, "--max-order", "384"));
+  EXPECT_TRUE(p.is_set("max-order"));
+  EXPECT_FALSE(p.is_set("scale"));
+}
+
+// The standard figure-bench command line (src/exp/figure_options.cpp).
+
+template <typename... Args>
+bool parse_figure(FigureOptions* out, Args... args) {
+  const char* argv[] = {"prog", args...};
+  return parse_figure_options(static_cast<int>(sizeof...(args)) + 1, argv,
+                              "Test figure", /*default_max=*/240,
+                              /*paper_max=*/600, /*default_step=*/40, out);
+}
+
+TEST(FigureOptions, Defaults) {
+  FigureOptions opt;
+  ASSERT_TRUE(parse_figure(&opt));
+  EXPECT_FALSE(opt.csv);
+  EXPECT_EQ(opt.max_order, 240);
+  EXPECT_EQ(opt.step, 40);
+  EXPECT_EQ(opt.min_order, 40);
+  EXPECT_GE(opt.jobs, 1);  // hardware concurrency, floored at 1
+  EXPECT_TRUE(opt.json_path.empty());
+}
+
+TEST(FigureOptions, FullRangeAndExplicitSweep) {
+  FigureOptions opt;
+  ASSERT_TRUE(parse_figure(&opt, "--full", "--min-order", "16", "--step",
+                           "8"));
+  EXPECT_EQ(opt.max_order, 600);
+  EXPECT_EQ(opt.min_order, 16);
+  EXPECT_EQ(opt.step, 8);
+}
+
+TEST(FigureOptions, JobsParsed) {
+  FigureOptions opt;
+  ASSERT_TRUE(parse_figure(&opt, "--jobs", "3"));
+  EXPECT_EQ(opt.jobs, 3);
+}
+
+TEST(FigureOptions, RejectsNonPositiveJobs) {
+  FigureOptions opt;
+  EXPECT_THROW(parse_figure(&opt, "--jobs", "0"), Error);
+  EXPECT_THROW(parse_figure(&opt, "--jobs", "-2"), Error);
+}
+
+TEST(FigureOptions, RejectsInvertedOrDegenerateRange) {
+  FigureOptions opt;
+  EXPECT_THROW(parse_figure(&opt, "--min-order", "100", "--max-order", "50"),
+               Error);
+  EXPECT_THROW(parse_figure(&opt, "--step", "0"), Error);
+  EXPECT_THROW(parse_figure(&opt, "--step", "-8"), Error);
+  EXPECT_THROW(parse_figure(&opt, "--max-order", "-1"), Error);
+}
+
+TEST(FigureOptions, JsonPathAccepted) {
+  FigureOptions opt;
+  const char* path = "/tmp/mcmm_test_figure_options.json";
+  ASSERT_TRUE(parse_figure(&opt, "--json", path));
+  EXPECT_EQ(opt.json_path, path);
+  std::remove(path);  // the writability probe touches the file
+}
+
+TEST(FigureOptions, RejectsUnwritableJsonPath) {
+  FigureOptions opt;
+  EXPECT_THROW(parse_figure(&opt, "--json", "/nonexistent-dir-mcmm/out.json"),
+               Error);
+}
+
+TEST(FigureOptions, HelpShortCircuits) {
+  FigureOptions opt;
+  EXPECT_FALSE(parse_figure(&opt, "--help"));
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// The sweep-parity test layer for the parallel sweep engine: the tables a
+// bench prints must be *bit-identical* no matter how many workers ran the
+// sweep, the memo cache must account precisely for shared points, and a
+// worker exception must surface in the caller.
+#include "exp/sweep_runner.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/bench_report.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+MachineConfig quadcore_q32() {
+  MachineConfig cfg;
+  cfg.p = 4;
+  cfg.cs = 977;
+  cfg.cd = 21;
+  return cfg;
+}
+
+// A reduced Figure 9 sweep: every algorithm under LRU-50 and IDEAL at two
+// orders, plus the Tradeoff-IDEAL overlay the LRU-50 sub-figure repeats.
+std::vector<std::size_t> request_fig09(SweepRunner& runner) {
+  const MachineConfig cfg = quadcore_q32();
+  const std::vector<std::string> algs = {
+      "shared-opt",    "distributed-opt", "tradeoff",
+      "outer-product", "shared-equal",    "distributed-equal"};
+  std::vector<std::size_t> ids;
+  for (const Setting setting : {Setting::kLru50, Setting::kIdeal}) {
+    for (const std::int64_t order : {8, 16}) {
+      for (const auto& alg : algs) {
+        ids.push_back(runner.request(
+            SweepPoint::square(alg, order, cfg, setting), Metric::kTdata));
+      }
+      ids.push_back(runner.request(
+          SweepPoint::square("tradeoff", order, cfg, Setting::kIdeal),
+          Metric::kTdata));
+    }
+  }
+  return ids;
+}
+
+BenchReport report_of(const SweepRunner& runner) {
+  BenchReport report("fig09-parity");
+  for (std::size_t sim = 0; sim < runner.num_simulations(); ++sim) {
+    const RunResult& res = runner.result(sim);
+    report.add_point(runner.simulation(sim), static_cast<double>(res.ms),
+                     static_cast<double>(res.md), res.tdata,
+                     runner.wall_ms(sim));
+  }
+  report.set_requests(runner.num_requests(), runner.cache_hits());
+  return report;
+}
+
+TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial) {
+  SweepRunner serial(1);
+  const std::vector<std::size_t> serial_ids = request_fig09(serial);
+  serial.run();
+
+  SweepRunner parallel(8);
+  const std::vector<std::size_t> parallel_ids = request_fig09(parallel);
+  parallel.run();
+
+  // Identical request streams get identical slot ids...
+  ASSERT_EQ(serial_ids, parallel_ids);
+  // ...and every slot holds the exact same bits.
+  for (const std::size_t id : serial_ids) {
+    EXPECT_EQ(serial.value(id), parallel.value(id)) << "request " << id;
+  }
+  // The deterministic JSON subtree is byte-identical too (wall times live
+  // in the "timing" subtree, which is deliberately excluded).
+  EXPECT_EQ(report_of(serial).results_json(),
+            report_of(parallel).results_json());
+}
+
+TEST(SweepRunner, MemoCacheAccounting) {
+  SweepRunner runner(2);
+  const SweepPoint point =
+      SweepPoint::square("shared-opt", 8, quadcore_q32(), Setting::kIdeal);
+
+  const std::size_t ms_id = runner.request(point, Metric::kMs);
+  const std::size_t md_id = runner.request(point, Metric::kMd);
+  // Two metrics of one point: one simulation, the second request hits.
+  EXPECT_NE(ms_id, md_id);
+  EXPECT_EQ(runner.num_simulations(), 1u);
+  EXPECT_EQ(runner.num_requests(), 2u);
+  EXPECT_EQ(runner.cache_hits(), 1u);
+
+  // Exact duplicate: same slot id, another hit, still one simulation.
+  EXPECT_EQ(runner.request(point, Metric::kMs), ms_id);
+  EXPECT_EQ(runner.num_simulations(), 1u);
+  EXPECT_EQ(runner.num_requests(), 3u);
+  EXPECT_EQ(runner.cache_hits(), 2u);
+
+  runner.run();
+  EXPECT_GT(runner.value(ms_id), 0);
+  EXPECT_GT(runner.value(md_id), 0);
+}
+
+TEST(SweepRunner, SharedPointsSimulateOnceAcrossTheFig09Sweep) {
+  SweepRunner runner(4);
+  request_fig09(runner);
+  // 6 algorithms x 2 settings x 2 orders = 24 distinct points; the overlay
+  // and the IDEAL sub-figure's tradeoff rows are memo hits.
+  EXPECT_EQ(runner.num_simulations(), 24u);
+  EXPECT_EQ(runner.num_requests(), 28u);
+  EXPECT_EQ(runner.cache_hits(), 4u);
+}
+
+TEST(SweepRunner, WorkerExceptionPropagates) {
+  for (const int jobs : {1, 8}) {
+    SweepRunner runner(jobs);
+    runner.request(SweepPoint::square("no-such-algorithm", 8, quadcore_q32(),
+                                      Setting::kLru50),
+                   Metric::kMs);
+    EXPECT_THROW(runner.run(), Error) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, MemoPersistsAcrossRuns) {
+  SweepRunner runner(2);
+  const MachineConfig cfg = quadcore_q32();
+  const std::size_t first = runner.request(
+      SweepPoint::square("shared-opt", 8, cfg, Setting::kIdeal), Metric::kMs);
+  runner.run();
+  const double first_value = runner.value(first);
+
+  const std::size_t second = runner.request(
+      SweepPoint::square("tradeoff", 8, cfg, Setting::kIdeal), Metric::kMs);
+  runner.run();
+  EXPECT_EQ(runner.num_simulations(), 2u);
+  EXPECT_EQ(runner.value(first), first_value);
+  EXPECT_GT(runner.value(second), 0);
+}
+
+TEST(SweepRunner, WallTimesAreFiniteAndNonNegative) {
+  SweepRunner runner(4);
+  request_fig09(runner);
+  runner.run();
+  for (std::size_t sim = 0; sim < runner.num_simulations(); ++sim) {
+    EXPECT_TRUE(std::isfinite(runner.wall_ms(sim)));
+    EXPECT_GE(runner.wall_ms(sim), 0);
+  }
+  EXPECT_TRUE(std::isfinite(runner.total_wall_ms()));
+  EXPECT_GE(runner.total_wall_ms(), 0);
+  EXPECT_GE(runner.serial_wall_ms(), 0);
+}
+
+TEST(SweepRunner, RejectsNonPositiveJobs) {
+  EXPECT_THROW(SweepRunner(0), Error);
+  EXPECT_THROW(SweepRunner(-3), Error);
+}
+
+TEST(SweepRunner, ValueBeforeRunIsAnError) {
+  SweepRunner runner(1);
+  const std::size_t id = runner.request(
+      SweepPoint::square("shared-opt", 8, quadcore_q32(), Setting::kIdeal),
+      Metric::kMs);
+  EXPECT_THROW(runner.value(id), Error);
+  EXPECT_THROW(runner.value(id + 1), Error);
+}
+
+}  // namespace
+}  // namespace mcmm

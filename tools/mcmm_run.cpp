@@ -5,18 +5,29 @@
 //   $ mcmm_run --algorithm tradeoff --m 48 --n 48 --z 48 --setting lru50
 //   $ mcmm_run --algorithm distributed-opt --cs 245 --cd 6 --json
 //   $ mcmm_run --algorithm shared-opt --audit
+//   $ mcmm_run --algorithm tradeoff --orders 16,32,48 --jobs 4 --json
 //   $ mcmm_run --list
+//
+// With --orders (a comma-separated list of square orders) the tool switches
+// to sweep mode: the points run through the parallel sweep engine
+// (--jobs workers, bit-identical output for every worker count) and --json
+// emits the mcmm-bench-v1 report document instead of the single-run object.
 //
 // With --audit the invariant auditor (src/verify) rides along: cache
 // capacities, hierarchy inclusion, per-step write races and the Section 2.3
 // lower bounds are machine-checked, and violations fail the run (exit 1).
 #include <cstdio>
+#include <cstdlib>
 
 #include "alg/registry.hpp"
 #include "analysis/bounds.hpp"
+#include "exp/bench_report.hpp"
 #include "exp/experiment.hpp"
+#include "exp/figure_options.hpp"
+#include "exp/sweep_runner.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/table.hpp"
 #include "verify/invariant_auditor.hpp"
 
 using namespace mcmm;
@@ -29,6 +40,74 @@ Setting parse_setting(const std::string& s) {
   if (s == "lru") return Setting::kLruFull;
   if (s == "lru2x") return Setting::kLruDouble;
   throw Error("unknown setting: " + s + " (ideal|lru50|lru|lru2x)");
+}
+
+std::vector<std::int64_t> parse_orders(const std::string& list) {
+  std::vector<std::int64_t> orders;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    MCMM_REQUIRE(end != token.c_str() && *end == '\0' && v >= 1,
+                 "--orders: bad order '" + token +
+                     "' (expected a comma-separated list of integers >= 1)");
+    orders.push_back(v);
+    pos = comma + 1;
+  }
+  MCMM_REQUIRE(!orders.empty(), "--orders: empty list");
+  return orders;
+}
+
+int run_sweep(const std::string& algorithm,
+              const std::vector<std::int64_t>& orders,
+              const MachineConfig& cfg, Setting setting, int jobs, bool json) {
+  SweepRunner runner(jobs);
+  struct Row {
+    std::size_t ms, md, tdata;
+  };
+  std::vector<Row> rows;
+  for (const std::int64_t order : orders) {
+    const SweepPoint point = SweepPoint::square(algorithm, order, cfg, setting);
+    rows.push_back(Row{runner.request(point, Metric::kMs),
+                       runner.request(point, Metric::kMd),
+                       runner.request(point, Metric::kTdata)});
+  }
+  runner.run();
+
+  SeriesTable table("order");
+  const auto s_ms = table.add_series("MS");
+  const auto s_md = table.add_series("MD");
+  const auto s_tdata = table.add_series("Tdata");
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    const auto x = static_cast<double>(orders[i]);
+    table.set(s_ms, x, runner.value(rows[i].ms));
+    table.set(s_md, x, runner.value(rows[i].md));
+    table.set(s_tdata, x, runner.value(rows[i].tdata));
+  }
+
+  const std::string title = algorithm + " sweep | " + cfg.describe() + " | " +
+                            to_string(setting);
+  if (json) {
+    BenchReport report("mcmm_run");
+    report.add_table(title, table);
+    for (std::size_t sim = 0; sim < runner.num_simulations(); ++sim) {
+      const RunResult& res = runner.result(sim);
+      report.add_point(runner.simulation(sim), static_cast<double>(res.ms),
+                       static_cast<double>(res.md), res.tdata,
+                       runner.wall_ms(sim));
+    }
+    report.set_requests(runner.num_requests(), runner.cache_hits());
+    report.set_timing(runner.jobs(), runner.total_wall_ms(),
+                      runner.serial_wall_ms());
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("# %s\n", title.c_str());
+    table.print_pretty();
+  }
+  return 0;
 }
 
 }  // namespace
@@ -48,6 +127,9 @@ int main(int argc, char** argv) {
   cli.add_option("sigma-s", "memory->shared bandwidth", "1.0");
   cli.add_option("sigma-d", "shared->distributed bandwidth", "1.0");
   cli.add_option("setting", "ideal | lru50 | lru | lru2x", "lru50");
+  cli.add_option("orders", "comma-separated square orders: sweep mode", "");
+  cli.add_option("jobs", "sweep worker threads (0 = hardware concurrency)",
+                 "0");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.flag("list")) {
@@ -68,6 +150,16 @@ int main(int argc, char** argv) {
   const Problem prob{cli.integer("m"), cli.integer("n"), cli.integer("z")};
   const Setting setting = parse_setting(cli.str("setting"));
   const std::string algorithm = cli.str("algorithm");
+
+  if (cli.is_set("orders")) {
+    const std::int64_t jobs_raw = cli.integer("jobs");
+    MCMM_REQUIRE(!(cli.is_set("jobs") && jobs_raw < 1),
+                 "--jobs must be >= 1 (omit it for hardware concurrency)");
+    const int jobs =
+        jobs_raw >= 1 ? static_cast<int>(jobs_raw) : default_sweep_jobs();
+    return run_sweep(algorithm, parse_orders(cli.str("orders")), cfg, setting,
+                     jobs, cli.flag("json"));
+  }
 
   const bool audit = cli.flag("audit");
   AuditReport report;
