@@ -1,16 +1,45 @@
 // Timing benchmarks for the real-execution substrate: the sequential
 // kernels and the four multithreaded schedules on actual data (the paper's
 // future-work experiment, run on the host CPU).
+//
+// Tiling and worker count come from the host instead of hard-coded
+// "typical" sizes: by default the detected cache topology (src/hw), or a
+// calibrated mcmm-machine-v1 profile via `--machine FILE`
+// (tools/mcmm_calibrate), so the timed schedules run with the same
+// parameters the simulator predicts for this machine.  `--threads N`
+// overrides the worker count.  Both flags are stripped before
+// google-benchmark sees the command line; all --benchmark_* flags still
+// work.  Falls back to the paper's quad-core constants (4 cores, 8 MB
+// shared, 256 KB private, q=64) when detection finds nothing.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "gemm/kernel.hpp"
 #include "gemm/parallel_gemm.hpp"
+#include "hw/machine_profile.hpp"
+#include "hw/topology.hpp"
+#include "util/error.hpp"
 
 namespace {
 
 using namespace mcmm;
 
-Tiling host_tiling() { return tiling_for_host(4, 8 << 20, 256 << 10, 64); }
+/// Host parameters resolved once in main(), before any benchmark runs.
+struct HostSetup {
+  Tiling tiling = tiling_for_host(4, 8 << 20, 256 << 10, 64);
+  int threads = 4;
+  std::string source = "defaults (4 cores, 8 MB shared, 256 KB private)";
+};
+
+HostSetup& host_setup() {
+  static HostSetup setup;
+  return setup;
+}
+
+Tiling host_tiling() { return host_setup().tiling; }
 
 void BM_GemmReference(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -60,7 +89,7 @@ void run_parallel(benchmark::State& state, Fn fn) {
   Matrix a(n, n), b(n, n), c(n, n);
   a.fill_random(1);
   b.fill_random(2);
-  ThreadPool pool(4);
+  ThreadPool pool(host_setup().threads);
   const Tiling t = host_tiling();
   for (auto _ : state) {
     c.set_zero();
@@ -90,4 +119,75 @@ void BM_ParallelOuterProduct(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelOuterProduct)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
+/// Pull --machine FILE / --machine=FILE and --threads N out of argv (they
+/// are ours, not google-benchmark's) and resolve the host setup.
+void resolve_host_setup(int* argc, char** argv) {
+  HostSetup& setup = host_setup();
+  std::string machine_path;
+  bool threads_overridden = false;
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(*argc));
+  for (int i = 0; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto take_value = [&](const std::string& flag, std::string* out) {
+      if (arg == flag) {
+        MCMM_REQUIRE(i + 1 < *argc, flag + " needs a value");
+        *out = argv[++i];
+        return true;
+      }
+      if (arg.rfind(flag + "=", 0) == 0) {
+        *out = arg.substr(flag.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (take_value("--machine", &value)) {
+      machine_path = value;
+    } else if (take_value("--threads", &value)) {
+      setup.threads = static_cast<int>(std::stoll(value));
+      MCMM_REQUIRE(setup.threads >= 1, "--threads must be >= 1");
+      threads_overridden = true;
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  *argc = static_cast<int>(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
+
+  if (!machine_path.empty()) {
+    const MachineProfile profile = load_machine_profile(machine_path);
+    setup.tiling = profile.tiling();
+    if (!threads_overridden) setup.threads = profile.machine_config().p;
+    setup.source = "profile " + machine_path;
+    return;
+  }
+  const HostTopology topo = detect_host_topology();
+  if (topo.detected()) {
+    const int share = topo.l2_shared_by >= 1 ? topo.l2_shared_by : 1;
+    const int p = std::max(topo.logical_cpus / share, 1);
+    setup.tiling = tiling_for_host(p, topo.shared_cache_bytes(),
+                                   topo.private_cache_bytes(), 64);
+    if (!threads_overridden) setup.threads = p;
+    setup.source = "sysfs topology (" + topo.describe() + ")";
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  resolve_host_setup(&argc, argv);
+  const HostSetup& setup = host_setup();
+  std::printf("host setup: %s\n", setup.source.c_str());
+  std::printf("  threads=%d q=%lld lambda=%lld mu=%lld alpha=%lld beta=%lld\n",
+              setup.threads, static_cast<long long>(setup.tiling.q),
+              static_cast<long long>(setup.tiling.lambda),
+              static_cast<long long>(setup.tiling.mu),
+              static_cast<long long>(setup.tiling.alpha),
+              static_cast<long long>(setup.tiling.beta));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,272 @@
+// Extension: the simulator's predicted misses vs hardware counters.
+//
+// Closes the model-vs-measurement loop the paper defers to future work:
+// the four real schedules (src/gemm) run on actual matrices under a
+// perf_event counter session while the simulator predicts MS/MD for the
+// same machine geometry (from a calibrated mcmm-machine-v1 profile, or
+// topology detection when --machine is not given).  Hardware misses are
+// cache *lines*; the model counts q x q *blocks*, so measured counts are
+// normalised to q²-coefficient block equivalents
+//
+//   hw_blocks = lines * line_bytes / (8 q²)
+//
+// before they sit next to the predictions.  Mapping caveats (the LLC-miss
+// <-> MS and L1d-miss <-> MD proxies) are documented in
+// docs/calibration.md.
+//
+// Degrades gracefully: without counter access (or with --no-counters) the
+// hw columns are zero, the ratio summary says "unavailable", and the exit
+// code stays 0 — the predicted columns and timings are still emitted.
+//
+//   $ ext_model_vs_hw --machine machine.json --json BENCH_model_vs_hw.json
+//   $ ext_model_vs_hw --no-counters --max-order 8 --csv        # CI smoke
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "hw/machine_profile.hpp"
+#include "hw/perf_counters.hpp"
+#include "hw/topology.hpp"
+
+using namespace mcmm;
+
+namespace {
+
+using GemmFn = void (*)(Matrix&, const Matrix&, const Matrix&, const Tiling&,
+                        ThreadPool&);
+
+struct Schedule {
+  const char* name;  ///< registry name, shared by simulator and real run
+  GemmFn fn;
+};
+
+constexpr Schedule kSchedules[] = {
+    {"shared-opt", &parallel_gemm_shared_opt},
+    {"distributed-opt", &parallel_gemm_distributed_opt},
+    {"tradeoff", &parallel_gemm_tradeoff},
+    {"outer-product", &parallel_gemm_outer_product},
+};
+
+/// One measured execution, already block-normalised.
+struct HwRun {
+  bool available = false;
+  double ms_blocks = 0;   ///< LLC miss lines -> q² blocks
+  double md_blocks = 0;   ///< L1d read-miss lines -> q² blocks
+  double ipc = 0;
+  double wall_ms = 0;
+};
+
+Setting parse_setting(const std::string& s) {
+  if (s == "ideal") return Setting::kIdeal;
+  if (s == "lru50") return Setting::kLru50;
+  if (s == "lru") return Setting::kLruFull;
+  if (s == "lru2x") return Setting::kLruDouble;
+  throw Error("unknown setting: " + s + " (ideal|lru50|lru|lru2x)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV instead of aligned tables");
+  cli.add_flag("no-counters", "skip hardware counters (hw columns read 0)");
+  cli.add_option("machine", "mcmm-machine-v1 profile (mcmm_calibrate)", "");
+  cli.add_option("q", "block side in coefficients (0 = profile's q)", "0");
+  cli.add_option("min-order", "smallest matrix order in blocks", "8");
+  cli.add_option("max-order", "largest matrix order in blocks", "24");
+  cli.add_option("step", "sweep step in blocks", "8");
+  cli.add_option("threads", "real-run worker threads (0 = model's p)", "0");
+  cli.add_option("jobs", "simulation worker threads (0 = hw concurrency)",
+                 "0");
+  cli.add_option("setting", "simulator setting: ideal | lru50 | lru | lru2x",
+                 "lru50");
+  cli.add_option("json", "write the mcmm-bench-v1 report here", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  MachineProfile profile;
+  if (cli.is_set("machine")) {
+    profile = load_machine_profile(cli.str("machine"));
+  } else {
+    profile.topology = detect_host_topology();
+    profile.perf_event_paranoid = PerfCounterSession::perf_event_paranoid();
+  }
+  if (cli.integer("q") > 0) profile.q = cli.integer("q");
+  const std::int64_t q = profile.q;
+  const MachineConfig cfg = profile.machine_config();
+  const Tiling tiling = profile.tiling();
+  const Setting setting = parse_setting(cli.str("setting"));
+
+  FigureOptions opt;
+  opt.csv = cli.flag("csv");
+  opt.min_order = cli.integer("min-order");
+  opt.max_order = cli.integer("max-order");
+  opt.step = cli.integer("step");
+  MCMM_REQUIRE(opt.step >= 1, "--step must be >= 1");
+  MCMM_REQUIRE(opt.min_order >= 1 && opt.min_order <= opt.max_order,
+               "--min-order must be in [1, --max-order]");
+  const std::int64_t jobs = cli.integer("jobs");
+  MCMM_REQUIRE(!(cli.is_set("jobs") && jobs < 1),
+               "--jobs must be >= 1 (omit it for hardware concurrency)");
+  opt.jobs = jobs >= 1 ? static_cast<int>(jobs) : default_sweep_jobs();
+  opt.json_path = cli.str("json");
+  require_writable_report_path(opt.json_path);
+
+  const std::int64_t threads_raw = cli.integer("threads");
+  MCMM_REQUIRE(!(cli.is_set("threads") && threads_raw < 1),
+               "--threads must be >= 1 (omit it for the model's p)");
+  const int threads =
+      threads_raw >= 1 ? static_cast<int>(threads_raw) : cfg.p;
+
+  const std::vector<std::int64_t> orders =
+      order_sweep(opt.min_order, opt.max_order, opt.step);
+
+  // Counter session BEFORE the pool: `inherit` only reaches threads
+  // created after the events are open.
+  PerfCounterSession::Options copt;
+  copt.enabled = !cli.flag("no-counters");
+  PerfCounterSession session(copt);
+  ThreadPool pool(threads);
+
+  std::printf("# model vs hardware | %s | q=%lld | %s | threads=%d\n",
+              cfg.describe().c_str(), static_cast<long long>(q),
+              to_string(setting), threads);
+  std::printf("# counters: %s\n",
+              session.counters_available()
+                  ? "available"
+                  : ("unavailable — " + session.degradation_reason()).c_str());
+
+  // Lines-to-blocks normalisation: one q² block is q²*8 bytes of lines.
+  const double lines_per_block =
+      static_cast<double>(q) * static_cast<double>(q) * 8.0 /
+      static_cast<double>(profile.topology.line_bytes);
+
+  // --- Measured half: serial over (schedule, order), counters bracketed
+  // around each run; a warm-up execution first so page faults and cache
+  // warm-up do not land in the measured window.
+  std::map<std::pair<std::string, std::int64_t>, HwRun> hw;
+  for (const Schedule& sched : kSchedules) {
+    for (const std::int64_t order : orders) {
+      const std::int64_t n = order * q;
+      Matrix a(n, n);
+      Matrix b(n, n);
+      Matrix c(n, n);
+      a.fill_random(1);
+      b.fill_random(2);
+      sched.fn(c, a, b, tiling, pool);  // warm-up
+      c.set_zero();
+      const auto t0 = std::chrono::steady_clock::now();
+      session.begin();
+      sched.fn(c, a, b, tiling, pool);
+      const CounterSample d = session.end();
+      const auto t1 = std::chrono::steady_clock::now();
+      HwRun run;
+      run.available = d.available;
+      run.ms_blocks = static_cast<double>(d.llc_misses) / lines_per_block;
+      run.md_blocks = static_cast<double>(d.l1d_misses) / lines_per_block;
+      run.ipc = d.cycles > 0 ? static_cast<double>(d.instructions) /
+                                   static_cast<double>(d.cycles)
+                             : 0;
+      run.wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      hw[{sched.name, order}] = run;
+    }
+  }
+
+  // --- Predicted half: through the parallel sweep engine, landing in the
+  // same tables as the measured columns.
+  bench::BenchDriver driver("ext_model_vs_hw", opt);
+
+  struct TableRef {
+    SeriesTable* table = nullptr;
+    std::map<std::string, std::size_t> sim_series;
+  };
+  TableRef ms_ref;
+  TableRef md_ref;
+  {
+    SeriesTable& table = driver.table(
+        "MS: simulated vs measured (q^2-coefficient blocks), " +
+            cfg.describe() + ", q=" + std::to_string(q),
+        "order");
+    ms_ref.table = &table;
+    for (const Schedule& sched : kSchedules) {
+      const std::size_t s_sim =
+          table.add_series(std::string(sched.name) + ".MS.sim");
+      const std::size_t s_hw =
+          table.add_series(std::string(sched.name) + ".MS.hw");
+      ms_ref.sim_series[sched.name] = s_sim;
+      for (const std::int64_t order : orders) {
+        const auto x = static_cast<double>(order);
+        driver.cell(s_sim, x, sched.name, order, cfg, setting, Metric::kMs);
+        table.set(s_hw, x, hw[{sched.name, order}].ms_blocks);
+      }
+    }
+  }
+  {
+    SeriesTable& table = driver.table(
+        "MD: simulated vs measured (q^2-coefficient blocks, L1d proxy), " +
+            cfg.describe() + ", q=" + std::to_string(q),
+        "order");
+    md_ref.table = &table;
+    for (const Schedule& sched : kSchedules) {
+      const std::size_t s_sim =
+          table.add_series(std::string(sched.name) + ".MD.sim");
+      const std::size_t s_hw =
+          table.add_series(std::string(sched.name) + ".MD.hw");
+      md_ref.sim_series[sched.name] = s_sim;
+      for (const std::int64_t order : orders) {
+        const auto x = static_cast<double>(order);
+        driver.cell(s_sim, x, sched.name, order, cfg, setting, Metric::kMd);
+        table.set(s_hw, x, hw[{sched.name, order}].md_blocks);
+      }
+    }
+  }
+  {
+    SeriesTable& table =
+        driver.table("hardware detail: wall time and IPC per schedule",
+                     "order");
+    for (const Schedule& sched : kSchedules) {
+      const std::size_t s_wall =
+          table.add_series(std::string(sched.name) + ".wall_ms");
+      const std::size_t s_ipc =
+          table.add_series(std::string(sched.name) + ".ipc");
+      for (const std::int64_t order : orders) {
+        const auto x = static_cast<double>(order);
+        table.set(s_wall, x, hw[{sched.name, order}].wall_ms);
+        table.set(s_ipc, x, hw[{sched.name, order}].ipc);
+      }
+    }
+  }
+  driver.finish();
+
+  // --- Ratio summary: measured / predicted, aggregated over the sweep.
+  std::printf("\n# measured/predicted ratio (aggregated over orders %lld..%lld)\n",
+              static_cast<long long>(opt.min_order),
+              static_cast<long long>(opt.max_order));
+  for (const Schedule& sched : kSchedules) {
+    if (!session.counters_available()) {
+      std::printf("  %-18s MS n/a   MD n/a   (counters unavailable)\n",
+                  sched.name);
+      continue;
+    }
+    double sim_ms = 0;
+    double sim_md = 0;
+    double hw_ms = 0;
+    double hw_md = 0;
+    for (const std::int64_t order : orders) {
+      const auto x = static_cast<double>(order);
+      sim_ms += ms_ref.table->cell(ms_ref.sim_series[sched.name], x)
+                    .value_or(0);
+      sim_md += md_ref.table->cell(md_ref.sim_series[sched.name], x)
+                    .value_or(0);
+      hw_ms += hw[{sched.name, order}].ms_blocks;
+      hw_md += hw[{sched.name, order}].md_blocks;
+    }
+    std::printf("  %-18s MS %.3fx   MD %.3fx\n", sched.name,
+                sim_ms > 0 ? hw_ms / sim_ms : 0,
+                sim_md > 0 ? hw_md / sim_md : 0);
+  }
+  return 0;
+}

@@ -43,9 +43,16 @@ void block_op(Matrix& c, const Matrix& a, const Matrix& b, const BlockGrid& g,
 
 Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
                        std::int64_t private_cache_bytes, std::int64_t q) {
-  MCMM_REQUIRE(p >= 1 && q >= 1 && shared_cache_bytes > 0 &&
-                   private_cache_bytes > 0,
-               "tiling_for_host: bad arguments");
+  MCMM_REQUIRE(p >= 1, "tiling_for_host: core count p must be >= 1 (got " +
+                           std::to_string(p) + ")");
+  MCMM_REQUIRE(q >= 1, "tiling_for_host: block side q must be >= 1 (got " +
+                           std::to_string(q) + ")");
+  MCMM_REQUIRE(shared_cache_bytes > 0,
+               "tiling_for_host: shared cache size must be positive (got " +
+                   std::to_string(shared_cache_bytes) + " bytes)");
+  MCMM_REQUIRE(private_cache_bytes > 0,
+               "tiling_for_host: private cache size must be positive (got " +
+                   std::to_string(private_cache_bytes) + " bytes)");
   const std::int64_t block_bytes = q * q * 8;
   MachineConfig cfg;
   cfg.p = p;

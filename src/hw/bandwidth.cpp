@@ -1,0 +1,108 @@
+#include "hw/bandwidth.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+namespace {
+
+/// Optimization barrier: forces the accumulated checksum to be computed
+/// without pulling <benchmark> into the library.
+volatile double g_bandwidth_sink = 0;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace
+
+double BandwidthEstimate::sigma_ratio() const {
+  if (!measured || mem_gbs <= 0 || llc_gbs <= 0) return 0.5;
+  return mem_gbs / (mem_gbs + llc_gbs);
+}
+
+double stream_read_gbs(std::int64_t bytes, std::int64_t stride_bytes,
+                       int repeats, int passes) {
+  MCMM_REQUIRE(bytes >= 4096, "stream_read_gbs: buffer must be >= 4 KiB");
+  MCMM_REQUIRE(stride_bytes >= 8 && stride_bytes % 8 == 0,
+               "stream_read_gbs: stride must be a positive multiple of 8");
+  MCMM_REQUIRE(repeats >= 1 && passes >= 1,
+               "stream_read_gbs: repeats and passes must be >= 1");
+  const std::int64_t n = bytes / 8;
+  const std::int64_t stride = stride_bytes / 8;
+  std::vector<double> data(static_cast<std::size_t>(n), 1.0);
+
+  // Touched lines per pass; with one double read per line the transferred
+  // volume is the line-granular footprint, not 8 bytes per access.
+  const std::int64_t lines = (n + stride - 1) / stride;
+  const double bytes_per_pass =
+      static_cast<double>(lines) * static_cast<double>(stride_bytes);
+
+  double best_gbs = 0;
+  for (int rep = 0; rep < repeats + 1; ++rep) {  // +1: first pass warms up
+    double s0 = 0;
+    double s1 = 0;
+    double s2 = 0;
+    double s3 = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < passes; ++pass) {
+      std::int64_t i = 0;
+      for (; i + 3 * stride < n; i += 4 * stride) {
+        s0 += data[static_cast<std::size_t>(i)];
+        s1 += data[static_cast<std::size_t>(i + stride)];
+        s2 += data[static_cast<std::size_t>(i + 2 * stride)];
+        s3 += data[static_cast<std::size_t>(i + 3 * stride)];
+      }
+      for (; i < n; i += stride) {
+        s0 += data[static_cast<std::size_t>(i)];
+      }
+    }
+    const double secs = seconds_since(t0);
+    g_bandwidth_sink = g_bandwidth_sink + s0 + s1 + s2 + s3;
+    if (rep == 0) continue;  // discard the cold-cache warm-up repetition
+    if (secs > 0) {
+      const double gbs = static_cast<double>(passes) * bytes_per_pass /
+                         secs / 1e9;
+      best_gbs = std::max(best_gbs, gbs);
+    }
+  }
+  return best_gbs;
+}
+
+BandwidthEstimate measure_host_bandwidth(const HostTopology& topo,
+                                         const BandwidthOptions& opt) {
+  MCMM_REQUIRE(opt.repeats >= 1 && opt.passes >= 1,
+               "measure_host_bandwidth: repeats and passes must be >= 1");
+  const std::int64_t line = std::max<std::int64_t>(topo.line_bytes, 8);
+  const std::int64_t shared = std::max<std::int64_t>(
+      topo.shared_cache_bytes(), 1 << 20);
+  const std::int64_t priv = std::max<std::int64_t>(
+      topo.private_cache_bytes(), 32 << 10);
+
+  BandwidthEstimate est;
+  // DRAM stream: several LLCs, capped so the sweep stays seconds not
+  // minutes even on big-cache servers (quick mode halves everything).
+  const std::int64_t mem_cap = opt.quick ? (64LL << 20) : (256LL << 20);
+  est.mem_buffer_bytes =
+      std::min<std::int64_t>(mem_cap, shared * (opt.quick ? 2 : 4));
+  // LLC stream: inside the shared cache, outside the private one.  Half
+  // the LLC leaves room for the threads' other state; floor at 2x the
+  // private cache so the stream cannot be served privately.
+  est.llc_buffer_bytes = std::max<std::int64_t>(shared / 2, 2 * priv);
+  est.llc_buffer_bytes = std::min(est.llc_buffer_bytes, shared);
+
+  const int repeats = opt.quick ? std::min(opt.repeats, 2) : opt.repeats;
+  est.mem_gbs = stream_read_gbs(est.mem_buffer_bytes, line, repeats,
+                                opt.quick ? 1 : opt.passes);
+  est.llc_gbs = stream_read_gbs(est.llc_buffer_bytes, line, repeats,
+                                opt.passes * (opt.quick ? 2 : 4));
+  est.measured = est.mem_gbs > 0 && est.llc_gbs > 0;
+  return est;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,58 @@
+// Streaming-bandwidth microbenchmarks: the sigma_S / sigma_D half of the
+// machine profile.
+//
+// The model's two bandwidths are the rates blocks move memory -> shared
+// cache (sigma_S) and shared cache -> core (sigma_D).  Both are estimated
+// with the same line-strided streaming read sweep at two working-set
+// sizes picked off the detected topology:
+//
+//   * sigma_S: a buffer several times the LLC, so every access streams
+//     from DRAM through the shared cache;
+//   * sigma_D: a buffer that fits comfortably in the LLC but overflows
+//     the private per-core cache, so accesses stream LLC -> core.
+//
+// Reads touch one double per cache line (the fetch, not the ALU, is the
+// bottleneck being measured) with four independent accumulators for ILP,
+// and each measurement is best-of-`repeats` to shrug off scheduling noise.
+// Only the *ratio* of the two rates enters the model (the paper's
+// r = sigma_S / (sigma_S + sigma_D)); the absolute GB/s are kept for the
+// profile document and human sanity checks.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/topology.hpp"
+
+namespace mcmm {
+
+struct BandwidthOptions {
+  int repeats = 5;       ///< best-of repetitions per working-set size
+  int passes = 4;        ///< sweeps over the buffer per repetition
+  bool quick = false;    ///< CI smoke: smaller buffers, fewer repeats
+};
+
+struct BandwidthEstimate {
+  bool measured = false;
+  double mem_gbs = 0;                 ///< DRAM -> LLC streaming rate
+  double llc_gbs = 0;                 ///< LLC -> core streaming rate
+  std::int64_t mem_buffer_bytes = 0;  ///< working set used for mem_gbs
+  std::int64_t llc_buffer_bytes = 0;  ///< working set used for llc_gbs
+
+  /// The paper's bandwidth ratio r = sigma_S / (sigma_S + sigma_D),
+  /// estimated as mem/(mem+llc); 0.5 (symmetric bandwidths) when the
+  /// sweep has not run or degenerated.
+  double sigma_ratio() const;
+};
+
+/// One strided streaming-read measurement: best-of-`repeats` GB/s reading
+/// `bytes` of doubles touching one element per `stride_bytes`.  Exposed
+/// for tests; `measure_host_bandwidth` composes it.
+double stream_read_gbs(std::int64_t bytes, std::int64_t stride_bytes,
+                       int repeats, int passes);
+
+/// The two-point sweep sized off `topo`.  Pure computation + clock; no
+/// privileges needed.  Throws mcmm::Error only on nonsensical options.
+BandwidthEstimate measure_host_bandwidth(const HostTopology& topo,
+                                         const BandwidthOptions& opt = {});
+
+}  // namespace mcmm

@@ -1,0 +1,226 @@
+#include "hw/machine_profile.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mcmm {
+
+namespace {
+
+const JsonValue& member(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  MCMM_REQUIRE(v != nullptr, "machine profile: missing field '" + key + "'");
+  return *v;
+}
+
+std::int64_t as_int(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  MCMM_REQUIRE(v.type == JsonValue::Type::kNumber,
+               "machine profile: field '" + key + "' must be a number");
+  return static_cast<std::int64_t>(v.number);
+}
+
+double as_double(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  MCMM_REQUIRE(v.type == JsonValue::Type::kNumber,
+               "machine profile: field '" + key + "' must be a number");
+  return v.number;
+}
+
+bool as_bool(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  MCMM_REQUIRE(v.type == JsonValue::Type::kBool,
+               "machine profile: field '" + key + "' must be a boolean");
+  return v.boolean;
+}
+
+std::string as_string(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  MCMM_REQUIRE(v.type == JsonValue::Type::kString,
+               "machine profile: field '" + key + "' must be a string");
+  return v.string;
+}
+
+std::int64_t declared_bytes(std::int64_t physical, double fraction) {
+  return static_cast<std::int64_t>(
+      std::floor(static_cast<double>(physical) * fraction));
+}
+
+}  // namespace
+
+MachineConfig MachineProfile::machine_config() const {
+  MCMM_REQUIRE(q >= 1, "MachineProfile: q must be >= 1");
+  MCMM_REQUIRE(data_fraction > 0 && data_fraction <= 1,
+               "MachineProfile: data_fraction in (0, 1]");
+  // One model "core" per private-cache domain: SMT siblings (and E-core
+  // clusters) sharing one L2 count once, matching the p caches of Fig. 1.
+  const int share = topology.l2_shared_by >= 1 ? topology.l2_shared_by : 1;
+  const int p = topology.logical_cpus >= share
+                    ? topology.logical_cpus / share
+                    : 1;
+  const std::int64_t block_bytes = q * q * 8;
+  MachineConfig cfg;
+  cfg.p = p >= 1 ? p : 1;
+  // Like MachineConfig::realistic_quadcore, data_fraction derates only the
+  // *private* caches (code and stack compete there); the LRU-50 halving is
+  // a separate knob applied by the experiment Setting, not baked in here.
+  cfg.cs = std::max<std::int64_t>(
+      topology.shared_cache_bytes() / block_bytes, 3);
+  cfg.cd = std::max<std::int64_t>(
+      declared_bytes(topology.private_cache_bytes(), data_fraction) /
+          block_bytes,
+      3);
+  cfg.cs = std::max(cfg.cs, static_cast<std::int64_t>(cfg.p) * cfg.cd);
+  return cfg.with_bandwidth_ratio(bandwidth.sigma_ratio());
+}
+
+Tiling MachineProfile::tiling() const {
+  const MachineConfig cfg = machine_config();
+  return tiling_for_host(
+      cfg.p, topology.shared_cache_bytes(),
+      declared_bytes(topology.private_cache_bytes(), data_fraction), q);
+}
+
+std::string MachineProfile::describe() const {
+  const MachineConfig cfg = machine_config();
+  std::ostringstream out;
+  out << topology.describe() << "\n";
+  if (bandwidth.measured) {
+    out << "bandwidth: mem " << bandwidth.mem_gbs << " GB/s, llc "
+        << bandwidth.llc_gbs << " GB/s (r=" << bandwidth.sigma_ratio()
+        << ")\n";
+  } else {
+    out << "bandwidth: not measured (symmetric sigma assumed)\n";
+  }
+  out << "counters: "
+      << (counters_available ? "available" : "unavailable") << "\n";
+  out << "model (q=" << q << ", fraction=" << data_fraction
+      << "): " << cfg.describe();
+  return out.str();
+}
+
+std::string machine_profile_to_json(const MachineProfile& profile) {
+  const MachineConfig cfg = profile.machine_config();
+  const Tiling t = profile.tiling();
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", MachineProfile::kSchema)
+      .key("topology")
+      .begin_object()
+      .kv("source", profile.topology.source)
+      .kv("logical_cpus", profile.topology.logical_cpus)
+      .kv("line_bytes", profile.topology.line_bytes)
+      .kv("l1d_bytes", profile.topology.l1d_bytes)
+      .kv("l2_bytes", profile.topology.l2_bytes)
+      .kv("l2_shared_by", profile.topology.l2_shared_by)
+      .kv("l3_bytes", profile.topology.l3_bytes)
+      .kv("l3_shared_by", profile.topology.l3_shared_by)
+      .end_object()
+      .key("bandwidth")
+      .begin_object()
+      .kv("measured", profile.bandwidth.measured)
+      .kv("mem_gbs", profile.bandwidth.mem_gbs)
+      .kv("llc_gbs", profile.bandwidth.llc_gbs)
+      .kv("mem_buffer_bytes", profile.bandwidth.mem_buffer_bytes)
+      .kv("llc_buffer_bytes", profile.bandwidth.llc_buffer_bytes)
+      .kv("sigma_ratio", profile.bandwidth.sigma_ratio())
+      .end_object()
+      .key("counters")
+      .begin_object()
+      .kv("available", profile.counters_available)
+      .kv("perf_event_paranoid", profile.perf_event_paranoid)
+      .end_object()
+      .key("model")
+      .begin_object()
+      .kv("q", profile.q)
+      .kv("data_fraction", profile.data_fraction)
+      .kv("p", cfg.p)
+      .kv("cs", cfg.cs)
+      .kv("cd", cfg.cd)
+      .kv("sigma_s", cfg.sigma_s)
+      .kv("sigma_d", cfg.sigma_d)
+      .end_object()
+      .key("tiling")
+      .begin_object()
+      .kv("q", t.q)
+      .kv("lambda", t.lambda)
+      .kv("mu", t.mu)
+      .kv("alpha", t.alpha)
+      .kv("beta", t.beta)
+      .end_object()
+      .end_object();
+  return w.str();
+}
+
+MachineProfile machine_profile_from_json(const std::string& text) {
+  const JsonValue root = json_parse(text);
+  MCMM_REQUIRE(root.type == JsonValue::Type::kObject,
+               "machine profile: document must be a JSON object");
+  const std::string schema = as_string(root, "schema");
+  MCMM_REQUIRE(schema == MachineProfile::kSchema,
+               "machine profile: unsupported schema '" + schema +
+                   "' (expected " + std::string(MachineProfile::kSchema) +
+                   ")");
+  MachineProfile profile;
+
+  const JsonValue& topo = member(root, "topology");
+  profile.topology.source = as_string(topo, "source");
+  profile.topology.logical_cpus =
+      static_cast<int>(as_int(topo, "logical_cpus"));
+  profile.topology.line_bytes = as_int(topo, "line_bytes");
+  profile.topology.l1d_bytes = as_int(topo, "l1d_bytes");
+  profile.topology.l2_bytes = as_int(topo, "l2_bytes");
+  profile.topology.l2_shared_by =
+      static_cast<int>(as_int(topo, "l2_shared_by"));
+  profile.topology.l3_bytes = as_int(topo, "l3_bytes");
+  profile.topology.l3_shared_by =
+      static_cast<int>(as_int(topo, "l3_shared_by"));
+  MCMM_REQUIRE(profile.topology.logical_cpus >= 1,
+               "machine profile: logical_cpus must be >= 1");
+
+  const JsonValue& bw = member(root, "bandwidth");
+  profile.bandwidth.measured = as_bool(bw, "measured");
+  profile.bandwidth.mem_gbs = as_double(bw, "mem_gbs");
+  profile.bandwidth.llc_gbs = as_double(bw, "llc_gbs");
+  profile.bandwidth.mem_buffer_bytes = as_int(bw, "mem_buffer_bytes");
+  profile.bandwidth.llc_buffer_bytes = as_int(bw, "llc_buffer_bytes");
+
+  const JsonValue& counters = member(root, "counters");
+  profile.counters_available = as_bool(counters, "available");
+  profile.perf_event_paranoid =
+      static_cast<int>(as_int(counters, "perf_event_paranoid"));
+
+  const JsonValue& model = member(root, "model");
+  profile.q = as_int(model, "q");
+  profile.data_fraction = as_double(model, "data_fraction");
+  MCMM_REQUIRE(profile.q >= 1, "machine profile: q must be >= 1");
+  MCMM_REQUIRE(profile.data_fraction > 0 && profile.data_fraction <= 1,
+               "machine profile: data_fraction must be in (0, 1]");
+  // "p"/"cs"/"cd"/"sigma_*" and "tiling" are derived on write; recomputing
+  // them here (instead of trusting the file) keeps the document internally
+  // consistent and the round trip byte-stable.
+  return profile;
+}
+
+MachineProfile load_machine_profile(const std::string& path) {
+  std::ifstream in(path);
+  MCMM_REQUIRE(in.is_open(), "cannot open machine profile: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return machine_profile_from_json(text.str());
+}
+
+void save_machine_profile(const MachineProfile& profile,
+                          const std::string& path) {
+  std::ofstream out(path);
+  MCMM_REQUIRE(out.is_open(),
+               "cannot open machine profile for writing: " + path);
+  out << machine_profile_to_json(profile) << "\n";
+  MCMM_REQUIRE(out.good(), "failed writing machine profile: " + path);
+}
+
+}  // namespace mcmm

@@ -1,0 +1,68 @@
+// The machine profile: one JSON document (`mcmm-machine-v1`) tying the
+// calibration subsystem together.
+//
+// A profile records what was *measured* — topology (src/hw/topology),
+// bandwidths (src/hw/bandwidth), counter availability (src/hw/
+// perf_counters) — plus the two modelling choices (block side q and the
+// declared data fraction), and *derives* from them the simulator's
+// MachineConfig and the real schedules' Tiling.  `tools/mcmm_calibrate`
+// produces the document; `mcmm_run --machine`, `bench_gemm --machine` and
+// `ext_model_vs_hw --machine` consume it, so simulated and real runs
+// share one ground truth for the host.
+//
+// The document round-trips byte-for-byte through util/json's
+// order-preserving parser (tests/test_hw_topology.cpp locks this in):
+// derived fields are pure functions of the measured ones, and every
+// number is formatted by the same writer on both paths.
+#pragma once
+
+#include <string>
+
+#include "gemm/parallel_gemm.hpp"
+#include "hw/bandwidth.hpp"
+#include "hw/topology.hpp"
+#include "sim/machine_config.hpp"
+
+namespace mcmm {
+
+struct MachineProfile {
+  static constexpr const char* kSchema = "mcmm-machine-v1";
+
+  HostTopology topology;
+  BandwidthEstimate bandwidth;      ///< measured=false when the sweep was skipped
+  bool counters_available = false;
+  int perf_event_paranoid = -100;   ///< PerfCounterSession::kUnknownParanoid
+
+  std::int64_t q = 32;              ///< block side the derivation uses
+  /// Fraction of each *private* cache available to block data (the paper's
+  /// Section 4.1 knob: 2/3 optimistic, 1/2 pessimistic); the shared cache
+  /// is taken whole, and the LRU-50 halving stays with the Setting.
+  double data_fraction = 2.0 / 3.0;
+
+  /// The simulator machine this host corresponds to: p = number of
+  /// private-cache domains, CS from the whole shared cache, CD from the
+  /// data fraction of the private cache (in q x q blocks,
+  /// inclusivity-clamped), bandwidths from the measured sigma ratio
+  /// (symmetric when unmeasured).
+  MachineConfig machine_config() const;
+
+  /// Tile parameters for the real schedules, via tiling_for_host on the
+  /// declared cache sizes.
+  Tiling tiling() const;
+
+  std::string describe() const;
+};
+
+/// Serialize with fixed key order (see docs/calibration.md for the schema).
+std::string machine_profile_to_json(const MachineProfile& profile);
+
+/// Parse and validate; throws mcmm::Error on malformed JSON, a missing or
+/// foreign "schema", or out-of-range fields.
+MachineProfile machine_profile_from_json(const std::string& text);
+
+/// File convenience wrappers (throw mcmm::Error on I/O failure).
+MachineProfile load_machine_profile(const std::string& path);
+void save_machine_profile(const MachineProfile& profile,
+                          const std::string& path);
+
+}  // namespace mcmm

@@ -1,0 +1,184 @@
+#include "hw/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define MCMM_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define MCMM_HAVE_PERF_EVENT 0
+#endif
+
+namespace mcmm {
+
+CounterSample CounterSample::delta(const CounterSample& begin,
+                                   const CounterSample& end) {
+  CounterSample d;
+  d.available = begin.available && end.available;
+  d.cycles = end.cycles - begin.cycles;
+  d.instructions = end.instructions - begin.instructions;
+  d.llc_misses = end.llc_misses - begin.llc_misses;
+  d.llc_references = end.llc_references - begin.llc_references;
+  d.l1d_misses = end.l1d_misses - begin.l1d_misses;
+  d.scale = end.scale;
+  return d;
+}
+
+#if MCMM_HAVE_PERF_EVENT
+
+namespace {
+
+/// The five events, in fds_ order.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::uint64_t hw_cache_config(std::uint64_t cache, std::uint64_t op,
+                                        std::uint64_t result) {
+  return cache | (op << 8U) | (result << 16U);
+}
+
+const EventSpec kEventSpecs[PerfCounterSession::kEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HW_CACHE,
+     hw_cache_config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // Counting starts at construction: `inherit` extends the count to worker
+  // threads spawned later, but only enable/disable-at-open is reliable with
+  // it (ioctl ENABLE does not reach inherited copies on older kernels), so
+  // callers measure deltas instead of start/stop.
+  attr.disabled = 0;
+  attr.inherit = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// Read one event, multiplex-scaled; returns false when the fd is closed
+/// or the read fails (value left at 0).
+bool read_scaled(int fd, std::int64_t* value, double* running_fraction) {
+  *value = 0;
+  *running_fraction = 1.0;
+  if (fd < 0) return false;
+  struct Reading {
+    std::uint64_t value;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+  } r{};
+  if (read(fd, &r, sizeof(r)) != static_cast<ssize_t>(sizeof(r))) {
+    return false;
+  }
+  if (r.time_running == 0) return true;  // never scheduled: honest zero
+  const double scale = static_cast<double>(r.time_enabled) /
+                       static_cast<double>(r.time_running);
+  *value = static_cast<std::int64_t>(static_cast<double>(r.value) * scale);
+  *running_fraction = static_cast<double>(r.time_running) /
+                      static_cast<double>(r.time_enabled);
+  return true;
+}
+
+}  // namespace
+
+PerfCounterSession::PerfCounterSession(Options opt) {
+  if (!opt.enabled) {
+    reason_ = "counters disabled by caller";
+    return;
+  }
+  if (opt.simulate_denied) {
+    reason_ = "perf_event_open: Permission denied (simulated)";
+    return;
+  }
+  // The cycles leader decides availability; secondary events that fail
+  // (e.g. no generic LLC event on this PMU) just read as zero.
+  for (int i = 0; i < kEvents; ++i) {
+    fds_[i] = open_event(kEventSpecs[i]);
+    if (i == 0 && fds_[0] < 0) {
+      const int err = errno;
+      reason_ = std::string("perf_event_open: ") + std::strerror(err);
+      if (err == EPERM || err == EACCES) {
+        reason_ += " (kernel.perf_event_paranoid=" +
+                   std::to_string(perf_event_paranoid()) +
+                   "; need <= 2, or CAP_PERFMON)";
+      }
+      return;
+    }
+  }
+  available_ = true;
+}
+
+PerfCounterSession::~PerfCounterSession() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+CounterSample PerfCounterSession::sample() const {
+  CounterSample s;
+  if (!available_) return s;
+  s.available = true;
+  std::int64_t* const slots[kEvents] = {&s.cycles, &s.instructions,
+                                        &s.llc_misses, &s.llc_references,
+                                        &s.l1d_misses};
+  for (int i = 0; i < kEvents; ++i) {
+    double fraction = 1.0;
+    read_scaled(fds_[i], slots[i], &fraction);
+    if (fraction < s.scale) s.scale = fraction;
+  }
+  return s;
+}
+
+int PerfCounterSession::perf_event_paranoid() {
+  std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
+  int level = kUnknownParanoid;
+  if (in.is_open()) in >> level;
+  return in.fail() ? kUnknownParanoid : level;
+}
+
+bool PerfCounterSession::platform_supported() { return true; }
+
+#else  // !MCMM_HAVE_PERF_EVENT
+
+PerfCounterSession::PerfCounterSession(Options opt) {
+  reason_ = opt.enabled ? "perf_event_open not available on this platform"
+                        : "counters disabled by caller";
+  if (opt.simulate_denied) {
+    reason_ = "perf_event_open: Permission denied (simulated)";
+  }
+}
+
+PerfCounterSession::~PerfCounterSession() = default;
+
+CounterSample PerfCounterSession::sample() const { return CounterSample{}; }
+
+int PerfCounterSession::perf_event_paranoid() { return kUnknownParanoid; }
+
+bool PerfCounterSession::platform_supported() { return false; }
+
+#endif  // MCMM_HAVE_PERF_EVENT
+
+void PerfCounterSession::begin() { begin_ = sample(); }
+
+CounterSample PerfCounterSession::end() {
+  return CounterSample::delta(begin_, sample());
+}
+
+}  // namespace mcmm

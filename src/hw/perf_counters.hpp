@@ -1,0 +1,102 @@
+// Hardware performance counters for the model-vs-measurement experiments.
+//
+// PerfCounterSession wraps `perf_event_open(2)` around the small set of
+// events the paper's model speaks about:
+//
+//   * LLC misses / references  — the shared-cache side (MS is the model's
+//     count of q x q blocks loaded into the shared cache);
+//   * L1d read misses          — the closest portable proxy for traffic
+//     into the private per-core caches (the model's MD); true per-core-L2
+//     misses need uncore/raw events that are not portable across vendors;
+//   * cycles and instructions  — sanity and IPC context.
+//
+// Counters are opened per-process with `inherit`, so worker threads
+// *created after the session* are counted too — create the session, then
+// the ThreadPool, then measure deltas around each run.  `inherit` is
+// incompatible with PERF_FORMAT_GROUP reads, so each event is a separate
+// fd read individually; TIME_ENABLED/TIME_RUNNING are recorded per event
+// and the multiplexing scale is reported with each sample.
+//
+// Graceful degradation is a hard requirement: on EPERM/EACCES (a
+// kernel.perf_event_paranoid level that forbids unprivileged counting),
+// ENOSYS/ENOENT (no PMU, seccomp), or any non-Linux platform, the session
+// constructs fine, `counters_available()` is false, and every read returns
+// zeros flagged `available=false` — callers never need privilege to run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcmm {
+
+/// One snapshot (or delta) of the counter set.  `available == false` means
+/// the values are meaningless zeros (no counters on this host / session).
+struct CounterSample {
+  bool available = false;
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  std::int64_t llc_misses = 0;
+  std::int64_t llc_references = 0;
+  std::int64_t l1d_misses = 0;
+  /// Fraction of wall time the events were actually on a PMU (1.0 = no
+  /// multiplexing); values are already scaled by 1/scale when < 1.
+  double scale = 1.0;
+
+  /// Component-wise difference end - begin (available iff both are).
+  static CounterSample delta(const CounterSample& begin,
+                             const CounterSample& end);
+};
+
+class PerfCounterSession {
+public:
+  struct Options {
+    bool enabled = true;            ///< false: forced-degraded (--no-counters)
+    bool simulate_denied = false;   ///< tests: behave as if EPERM'd
+  };
+
+  /// Opens the event set immediately (counting from construction, so child
+  /// threads created afterwards inherit the events).  Never throws on
+  /// missing permissions or platform support — check counters_available().
+  explicit PerfCounterSession(Options opt);
+  PerfCounterSession() : PerfCounterSession(Options{}) {}
+  ~PerfCounterSession();
+
+  PerfCounterSession(const PerfCounterSession&) = delete;
+  PerfCounterSession& operator=(const PerfCounterSession&) = delete;
+
+  /// True when at least the cycles leader opened; individual unsupported
+  /// events read as zero.
+  bool counters_available() const { return available_; }
+
+  /// Why the session is degraded ("" when available): e.g.
+  /// "perf_event_open: Permission denied (kernel.perf_event_paranoid=4?)".
+  const std::string& degradation_reason() const { return reason_; }
+
+  /// Cumulative counts since construction (zeros when degraded).
+  CounterSample sample() const;
+
+  /// Convenience bracket: begin() snapshots, end() returns the delta since
+  /// the matching begin().
+  void begin();
+  CounterSample end();
+
+  /// The host's kernel.perf_event_paranoid level, or `unknown_paranoid`
+  /// when unreadable (non-Linux, masked /proc).
+  static constexpr int kUnknownParanoid = -100;
+  static int perf_event_paranoid();
+
+  /// True when the binary was built with perf_event support compiled in.
+  static bool platform_supported();
+
+  /// Number of events in the set (cycles, instructions, LLC misses/refs,
+  /// L1d read misses).
+  static constexpr int kEvents = 5;
+
+private:
+  int fds_[kEvents] = {-1, -1, -1, -1, -1};
+  bool available_ = false;
+  std::string reason_;
+  CounterSample begin_;
+};
+
+}  // namespace mcmm

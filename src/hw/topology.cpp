@@ -1,0 +1,227 @@
+#include "hw/topology.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+namespace {
+
+/// First line of a small sysfs file, stripped of trailing whitespace;
+/// nullopt-style: returns false when the file is absent or unreadable.
+bool read_line(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  while (!line.empty() &&
+         (line.back() == '\n' || line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  *out = line;
+  return true;
+}
+
+/// One (level, kind) cache entry aggregated across all CPUs: the largest
+/// instance size and the widest sharing degree seen (hybrid parts report
+/// different masks per cluster; the widest is the capacity-pressure case).
+struct LevelInfo {
+  std::int64_t size_bytes = 0;
+  int shared_by = 0;
+  bool seen = false;
+  void merge(std::int64_t size, int shared) {
+    if (size > size_bytes) size_bytes = size;
+    if (shared > shared_by) shared_by = shared;
+    seen = true;
+  }
+};
+
+int sharing_degree(const std::filesystem::path& index_dir) {
+  std::string text;
+  if (read_line(index_dir / "shared_cpu_list", &text) && !text.empty()) {
+    return count_cpu_list(text);
+  }
+  if (read_line(index_dir / "shared_cpu_map", &text) && !text.empty()) {
+    return count_cpu_mask(text);
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::int64_t parse_cache_size(const std::string& text) {
+  MCMM_REQUIRE(!text.empty(), "parse_cache_size: empty size string");
+  std::size_t pos = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(text, &pos, 10);
+  } catch (const std::exception&) {
+    throw Error("mcmm: parse_cache_size: bad size string '" + text + "'");
+  }
+  MCMM_REQUIRE(pos > 0 && value >= 0,
+               "parse_cache_size: bad size string '" + text + "'");
+  std::int64_t bytes = value;
+  if (pos < text.size()) {
+    MCMM_REQUIRE(pos + 1 == text.size(),
+                 "parse_cache_size: trailing garbage in '" + text + "'");
+    switch (text[pos]) {
+      case 'K': case 'k': bytes = value * (std::int64_t{1} << 10); break;
+      case 'M': case 'm': bytes = value * (std::int64_t{1} << 20); break;
+      case 'G': case 'g': bytes = value * (std::int64_t{1} << 30); break;
+      default:
+        throw Error("mcmm: parse_cache_size: unknown unit suffix in '" +
+                    text + "'");
+    }
+  }
+  return bytes;
+}
+
+int count_cpu_list(const std::string& list) {
+  int count = 0;
+  std::size_t pos = 0;
+  try {
+    while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+      const std::string token = list.substr(pos, comma - pos);
+      const std::size_t dash = token.find('-');
+      std::size_t used = 0;
+      if (dash == std::string::npos) {
+        const long long cpu = std::stoll(token, &used, 10);
+        MCMM_REQUIRE(used == token.size() && cpu >= 0,
+                     "count_cpu_list: bad token '" + token + "'");
+        ++count;
+      } else {
+        const long long lo = std::stoll(token.substr(0, dash), &used, 10);
+        MCMM_REQUIRE(used == dash && lo >= 0,
+                     "count_cpu_list: bad range '" + token + "'");
+        const long long hi = std::stoll(token.substr(dash + 1), &used, 10);
+        MCMM_REQUIRE(used == token.size() - dash - 1 && hi >= lo,
+                     "count_cpu_list: bad range '" + token + "'");
+        count += static_cast<int>(hi - lo + 1);
+      }
+      pos = comma + 1;
+    }
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("mcmm: count_cpu_list: bad list '" + list + "'");
+  }
+  MCMM_REQUIRE(count > 0, "count_cpu_list: empty list");
+  return count;
+}
+
+int count_cpu_mask(const std::string& mask) {
+  int count = 0;
+  bool any_digit = false;
+  for (const char c : mask) {
+    if (c == ',') continue;
+    int nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      throw Error("mcmm: count_cpu_mask: bad hex mask '" + mask + "'");
+    }
+    any_digit = true;
+    while (nibble != 0) {
+      count += nibble & 1;
+      nibble >>= 1;
+    }
+  }
+  MCMM_REQUIRE(any_digit, "count_cpu_mask: empty mask");
+  return count;
+}
+
+HostTopology fallback_topology() {
+  HostTopology topo;
+  const unsigned hw = std::thread::hardware_concurrency();
+  topo.logical_cpus = hw >= 1 ? static_cast<int>(hw) : 1;
+  topo.l3_shared_by = topo.logical_cpus;
+  topo.source = "fallback";
+  return topo;
+}
+
+HostTopology detect_host_topology(const std::string& sysfs_cpu_root) {
+  namespace fs = std::filesystem;
+  HostTopology topo = fallback_topology();
+
+  std::error_code ec;
+  int cpus = 0;
+  while (fs::exists(fs::path(sysfs_cpu_root) / ("cpu" + std::to_string(cpus)),
+                    ec) &&
+         cpus < 1 << 14) {
+    ++cpus;
+  }
+  if (cpus == 0) return topo;
+  topo.logical_cpus = cpus;
+  topo.l3_shared_by = cpus;
+
+  LevelInfo l1d;
+  LevelInfo l2;
+  LevelInfo l3;
+  std::int64_t line_bytes = 0;
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    const fs::path cache_dir =
+        fs::path(sysfs_cpu_root) / ("cpu" + std::to_string(cpu)) / "cache";
+    for (int index = 0; index < 32; ++index) {
+      const fs::path dir = cache_dir / ("index" + std::to_string(index));
+      if (!fs::exists(dir, ec)) break;
+      // A malformed entry (truncated fixture, exotic driver) skips that
+      // index only; whatever else parses still informs the profile.
+      try {
+        std::string text;
+        if (!read_line(dir / "level", &text)) continue;
+        const int level = static_cast<int>(std::stoll(text));
+        if (!read_line(dir / "type", &text)) continue;
+        if (text == "Instruction") continue;
+        const bool data_or_unified = text == "Data" || text == "Unified";
+        if (!data_or_unified) continue;
+        if (!read_line(dir / "size", &text)) continue;
+        const std::int64_t size = parse_cache_size(text);
+        const int shared = sharing_degree(dir);
+        if (read_line(dir / "coherency_line_size", &text)) {
+          const std::int64_t line = std::stoll(text);
+          if (line > line_bytes) line_bytes = line;
+        }
+        if (level == 1) {
+          l1d.merge(size, shared);
+        } else if (level == 2) {
+          l2.merge(size, shared);
+        } else if (level == 3) {
+          l3.merge(size, shared);
+        }
+      } catch (const std::exception&) {
+        continue;
+      }
+    }
+  }
+
+  if (!l1d.seen && !l2.seen && !l3.seen) return topo;  // cpu dirs, no caches
+  topo.source = "sysfs";
+  if (line_bytes > 0) topo.line_bytes = line_bytes;
+  topo.l1d_bytes = l1d.seen ? l1d.size_bytes : 0;
+  topo.l2_bytes = l2.seen ? l2.size_bytes : 0;
+  topo.l3_bytes = l3.seen ? l3.size_bytes : 0;
+  topo.l2_shared_by = l2.seen ? l2.shared_by : 1;
+  topo.l3_shared_by = l3.seen ? l3.shared_by : topo.logical_cpus;
+  return topo;
+}
+
+std::string HostTopology::describe() const {
+  std::ostringstream out;
+  out << logical_cpus << " cpus, L1d " << (l1d_bytes >> 10) << " KiB, L2 "
+      << (l2_bytes >> 10) << " KiB x" << l2_shared_by << ", L3 "
+      << (l3_bytes >> 10) << " KiB x" << l3_shared_by << ", line "
+      << line_bytes << " B (" << source << ")";
+  return out.str();
+}
+
+}  // namespace mcmm

@@ -1,0 +1,79 @@
+// Host cache-hierarchy detection for the calibration subsystem.
+//
+// The paper's machine model is parameterised by (p, CS, CD, sigma_S,
+// sigma_D); everything downstream of `src/hw` derives those numbers from
+// the *actual* host instead of the hard-coded "typical quad-core".  This
+// module answers the topology half: core count, private (per-core) and
+// shared (last-level) cache sizes, line size and sharing degrees, parsed
+// from the Linux sysfs cache directory
+//
+//   /sys/devices/system/cpu/cpu*/cache/index*/{level,type,size,
+//       coherency_line_size,shared_cpu_list,shared_cpu_map}
+//
+// The sysfs root is injectable so tests can run the parser against fixture
+// trees (shared L3 / private L2, hybrid sharing masks, truncated trees).
+// When the tree is absent or unreadable (non-Linux, containers with
+// /sys masked) detection falls back to std::thread::hardware_concurrency
+// plus the paper's 8 MB / 256 KB quad-core defaults, flagged via
+// `source == "fallback"` so consumers can tell measured from assumed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcmm {
+
+/// What `detect_host_topology` learned about the machine.  Sizes are in
+/// bytes; `*_shared_by` is the number of logical CPUs sharing one cache
+/// instance (on hybrid parts where clusters differ, the largest degree
+/// observed — the capacity-pressure worst case).
+struct HostTopology {
+  int logical_cpus = 1;
+  std::int64_t line_bytes = 64;
+  std::int64_t l1d_bytes = 32 << 10;
+  std::int64_t l2_bytes = 256 << 10;   ///< per-core ("distributed") cache
+  std::int64_t l3_bytes = 8 << 20;     ///< last-level ("shared") cache
+  int l2_shared_by = 1;
+  int l3_shared_by = 1;
+  std::string source = "fallback";     ///< "sysfs" or "fallback"
+
+  bool detected() const { return source == "sysfs"; }
+
+  /// The model's shared-cache size: the last level present (L3, or L2 on
+  /// parts without one).
+  std::int64_t shared_cache_bytes() const {
+    return l3_bytes > 0 ? l3_bytes : l2_bytes;
+  }
+  /// The model's per-core distributed-cache size: the largest private
+  /// level (L2 when it is private, else L1d).
+  std::int64_t private_cache_bytes() const {
+    return (l3_bytes > 0 && l2_bytes > 0) ? l2_bytes : l1d_bytes;
+  }
+
+  std::string describe() const;
+};
+
+/// Parse `sysfs_cpu_root` (default: the live /sys tree).  Never throws: a
+/// missing or partial tree degrades to the defaults above, with
+/// `source == "fallback"`; a parseable tree yields `source == "sysfs"`.
+HostTopology detect_host_topology(
+    const std::string& sysfs_cpu_root = "/sys/devices/system/cpu");
+
+/// The pure fallback (hardware_concurrency + paper defaults), exposed so
+/// callers can compare against it.
+HostTopology fallback_topology();
+
+/// Parse a sysfs cache size string ("32K", "8192K", "1M", "12582912").
+/// Throws mcmm::Error on malformed input.
+std::int64_t parse_cache_size(const std::string& text);
+
+/// Number of CPUs named by a sysfs `shared_cpu_list` ("0-3", "0,4-5", "7").
+/// Throws mcmm::Error on malformed input.
+int count_cpu_list(const std::string& list);
+
+/// Number of set bits in a sysfs `shared_cpu_map` hex mask, including the
+/// comma-separated multi-word form ("ff", "0000000f", "ffffffff,00000003").
+/// Throws mcmm::Error on malformed input.
+int count_cpu_mask(const std::string& mask);
+
+}  // namespace mcmm

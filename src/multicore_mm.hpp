@@ -9,6 +9,8 @@
 //   alg/       the six simulated schedules
 //   exp/       experiment driver and sweep helpers (the paper's settings)
 //   gemm/      real-data multithreaded executions of the schedules
+//   hw/        host calibration: topology, perf counters, bandwidths,
+//              and the mcmm-machine-v1 profile
 //   trace/     access-trace capture, replay and reuse-distance analysis
 //   lu/        LU factorization extension (the paper's future work)
 //   verify/    invariant auditor (capacity, inclusion, races, bounds)
@@ -33,6 +35,10 @@
 #include "gemm/parallel_gemm.hpp"
 #include "gemm/thread_pool.hpp"
 #include "gemm/validate.hpp"
+#include "hw/bandwidth.hpp"
+#include "hw/machine_profile.hpp"
+#include "hw/perf_counters.hpp"
+#include "hw/topology.hpp"
 #include "inner/kernel_sim.hpp"
 #include "inner/line_cache.hpp"
 #include "hier/hier_config.hpp"

@@ -1,0 +1,285 @@
+// Topology detection against fixture sysfs trees, plus the machine-profile
+// JSON round trip (byte-stable, as machine_profile.hpp promises).
+#include "hw/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "hw/machine_profile.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mcmm {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a sysfs cache tree under a fresh temp dir, removed on teardown.
+class SysfsFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("mcmm_hw_topo_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << text << "\n";
+    ASSERT_TRUE(out.good()) << path;
+  }
+
+  /// One cache index dir with the usual five files; pass "" to omit a file.
+  void add_index(int cpu, int index, const std::string& level,
+                 const std::string& type, const std::string& size,
+                 const std::string& shared_list,
+                 const std::string& shared_map = "") {
+    const std::string dir = "cpu" + std::to_string(cpu) + "/cache/index" +
+                            std::to_string(index) + "/";
+    write(dir + "level", level);
+    write(dir + "type", type);
+    if (!size.empty()) write(dir + "size", size);
+    if (!shared_list.empty()) write(dir + "shared_cpu_list", shared_list);
+    if (!shared_map.empty()) write(dir + "shared_cpu_map", shared_map);
+    write(dir + "coherency_line_size", "64");
+  }
+
+  fs::path root_;
+};
+
+TEST(ParseCacheSize, AcceptsSysfsForms) {
+  EXPECT_EQ(parse_cache_size("32K"), 32 << 10);
+  EXPECT_EQ(parse_cache_size("256k"), 256 << 10);
+  EXPECT_EQ(parse_cache_size("8M"), 8 << 20);
+  EXPECT_EQ(parse_cache_size("1G"), std::int64_t{1} << 30);
+  EXPECT_EQ(parse_cache_size("12582912"), 12582912);
+  EXPECT_EQ(parse_cache_size("0"), 0);
+}
+
+TEST(ParseCacheSize, RejectsMalformedInput) {
+  EXPECT_THROW(parse_cache_size(""), Error);
+  EXPECT_THROW(parse_cache_size("abc"), Error);
+  EXPECT_THROW(parse_cache_size("32KB"), Error);
+  EXPECT_THROW(parse_cache_size("32Q"), Error);
+  EXPECT_THROW(parse_cache_size("-4K"), Error);
+}
+
+TEST(CountCpuList, AcceptsSysfsForms) {
+  EXPECT_EQ(count_cpu_list("7"), 1);
+  EXPECT_EQ(count_cpu_list("0-3"), 4);
+  EXPECT_EQ(count_cpu_list("0,4-5"), 3);
+  EXPECT_EQ(count_cpu_list("0-1,4-5,9"), 5);
+}
+
+TEST(CountCpuList, RejectsMalformedInput) {
+  EXPECT_THROW(count_cpu_list(""), Error);
+  EXPECT_THROW(count_cpu_list("a-b"), Error);
+  EXPECT_THROW(count_cpu_list("3-1"), Error);
+  EXPECT_THROW(count_cpu_list("1-"), Error);
+}
+
+TEST(CountCpuMask, CountsSetBitsAcrossWords) {
+  EXPECT_EQ(count_cpu_mask("ff"), 8);
+  EXPECT_EQ(count_cpu_mask("0000000f"), 4);
+  EXPECT_EQ(count_cpu_mask("FF00"), 8);
+  EXPECT_EQ(count_cpu_mask("ffffffff,00000003"), 34);
+}
+
+TEST(CountCpuMask, RejectsMalformedInput) {
+  EXPECT_THROW(count_cpu_mask(""), Error);
+  EXPECT_THROW(count_cpu_mask(","), Error);
+  EXPECT_THROW(count_cpu_mask("xyz"), Error);
+}
+
+TEST_F(SysfsFixture, SharedL3PrivateL2QuadCore) {
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    const std::string self = std::to_string(cpu);
+    add_index(cpu, 0, "1", "Data", "32K", self);
+    add_index(cpu, 1, "1", "Instruction", "32K", self);
+    add_index(cpu, 2, "2", "Unified", "256K", self);
+    add_index(cpu, 3, "3", "Unified", "8192K", "0-3");
+  }
+  const HostTopology topo = detect_host_topology(root_.string());
+  EXPECT_EQ(topo.source, "sysfs");
+  EXPECT_TRUE(topo.detected());
+  EXPECT_EQ(topo.logical_cpus, 4);
+  EXPECT_EQ(topo.line_bytes, 64);
+  EXPECT_EQ(topo.l1d_bytes, 32 << 10);
+  EXPECT_EQ(topo.l2_bytes, 256 << 10);
+  EXPECT_EQ(topo.l2_shared_by, 1);
+  EXPECT_EQ(topo.l3_bytes, 8 << 20);
+  EXPECT_EQ(topo.l3_shared_by, 4);
+  EXPECT_EQ(topo.shared_cache_bytes(), 8 << 20);
+  EXPECT_EQ(topo.private_cache_bytes(), 256 << 10);
+}
+
+TEST_F(SysfsFixture, HybridSharingTakesTheWidestDegree) {
+  // Two SMT P-cores (L2 shared by 2) plus a 4-wide E-cluster L2: the
+  // capacity-pressure worst case is the cluster, so l2_shared_by == 4.
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    add_index(cpu, 0, "1", "Data", "48K", std::to_string(cpu));
+    add_index(cpu, 1, "2", "Unified", "1024K", cpu < 2 ? "0-1" : "2-3");
+    add_index(cpu, 2, "3", "Unified", "12M", "0-7");
+  }
+  for (int cpu = 4; cpu < 8; ++cpu) {
+    add_index(cpu, 0, "1", "Data", "32K", std::to_string(cpu));
+    add_index(cpu, 1, "2", "Unified", "2M", "4-7");
+    add_index(cpu, 2, "3", "Unified", "12M", "0-7");
+  }
+  const HostTopology topo = detect_host_topology(root_.string());
+  EXPECT_EQ(topo.logical_cpus, 8);
+  EXPECT_EQ(topo.l1d_bytes, 48 << 10);       // largest instance wins
+  EXPECT_EQ(topo.l2_bytes, 2 << 20);
+  EXPECT_EQ(topo.l2_shared_by, 4);
+  EXPECT_EQ(topo.l3_bytes, 12 << 20);
+  EXPECT_EQ(topo.l3_shared_by, 8);
+}
+
+TEST_F(SysfsFixture, SharedCpuMapFallbackWhenListMissing) {
+  // No shared_cpu_list anywhere: sharing degrees come from the hex masks.
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    add_index(cpu, 0, "1", "Data", "32K", "", cpu == 0 ? "1" : "2");
+    add_index(cpu, 1, "2", "Unified", "512K", "", "3");
+    add_index(cpu, 2, "3", "Unified", "4M", "", "ffffffff,00000003");
+  }
+  const HostTopology topo = detect_host_topology(root_.string());
+  EXPECT_EQ(topo.source, "sysfs");
+  EXPECT_EQ(topo.l2_shared_by, 2);
+  EXPECT_EQ(topo.l3_shared_by, 34);
+}
+
+TEST_F(SysfsFixture, MalformedIndexIsSkippedNotFatal) {
+  add_index(0, 0, "1", "Data", "garbage", "0");  // bad size -> skipped
+  add_index(0, 1, "2", "Unified", "256K", "0");
+  const HostTopology topo = detect_host_topology(root_.string());
+  EXPECT_EQ(topo.source, "sysfs");
+  EXPECT_EQ(topo.l1d_bytes, 0);                  // nothing valid at L1
+  EXPECT_EQ(topo.l2_bytes, 256 << 10);
+}
+
+TEST_F(SysfsFixture, CpuDirsWithoutCachesFallBack) {
+  fs::create_directories(root_ / "cpu0");
+  fs::create_directories(root_ / "cpu1");
+  const HostTopology topo = detect_host_topology(root_.string());
+  EXPECT_EQ(topo.source, "fallback");
+  EXPECT_FALSE(topo.detected());
+}
+
+TEST(Topology, MissingTreeNeverThrows) {
+  const HostTopology topo =
+      detect_host_topology("/nonexistent/mcmm/sysfs/root");
+  EXPECT_EQ(topo.source, "fallback");
+  EXPECT_GE(topo.logical_cpus, 1);
+  EXPECT_EQ(topo.l2_bytes, 256 << 10);   // paper's quad-core defaults
+  EXPECT_EQ(topo.l3_bytes, 8 << 20);
+  EXPECT_EQ(topo.shared_cache_bytes(), topo.l3_bytes);
+  EXPECT_EQ(topo.private_cache_bytes(), topo.l2_bytes);
+}
+
+MachineProfile reference_profile() {
+  MachineProfile profile;
+  profile.topology.logical_cpus = 8;
+  profile.topology.line_bytes = 64;
+  profile.topology.l1d_bytes = 48 << 10;
+  profile.topology.l2_bytes = 1 << 20;
+  profile.topology.l2_shared_by = 2;
+  profile.topology.l3_bytes = 16 << 20;
+  profile.topology.l3_shared_by = 8;
+  profile.topology.source = "sysfs";
+  profile.bandwidth.measured = true;
+  profile.bandwidth.mem_gbs = 23.456789012345671;
+  profile.bandwidth.llc_gbs = 87.654321098765432;
+  profile.bandwidth.mem_buffer_bytes = 256 << 20;
+  profile.bandwidth.llc_buffer_bytes = 8 << 20;
+  profile.counters_available = true;
+  profile.perf_event_paranoid = 2;
+  profile.q = 32;
+  profile.data_fraction = 2.0 / 3.0;
+  return profile;
+}
+
+TEST(MachineProfile, JsonRoundTripIsByteStable) {
+  const MachineProfile profile = reference_profile();
+  const std::string text = machine_profile_to_json(profile);
+  // Writer -> parser -> writer is the identity...
+  EXPECT_EQ(machine_profile_to_json(machine_profile_from_json(text)), text);
+  // ...and so is the generic order-preserving JSON layer underneath.
+  EXPECT_EQ(json_serialize(json_parse(text)), text);
+}
+
+TEST(MachineProfile, RoundTripPreservesMeasuredFields) {
+  const MachineProfile a = reference_profile();
+  const MachineProfile b =
+      machine_profile_from_json(machine_profile_to_json(a));
+  EXPECT_EQ(b.topology.logical_cpus, a.topology.logical_cpus);
+  EXPECT_EQ(b.topology.l2_shared_by, a.topology.l2_shared_by);
+  EXPECT_EQ(b.topology.l3_bytes, a.topology.l3_bytes);
+  EXPECT_EQ(b.topology.source, a.topology.source);
+  EXPECT_EQ(b.bandwidth.measured, a.bandwidth.measured);
+  EXPECT_DOUBLE_EQ(b.bandwidth.mem_gbs, a.bandwidth.mem_gbs);
+  EXPECT_DOUBLE_EQ(b.bandwidth.llc_gbs, a.bandwidth.llc_gbs);
+  EXPECT_EQ(b.counters_available, a.counters_available);
+  EXPECT_EQ(b.perf_event_paranoid, a.perf_event_paranoid);
+  EXPECT_EQ(b.q, a.q);
+  EXPECT_DOUBLE_EQ(b.data_fraction, a.data_fraction);
+}
+
+TEST(MachineProfile, DerivesModelFromTopology) {
+  const MachineProfile profile = reference_profile();
+  const MachineConfig cfg = profile.machine_config();
+  // 8 logical CPUs over SMT-paired L2s -> 4 private-cache domains.
+  EXPECT_EQ(cfg.p, 4);
+  const std::int64_t block_bytes = 32 * 32 * 8;
+  EXPECT_EQ(cfg.cs, (16 << 20) / block_bytes);  // whole shared cache
+  EXPECT_EQ(cfg.cd,
+            static_cast<std::int64_t>((1 << 20) * (2.0 / 3.0)) / block_bytes);
+  // Measured asymmetric bandwidths, normalised to sigma_s + sigma_d == 2.
+  EXPECT_NEAR(cfg.sigma_s + cfg.sigma_d, 2.0, 1e-12);
+  EXPECT_LT(cfg.sigma_s, cfg.sigma_d);  // mem is slower than LLC here
+  const Tiling t = profile.tiling();
+  EXPECT_EQ(t.q, 32);
+  EXPECT_GE(t.lambda, 1);
+  EXPECT_GE(t.mu, 1);
+}
+
+TEST(MachineProfile, RejectsForeignOrMalformedDocuments) {
+  EXPECT_THROW(machine_profile_from_json("not json"), Error);
+  EXPECT_THROW(machine_profile_from_json("[1,2]"), Error);
+  EXPECT_THROW(machine_profile_from_json("{\"schema\":\"other-v9\"}"), Error);
+  // Valid schema but a missing subtree.
+  EXPECT_THROW(
+      machine_profile_from_json("{\"schema\":\"mcmm-machine-v1\"}"), Error);
+  // Wrong type for a field.
+  std::string text = machine_profile_to_json(reference_profile());
+  const std::string needle = "\"logical_cpus\":8";
+  text.replace(text.find(needle), needle.size(), "\"logical_cpus\":\"8\"");
+  EXPECT_THROW(machine_profile_from_json(text), Error);
+}
+
+TEST(MachineProfile, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_machine_profile("/nonexistent/machine.json"), Error);
+}
+
+TEST(MachineProfile, SaveLoadRoundTripsThroughDisk) {
+  const fs::path path =
+      fs::temp_directory_path() / "mcmm_hw_profile_roundtrip.json";
+  const MachineProfile a = reference_profile();
+  save_machine_profile(a, path.string());
+  const MachineProfile b = load_machine_profile(path.string());
+  EXPECT_EQ(machine_profile_to_json(b), machine_profile_to_json(a));
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace mcmm

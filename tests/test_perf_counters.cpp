@@ -1,0 +1,120 @@
+// The hard requirement on PerfCounterSession is graceful degradation:
+// whatever the host (no PMU, seccomp, paranoid kernel, non-Linux), the
+// session constructs, never throws, and degraded reads are flagged zeros.
+#include "hw/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gemm/thread_pool.hpp"
+
+namespace mcmm {
+namespace {
+
+void expect_zero_sample(const CounterSample& s) {
+  EXPECT_FALSE(s.available);
+  EXPECT_EQ(s.cycles, 0);
+  EXPECT_EQ(s.instructions, 0);
+  EXPECT_EQ(s.llc_misses, 0);
+  EXPECT_EQ(s.llc_references, 0);
+  EXPECT_EQ(s.l1d_misses, 0);
+}
+
+TEST(PerfCounters, DisabledSessionIsDegradedWithZeroReads) {
+  PerfCounterSession::Options opt;
+  opt.enabled = false;
+  PerfCounterSession session(opt);
+  EXPECT_FALSE(session.counters_available());
+  EXPECT_FALSE(session.degradation_reason().empty());
+  expect_zero_sample(session.sample());
+  session.begin();
+  expect_zero_sample(session.end());
+}
+
+TEST(PerfCounters, SimulatedDenialDegradesLikeEperm) {
+  PerfCounterSession::Options opt;
+  opt.simulate_denied = true;
+  PerfCounterSession session(opt);
+  EXPECT_FALSE(session.counters_available());
+  EXPECT_FALSE(session.degradation_reason().empty());
+  expect_zero_sample(session.sample());
+}
+
+TEST(PerfCounters, DefaultConstructionNeverThrows) {
+  // Whether counters open depends on the host; the contract is only that
+  // construction and reads are safe either way.
+  EXPECT_NO_THROW({
+    PerfCounterSession session;
+    const CounterSample s = session.sample();
+    if (session.counters_available()) {
+      EXPECT_TRUE(session.degradation_reason().empty());
+      EXPECT_TRUE(s.available);
+    } else {
+      EXPECT_FALSE(session.degradation_reason().empty());
+      expect_zero_sample(s);
+    }
+  });
+}
+
+TEST(PerfCounters, BeginEndBracketsAreMonotoneWhenAvailable) {
+  PerfCounterSession session;
+  session.begin();
+  // Some instructions to count; harmless when degraded.
+  volatile double acc = 0;
+  for (int i = 0; i < 100000; ++i) acc = acc + static_cast<double>(i);
+  const CounterSample d = session.end();
+  if (session.counters_available()) {
+    EXPECT_TRUE(d.available);
+    EXPECT_GE(d.cycles, 0);
+    EXPECT_GT(d.instructions, 0);
+    EXPECT_GT(d.scale, 0.0);
+  } else {
+    expect_zero_sample(d);
+  }
+}
+
+TEST(PerfCounters, SurvivesThreadPoolCreatedAfterSession) {
+  // The documented usage order: session first, pool second (inherit).
+  PerfCounterSession session;
+  ThreadPool pool(2);
+  session.begin();
+  EXPECT_NO_THROW(session.end());
+}
+
+TEST(PerfCounters, DeltaIsComponentWiseAndAvailabilityAnded) {
+  CounterSample a;
+  a.available = true;
+  a.cycles = 100;
+  a.instructions = 200;
+  a.llc_misses = 10;
+  a.llc_references = 40;
+  a.l1d_misses = 20;
+  CounterSample b = a;
+  b.cycles = 175;
+  b.instructions = 260;
+  b.llc_misses = 13;
+  b.llc_references = 52;
+  b.l1d_misses = 29;
+  const CounterSample d = CounterSample::delta(a, b);
+  EXPECT_TRUE(d.available);
+  EXPECT_EQ(d.cycles, 75);
+  EXPECT_EQ(d.instructions, 60);
+  EXPECT_EQ(d.llc_misses, 3);
+  EXPECT_EQ(d.llc_references, 12);
+  EXPECT_EQ(d.l1d_misses, 9);
+
+  b.available = false;
+  EXPECT_FALSE(CounterSample::delta(a, b).available);
+}
+
+TEST(PerfCounters, ParanoidLevelIsReadableOrExplicitlyUnknown) {
+  const int level = PerfCounterSession::perf_event_paranoid();
+  if (level == PerfCounterSession::kUnknownParanoid) {
+    SUCCEED();  // masked /proc or non-Linux
+  } else {
+    EXPECT_GE(level, -1);
+    EXPECT_LE(level, 4);
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

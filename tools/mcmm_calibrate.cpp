@@ -1,0 +1,105 @@
+// Host calibration: produce the mcmm-machine-v1 profile this machine
+// corresponds to in the paper's model.
+//
+//   $ mcmm_calibrate --json machine.json          # full calibration
+//   $ mcmm_calibrate --no-counters --json machine.json
+//   $ mcmm_calibrate --quick --no-bandwidth       # topology only, stdout
+//
+// Steps (each independently degradable, exit code stays 0):
+//   1. topology    — sysfs cache hierarchy (fallback: hardware_concurrency
+//                    + the paper's 8 MB / 256 KB quad-core defaults);
+//   2. counters    — probe perf_event_open; records availability and the
+//                    kernel.perf_event_paranoid level, never requires it;
+//   3. bandwidth   — streaming sweeps for the sigma_S/sigma_D ratio
+//                    (--no-bandwidth skips, --quick shrinks);
+//   4. derivation  — MachineConfig (p, CS, CD, sigmas) and Tiling
+//                    (lambda, mu, alpha, beta) for the chosen q and
+//                    declared data fraction.
+//
+// The profile is consumed via --machine by mcmm_run, bench_gemm and
+// ext_model_vs_hw; schema documented in docs/calibration.md.
+#include <cstdio>
+
+#include "hw/bandwidth.hpp"
+#include "hw/machine_profile.hpp"
+#include "hw/perf_counters.hpp"
+#include "hw/topology.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("no-counters", "skip the perf-counter probe (forced degraded)");
+  cli.add_flag("no-bandwidth", "skip the bandwidth sweeps (symmetric sigma)");
+  cli.add_flag("quick", "smaller bandwidth buffers / fewer repeats (CI)");
+  cli.add_option("json", "write the mcmm-machine-v1 profile here", "");
+  cli.add_option("q", "block side in coefficients for the derivation", "32");
+  cli.add_option("data-fraction",
+                 "fraction of each private cache available to data "
+                 "(paper: 2/3 optimistic, 1/2 pessimistic)",
+                 "0.66666666666666663");
+  cli.add_option("sysfs", "override the sysfs cpu root (testing)",
+                 "/sys/devices/system/cpu");
+  if (!cli.parse(argc, argv)) return 0;
+
+  MachineProfile profile;
+  profile.q = cli.integer("q");
+  profile.data_fraction = cli.real("data-fraction");
+  MCMM_REQUIRE(profile.q >= 1, "--q must be >= 1");
+  MCMM_REQUIRE(profile.data_fraction > 0 && profile.data_fraction <= 1,
+               "--data-fraction must be in (0, 1]");
+
+  std::printf("[1/3] topology: ");
+  profile.topology = detect_host_topology(cli.str("sysfs"));
+  std::printf("%s\n", profile.topology.describe().c_str());
+
+  std::printf("[2/3] counters: ");
+  profile.perf_event_paranoid = PerfCounterSession::perf_event_paranoid();
+  if (cli.flag("no-counters")) {
+    std::printf("skipped (--no-counters)\n");
+  } else {
+    const PerfCounterSession probe;
+    profile.counters_available = probe.counters_available();
+    if (probe.counters_available()) {
+      std::printf("available\n");
+    } else {
+      std::printf("unavailable — %s\n", probe.degradation_reason().c_str());
+    }
+  }
+
+  std::printf("[3/3] bandwidth: ");
+  if (cli.flag("no-bandwidth")) {
+    std::printf("skipped (--no-bandwidth)\n");
+  } else {
+    std::fflush(stdout);
+    BandwidthOptions opt;
+    opt.quick = cli.flag("quick");
+    profile.bandwidth = measure_host_bandwidth(profile.topology, opt);
+    std::printf("mem %.2f GB/s (%lld MiB), llc %.2f GB/s (%lld KiB), "
+                "r=%.3f\n",
+                profile.bandwidth.mem_gbs,
+                static_cast<long long>(profile.bandwidth.mem_buffer_bytes >>
+                                       20),
+                profile.bandwidth.llc_gbs,
+                static_cast<long long>(profile.bandwidth.llc_buffer_bytes >>
+                                       10),
+                profile.bandwidth.sigma_ratio());
+  }
+
+  std::printf("\n%s\n", profile.describe().c_str());
+  const Tiling t = profile.tiling();
+  std::printf("tiling (blocks): lambda=%lld mu=%lld alpha=%lld beta=%lld\n",
+              static_cast<long long>(t.lambda), static_cast<long long>(t.mu),
+              static_cast<long long>(t.alpha), static_cast<long long>(t.beta));
+
+  const std::string path = cli.str("json");
+  if (!path.empty()) {
+    save_machine_profile(profile, path);
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::printf("\n%s\n", machine_profile_to_json(profile).c_str());
+  }
+  return 0;
+}

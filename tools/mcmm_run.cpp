@@ -6,7 +6,13 @@
 //   $ mcmm_run --algorithm distributed-opt --cs 245 --cd 6 --json
 //   $ mcmm_run --algorithm shared-opt --audit
 //   $ mcmm_run --algorithm tradeoff --orders 16,32,48 --jobs 4 --json
+//   $ mcmm_run --algorithm tradeoff --machine machine.json
 //   $ mcmm_run --list
+//
+// With --machine FILE the machine geometry defaults come from a calibrated
+// mcmm-machine-v1 profile (tools/mcmm_calibrate), so the simulated machine
+// is the measured host; explicit --p/--cs/--cd/--sigma-* flags override
+// individual fields.
 //
 // With --orders (a comma-separated list of square orders) the tool switches
 // to sweep mode: the points run through the parallel sweep engine
@@ -25,6 +31,7 @@
 #include "exp/experiment.hpp"
 #include "exp/figure_options.hpp"
 #include "exp/sweep_runner.hpp"
+#include "hw/machine_profile.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -127,6 +134,10 @@ int main(int argc, char** argv) {
   cli.add_option("sigma-s", "memory->shared bandwidth", "1.0");
   cli.add_option("sigma-d", "shared->distributed bandwidth", "1.0");
   cli.add_option("setting", "ideal | lru50 | lru | lru2x", "lru50");
+  cli.add_option("machine",
+                 "mcmm-machine-v1 profile (mcmm_calibrate --json); supplies "
+                 "p/cs/cd/sigma defaults, explicit flags override",
+                 "");
   cli.add_option("orders", "comma-separated square orders: sweep mode", "");
   cli.add_option("jobs", "sweep worker threads (0 = hardware concurrency)",
                  "0");
@@ -142,11 +153,22 @@ int main(int argc, char** argv) {
   }
 
   MachineConfig cfg;
-  cfg.p = static_cast<int>(cli.integer("p"));
-  cfg.cs = cli.integer("cs");
-  cfg.cd = cli.integer("cd");
-  cfg.sigma_s = cli.real("sigma-s");
-  cfg.sigma_d = cli.real("sigma-d");
+  if (cli.is_set("machine")) {
+    // The calibrated host is the baseline; explicit flags still win so a
+    // profile can be perturbed one parameter at a time.
+    cfg = load_machine_profile(cli.str("machine")).machine_config();
+    if (cli.is_set("p")) cfg.p = static_cast<int>(cli.integer("p"));
+    if (cli.is_set("cs")) cfg.cs = cli.integer("cs");
+    if (cli.is_set("cd")) cfg.cd = cli.integer("cd");
+    if (cli.is_set("sigma-s")) cfg.sigma_s = cli.real("sigma-s");
+    if (cli.is_set("sigma-d")) cfg.sigma_d = cli.real("sigma-d");
+  } else {
+    cfg.p = static_cast<int>(cli.integer("p"));
+    cfg.cs = cli.integer("cs");
+    cfg.cd = cli.integer("cd");
+    cfg.sigma_s = cli.real("sigma-s");
+    cfg.sigma_d = cli.real("sigma-d");
+  }
   const Problem prob{cli.integer("m"), cli.integer("n"), cli.integer("z")};
   const Setting setting = parse_setting(cli.str("setting"));
   const std::string algorithm = cli.str("algorithm");
