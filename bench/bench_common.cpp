@@ -66,6 +66,10 @@ void BenchDriver::cell_custom(std::size_t series, double x,
       CustomFill{tables_.size() - 1, series, x, std::move(fn), 0, 0});
 }
 
+void BenchDriver::annotate(const std::string& key, const std::string& value) {
+  annotations_.emplace_back(key, value);
+}
+
 void BenchDriver::finish() {
   MCMM_REQUIRE(!finished_, "BenchDriver::finish: called twice");
   finished_ = true;
@@ -110,6 +114,7 @@ void BenchDriver::finish() {
 
   if (opt_.json_path.empty()) return;
   BenchReport report(name_);
+  for (const auto& [key, value] : annotations_) report.set_context(key, value);
   for (const Titled& t : tables_) report.add_table(t.title, t.table);
   for (std::size_t sim = 0; sim < runner_.num_simulations(); ++sim) {
     const RunResult& res = runner_.result(sim);

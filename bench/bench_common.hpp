@@ -61,6 +61,10 @@ public:
   /// self-contained (no shared mutable state).
   void cell_custom(std::size_t series, double x, std::function<double()> fn);
 
+  /// Attach a deterministic annotation (kernel dispatch string, pinning
+  /// state, ...) to the JSON report's "results.context" object.
+  void annotate(const std::string& key, const std::string& value);
+
   /// Simulate, fill, print, and (with --json) write the report.
   void finish();
 
@@ -89,6 +93,7 @@ private:
   std::string name_;
   FigureOptions opt_;
   SweepRunner runner_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
   std::deque<Titled> tables_;
   std::vector<SimFill> sim_fills_;
   std::vector<CustomFill> custom_fills_;

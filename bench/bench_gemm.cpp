@@ -7,7 +7,9 @@
 // calibrated mcmm-machine-v1 profile via `--machine FILE`
 // (tools/mcmm_calibrate), so the timed schedules run with the same
 // parameters the simulator predicts for this machine.  `--threads N`
-// overrides the worker count.  Both flags are stripped before
+// overrides the worker count, `--kernel auto|scalar|simd` forces the
+// micro-kernel dispatch, and `--pin` pins schedule workers to distinct L2
+// domains (docs/kernels.md).  All of these are stripped before
 // google-benchmark sees the command line; all --benchmark_* flags still
 // work.  Falls back to the paper's quad-core constants (4 cores, 8 MB
 // shared, 256 KB private, q=64) when detection finds nothing.
@@ -19,6 +21,7 @@
 
 #include "gemm/kernel.hpp"
 #include "gemm/parallel_gemm.hpp"
+#include "hw/affinity.hpp"
 #include "hw/machine_profile.hpp"
 #include "hw/topology.hpp"
 #include "util/error.hpp"
@@ -31,6 +34,8 @@ using namespace mcmm;
 struct HostSetup {
   Tiling tiling = tiling_for_host(4, 8 << 20, 256 << 10, 64);
   int threads = 4;
+  KernelPath kernel_path = KernelPath::kAuto;
+  bool pin = false;
   std::string source = "defaults (4 cores, 8 MB shared, 256 KB private)";
 };
 
@@ -67,7 +72,12 @@ void BM_GemmBlocked(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmBlocked)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmBlocked)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GemmBlockedPacked(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -81,7 +91,36 @@ void BM_GemmBlockedPacked(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmBlockedPacked)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmBlockedPacked)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// The packed micro-kernel engine (KernelContext::block_op over the blocked
+/// loop nest).  This is the single-threaded speedup the CI kernel-parity
+/// job asserts: micro vs block_fma-based BM_GemmBlocked at the same order.
+void BM_GemmMicroKernel(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  KernelContext ctx(1, host_setup().kernel_path);
+  for (auto _ : state) {
+    c.set_zero();
+    gemm_micro(c, a, b, 64, ctx);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(ctx.dispatch_name());
+}
+BENCHMARK(BM_GemmMicroKernel)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 template <typename Fn>
 void run_parallel(benchmark::State& state, Fn fn) {
@@ -89,38 +128,59 @@ void run_parallel(benchmark::State& state, Fn fn) {
   Matrix a(n, n), b(n, n), c(n, n);
   a.fill_random(1);
   b.fill_random(2);
-  ThreadPool pool(host_setup().threads);
+  const HostSetup& setup = host_setup();
+  ThreadPool pool(setup.threads);
+  if (setup.pin) pin_pool_to_host(pool, detect_host_topology());
+  KernelContext ctx(pool.workers(), setup.kernel_path);
   const Tiling t = host_tiling();
   for (auto _ : state) {
     c.set_zero();
-    fn(c, a, b, t, pool);
+    fn(c, a, b, t, pool, ctx);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(ctx.dispatch_name());
 }
 
 void BM_ParallelSharedOpt(benchmark::State& state) {
-  run_parallel(state, &parallel_gemm_shared_opt);
+  run_parallel(state, [](Matrix& c, const Matrix& a, const Matrix& b,
+                         const Tiling& t, ThreadPool& pool,
+                         KernelContext& ctx) {
+    parallel_gemm_shared_opt(c, a, b, t, pool, ctx);
+  });
 }
 BENCHMARK(BM_ParallelSharedOpt)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelDistributedOpt(benchmark::State& state) {
-  run_parallel(state, &parallel_gemm_distributed_opt);
+  run_parallel(state, [](Matrix& c, const Matrix& a, const Matrix& b,
+                         const Tiling& t, ThreadPool& pool,
+                         KernelContext& ctx) {
+    parallel_gemm_distributed_opt(c, a, b, t, pool, ctx);
+  });
 }
 BENCHMARK(BM_ParallelDistributedOpt)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelTradeoff(benchmark::State& state) {
-  run_parallel(state, &parallel_gemm_tradeoff);
+  run_parallel(state, [](Matrix& c, const Matrix& a, const Matrix& b,
+                         const Tiling& t, ThreadPool& pool,
+                         KernelContext& ctx) {
+    parallel_gemm_tradeoff(c, a, b, t, pool, ctx);
+  });
 }
 BENCHMARK(BM_ParallelTradeoff)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelOuterProduct(benchmark::State& state) {
-  run_parallel(state, &parallel_gemm_outer_product);
+  run_parallel(state, [](Matrix& c, const Matrix& a, const Matrix& b,
+                         const Tiling& t, ThreadPool& pool,
+                         KernelContext& ctx) {
+    parallel_gemm_outer_product(c, a, b, t, pool, ctx);
+  });
 }
 BENCHMARK(BM_ParallelOuterProduct)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
-/// Pull --machine FILE / --machine=FILE and --threads N out of argv (they
-/// are ours, not google-benchmark's) and resolve the host setup.
+/// Pull --machine FILE / --machine=FILE, --threads N, --kernel PATH, and
+/// --pin out of argv (they are ours, not google-benchmark's) and resolve
+/// the host setup.
 void resolve_host_setup(int* argc, char** argv) {
   HostSetup& setup = host_setup();
   std::string machine_path;
@@ -148,6 +208,10 @@ void resolve_host_setup(int* argc, char** argv) {
       setup.threads = static_cast<int>(std::stoll(value));
       MCMM_REQUIRE(setup.threads >= 1, "--threads must be >= 1");
       threads_overridden = true;
+    } else if (take_value("--kernel", &value)) {
+      setup.kernel_path = parse_kernel_path(value);
+    } else if (arg == "--pin") {
+      setup.pin = true;
     } else {
       kept.push_back(argv[i]);
     }
@@ -178,6 +242,7 @@ void resolve_host_setup(int* argc, char** argv) {
 int main(int argc, char** argv) {
   resolve_host_setup(&argc, argv);
   const HostSetup& setup = host_setup();
+  const KernelContext probe(1, setup.kernel_path);
   std::printf("host setup: %s\n", setup.source.c_str());
   std::printf("  threads=%d q=%lld lambda=%lld mu=%lld alpha=%lld beta=%lld\n",
               setup.threads, static_cast<long long>(setup.tiling.q),
@@ -185,6 +250,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(setup.tiling.mu),
               static_cast<long long>(setup.tiling.alpha),
               static_cast<long long>(setup.tiling.beta));
+  std::printf("  kernel=%s pin=%s\n", probe.dispatch_name().c_str(),
+              setup.pin ? "on" : "off");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

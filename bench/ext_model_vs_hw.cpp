@@ -27,6 +27,9 @@
 
 #include "bench_common.hpp"
 #include "exp/sweep.hpp"
+#include "gemm/kernel.hpp"
+#include "gemm/parallel_gemm.hpp"
+#include "hw/affinity.hpp"
 #include "hw/machine_profile.hpp"
 #include "hw/perf_counters.hpp"
 #include "hw/topology.hpp"
@@ -36,18 +39,36 @@ using namespace mcmm;
 namespace {
 
 using GemmFn = void (*)(Matrix&, const Matrix&, const Matrix&, const Tiling&,
-                        ThreadPool&);
+                        ThreadPool&, KernelContext&);
 
 struct Schedule {
   const char* name;  ///< registry name, shared by simulator and real run
   GemmFn fn;
 };
 
+void run_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
+                    const Tiling& t, ThreadPool& pool, KernelContext& ctx) {
+  parallel_gemm_shared_opt(c, a, b, t, pool, ctx);
+}
+void run_distributed_opt(Matrix& c, const Matrix& a, const Matrix& b,
+                         const Tiling& t, ThreadPool& pool,
+                         KernelContext& ctx) {
+  parallel_gemm_distributed_opt(c, a, b, t, pool, ctx);
+}
+void run_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
+                  const Tiling& t, ThreadPool& pool, KernelContext& ctx) {
+  parallel_gemm_tradeoff(c, a, b, t, pool, ctx);
+}
+void run_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
+                       const Tiling& t, ThreadPool& pool, KernelContext& ctx) {
+  parallel_gemm_outer_product(c, a, b, t, pool, ctx);
+}
+
 constexpr Schedule kSchedules[] = {
-    {"shared-opt", &parallel_gemm_shared_opt},
-    {"distributed-opt", &parallel_gemm_distributed_opt},
-    {"tradeoff", &parallel_gemm_tradeoff},
-    {"outer-product", &parallel_gemm_outer_product},
+    {"shared-opt", &run_shared_opt},
+    {"distributed-opt", &run_distributed_opt},
+    {"tradeoff", &run_tradeoff},
+    {"outer-product", &run_outer_product},
 };
 
 /// One measured execution, already block-normalised.
@@ -73,6 +94,8 @@ int main(int argc, char** argv) {
   CliParser cli;
   cli.add_flag("csv", "emit CSV instead of aligned tables");
   cli.add_flag("no-counters", "skip hardware counters (hw columns read 0)");
+  cli.add_flag("pin", "pin real-run workers to distinct L2 domains");
+  cli.add_option("kernel", "block kernel path: auto | scalar | simd", "auto");
   cli.add_option("machine", "mcmm-machine-v1 profile (mcmm_calibrate)", "");
   cli.add_option("q", "block side in coefficients (0 = profile's q)", "0");
   cli.add_option("min-order", "smallest matrix order in blocks", "8");
@@ -129,10 +152,17 @@ int main(int argc, char** argv) {
   copt.enabled = !cli.flag("no-counters");
   PerfCounterSession session(copt);
   ThreadPool pool(threads);
+  int pinned = 0;
+  if (cli.flag("pin")) {
+    pinned = pin_pool_to_host(pool, profile.topology);
+  }
+  KernelContext ctx(pool.workers(), parse_kernel_path(cli.str("kernel")));
 
   std::printf("# model vs hardware | %s | q=%lld | %s | threads=%d\n",
               cfg.describe().c_str(), static_cast<long long>(q),
               to_string(setting), threads);
+  std::printf("# kernel: %s | pinned workers: %d/%d\n",
+              ctx.dispatch_name().c_str(), pinned, pool.workers());
   std::printf("# counters: %s\n",
               session.counters_available()
                   ? "available"
@@ -155,11 +185,11 @@ int main(int argc, char** argv) {
       Matrix c(n, n);
       a.fill_random(1);
       b.fill_random(2);
-      sched.fn(c, a, b, tiling, pool);  // warm-up
+      sched.fn(c, a, b, tiling, pool, ctx);  // warm-up
       c.set_zero();
       const auto t0 = std::chrono::steady_clock::now();
       session.begin();
-      sched.fn(c, a, b, tiling, pool);
+      sched.fn(c, a, b, tiling, pool, ctx);
       const CounterSample d = session.end();
       const auto t1 = std::chrono::steady_clock::now();
       HwRun run;
@@ -178,6 +208,11 @@ int main(int argc, char** argv) {
   // --- Predicted half: through the parallel sweep engine, landing in the
   // same tables as the measured columns.
   bench::BenchDriver driver("ext_model_vs_hw", opt);
+  // Which micro-kernel actually executed the measured half — readers of the
+  // report need this to interpret the hw columns (docs/kernels.md).
+  driver.annotate("kernel_dispatch", ctx.dispatch_name());
+  driver.annotate("pinned_workers", std::to_string(pinned) + "/" +
+                                        std::to_string(pool.workers()));
 
   struct TableRef {
     SeriesTable* table = nullptr;

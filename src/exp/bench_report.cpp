@@ -42,12 +42,30 @@ void BenchReport::set_requests(std::size_t requests, std::size_t cache_hits) {
   cache_hits_ = cache_hits;
 }
 
+void BenchReport::set_context(const std::string& key,
+                              const std::string& value) {
+  MCMM_REQUIRE(!key.empty(), "BenchReport: context key must be non-empty");
+  for (auto& kv : context_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
 void BenchReport::emit(JsonWriter& w, bool include_timing) const {
   w.begin_object()
       .kv("schema", "mcmm-bench-v1")
       .kv("bench", bench_)
       .key("results")
       .begin_object();
+
+  if (!context_.empty()) {
+    w.key("context").begin_object();
+    for (const auto& [key, value] : context_) w.kv(key, value);
+    w.end_object();
+  }
 
   w.key("tables").begin_array();
   for (const Table& t : tables_) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/sweep_runner.hpp"
@@ -40,6 +41,12 @@ public:
   /// downstream).
   void add_point(const SweepPoint& point, double ms, double md, double tdata,
                  double wall_ms);
+
+  /// Attach a deterministic key/value annotation (kernel dispatch string,
+  /// pinning state, ...) to the "results" subtree.  Emitted in call order
+  /// under "context"; the object is omitted entirely when no annotation
+  /// was set, so existing golden documents are byte-stable.
+  void set_context(const std::string& key, const std::string& value);
 
   /// Record the run's parallelism and aggregate wall times.
   void set_timing(int jobs, double total_wall_ms, double serial_wall_ms);
@@ -74,6 +81,7 @@ private:
   void emit(JsonWriter& w, bool include_timing) const;
 
   std::string bench_;
+  std::vector<std::pair<std::string, std::string>> context_;
   std::vector<Table> tables_;
   std::vector<Point> points_;
   std::size_t requests_ = 0;

@@ -108,6 +108,7 @@ void SweepRunner::run() {
       tasks.emplace_back([&evaluate, sim] { evaluate(sim); });
     }
     ThreadPool pool(workers);
+    if (!pin_cpus_.empty()) pool.pin_workers(pin_cpus_);
     pool.run_batch(tasks);
   }
   total_wall_ms_ += now_ms() - t0;

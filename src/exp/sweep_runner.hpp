@@ -80,6 +80,12 @@ public:
   /// Metric value of a finished request.
   double value(std::size_t request_id) const;
 
+  /// Pin the worker pool of subsequent run() calls to these logical CPUs
+  /// (worker i -> cpus[i % cpus.size()]; see ThreadPool::pin_workers).
+  /// Empty (the default) leaves scheduling to the OS.  Pinning affects
+  /// wall times only — results are bit-identical either way.
+  void set_pin_cpus(std::vector<int> cpus) { pin_cpus_ = std::move(cpus); }
+
   int jobs() const { return jobs_; }
 
   /// Accounting: every request() call, the subset that hit the memo, and
@@ -111,6 +117,7 @@ private:
   };
 
   int jobs_;
+  std::vector<int> pin_cpus_;
   std::vector<Request> requests_;
   std::vector<Simulation> points_;
   std::unordered_map<std::string, std::size_t> memo_;      // key -> sim

@@ -1,7 +1,9 @@
 #include "gemm/kernel.hpp"
 
 #include <algorithm>
-#include <vector>
+
+#include "gemm/pack.hpp"
+#include "util/math.hpp"
 
 namespace mcmm {
 
@@ -66,49 +68,157 @@ void gemm_blocked_packed(Matrix& c, const Matrix& a, const Matrix& b,
   check_gemm_shapes(c, a, b);
   MCMM_REQUIRE(q >= 1, "gemm_blocked_packed: block size must be >= 1");
   const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
-  std::vector<double> packed(static_cast<std::size_t>(q * q));
+  // One buffer for the largest k-panel (a full q x n strip of B),
+  // allocated once and reused by every panel.
+  AlignedVector packed(
+      static_cast<std::size_t>(std::max<std::int64_t>(std::min(q, z) * n, 1)));
 
   for (std::int64_t k0 = 0; k0 < z; k0 += q) {
     const std::int64_t kb = std::min(q, z - k0);
-    for (std::int64_t j0 = 0; j0 < n; j0 += q) {
-      const std::int64_t nb = std::min(q, n - j0);
-      // Pack B[k0.., j0..] transposed: packed[j*kb + k] = B[k0+k][j0+j],
-      // so each output column's inner product reads contiguous memory.
-      for (std::int64_t k = 0; k < kb; ++k) {
-        const double* brow = b.row_ptr(k0 + k) + j0;
-        for (std::int64_t j = 0; j < nb; ++j) {
-          packed[static_cast<std::size_t>(j * kb + k)] = brow[j];
+    // Pack the whole B[k0.., :] strip transposed: packed[j*kb + k] =
+    // B[k0+k][j].  Hoisted out of the (i, j0) loops, B is traversed once
+    // per k-panel instead of once per (k0, j0) tile.
+    for (std::int64_t k = 0; k < kb; ++k) {
+      const double* brow = b.row_ptr(k0 + k);
+      for (std::int64_t j = 0; j < n; ++j) {
+        packed[static_cast<std::size_t>(j * kb + k)] = brow[j];
+      }
+    }
+    for (std::int64_t i = 0; i < m; ++i) {
+      const double* arow = a.row_ptr(i) + k0;
+      double* crow = c.row_ptr(i);
+      std::int64_t j = 0;
+      // Four independent dot products at a time for ILP.
+      for (; j + 4 <= n; j += 4) {
+        const double* b0 = packed.data() + (j + 0) * kb;
+        const double* b1 = packed.data() + (j + 1) * kb;
+        const double* b2 = packed.data() + (j + 2) * kb;
+        const double* b3 = packed.data() + (j + 3) * kb;
+        double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (std::int64_t k = 0; k < kb; ++k) {
+          const double av = arow[k];
+          s0 += av * b0[k];
+          s1 += av * b1[k];
+          s2 += av * b2[k];
+          s3 += av * b3[k];
+        }
+        crow[j + 0] += s0;
+        crow[j + 1] += s1;
+        crow[j + 2] += s2;
+        crow[j + 3] += s3;
+      }
+      for (; j < n; ++j) {
+        const double* bj = packed.data() + j * kb;
+        double s = 0;
+        for (std::int64_t k = 0; k < kb; ++k) s += arow[k] * bj[k];
+        crow[j] += s;
+      }
+    }
+  }
+}
+
+KernelPath parse_kernel_path(const std::string& name) {
+  if (name == "auto") return KernelPath::kAuto;
+  if (name == "scalar") return KernelPath::kScalar;
+  if (name == "simd") return KernelPath::kSimd;
+  throw Error("unknown kernel path: " + name + " (auto|scalar|simd)");
+}
+
+KernelContext::KernelContext(int workers, KernelPath path) : path_(path) {
+  MCMM_REQUIRE(workers >= 1, "KernelContext: need at least one worker");
+  switch (path) {
+    case KernelPath::kScalar:
+      kernel_ = scalar_micro_kernel();
+      break;
+    case KernelPath::kSimd:
+      kernel_ = simd_micro_kernel();  // throws when unavailable
+      break;
+    case KernelPath::kAuto:
+      kernel_ = best_micro_kernel();
+      break;
+  }
+  name_ = kernel_.name;
+  states_.resize(static_cast<std::size_t>(workers));
+}
+
+void KernelContext::invalidate() {
+  for (WorkerState& st : states_) {
+    st.a_key = PackKey{};
+    for (BSlot& slot : st.b) slot.key = PackKey{};
+  }
+}
+
+void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
+                             const Matrix& b, std::int64_t i0, std::int64_t j0,
+                             std::int64_t k0, std::int64_t mb, std::int64_t nb,
+                             std::int64_t kb) {
+  MCMM_REQUIRE(worker >= 0 && worker < workers(),
+               "KernelContext::block_op: bad worker id");
+  if (mb <= 0 || nb <= 0 || kb <= 0) return;
+  WorkerState& st = states_[static_cast<std::size_t>(worker)];
+
+  // The schedules revisit A blocks along a row of C and B blocks across
+  // their tile loops; memoising the packed panels per worker turns those
+  // revisits into free reuse instead of repacking.
+  if (!st.a_key.matches(i0, k0, mb, kb)) {
+    const auto need = static_cast<std::size_t>(packed_a_size(mb, kb, kMicroM));
+    if (st.a_buf.size() < need) st.a_buf.resize(need);
+    pack_a_panel(a, i0, k0, mb, kb, kMicroM, st.a_buf.data());
+    st.a_key = {i0, k0, mb, kb};
+  }
+  // Mix from the high bits: block offsets are multiples of q, so the low
+  // bits of (j0, k0) carry no entropy.
+  const std::uint64_t hash =
+      static_cast<std::uint64_t>(j0) * 0x9E3779B97F4A7C15ull ^
+      static_cast<std::uint64_t>(k0) * 0xC2B2AE3D27D4EB4Full;
+  BSlot& slot = st.b[static_cast<std::size_t>(hash >> 32) % kBSlots];
+  if (!slot.key.matches(k0, j0, kb, nb)) {
+    const auto need = static_cast<std::size_t>(packed_b_size(kb, nb, kMicroN));
+    if (slot.buf.size() < need) slot.buf.resize(need);
+    pack_b_panel(b, k0, j0, kb, nb, kMicroN, slot.buf.data());
+    slot.key = {k0, j0, kb, nb};
+  }
+
+  const double* ap = st.a_buf.data();
+  const double* bp = slot.buf.data();
+  const std::int64_t ldc = c.cols();
+  for (std::int64_t jt = 0; jt < nb; jt += kMicroN) {
+    const std::int64_t nr_eff = std::min(kMicroN, nb - jt);
+    const double* bstrip = bp + (jt / kMicroN) * (kMicroN * kb);
+    for (std::int64_t it = 0; it < mb; it += kMicroM) {
+      const std::int64_t mr_eff = std::min(kMicroM, mb - it);
+      const double* astrip = ap + (it / kMicroM) * (kMicroM * kb);
+      double* cptr = c.row_ptr(i0 + it) + j0 + jt;
+      if (mr_eff == kMicroM && nr_eff == kMicroN) {
+        kernel_.fn(kb, astrip, bstrip, cptr, ldc);
+      } else {
+        // Edge tile: run the full-size kernel into a scratch tile (the
+        // packed panels are zero-padded), then add only the live corner.
+        alignas(64) double tmp[kMicroM * kMicroN] = {};
+        kernel_.fn(kb, astrip, bstrip, tmp, kMicroN);
+        for (std::int64_t r = 0; r < mr_eff; ++r) {
+          double* crow = cptr + r * ldc;
+          const double* trow = tmp + r * kMicroN;
+          for (std::int64_t j = 0; j < nr_eff; ++j) crow[j] += trow[j];
         }
       }
-      for (std::int64_t i = 0; i < m; ++i) {
-        const double* arow = a.row_ptr(i) + k0;
-        double* crow = c.row_ptr(i) + j0;
-        std::int64_t j = 0;
-        // Four independent dot products at a time for ILP.
-        for (; j + 4 <= nb; j += 4) {
-          const double* b0 = packed.data() + (j + 0) * kb;
-          const double* b1 = packed.data() + (j + 1) * kb;
-          const double* b2 = packed.data() + (j + 2) * kb;
-          const double* b3 = packed.data() + (j + 3) * kb;
-          double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-          for (std::int64_t k = 0; k < kb; ++k) {
-            const double av = arow[k];
-            s0 += av * b0[k];
-            s1 += av * b1[k];
-            s2 += av * b2[k];
-            s3 += av * b3[k];
-          }
-          crow[j + 0] += s0;
-          crow[j + 1] += s1;
-          crow[j + 2] += s2;
-          crow[j + 3] += s3;
-        }
-        for (; j < nb; ++j) {
-          const double* bj = packed.data() + j * kb;
-          double s = 0;
-          for (std::int64_t k = 0; k < kb; ++k) s += arow[k] * bj[k];
-          crow[j] += s;
-        }
+    }
+  }
+}
+
+void gemm_micro(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t q,
+                KernelContext& ctx) {
+  check_gemm_shapes(c, a, b);
+  MCMM_REQUIRE(q >= 1, "gemm_micro: block size must be >= 1");
+  ctx.invalidate();
+  const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  for (std::int64_t i0 = 0; i0 < m; i0 += q) {
+    const std::int64_t mb = std::min(q, m - i0);
+    for (std::int64_t k0 = 0; k0 < z; k0 += q) {
+      const std::int64_t kb = std::min(q, z - k0);
+      for (std::int64_t j0 = 0; j0 < n; j0 += q) {
+        const std::int64_t nb = std::min(q, n - j0);
+        ctx.block_op(0, c, a, b, i0, j0, k0, mb, nb, kb);
       }
     }
   }

@@ -1,12 +1,25 @@
-// Sequential GEMM kernels: the reference implementation and the q x q
-// block micro-kernel the parallel schedules are built from (the paper's
-// "atomic elements ... are square blocks of coefficients of size q x q",
-// computed by a sequential BLAS-like kernel).
+// Sequential GEMM kernels and the block-kernel engine the parallel
+// schedules are built from (the paper's "atomic elements ... are square
+// blocks of coefficients of size q x q", computed by a sequential
+// BLAS-like kernel).
+//
+// Two generations coexist:
+//  * block_fma / gemm_blocked — the naive scalar triple loop, kept as the
+//    measurable baseline (bench_gemm compares against it);
+//  * KernelContext — the BLIS-style engine: per-worker 64-byte-aligned
+//    packing buffers (pack.hpp) feeding a register-blocked MR x NR
+//    micro-kernel (microkernel.hpp), runtime-dispatched AVX2+FMA vs
+//    portable scalar.  The parallel schedules route every q x q block
+//    product through KernelContext::block_op.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "gemm/matrix.hpp"
+#include "gemm/microkernel.hpp"
 
 namespace mcmm {
 
@@ -24,13 +37,89 @@ void block_fma(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t i0,
 /// single-core baseline of the timing benches).
 void gemm_blocked(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t q);
 
-/// Blocked GEMM with a packed, dot-product micro-kernel: each B tile is
-/// transposed into a contiguous buffer once per (j0, k0) panel and reused
-/// across the whole i sweep, turning the inner loop into independent
-/// dot products (unrolled four columns at a time).  Same results as
-/// gemm_blocked up to the k-summation order, which it preserves.
+/// Blocked GEMM with a packed, dot-product micro-kernel: each q x n
+/// k-panel of B is transposed into one contiguous buffer (sized once to
+/// the largest panel) and reused across the whole i sweep, turning the
+/// inner loop into independent dot products (unrolled four columns at a
+/// time).  Same results as gemm_blocked up to the k-summation order,
+/// which it preserves.
 void gemm_blocked_packed(Matrix& c, const Matrix& a, const Matrix& b,
                          std::int64_t q);
+
+/// Which micro-kernel a KernelContext uses.
+enum class KernelPath {
+  kAuto,    ///< SIMD when compiled in and the CPU supports it, else scalar
+  kScalar,  ///< force the portable kernel (bitwise-reproducible everywhere)
+  kSimd,    ///< force AVX2+FMA; constructing throws when unavailable
+};
+
+/// Parse "auto" | "scalar" | "simd" (the --kernel CLI flag).
+KernelPath parse_kernel_path(const std::string& name);
+
+/// The block-kernel engine: per-worker packing state + dispatched
+/// micro-kernel.  One context serves one ThreadPool-full of workers; each
+/// worker passes its own id so packing buffers are never shared (no locks,
+/// no false sharing on the compute path).
+///
+/// block_op packs the A sub-block MR-strided and the B sub-block
+/// NR-strided (memoised per worker, so the schedules' tile loops — which
+/// revisit the same A block across a row of C blocks and the same B
+/// blocks across the lambda/mu/alpha tile sweeps — repack only on reuse
+/// misses), then runs the micro-kernel over the register tiles.  Results
+/// are identical for every worker count: per C coefficient the summation
+/// order is k ascending within a block, blocks in caller order.
+class KernelContext {
+public:
+  explicit KernelContext(int workers, KernelPath path = KernelPath::kAuto);
+
+  int workers() const { return static_cast<int>(states_.size()); }
+  KernelPath path() const { return path_; }
+
+  /// Dispatch string for reports, e.g. "avx2-fma-4x8" or "scalar-4x8".
+  const std::string& dispatch_name() const { return name_; }
+
+  /// C[i0.., j0..] += A[i0.., k0..] * B[k0.., j0..] over an
+  /// (mb x nb x kb) sub-problem, using `worker`'s packing buffers.
+  void block_op(int worker, Matrix& c, const Matrix& a, const Matrix& b,
+                std::int64_t i0, std::int64_t j0, std::int64_t k0,
+                std::int64_t mb, std::int64_t nb, std::int64_t kb);
+
+  /// Drop every memoised panel (buffers are kept).  The memo is keyed on
+  /// block offsets only, so it is valid for one (A, B) pair; every engine
+  /// entry point (gemm_micro, the parallel schedules) calls this before a
+  /// product.  Direct block_op users working on fresh matrices must too.
+  void invalidate();
+
+private:
+  /// Identity of a packed sub-block (offsets + extents in coefficients).
+  struct PackKey {
+    std::int64_t r0 = -1, c0 = -1, rows = 0, cols = 0;
+    bool matches(std::int64_t r, std::int64_t c, std::int64_t nr,
+                 std::int64_t nc) const {
+      return r0 == r && c0 == c && rows == nr && cols == nc;
+    }
+  };
+  struct BSlot {
+    PackKey key;
+    AlignedVector buf;
+  };
+  static constexpr std::size_t kBSlots = 8;
+  struct WorkerState {
+    PackKey a_key;
+    AlignedVector a_buf;
+    std::array<BSlot, kBSlots> b;
+  };
+
+  MicroKernel kernel_;
+  KernelPath path_;
+  std::string name_;
+  std::vector<WorkerState> states_;
+};
+
+/// Sequential blocked GEMM over q x q blocks routed through `ctx`
+/// (worker 0): the single-core face of the packed micro-kernel engine.
+void gemm_micro(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t q,
+                KernelContext& ctx);
 
 /// Shape validation shared by all entry points: A (m x z), B (z x n),
 /// C (m x n); throws mcmm::Error on mismatch.

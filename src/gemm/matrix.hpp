@@ -6,12 +6,47 @@
 // computes the same product.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "util/error.hpp"
 
 namespace mcmm {
+
+/// Minimal allocator returning 64-byte-aligned storage, so coefficient
+/// rows and packed kernel panels start on a cache-line (and AVX) boundary;
+/// the SIMD micro-kernel issues aligned loads on packed panels.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAllocator() = default;
+  template <class U>
+  explicit AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kAlignment});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// 64-byte-aligned growable double buffer (packing panels, scratch tiles).
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
 
 class Matrix {
 public:
@@ -55,7 +90,7 @@ public:
 private:
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
 }  // namespace mcmm

@@ -1,0 +1,126 @@
+#include "gemm/microkernel.hpp"
+
+#include "util/error.hpp"
+
+// The SIMD path needs: the CMake switch (MCMM_SIMD=ON defines
+// MCMM_SIMD_ENABLED=1), an x86-64 target, and a GNU-compatible compiler
+// for the per-function target attribute and __builtin_cpu_supports.
+#if defined(MCMM_SIMD_ENABLED) && MCMM_SIMD_ENABLED && \
+    (defined(__x86_64__) || defined(__amd64__)) &&     \
+    (defined(__GNUC__) || defined(__clang__))
+#define MCMM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define MCMM_SIMD_X86 0
+#endif
+
+namespace mcmm {
+
+namespace {
+
+void kernel_scalar_4x8(std::int64_t kc, const double* a, const double* b,
+                       double* c, std::int64_t ldc) {
+  // Accumulate the whole tile in locals, then add once to C: one store per
+  // element and a per-element summation order (k ascending) that does not
+  // depend on how the caller decomposed the matrix.
+  double acc[kMicroM][kMicroN] = {};
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const double* ak = a + k * kMicroM;
+    const double* bk = b + k * kMicroN;
+    for (std::int64_t r = 0; r < kMicroM; ++r) {
+      const double ar = ak[r];
+      for (std::int64_t j = 0; j < kMicroN; ++j) {
+        acc[r][j] += ar * bk[j];
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < kMicroM; ++r) {
+    double* crow = c + r * ldc;
+    for (std::int64_t j = 0; j < kMicroN; ++j) crow[j] += acc[r][j];
+  }
+}
+
+#if MCMM_SIMD_X86
+__attribute__((target("avx2,fma"))) void kernel_avx2_4x8(std::int64_t kc,
+                                                         const double* a,
+                                                         const double* b,
+                                                         double* c,
+                                                         std::int64_t ldc) {
+  // 4 rows x 8 columns = 8 ymm accumulators; each k step broadcasts four
+  // A coefficients against two aligned B vectors (packed panels are
+  // 64-byte aligned and NR == 8 doubles keeps every B row on a boundary).
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const __m256d b0 = _mm256_load_pd(b + k * kMicroN);
+    const __m256d b1 = _mm256_load_pd(b + k * kMicroN + 4);
+    const double* ak = a + k * kMicroM;
+    __m256d ar = _mm256_broadcast_sd(ak + 0);
+    c00 = _mm256_fmadd_pd(ar, b0, c00);
+    c01 = _mm256_fmadd_pd(ar, b1, c01);
+    ar = _mm256_broadcast_sd(ak + 1);
+    c10 = _mm256_fmadd_pd(ar, b0, c10);
+    c11 = _mm256_fmadd_pd(ar, b1, c11);
+    ar = _mm256_broadcast_sd(ak + 2);
+    c20 = _mm256_fmadd_pd(ar, b0, c20);
+    c21 = _mm256_fmadd_pd(ar, b1, c21);
+    ar = _mm256_broadcast_sd(ak + 3);
+    c30 = _mm256_fmadd_pd(ar, b0, c30);
+    c31 = _mm256_fmadd_pd(ar, b1, c31);
+  }
+  // C is the caller's matrix (or an aligned scratch tile): unaligned ops.
+  double* c0 = c;
+  double* c1 = c + ldc;
+  double* c2 = c + 2 * ldc;
+  double* c3 = c + 3 * ldc;
+  _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), c00));
+  _mm256_storeu_pd(c0 + 4, _mm256_add_pd(_mm256_loadu_pd(c0 + 4), c01));
+  _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), c10));
+  _mm256_storeu_pd(c1 + 4, _mm256_add_pd(_mm256_loadu_pd(c1 + 4), c11));
+  _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), c20));
+  _mm256_storeu_pd(c2 + 4, _mm256_add_pd(_mm256_loadu_pd(c2 + 4), c21));
+  _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), c30));
+  _mm256_storeu_pd(c3 + 4, _mm256_add_pd(_mm256_loadu_pd(c3 + 4), c31));
+}
+#endif  // MCMM_SIMD_X86
+
+}  // namespace
+
+bool simd_kernel_available() {
+#if MCMM_SIMD_X86
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+std::string simd_unavailable_reason() {
+#if MCMM_SIMD_X86
+  if (simd_kernel_available()) return "";
+  return "host CPU lacks AVX2+FMA";
+#else
+  return "compiled without the SIMD kernel (MCMM_SIMD=OFF or non-x86-64)";
+#endif
+}
+
+MicroKernel scalar_micro_kernel() { return {&kernel_scalar_4x8, "scalar-4x8"}; }
+
+MicroKernel simd_micro_kernel() {
+  MCMM_REQUIRE(simd_kernel_available(),
+               "simd_micro_kernel: " + simd_unavailable_reason());
+#if MCMM_SIMD_X86
+  return {&kernel_avx2_4x8, "avx2-fma-4x8"};
+#else
+  return {};  // unreachable: the MCMM_REQUIRE above always throws here
+#endif
+}
+
+MicroKernel best_micro_kernel() {
+  return simd_kernel_available() ? simd_micro_kernel() : scalar_micro_kernel();
+}
+
+}  // namespace mcmm

@@ -1,0 +1,65 @@
+// Register-blocked GEMM micro-kernels (the BLIS-style bottom layer).
+//
+// A micro-kernel computes one MR x NR register tile of C from packed
+// panels of A and B:
+//
+//   C[r][j] += sum_k  A_panel[k*MR + r] * B_panel[k*NR + j]
+//
+// where A_panel stores MR rows column-by-column (so each k step reads one
+// contiguous MR-vector) and B_panel stores NR columns row-by-row (one
+// contiguous NR-vector per k).  Both panels come from src/gemm/pack and
+// are 64-byte aligned with ragged edges zero-padded, so the kernel never
+// branches on shape: the caller trims the store for edge tiles.
+//
+// Two implementations share that contract:
+//  * scalar  — portable C++, MR x NR accumulator array, k ascending.  The
+//    per-element summation order is fixed, so results are bit-identical
+//    for every worker count and tile decomposition.
+//  * avx2-fma — 4 x 8 doubles in 8 ymm accumulators via FMA intrinsics,
+//    compiled only when MCMM_SIMD=ON on an x86-64 toolchain and selected
+//    at runtime after a one-time CPUID probe (__builtin_cpu_supports).
+//
+// Dispatch policy lives in KernelContext (gemm/kernel.hpp); this header
+// only exposes the kernels and the availability probe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcmm {
+
+/// Register-tile extents, in double coefficients.  4 x 8 fills the AVX2
+/// register file: 8 accumulator ymm registers + 2 B vectors + 1 broadcast.
+inline constexpr std::int64_t kMicroM = 4;
+inline constexpr std::int64_t kMicroN = 8;
+
+/// C tile += packed-A-strip * packed-B-strip over `kc` rank-1 updates.
+/// `a` is MR-strided, `b` is NR-strided (see pack.hpp); `c` points at the
+/// tile's top-left coefficient with row stride `ldc` (full MR x NR store —
+/// edge tiles go through a scratch tile in the caller).
+using MicroKernelFn = void (*)(std::int64_t kc, const double* a,
+                               const double* b, double* c, std::int64_t ldc);
+
+struct MicroKernel {
+  MicroKernelFn fn = nullptr;
+  const char* name = "";  ///< dispatch string, e.g. "avx2-fma-4x8"
+};
+
+/// True when the AVX2+FMA kernel is compiled in (MCMM_SIMD=ON, x86-64)
+/// and the host CPU reports both features (one-time CPUID probe).
+bool simd_kernel_available();
+
+/// Human-readable reason the SIMD kernel cannot run ("" when it can).
+std::string simd_unavailable_reason();
+
+/// The portable kernel (always available).
+MicroKernel scalar_micro_kernel();
+
+/// The AVX2+FMA kernel; requires simd_kernel_available().  Throws
+/// mcmm::Error otherwise so a forced-SIMD request fails loudly.
+MicroKernel simd_micro_kernel();
+
+/// Best kernel for this host: SIMD when available, scalar otherwise.
+MicroKernel best_micro_kernel();
+
+}  // namespace mcmm

@@ -1,0 +1,48 @@
+#include "gemm/pack.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace mcmm {
+
+std::int64_t packed_a_size(std::int64_t mb, std::int64_t kb, std::int64_t mr) {
+  return ceil_div(mb, mr) * mr * kb;
+}
+
+std::int64_t packed_b_size(std::int64_t kb, std::int64_t nb, std::int64_t nr) {
+  return ceil_div(nb, nr) * nr * kb;
+}
+
+void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
+                  std::int64_t mb, std::int64_t kb, std::int64_t mr,
+                  double* out) {
+  for (std::int64_t s = 0; s < mb; s += mr) {
+    const std::int64_t rows = std::min(mr, mb - s);
+    double* strip = out + (s / mr) * (mr * kb);
+    for (std::int64_t k = 0; k < kb; ++k) {
+      double* dst = strip + k * mr;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        dst[r] = a.row_ptr(i0 + s + r)[k0 + k];
+      }
+      for (std::int64_t r = rows; r < mr; ++r) dst[r] = 0.0;
+    }
+  }
+}
+
+void pack_b_panel(const Matrix& b, std::int64_t k0, std::int64_t j0,
+                  std::int64_t kb, std::int64_t nb, std::int64_t nr,
+                  double* out) {
+  for (std::int64_t t = 0; t < nb; t += nr) {
+    const std::int64_t cols = std::min(nr, nb - t);
+    double* strip = out + (t / nr) * (nr * kb);
+    for (std::int64_t k = 0; k < kb; ++k) {
+      const double* brow = b.row_ptr(k0 + k) + j0 + t;
+      double* dst = strip + k * nr;
+      for (std::int64_t j = 0; j < cols; ++j) dst[j] = brow[j];
+      for (std::int64_t j = cols; j < nr; ++j) dst[j] = 0.0;
+    }
+  }
+}
+
+}  // namespace mcmm

@@ -1,0 +1,44 @@
+// Panel packing for the micro-kernel engine (the BLIS-style middle layer).
+//
+// The micro-kernel streams two contiguous panels:
+//
+//  * A panel, MR-strided: the mb x kb sub-block of A is split into strips
+//    of MR rows; within a strip the layout is column-major, so one k step
+//    reads one contiguous MR-vector:  out[strip][k*MR + r].
+//  * B panel, NR-strided: the kb x nb sub-block of B is split into strips
+//    of NR columns; within a strip the layout is row-major, one contiguous
+//    NR-vector per k:                 out[strip][k*NR + j].
+//
+// Ragged strips (mb % MR, nb % NR) are zero-padded to the full stride, so
+// the kernel itself never branches on shape.  Padding is exact: a zero
+// coefficient contributes 0.0 to every product, and padded C rows/columns
+// are never stored back.  Buffers come from AlignedVector (matrix.hpp),
+// so every strip starts 64-byte aligned when MR/NR are multiples of 8
+// doubles per stride pair (MR*8 = 32 B, NR*8 = 64 B — B rows stay aligned).
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/matrix.hpp"
+
+namespace mcmm {
+
+/// Doubles needed for a packed mb x kb A sub-block at stride mr.
+std::int64_t packed_a_size(std::int64_t mb, std::int64_t kb, std::int64_t mr);
+
+/// Doubles needed for a packed kb x nb B sub-block at stride nr.
+std::int64_t packed_b_size(std::int64_t kb, std::int64_t nb, std::int64_t nr);
+
+/// Pack A[i0 .. i0+mb, k0 .. k0+kb) MR-strided into `out`
+/// (capacity >= packed_a_size(mb, kb, mr)).
+void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
+                  std::int64_t mb, std::int64_t kb, std::int64_t mr,
+                  double* out);
+
+/// Pack B[k0 .. k0+kb, j0 .. j0+nb) NR-strided into `out`
+/// (capacity >= packed_b_size(kb, nb, nr)).
+void pack_b_panel(const Matrix& b, std::int64_t k0, std::int64_t j0,
+                  std::int64_t kb, std::int64_t nb, std::int64_t nr,
+                  double* out);
+
+}  // namespace mcmm

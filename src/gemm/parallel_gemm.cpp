@@ -1,9 +1,9 @@
 #include "gemm/parallel_gemm.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "analysis/params.hpp"
-#include "gemm/kernel.hpp"
 #include "util/math.hpp"
 
 namespace mcmm {
@@ -31,12 +31,23 @@ BlockGrid make_grid(const Matrix& c, const Matrix& a, const Matrix& b,
   return g;
 }
 
-/// Execute the block FMA C[bi,bj] += A[bi,bk] * B[bk,bj] on real data.
-void block_op(Matrix& c, const Matrix& a, const Matrix& b, const BlockGrid& g,
-              std::int64_t bi, std::int64_t bj, std::int64_t bk) {
+/// Execute the block product C[bi,bj] += A[bi,bk] * B[bk,bj] on real data
+/// through `core`'s packing state in the kernel context.
+void block_op(KernelContext& ctx, int core, Matrix& c, const Matrix& a,
+              const Matrix& b, const BlockGrid& g, std::int64_t bi,
+              std::int64_t bj, std::int64_t bk) {
   const std::int64_t i0 = bi * g.q, j0 = bj * g.q, k0 = bk * g.q;
-  block_fma(c, a, b, i0, j0, k0, std::min(g.q, g.m - i0),
-            std::min(g.q, g.n - j0), std::min(g.q, g.z - k0));
+  ctx.block_op(core, c, a, b, i0, j0, k0, std::min(g.q, g.m - i0),
+               std::min(g.q, g.n - j0), std::min(g.q, g.z - k0));
+}
+
+/// Shared entry guard: the context must cover the pool, and its packed-
+/// panel memo (keyed on block offsets only) must not leak across products
+/// on different matrices.
+void check_context(const ThreadPool& pool, KernelContext& ctx) {
+  MCMM_REQUIRE(ctx.workers() >= pool.workers(),
+               "parallel_gemm: KernelContext has fewer workers than the pool");
+  ctx.invalidate();
 }
 
 }  // namespace
@@ -58,7 +69,23 @@ Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
   cfg.p = p;
   cfg.cs = std::max<std::int64_t>(shared_cache_bytes / block_bytes, 3);
   cfg.cd = std::max<std::int64_t>(private_cache_bytes / block_bytes, 3);
-  cfg.cs = std::max(cfg.cs, static_cast<std::int64_t>(p) * cfg.cd);
+  const std::int64_t inclusive_cs = static_cast<std::int64_t>(p) * cfg.cd;
+  if (cfg.cs < inclusive_cs) {
+    // The model assumes an inclusive hierarchy (CS >= p * CD); feeding it a
+    // smaller physical CS would make the shared-cache parameters infeasible,
+    // so clamp — but never silently, because the derived lambda then assumes
+    // more shared cache than the machine has.
+    std::fprintf(stderr,
+                 "tiling_for_host: warning: shared cache holds %lld blocks "
+                 "but p*CD = %d*%lld = %lld; clamping CS to %lld (inclusive-"
+                 "hierarchy model) — derived lambda assumes more shared "
+                 "cache than is physical\n",
+                 static_cast<long long>(cfg.cs), p,
+                 static_cast<long long>(cfg.cd),
+                 static_cast<long long>(inclusive_cs),
+                 static_cast<long long>(inclusive_cs));
+    cfg.cs = inclusive_cs;
+  }
   Tiling t;
   t.q = q;
   t.lambda = shared_opt_params(cfg.cs).lambda;
@@ -71,8 +98,16 @@ Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
 
 void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
                               const Tiling& t, ThreadPool& pool) {
+  KernelContext ctx(pool.workers());
+  parallel_gemm_shared_opt(c, a, b, t, pool, ctx);
+}
+
+void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
+                              const Tiling& t, ThreadPool& pool,
+                              KernelContext& ctx) {
   const BlockGrid g = make_grid(c, a, b, t.q);
   MCMM_REQUIRE(t.lambda >= 1, "parallel_gemm_shared_opt: lambda must be >= 1");
+  check_context(pool, ctx);
   const int p = pool.workers();
   pool.run_on_all([&](int core) {
     // Algorithm 1 loop order; each core owns a contiguous column chunk of
@@ -86,7 +121,7 @@ void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
         for (std::int64_t k = 0; k < g.zb; ++k) {
           for (std::int64_t ii = 0; ii < ti; ++ii) {
             for (std::int64_t jj = mine.lo; jj < mine.hi; ++jj) {
-              block_op(c, a, b, g, i0 + ii, j0 + jj, k);
+              block_op(ctx, core, c, a, b, g, i0 + ii, j0 + jj, k);
             }
           }
         }
@@ -98,8 +133,16 @@ void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
 void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
                                    const Matrix& b, const Tiling& t,
                                    ThreadPool& pool) {
+  KernelContext ctx(pool.workers());
+  parallel_gemm_distributed_opt(c, a, b, t, pool, ctx);
+}
+
+void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
+                                   const Matrix& b, const Tiling& t,
+                                   ThreadPool& pool, KernelContext& ctx) {
   const BlockGrid g = make_grid(c, a, b, t.q);
   MCMM_REQUIRE(t.mu >= 1, "parallel_gemm_distributed_opt: mu must be >= 1");
+  check_context(pool, ctx);
   const Grid grid = balanced_grid(pool.workers());
   const std::int64_t tile_r = grid.r * t.mu;
   const std::int64_t tile_c = grid.c * t.mu;
@@ -117,7 +160,7 @@ void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
         for (std::int64_t k = 0; k < g.zb; ++k) {
           for (std::int64_t ii = rows.lo; ii < rows.hi; ++ii) {
             for (std::int64_t jj = cols.lo; jj < cols.hi; ++jj) {
-              block_op(c, a, b, g, i0 + ii, j0 + jj, k);
+              block_op(ctx, core, c, a, b, g, i0 + ii, j0 + jj, k);
             }
           }
         }
@@ -128,9 +171,17 @@ void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
 
 void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
                             const Tiling& t, ThreadPool& pool) {
+  KernelContext ctx(pool.workers());
+  parallel_gemm_tradeoff(c, a, b, t, pool, ctx);
+}
+
+void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
+                            const Tiling& t, ThreadPool& pool,
+                            KernelContext& ctx) {
   const BlockGrid g = make_grid(c, a, b, t.q);
   MCMM_REQUIRE(t.alpha >= 1 && t.beta >= 1 && t.mu >= 1,
                "parallel_gemm_tradeoff: bad tiling");
+  check_context(pool, ctx);
   const Grid grid = balanced_grid(pool.workers());
   // Ceiling split: the r x c regions must cover the alpha x alpha tile
   // even when the grid does not divide alpha evenly.
@@ -158,7 +209,7 @@ void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
               for (std::int64_t kk = 0; kk < kb; ++kk) {
                 for (std::int64_t ii = si; ii < se_i; ++ii) {
                   for (std::int64_t jj = sj; jj < se_j; ++jj) {
-                    block_op(c, a, b, g, i0 + ii, j0 + jj, k0 + kk);
+                    block_op(ctx, core, c, a, b, g, i0 + ii, j0 + jj, k0 + kk);
                   }
                 }
               }
@@ -172,7 +223,15 @@ void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
 
 void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
                                  const Tiling& t, ThreadPool& pool) {
+  KernelContext ctx(pool.workers());
+  parallel_gemm_outer_product(c, a, b, t, pool, ctx);
+}
+
+void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
+                                 const Tiling& t, ThreadPool& pool,
+                                 KernelContext& ctx) {
   const BlockGrid g = make_grid(c, a, b, t.q);
+  check_context(pool, ctx);
   const Grid grid = balanced_grid(pool.workers());
   pool.run_on_all([&](int core) {
     const Range rows = chunk_range(g.mb, static_cast<int>(grid.r),
@@ -182,7 +241,7 @@ void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
     for (std::int64_t k = 0; k < g.zb; ++k) {
       for (std::int64_t i = rows.lo; i < rows.hi; ++i) {
         for (std::int64_t j = cols.lo; j < cols.hi; ++j) {
-          block_op(c, a, b, g, i, j, k);
+          block_op(ctx, core, c, a, b, g, i, j, k);
         }
       }
     }

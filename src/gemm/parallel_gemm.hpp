@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "gemm/kernel.hpp"
 #include "gemm/matrix.hpp"
 #include "gemm/thread_pool.hpp"
 
@@ -33,28 +34,51 @@ struct Tiling {
 /// Derive a Tiling from cache sizes in bytes (8-byte coefficients), using
 /// the paper's formulas: lambda from the shared (last-level) cache and mu
 /// from the per-core cache, alpha/beta from the tradeoff solver with
-/// sigma_S == sigma_D.
+/// sigma_S == sigma_D.  When the shared cache cannot hold p private caches
+/// (exclusive or undersized last level) the model's inclusive-hierarchy
+/// assumption forces CS up to p*CD; that clamp is reported on stderr so a
+/// derived lambda is never silently based on more cache than is physical.
 Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
                        std::int64_t private_cache_bytes, std::int64_t q);
+
+/// Each schedule has two faces: the two-argument form builds a default
+/// KernelContext (auto-dispatched micro-kernel) per call; the three-
+/// argument form routes every q x q block product through the caller's
+/// context — reusing its per-worker packing buffers across calls and
+/// honouring a forced scalar/SIMD path.  `ctx.workers()` must cover
+/// `pool.workers()`.  Every loop order and ownership region is exactly
+/// the paper's, independent of the kernel behind block_op.
 
 /// C += A * B with the SharedOpt schedule (Algorithm 1).
 void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
                               const Tiling& t, ThreadPool& pool);
+void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
+                              const Tiling& t, ThreadPool& pool,
+                              KernelContext& ctx);
 
 /// C += A * B with the DistributedOpt schedule (Algorithm 2).
 /// Works with any worker count (most balanced r x c grid).
 void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
                                    const Matrix& b, const Tiling& t,
                                    ThreadPool& pool);
+void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
+                                   const Matrix& b, const Tiling& t,
+                                   ThreadPool& pool, KernelContext& ctx);
 
 /// C += A * B with the Tradeoff schedule (Algorithm 3).
 /// Works with any worker count (most balanced r x c grid).
 void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
                             const Tiling& t, ThreadPool& pool);
+void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
+                            const Tiling& t, ThreadPool& pool,
+                            KernelContext& ctx);
 
 /// C += A * B with the outer-product baseline on a 2-D worker grid.
 /// Works with any worker count (most balanced r x c grid).
 void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
                                  const Tiling& t, ThreadPool& pool);
+void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
+                                 const Tiling& t, ThreadPool& pool,
+                                 KernelContext& ctx);
 
 }  // namespace mcmm

@@ -2,6 +2,11 @@
 
 #include <atomic>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -46,6 +51,25 @@ void ThreadPool::worker_loop(int id) {
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
+}
+
+int ThreadPool::pin_workers(const std::vector<int>& cpus) {
+  pinned_ = 0;
+  if (cpus.empty()) return 0;
+#ifdef __linux__
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    const int cpu = cpus[i % cpus.size()];
+    if (cpu < 0 || cpu >= CPU_SETSIZE) continue;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    if (pthread_setaffinity_np(threads_[i].native_handle(), sizeof(set),
+                               &set) == 0) {
+      ++pinned_;
+    }
+  }
+#endif
+  return pinned_;
 }
 
 void ThreadPool::run_on_all(const std::function<void(int)>& job) {

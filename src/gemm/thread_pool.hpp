@@ -27,6 +27,17 @@ public:
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
+  /// Pin worker i to cpus[i % cpus.size()] (one logical CPU each), so the
+  /// model's per-core private caches map to real L2s.  Returns the number
+  /// of workers successfully pinned: 0 on non-Linux builds, when `cpus` is
+  /// empty, or when every pthread_setaffinity_np call fails (invalid ids,
+  /// restricted cpuset) — pinning degrades, it never throws.  Safe to call
+  /// between parallel regions; off unless explicitly requested (--pin).
+  int pin_workers(const std::vector<int>& cpus);
+
+  /// Workers pinned by the last pin_workers call (0 = unpinned).
+  int pinned_workers() const { return pinned_; }
+
   /// Execute job(core_id) on every worker; returns when all are done.
   /// The first exception thrown by a worker (if any) is rethrown here.
   void run_on_all(const std::function<void(int)>& job);
@@ -54,6 +65,7 @@ private:
   const std::function<void(int)>* job_ = nullptr;
   std::uint64_t generation_ = 0;
   int remaining_ = 0;
+  int pinned_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
 };

@@ -1,0 +1,32 @@
+#include "hw/affinity.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+std::vector<int> affinity_cpus(const HostTopology& topo, int workers) {
+  MCMM_REQUIRE(workers >= 1, "affinity_cpus: need at least one worker");
+  const int ncpu = std::max(topo.logical_cpus, 1);
+  const int stride = std::min(std::max(topo.l2_shared_by, 1), ncpu);
+  // The full permutation: one CPU per L2 domain first, then the domains'
+  // remaining SMT siblings.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(ncpu));
+  for (int offset = 0; offset < stride; ++offset) {
+    for (int cpu = offset; cpu < ncpu; cpu += stride) order.push_back(cpu);
+  }
+  std::vector<int> cpus(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    cpus[static_cast<std::size_t>(w)] =
+        order[static_cast<std::size_t>(w) % order.size()];
+  }
+  return cpus;
+}
+
+int pin_pool_to_host(ThreadPool& pool, const HostTopology& topo) {
+  return pool.pin_workers(affinity_cpus(topo, pool.workers()));
+}
+
+}  // namespace mcmm

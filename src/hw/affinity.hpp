@@ -1,0 +1,30 @@
+// Topology -> thread-affinity glue for the real-execution schedules.
+//
+// The model gives every core its own private cache CD; on SMT parts the
+// OS is free to land two workers on hyper-threads sharing one L2, which
+// halves the private cache the model thinks each worker has.  This module
+// turns a detected HostTopology into an explicit CPU list that spreads
+// workers across distinct private-cache domains first (stride =
+// l2_shared_by), wrapping onto SMT siblings only when there are more
+// workers than domains.  Pinning is opt-in (--pin) and degrades to a
+// no-op where unsupported.
+#pragma once
+
+#include <vector>
+
+#include "gemm/thread_pool.hpp"
+#include "hw/topology.hpp"
+
+namespace mcmm {
+
+/// Logical-CPU visit order that exhausts distinct L2 domains before SMT
+/// siblings: 0, s, 2s, ..., then 1, 1+s, ... for stride s = l2_shared_by.
+/// Returns `workers` entries (cycling through the permutation when workers
+/// exceed logical_cpus).  Deterministic; requires workers >= 1.
+std::vector<int> affinity_cpus(const HostTopology& topo, int workers);
+
+/// Pin `pool`'s workers to affinity_cpus(topo, pool.workers()).  Returns
+/// the number of workers actually pinned (0 when unsupported).
+int pin_pool_to_host(ThreadPool& pool, const HostTopology& topo);
+
+}  // namespace mcmm

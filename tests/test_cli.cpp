@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/figure_options.hpp"
+#include "gemm/parallel_gemm.hpp"
 #include "util/error.hpp"
 
 namespace mcmm {
@@ -166,6 +167,30 @@ TEST(FigureOptions, RejectsUnwritableJsonPath) {
 TEST(FigureOptions, HelpShortCircuits) {
   FigureOptions opt;
   EXPECT_FALSE(parse_figure(&opt, "--help"));
+}
+
+// The CLI tools derive tilings via tiling_for_host; its inclusive-hierarchy
+// clamp must never fire silently (the derived lambda would assume more
+// shared cache than the machine has).
+
+TEST(TilingForHostWarning, ClampIsReportedOnStderr) {
+  // q=64 blocks are 32 KiB: a 1 MiB shared cache holds 32 blocks while
+  // p*CD = 16 * 32 = 512, so the CS >= p*CD clamp must fire.
+  ::testing::internal::CaptureStderr();
+  const Tiling t = tiling_for_host(16, 1 << 20, 1 << 20, 64);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("tiling_for_host: warning"), std::string::npos) << err;
+  EXPECT_NE(err.find("clamping CS"), std::string::npos) << err;
+  EXPECT_GE(t.lambda, 1);
+}
+
+TEST(TilingForHostWarning, SilentWhenHierarchyIsInclusive) {
+  // The paper's quad-core geometry: CS = 256 blocks >= p*CD = 32.
+  ::testing::internal::CaptureStderr();
+  const Tiling t = tiling_for_host(4, 8 << 20, 256 << 10, 64);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err, "");
+  EXPECT_GE(t.lambda, 1);
 }
 
 }  // namespace

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "hw/affinity.hpp"
 #include "hw/machine_profile.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -279,6 +282,61 @@ TEST(MachineProfile, SaveLoadRoundTripsThroughDisk) {
   const MachineProfile b = load_machine_profile(path.string());
   EXPECT_EQ(machine_profile_to_json(b), machine_profile_to_json(a));
   fs::remove(path);
+}
+
+// Affinity plans (hw/affinity.hpp): exhaust distinct L2 domains before SMT
+// siblings, cycle when workers exceed logical CPUs.
+
+TEST(AffinityCpus, StridesAcrossL2DomainsFirst) {
+  HostTopology topo;
+  topo.logical_cpus = 8;
+  topo.l2_shared_by = 2;  // SMT pairs: (0,1), (2,3), ...
+  EXPECT_EQ(affinity_cpus(topo, 8),
+            (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+  EXPECT_EQ(affinity_cpus(topo, 3), (std::vector<int>{0, 2, 4}));
+}
+
+TEST(AffinityCpus, PrivateL2IsTheIdentityOrder) {
+  HostTopology topo;
+  topo.logical_cpus = 4;
+  topo.l2_shared_by = 1;
+  EXPECT_EQ(affinity_cpus(topo, 4), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AffinityCpus, CyclesWhenWorkersExceedCpus) {
+  HostTopology topo;
+  topo.logical_cpus = 2;
+  topo.l2_shared_by = 1;
+  EXPECT_EQ(affinity_cpus(topo, 5), (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+TEST(AffinityCpus, OversizedSharingDegreeIsClamped) {
+  HostTopology topo;
+  topo.logical_cpus = 4;
+  topo.l2_shared_by = 16;  // nonsense degree must not produce an empty plan
+  const std::vector<int> cpus = affinity_cpus(topo, 4);
+  ASSERT_EQ(cpus.size(), 4u);
+  for (const int cpu : cpus) {
+    EXPECT_GE(cpu, 0);
+    EXPECT_LT(cpu, 4);
+  }
+}
+
+TEST(AffinityCpus, RejectsNonPositiveWorkers) {
+  EXPECT_THROW(affinity_cpus(HostTopology{}, 0), Error);
+}
+
+TEST(PinPoolToHost, PinsAtMostTheWorkerCount) {
+  HostTopology topo = fallback_topology();
+  ThreadPool pool(2);
+  const int pinned = pin_pool_to_host(pool, topo);
+  EXPECT_GE(pinned, 0);
+  EXPECT_LE(pinned, pool.workers());
+  EXPECT_EQ(pool.pinned_workers(), pinned);
+  // The pool must stay fully functional after pinning.
+  std::atomic<int> counter{0};
+  pool.run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
 }
 
 }  // namespace

@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "gemm/microkernel.hpp"
+#include "gemm/pack.hpp"
+#include "gemm/parallel_gemm.hpp"
+#include "gemm/thread_pool.hpp"
 #include "gemm/validate.hpp"
 #include "util/error.hpp"
 
@@ -115,6 +123,309 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GemmTolerance, GrowsWithInnerDimension) {
   EXPECT_LT(gemm_tolerance(10), gemm_tolerance(1000));
   EXPECT_GT(gemm_tolerance(1), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The packed micro-kernel engine (KernelContext / pack / microkernel).
+
+/// ULP distance between two doubles: map the bit patterns onto a monotone
+/// integer line (negative range flipped) and subtract.
+std::uint64_t ulp_distance(double x, double y) {
+  const auto key = [](double v) {
+    const auto u = std::bit_cast<std::uint64_t>(v);
+    return (u & 0x8000000000000000ull) != 0 ? ~u : (u | 0x8000000000000000ull);
+  };
+  const std::uint64_t a = key(x);
+  const std::uint64_t b = key(y);
+  return a > b ? a - b : b - a;
+}
+
+/// Element-wise comparison with both an absolute tolerance (scaled to the
+/// inner dimension like gemm_matches) and a ULP bound: a cell passes when
+/// either holds, so near-cancellation cells are judged by absolute error
+/// and large-magnitude cells by relative (ULP) error.
+::testing::AssertionResult matches_within_ulp(const Matrix& got,
+                                              const Matrix& expect,
+                                              std::int64_t z,
+                                              std::uint64_t max_ulp) {
+  const double tol = gemm_tolerance(z);
+  for (std::int64_t i = 0; i < got.rows(); ++i) {
+    for (std::int64_t j = 0; j < got.cols(); ++j) {
+      const double g = got.at(i, j);
+      const double e = expect.at(i, j);
+      const double diff = g > e ? g - e : e - g;
+      if (diff <= tol) continue;
+      if (ulp_distance(g, e) <= max_ulp) continue;
+      return ::testing::AssertionFailure()
+             << "cell (" << i << "," << j << "): got " << g << " expect " << e
+             << " (diff " << diff << " > tol " << tol << ", "
+             << ulp_distance(g, e) << " ulp > " << max_ulp << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// FMA contraction and the accumulate-then-add block tile change rounding
+/// by a few ulp per k step; 256 is orders of magnitude above what the
+/// z <= 29 sweep produces while still catching any indexing bug (a wrong
+/// coefficient is wrong by ~1e15 ulp).
+constexpr std::uint64_t kMaxUlp = 256;
+
+TEST(KernelPathParse, AcceptsTheThreeNames) {
+  EXPECT_EQ(parse_kernel_path("auto"), KernelPath::kAuto);
+  EXPECT_EQ(parse_kernel_path("scalar"), KernelPath::kScalar);
+  EXPECT_EQ(parse_kernel_path("simd"), KernelPath::kSimd);
+  EXPECT_THROW(parse_kernel_path("avx512"), Error);
+  EXPECT_THROW(parse_kernel_path(""), Error);
+}
+
+TEST(MicroKernelDispatch, ScalarAlwaysAvailable) {
+  const MicroKernel k = scalar_micro_kernel();
+  ASSERT_NE(k.fn, nullptr);
+  EXPECT_STREQ(k.name, "scalar-4x8");
+}
+
+TEST(MicroKernelDispatch, BestMatchesAvailability) {
+  const MicroKernel best = best_micro_kernel();
+  ASSERT_NE(best.fn, nullptr);
+  if (simd_kernel_available()) {
+    EXPECT_STREQ(best.name, "avx2-fma-4x8");
+    EXPECT_EQ(simd_unavailable_reason(), "");
+    EXPECT_NE(simd_micro_kernel().fn, nullptr);
+  } else {
+    EXPECT_STREQ(best.name, "scalar-4x8");
+    EXPECT_NE(simd_unavailable_reason(), "");
+    EXPECT_THROW(simd_micro_kernel(), Error);
+  }
+}
+
+TEST(KernelContext, ForcedSimdThrowsWhenUnavailable) {
+  if (simd_kernel_available()) {
+    EXPECT_NO_THROW(KernelContext(1, KernelPath::kSimd));
+  } else {
+    EXPECT_THROW(KernelContext(1, KernelPath::kSimd), Error);
+  }
+  EXPECT_THROW(KernelContext(0), Error);
+}
+
+TEST(Pack, SizesRoundUpToTheStride) {
+  EXPECT_EQ(packed_a_size(4, 3, 4), 4 * 3);
+  EXPECT_EQ(packed_a_size(5, 3, 4), 8 * 3);  // 2 strips of 4 rows
+  EXPECT_EQ(packed_b_size(3, 8, 8), 8 * 3);
+  EXPECT_EQ(packed_b_size(3, 9, 8), 16 * 3);  // 2 strips of 8 cols
+}
+
+TEST(Pack, APanelIsMrStridedAndZeroPadded) {
+  Matrix a = random_matrix(7, 6, 5);
+  const std::int64_t mb = 6, kb = 3, mr = 4;  // ragged: strip 2 has 2 rows
+  std::vector<double> out(
+      static_cast<std::size_t>(packed_a_size(mb, kb, mr)), -1.0);
+  pack_a_panel(a, /*i0=*/1, /*k0=*/2, mb, kb, mr, out.data());
+  for (std::int64_t s = 0; s < 2; ++s) {      // strips of mr rows
+    const double* strip = out.data() + s * mr * kb;
+    for (std::int64_t k = 0; k < kb; ++k) {
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const std::int64_t row = s * mr + r;
+        const double expect = row < mb ? a.at(1 + row, 2 + k) : 0.0;
+        EXPECT_DOUBLE_EQ(strip[k * mr + r], expect) << s << "," << k << "," << r;
+      }
+    }
+  }
+}
+
+TEST(Pack, BPanelIsNrStridedAndZeroPadded) {
+  Matrix b = random_matrix(6, 13, 6);
+  const std::int64_t kb = 4, nb = 10, nr = 8;  // ragged: strip 2 has 2 cols
+  std::vector<double> out(
+      static_cast<std::size_t>(packed_b_size(kb, nb, nr)), -1.0);
+  pack_b_panel(b, /*k0=*/2, /*j0=*/3, kb, nb, nr, out.data());
+  for (std::int64_t s = 0; s < 2; ++s) {       // strips of nr columns
+    const double* strip = out.data() + s * nr * kb;
+    for (std::int64_t k = 0; k < kb; ++k) {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const std::int64_t col = s * nr + j;
+        const double expect = col < nb ? b.at(2 + k, 3 + col) : 0.0;
+        EXPECT_DOUBLE_EQ(strip[k * nr + j], expect) << s << "," << k << "," << j;
+      }
+    }
+  }
+}
+
+TEST(MicroKernel, ScalarComputesOneRegisterTile) {
+  // One full MR x NR tile through pack + kernel against the hand loop.
+  Matrix a = random_matrix(kMicroM, 5, 7);
+  Matrix b = random_matrix(5, kMicroN, 8);
+  std::vector<double> ap(static_cast<std::size_t>(packed_a_size(kMicroM, 5, kMicroM)));
+  std::vector<double> bp(static_cast<std::size_t>(packed_b_size(5, kMicroN, kMicroN)));
+  pack_a_panel(a, 0, 0, kMicroM, 5, kMicroM, ap.data());
+  pack_b_panel(b, 0, 0, 5, kMicroN, kMicroN, bp.data());
+  Matrix c(kMicroM, kMicroN, 0.5);
+  scalar_micro_kernel().fn(5, ap.data(), bp.data(), c.row_ptr(0), kMicroN);
+  for (std::int64_t i = 0; i < kMicroM; ++i) {
+    for (std::int64_t j = 0; j < kMicroN; ++j) {
+      double expect = 0.5;
+      for (std::int64_t k = 0; k < 5; ++k) expect += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), expect, 1e-13) << i << "," << j;
+    }
+  }
+}
+
+TEST(MicroKernel, SimdAgreesWithScalar) {
+  if (!simd_kernel_available()) {
+    GTEST_SKIP() << "SIMD kernel not available: " << simd_unavailable_reason();
+  }
+  Matrix a = random_matrix(kMicroM, 64, 9);
+  Matrix b = random_matrix(64, kMicroN, 10);
+  std::vector<double> ap(static_cast<std::size_t>(packed_a_size(kMicroM, 64, kMicroM)));
+  AlignedVector bp(static_cast<std::size_t>(packed_b_size(64, kMicroN, kMicroN)));
+  pack_a_panel(a, 0, 0, kMicroM, 64, kMicroM, ap.data());
+  pack_b_panel(b, 0, 0, 64, kMicroN, kMicroN, bp.data());
+  Matrix cs(kMicroM, kMicroN, 1.0);
+  Matrix cv(kMicroM, kMicroN, 1.0);
+  scalar_micro_kernel().fn(64, ap.data(), bp.data(), cs.row_ptr(0), kMicroN);
+  simd_micro_kernel().fn(64, ap.data(), bp.data(), cv.row_ptr(0), kMicroN);
+  EXPECT_TRUE(matches_within_ulp(cv, cs, 64, kMaxUlp));
+}
+
+/// Satellite sweep (docs/kernels.md): every engine against the reference
+/// over ragged shapes m, n, z in {1, q-1, q, q+1, 3q+5} with q = 8, so
+/// every micro-tile edge case (full tiles, 1-wide remainders, multi-block
+/// k panels) is exercised, under both forced kernel paths.
+class MicroEngineSweep : public ::testing::TestWithParam<KernelPath> {};
+
+TEST_P(MicroEngineSweep, AllEnginesMatchReference) {
+  const KernelPath path = GetParam();
+  if (path == KernelPath::kSimd && !simd_kernel_available()) {
+    GTEST_SKIP() << "SIMD kernel not available: " << simd_unavailable_reason();
+  }
+  const std::int64_t q = 8;
+  const std::int64_t sizes[] = {1, q - 1, q, q + 1, 3 * q + 5};
+  for (const std::int64_t m : sizes) {
+    for (const std::int64_t n : sizes) {
+      for (const std::int64_t z : sizes) {
+        Matrix a = random_matrix(m, z, static_cast<std::uint64_t>(m * 1000 + z));
+        Matrix b = random_matrix(z, n, static_cast<std::uint64_t>(z * 1000 + n));
+        Matrix expect(m, n, 0.125);  // non-zero start: must accumulate
+        gemm_reference(expect, a, b);
+
+        KernelContext ctx(1, path);
+        Matrix micro(m, n, 0.125);
+        gemm_micro(micro, a, b, q, ctx);
+        ASSERT_TRUE(matches_within_ulp(micro, expect, z, kMaxUlp))
+            << "gemm_micro[" << ctx.dispatch_name() << "] m=" << m
+            << " n=" << n << " z=" << z;
+
+        if (path == KernelPath::kScalar) {
+          Matrix packed(m, n, 0.125);
+          gemm_blocked_packed(packed, a, b, q);
+          ASSERT_TRUE(matches_within_ulp(packed, expect, z, kMaxUlp))
+              << "gemm_blocked_packed m=" << m << " n=" << n << " z=" << z;
+          Matrix blocked(m, n, 0.125);
+          gemm_blocked(blocked, a, b, q);
+          ASSERT_TRUE(matches_within_ulp(blocked, expect, z, kMaxUlp))
+              << "gemm_blocked m=" << m << " n=" << n << " z=" << z;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MicroEngineSweep, AllSchedulesMatchReference) {
+  const KernelPath path = GetParam();
+  if (path == KernelPath::kSimd && !simd_kernel_available()) {
+    GTEST_SKIP() << "SIMD kernel not available: " << simd_unavailable_reason();
+  }
+  Tiling t;
+  t.q = 8;
+  t.lambda = 3;
+  t.mu = 2;
+  t.alpha = 4;
+  t.beta = 2;
+  using CtxGemmFn = void (*)(Matrix&, const Matrix&, const Matrix&,
+                             const Tiling&, ThreadPool&, KernelContext&);
+  const CtxGemmFn schedules[] = {
+      &parallel_gemm_shared_opt, &parallel_gemm_distributed_opt,
+      &parallel_gemm_tradeoff, &parallel_gemm_outer_product};
+  const std::int64_t q = t.q;
+  const std::int64_t sizes[] = {1, q - 1, q + 1, 3 * q + 5};
+  ThreadPool pool(4);
+  KernelContext ctx(pool.workers(), path);
+  for (const std::int64_t m : sizes) {
+    for (const std::int64_t n : sizes) {
+      for (const std::int64_t z : sizes) {
+        Matrix a = random_matrix(m, z, static_cast<std::uint64_t>(m * 77 + z));
+        Matrix b = random_matrix(z, n, static_cast<std::uint64_t>(z * 77 + n));
+        Matrix expect(m, n, -0.5);
+        gemm_reference(expect, a, b);
+        for (const CtxGemmFn fn : schedules) {
+          Matrix got(m, n, -0.5);
+          fn(got, a, b, t, pool, ctx);
+          ASSERT_TRUE(matches_within_ulp(got, expect, z, kMaxUlp))
+              << "schedule under " << ctx.dispatch_name() << " m=" << m
+              << " n=" << n << " z=" << z;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, MicroEngineSweep,
+                         ::testing::Values(KernelPath::kScalar,
+                                           KernelPath::kSimd),
+                         [](const ::testing::TestParamInfo<KernelPath>& info) {
+                           return info.param == KernelPath::kScalar
+                                      ? "scalar"
+                                      : "simd";
+                         });
+
+/// Acceptance criterion: under the scalar kernel every schedule is
+/// bitwise-deterministic across worker counts (static ownership + fixed
+/// per-coefficient k order make the FP summation independent of p).
+TEST(MicroEngineDeterminism, BitwiseAcrossWorkerCounts) {
+  Tiling t;
+  t.q = 8;
+  t.lambda = 3;
+  t.mu = 2;
+  t.alpha = 4;
+  t.beta = 2;
+  using CtxGemmFn = void (*)(Matrix&, const Matrix&, const Matrix&,
+                             const Tiling&, ThreadPool&, KernelContext&);
+  const CtxGemmFn schedules[] = {
+      &parallel_gemm_shared_opt, &parallel_gemm_distributed_opt,
+      &parallel_gemm_tradeoff, &parallel_gemm_outer_product};
+  const std::int64_t m = 29, n = 27, z = 31;
+  Matrix a = random_matrix(m, z, 41);
+  Matrix b = random_matrix(z, n, 42);
+  for (const CtxGemmFn fn : schedules) {
+    Matrix baseline(m, n, 0.75);
+    {
+      ThreadPool pool(1);
+      KernelContext ctx(1, KernelPath::kScalar);
+      fn(baseline, a, b, t, pool, ctx);
+    }
+    for (const int workers : {2, 3, 5}) {
+      Matrix got(m, n, 0.75);
+      ThreadPool pool(workers);
+      KernelContext ctx(workers, KernelPath::kScalar);
+      fn(got, a, b, t, pool, ctx);
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          ASSERT_EQ(std::bit_cast<std::uint64_t>(got.at(i, j)),
+                    std::bit_cast<std::uint64_t>(baseline.at(i, j)))
+              << workers << " workers, cell (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelContext, RejectsWorkerIdOutOfRange) {
+  KernelContext ctx(2, KernelPath::kScalar);
+  Matrix a = random_matrix(4, 4, 1);
+  Matrix b = random_matrix(4, 4, 2);
+  Matrix c(4, 4);
+  EXPECT_THROW(ctx.block_op(2, c, a, b, 0, 0, 0, 4, 4, 4), Error);
+  EXPECT_THROW(ctx.block_op(-1, c, a, b, 0, 0, 0, 4, 4, 4), Error);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "util/error.hpp"
 
@@ -71,6 +72,18 @@ TEST(Matrix, ZeroSizedIsFine) {
   Matrix m(0, 0);
   EXPECT_EQ(m.rows(), 0);
   EXPECT_THROW(Matrix(-1, 2), Error);
+}
+
+TEST(Matrix, StorageIs64ByteAligned) {
+  // The SIMD micro-kernel issues aligned loads on packed B panels; the
+  // AlignedAllocator behind Matrix (and AlignedVector) guarantees 64-byte
+  // storage alignment regardless of shape.
+  for (const std::int64_t n : {1, 3, 7, 64}) {
+    Matrix m(n, n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % 64, 0u) << n;
+  }
+  AlignedVector v(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
 }
 
 }  // namespace

@@ -89,10 +89,12 @@ TEST(ParallelGemm, NonSquareWorkerCountsUseBalancedGrids) {
   Matrix expect(20, 20);
   gemm_reference(expect, a, b);
   const Tiling t = small_tiling();
+  const GemmFn grid_fns[] = {&parallel_gemm_distributed_opt,
+                             &parallel_gemm_tradeoff,
+                             &parallel_gemm_outer_product};
   for (const int workers : {2, 3, 5, 6, 8}) {
     ThreadPool pool(workers);
-    for (GemmFn fn : {&parallel_gemm_distributed_opt, &parallel_gemm_tradeoff,
-                      &parallel_gemm_outer_product}) {
+    for (const GemmFn fn : grid_fns) {
       Matrix got(20, 20);
       fn(got, a, b, t, pool);
       EXPECT_TRUE(gemm_matches(got, expect, 14)) << workers << " workers";

@@ -74,5 +74,38 @@ TEST(ThreadPool, ParallelForHandlesFewerItemsThanWorkers) {
   EXPECT_EQ(total.load(), 3);
 }
 
+TEST(ThreadPool, PinWorkersToCpuZeroSucceedsOnLinux) {
+  // CPU 0 always exists, so on Linux both workers pin to it; elsewhere the
+  // call is a supported no-op returning 0.
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.pinned_workers(), 0);
+  const int pinned = pool.pin_workers({0});
+#ifdef __linux__
+  EXPECT_EQ(pinned, 2);
+#else
+  EXPECT_EQ(pinned, 0);
+#endif
+  EXPECT_EQ(pool.pinned_workers(), pinned);
+  // Pinned pools must still execute work on every worker.
+  std::atomic<int> counter{0};
+  pool.run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, PinWorkersSkipsInvalidCpuIds) {
+  ThreadPool pool(2);
+  // Negative and absurdly large ids are skipped rather than fatal.
+  const int pinned = pool.pin_workers({-1, 1 << 20});
+  EXPECT_EQ(pinned, 0);
+  std::atomic<int> counter{0};
+  pool.run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, PinWorkersWithEmptyListIsANoOp) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.pin_workers({}), 0);
+}
+
 }  // namespace
 }  // namespace mcmm

@@ -31,7 +31,9 @@
 #include "exp/experiment.hpp"
 #include "exp/figure_options.hpp"
 #include "exp/sweep_runner.hpp"
+#include "hw/affinity.hpp"
 #include "hw/machine_profile.hpp"
+#include "hw/topology.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -70,8 +72,13 @@ std::vector<std::int64_t> parse_orders(const std::string& list) {
 
 int run_sweep(const std::string& algorithm,
               const std::vector<std::int64_t>& orders,
-              const MachineConfig& cfg, Setting setting, int jobs, bool json) {
+              const MachineConfig& cfg, Setting setting, int jobs, bool json,
+              bool pin) {
   SweepRunner runner(jobs);
+  if (pin) {
+    const HostTopology topo = detect_host_topology();
+    if (topo.detected()) runner.set_pin_cpus(affinity_cpus(topo, jobs));
+  }
   struct Row {
     std::size_t ms, md, tdata;
   };
@@ -123,6 +130,9 @@ int main(int argc, char** argv) {
   CliParser cli;
   cli.add_flag("json", "machine-readable output");
   cli.add_flag("audit", "run the invariant auditor; violations exit 1");
+  cli.add_flag("pin",
+               "pin sweep workers to distinct L2 domains (no-op without "
+               "detected topology)");
   cli.add_flag("list", "list the available schedules and exit");
   cli.add_option("algorithm", "schedule to run (see --list)", "tradeoff");
   cli.add_option("m", "block-rows of A and C", "48");
@@ -180,7 +190,7 @@ int main(int argc, char** argv) {
     const int jobs =
         jobs_raw >= 1 ? static_cast<int>(jobs_raw) : default_sweep_jobs();
     return run_sweep(algorithm, parse_orders(cli.str("orders")), cfg, setting,
-                     jobs, cli.flag("json"));
+                     jobs, cli.flag("json"), cli.flag("pin"));
   }
 
   const bool audit = cli.flag("audit");
