@@ -70,6 +70,10 @@ void BenchDriver::annotate(const std::string& key, const std::string& value) {
   annotations_.emplace_back(key, value);
 }
 
+void BenchDriver::set_trace_summary(std::string trace_json) {
+  trace_json_ = std::move(trace_json);
+}
+
 void BenchDriver::finish() {
   MCMM_REQUIRE(!finished_, "BenchDriver::finish: called twice");
   finished_ = true;
@@ -127,6 +131,7 @@ void BenchDriver::finish() {
   for (const CustomFill& c : custom_fills_) custom_serial_ms += c.wall_ms;
   report.set_timing(opt_.jobs, runner_.total_wall_ms() + custom_wall_ms,
                     runner_.serial_wall_ms() + custom_serial_ms);
+  if (!trace_json_.empty()) report.set_trace_summary(trace_json_);
   report.write(opt_.json_path);
   // Status note on stderr so stdout stays byte-comparable across --jobs.
   std::fprintf(stderr, "bench report written to %s\n", opt_.json_path.c_str());

@@ -65,6 +65,11 @@ public:
   /// state, ...) to the JSON report's "results.context" object.
   void annotate(const std::string& key, const std::string& value);
 
+  /// Attach a pre-serialized mcmm-trace-summary-v1 document; forwarded to
+  /// BenchReport::set_trace_summary (emitted under "timing.trace") when
+  /// finish() writes the --json report.
+  void set_trace_summary(std::string trace_json);
+
   /// Simulate, fill, print, and (with --json) write the report.
   void finish();
 
@@ -97,6 +102,7 @@ private:
   std::deque<Titled> tables_;
   std::vector<SimFill> sim_fills_;
   std::vector<CustomFill> custom_fills_;
+  std::string trace_json_;
   bool finished_ = false;
 };
 

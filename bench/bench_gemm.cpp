@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "hw/affinity.hpp"
 #include "hw/machine_profile.hpp"
 #include "hw/topology.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -37,6 +40,11 @@ struct HostSetup {
   KernelPath kernel_path = KernelPath::kAuto;
   bool pin = false;
   std::string source = "defaults (4 cores, 8 MB shared, 256 KB private)";
+  /// --trace FILE / --trace-summary: one tracer shared by every benchmark
+  /// (created in main() once the thread count is known; null = tracing off).
+  std::string trace_path;
+  bool trace_summary = false;
+  std::unique_ptr<ExecutionTracer> tracer;
 };
 
 HostSetup& host_setup() {
@@ -107,6 +115,9 @@ void BM_GemmMicroKernel(benchmark::State& state) {
   a.fill_random(1);
   b.fill_random(2);
   KernelContext ctx(1, host_setup().kernel_path);
+  // Spans land outside any region (worker 0 only) — they show up in the
+  // summary totals but not in per-region attribution.
+  ctx.set_tracer(host_setup().tracer.get());
   for (auto _ : state) {
     c.set_zero();
     gemm_micro(c, a, b, 64, ctx);
@@ -132,6 +143,8 @@ void run_parallel(benchmark::State& state, Fn fn) {
   ThreadPool pool(setup.threads);
   if (setup.pin) pin_pool_to_host(pool, detect_host_topology());
   KernelContext ctx(pool.workers(), setup.kernel_path);
+  pool.set_tracer(setup.tracer.get());
+  ctx.set_tracer(setup.tracer.get());
   const Tiling t = host_tiling();
   for (auto _ : state) {
     c.set_zero();
@@ -149,7 +162,11 @@ void BM_ParallelSharedOpt(benchmark::State& state) {
     parallel_gemm_shared_opt(c, a, b, t, pool, ctx);
   });
 }
-BENCHMARK(BM_ParallelSharedOpt)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelSharedOpt)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ParallelDistributedOpt(benchmark::State& state) {
   run_parallel(state, [](Matrix& c, const Matrix& a, const Matrix& b,
@@ -158,7 +175,11 @@ void BM_ParallelDistributedOpt(benchmark::State& state) {
     parallel_gemm_distributed_opt(c, a, b, t, pool, ctx);
   });
 }
-BENCHMARK(BM_ParallelDistributedOpt)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelDistributedOpt)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ParallelTradeoff(benchmark::State& state) {
   run_parallel(state, [](Matrix& c, const Matrix& a, const Matrix& b,
@@ -167,7 +188,11 @@ void BM_ParallelTradeoff(benchmark::State& state) {
     parallel_gemm_tradeoff(c, a, b, t, pool, ctx);
   });
 }
-BENCHMARK(BM_ParallelTradeoff)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelTradeoff)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ParallelOuterProduct(benchmark::State& state) {
   run_parallel(state, [](Matrix& c, const Matrix& a, const Matrix& b,
@@ -176,7 +201,11 @@ void BM_ParallelOuterProduct(benchmark::State& state) {
     parallel_gemm_outer_product(c, a, b, t, pool, ctx);
   });
 }
-BENCHMARK(BM_ParallelOuterProduct)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelOuterProduct)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 /// Pull --machine FILE / --machine=FILE, --threads N, --kernel PATH, and
 /// --pin out of argv (they are ours, not google-benchmark's) and resolve
@@ -212,6 +241,10 @@ void resolve_host_setup(int* argc, char** argv) {
       setup.kernel_path = parse_kernel_path(value);
     } else if (arg == "--pin") {
       setup.pin = true;
+    } else if (take_value("--trace", &value)) {
+      setup.trace_path = value;
+    } else if (arg == "--trace-summary") {
+      setup.trace_summary = true;
     } else {
       kept.push_back(argv[i]);
     }
@@ -241,7 +274,10 @@ void resolve_host_setup(int* argc, char** argv) {
 
 int main(int argc, char** argv) {
   resolve_host_setup(&argc, argv);
-  const HostSetup& setup = host_setup();
+  HostSetup& setup = host_setup();
+  if (!setup.trace_path.empty() || setup.trace_summary) {
+    setup.tracer = std::make_unique<ExecutionTracer>(setup.threads);
+  }
   const KernelContext probe(1, setup.kernel_path);
   std::printf("host setup: %s\n", setup.source.c_str());
   std::printf("  threads=%d q=%lld lambda=%lld mu=%lld alpha=%lld beta=%lld\n",
@@ -256,5 +292,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (setup.tracer != nullptr) {
+    if (!setup.trace_path.empty()) {
+      write_chrome_trace(*setup.tracer, setup.trace_path);
+      std::fprintf(stderr, "trace written to %s\n", setup.trace_path.c_str());
+    }
+    if (setup.trace_summary) print_trace_summary(summarize_trace(*setup.tracer));
+  }
   return 0;
 }

@@ -20,6 +20,7 @@
 //
 //   $ ext_model_vs_hw --machine machine.json --json BENCH_model_vs_hw.json
 //   $ ext_model_vs_hw --no-counters --max-order 8 --csv        # CI smoke
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -27,12 +28,16 @@
 
 #include "bench_common.hpp"
 #include "exp/sweep.hpp"
+#include "exp/timeline.hpp"
 #include "gemm/kernel.hpp"
 #include "gemm/parallel_gemm.hpp"
 #include "hw/affinity.hpp"
+#include "hw/bandwidth.hpp"
 #include "hw/machine_profile.hpp"
 #include "hw/perf_counters.hpp"
 #include "hw/topology.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
 
 using namespace mcmm;
 
@@ -107,6 +112,10 @@ int main(int argc, char** argv) {
   cli.add_option("setting", "simulator setting: ideal | lru50 | lru | lru2x",
                  "lru50");
   cli.add_option("json", "write the mcmm-bench-v1 report here", "");
+  cli.add_option("trace",
+                 "write a Chrome trace-event JSON of the measured runs here",
+                 "");
+  cli.add_flag("trace-summary", "print the per-worker phase summary table");
   if (!cli.parse(argc, argv)) return 0;
 
   MachineProfile profile;
@@ -154,7 +163,13 @@ int main(int argc, char** argv) {
   ThreadPool pool(threads);
   int pinned = 0;
   if (cli.flag("pin")) {
-    pinned = pin_pool_to_host(pool, profile.topology);
+    // Pin against the *live* topology when possible: its per-CPU L2 domain
+    // map handles split-sibling SMT numbering, which a profile loaded from
+    // disk (mcmm-machine-v1 carries no per-CPU map) cannot.
+    HostTopology pin_topo =
+        cli.is_set("machine") ? detect_host_topology() : profile.topology;
+    if (!pin_topo.detected()) pin_topo = profile.topology;
+    pinned = pin_pool_to_host(pool, pin_topo);
   }
   KernelContext ctx(pool.workers(), parse_kernel_path(cli.str("kernel")));
 
@@ -175,7 +190,11 @@ int main(int argc, char** argv) {
 
   // --- Measured half: serial over (schedule, order), counters bracketed
   // around each run; a warm-up execution first so page faults and cache
-  // warm-up do not land in the measured window.
+  // warm-up do not land in the measured window.  The tracer is attached
+  // only around the measured execution (the warm-up stays invisible), so
+  // region k of the trace is exactly the k-th measured run in loop order.
+  ExecutionTracer tracer(pool.workers());
+  std::map<std::pair<std::string, std::int64_t>, std::size_t> region_of;
   std::map<std::pair<std::string, std::int64_t>, HwRun> hw;
   for (const Schedule& sched : kSchedules) {
     for (const std::int64_t order : orders) {
@@ -187,11 +206,16 @@ int main(int argc, char** argv) {
       b.fill_random(2);
       sched.fn(c, a, b, tiling, pool, ctx);  // warm-up
       c.set_zero();
+      pool.set_tracer(&tracer);
+      ctx.set_tracer(&tracer);
       const auto t0 = std::chrono::steady_clock::now();
       session.begin();
       sched.fn(c, a, b, tiling, pool, ctx);
       const CounterSample d = session.end();
       const auto t1 = std::chrono::steady_clock::now();
+      pool.set_tracer(nullptr);
+      ctx.set_tracer(nullptr);
+      region_of[{sched.name, order}] = tracer.num_regions() - 1;
       HwRun run;
       run.available = d.available;
       run.ms_blocks = static_cast<double>(d.llc_misses) / lines_per_block;
@@ -274,6 +298,115 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // --- Envelope validation: run the predicted half now (finish() will
+  // find nothing pending) — the envelopes need each run's MachineStats,
+  // not just the headline metrics.
+  driver.runner().run();
+  std::map<std::pair<std::string, std::int64_t>, std::size_t> sim_of;
+  for (std::size_t sim = 0; sim < driver.runner().num_simulations(); ++sim) {
+    const SweepPoint& pt = driver.runner().simulation(sim);
+    sim_of[{pt.algorithm, pt.problem.m}] = sim;
+  }
+
+  // Physical bandwidths in blocks per millisecond.  1 GB/s = 1e6 bytes/ms;
+  // one block is q^2 doubles.  Quick-measure when the profile carries no
+  // measured sweep (topology-only runs).
+  BandwidthEstimate bw = profile.bandwidth;
+  if (!bw.measured) {
+    BandwidthOptions bopt;
+    bopt.quick = true;
+    bw = measure_host_bandwidth(profile.topology, bopt);
+  }
+  const double block_bytes =
+      static_cast<double>(q) * static_cast<double>(q) * 8.0;
+  const double sigma_s_ms = bw.mem_gbs * 1e6 / block_bytes;
+  const double sigma_d_ms = bw.llc_gbs * 1e6 / block_bytes;
+  const bool sigma_ok = sigma_s_ms > 0 && sigma_d_ms > 0;
+
+  const TraceSummary summary = summarize_trace(tracer);
+
+  // Per-run compute rate (block FMAs per ms): the busiest worker's traced
+  // micro-kernel time against the busiest simulated core's FMA count.
+  const auto busiest_micro_ms = [&](const std::string& name,
+                                    std::int64_t order) {
+    const auto it = region_of.find({name, order});
+    if (it == region_of.end() || it->second >= summary.regions.size()) {
+      return 0.0;
+    }
+    double out = 0;
+    for (const PhaseTotals& w : summary.regions[it->second].workers) {
+      out = std::max(out, w.ms(TracePhase::kMicroKernel));
+    }
+    return out;
+  };
+
+  std::map<std::pair<std::string, std::int64_t>, TimeEnvelope> env_of;
+  {
+    SeriesTable& table = driver.table(
+        "time envelope: measured wall vs no-overlap (serial) and "
+        "perfect-overlap bounds (ms)",
+        "order");
+    for (const Schedule& sched : kSchedules) {
+      const std::size_t s_wall =
+          table.add_series(std::string(sched.name) + ".wall_ms");
+      const std::size_t s_serial =
+          table.add_series(std::string(sched.name) + ".serial_ms");
+      const std::size_t s_overlap =
+          table.add_series(std::string(sched.name) + ".overlap_ms");
+      for (const std::int64_t order : orders) {
+        const auto x = static_cast<double>(order);
+        table.set(s_wall, x, hw[{sched.name, order}].wall_ms);
+        const RunResult& res =
+            driver.runner().result(sim_of.at({sched.name, order}));
+        const double micro_ms = busiest_micro_ms(sched.name, order);
+        std::int64_t busiest_fmas = 0;
+        for (const std::int64_t f : res.stats.fmas) {
+          busiest_fmas = std::max(busiest_fmas, f);
+        }
+        // Leave the bound cells null when the rate is unavailable (dropped
+        // trace spans or a degenerate bandwidth sweep).
+        if (!sigma_ok || micro_ms <= 0 || busiest_fmas <= 0) continue;
+        MachineConfig env_cfg = cfg;
+        env_cfg.sigma_s = sigma_s_ms;
+        env_cfg.sigma_d = sigma_d_ms;
+        const TimeEnvelope env = time_envelope(
+            res.stats, env_cfg, static_cast<double>(busiest_fmas) / micro_ms);
+        table.set(s_serial, x, env.serial);
+        table.set(s_overlap, x, env.overlap);
+        env_of[{sched.name, order}] = env;
+      }
+    }
+  }
+  {
+    // Where each worker's region time went on the largest product (the
+    // full per-region attribution is embedded under timing.trace).
+    const std::int64_t top = orders.back();
+    SeriesTable& table = driver.table(
+        "per-worker phase attribution at order " + std::to_string(top) +
+            " (ms)",
+        "worker");
+    for (const Schedule& sched : kSchedules) {
+      const std::size_t s_pack_a =
+          table.add_series(std::string(sched.name) + ".pack_a_ms");
+      const std::size_t s_pack_b =
+          table.add_series(std::string(sched.name) + ".pack_b_ms");
+      const std::size_t s_micro =
+          table.add_series(std::string(sched.name) + ".micro_kernel_ms");
+      const std::size_t s_barrier =
+          table.add_series(std::string(sched.name) + ".barrier_ms");
+      const std::size_t region = region_of[{sched.name, top}];
+      if (region >= summary.regions.size()) continue;
+      const RegionSummary& r = summary.regions[region];
+      for (std::size_t w = 0; w < r.workers.size(); ++w) {
+        const auto x = static_cast<double>(w);
+        table.set(s_pack_a, x, r.workers[w].ms(TracePhase::kPackA));
+        table.set(s_pack_b, x, r.workers[w].ms(TracePhase::kPackB));
+        table.set(s_micro, x, r.workers[w].ms(TracePhase::kMicroKernel));
+        table.set(s_barrier, x, r.workers[w].ms(TracePhase::kBarrier));
+      }
+    }
+  }
+  driver.set_trace_summary(trace_summary_json(summary));
   driver.finish();
 
   // --- Ratio summary: measured / predicted, aggregated over the sweep.
@@ -303,5 +436,36 @@ int main(int argc, char** argv) {
                 sim_ms > 0 ? hw_ms / sim_ms : 0,
                 sim_md > 0 ? hw_md / sim_md : 0);
   }
+
+  // --- Envelope summary at the largest order: where each schedule's
+  // measured wall time sits in [overlap, serial], and which resource the
+  // perfect-overlap bound says saturates first.
+  const std::int64_t top = orders.back();
+  std::printf(
+      "\n# envelope at order %lld: measured wall vs [overlap, serial] "
+      "bounds (ms)\n",
+      static_cast<long long>(top));
+  for (const Schedule& sched : kSchedules) {
+    const auto it = env_of.find({sched.name, top});
+    if (it == env_of.end()) {
+      std::printf("  %-18s n/a (trace or bandwidth unavailable)\n",
+                  sched.name);
+      continue;
+    }
+    const TimeEnvelope& env = it->second;
+    const double wall = hw[{sched.name, top}].wall_ms;
+    std::printf(
+        "  %-18s wall %9.3f  serial %9.3f  overlap %9.3f  "
+        "wall/serial %.3fx  wall/overlap %.3fx  saturates %s\n",
+        sched.name, wall, env.serial, env.overlap,
+        env.serial > 0 ? wall / env.serial : 0,
+        env.overlap > 0 ? wall / env.overlap : 0, to_string(env.bottleneck));
+  }
+
+  if (!cli.str("trace").empty()) {
+    write_chrome_trace(tracer, cli.str("trace"));
+    std::fprintf(stderr, "trace written to %s\n", cli.str("trace").c_str());
+  }
+  if (cli.flag("trace-summary")) print_trace_summary(summary);
   return 0;
 }

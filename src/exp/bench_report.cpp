@@ -37,6 +37,11 @@ void BenchReport::set_timing(int jobs, double total_wall_ms,
   serial_wall_ms_ = serial_wall_ms;
 }
 
+void BenchReport::set_trace_summary(const std::string& trace_json) {
+  if (!trace_json.empty()) json_parse(trace_json);  // throws when malformed
+  trace_json_ = trace_json;
+}
+
 void BenchReport::set_requests(std::size_t requests, std::size_t cache_hits) {
   requests_ = requests;
   cache_hits_ = cache_hits;
@@ -133,7 +138,9 @@ void BenchReport::emit(JsonWriter& w, bool include_timing) const {
             total_wall_ms_ > 0 ? serial_wall_ms_ / total_wall_ms_ : 1.0);
     w.key("point_wall_ms").begin_array();
     for (const Point& p : points_) w.value(p.wall_ms);
-    w.end_array().end_object();
+    w.end_array();
+    if (!trace_json_.empty()) w.key("trace").raw_value(trace_json_);
+    w.end_object();
   }
   w.end_object();
 }

@@ -51,6 +51,13 @@ public:
   /// Record the run's parallelism and aggregate wall times.
   void set_timing(int jobs, double total_wall_ms, double serial_wall_ms);
 
+  /// Attach a pre-serialized mcmm-trace-summary-v1 document (see
+  /// src/obs/trace_export.hpp).  Emitted verbatim as "trace" inside the
+  /// *timing* subtree — trace timings are nondeterministic, so "results"
+  /// stays byte-stable with or without tracing.  Throws mcmm::Error on
+  /// malformed JSON; an empty string clears it.
+  void set_trace_summary(const std::string& trace_json);
+
   /// Memo-cache accounting (deterministic, lives under "results").
   void set_requests(std::size_t requests, std::size_t cache_hits);
 
@@ -89,6 +96,7 @@ private:
   int jobs_ = 1;
   double total_wall_ms_ = 0;
   double serial_wall_ms_ = 0;
+  std::string trace_json_;
 };
 
 }  // namespace mcmm

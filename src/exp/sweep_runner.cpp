@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "gemm/thread_pool.hpp"
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 
 namespace mcmm {
@@ -86,7 +87,14 @@ void SweepRunner::run() {
   }
   if (pending.empty()) return;
 
-  const double t0 = now_ms();
+  // Destructor-based accounting: a worker exception propagates to the
+  // caller, but the wall time was still spent and must still be counted.
+  struct WallGuard {
+    double t0;
+    double* acc;
+    ~WallGuard() { *acc += now_ms() - t0; }
+  } wall_guard{now_ms(), &total_wall_ms_};
+
   const auto evaluate = [this](std::size_t sim) {
     Simulation& s = points_[sim];
     const double start = now_ms();
@@ -99,8 +107,24 @@ void SweepRunner::run() {
   const int workers =
       static_cast<int>(std::min<std::size_t>(
           static_cast<std::size_t>(jobs_), pending.size()));
+  ExecutionTracer* const tracer = tracer_;
   if (workers <= 1) {
-    for (const std::size_t sim : pending) evaluate(sim);
+    // Serial replay still produces a "sweep" region with one task span per
+    // simulation (on ring 0), closed even when a simulation throws.
+    if (tracer != nullptr) tracer->begin_region("sweep");
+    struct RegionGuard {
+      ExecutionTracer* t;
+      ~RegionGuard() {
+        if (t != nullptr) t->end_region();
+      }
+    } region_guard{tracer};
+    for (const std::size_t sim : pending) {
+      const std::int64_t begin_ns = tracer != nullptr ? tracer->now_ns() : 0;
+      evaluate(sim);
+      if (tracer != nullptr) {
+        tracer->record(0, TracePhase::kTask, begin_ns, tracer->now_ns());
+      }
+    }
   } else {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(pending.size());
@@ -108,10 +132,15 @@ void SweepRunner::run() {
       tasks.emplace_back([&evaluate, sim] { evaluate(sim); });
     }
     ThreadPool pool(workers);
+    if (tracer != nullptr) {
+      MCMM_REQUIRE(tracer->workers() >= workers,
+                   "SweepRunner: tracer has fewer rings than jobs");
+      pool.set_tracer(tracer);
+      pool.set_trace_label("sweep");
+    }
     if (!pin_cpus_.empty()) pool.pin_workers(pin_cpus_);
     pool.run_batch(tasks);
   }
-  total_wall_ms_ += now_ms() - t0;
 }
 
 double SweepRunner::value(std::size_t request_id) const {

@@ -31,6 +31,8 @@
 
 namespace mcmm {
 
+class ExecutionTracer;
+
 /// The paper's per-run scalar metrics.
 enum class Metric { kMs, kMd, kTdata, kTdataWithWritebacks };
 
@@ -86,6 +88,12 @@ public:
   /// wall times only — results are bit-identical either way.
   void set_pin_cpus(std::vector<int> cpus) { pin_cpus_ = std::move(cpus); }
 
+  /// Attach an ExecutionTracer (nullptr detaches): each run() becomes a
+  /// "sweep" region with one task span per simulation.  The tracer must
+  /// have at least jobs() rings.  Not owned; must outlive run() calls.
+  void set_tracer(ExecutionTracer* tracer) { tracer_ = tracer; }
+  ExecutionTracer* tracer() const { return tracer_; }
+
   int jobs() const { return jobs_; }
 
   /// Accounting: every request() call, the subset that hit the memo, and
@@ -118,6 +126,7 @@ private:
 
   int jobs_;
   std::vector<int> pin_cpus_;
+  ExecutionTracer* tracer_ = nullptr;
   std::vector<Request> requests_;
   std::vector<Simulation> points_;
   std::unordered_map<std::string, std::size_t> memo_;      // key -> sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gemm/pack.hpp"
+#include "obs/tracer.hpp"
 #include "util/math.hpp"
 
 namespace mcmm {
@@ -157,6 +158,12 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
   if (mb <= 0 || nb <= 0 || kb <= 0) return;
   WorkerState& st = states_[static_cast<std::size_t>(worker)];
 
+  // Phase spans chain off one running timestamp, so a fully instrumented
+  // block op costs at most four clock reads (pack-A end doubles as pack-B
+  // begin doubles as micro begin).
+  ExecutionTracer* const tracer = tracer_;
+  std::int64_t mark_ns = tracer != nullptr ? tracer->now_ns() : 0;
+
   // The schedules revisit A blocks along a row of C and B blocks across
   // their tile loops; memoising the packed panels per worker turns those
   // revisits into free reuse instead of repacking.
@@ -165,6 +172,11 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
     if (st.a_buf.size() < need) st.a_buf.resize(need);
     pack_a_panel(a, i0, k0, mb, kb, kMicroM, st.a_buf.data());
     st.a_key = {i0, k0, mb, kb};
+    if (tracer != nullptr) {
+      const std::int64_t t = tracer->now_ns();
+      tracer->record(worker, TracePhase::kPackA, mark_ns, t);
+      mark_ns = t;
+    }
   }
   // Mix from the high bits: block offsets are multiples of q, so the low
   // bits of (j0, k0) carry no entropy.
@@ -177,6 +189,11 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
     if (slot.buf.size() < need) slot.buf.resize(need);
     pack_b_panel(b, k0, j0, kb, nb, kMicroN, slot.buf.data());
     slot.key = {k0, j0, kb, nb};
+    if (tracer != nullptr) {
+      const std::int64_t t = tracer->now_ns();
+      tracer->record(worker, TracePhase::kPackB, mark_ns, t);
+      mark_ns = t;
+    }
   }
 
   const double* ap = st.a_buf.data();
@@ -203,6 +220,9 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
         }
       }
     }
+  }
+  if (tracer != nullptr) {
+    tracer->record(worker, TracePhase::kMicroKernel, mark_ns, tracer->now_ns());
   }
 }
 

@@ -23,6 +23,8 @@
 
 namespace mcmm {
 
+class ExecutionTracer;
+
 /// Reference: C += A * B with the classical triple loop (i, k, j order).
 void gemm_reference(Matrix& c, const Matrix& a, const Matrix& b);
 
@@ -90,6 +92,15 @@ public:
   /// product.  Direct block_op users working on fresh matrices must too.
   void invalidate();
 
+  /// Attach an ExecutionTracer (nullptr detaches): block_op then records
+  /// pack-A / pack-B / micro-kernel spans per worker (2-4 steady-clock
+  /// reads per block op — a few tens of ns against block work in the µs
+  /// range).  The tracer must have at least workers() rings and is usually
+  /// the one attached to the driving ThreadPool, so kernel phases land
+  /// inside the pool's regions.
+  void set_tracer(ExecutionTracer* tracer) { tracer_ = tracer; }
+  ExecutionTracer* tracer() const { return tracer_; }
+
 private:
   /// Identity of a packed sub-block (offsets + extents in coefficients).
   struct PackKey {
@@ -114,6 +125,7 @@ private:
   KernelPath path_;
   std::string name_;
   std::vector<WorkerState> states_;
+  ExecutionTracer* tracer_ = nullptr;
 };
 
 /// Sequential blocked GEMM over q x q blocks routed through `ctx`

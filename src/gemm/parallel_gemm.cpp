@@ -5,6 +5,7 @@
 
 #include "analysis/params.hpp"
 #include "util/math.hpp"
+#include "util/warnings.hpp"
 
 namespace mcmm {
 
@@ -75,15 +76,17 @@ Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
     // smaller physical CS would make the shared-cache parameters infeasible,
     // so clamp — but never silently, because the derived lambda then assumes
     // more shared cache than the machine has.
-    std::fprintf(stderr,
-                 "tiling_for_host: warning: shared cache holds %lld blocks "
-                 "but p*CD = %d*%lld = %lld; clamping CS to %lld (inclusive-"
-                 "hierarchy model) — derived lambda assumes more shared "
-                 "cache than is physical\n",
-                 static_cast<long long>(cfg.cs), p,
-                 static_cast<long long>(cfg.cd),
-                 static_cast<long long>(inclusive_cs),
-                 static_cast<long long>(inclusive_cs));
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "tiling_for_host: warning: shared cache holds %lld blocks "
+                  "but p*CD = %d*%lld = %lld; clamping CS to %lld (inclusive-"
+                  "hierarchy model) — derived lambda assumes more shared "
+                  "cache than is physical",
+                  static_cast<long long>(cfg.cs), p,
+                  static_cast<long long>(cfg.cd),
+                  static_cast<long long>(inclusive_cs),
+                  static_cast<long long>(inclusive_cs));
+    emit_warning(msg);
     cfg.cs = inclusive_cs;
   }
   Tiling t;
@@ -109,6 +112,7 @@ void parallel_gemm_shared_opt(Matrix& c, const Matrix& a, const Matrix& b,
   MCMM_REQUIRE(t.lambda >= 1, "parallel_gemm_shared_opt: lambda must be >= 1");
   check_context(pool, ctx);
   const int p = pool.workers();
+  pool.set_trace_label("shared-opt");
   pool.run_on_all([&](int core) {
     // Algorithm 1 loop order; each core owns a contiguous column chunk of
     // every lambda x lambda tile, so writes never collide.
@@ -146,6 +150,7 @@ void parallel_gemm_distributed_opt(Matrix& c, const Matrix& a,
   const Grid grid = balanced_grid(pool.workers());
   const std::int64_t tile_r = grid.r * t.mu;
   const std::int64_t tile_c = grid.c * t.mu;
+  pool.set_trace_label("distributed-opt");
   pool.run_on_all([&](int core) {
     const std::int64_t ci = core % grid.r;
     const std::int64_t cj = core / grid.r;
@@ -187,6 +192,7 @@ void parallel_gemm_tradeoff(Matrix& c, const Matrix& a, const Matrix& b,
   // even when the grid does not divide alpha evenly.
   const std::int64_t side_r = ceil_div(t.alpha, grid.r);
   const std::int64_t side_c = ceil_div(t.alpha, grid.c);
+  pool.set_trace_label("tradeoff");
   pool.run_on_all([&](int core) {
     const std::int64_t ci = core % grid.r;
     const std::int64_t cj = core / grid.r;
@@ -233,6 +239,7 @@ void parallel_gemm_outer_product(Matrix& c, const Matrix& a, const Matrix& b,
   const BlockGrid g = make_grid(c, a, b, t.q);
   check_context(pool, ctx);
   const Grid grid = balanced_grid(pool.workers());
+  pool.set_trace_label("outer-product");
   pool.run_on_all([&](int core) {
     const Range rows = chunk_range(g.mb, static_cast<int>(grid.r),
                                    static_cast<int>(core % grid.r));

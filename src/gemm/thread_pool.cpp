@@ -7,6 +7,7 @@
 #include <sched.h>
 #endif
 
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -73,10 +74,32 @@ int ThreadPool::pin_workers(const std::vector<int>& cpus) {
 }
 
 void ThreadPool::run_on_all(const std::function<void(int)>& job) {
+  // With a tracer attached, wrap the job so every worker's whole region
+  // execution lands as one kWork span (recorded even when the job throws,
+  // so barrier attribution stays consistent), and bracket the dispatch as
+  // a region.  The pool mutex below publishes begin_region's writes to the
+  // workers and the workers' ring writes back to end_region.
+  ExecutionTracer* const tracer = tracer_;
+  std::function<void(int)> traced;
+  const std::function<void(int)>* to_run = &job;
+  if (tracer != nullptr) {
+    tracer->begin_region(trace_label_);
+    traced = [tracer, &job](int core) {
+      const std::int64_t t0 = tracer->now_ns();
+      try {
+        job(core);
+      } catch (...) {
+        tracer->record(core, TracePhase::kWork, t0, tracer->now_ns());
+        throw;
+      }
+      tracer->record(core, TracePhase::kWork, t0, tracer->now_ns());
+    };
+    to_run = &traced;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     MCMM_ASSERT(remaining_ == 0, "ThreadPool: overlapping run_on_all");
-    job_ = &job;
+    job_ = to_run;
     remaining_ = workers();
     first_error_ = nullptr;
     ++generation_;
@@ -85,17 +108,35 @@ void ThreadPool::run_on_all(const std::function<void(int)>& job) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [&] { return remaining_ == 0; });
   job_ = nullptr;
+  if (tracer != nullptr) tracer->end_region();
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
 void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
   if (tasks.empty()) return;
   std::atomic<std::size_t> next{0};
-  run_on_all([&](int) {
-    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < tasks.size();
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      tasks[i]();
+  // First-error drain stop: once any task throws, the other workers stop
+  // claiming — a failed batch surfaces its error promptly instead of
+  // burning through the remaining tasks first.
+  std::atomic<bool> abort{false};
+  run_on_all([&](int core) {
+    ExecutionTracer* const tracer = tracer_;
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) break;
+      const std::int64_t t0 = tracer != nullptr ? tracer->now_ns() : 0;
+      try {
+        tasks[i]();
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        if (tracer != nullptr) {
+          tracer->record(core, TracePhase::kTask, t0, tracer->now_ns());
+        }
+        throw;
+      }
+      if (tracer != nullptr) {
+        tracer->record(core, TracePhase::kTask, t0, tracer->now_ns());
+      }
     }
   });
 }

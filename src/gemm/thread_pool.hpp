@@ -16,6 +16,8 @@
 
 namespace mcmm {
 
+class ExecutionTracer;
+
 class ThreadPool {
 public:
   /// Spawns `workers` threads (>= 1).  Worker ids are 0 .. workers-1.
@@ -50,10 +52,24 @@ public:
   /// Generic task-batch submit: execute every task in `tasks` exactly once,
   /// dynamically load-balanced across the workers (tasks are claimed from a
   /// shared atomic cursor, so heterogeneous task costs don't leave workers
-  /// idle).  Blocks until the batch drains; the first exception thrown by a
-  /// task is rethrown here.  Tasks must not submit further work to this
-  /// pool.
+  /// idle).  Blocks until the batch drains; when a task throws, the other
+  /// workers stop claiming new tasks (already-started tasks finish) and the
+  /// first exception is rethrown here.  Tasks must not submit further work
+  /// to this pool.
   void run_batch(const std::vector<std::function<void()>>& tasks);
+
+  /// Attach an ExecutionTracer (nullptr detaches).  While attached, every
+  /// run_on_all dispatch is bracketed as a tracer region labelled with the
+  /// current trace label, each worker's job is recorded as a kWork span,
+  /// and run_batch records a kTask span per claimed task.  The tracer must
+  /// have at least workers() rings and outlive the traced regions; safe to
+  /// flip between parallel regions only.
+  void set_tracer(ExecutionTracer* tracer) { tracer_ = tracer; }
+  ExecutionTracer* tracer() const { return tracer_; }
+
+  /// Label for subsequent traced regions (the schedule name); the pointer
+  /// must stay valid until the next set_trace_label call.
+  void set_trace_label(const char* label) { trace_label_ = label; }
 
 private:
   void worker_loop(int id);
@@ -68,6 +84,8 @@ private:
   int pinned_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
+  ExecutionTracer* tracer_ = nullptr;
+  const char* trace_label_ = "parallel";
 };
 
 }  // namespace mcmm

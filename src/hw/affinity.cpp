@@ -6,17 +6,60 @@
 
 namespace mcmm {
 
-std::vector<int> affinity_cpus(const HostTopology& topo, int workers) {
-  MCMM_REQUIRE(workers >= 1, "affinity_cpus: need at least one worker");
-  const int ncpu = std::max(topo.logical_cpus, 1);
-  const int stride = std::min(std::max(topo.l2_shared_by, 1), ncpu);
-  // The full permutation: one CPU per L2 domain first, then the domains'
-  // remaining SMT siblings.
+namespace {
+
+/// Visit order from the per-CPU L2 domain map: round-robin across domains
+/// (first-seen order), one CPU per domain per round.  Handles any sibling
+/// numbering, including the Linux split layout where siblings are i and
+/// i + ncpu/2.
+std::vector<int> domain_order(const std::vector<int>& l2_domain) {
+  const int ncpu = static_cast<int>(l2_domain.size());
+  // Bucket CPUs by domain, domains kept in first-seen order (domain ids
+  // from detect_host_topology are already sequential first-seen, so a
+  // plain vector-of-buckets indexed by id preserves that order).
+  int ndom = 0;
+  for (const int d : l2_domain) ndom = std::max(ndom, d + 1);
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(ndom));
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    buckets[static_cast<std::size_t>(l2_domain[static_cast<std::size_t>(cpu)])]
+        .push_back(cpu);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(ncpu));
+  for (std::size_t round = 0; order.size() < static_cast<std::size_t>(ncpu);
+       ++round) {
+    for (const std::vector<int>& bucket : buckets) {
+      if (round < bucket.size()) order.push_back(bucket[round]);
+    }
+  }
+  return order;
+}
+
+/// Fallback when no per-CPU map is available: assume CPUs sharing an L2
+/// are contiguously numbered and stride by the sharing degree.
+std::vector<int> stride_order(int ncpu, int l2_shared_by) {
+  const int stride = std::min(std::max(l2_shared_by, 1), ncpu);
   std::vector<int> order;
   order.reserve(static_cast<std::size_t>(ncpu));
   for (int offset = 0; offset < stride; ++offset) {
     for (int cpu = offset; cpu < ncpu; cpu += stride) order.push_back(cpu);
   }
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> affinity_cpus(const HostTopology& topo, int workers) {
+  MCMM_REQUIRE(workers >= 1, "affinity_cpus: need at least one worker");
+  const int ncpu = std::max(topo.logical_cpus, 1);
+  // The full permutation: one CPU per L2 domain first, then the domains'
+  // remaining SMT siblings.  The per-CPU domain map is authoritative when
+  // complete; the contiguous-numbering stride is only a heuristic (wrong
+  // on split-sibling SMT layouts, where it doubles workers onto one core).
+  const std::vector<int> order =
+      topo.l2_domain.size() == static_cast<std::size_t>(ncpu)
+          ? domain_order(topo.l2_domain)
+          : stride_order(ncpu, topo.l2_shared_by);
   std::vector<int> cpus(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     cpus[static_cast<std::size_t>(w)] =

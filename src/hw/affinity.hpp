@@ -18,9 +18,13 @@
 namespace mcmm {
 
 /// Logical-CPU visit order that exhausts distinct L2 domains before SMT
-/// siblings: 0, s, 2s, ..., then 1, 1+s, ... for stride s = l2_shared_by.
-/// Returns `workers` entries (cycling through the permutation when workers
-/// exceed logical_cpus).  Deterministic; requires workers >= 1.
+/// siblings.  When `topo.l2_domain` carries a complete per-CPU map (live
+/// sysfs detection) the order round-robins across the actual domains, so
+/// split-sibling SMT numbering (siblings i and i + ncpu/2) is handled
+/// correctly; otherwise it falls back to the contiguous-numbering stride
+/// 0, s, 2s, ..., then 1, 1+s, ... for s = l2_shared_by.  Returns
+/// `workers` entries (cycling through the permutation when workers exceed
+/// logical_cpus).  Deterministic; requires workers >= 1.
 std::vector<int> affinity_cpus(const HostTopology& topo, int workers);
 
 /// Pin `pool`'s workers to affinity_cpus(topo, pool.workers()).  Returns

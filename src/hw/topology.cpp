@@ -1,7 +1,9 @@
 #include "hw/topology.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 
@@ -115,6 +117,75 @@ int count_cpu_list(const std::string& list) {
   return count;
 }
 
+std::vector<int> parse_cpu_list(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  try {
+    while (pos < list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      const std::string token = list.substr(pos, comma - pos);
+      const std::size_t dash = token.find('-');
+      std::size_t used = 0;
+      if (dash == std::string::npos) {
+        const long long cpu = std::stoll(token, &used, 10);
+        MCMM_REQUIRE(used == token.size() && cpu >= 0,
+                     "parse_cpu_list: bad token '" + token + "'");
+        cpus.push_back(static_cast<int>(cpu));
+      } else {
+        const long long lo = std::stoll(token.substr(0, dash), &used, 10);
+        MCMM_REQUIRE(used == dash && lo >= 0,
+                     "parse_cpu_list: bad range '" + token + "'");
+        const long long hi = std::stoll(token.substr(dash + 1), &used, 10);
+        MCMM_REQUIRE(used == token.size() - dash - 1 && hi >= lo,
+                     "parse_cpu_list: bad range '" + token + "'");
+        for (long long cpu = lo; cpu <= hi; ++cpu) {
+          cpus.push_back(static_cast<int>(cpu));
+        }
+      }
+      pos = comma + 1;
+    }
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("mcmm: parse_cpu_list: bad list '" + list + "'");
+  }
+  MCMM_REQUIRE(!cpus.empty(), "parse_cpu_list: empty list");
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+std::vector<int> parse_cpu_mask(const std::string& mask) {
+  // Strip the word separators: the remaining hex digits read most
+  // significant first, so digit j from the right covers cpus 4j..4j+3.
+  std::string digits;
+  digits.reserve(mask.size());
+  for (const char c : mask) {
+    if (c == ',') continue;
+    digits.push_back(c);
+  }
+  MCMM_REQUIRE(!digits.empty(), "parse_cpu_mask: empty mask");
+  std::vector<int> cpus;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    const char c = digits[digits.size() - 1 - i];
+    int nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      throw Error("mcmm: parse_cpu_mask: bad hex mask '" + mask + "'");
+    }
+    for (int bit = 0; bit < 4; ++bit) {
+      if ((nibble >> bit) & 1) cpus.push_back(static_cast<int>(i) * 4 + bit);
+    }
+  }
+  return cpus;
+}
+
 int count_cpu_mask(const std::string& mask) {
   int count = 0;
   bool any_digit = false;
@@ -168,6 +239,11 @@ HostTopology detect_host_topology(const std::string& sysfs_cpu_root) {
   LevelInfo l2;
   LevelInfo l3;
   std::int64_t line_bytes = 0;
+  // Per-CPU L2 sharing sets -> small sequential domain ids (first-seen CPU
+  // order).  Contiguity is NOT assumed: split-sibling SMT numbering
+  // (siblings i and i+N/2) yields e.g. {0,4} {1,5} {2,6} {3,7}.
+  std::vector<int> l2_dom(static_cast<std::size_t>(cpus), -1);
+  std::map<std::string, int> l2_domain_ids;
   for (int cpu = 0; cpu < cpus; ++cpu) {
     const fs::path cache_dir =
         fs::path(sysfs_cpu_root) / ("cpu" + std::to_string(cpu)) / "cache";
@@ -195,6 +271,24 @@ HostTopology detect_host_topology(const std::string& sysfs_cpu_root) {
           l1d.merge(size, shared);
         } else if (level == 2) {
           l2.merge(size, shared);
+          if (l2_dom[static_cast<std::size_t>(cpu)] == -1) {
+            // Canonicalise the sharing set (list preferred, mask fallback)
+            // so equal sets map to one domain id regardless of spelling.
+            std::vector<int> ids;
+            if (read_line(dir / "shared_cpu_list", &text) && !text.empty()) {
+              ids = parse_cpu_list(text);
+            } else if (read_line(dir / "shared_cpu_map", &text) &&
+                       !text.empty()) {
+              ids = parse_cpu_mask(text);
+            }
+            if (!ids.empty()) {
+              std::string key;
+              for (const int id : ids) key += std::to_string(id) + ",";
+              const auto [it, inserted] = l2_domain_ids.emplace(
+                  key, static_cast<int>(l2_domain_ids.size()));
+              l2_dom[static_cast<std::size_t>(cpu)] = it->second;
+            }
+          }
         } else if (level == 3) {
           l3.merge(size, shared);
         }
@@ -212,6 +306,13 @@ HostTopology detect_host_topology(const std::string& sysfs_cpu_root) {
   topo.l3_bytes = l3.seen ? l3.size_bytes : 0;
   topo.l2_shared_by = l2.seen ? l2.shared_by : 1;
   topo.l3_shared_by = l3.seen ? l3.shared_by : topo.logical_cpus;
+  // Only a complete per-CPU picture is usable for affinity plans; a single
+  // unknown CPU means the stride fallback is the safer bet.
+  if (l2.seen &&
+      std::none_of(l2_dom.begin(), l2_dom.end(),
+                   [](int domain) { return domain < 0; })) {
+    topo.l2_domain = std::move(l2_dom);
+  }
   return topo;
 }
 

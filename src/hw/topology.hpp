@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mcmm {
 
@@ -36,6 +37,14 @@ struct HostTopology {
   int l2_shared_by = 1;
   int l3_shared_by = 1;
   std::string source = "fallback";     ///< "sysfs" or "fallback"
+
+  /// Per-CPU L2 domain id (l2_domain[cpu] = small integer; CPUs with equal
+  /// ids share one L2 instance).  Ids are assigned in first-seen CPU order.
+  /// Empty when sysfs did not expose a complete per-CPU L2 sharing picture
+  /// (fallback topologies, truncated fixture trees, hand-built configs) —
+  /// consumers must then fall back to the `l2_shared_by` stride heuristic.
+  /// Live-detection only: not part of the mcmm-machine-v1 profile document.
+  std::vector<int> l2_domain;
 
   bool detected() const { return source == "sysfs"; }
 
@@ -75,5 +84,15 @@ int count_cpu_list(const std::string& list);
 /// comma-separated multi-word form ("ff", "0000000f", "ffffffff,00000003").
 /// Throws mcmm::Error on malformed input.
 int count_cpu_mask(const std::string& mask);
+
+/// The CPU ids named by a sysfs `shared_cpu_list` ("0,4" -> {0, 4};
+/// "0-3" -> {0, 1, 2, 3}), ascending and deduplicated.  Throws mcmm::Error
+/// on malformed input.
+std::vector<int> parse_cpu_list(const std::string& list);
+
+/// The CPU ids set in a sysfs `shared_cpu_map` hex mask (most significant
+/// word first in the comma-separated form), ascending.  Throws mcmm::Error
+/// on malformed input.
+std::vector<int> parse_cpu_mask(const std::string& mask);
 
 }  // namespace mcmm

@@ -1,0 +1,210 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/warnings.hpp"
+
+namespace mcmm {
+
+namespace {
+
+double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+double ns_to_us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+void emit_phase_map(JsonWriter& w, const char* key, const PhaseTotals& t,
+                    bool counts) {
+  w.key(key).begin_object();
+  for (int p = 0; p < kNumTracePhases; ++p) {
+    const auto phase = static_cast<TracePhase>(p);
+    if (counts) {
+      w.kv(to_string(phase), t.spans[p]);
+    } else {
+      w.kv(to_string(phase), t.ms(phase));
+    }
+  }
+  if (!counts) w.kv("other", t.other_ms());
+  w.end_object();
+}
+
+}  // namespace
+
+void PhaseTotals::add(const TraceSpan& span) {
+  const int p = static_cast<int>(span.phase);
+  ns[p] += std::max<std::int64_t>(span.end_ns - span.begin_ns, 0);
+  ++spans[p];
+}
+
+void PhaseTotals::merge(const PhaseTotals& other) {
+  for (int p = 0; p < kNumTracePhases; ++p) {
+    ns[p] += other.ns[p];
+    spans[p] += other.spans[p];
+  }
+}
+
+double PhaseTotals::other_ms() const {
+  const double attributed = ms(TracePhase::kPackA) + ms(TracePhase::kPackB) +
+                            ms(TracePhase::kMicroKernel);
+  return std::max(ms(TracePhase::kWork) - attributed, 0.0);
+}
+
+double PhaseTotals::idle_fraction() const {
+  const double busy = ms(TracePhase::kWork);
+  const double idle = ms(TracePhase::kBarrier);
+  return busy + idle > 0 ? idle / (busy + idle) : 0.0;
+}
+
+TraceSummary summarize_trace(const ExecutionTracer& tracer) {
+  TraceSummary out;
+  out.workers = tracer.workers();
+  out.dropped.resize(static_cast<std::size_t>(out.workers));
+  out.totals.resize(static_cast<std::size_t>(out.workers));
+  for (std::size_t r = 0; r < tracer.num_regions(); ++r) {
+    if (tracer.region_end_ns(r) < 0) continue;  // still open
+    RegionSummary region;
+    region.label = tracer.region_label(r);
+    region.begin_ns = tracer.region_begin_ns(r);
+    region.end_ns = tracer.region_end_ns(r);
+    region.workers.resize(static_cast<std::size_t>(out.workers));
+    out.regions.push_back(std::move(region));
+  }
+  for (int w = 0; w < out.workers; ++w) {
+    out.dropped[static_cast<std::size_t>(w)] = tracer.dropped(w);
+    out.dropped_total += tracer.dropped(w);
+    for (std::size_t i = 0; i < tracer.span_count(w); ++i) {
+      const TraceSpan& span = tracer.span(w, i);
+      out.totals[static_cast<std::size_t>(w)].add(span);
+      if (span.region >= 0 &&
+          span.region < static_cast<std::int32_t>(out.regions.size())) {
+        out.regions[static_cast<std::size_t>(span.region)]
+            .workers[static_cast<std::size_t>(w)]
+            .add(span);
+      }
+    }
+  }
+  return out;
+}
+
+std::string trace_summary_json(const TraceSummary& summary) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "mcmm-trace-summary-v1")
+      .kv("workers", summary.workers)
+      .kv("dropped", summary.dropped_total);
+  w.key("per_worker").begin_array();
+  for (int i = 0; i < summary.workers; ++i) {
+    const PhaseTotals& t = summary.totals[static_cast<std::size_t>(i)];
+    w.begin_object()
+        .kv("worker", i)
+        .kv("dropped", summary.dropped[static_cast<std::size_t>(i)])
+        .kv("idle_fraction", t.idle_fraction());
+    emit_phase_map(w, "ms", t, /*counts=*/false);
+    emit_phase_map(w, "spans", t, /*counts=*/true);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("regions").begin_array();
+  for (const RegionSummary& region : summary.regions) {
+    w.begin_object().kv("label", region.label).kv("wall_ms", region.wall_ms());
+    w.key("per_worker").begin_array();
+    for (const PhaseTotals& t : region.workers) {
+      w.begin_object().kv("idle_fraction", t.idle_fraction());
+      emit_phase_map(w, "ms", t, /*counts=*/false);
+      w.end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+void print_trace_summary(const TraceSummary& summary) {
+  std::printf("# trace summary: %d workers, %zu regions, %lld dropped spans\n",
+              summary.workers, summary.regions.size(),
+              static_cast<long long>(summary.dropped_total));
+  std::printf("#  worker  pack-A ms  pack-B ms   micro ms  barrier ms  "
+              "other ms    idle\n");
+  for (int i = 0; i < summary.workers; ++i) {
+    const PhaseTotals& t = summary.totals[static_cast<std::size_t>(i)];
+    std::printf("#  %6d  %9.3f  %9.3f  %9.3f  %10.3f  %8.3f  %5.1f%%\n", i,
+                t.ms(TracePhase::kPackA), t.ms(TracePhase::kPackB),
+                t.ms(TracePhase::kMicroKernel), t.ms(TracePhase::kBarrier),
+                t.other_ms(), 100.0 * t.idle_fraction());
+  }
+  for (const RegionSummary& region : summary.regions) {
+    std::printf("#  region %-20s wall %9.3f ms\n", region.label.c_str(),
+                region.wall_ms());
+  }
+}
+
+std::string chrome_trace_json(const ExecutionTracer& tracer) {
+  JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  w.begin_object()
+      .kv("name", "process_name")
+      .kv("ph", "M")
+      .kv("pid", 0)
+      .kv("tid", 0)
+      .key("args")
+      .begin_object()
+      .kv("name", "mcmm")
+      .end_object()
+      .end_object();
+  for (int worker = 0; worker < tracer.workers(); ++worker) {
+    w.begin_object()
+        .kv("name", "thread_name")
+        .kv("ph", "M")
+        .kv("pid", 0)
+        .kv("tid", worker)
+        .key("args")
+        .begin_object()
+        .kv("name", "worker " + std::to_string(worker))
+        .end_object()
+        .end_object();
+  }
+  for (int worker = 0; worker < tracer.workers(); ++worker) {
+    for (std::size_t i = 0; i < tracer.span_count(worker); ++i) {
+      const TraceSpan& span = tracer.span(worker, i);
+      // The region job gets the schedule's name so the Perfetto track
+      // reads "shared-opt > pack-a | micro-kernel | ..."; phases keep
+      // their own names.
+      const bool is_work = span.phase == TracePhase::kWork;
+      const std::string name =
+          is_work && span.region >= 0
+              ? tracer.region_label(static_cast<std::size_t>(span.region))
+              : to_string(span.phase);
+      w.begin_object()
+          .kv("name", name)
+          .kv("cat", is_work ? "region" : "phase")
+          .kv("ph", "X")
+          .kv("ts", ns_to_us(span.begin_ns))
+          .kv("dur", ns_to_us(std::max<std::int64_t>(
+                         span.end_ns - span.begin_ns, 0)))
+          .kv("pid", 0)
+          .kv("tid", worker)
+          .end_object();
+    }
+  }
+  w.end_array().kv("displayTimeUnit", "ms").end_object();
+  return w.str();
+}
+
+void write_chrome_trace(const ExecutionTracer& tracer,
+                        const std::string& path) {
+  if (tracer.total_dropped() > 0) {
+    emit_warning("trace: " + std::to_string(tracer.total_dropped()) +
+                 " spans dropped (ring buffers full) — the exported trace "
+                 "is truncated; raise the tracer capacity for full runs");
+  }
+  const std::string doc = chrome_trace_json(tracer);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  MCMM_REQUIRE(f != nullptr, "write_chrome_trace: cannot write " + path);
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = n == doc.size() && std::fputc('\n', f) != EOF;
+  const bool closed = std::fclose(f) == 0;
+  MCMM_REQUIRE(ok && closed, "write_chrome_trace: short write to " + path);
+}
+
+}  // namespace mcmm

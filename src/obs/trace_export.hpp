@@ -1,0 +1,79 @@
+// Exporters for ExecutionTracer: the Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing) and the aggregated per-phase summary that
+// the bench reports embed (schema mcmm-trace-summary-v1).
+//
+// The trace-event document is the "JSON object format": a traceEvents
+// array of "X" (complete) duration events with microsecond ts/dur, one
+// tid per worker, plus "M" metadata events naming the process and
+// threads.  kWork spans are named after their region label (the schedule
+// that dispatched them); phase spans keep their phase name so Perfetto
+// groups them.  See docs/observability.md for a worked reading.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace mcmm {
+
+/// Per-worker accumulated time and span counts, indexed by TracePhase.
+struct PhaseTotals {
+  std::int64_t ns[kNumTracePhases] = {};
+  std::int64_t spans[kNumTracePhases] = {};
+
+  double ms(TracePhase phase) const {
+    return static_cast<double>(ns[static_cast<int>(phase)]) / 1e6;
+  }
+  /// Region-job time not attributed to any instrumented phase (loop
+  /// bookkeeping, memo hashing, C write-back): work - (packs + micro).
+  double other_ms() const;
+  /// Fraction of this worker's region time spent at barriers:
+  /// barrier / (work + barrier).  0 when the worker recorded no work.
+  double idle_fraction() const;
+
+  void add(const TraceSpan& span);
+  void merge(const PhaseTotals& other);
+};
+
+/// One traced region (one parallel dispatch) with per-worker attribution.
+struct RegionSummary {
+  std::string label;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::vector<PhaseTotals> workers;
+
+  double wall_ms() const {
+    return static_cast<double>(end_ns - begin_ns) / 1e6;
+  }
+};
+
+struct TraceSummary {
+  int workers = 0;
+  std::int64_t dropped_total = 0;
+  std::vector<std::int64_t> dropped;   ///< per worker
+  std::vector<PhaseTotals> totals;     ///< per worker, across every span
+  std::vector<RegionSummary> regions;  ///< closed regions, in order
+};
+
+/// Aggregate the tracer's spans.  Spans outside any region (region == -1)
+/// count toward `totals` only; still-open regions are skipped.
+TraceSummary summarize_trace(const ExecutionTracer& tracer);
+
+/// The summary as an mcmm-trace-summary-v1 JSON object (one line, stable
+/// key order — embeddable under the bench report's "timing" subtree).
+std::string trace_summary_json(const TraceSummary& summary);
+
+/// Human-readable per-worker table on stdout (the --trace-summary flag).
+void print_trace_summary(const TraceSummary& summary);
+
+/// The full Chrome trace-event JSON document.
+std::string chrome_trace_json(const ExecutionTracer& tracer);
+
+/// Write chrome_trace_json to `path` (plus a trailing newline); throws
+/// mcmm::Error when the file cannot be written.  Emits a warning through
+/// the warning sink when the tracer dropped spans.
+void write_chrome_trace(const ExecutionTracer& tracer, const std::string& path);
+
+}  // namespace mcmm

@@ -1,0 +1,128 @@
+#include "obs/tracer.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kPackA: return "pack-a";
+    case TracePhase::kPackB: return "pack-b";
+    case TracePhase::kMicroKernel: return "micro-kernel";
+    case TracePhase::kBarrier: return "barrier";
+    case TracePhase::kTask: return "task";
+    case TracePhase::kWork: return "work";
+  }
+  return "?";
+}
+
+ExecutionTracer::ExecutionTracer(int workers, std::size_t capacity_per_worker)
+    : epoch_ns_(steady_ns()), capacity_(capacity_per_worker) {
+  MCMM_REQUIRE(workers >= 1, "ExecutionTracer: need at least one worker");
+  MCMM_REQUIRE(capacity_per_worker >= 1,
+               "ExecutionTracer: per-worker capacity must be >= 1");
+  rings_.resize(static_cast<std::size_t>(workers));
+  for (WorkerRing& ring : rings_) ring.spans.resize(capacity_);
+}
+
+std::int64_t ExecutionTracer::now_ns() const { return steady_ns() - epoch_ns_; }
+
+void ExecutionTracer::record(int worker, TracePhase phase,
+                             std::int64_t begin_ns,
+                             std::int64_t end_ns) noexcept {
+  if (worker < 0 || worker >= static_cast<int>(rings_.size())) return;
+  WorkerRing& ring = rings_[static_cast<std::size_t>(worker)];
+  // Barrier spans are synthesised by end_region; everything else advances
+  // the worker's progress mark so idle attribution stays correct even when
+  // the ring is full.
+  if (phase != TracePhase::kBarrier && end_ns > ring.last_end_ns) {
+    ring.last_end_ns = end_ns;
+  }
+  if (ring.count >= capacity_) {
+    ++ring.dropped;
+    return;
+  }
+  ring.spans[ring.count++] = TraceSpan{begin_ns, end_ns, current_region_, phase};
+}
+
+void ExecutionTracer::begin_region(const char* label) {
+  MCMM_REQUIRE(current_region_ == -1,
+               "ExecutionTracer: regions must not nest (begin_region while a "
+               "region is open)");
+  current_region_ = static_cast<std::int32_t>(regions_.size());
+  for (WorkerRing& ring : rings_) ring.last_end_ns = -1;
+  regions_.push_back(Region{label != nullptr ? label : "region", now_ns(), -1});
+}
+
+void ExecutionTracer::end_region() {
+  MCMM_REQUIRE(current_region_ != -1,
+               "ExecutionTracer: end_region without begin_region");
+  Region& region = regions_[static_cast<std::size_t>(current_region_)];
+  region.end_ns = now_ns();
+  for (int w = 0; w < workers(); ++w) {
+    WorkerRing& ring = rings_[static_cast<std::size_t>(w)];
+    if (ring.last_end_ns < 0) continue;  // did not participate in this region
+    const std::int64_t idle_from = ring.last_end_ns;
+    if (region.end_ns > idle_from) {
+      record(w, TracePhase::kBarrier, idle_from, region.end_ns);
+    }
+  }
+  current_region_ = -1;
+}
+
+std::size_t ExecutionTracer::span_count(int worker) const {
+  MCMM_REQUIRE(worker >= 0 && worker < workers(),
+               "ExecutionTracer::span_count: bad worker id");
+  return rings_[static_cast<std::size_t>(worker)].count;
+}
+
+const TraceSpan& ExecutionTracer::span(int worker, std::size_t i) const {
+  MCMM_REQUIRE(worker >= 0 && worker < workers() &&
+                   i < rings_[static_cast<std::size_t>(worker)].count,
+               "ExecutionTracer::span: out of range");
+  return rings_[static_cast<std::size_t>(worker)].spans[i];
+}
+
+std::int64_t ExecutionTracer::dropped(int worker) const {
+  MCMM_REQUIRE(worker >= 0 && worker < workers(),
+               "ExecutionTracer::dropped: bad worker id");
+  return rings_[static_cast<std::size_t>(worker)].dropped;
+}
+
+std::int64_t ExecutionTracer::total_dropped() const {
+  std::int64_t sum = 0;
+  for (const WorkerRing& ring : rings_) sum += ring.dropped;
+  return sum;
+}
+
+const std::string& ExecutionTracer::region_label(std::size_t region) const {
+  MCMM_REQUIRE(region < regions_.size(),
+               "ExecutionTracer::region_label: bad region index");
+  return regions_[region].label;
+}
+
+std::int64_t ExecutionTracer::region_begin_ns(std::size_t region) const {
+  MCMM_REQUIRE(region < regions_.size(),
+               "ExecutionTracer::region_begin_ns: bad region index");
+  return regions_[region].begin_ns;
+}
+
+std::int64_t ExecutionTracer::region_end_ns(std::size_t region) const {
+  MCMM_REQUIRE(region < regions_.size(),
+               "ExecutionTracer::region_end_ns: bad region index");
+  return regions_[region].end_ns;
+}
+
+}  // namespace mcmm

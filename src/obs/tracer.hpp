@@ -1,0 +1,122 @@
+// Per-worker execution tracing for the real-execution path.
+//
+// The paper's envelopes (src/exp/timeline.hpp) bound where a schedule can
+// land between "no overlap" and "perfect overlap", but say nothing about
+// *why* a real run sits where it does.  ExecutionTracer answers that with
+// per-phase spans — pack-A, pack-B, micro-kernel, barrier/idle — recorded
+// from inside ThreadPool and KernelContext::block_op:
+//
+//   * one preallocated ring buffer per worker, cache-line aligned, so the
+//     hot path takes no locks and performs no allocation;
+//   * timestamps from one shared steady_clock epoch (a vdso read, ~25 ns),
+//     so spans from different workers share a timeline;
+//   * when a ring fills, further spans are counted as dropped instead of
+//     reallocating — tracing never perturbs what it measures.
+//
+// Thread-safety contract: worker w writes only ring w, from the pool
+// thread running job(w).  begin_region/end_region are called by the
+// coordinating thread while the workers are quiescent (ThreadPool brackets
+// its dispatch with them); the pool's mutex provides the happens-before
+// edges, so the tracer itself needs no synchronisation.
+//
+// Exporters live in obs/trace_export.hpp (Chrome trace-event JSON and the
+// aggregated per-phase summary); docs/observability.md has the worked
+// example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcmm {
+
+/// What a span measures.  kWork is the whole per-worker parallel-region
+/// job (the phases below nest inside it); kTask is one dynamically claimed
+/// ThreadPool::run_batch task; kBarrier is the tail of a region a worker
+/// spent waiting for the slowest sibling.
+enum class TracePhase : std::uint8_t {
+  kPackA = 0,
+  kPackB,
+  kMicroKernel,
+  kBarrier,
+  kTask,
+  kWork,
+};
+inline constexpr int kNumTracePhases = 6;
+
+/// Stable lower-case name ("pack-a", "micro-kernel", ...).
+const char* to_string(TracePhase phase);
+
+/// One closed interval on the shared timeline (nanoseconds since the
+/// tracer's construction).  `region` indexes the tracer's region list, or
+/// -1 for spans recorded outside any region.
+struct TraceSpan {
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::int32_t region = -1;
+  TracePhase phase = TracePhase::kWork;
+};
+
+class ExecutionTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  /// Preallocates `capacity_per_worker` span slots for each of `workers`
+  /// rings.  Throws mcmm::Error on workers < 1 or capacity < 1.
+  ExecutionTracer(int workers, std::size_t capacity_per_worker = kDefaultCapacity);
+
+  int workers() const { return static_cast<int>(rings_.size()); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Nanoseconds on the shared steady-clock timeline.
+  std::int64_t now_ns() const;
+
+  /// Append a span to `worker`'s ring.  Lock-free, allocation-free; out of
+  /// range workers and full rings count as dropped.  Must be called from
+  /// the thread running worker `worker` (see the header contract).
+  void record(int worker, TracePhase phase, std::int64_t begin_ns,
+              std::int64_t end_ns) noexcept;
+
+  /// Open a named region (one parallel dispatch).  Called by the
+  /// coordinating thread before workers start; regions never nest.
+  void begin_region(const char* label);
+
+  /// Close the current region and emit one kBarrier span per worker that
+  /// recorded anything inside it, covering [its last span end, region
+  /// end] — the time it idled waiting for the slowest sibling.
+  void end_region();
+
+  // --- accessors (call only while no region is executing) ---
+  std::size_t span_count(int worker) const;
+  const TraceSpan& span(int worker, std::size_t i) const;
+  std::int64_t dropped(int worker) const;
+  std::int64_t total_dropped() const;
+
+  std::size_t num_regions() const { return regions_.size(); }
+  const std::string& region_label(std::size_t region) const;
+  std::int64_t region_begin_ns(std::size_t region) const;
+  std::int64_t region_end_ns(std::size_t region) const;
+
+ private:
+  /// One worker's ring, padded to its own cache line so concurrent
+  /// recording never false-shares.
+  struct alignas(64) WorkerRing {
+    std::vector<TraceSpan> spans;   // preallocated to capacity_
+    std::size_t count = 0;
+    std::int64_t dropped = 0;
+    std::int64_t last_end_ns = -1;  // latest span end in the open region
+  };
+  struct Region {
+    std::string label;
+    std::int64_t begin_ns = 0;
+    std::int64_t end_ns = -1;  // -1 while open
+  };
+
+  std::int64_t epoch_ns_;  // steady_clock at construction
+  std::size_t capacity_;
+  std::vector<WorkerRing> rings_;
+  std::vector<Region> regions_;
+  std::int32_t current_region_ = -1;
+};
+
+}  // namespace mcmm

@@ -33,6 +33,15 @@ public:
   JsonWriter& value(bool v);
   JsonWriter& null_value();
 
+  /// Splice a pre-serialized JSON document in as the next value.  The
+  /// caller vouches for its validity (run it through json_parse first when
+  /// in doubt) — the writer only tracks it as one value.
+  JsonWriter& raw_value(const std::string& json) {
+    before_value();
+    raw(json);
+    return *this;
+  }
+
   /// Convenience: key + value in one call.
   template <typename T>
   JsonWriter& kv(const std::string& k, T v) {

@@ -1,0 +1,66 @@
+#include "util/warnings.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace mcmm {
+
+namespace {
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+WarningSink& sink_slot() {
+  static WarningSink sink;  // empty = stderr default
+  return sink;
+}
+
+}  // namespace
+
+void emit_warning(const std::string& message) {
+  WarningSink sink;
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex());
+    sink = sink_slot();
+  }
+  if (sink) {
+    sink(message);
+  } else {
+    std::fprintf(stderr, "%s\n", message.c_str());
+  }
+}
+
+WarningSink set_warning_sink(WarningSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  WarningSink previous = std::move(sink_slot());
+  sink_slot() = std::move(sink);
+  return previous;
+}
+
+struct ScopedWarningCapture::State {
+  mutable std::mutex mutex;
+  std::vector<std::string> messages;
+};
+
+ScopedWarningCapture::ScopedWarningCapture()
+    : state_(std::make_shared<State>()) {
+  std::shared_ptr<State> state = state_;
+  previous_ = set_warning_sink([state](const std::string& message) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->messages.push_back(message);
+  });
+}
+
+ScopedWarningCapture::~ScopedWarningCapture() {
+  set_warning_sink(std::move(previous_));
+}
+
+std::vector<std::string> ScopedWarningCapture::messages() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->messages;
+}
+
+}  // namespace mcmm

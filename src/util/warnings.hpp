@@ -1,0 +1,52 @@
+// Process-wide diagnostic sink for warnings that must not interleave with
+// machine-read output.
+//
+// tiling_for_host's inclusive-hierarchy clamp and the tracer's dropped-
+// span diagnostics used to go straight to stderr with fprintf; in --json
+// runs that interleaves with the report stream and in tests it is only
+// capturable through gtest's stderr capture.  emit_warning routes every
+// such message through one replaceable sink instead: the default still
+// writes "<message>\n" to stderr (so existing CLI behaviour and the
+// test_cli stderr-capture tests are unchanged), but tools and tests can
+// install their own sink — or use ScopedWarningCapture to collect
+// messages for a scope.  The sink is guarded by a mutex, so workers may
+// warn concurrently.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcmm {
+
+/// A warning consumer.  Receives the message without a trailing newline.
+using WarningSink = std::function<void(const std::string&)>;
+
+/// Route `message` through the installed sink (default: stderr).
+void emit_warning(const std::string& message);
+
+/// Install `sink`, returning the previously installed one.  Passing a
+/// null sink restores the stderr default.
+WarningSink set_warning_sink(WarningSink sink);
+
+/// RAII capture: installs a sink that appends into an internal vector and
+/// restores the previous sink on destruction.  Thread-safe appends.
+class ScopedWarningCapture {
+ public:
+  ScopedWarningCapture();
+  ~ScopedWarningCapture();
+
+  ScopedWarningCapture(const ScopedWarningCapture&) = delete;
+  ScopedWarningCapture& operator=(const ScopedWarningCapture&) = delete;
+
+  /// Messages captured so far, in arrival order.
+  std::vector<std::string> messages() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  WarningSink previous_;
+};
+
+}  // namespace mcmm

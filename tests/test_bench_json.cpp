@@ -111,6 +111,36 @@ TEST(BenchJson, RejectsNonFiniteWallTimesAndMetrics) {
   EXPECT_THROW(report.set_timing(0, 1, 1), Error);
 }
 
+TEST(BenchJson, TraceSummaryLandsUnderTimingOnly) {
+  BenchReport report = golden_report();
+  const std::string results_before = report.results_json();
+  report.set_trace_summary(
+      R"({"schema":"mcmm-trace-summary-v1","workers":2})");
+  // The deterministic subtree is untouched...
+  EXPECT_EQ(report.results_json(), results_before);
+  // ...and the summary is spliced in as timing.trace, still valid JSON.
+  const JsonValue doc = json_parse(report.to_json());
+  const JsonValue* trace = doc.find("timing")->find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->find("schema")->string, "mcmm-trace-summary-v1");
+  EXPECT_EQ(trace->find("workers")->number, 2);
+}
+
+TEST(BenchJson, TraceKeyIsAbsentWithoutASummary) {
+  const JsonValue doc = json_parse(golden_report().to_json());
+  EXPECT_EQ(doc.find("timing")->find("trace"), nullptr);
+}
+
+TEST(BenchJson, RejectsMalformedTraceSummaries) {
+  BenchReport report = golden_report();
+  EXPECT_THROW(report.set_trace_summary("{not json"), Error);
+  EXPECT_THROW(report.set_trace_summary("{\"a\":1} trailing"), Error);
+  // An empty summary clears the key instead of splicing "".
+  report.set_trace_summary("");
+  EXPECT_EQ(json_parse(report.to_json()).find("timing")->find("trace"),
+            nullptr);
+}
+
 TEST(BenchJson, WriteFailsLoudlyOnAnUnwritablePath) {
   EXPECT_THROW(golden_report().write("/nonexistent-dir-mcmm/report.json"),
                Error);

@@ -7,6 +7,7 @@
 #include "exp/figure_options.hpp"
 #include "gemm/parallel_gemm.hpp"
 #include "util/error.hpp"
+#include "util/warnings.hpp"
 
 namespace mcmm {
 namespace {
@@ -191,6 +192,35 @@ TEST(TilingForHostWarning, SilentWhenHierarchyIsInclusive) {
   const std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_EQ(err, "");
   EXPECT_GE(t.lambda, 1);
+}
+
+TEST(WarningSink, ScopedCaptureCollectsTheClampWarning) {
+  ScopedWarningCapture capture;
+  ::testing::internal::CaptureStderr();
+  tiling_for_host(16, 1 << 20, 1 << 20, 64);
+  // The installed sink swallows the message: nothing leaks to stderr...
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  // ...and the capture holds it, without a trailing newline.
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_NE(capture.messages()[0].find("tiling_for_host: warning"),
+            std::string::npos);
+  EXPECT_NE(capture.messages()[0].find("clamping CS"), std::string::npos);
+  EXPECT_EQ(capture.messages()[0].find('\n'), std::string::npos);
+}
+
+TEST(WarningSink, CapturesNestAndRestoreOnDestruction) {
+  std::vector<std::string> outer;
+  set_warning_sink([&outer](const std::string& m) { outer.push_back(m); });
+  {
+    ScopedWarningCapture inner;
+    emit_warning("inner message");
+    EXPECT_EQ(inner.messages(),
+              (std::vector<std::string>{"inner message"}));
+  }
+  // The inner capture restored the outer sink, not the stderr default.
+  emit_warning("outer message");
+  EXPECT_EQ(outer, (std::vector<std::string>{"outer message"}));
+  set_warning_sink(nullptr);  // back to the stderr default for other tests
 }
 
 }  // namespace

@@ -105,6 +105,34 @@ TEST(CountCpuMask, RejectsMalformedInput) {
   EXPECT_THROW(count_cpu_mask("xyz"), Error);
 }
 
+TEST(ParseCpuList, ExpandsRangesSortedAndDeduplicated) {
+  EXPECT_EQ(parse_cpu_list("7"), (std::vector<int>{7}));
+  EXPECT_EQ(parse_cpu_list("0,4"), (std::vector<int>{0, 4}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("4-5,0,4"), (std::vector<int>{0, 4, 5}));
+}
+
+TEST(ParseCpuList, RejectsMalformedInput) {
+  EXPECT_THROW(parse_cpu_list(""), Error);
+  EXPECT_THROW(parse_cpu_list("a-b"), Error);
+  EXPECT_THROW(parse_cpu_list("3-1"), Error);
+  EXPECT_THROW(parse_cpu_list("1-"), Error);
+}
+
+TEST(ParseCpuMask, ReadsHexWordsMostSignificantFirst) {
+  EXPECT_EQ(parse_cpu_mask("3"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(parse_cpu_mask("11"), (std::vector<int>{0, 4}));
+  EXPECT_EQ(parse_cpu_mask("F0"), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(parse_cpu_mask("00000001,00000000,00000000"),
+            (std::vector<int>{64}));
+}
+
+TEST(ParseCpuMask, RejectsMalformedInput) {
+  EXPECT_THROW(parse_cpu_mask(""), Error);
+  EXPECT_THROW(parse_cpu_mask(","), Error);
+  EXPECT_THROW(parse_cpu_mask("xyz"), Error);
+}
+
 TEST_F(SysfsFixture, SharedL3PrivateL2QuadCore) {
   for (int cpu = 0; cpu < 4; ++cpu) {
     const std::string self = std::to_string(cpu);
@@ -282,6 +310,60 @@ TEST(MachineProfile, SaveLoadRoundTripsThroughDisk) {
   const MachineProfile b = load_machine_profile(path.string());
   EXPECT_EQ(machine_profile_to_json(b), machine_profile_to_json(a));
   fs::remove(path);
+}
+
+// Per-CPU L2 domain detection (the affinity bugfix): domain ids come from
+// the canonicalised sharing sets, not from CPU numbering assumptions.
+
+TEST_F(SysfsFixture, SplitSiblingSmtBuildsL2Domains) {
+  // Split-sibling SMT numbering (siblings i and i+4 share an L2): the old
+  // stride heuristic assumed contiguous siblings and would pick cpus
+  // {0,2,4,6} for four workers — but 0 and 4 are the SAME physical core.
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    const int core = cpu % 4;
+    const std::string pair =
+        std::to_string(core) + "," + std::to_string(core + 4);
+    add_index(cpu, 0, "1", "Data", "32K", std::to_string(cpu));
+    add_index(cpu, 1, "2", "Unified", "1024K", pair);
+    add_index(cpu, 2, "3", "Unified", "16M", "0-7");
+  }
+  const HostTopology topo = detect_host_topology(root_.string());
+  EXPECT_EQ(topo.l2_shared_by, 2);
+  ASSERT_EQ(topo.l2_domain, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+  // One worker per physical core: four distinct domains, no siblings.
+  EXPECT_EQ(affinity_cpus(topo, 4), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(affinity_cpus(topo, 8),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_F(SysfsFixture, ContiguousSiblingDomainsMatchTheStrideHeuristic) {
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    const int base = (cpu / 2) * 2;
+    const std::string pair =
+        std::to_string(base) + "-" + std::to_string(base + 1);
+    add_index(cpu, 0, "1", "Data", "32K", std::to_string(cpu));
+    add_index(cpu, 1, "2", "Unified", "1024K", pair);
+    add_index(cpu, 2, "3", "Unified", "16M", "0-7");
+  }
+  const HostTopology topo = detect_host_topology(root_.string());
+  ASSERT_EQ(topo.l2_domain, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+  EXPECT_EQ(affinity_cpus(topo, 8),
+            (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST_F(SysfsFixture, IncompleteL2DomainsFallBackToTheStride) {
+  // cpu3 exposes no L2 index: the domain vector would have a hole, so it
+  // stays empty and affinity falls back to the stride heuristic.
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    add_index(cpu, 0, "1", "Data", "32K", std::to_string(cpu));
+    if (cpu != 3) {
+      add_index(cpu, 1, "2", "Unified", "512K", std::to_string(cpu));
+    }
+    add_index(cpu, 2, "3", "Unified", "8M", "0-3");
+  }
+  const HostTopology topo = detect_host_topology(root_.string());
+  EXPECT_TRUE(topo.l2_domain.empty());
+  EXPECT_EQ(affinity_cpus(topo, 4), (std::vector<int>{0, 1, 2, 3}));
 }
 
 // Affinity plans (hw/affinity.hpp): exhaust distinct L2 domains before SMT

@@ -5,11 +5,14 @@
 #include "exp/sweep_runner.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "exp/bench_report.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 
 namespace mcmm {
@@ -154,6 +157,57 @@ TEST(SweepRunner, WallTimesAreFiniteAndNonNegative) {
 TEST(SweepRunner, RejectsNonPositiveJobs) {
   EXPECT_THROW(SweepRunner(0), Error);
   EXPECT_THROW(SweepRunner(-3), Error);
+}
+
+TEST(SweepRunner, WallClockAccumulatesEvenWhenARunThrows) {
+  // total_wall_ms_ is updated by an RAII guard, so a worker exception must
+  // not leave the failed run() unaccounted.
+  for (const int jobs : {1, 4}) {
+    SweepRunner runner(jobs);
+    runner.request(SweepPoint::square("no-such-algorithm", 8, quadcore_q32(),
+                                      Setting::kLru50),
+                   Metric::kMs);
+    EXPECT_THROW(runner.run(), Error);
+    EXPECT_GT(runner.total_wall_ms(), 0) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, TracedRunRecordsOneTaskSpanPerSimulation) {
+  for (const int jobs : {1, 4}) {
+    SweepRunner runner(jobs);
+    ExecutionTracer tracer(runner.jobs());
+    runner.set_tracer(&tracer);
+    request_fig09(runner);
+    runner.run();
+    const TraceSummary summary = summarize_trace(tracer);
+    std::int64_t task_spans = 0;
+    for (const PhaseTotals& t : summary.totals) {
+      task_spans += t.spans[static_cast<int>(TracePhase::kTask)];
+    }
+    EXPECT_EQ(task_spans,
+              static_cast<std::int64_t>(runner.num_simulations()))
+        << "jobs=" << jobs;
+    ASSERT_EQ(summary.regions.size(), 1u) << "jobs=" << jobs;
+    EXPECT_EQ(summary.regions[0].label, "sweep") << "jobs=" << jobs;
+    // Tracing must not perturb the results: still bit-identical to an
+    // untraced serial replay.
+    SweepRunner untraced(1);
+    const std::vector<std::size_t> ids = request_fig09(untraced);
+    untraced.run();
+    for (const std::size_t id : ids) {
+      EXPECT_EQ(runner.value(id), untraced.value(id)) << "request " << id;
+    }
+  }
+}
+
+TEST(SweepRunner, TracerWithTooFewRingsIsRejected) {
+  // Enough pending points that run() actually goes parallel (workers are
+  // clamped to min(jobs, pending)); two rings cannot hold four workers.
+  SweepRunner runner(4);
+  ExecutionTracer tracer(2);
+  runner.set_tracer(&tracer);
+  request_fig09(runner);
+  EXPECT_THROW(runner.run(), Error);
 }
 
 TEST(SweepRunner, ValueBeforeRunIsAnError) {

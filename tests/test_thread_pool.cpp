@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -105,6 +107,50 @@ TEST(ThreadPool, PinWorkersSkipsInvalidCpuIds) {
 TEST(ThreadPool, PinWorkersWithEmptyListIsANoOp) {
   ThreadPool pool(2);
   EXPECT_EQ(pool.pin_workers({}), 0);
+}
+
+TEST(ThreadPool, RunBatchExecutesEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(hits.size());
+  for (auto& hit : hits) {
+    tasks.push_back([&hit] { hit.fetch_add(1); });
+  }
+  pool.run_batch(tasks);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, RunBatchStopsClaimingAfterAThrow) {
+  // First-error drain stop: once a task throws, workers must stop claiming
+  // new tasks instead of burning through the rest of the batch.  The
+  // throwing task parks its siblings first so they cannot race ahead and
+  // drain the batch before the abort flag is set.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::atomic<bool> boom_started{false};
+  const int total = 10000;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(total));
+  tasks.push_back([&] {
+    boom_started.store(true);
+    throw Error("boom");
+  });
+  for (int i = 1; i < total; ++i) {
+    tasks.push_back([&] {
+      while (!boom_started.load()) std::this_thread::yield();
+      executed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.run_batch(tasks), Error);
+  // At most the tasks claimed before the abort flag landed ran: far fewer
+  // than the batch (each worker can have claimed only a handful).
+  EXPECT_LT(executed.load(), total / 2);
+}
+
+TEST(ThreadPool, RunBatchWithEmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  pool.run_batch({});
 }
 
 }  // namespace

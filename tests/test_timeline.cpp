@@ -96,7 +96,59 @@ TEST(Timeline, MemoryBoundRegimeRanksByTraffic) {
 TEST(Timeline, Validation) {
   MachineStats stats(1);
   EXPECT_THROW(time_envelope(stats, paper_quadcore(), 0.0), Error);
+  EXPECT_THROW(time_envelope(stats, paper_quadcore(), -1.0), Error);
   EXPECT_THROW(balance_rate(stats, paper_quadcore()), Error);
+}
+
+TEST(Timeline, ZeroMissRunIsComputeBoundWithNoBalanceRate) {
+  // A run whose working set fits entirely in the caches: every channel
+  // time is zero, the envelope collapses onto pure compute, and the
+  // balance rate is undefined (no traffic to balance against).
+  MachineStats stats(2);
+  stats.fmas = {300, 200};
+  const MachineConfig cfg = paper_quadcore();
+  const TimeEnvelope env = time_envelope(stats, cfg, 10.0);
+  EXPECT_DOUBLE_EQ(env.compute_time, 30.0);  // busiest core's 300 FMAs
+  EXPECT_DOUBLE_EQ(env.shared_time, 0.0);
+  EXPECT_DOUBLE_EQ(env.dist_time, 0.0);
+  EXPECT_DOUBLE_EQ(env.serial, env.overlap);
+  EXPECT_EQ(env.bottleneck, TimeEnvelope::Bottleneck::kCompute);
+  EXPECT_THROW(balance_rate(stats, cfg), Error);
+}
+
+TEST(Timeline, BottleneckTiesResolveComputeThenSharedThenDistributed) {
+  // Exact three-way tie: classification precedence is compute first.
+  MachineStats stats(1);
+  stats.fmas = {100};
+  stats.shared_misses = 50;
+  stats.dist_misses = {25};
+  MachineConfig cfg = paper_quadcore();
+  cfg.p = 1;
+  cfg.sigma_s = 1.0;
+  cfg.sigma_d = 0.5;  // all three times are 50
+  const TimeEnvelope tie = time_envelope(stats, cfg, 2.0);
+  EXPECT_DOUBLE_EQ(tie.overlap, 50.0);
+  EXPECT_EQ(tie.bottleneck, TimeEnvelope::Bottleneck::kCompute);
+  // Shared/distributed two-way tie resolves to the shared channel.
+  const TimeEnvelope channels = time_envelope(stats, cfg, 1e9);
+  EXPECT_DOUBLE_EQ(channels.overlap, 50.0);
+  EXPECT_EQ(channels.bottleneck, TimeEnvelope::Bottleneck::kSharedChannel);
+}
+
+TEST(Timeline, ZeroComputeRunSaturatesAChannel) {
+  // No FMAs recorded (a pure-copy phase): overlap is channel-bound and the
+  // balance rate is zero — any positive compute rate is already "fast".
+  MachineStats stats(1);
+  stats.shared_misses = 40;
+  stats.dist_misses = {10};
+  MachineConfig cfg = paper_quadcore();
+  cfg.sigma_s = 1.0;
+  cfg.sigma_d = 1.0;
+  const TimeEnvelope env = time_envelope(stats, cfg, 5.0);
+  EXPECT_DOUBLE_EQ(env.compute_time, 0.0);
+  EXPECT_DOUBLE_EQ(env.overlap, 40.0);
+  EXPECT_EQ(env.bottleneck, TimeEnvelope::Bottleneck::kSharedChannel);
+  EXPECT_DOUBLE_EQ(balance_rate(stats, cfg), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gemm/kernel.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/parallel_gemm.hpp"
+#include "gemm/thread_pool.hpp"
+#include "obs/trace_export.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(ExecutionTracer, RecordsSpansPerWorker) {
+  ExecutionTracer tracer(2, 16);
+  EXPECT_EQ(tracer.workers(), 2);
+  EXPECT_EQ(tracer.capacity(), 16u);
+  tracer.record(0, TracePhase::kPackA, 10, 20);
+  tracer.record(1, TracePhase::kMicroKernel, 5, 50);
+  ASSERT_EQ(tracer.span_count(0), 1u);
+  ASSERT_EQ(tracer.span_count(1), 1u);
+  const TraceSpan& s = tracer.span(0, 0);
+  EXPECT_EQ(s.begin_ns, 10);
+  EXPECT_EQ(s.end_ns, 20);
+  EXPECT_EQ(s.phase, TracePhase::kPackA);
+  EXPECT_EQ(s.region, -1);  // outside any region
+  EXPECT_EQ(tracer.total_dropped(), 0);
+}
+
+TEST(ExecutionTracer, RejectsBadConstruction) {
+  EXPECT_THROW(ExecutionTracer(0), Error);
+  EXPECT_THROW(ExecutionTracer(1, 0), Error);
+}
+
+TEST(ExecutionTracer, FullRingCountsDropsInsteadOfGrowing) {
+  ExecutionTracer tracer(1, 2);
+  tracer.record(0, TracePhase::kTask, 0, 1);
+  tracer.record(0, TracePhase::kTask, 1, 2);
+  tracer.record(0, TracePhase::kTask, 2, 3);  // ring is full
+  EXPECT_EQ(tracer.span_count(0), 2u);
+  EXPECT_EQ(tracer.dropped(0), 1);
+  EXPECT_EQ(tracer.total_dropped(), 1);
+}
+
+TEST(ExecutionTracer, OutOfRangeWorkerIsIgnored) {
+  ExecutionTracer tracer(1, 4);
+  tracer.record(-1, TracePhase::kTask, 0, 1);
+  tracer.record(7, TracePhase::kTask, 0, 1);
+  EXPECT_EQ(tracer.span_count(0), 0u);
+  EXPECT_EQ(tracer.total_dropped(), 0);
+}
+
+TEST(ExecutionTracer, RegionEmitsBarrierOnlyForParticipants) {
+  ExecutionTracer tracer(2, 16);
+  tracer.begin_region("r0");
+  tracer.record(0, TracePhase::kWork, 0, 1);  // worker 1 records nothing
+  tracer.end_region();
+  EXPECT_EQ(tracer.num_regions(), 1u);
+  EXPECT_EQ(tracer.region_label(0), "r0");
+  EXPECT_GE(tracer.region_end_ns(0), tracer.region_begin_ns(0));
+  // Worker 0: the work span plus the synthesised barrier tail.
+  ASSERT_EQ(tracer.span_count(0), 2u);
+  const TraceSpan& barrier = tracer.span(0, 1);
+  EXPECT_EQ(barrier.phase, TracePhase::kBarrier);
+  EXPECT_EQ(barrier.begin_ns, 1);
+  EXPECT_EQ(barrier.end_ns, tracer.region_end_ns(0));
+  EXPECT_EQ(barrier.region, 0);
+  // Worker 1 never participated: no phantom all-idle barrier.
+  EXPECT_EQ(tracer.span_count(1), 0u);
+}
+
+TEST(ExecutionTracer, RegionsMustNotNest) {
+  ExecutionTracer tracer(1);
+  tracer.begin_region("a");
+  EXPECT_THROW(tracer.begin_region("b"), Error);
+  tracer.end_region();
+  EXPECT_THROW(tracer.end_region(), Error);
+}
+
+TEST(PhaseTotals, AttributionMath) {
+  PhaseTotals t;
+  t.add(TraceSpan{0, 4'000'000, -1, TracePhase::kWork});
+  t.add(TraceSpan{0, 1'000'000, -1, TracePhase::kPackA});
+  t.add(TraceSpan{1'000'000, 3'000'000, -1, TracePhase::kMicroKernel});
+  t.add(TraceSpan{4'000'000, 5'000'000, -1, TracePhase::kBarrier});
+  EXPECT_DOUBLE_EQ(t.ms(TracePhase::kWork), 4.0);
+  EXPECT_DOUBLE_EQ(t.ms(TracePhase::kPackA), 1.0);
+  EXPECT_DOUBLE_EQ(t.ms(TracePhase::kMicroKernel), 2.0);
+  // other = work - (packA + packB + micro) = 4 - 3 = 1.
+  EXPECT_DOUBLE_EQ(t.other_ms(), 1.0);
+  // idle = barrier / (work + barrier) = 1 / 5.
+  EXPECT_DOUBLE_EQ(t.idle_fraction(), 0.2);
+  EXPECT_EQ(t.spans[static_cast<int>(TracePhase::kWork)], 1);
+  // A negative-length span must clamp to zero, not subtract.
+  PhaseTotals clamped;
+  clamped.add(TraceSpan{10, 5, -1, TracePhase::kTask});
+  EXPECT_EQ(clamped.ns[static_cast<int>(TracePhase::kTask)], 0);
+  EXPECT_EQ(clamped.spans[static_cast<int>(TracePhase::kTask)], 1);
+}
+
+TEST(TraceSummary, AggregatesTotalsAndRegions) {
+  ExecutionTracer tracer(2, 8);
+  tracer.record(0, TracePhase::kTask, 0, 1'000'000);  // outside any region
+  tracer.begin_region("sched");
+  tracer.record(0, TracePhase::kWork, 0, 2'000'000);
+  tracer.record(1, TracePhase::kWork, 0, 1'000'000);
+  tracer.end_region();
+  const TraceSummary summary = summarize_trace(tracer);
+  EXPECT_EQ(summary.workers, 2);
+  EXPECT_EQ(summary.dropped_total, 0);
+  ASSERT_EQ(summary.regions.size(), 1u);
+  EXPECT_EQ(summary.regions[0].label, "sched");
+  ASSERT_EQ(summary.regions[0].workers.size(), 2u);
+  // The out-of-region task span counts toward totals but not the region.
+  EXPECT_DOUBLE_EQ(summary.totals[0].ms(TracePhase::kTask), 1.0);
+  EXPECT_DOUBLE_EQ(summary.regions[0].workers[0].ms(TracePhase::kTask), 0.0);
+  EXPECT_DOUBLE_EQ(summary.regions[0].workers[0].ms(TracePhase::kWork), 2.0);
+  EXPECT_DOUBLE_EQ(summary.regions[0].workers[1].ms(TracePhase::kWork), 1.0);
+  EXPECT_GE(summary.regions[0].wall_ms(), 0.0);
+}
+
+TEST(TraceSummary, OpenRegionIsSkipped) {
+  ExecutionTracer tracer(1, 8);
+  tracer.begin_region("open");
+  tracer.record(0, TracePhase::kWork, 0, 10);
+  const TraceSummary summary = summarize_trace(tracer);
+  EXPECT_TRUE(summary.regions.empty());
+  // The span still lands in the per-worker totals.
+  EXPECT_EQ(summary.totals[0].spans[static_cast<int>(TracePhase::kWork)], 1);
+  tracer.end_region();
+}
+
+TEST(TraceSummaryJson, ParsesWithStableSchema) {
+  ExecutionTracer tracer(2, 8);
+  tracer.begin_region("sched");
+  tracer.record(0, TracePhase::kWork, 0, 100);
+  tracer.end_region();
+  const std::string doc = trace_summary_json(summarize_trace(tracer));
+  const JsonValue v = json_parse(doc);
+  ASSERT_NE(v.find("schema"), nullptr);
+  EXPECT_EQ(v.find("schema")->string, "mcmm-trace-summary-v1");
+  ASSERT_NE(v.find("per_worker"), nullptr);
+  EXPECT_EQ(v.find("per_worker")->array.size(), 2u);
+  const JsonValue& worker0 = v.find("per_worker")->array[0];
+  ASSERT_NE(worker0.find("ms"), nullptr);
+  ASSERT_NE(worker0.find("ms")->find("micro-kernel"), nullptr);
+  ASSERT_NE(v.find("regions"), nullptr);
+  ASSERT_EQ(v.find("regions")->array.size(), 1u);
+  EXPECT_EQ(v.find("regions")->array[0].find("label")->string, "sched");
+}
+
+TEST(ChromeTrace, EmitsMetadataAndCompleteEvents) {
+  ExecutionTracer tracer(3, 8);
+  tracer.begin_region("sched");
+  // Tiny timestamps so the region end (real clock) is guaranteed to land
+  // after the span and synthesise the barrier tail.
+  tracer.record(0, TracePhase::kMicroKernel, 0, 1);
+  tracer.end_region();
+  const JsonValue v = json_parse(chrome_trace_json(tracer));
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int thread_names = 0;
+  int complete = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    if (ph == "M" && e.find("name")->string == "thread_name") ++thread_names;
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.find("dur")->number, 0.0);
+      EXPECT_GE(e.find("ts")->number, 0.0);
+    }
+  }
+  EXPECT_EQ(thread_names, 3);  // one per worker
+  EXPECT_GE(complete, 2);      // micro span + barrier tail
+  ASSERT_NE(v.find("displayTimeUnit"), nullptr);
+}
+
+TEST(TracerIntegration, ThreadPoolRegionsCarryScheduleLabels) {
+  ExecutionTracer tracer(2);
+  ThreadPool pool(2);
+  pool.set_tracer(&tracer);
+  const std::int64_t q = 8;
+  const std::int64_t n = 4 * q;
+  Matrix a(n, n), b(n, n), c(n, n), ref(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  KernelContext ctx(pool.workers(), KernelPath::kScalar);
+  ctx.set_tracer(&tracer);
+  const Tiling t = tiling_for_host(2, 8 << 20, 256 << 10, q);
+  parallel_gemm_shared_opt(c, a, b, t, pool, ctx);
+  gemm_reference(ref, a, b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(c.at(i, j), ref.at(i, j), 1e-9);
+    }
+  }
+  ASSERT_EQ(tracer.num_regions(), 1u);
+  EXPECT_EQ(tracer.region_label(0), "shared-opt");
+  const TraceSummary summary = summarize_trace(tracer);
+  for (int w = 0; w < 2; ++w) {
+    // Every worker ran the region job and the micro-kernel inside it.
+    EXPECT_EQ(summary.regions[0].workers[w].spans[static_cast<int>(
+                  TracePhase::kWork)],
+              1);
+    EXPECT_GT(summary.regions[0].workers[w].spans[static_cast<int>(
+                  TracePhase::kMicroKernel)],
+              0);
+    EXPECT_GE(summary.totals[w].idle_fraction(), 0.0);
+    EXPECT_LE(summary.totals[w].idle_fraction(), 1.0);
+  }
+}
+
+TEST(TracerIntegration, RunBatchRecordsOneSpanPerTask) {
+  ExecutionTracer tracer(2);
+  ThreadPool pool(2);
+  pool.set_tracer(&tracer);
+  std::vector<std::function<void()>> tasks(10, [] {});
+  pool.run_batch(tasks);
+  const TraceSummary summary = summarize_trace(tracer);
+  std::int64_t task_spans = 0;
+  for (const PhaseTotals& t : summary.totals) {
+    task_spans += t.spans[static_cast<int>(TracePhase::kTask)];
+  }
+  EXPECT_EQ(task_spans, 10);
+  ASSERT_EQ(summary.regions.size(), 1u);
+  EXPECT_EQ(summary.regions[0].label, "parallel");
+}
+
+TEST(TracerIntegration, DetachedTracerRecordsNothing) {
+  ExecutionTracer tracer(2);
+  ThreadPool pool(2);
+  pool.set_tracer(&tracer);
+  pool.set_tracer(nullptr);  // detach again
+  pool.run_on_all([](int) {});
+  EXPECT_EQ(tracer.num_regions(), 0u);
+  EXPECT_EQ(tracer.span_count(0), 0u);
+  EXPECT_EQ(tracer.span_count(1), 0u);
+}
+
+TEST(TracerIntegration, RegionClosesWhenTheJobThrows) {
+  ExecutionTracer tracer(2);
+  ThreadPool pool(2);
+  pool.set_tracer(&tracer);
+  EXPECT_THROW(
+      pool.run_on_all([](int core) {
+        if (core == 0) throw Error("boom");
+      }),
+      Error);
+  ASSERT_EQ(tracer.num_regions(), 1u);
+  EXPECT_GE(tracer.region_end_ns(0), 0);  // closed, not left open
+  // Both workers still recorded their work span.
+  EXPECT_GE(tracer.span_count(0), 1u);
+  EXPECT_GE(tracer.span_count(1), 1u);
+}
+
+}  // namespace
+}  // namespace mcmm

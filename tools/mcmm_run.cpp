@@ -34,6 +34,8 @@
 #include "hw/affinity.hpp"
 #include "hw/machine_profile.hpp"
 #include "hw/topology.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -73,12 +75,15 @@ std::vector<std::int64_t> parse_orders(const std::string& list) {
 int run_sweep(const std::string& algorithm,
               const std::vector<std::int64_t>& orders,
               const MachineConfig& cfg, Setting setting, int jobs, bool json,
-              bool pin) {
+              bool pin, const std::string& trace_path, bool trace_summary) {
   SweepRunner runner(jobs);
   if (pin) {
     const HostTopology topo = detect_host_topology();
     if (topo.detected()) runner.set_pin_cpus(affinity_cpus(topo, jobs));
   }
+  const bool tracing = !trace_path.empty() || trace_summary;
+  ExecutionTracer tracer(jobs);
+  if (tracing) runner.set_tracer(&tracer);
   struct Row {
     std::size_t ms, md, tdata;
   };
@@ -116,10 +121,18 @@ int run_sweep(const std::string& algorithm,
     report.set_requests(runner.num_requests(), runner.cache_hits());
     report.set_timing(runner.jobs(), runner.total_wall_ms(),
                       runner.serial_wall_ms());
+    if (tracing) {
+      report.set_trace_summary(trace_summary_json(summarize_trace(tracer)));
+    }
     std::printf("%s\n", report.to_json().c_str());
   } else {
     std::printf("# %s\n", title.c_str());
     table.print_pretty();
+    if (trace_summary) print_trace_summary(summarize_trace(tracer));
+  }
+  if (!trace_path.empty()) {
+    write_chrome_trace(tracer, trace_path);
+    std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
   }
   return 0;
 }
@@ -151,6 +164,13 @@ int main(int argc, char** argv) {
   cli.add_option("orders", "comma-separated square orders: sweep mode", "");
   cli.add_option("jobs", "sweep worker threads (0 = hardware concurrency)",
                  "0");
+  cli.add_option("trace",
+                 "sweep mode: write a Chrome trace-event JSON of the sweep "
+                 "workers here",
+                 "");
+  cli.add_flag("trace-summary",
+               "sweep mode: per-worker phase summary (table output, or "
+               "embedded under timing.trace with --json)");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.flag("list")) {
@@ -190,8 +210,11 @@ int main(int argc, char** argv) {
     const int jobs =
         jobs_raw >= 1 ? static_cast<int>(jobs_raw) : default_sweep_jobs();
     return run_sweep(algorithm, parse_orders(cli.str("orders")), cfg, setting,
-                     jobs, cli.flag("json"), cli.flag("pin"));
+                     jobs, cli.flag("json"), cli.flag("pin"),
+                     cli.str("trace"), cli.flag("trace-summary"));
   }
+  MCMM_REQUIRE(!cli.is_set("trace") && !cli.flag("trace-summary"),
+               "--trace/--trace-summary require sweep mode (--orders)");
 
   const bool audit = cli.flag("audit");
   AuditReport report;
