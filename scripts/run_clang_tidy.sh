@@ -18,8 +18,10 @@ if ! command -v "$TIDY" >/dev/null 2>&1; then
   echo "error: '$TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
   exit 2
 fi
-if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-  echo "error: $BUILD_DIR/compile_commands.json missing; run cmake -B $BUILD_DIR first" >&2
+DB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$DB" ]; then
+  echo "error: $DB missing — configure the build tree first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
   exit 2
 fi
 
@@ -27,6 +29,29 @@ SOURCES=()
 while IFS= read -r f; do
   SOURCES+=("$f")
 done < <(find src tools bench -name '*.cpp' | sort)
+
+# Fail fast on a stale database rather than letting clang-tidy lint a TU
+# with wrong or missing flags.  Two staleness signals: a first-party .cpp
+# that the database has never heard of (added after the last configure),
+# and a CMakeLists.txt newer than the database (targets or flags changed).
+STALE=0
+for f in "${SOURCES[@]}"; do
+  if ! grep -qF "/$f\"" "$DB"; then
+    echo "error: $f is not in $DB (added after the last configure?)" >&2
+    STALE=1
+  fi
+done
+while IFS= read -r cml; do
+  if [ "$cml" -nt "$DB" ]; then
+    echo "error: $cml is newer than $DB" >&2
+    STALE=1
+  fi
+done < <(find CMakeLists.txt src tools bench tests -name 'CMakeLists.txt')
+if [ "$STALE" -ne 0 ]; then
+  echo "error: $DB is stale — re-run cmake to refresh it:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
 
 echo "clang-tidy ($("$TIDY" --version | head -n 1)) over ${#SOURCES[@]} files"
 "$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"

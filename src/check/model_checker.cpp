@@ -1,0 +1,230 @@
+#include "check/model_checker.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <random>
+
+#include "util/error.hpp"
+
+namespace mcmm::check {
+
+namespace {
+
+/// Strategy following a planned prefix of order-indices, then defaulting
+/// to order[0] (keep the current thread running — zero extra preemptions).
+Scheduler::Strategy prefix_strategy(const std::vector<std::size_t>& prefix) {
+  auto step = std::make_shared<std::size_t>(0);
+  return [prefix, step](const Decision& d) -> std::size_t {
+    const std::size_t i = (*step)++;
+    if (i < prefix.size()) {
+      // A planned index can exceed the order size only if the scenario is
+      // nondeterministic; surface that as divergence.
+      return prefix[i] < d.order.size() ? prefix[i] : d.order.size();
+    }
+    return 0;
+  };
+}
+
+Scheduler::RunOutcome run_once(const std::function<void()>& scenario,
+                               const Scheduler::Strategy& strategy,
+                               std::uint64_t max_steps) {
+  return Scheduler::run(std::make_unique<Scheduler>(), scenario, strategy,
+                        max_steps);
+}
+
+bool is_terminal(FailureKind kind) {
+  return kind == FailureKind::kDeadlock || kind == FailureKind::kLostWakeup ||
+         kind == FailureKind::kTooLong || kind == FailureKind::kDivergence;
+}
+
+/// Whether `d.order[0]` is the previously running thread (i.e. choosing
+/// any other candidate costs one preemption).
+bool head_is_running(const Decision& d) {
+  return d.running_before >= 0 && !d.order.empty() &&
+         d.order[0] == d.running_before;
+}
+
+/// Greedy schedule minimisation: repeatedly try dropping one entry at a
+/// context-switch boundary and see whether the same failure kind still
+/// reproduces (replay completes the tail with the default strategy).
+/// Best-effort and capped — the goal is a readable interleaving, not a
+/// provably minimal one.
+Failure minimize_failure(const std::function<void()>& scenario,
+                         const Failure& failure, std::uint64_t max_steps) {
+  constexpr int kMaxAttempts = 64;
+  std::vector<int> tids = parse_schedule(failure.schedule);
+  Failure best = failure;
+  int attempts = 0;
+  bool improved = true;
+  while (improved && attempts < kMaxAttempts) {
+    improved = false;
+    for (std::size_t i = tids.size(); i-- > 1 && attempts < kMaxAttempts;) {
+      if (tids[i] == tids[i - 1]) continue;  // not a switch point
+      std::vector<int> candidate = tids;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      std::string text;
+      for (std::size_t j = 0; j < candidate.size(); ++j) {
+        if (j != 0) text += ',';
+        text += std::to_string(candidate[j]);
+      }
+      ++attempts;
+      Scheduler::RunOutcome out = replay(scenario, text, max_steps);
+      if (out.failure.kind == failure.kind &&
+          parse_schedule(out.failure.schedule).size() <
+              parse_schedule(best.schedule).size()) {
+        best = out.failure;
+        tids = parse_schedule(best.schedule);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+void maybe_minimize(const std::function<void()>& scenario,
+                    const ExploreOptions& opts, ExploreResult& result) {
+  if (!opts.minimize || !result.failure) return;
+  // Replaying a terminal failure parks OS threads permanently (see
+  // Scheduler's leak policy), so only record-and-continue kinds are worth
+  // shrinking.
+  if (is_terminal(result.failure.kind)) return;
+  result.failure =
+      minimize_failure(scenario, result.failure, opts.max_steps_per_run);
+}
+
+}  // namespace
+
+std::vector<int> parse_schedule(const std::string& schedule) {
+  std::vector<int> out;
+  std::size_t i = 0;
+  while (i < schedule.size()) {
+    MCMM_REQUIRE(schedule[i] >= '0' && schedule[i] <= '9',
+                 "parse_schedule: expected a thread id in '" + schedule + "'");
+    int v = 0;
+    while (i < schedule.size() && schedule[i] >= '0' && schedule[i] <= '9') {
+      v = v * 10 + (schedule[i] - '0');
+      ++i;
+    }
+    out.push_back(v);
+    if (i < schedule.size()) {
+      MCMM_REQUIRE(schedule[i] == ',',
+                   "parse_schedule: expected ',' in '" + schedule + "'");
+      ++i;
+      MCMM_REQUIRE(i < schedule.size(),
+                   "parse_schedule: trailing ',' in '" + schedule + "'");
+    }
+  }
+  return out;
+}
+
+Scheduler::RunOutcome replay(const std::function<void()>& scenario,
+                             const std::string& schedule,
+                             std::uint64_t max_steps) {
+  const std::vector<int> tids = parse_schedule(schedule);
+  auto step = std::make_shared<std::size_t>(0);
+  Scheduler::Strategy strategy = [tids, step](const Decision& d) -> std::size_t {
+    const std::size_t i = (*step)++;
+    if (i >= tids.size()) return 0;
+    const auto it = std::find(d.order.begin(), d.order.end(), tids[i]);
+    if (it == d.order.end()) return d.order.size();  // divergence
+    return static_cast<std::size_t>(it - d.order.begin());
+  };
+  return run_once(scenario, strategy, max_steps);
+}
+
+ExploreResult explore(const std::function<void()>& scenario,
+                      const ExploreOptions& opts) {
+  ExploreResult result;
+  std::vector<std::size_t> prefix;  // planned order-indices for next run
+  for (;;) {
+    if (opts.max_schedules != 0 &&
+        result.schedules_explored >= opts.max_schedules) {
+      result.hit_schedule_cap = true;
+      break;
+    }
+    Scheduler::RunOutcome out =
+        run_once(scenario, prefix_strategy(prefix), opts.max_steps_per_run);
+    ++result.schedules_explored;
+    if (out.failure) {
+      result.failure = out.failure;
+      break;
+    }
+    // Backtrack: deepest decision with an untried alternative that fits
+    // the preemption budget.  Same prefix => same deterministic state =>
+    // the recorded orders stay valid for the new plan.
+    bool planned = false;
+    for (std::size_t i = out.decisions.size(); i-- > 0 && !planned;) {
+      const Decision& d = out.decisions[i];
+      for (std::size_t alt = static_cast<std::size_t>(d.index) + 1;
+           alt < d.order.size(); ++alt) {
+        const int cost =
+            d.preemptions_before +
+            ((head_is_running(d) && d.order[alt] != d.running_before) ? 1 : 0);
+        if (cost > opts.preemption_bound) continue;
+        prefix.resize(i);
+        for (std::size_t j = 0; j < i; ++j) {
+          prefix[j] = static_cast<std::size_t>(out.decisions[j].index);
+        }
+        prefix.push_back(alt);
+        planned = true;
+        break;
+      }
+    }
+    if (!planned) {
+      result.exhausted = true;
+      break;
+    }
+  }
+  maybe_minimize(scenario, opts, result);
+  return result;
+}
+
+ExploreResult explore_random(const std::function<void()>& scenario,
+                             const ExploreOptions& opts) {
+  ExploreResult result;
+  for (std::uint64_t iter = 0; iter < opts.random_iterations; ++iter) {
+    auto rng = std::make_shared<std::mt19937_64>(opts.seed + iter);
+    Scheduler::Strategy strategy = [rng](const Decision& d) -> std::size_t {
+      if (d.order.size() <= 1) return 0;
+      // Bias towards staying on the current thread: long runs punctuated
+      // by occasional switches probe rare orderings better than a uniform
+      // coin-flip at every step.
+      if (((*rng)() & 3) != 0) return 0;
+      return 1 + static_cast<std::size_t>((*rng)() %
+                                          (d.order.size() - 1));
+    };
+    Scheduler::RunOutcome out =
+        run_once(scenario, strategy, opts.max_steps_per_run);
+    ++result.schedules_explored;
+    if (out.failure) {
+      result.failure = out.failure;
+      break;
+    }
+  }
+  result.exhausted = false;
+  maybe_minimize(scenario, opts, result);
+  return result;
+}
+
+std::vector<Scenario>& scenario_registry() {
+  static std::vector<Scenario> registry;
+  return registry;
+}
+
+void register_scenario(Scenario scenario) {
+  MCMM_REQUIRE(!scenario.name.empty(), "register_scenario: empty name");
+  MCMM_REQUIRE(find_scenario(scenario.name) == nullptr,
+               "register_scenario: duplicate scenario '" + scenario.name +
+                   "'");
+  scenario_registry().push_back(std::move(scenario));
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : scenario_registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace mcmm::check

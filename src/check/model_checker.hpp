@@ -1,0 +1,96 @@
+// Schedule exploration for the deterministic model checker.
+//
+// Stateless CHESS-style checking: a scenario (plain callable using the
+// checked primitives from src/check/sync.hpp) is re-executed from scratch
+// once per schedule, with a Scheduler (scheduler.hpp) forcing the
+// interleaving.  Two exploration modes:
+//
+//   * explore()        — exhaustive depth-first search over grant
+//     decisions, bounded by the number of *preemptions* (switching away
+//     from a thread that could have kept running).  Context switches at
+//     blocking points are free, so the bound spends its budget exactly
+//     where bugs hide; empirically (CHESS) a bound of 2 finds the large
+//     majority of real concurrency bugs while keeping the schedule count
+//     polynomial.
+//
+//   * explore_random() — seeded pseudo-random walks, for scenario spaces
+//     too large to exhaust and as a cheap smoke layer in CI.
+//
+// Any failing schedule is replayable: the grant sequence ("0,0,1,...")
+// fully determines the run.  replay() re-executes one schedule; on a
+// non-terminal failure the explorer greedily minimises the schedule
+// (fewer context switches, shorter prefix) before reporting, so the
+// interleaving a human reads is close to the essential bug, not the noise
+// the search happened to walk through.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/scheduler.hpp"
+
+namespace mcmm::check {
+
+struct ExploreOptions {
+  /// Max preemptions per schedule for exhaustive exploration.
+  int preemption_bound = 2;
+  /// Hard cap on schedules explored by explore() (0 = unlimited).
+  std::uint64_t max_schedules = 200000;
+  /// Per-run step cap (livelock guard; kTooLong beyond it).
+  std::uint64_t max_steps_per_run = 20000;
+  /// Number of random walks for explore_random().
+  std::uint64_t random_iterations = 10000;
+  std::uint64_t seed = 1;
+  /// Greedily minimise a failing schedule before reporting (skipped for
+  /// terminal failures — replaying a deadlock parks threads for good).
+  bool minimize = true;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules_explored = 0;
+  /// True when the DFS ran out of alternatives within the bound (the
+  /// scenario is verified for every schedule with that many preemptions).
+  bool exhausted = false;
+  bool hit_schedule_cap = false;
+  /// First failure found (empty when all schedules passed).
+  Failure failure;
+};
+
+/// Exhaustively explore `scenario` up to the preemption bound; stops at
+/// the first failure.
+ExploreResult explore(const std::function<void()>& scenario,
+                      const ExploreOptions& opts = {});
+
+/// Seeded random exploration (`opts.random_iterations` walks).
+ExploreResult explore_random(const std::function<void()>& scenario,
+                             const ExploreOptions& opts = {});
+
+/// Re-run one recorded schedule; decisions beyond the recorded prefix fall
+/// back to "keep running the current thread".
+Scheduler::RunOutcome replay(const std::function<void()>& scenario,
+                             const std::string& schedule,
+                             std::uint64_t max_steps = 20000);
+
+/// Parse "0,0,1,2" into thread ids (throws mcmm::Error on junk).
+std::vector<int> parse_schedule(const std::string& schedule);
+
+/// A named, registered scenario for mcmm_check / the test suite.
+struct Scenario {
+  std::string name;         // e.g. "ring/mpmc-2p2c"
+  std::string description;
+  std::function<void()> fn;
+  /// kNone: the checker must find no failure.  Anything else: the checker
+  /// MUST report a failure of this kind (seeded-mutation self-tests — a
+  /// green run is itself the bug).
+  FailureKind expect = FailureKind::kNone;
+};
+
+/// Global scenario registry (explicit registration: the suites live in
+/// static libraries, where self-registering initialisers get dead-stripped).
+std::vector<Scenario>& scenario_registry();
+void register_scenario(Scenario scenario);
+const Scenario* find_scenario(const std::string& name);
+
+}  // namespace mcmm::check

@@ -1,0 +1,386 @@
+// Test-only macro: exposes the deliberately racy ring traits used by the
+// mutation self-tests.  Production translation units never define this.
+#define MCMM_CHECK_ENABLE_MUTATIONS 1
+
+#include "check/scenarios.hpp"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.hpp"
+#include "check/sync.hpp"
+#include "util/error.hpp"
+#include "util/mpmc_ring.hpp"
+#include "util/warnings.hpp"
+
+#ifdef MCMM_CHECKED_SYNC
+#include "gemm/thread_pool.hpp"
+#include "obs/tracer.hpp"
+#endif
+
+namespace mcmm::check {
+
+namespace {
+
+using CheckedRing = MpmcRing<int, MpmcRingCheckedTraits>;
+using RacyRing =
+    MpmcRing<int, MpmcRingRacyPublishTraits<MpmcRingCheckedTraits>>;
+
+// --- mutex -------------------------------------------------------------
+
+void mutex_counter() {
+  checked_mutex m;
+  checked_value<int> count{0};
+  auto inc = [&] {
+    m.lock();
+    count.store(count.load() + 1);
+    m.unlock();
+  };
+  checked_thread a(inc);
+  checked_thread b(inc);
+  a.join();
+  b.join();
+  expect(count.load() == 2, "both locked increments must be visible");
+}
+
+void mutex_racy_counter() {
+  checked_value<int> count{0};
+  auto inc = [&] { count.store(count.load() + 1); };  // BUG: no lock
+  checked_thread a(inc);
+  checked_thread b(inc);
+  a.join();
+  b.join();
+}
+
+// --- condition variables ------------------------------------------------
+
+void condvar_handoff() {
+  checked_mutex m;
+  checked_condvar cv;
+  checked_value<bool> ready{false};
+  checked_thread consumer([&] {
+    m.lock();
+    while (!ready.load()) cv.wait(m);
+    m.unlock();
+  });
+  m.lock();
+  ready.store(true);
+  m.unlock();
+  cv.notify_one();
+  consumer.join();
+}
+
+void condvar_lost_wakeup() {
+  checked_mutex m;
+  checked_condvar cv;
+  checked_thread consumer([&] {
+    m.lock();
+    cv.wait(m);  // BUG: waits unconditionally — no predicate
+    m.unlock();
+  });
+  // When this notify fires before the consumer reaches its wait, the
+  // wakeup is lost and the consumer sleeps forever.
+  cv.notify_one();
+  consumer.join();
+}
+
+// --- atomics ------------------------------------------------------------
+
+void atomic_lost_update() {
+  checked_atomic<int> v{0};
+  auto bump = [&] {
+    // BUG: load+store is not fetch_add; two threads can both read 0.
+    const int x = v.load(std::memory_order_relaxed);
+    v.store(x + 1, std::memory_order_relaxed);
+  };
+  checked_thread a(bump);
+  checked_thread b(bump);
+  a.join();
+  b.join();
+  expect(v.load() == 2, "an increment was lost (load/store is not RMW)");
+}
+
+void atomic_release_acquire() {
+  checked_value<int> data{0};
+  checked_atomic<bool> flag{false};
+  checked_thread writer([&] {
+    data.store(42);
+    flag.store(true, std::memory_order_release);
+  });
+  if (flag.load(std::memory_order_acquire)) {
+    expect(data.load() == 42, "acquire load must see the published data");
+  }
+  writer.join();
+  expect(data.load() == 42, "join edge must order the write");
+}
+
+void atomic_relaxed_publish() {
+  checked_value<int> data{0};
+  checked_atomic<bool> flag{false};
+  checked_thread writer([&] {
+    data.store(42);
+    flag.store(true, std::memory_order_relaxed);  // BUG: no release edge
+  });
+  if (flag.load(std::memory_order_relaxed)) {
+    (void)data.load();  // racy: no happens-before from the writer
+  }
+  writer.join();
+}
+
+// --- MpmcRing -----------------------------------------------------------
+
+void ring_full_empty() {
+  CheckedRing ring(2);
+  expect(ring.capacity() == 2, "capacity is the constructor argument");
+  expect(ring.try_push(1), "push 1 into empty ring");
+  expect(ring.try_push(2), "push 2 fills the ring");
+  expect(!ring.try_push(3), "push into a full ring must fail");
+  int v = 0;
+  expect(ring.try_pop(v) && v == 1, "pops are FIFO (1)");
+  expect(ring.try_pop(v) && v == 2, "pops are FIFO (2)");
+  expect(!ring.try_pop(v), "pop from an empty ring must fail");
+}
+
+void ring_spsc() {
+  CheckedRing ring(2);
+  checked_thread producer([&] {
+    expect(ring.try_push(1), "capacity 2 holds the first push");
+    expect(ring.try_push(2), "capacity 2 holds the second push");
+  });
+  int got[2] = {0, 0};
+  int n = 0;
+  int v = 0;
+  for (int i = 0; i < 2 && n < 2; ++i) {
+    if (ring.try_pop(v)) got[n++] = v;
+  }
+  producer.join();
+  while (n < 2 && ring.try_pop(v)) got[n++] = v;
+  expect(n == 2 && got[0] == 1 && got[1] == 2,
+         "consumer sees both values in FIFO order");
+}
+
+void ring_mpmc() {
+  CheckedRing ring(4);
+  int popped_by_c0 = 0;
+  bool c0_got = false;
+  checked_thread p0([&] { expect(ring.try_push(10), "cap 4 cannot fill"); });
+  checked_thread p1([&] { expect(ring.try_push(20), "cap 4 cannot fill"); });
+  checked_thread c0([&] {
+    int v = 0;
+    c0_got = ring.try_pop(v);
+    if (c0_got) popped_by_c0 = v;
+  });
+  int v1 = 0;
+  const bool main_got = ring.try_pop(v1);
+  p0.join();
+  p1.join();
+  c0.join();
+  // Conservation: every pushed value is popped or drained, exactly once.
+  int seen10 = 0;
+  int seen20 = 0;
+  auto tally = [&](int v) {
+    if (v == 10) ++seen10;
+    if (v == 20) ++seen20;
+  };
+  if (c0_got) tally(popped_by_c0);
+  if (main_got) tally(v1);
+  int v = 0;
+  while (ring.try_pop(v)) tally(v);
+  expect(seen10 == 1 && seen20 == 1,
+         "each pushed value surfaces exactly once");
+}
+
+void ring_racy_publish() {
+  RacyRing ring(2);
+  checked_thread producer([&] {
+    expect(ring.try_push(7), "push into empty ring");
+  });
+  int v = 0;
+  if (ring.try_pop(v)) {
+    expect(v == 7, "popped the pushed value");
+  }
+  producer.join();
+}
+
+// --- warning sink -------------------------------------------------------
+
+void warnings_concurrent_sink() {
+  ScopedWarningCapture outer;
+  {
+    checked_thread a([] { emit_warning("w-a"); });
+    // Installing this capture races with a's emit_warning — the sink
+    // mutex must make the swap atomic against concurrent emitters.
+    ScopedWarningCapture inner;
+    checked_thread b([] { emit_warning("w-b"); });
+    a.join();
+    b.join();
+    const std::size_t total =
+        inner.messages().size() + outer.messages().size();
+    expect(total == 2, "every warning lands in exactly one sink");
+  }
+}
+
+#ifdef MCMM_CHECKED_SYNC
+
+// --- ThreadPool (the production code, on the instrumented sync layer) ---
+
+void pool_run_on_all() {
+  ThreadPool pool(2);
+  int hits[2] = {0, 0};
+  pool.run_on_all([&](int core) { ++hits[core]; });
+  expect(hits[0] == 1 && hits[1] == 1, "each worker ran the job once");
+}
+
+void pool_reuse() {
+  ThreadPool pool(1);
+  int runs = 0;
+  pool.run_on_all([&](int) { ++runs; });
+  pool.run_on_all([&](int) { ++runs; });
+  expect(runs == 2, "the pool survives consecutive regions");
+}
+
+void pool_run_batch() {
+  ThreadPool pool(2);
+  int done[3] = {0, 0, 0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.emplace_back([&done, i] { ++done[i]; });
+  }
+  pool.run_batch(tasks);
+  expect(done[0] == 1 && done[1] == 1 && done[2] == 1,
+         "each task runs exactly once");
+}
+
+void pool_run_batch_throw() {
+  ThreadPool pool(1);
+  int ran = 0;
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw Error("scenario: task failure"); });
+  tasks.emplace_back([&ran] { ++ran; });
+  bool rethrown = false;
+  try {
+    pool.run_batch(tasks);
+  } catch (const Error&) {
+    rethrown = true;
+  }
+  expect(rethrown, "the first task error is rethrown to the caller");
+  expect(ran <= 1, "later tasks run at most once");
+}
+
+void pool_shutdown() {
+  ThreadPool pool(2);
+  // Destructor path only: stop flag, broadcast, join.
+}
+
+// --- ExecutionTracer under the pool -------------------------------------
+
+void tracer_record_drops() {
+  ExecutionTracer tracer(1, /*capacity_per_worker=*/1);
+  ThreadPool pool(1);
+  pool.set_tracer(&tracer);
+  pool.set_trace_label("scenario");
+  pool.run_on_all([&](int core) {
+    tracer.record(core, TracePhase::kMicroKernel, tracer.now_ns(),
+                  tracer.now_ns());
+  });
+  pool.set_tracer(nullptr);
+  // Capacity 1: the explicit span fills the ring; the pool's kWork span
+  // (and possibly the synthesised barrier) must be counted as dropped,
+  // never written out of bounds.
+  expect(tracer.span_count(0) == 1, "full ring keeps its capacity");
+  expect(tracer.span(0, 0).phase == TracePhase::kMicroKernel,
+         "the first-recorded span survives");
+  expect(tracer.dropped(0) >= 1, "overflow is counted as drops");
+}
+
+void tracer_region_bracketing() {
+  ExecutionTracer tracer(2, /*capacity_per_worker=*/8);
+  ThreadPool pool(2);
+  pool.set_tracer(&tracer);
+  pool.set_trace_label("bracketed");
+  pool.run_on_all([](int) {});
+  pool.set_tracer(nullptr);
+  expect(tracer.num_regions() == 1, "one dispatch, one region");
+  expect(tracer.region_label(0) == "bracketed", "label is the trace label");
+  expect(tracer.region_end_ns(0) >= tracer.region_begin_ns(0),
+         "the region is closed");
+  for (int w = 0; w < 2; ++w) {
+    expect(tracer.span_count(w) >= 1, "every worker recorded its kWork span");
+    expect(tracer.span(w, 0).phase == TracePhase::kWork,
+           "the job wrapper records kWork first");
+    expect(tracer.span(w, 0).region == 0, "spans carry the open region id");
+  }
+}
+
+#endif  // MCMM_CHECKED_SYNC
+
+void add(const char* name, const char* description, void (*fn)(),
+         FailureKind expected = FailureKind::kNone) {
+  register_scenario(Scenario{name, description, fn, expected});
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+
+  add("mutex/counter", "two threads increment a shared counter under a lock",
+      mutex_counter);
+  add("mutex/racy-counter",
+      "mutation: the same counter without the lock — must be flagged",
+      mutex_racy_counter, FailureKind::kDataRace);
+  add("condvar/handoff",
+      "producer/consumer flag handoff with a predicate wait loop",
+      condvar_handoff);
+  add("condvar/lost-wakeup",
+      "mutation: unconditional wait whose notify can fire first",
+      condvar_lost_wakeup, FailureKind::kLostWakeup);
+  add("atomic/lost-update",
+      "mutation: load+store increment loses updates under preemption",
+      atomic_lost_update, FailureKind::kAssert);
+  add("atomic/release-acquire",
+      "message passing over a release store / acquire load pair",
+      atomic_release_acquire);
+  add("atomic/relaxed-publish",
+      "mutation: relaxed publish severs the happens-before edge",
+      atomic_relaxed_publish, FailureKind::kDataRace);
+  add("ring/full-empty",
+      "MpmcRing full/empty detection and FIFO order, single-threaded",
+      ring_full_empty);
+  add("ring/spsc", "MpmcRing with one producer and one consumer", ring_spsc);
+  add("ring/mpmc",
+      "MpmcRing with two producers and two consumers, conservation checked",
+      ring_mpmc);
+  add("ring/racy-publish",
+      "mutation: ring publishing slots with relaxed stores — must be flagged",
+      ring_racy_publish, FailureKind::kDataRace);
+  add("warnings/concurrent-sink",
+      "sink swap racing concurrent emit_warning calls, no message lost",
+      warnings_concurrent_sink);
+
+#ifdef MCMM_CHECKED_SYNC
+  add("pool/run-on-all", "ThreadPool dispatch/drain over both workers",
+      pool_run_on_all);
+  add("pool/reuse", "consecutive parallel regions reuse the pool",
+      pool_reuse);
+  add("pool/run-batch", "dynamically claimed task batch drains exactly once",
+      pool_run_batch);
+  add("pool/run-batch-throw",
+      "a throwing task stops the batch and is rethrown at the caller",
+      pool_run_batch_throw);
+  add("pool/shutdown", "construct and destroy: stop broadcast and join",
+      pool_shutdown);
+  add("tracer/record-drops",
+      "a full tracer ring counts drops instead of overflowing",
+      tracer_record_drops);
+  add("tracer/region-bracketing",
+      "run_on_all brackets a region and records kWork spans per worker",
+      tracer_region_bracketing);
+#endif
+}
+
+}  // namespace mcmm::check

@@ -1,0 +1,23 @@
+// Built-in model-check scenario suites.
+//
+// Registration is explicit (not static-initialiser magic): the suite lives
+// in a static library, where self-registering globals get dead-stripped by
+// the linker unless force-loaded.  Call register_builtin_scenarios() once
+// from main()/test setup before using the registry in model_checker.hpp.
+//
+// The suites cover:
+//   * the checked primitives themselves (mutex, condvar, atomics) with
+//     both passing protocols and seeded bugs the checker must flag;
+//   * MpmcRing (util/mpmc_ring.hpp) instantiated on the checked traits,
+//     including the racy-publish mutation self-test;
+//   * with -DMCMM_CHECKED_SYNC=ON, the production ThreadPool dispatch
+//     protocol and the ExecutionTracer ring contract, compiled exactly as
+//     shipped but on the instrumented sync layer.
+#pragma once
+
+namespace mcmm::check {
+
+/// Adds every built-in scenario to scenario_registry().  Idempotent.
+void register_builtin_scenarios();
+
+}  // namespace mcmm::check

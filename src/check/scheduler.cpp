@@ -1,0 +1,518 @@
+#include "check/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace mcmm::check {
+
+namespace {
+
+// The scheduler driving the calling OS thread, and the virtual thread id
+// the caller is executing as.  Set only inside thread_main, so code run by
+// the coordinator (or any thread outside a scenario) sees nullptr and the
+// checked primitives fall through to their std:: behaviour.
+thread_local Scheduler* g_scheduler = nullptr;
+thread_local int g_thread_id = -1;
+
+std::atomic<std::uint64_t> g_run_counter{1};
+
+}  // namespace
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kDataRace: return "data-race";
+    case FailureKind::kDeadlock: return "deadlock";
+    case FailureKind::kLostWakeup: return "lost-wakeup";
+    case FailureKind::kAssert: return "assert";
+    case FailureKind::kException: return "exception";
+    case FailureKind::kDivergence: return "divergence";
+    case FailureKind::kTooLong: return "too-long";
+  }
+  return "?";
+}
+
+void expect(bool condition, const char* msg) {
+  if (condition) return;
+  if (Scheduler* sched = Scheduler::current()) {
+    sched->fail_check(msg);
+    return;
+  }
+  MCMM_ASSERT(condition, msg);
+}
+
+Scheduler::Scheduler() : run_uid_(g_run_counter.fetch_add(1)) {}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler* Scheduler::current() noexcept { return g_scheduler; }
+
+Scheduler::VThread& Scheduler::self() {
+  MCMM_ASSERT(g_scheduler == this && g_thread_id >= 0,
+              "checked primitive used from a thread the scheduler does not "
+              "own");
+  return *threads_[static_cast<std::size_t>(g_thread_id)];
+}
+
+// --- handoff -----------------------------------------------------------
+//
+// Exactly one side is ever awake: the coordinator between grant() calls,
+// or one virtual thread between park() calls.  The two futex tokens form
+// a release/acquire chain, so every model-state access is ordered even
+// though none of the model state is itself atomic.
+
+void Scheduler::park(VThread& t) {
+  control_.store(1, std::memory_order_release);
+  control_.notify_one();
+  t.go.wait(0, std::memory_order_acquire);
+  t.go.store(0, std::memory_order_relaxed);
+}
+
+void Scheduler::grant(VThread& t) {
+  t.go.store(1, std::memory_order_release);
+  t.go.notify_one();
+  control_.wait(0, std::memory_order_acquire);
+  control_.store(0, std::memory_order_relaxed);
+}
+
+void Scheduler::thread_main(Scheduler* sched, VThread* t) {
+  g_scheduler = sched;
+  g_thread_id = t->id;
+  // First grant: not a park (the thread has not yielded yet).
+  t->go.wait(0, std::memory_order_acquire);
+  t->go.store(0, std::memory_order_relaxed);
+  try {
+    t->fn();
+  } catch (const std::exception& e) {
+    sched->record_failure(FailureKind::kException,
+                          std::string("uncaught exception in virtual thread "
+                                      "t") +
+                              std::to_string(t->id) + ": " + e.what());
+  } catch (...) {
+    sched->record_failure(FailureKind::kException,
+                          "uncaught non-std exception in virtual thread t" +
+                              std::to_string(t->id));
+  }
+  t->status = VThread::Status::kFinished;
+  sched->control_.store(1, std::memory_order_release);
+  sched->control_.notify_one();
+}
+
+// --- object registry ---------------------------------------------------
+
+int Scheduler::resolve(detail::ObjectTag& tag, ObjectKind kind) {
+  if (tag.run == run_uid_) return tag.id;
+  tag.run = run_uid_;
+  switch (kind) {
+    case ObjectKind::kMutex:
+      tag.id = static_cast<int>(mutexes_.size());
+      mutexes_.emplace_back();
+      break;
+    case ObjectKind::kCondvar:
+      tag.id = static_cast<int>(condvars_.size());
+      condvars_.emplace_back();
+      break;
+    case ObjectKind::kAtomic:
+      tag.id = static_cast<int>(atomics_.size());
+      atomics_.emplace_back();
+      break;
+    case ObjectKind::kData:
+      tag.id = static_cast<int>(data_.size());
+      data_.emplace_back();
+      break;
+  }
+  return tag.id;
+}
+
+// --- failures ----------------------------------------------------------
+
+std::string Scheduler::schedule_so_far() const {
+  std::string out;
+  for (const Decision& d : decisions_) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(d.chosen);
+  }
+  return out;
+}
+
+void Scheduler::record_failure(FailureKind kind, const std::string& msg) {
+  // Built by append: GCC 12's -O2 inliner raises a spurious -Wrestrict on
+  // the equivalent operator+ chain.
+  std::string line = "t";
+  line += std::to_string(g_thread_id);
+  line += ": !! ";
+  line += to_string(kind);
+  line += ": ";
+  line += msg;
+  interleaving_.push_back(std::move(line));
+  if (failure_.kind != FailureKind::kNone) return;  // first failure wins
+  failure_.kind = kind;
+  failure_.message = msg;
+  failure_.schedule = schedule_so_far();
+  failure_.interleaving = interleaving_;
+}
+
+void Scheduler::fail_check(const std::string& msg) {
+  record_failure(FailureKind::kAssert, msg);
+}
+
+// --- threads -----------------------------------------------------------
+
+int Scheduler::spawn(std::function<void()> fn) {
+  VThread& parent = self();
+  parent.pending = "spawn";
+  park(parent);
+  const int id = static_cast<int>(threads_.size());
+  threads_.push_back(std::make_unique<VThread>());
+  VThread& child = *threads_.back();
+  child.id = id;
+  child.fn = std::move(fn);
+  child.pending = "start";
+  child.clock = parent.clock;   // spawn edge: child sees everything so far
+  child.clock.tick(id);
+  parent.clock.tick(parent.id);
+  child.os = std::thread(&Scheduler::thread_main, this, &child);
+  return id;
+}
+
+void Scheduler::join_thread(int tid) {
+  VThread& t = self();
+  MCMM_ASSERT(tid >= 0 && tid < static_cast<int>(threads_.size()),
+              "join of unknown virtual thread");
+  t.pending = "join t" + std::to_string(tid);
+  t.status = VThread::Status::kBlocked;
+  t.wait_kind = VThread::WaitKind::kJoin;
+  t.wait_id = tid;
+  park(t);
+  t.status = VThread::Status::kReady;
+  t.wait_kind = VThread::WaitKind::kNone;
+  t.clock.join(threads_[static_cast<std::size_t>(tid)]->clock);
+  t.clock.tick(t.id);
+}
+
+bool Scheduler::thread_finished(int tid) {
+  MCMM_ASSERT(tid >= 0 && tid < static_cast<int>(threads_.size()),
+              "query of unknown virtual thread");
+  return threads_[static_cast<std::size_t>(tid)]->status ==
+         VThread::Status::kFinished;
+}
+
+std::thread::native_handle_type Scheduler::thread_native_handle(int tid) {
+  MCMM_ASSERT(tid >= 0 && tid < static_cast<int>(threads_.size()),
+              "query of unknown virtual thread");
+  return threads_[static_cast<std::size_t>(tid)]->os.native_handle();
+}
+
+// --- mutexes -----------------------------------------------------------
+
+void Scheduler::mutex_lock(detail::ObjectTag& tag, const char* what) {
+  const int id = resolve(tag, ObjectKind::kMutex);
+  VThread& t = self();
+  t.pending = what;
+  t.status = VThread::Status::kBlocked;
+  t.wait_kind = VThread::WaitKind::kMutex;
+  t.wait_id = id;
+  park(t);
+  // Granted implies the mutex is free: acquire it.
+  t.status = VThread::Status::kReady;
+  t.wait_kind = VThread::WaitKind::kNone;
+  MutexState& m = mutexes_[static_cast<std::size_t>(id)];
+  m.held = true;
+  m.owner = t.id;
+  t.clock.join(m.released);
+  t.clock.tick(t.id);
+}
+
+bool Scheduler::mutex_try_lock(detail::ObjectTag& tag, const char* what) {
+  const int id = resolve(tag, ObjectKind::kMutex);
+  VThread& t = self();
+  t.pending = what;
+  park(t);
+  MutexState& m = mutexes_[static_cast<std::size_t>(id)];
+  if (m.held) return false;
+  m.held = true;
+  m.owner = t.id;
+  t.clock.join(m.released);
+  t.clock.tick(t.id);
+  return true;
+}
+
+void Scheduler::mutex_unlock(detail::ObjectTag& tag, const char* what) {
+  const int id = resolve(tag, ObjectKind::kMutex);
+  VThread& t = self();
+  t.pending = what;
+  park(t);
+  MutexState& m = mutexes_[static_cast<std::size_t>(id)];
+  if (!m.held || m.owner != t.id) {
+    record_failure(FailureKind::kAssert,
+                   "mutex unlocked by a thread that does not hold it");
+    return;
+  }
+  m.held = false;
+  m.owner = -1;
+  m.released = t.clock;
+  t.clock.tick(t.id);
+}
+
+// --- condition variables -----------------------------------------------
+
+void Scheduler::condvar_wait(detail::ObjectTag& cv_tag,
+                             detail::ObjectTag& m_tag, const char* what) {
+  const int cv_id = resolve(cv_tag, ObjectKind::kCondvar);
+  const int m_id = resolve(m_tag, ObjectKind::kMutex);
+  VThread& t = self();
+  MutexState& m = mutexes_[static_cast<std::size_t>(m_id)];
+  if (!m.held || m.owner != t.id) {
+    record_failure(FailureKind::kAssert,
+                   "condvar wait without holding the mutex");
+    return;
+  }
+  // Atomically: release the mutex and sleep on the condvar.  The thread
+  // stays blocked until a notify moves it to the mutex queue and the
+  // coordinator grants it the (free) mutex.  No spurious wakeups: a waiter
+  // nobody notifies blocks forever, which is how lost wakeups surface as
+  // deadlocks instead of hiding behind a courtesy re-check.
+  t.pending = what;
+  m.held = false;
+  m.owner = -1;
+  m.released = t.clock;
+  t.clock.tick(t.id);
+  t.status = VThread::Status::kBlocked;
+  t.wait_kind = VThread::WaitKind::kCondvar;
+  t.wait_id = cv_id;
+  t.cond_mutex = m_id;
+  condvars_[static_cast<std::size_t>(cv_id)].waiters.push_back(t.id);
+  park(t);
+  // Notified and granted: reacquire the mutex before returning.
+  t.status = VThread::Status::kReady;
+  t.wait_kind = VThread::WaitKind::kNone;
+  t.cond_mutex = -1;
+  MutexState& m2 = mutexes_[static_cast<std::size_t>(m_id)];
+  m2.held = true;
+  m2.owner = t.id;
+  t.clock.join(m2.released);
+  t.clock.tick(t.id);
+}
+
+void Scheduler::condvar_notify(detail::ObjectTag& cv_tag, bool all,
+                               const char* what) {
+  const int cv_id = resolve(cv_tag, ObjectKind::kCondvar);
+  VThread& t = self();
+  t.pending = what;
+  park(t);
+  CondvarState& cv = condvars_[static_cast<std::size_t>(cv_id)];
+  const std::size_t count = all ? cv.waiters.size()
+                                : std::min<std::size_t>(1, cv.waiters.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    VThread& w = *threads_[static_cast<std::size_t>(cv.waiters[i])];
+    // Move the waiter to the mutex queue; it becomes runnable once the
+    // mutex is free.  Happens-before comes from the mutex, as in real
+    // condvars.
+    w.wait_kind = VThread::WaitKind::kMutex;
+    w.wait_id = w.cond_mutex;
+  }
+  cv.waiters.erase(cv.waiters.begin(),
+                   cv.waiters.begin() + static_cast<std::ptrdiff_t>(count));
+  t.clock.tick(t.id);
+}
+
+// --- atomics and plain data --------------------------------------------
+
+void Scheduler::atomic_access(detail::ObjectTag& tag, bool acquire,
+                              bool release, const char* what) {
+  const int id = resolve(tag, ObjectKind::kAtomic);
+  VThread& t = self();
+  t.pending = what;
+  park(t);
+  AtomicState& a = atomics_[static_cast<std::size_t>(id)];
+  if (acquire) t.clock.join(a.released);
+  // Joining (not overwriting) on release keeps every prior release visible
+  // to later acquirers — conservative with respect to C++ release-sequence
+  // breakage, so the detector can under-report but never false-positives.
+  if (release) a.released.join(t.clock);
+  t.clock.tick(t.id);
+}
+
+void Scheduler::data_access(detail::ObjectTag& tag, bool write,
+                            const char* what) {
+  const int id = resolve(tag, ObjectKind::kData);
+  VThread& t = self();
+  DataState& d = data_[static_cast<std::size_t>(id)];
+  const auto race = [&](const char* prior, int other) {
+    record_failure(
+        FailureKind::kDataRace,
+        std::string("data race on ") + what + ": " + prior + " by t" +
+            std::to_string(other) + " is unordered with " +
+            (write ? "write" : "read") + " by t" + std::to_string(t.id) +
+            " (no happens-before edge)");
+  };
+  if (write) {
+    if (d.writer >= 0 && d.writer != t.id &&
+        !t.clock.covers(d.writer, d.write_epoch)) {
+      race("write", d.writer);
+    }
+    for (const auto& [reader, epoch] : d.read_epochs) {
+      if (reader != t.id && !t.clock.covers(reader, epoch)) {
+        race("read", reader);
+        break;
+      }
+    }
+    d.writer = t.id;
+    d.write_epoch = t.clock.of(t.id);
+    d.read_epochs.clear();
+  } else {
+    if (d.writer >= 0 && d.writer != t.id &&
+        !t.clock.covers(d.writer, d.write_epoch)) {
+      race("write", d.writer);
+    }
+    for (auto& [reader, epoch] : d.read_epochs) {
+      if (reader == t.id) {
+        epoch = t.clock.of(t.id);
+        return;
+      }
+    }
+    d.read_epochs.emplace_back(t.id, t.clock.of(t.id));
+  }
+}
+
+// --- coordinator -------------------------------------------------------
+
+Scheduler::RunOutcome Scheduler::run(std::unique_ptr<Scheduler> self,
+                                     const std::function<void()>& scenario,
+                                     const Strategy& strategy,
+                                     std::uint64_t max_steps) {
+  RunOutcome out = self->run_impl(scenario, strategy, max_steps);
+  if (out.leaked) {
+    // Terminal failure: parked OS threads cannot be unwound safely through
+    // arbitrary scenario code, so detach them and leak the scheduler (its
+    // futex tokens must stay alive).  Terminal failures end the
+    // exploration, so at most one scheduler leaks per checked scenario.
+    (void)self.release();
+  }
+  return out;
+}
+
+Scheduler::RunOutcome Scheduler::run_impl(
+    const std::function<void()>& scenario, const Strategy& strategy,
+    std::uint64_t max_steps) {
+  MCMM_ASSERT(!started_, "Scheduler::run: a Scheduler drives exactly one run");
+  started_ = true;
+
+  threads_.push_back(std::make_unique<VThread>());
+  VThread& main = *threads_.back();
+  main.id = 0;
+  main.fn = scenario;
+  main.pending = "start";
+  main.clock.tick(0);
+  main.os = std::thread(&Scheduler::thread_main, this, &main);
+
+  RunOutcome out;
+  bool terminal = false;
+  for (;;) {
+    std::vector<int> enabled;
+    bool all_finished = true;
+    bool any_cond_waiter = false;
+    for (const auto& tp : threads_) {
+      const VThread& t = *tp;
+      if (t.status == VThread::Status::kFinished) continue;
+      all_finished = false;
+      bool is_enabled = false;
+      if (t.status == VThread::Status::kReady) {
+        is_enabled = true;
+      } else {
+        switch (t.wait_kind) {
+          case VThread::WaitKind::kMutex:
+            is_enabled =
+                !mutexes_[static_cast<std::size_t>(t.wait_id)].held;
+            break;
+          case VThread::WaitKind::kJoin:
+            is_enabled = threads_[static_cast<std::size_t>(t.wait_id)]
+                             ->status == VThread::Status::kFinished;
+            break;
+          case VThread::WaitKind::kCondvar:
+            any_cond_waiter = true;
+            break;
+          case VThread::WaitKind::kNone:
+            break;
+        }
+      }
+      if (is_enabled) enabled.push_back(t.id);
+    }
+    if (all_finished) break;
+    if (enabled.empty()) {
+      std::string blocked;
+      for (const auto& tp : threads_) {
+        if (tp->status == VThread::Status::kFinished) continue;
+        if (!blocked.empty()) blocked += "; ";
+        blocked += "t" + std::to_string(tp->id) + " blocked at [" +
+                   tp->pending + "]";
+      }
+      record_failure(any_cond_waiter ? FailureKind::kLostWakeup
+                                     : FailureKind::kDeadlock,
+                     "no runnable thread: " + blocked);
+      terminal = true;
+      break;
+    }
+    if (out.steps >= max_steps) {
+      record_failure(FailureKind::kTooLong,
+                     "schedule exceeded " + std::to_string(max_steps) +
+                         " steps (livelock or unbounded scenario)");
+      terminal = true;
+      break;
+    }
+
+    Decision d;
+    d.running_before = running_;
+    d.preemptions_before = preemptions_;
+    const bool current_enabled =
+        running_ >= 0 &&
+        std::find(enabled.begin(), enabled.end(), running_) != enabled.end();
+    if (current_enabled) d.order.push_back(running_);
+    for (const int tid : enabled) {
+      if (!(current_enabled && tid == running_)) d.order.push_back(tid);
+    }
+
+    const std::size_t index = strategy(d);
+    if (index >= d.order.size()) {
+      record_failure(FailureKind::kDivergence,
+                     "strategy chose candidate " + std::to_string(index) +
+                         " of " + std::to_string(d.order.size()) +
+                         " (replay diverged from the recorded schedule)");
+      terminal = true;
+      break;
+    }
+    d.index = static_cast<int>(index);
+    d.chosen = d.order[index];
+    if (current_enabled && d.chosen != running_) ++preemptions_;
+    decisions_.push_back(d);
+    VThread& chosen = *threads_[static_cast<std::size_t>(d.chosen)];
+    // Built by append: GCC 12's -O2 inliner raises a spurious -Wrestrict
+    // on the equivalent operator+ chain.
+    std::string line = "t";
+    line += std::to_string(d.chosen);
+    line += ": ";
+    line += chosen.pending;
+    interleaving_.push_back(std::move(line));
+    running_ = d.chosen;
+    ++out.steps;
+    grant(chosen);
+  }
+
+  if (terminal) {
+    for (auto& tp : threads_) {
+      if (tp->os.joinable()) tp->os.detach();
+    }
+    out.leaked = true;
+  } else {
+    for (auto& tp : threads_) {
+      if (tp->os.joinable()) tp->os.join();
+    }
+  }
+  out.failure = failure_;
+  out.decisions = std::move(decisions_);
+  return out;
+}
+
+}  // namespace mcmm::check

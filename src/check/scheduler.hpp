@@ -1,0 +1,226 @@
+// Deterministic cooperative scheduler for the concurrency model checker.
+//
+// A Scheduler runs one *schedule* (one interleaving) of a scenario.  The
+// scenario body executes as virtual thread 0; every checked primitive
+// (src/check/sync.hpp) parks its thread at a yield point and the
+// coordinator — the caller of run(), typically the explorer in
+// model_checker.cpp — grants exactly one enabled thread at a time.  With
+// only one thread ever running between yield points, the interleaving is
+// fully determined by the sequence of grant decisions, which makes every
+// execution replayable from its decision list alone.
+//
+// Virtual threads are real OS threads gated on per-thread futex tokens
+// (std::atomic wait/notify): parked threads cost nothing, and the
+// coordinator/worker handoff is two futex operations per decision.
+//
+// What the scheduler knows how to model:
+//   * mutexes     — lock blocks while held; unlock publishes the holder's
+//                   vector clock to the next locker;
+//   * condvars    — wait atomically releases the mutex and sleeps (no
+//                   spurious wakeups, which is precisely what makes lost
+//                   wakeups *detectable*: a waiter nobody will notify is a
+//                   deadlock, not a shrug); notify moves waiters to the
+//                   mutex queue;
+//   * atomics     — every access is a yield point; release stores publish
+//                   the writer's clock on the object, acquire loads join
+//                   it (relaxed does neither — the model checker sees the
+//                   difference even though exploration itself is
+//                   sequentially consistent);
+//   * plain data  — checked_value accesses are not scheduling points but
+//                   feed the vector-clock race detector: two accesses, at
+//                   least one write, neither covering the other's epoch =
+//                   data race, reported on *any* schedule;
+//   * threads     — spawn/join edges, plus leak and deadlock detection.
+//
+// Failure handling: races, failed check::expect assertions and scenario
+// exceptions are recorded and the run continues to completion (so the OS
+// threads are joined and nothing leaks).  Deadlocks and over-long runs
+// are terminal: the parked OS threads can never be released safely
+// (unwinding arbitrary scenario code is not), so the Scheduler leaks
+// itself and detaches them — acceptable because a terminal failure ends
+// the exploration and the process reports and exits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/vector_clock.hpp"
+
+namespace mcmm::check {
+
+enum class FailureKind {
+  kNone = 0,
+  kDataRace,
+  kDeadlock,
+  kLostWakeup,  // deadlock with at least one thread parked in a condvar wait
+  kAssert,      // check::expect violation reported by the scenario
+  kException,   // uncaught C++ exception escaped a virtual thread
+  kDivergence,  // replay chose a thread that was not enabled
+  kTooLong,     // exceeded max_steps (livelock guard)
+};
+
+const char* to_string(FailureKind kind);
+
+/// One observed failure, carrying everything needed to show and replay it.
+struct Failure {
+  FailureKind kind = FailureKind::kNone;
+  std::string message;
+  /// The grant sequence up to the failure, "0,0,1,2,...": feed to
+  /// Scheduler via a replay strategy (or `mcmm_check --replay`).
+  std::string schedule;
+  /// Human-readable interleaving: one "t<id>: <op>" line per grant.
+  std::vector<std::string> interleaving;
+
+  explicit operator bool() const { return kind != FailureKind::kNone; }
+};
+
+/// One coordinator decision: which thread ran, who else could have.
+struct Decision {
+  int chosen = -1;
+  /// Candidate threads in canonical order: the previously running thread
+  /// first when still enabled, then the rest ascending by id.  The
+  /// explorer backtracks by advancing `index` within this order.
+  std::vector<int> order;
+  int index = 0;             // position of `chosen` in `order`
+  int running_before = -1;   // thread granted by the previous decision
+  int preemptions_before = 0;
+};
+
+namespace detail {
+/// Lazily bound per-run identity of a checked primitive.  Primitives may
+/// outlive runs (e.g. a global mutex), so each use re-registers when the
+/// tag's run id is stale; run ids are globally unique across Scheduler
+/// instances.
+struct ObjectTag {
+  std::uint64_t run = 0;
+  int id = -1;
+};
+}  // namespace detail
+
+class Scheduler {
+ public:
+  /// Picks the next thread: `order` is the canonical candidate list of the
+  /// current decision (see Decision::order); returns an index into it.
+  using Strategy = std::function<std::size_t(const Decision& decision)>;
+
+  struct RunOutcome {
+    Failure failure;
+    std::vector<Decision> decisions;
+    std::uint64_t steps = 0;
+    bool leaked = false;  // terminal failure: scheduler leaked itself
+  };
+
+  /// Runs `scenario` as virtual thread 0 under `strategy`.  The Scheduler
+  /// must be heap-allocated and owned by `self`; on a terminal failure the
+  /// outcome's `leaked` is true and ownership is released (the object and
+  /// its parked OS threads intentionally leak).
+  static RunOutcome run(std::unique_ptr<Scheduler> self,
+                        const std::function<void()>& scenario,
+                        const Strategy& strategy, std::uint64_t max_steps);
+
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Scheduler driving the calling thread, nullptr outside a scenario.
+  static Scheduler* current() noexcept;
+
+  // --- called from virtual threads by the checked primitives ---
+  void mutex_lock(detail::ObjectTag& m, const char* what);
+  bool mutex_try_lock(detail::ObjectTag& m, const char* what);
+  void mutex_unlock(detail::ObjectTag& m, const char* what);
+  void condvar_wait(detail::ObjectTag& cv, detail::ObjectTag& m,
+                    const char* what);
+  void condvar_notify(detail::ObjectTag& cv, bool all, const char* what);
+  int spawn(std::function<void()> fn);
+  void join_thread(int tid);
+  bool thread_finished(int tid);
+  std::thread::native_handle_type thread_native_handle(int tid);
+  /// Atomic access: a yield point plus the release/acquire clock transfer.
+  void atomic_access(detail::ObjectTag& obj, bool acquire, bool release,
+                     const char* what);
+  /// Plain-data access: not a yield point; updates the race detector and
+  /// records a kDataRace failure when unordered with a previous access.
+  void data_access(detail::ObjectTag& obj, bool write, const char* what);
+  /// Scenario invariant violation (check::expect): recorded, run continues.
+  void fail_check(const std::string& msg);
+
+ private:
+  struct VThread {
+    int id = 0;
+    std::function<void()> fn;
+    std::thread os;
+    std::atomic<int> go{0};  // 0 = parked, 1 = granted
+    enum class Status : std::uint8_t { kReady, kBlocked, kFinished } status =
+        Status::kReady;
+    enum class WaitKind : std::uint8_t {
+      kNone,
+      kMutex,
+      kCondvar,
+      kJoin
+    } wait_kind = WaitKind::kNone;
+    int wait_id = -1;        // mutex/condvar/thread waited on
+    int cond_mutex = -1;     // mutex to reacquire after a condvar wait
+    VectorClock clock;
+    std::string pending;     // description of the op performed when granted
+  };
+  struct MutexState {
+    bool held = false;
+    int owner = -1;
+    VectorClock released;
+  };
+  struct CondvarState {
+    std::vector<int> waiters;
+  };
+  struct AtomicState {
+    VectorClock released;
+  };
+  struct DataState {
+    int writer = -1;
+    std::uint64_t write_epoch = 0;
+    std::vector<std::pair<int, std::uint64_t>> read_epochs;
+  };
+
+  enum class ObjectKind : std::uint8_t { kMutex, kCondvar, kAtomic, kData };
+
+  RunOutcome run_impl(const std::function<void()>& scenario,
+                      const Strategy& strategy, std::uint64_t max_steps);
+
+  int resolve(detail::ObjectTag& tag, ObjectKind kind);
+  VThread& self();
+  /// Park the calling virtual thread and hand control to the coordinator.
+  void park(VThread& t);
+  /// Coordinator: wake `t` and wait until control returns.
+  void grant(VThread& t);
+  void record_failure(FailureKind kind, const std::string& msg);
+  std::string schedule_so_far() const;
+  static void thread_main(Scheduler* sched, VThread* t);
+
+  std::uint64_t run_uid_;                 // globally unique per run
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::vector<MutexState> mutexes_;
+  std::vector<CondvarState> condvars_;
+  std::vector<AtomicState> atomics_;
+  std::vector<DataState> data_;
+  std::vector<Decision> decisions_;
+  std::vector<std::string> interleaving_;
+  Failure failure_;
+  std::atomic<int> control_{0};
+  int running_ = -1;
+  int preemptions_ = 0;
+  bool started_ = false;
+};
+
+/// Scenario-side invariant: inside a model-checked run a violation is
+/// recorded as a kAssert failure (the run continues so teardown stays
+/// clean); outside a run it aborts via MCMM_ASSERT.
+void expect(bool condition, const char* msg);
+
+}  // namespace mcmm::check

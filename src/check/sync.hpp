@@ -1,0 +1,504 @@
+// Dual-mode synchronisation layer.
+//
+// Two namespaces, one contract:
+//
+//   * mcmm::check::checked_* — instrumented primitives that, when running
+//     under a check::Scheduler (a model-checked scenario), route every
+//     operation through the scheduler: each lock/wait/notify/atomic access
+//     is a deterministic yield point and feeds the vector-clock
+//     happens-before graph.  Outside a scheduler they fall through to the
+//     real std:: primitive, so the same binary can run scenarios under the
+//     checker *and* ordinary gtest threads.
+//
+//   * mcmm::sync — the names production code uses (sync::mutex,
+//     sync::lock_guard, sync::unique_lock, sync::condition_variable,
+//     sync::atomic, sync::value, sync::thread).  By default these are
+//     zero-cost wrappers over std:: types (the wrappers exist to carry
+//     Clang thread-safety annotations; every method is a trivial inline
+//     forward).  Configuring with -DMCMM_CHECKED_SYNC=ON rebuilds them on
+//     top of the checked primitives, which is how ThreadPool and the
+//     tracer rings become model-checkable without touching their code.
+//
+// sync::mutex is annotated as a Clang capability and sync::lock_guard /
+// sync::unique_lock as scoped capabilities, so `-Wthread-safety` verifies
+// MCMM_GUARDED_BY declarations against real lock scopes (std::mutex in
+// libstdc++ carries no annotations; the wrapper is what makes the analysis
+// see anything at all).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "check/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mcmm::check {
+
+namespace detail {
+inline bool is_acquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst || o == std::memory_order_consume;
+}
+inline bool is_release(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+}  // namespace detail
+
+/// std::mutex that yields to the scheduler inside a checked scenario.
+class checked_mutex {
+ public:
+  checked_mutex() = default;
+  checked_mutex(const checked_mutex&) = delete;
+  checked_mutex& operator=(const checked_mutex&) = delete;
+
+  void lock() {
+    if (Scheduler* s = Scheduler::current()) {
+      s->mutex_lock(tag_, "mutex-lock");
+    } else {
+      real_.lock();
+    }
+  }
+
+  bool try_lock() {
+    if (Scheduler* s = Scheduler::current()) {
+      return s->mutex_try_lock(tag_, "mutex-try-lock");
+    }
+    return real_.try_lock();
+  }
+
+  void unlock() {
+    if (Scheduler* s = Scheduler::current()) {
+      s->mutex_unlock(tag_, "mutex-unlock");
+    } else {
+      real_.unlock();
+    }
+  }
+
+ private:
+  friend class checked_condvar;
+  detail::ObjectTag tag_;
+  std::mutex real_;
+};
+
+/// Condition variable over a checked_mutex.  Under the scheduler there are
+/// no spurious wakeups — a waiter nobody notifies blocks forever, which is
+/// what turns lost wakeups into detectable deadlocks.
+class checked_condvar {
+ public:
+  checked_condvar() = default;
+  checked_condvar(const checked_condvar&) = delete;
+  checked_condvar& operator=(const checked_condvar&) = delete;
+
+  /// Caller must hold `m` (checked at runtime under the scheduler).
+  void wait(checked_mutex& m) {
+    if (Scheduler* s = Scheduler::current()) {
+      s->condvar_wait(tag_, m.tag_, "cond-wait");
+      return;
+    }
+    // Adopt the already-held std::mutex for the duration of the wait; the
+    // release() keeps ownership with the caller, so this is zero-overhead
+    // glue, not a second locking layer.
+    std::unique_lock<std::mutex> sl(m.real_, std::adopt_lock);
+    real_.wait(sl);
+    sl.release();
+  }
+
+  void notify_one() {
+    if (Scheduler* s = Scheduler::current()) {
+      s->condvar_notify(tag_, /*all=*/false, "notify-one");
+    } else {
+      real_.notify_one();
+    }
+  }
+
+  void notify_all() {
+    if (Scheduler* s = Scheduler::current()) {
+      s->condvar_notify(tag_, /*all=*/true, "notify-all");
+    } else {
+      real_.notify_all();
+    }
+  }
+
+ private:
+  detail::ObjectTag tag_;
+  std::condition_variable real_;
+};
+
+/// std::atomic<T> whose every access is a scheduler yield point.  The
+/// requested memory order is passed through to the real atomic *and*
+/// mapped onto the happens-before graph: release publishes the thread's
+/// vector clock on this object, acquire joins it, relaxed does neither.
+template <typename T>
+class checked_atomic {
+ public:
+  checked_atomic() noexcept = default;
+  constexpr checked_atomic(T v) noexcept : real_(v) {}  // NOLINT(google-explicit-constructor)
+  checked_atomic(const checked_atomic&) = delete;
+  checked_atomic& operator=(const checked_atomic&) = delete;
+
+  T load(std::memory_order o = std::memory_order_seq_cst) const {
+    hook(detail::is_acquire(o), false, "atomic-load");
+    return real_.load(o);
+  }
+
+  void store(T v, std::memory_order o = std::memory_order_seq_cst) {
+    hook(false, detail::is_release(o), "atomic-store");
+    real_.store(v, o);
+  }
+
+  T exchange(T v, std::memory_order o = std::memory_order_seq_cst) {
+    hook(detail::is_acquire(o), detail::is_release(o), "atomic-exchange");
+    return real_.exchange(v, o);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order succ,
+                             std::memory_order fail) {
+    // Conservative: model the success ordering even when the CAS fails
+    // (the failure path is at most an acquire, so this can only add
+    // happens-before edges, never invent a race).
+    hook(detail::is_acquire(succ) || detail::is_acquire(fail),
+         detail::is_release(succ), "atomic-cas");
+    return real_.compare_exchange_weak(expected, desired, succ, fail);
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order o = std::memory_order_seq_cst) {
+    return compare_exchange_weak(expected, desired, o,
+                                 o == std::memory_order_acq_rel
+                                     ? std::memory_order_acquire
+                                     : o);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order succ,
+                               std::memory_order fail) {
+    hook(detail::is_acquire(succ) || detail::is_acquire(fail),
+         detail::is_release(succ), "atomic-cas");
+    return real_.compare_exchange_strong(expected, desired, succ, fail);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order o = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, o,
+                                   o == std::memory_order_acq_rel
+                                       ? std::memory_order_acquire
+                                       : o);
+  }
+
+  T fetch_add(T v, std::memory_order o = std::memory_order_seq_cst) {
+    hook(detail::is_acquire(o), detail::is_release(o), "atomic-fetch-add");
+    return real_.fetch_add(v, o);
+  }
+
+  T fetch_sub(T v, std::memory_order o = std::memory_order_seq_cst) {
+    hook(detail::is_acquire(o), detail::is_release(o), "atomic-fetch-sub");
+    return real_.fetch_sub(v, o);
+  }
+
+  operator T() const { return load(); }  // NOLINT(google-explicit-constructor)
+
+  T operator=(T v) {
+    store(v);
+    return v;
+  }
+
+ private:
+  void hook(bool acquire, bool release, const char* what) const {
+    if (Scheduler* s = Scheduler::current()) {
+      s->atomic_access(tag_, acquire, release, what);
+    }
+  }
+
+  mutable detail::ObjectTag tag_;
+  std::atomic<T> real_{};
+};
+
+/// Plain (non-atomic) shared data under the race detector: every access is
+/// reported to the scheduler's vector-clock graph, so two accesses without
+/// a happens-before edge — on *any* explored schedule — are a data race.
+/// Not a yield point; outside a scenario it is a bare T.
+template <typename T>
+class checked_value {
+ public:
+  checked_value() = default;
+  explicit checked_value(T v) : v_(std::move(v)) {}
+  checked_value(const checked_value&) = delete;
+  checked_value& operator=(const checked_value&) = delete;
+  // Movable so containers can be sized during setup; the moved-to object
+  // is a fresh identity (blank tag), which is only sound before sharing.
+  checked_value(checked_value&& other) noexcept : v_(std::move(other.v_)) {}
+  checked_value& operator=(checked_value&& other) noexcept {
+    v_ = std::move(other.v_);
+    tag_ = detail::ObjectTag{};
+    return *this;
+  }
+
+  T load() const {
+    hook(false);
+    return v_;
+  }
+
+  void store(const T& x) {
+    hook(true);
+    v_ = x;
+  }
+
+ private:
+  void hook(bool write) const {
+    if (Scheduler* s = Scheduler::current()) {
+      s->data_access(tag_, write, "plain-data");
+    }
+  }
+
+  mutable detail::ObjectTag tag_;
+  T v_{};
+};
+
+/// std::thread that becomes a scheduler-controlled virtual thread inside a
+/// checked scenario.  native_handle() still returns a real pthread handle
+/// either way (virtual threads *are* OS threads), so affinity pinning
+/// keeps working under the checker.
+class checked_thread {
+ public:
+  checked_thread() noexcept = default;
+
+  template <typename F, typename... Args,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, checked_thread>>>
+  explicit checked_thread(F&& f, Args&&... args) {
+    std::function<void()> fn =
+        [f = std::forward<F>(f),
+         tup = std::make_tuple(std::forward<Args>(args)...)]() mutable {
+          std::apply(std::move(f), std::move(tup));
+        };
+    if (Scheduler* s = Scheduler::current()) {
+      sched_ = s;
+      vid_ = s->spawn(std::move(fn));
+    } else {
+      real_ = std::thread(std::move(fn));
+    }
+  }
+
+  checked_thread(checked_thread&& other) noexcept { *this = std::move(other); }
+
+  checked_thread& operator=(checked_thread&& other) noexcept {
+    MCMM_ASSERT(!joinable(), "assigning over a joinable checked_thread");
+    real_ = std::move(other.real_);
+    sched_ = other.sched_;
+    vid_ = other.vid_;
+    other.sched_ = nullptr;
+    other.vid_ = -1;
+    return *this;
+  }
+
+  checked_thread(const checked_thread&) = delete;
+  checked_thread& operator=(const checked_thread&) = delete;
+
+  ~checked_thread() {
+    MCMM_ASSERT(!joinable(), "destroying a joinable checked_thread");
+  }
+
+  bool joinable() const { return sched_ != nullptr || real_.joinable(); }
+
+  void join() {
+    if (sched_ != nullptr) {
+      sched_->join_thread(vid_);
+      sched_ = nullptr;
+      vid_ = -1;
+    } else {
+      real_.join();
+    }
+  }
+
+  std::thread::native_handle_type native_handle() {
+    if (sched_ != nullptr) return sched_->thread_native_handle(vid_);
+    return real_.native_handle();
+  }
+
+ private:
+  std::thread real_;
+  Scheduler* sched_ = nullptr;
+  int vid_ = -1;
+};
+
+/// Sync policy instantiating util/mpmc_ring.hpp on the checked primitives:
+/// `MpmcRing<T, MpmcRingCheckedTraits>` is the exact Vyukov algorithm with
+/// every sequence counter a checked_atomic and every payload cell a
+/// checked_value — the form the model-check scenarios explore.
+struct MpmcRingCheckedTraits {
+  template <typename T>
+  using atomic = checked_atomic<T>;
+
+  template <typename T>
+  struct cell {
+    checked_value<T> v;
+    T load() const { return v.load(); }
+    void store(const T& x) { v.store(x); }
+  };
+
+  static constexpr bool racy_publish = false;
+};
+
+}  // namespace mcmm::check
+
+namespace mcmm::sync {
+
+namespace detail {
+#ifdef MCMM_CHECKED_SYNC
+using mutex_impl = check::checked_mutex;
+using condvar_impl = check::checked_condvar;
+#else
+using mutex_impl = std::mutex;
+using condvar_impl = std::condition_variable;
+#endif
+}  // namespace detail
+
+#ifdef MCMM_CHECKED_SYNC
+template <typename T>
+using atomic = check::checked_atomic<T>;
+using thread = check::checked_thread;
+template <typename T>
+using value = check::checked_value<T>;
+#else
+template <typename T>
+using atomic = std::atomic<T>;
+using thread = std::thread;
+
+/// Plain shared data slot.  In the default build this is a bare T with
+/// inline load/store (compiles away); under MCMM_CHECKED_SYNC it is a
+/// check::checked_value feeding the race detector.  Use it for fields
+/// whose cross-thread ordering is provided *indirectly* (e.g. the tracer
+/// rings, ordered by the pool mutex) so the model checker can verify that
+/// claim instead of taking it on faith.
+template <typename T>
+class value {
+ public:
+  value() = default;
+  explicit value(T v) : v_(std::move(v)) {}
+  value(const value&) = delete;
+  value& operator=(const value&) = delete;
+  value(value&& other) noexcept : v_(std::move(other.v_)) {}
+  value& operator=(value&& other) noexcept {
+    v_ = std::move(other.v_);
+    return *this;
+  }
+
+  T load() const { return v_; }
+  void store(const T& x) { v_ = x; }
+
+ private:
+  T v_{};
+};
+#endif
+
+/// Annotated mutex (Clang capability).  Trivial forwarder over std::mutex
+/// by default, over check::checked_mutex under MCMM_CHECKED_SYNC.
+class MCMM_CAPABILITY("mutex") mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() MCMM_ACQUIRE() { impl_.lock(); }
+  bool try_lock() MCMM_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+  void unlock() MCMM_RELEASE() { impl_.unlock(); }
+
+  /// Underlying primitive, for condition_variable only.
+  detail::mutex_impl& impl() { return impl_; }
+
+ private:
+  detail::mutex_impl impl_;
+};
+
+/// RAII lock, annotated as a scoped capability.
+class MCMM_SCOPED_CAPABILITY lock_guard {
+ public:
+  explicit lock_guard(mutex& m) MCMM_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~lock_guard() MCMM_RELEASE() { m_.unlock(); }
+
+  lock_guard(const lock_guard&) = delete;
+  lock_guard& operator=(const lock_guard&) = delete;
+
+ private:
+  mutex& m_;
+};
+
+/// Ownership-tracking RAII lock for use with condition_variable.
+class MCMM_SCOPED_CAPABILITY unique_lock {
+ public:
+  explicit unique_lock(mutex& m) MCMM_ACQUIRE(m) : m_(&m) {
+    m_->lock();
+    owns_ = true;
+  }
+
+  ~unique_lock() MCMM_RELEASE() {
+    if (owns_) m_->unlock();
+  }
+
+  unique_lock(const unique_lock&) = delete;
+  unique_lock& operator=(const unique_lock&) = delete;
+
+  void lock() MCMM_ACQUIRE() {
+    MCMM_ASSERT(!owns_, "unique_lock::lock: already locked");
+    m_->lock();
+    owns_ = true;
+  }
+
+  void unlock() MCMM_RELEASE() {
+    MCMM_ASSERT(owns_, "unique_lock::unlock: not locked");
+    m_->unlock();
+    owns_ = false;
+  }
+
+  bool owns_lock() const { return owns_; }
+  mutex* mutex_ptr() const { return m_; }
+
+ private:
+  mutex* m_;
+  bool owns_ = false;
+};
+
+/// Condition variable over sync::mutex.  Callers hold the lock across the
+/// call (the scoped capability stays held from the analysis's view, which
+/// matches reality: wait reacquires before returning).  Use explicit
+/// `while (!pred) cv.wait(lk);` loops — the analysis (and the model
+/// checker's no-spurious-wakeup rule) both want the predicate re-check
+/// visible in the caller.
+class condition_variable {
+ public:
+  condition_variable() = default;
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  void wait(unique_lock& lk) {
+    MCMM_ASSERT(lk.owns_lock(), "condition_variable::wait without the lock");
+    detail::mutex_impl& m = lk.mutex_ptr()->impl();
+#ifdef MCMM_CHECKED_SYNC
+    impl_.wait(m);
+#else
+    // Adopt the held mutex for the wait, then release ownership back to
+    // the caller's unique_lock: no second locking layer, no overhead.
+    std::unique_lock<std::mutex> sl(m, std::adopt_lock);
+    impl_.wait(sl);
+    sl.release();
+#endif
+  }
+
+  void notify_one() { impl_.notify_one(); }
+  void notify_all() { impl_.notify_all(); }
+
+ private:
+  detail::condvar_impl impl_;
+};
+
+}  // namespace mcmm::sync

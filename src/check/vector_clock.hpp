@@ -1,0 +1,65 @@
+// Vector clocks for the model checker's happens-before graph.
+//
+// Every virtual thread carries a VectorClock; synchronisation objects
+// (mutexes, release stores of atomics) carry the clock their last release
+// published.  An event A happens-before an event B iff B's thread clock
+// covers A's epoch — the pair (thread id, per-thread counter) stamped when
+// A executed.  The race detector (Scheduler::data_access) uses exactly
+// this covers() test, so a data race is reported from the happens-before
+// relation alone, independent of which interleaving the explorer happened
+// to schedule: a missing release/acquire edge is flagged even on the
+// schedule where the racing accesses land in the "safe" order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcmm::check {
+
+class VectorClock {
+ public:
+  /// This clock's component for `tid` (0 when never seen).
+  std::uint64_t of(int tid) const {
+    const auto i = static_cast<std::size_t>(tid);
+    return i < c_.size() ? c_[i] : 0;
+  }
+
+  /// Advance own component (defines a new epoch for `tid`).
+  void tick(int tid) {
+    grow(static_cast<std::size_t>(tid) + 1);
+    ++c_[static_cast<std::size_t>(tid)];
+  }
+
+  /// Pointwise maximum (the acquire side of a release/acquire edge).
+  void join(const VectorClock& other) {
+    grow(other.c_.size());
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], other.c_[i]);
+    }
+  }
+
+  /// True iff the epoch (tid, clock) is ordered before this clock.
+  bool covers(int tid, std::uint64_t epoch) const { return of(tid) >= epoch; }
+
+  void clear() { c_.clear(); }
+
+  std::string str() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(c_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void grow(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace mcmm::check

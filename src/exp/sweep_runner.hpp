@@ -117,6 +117,13 @@ private:
     std::size_t sim = 0;
     Metric metric = Metric::kTdata;
   };
+  // Indexed-slot discipline instead of a mutex: during run() each pending
+  // Simulation is written by exactly one worker (run_batch hands out
+  // distinct `sim` indices), the vector itself is never resized while
+  // workers are live, and run_batch's completion barrier orders every
+  // slot write before the caller reads any of them.  There is therefore
+  // no guarded state to annotate here; the handoff itself is what the
+  // model checker exercises (scenario "pool/run-batch").
   struct Simulation {
     SweepPoint point;
     RunResult result;

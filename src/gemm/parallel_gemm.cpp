@@ -76,7 +76,9 @@ Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
     // smaller physical CS would make the shared-cache parameters infeasible,
     // so clamp — but never silently, because the derived lambda then assumes
     // more shared cache than the machine has.
-    char msg[256];
+    // Sized so the worst-case expansion fits: g++ 12's -Wformat-truncation
+    // rejects 256 for the five %lld/%d fields at their widest.
+    char msg[384];
     std::snprintf(msg, sizeof(msg),
                   "tiling_for_host: warning: shared cache holds %lld blocks "
                   "but p*CD = %d*%lld = %lld; clamping CS to %lld (inclusive-"

@@ -1,7 +1,5 @@
 #include "gemm/thread_pool.hpp"
 
-#include <atomic>
-
 #ifdef __linux__
 #include <pthread.h>
 #include <sched.h>
@@ -17,13 +15,13 @@ ThreadPool::ThreadPool(int workers) {
   MCMM_REQUIRE(workers >= 1, "ThreadPool: need at least one worker");
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    threads_.emplace_back([this, i] { worker_loop(i); });
+    threads_.emplace_back(sync::thread([this, i] { worker_loop(i); }));
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -35,8 +33,8 @@ void ThreadPool::worker_loop(int id) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      sync::unique_lock lock(mutex_);
+      while (!stop_ && generation_ == seen) cv_work_.wait(lock);
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -44,11 +42,11 @@ void ThreadPool::worker_loop(int id) {
     try {
       (*job)(id);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::lock_guard lock(mutex_);
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
@@ -97,7 +95,7 @@ void ThreadPool::run_on_all(const std::function<void(int)>& job) {
     to_run = &traced;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    sync::lock_guard lock(mutex_);
     MCMM_ASSERT(remaining_ == 0, "ThreadPool: overlapping run_on_all");
     job_ = to_run;
     remaining_ = workers();
@@ -105,20 +103,27 @@ void ThreadPool::run_on_all(const std::function<void(int)>& job) {
     ++generation_;
   }
   cv_work_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return remaining_ == 0; });
-  job_ = nullptr;
+  std::exception_ptr err;
+  {
+    sync::unique_lock lock(mutex_);
+    while (remaining_ != 0) cv_done_.wait(lock);
+    job_ = nullptr;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  // The lock acquisition above ordered every worker's ring write before
+  // this read, so reading the rings lock-free here stays race-free.
   if (tracer != nullptr) tracer->end_region();
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
   if (tasks.empty()) return;
-  std::atomic<std::size_t> next{0};
+  sync::atomic<std::size_t> next{0};
   // First-error drain stop: once any task throws, the other workers stop
   // claiming — a failed batch surfaces its error promptly instead of
   // burning through the remaining tasks first.
-  std::atomic<bool> abort{false};
+  sync::atomic<bool> abort{false};
   run_on_all([&](int core) {
     ExecutionTracer* const tracer = tracer_;
     while (!abort.load(std::memory_order_relaxed)) {

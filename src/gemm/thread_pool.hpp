@@ -5,14 +5,22 @@
 // races by construction, and no locks on the compute path).  The pool is
 // created once and reused across parallel regions; run_on_all() blocks the
 // caller until every worker finished the region.
+//
+// Synchronisation uses the mcmm::sync layer (src/check/sync.hpp): plain
+// std:: types in normal builds, and under -DMCMM_CHECKED_SYNC=ON the
+// model checker's instrumented primitives, so the pool's dispatch/drain
+// protocol is exhaustively verified by tools/mcmm_check.  Mutex-guarded
+// members carry Clang thread-safety annotations; the clang CI build
+// enforces them with -Wthread-safety as an error.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "check/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcmm {
 
@@ -74,16 +82,17 @@ public:
 private:
   void worker_loop(int id);
 
-  std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int remaining_ = 0;
+  std::vector<sync::thread> threads_;
+  sync::mutex mutex_;
+  sync::condition_variable cv_work_;
+  sync::condition_variable cv_done_;
+  const std::function<void(int)>* job_ MCMM_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ MCMM_GUARDED_BY(mutex_) = 0;
+  int remaining_ MCMM_GUARDED_BY(mutex_) = 0;
+  bool stop_ MCMM_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ MCMM_GUARDED_BY(mutex_);
+  // Written only between parallel regions by the dispatching thread.
   int pinned_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
   ExecutionTracer* tracer_ = nullptr;
   const char* trace_label_ = "parallel";
 };

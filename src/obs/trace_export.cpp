@@ -11,7 +11,6 @@ namespace mcmm {
 
 namespace {
 
-double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
 double ns_to_us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
 
 void emit_phase_map(JsonWriter& w, const char* key, const PhaseTotals& t,

@@ -47,50 +47,53 @@ void ExecutionTracer::record(int worker, TracePhase phase,
   // Barrier spans are synthesised by end_region; everything else advances
   // the worker's progress mark so idle attribution stays correct even when
   // the ring is full.
-  if (phase != TracePhase::kBarrier && end_ns > ring.last_end_ns) {
-    ring.last_end_ns = end_ns;
+  if (phase != TracePhase::kBarrier && end_ns > ring.last_end_ns.load()) {
+    ring.last_end_ns.store(end_ns);
   }
-  if (ring.count >= capacity_) {
-    ++ring.dropped;
+  const std::size_t count = ring.count.load();
+  if (count >= capacity_) {
+    ring.dropped.store(ring.dropped.load() + 1);
     return;
   }
-  ring.spans[ring.count++] = TraceSpan{begin_ns, end_ns, current_region_, phase};
+  ring.spans[count] =
+      TraceSpan{begin_ns, end_ns, current_region_.load(), phase};
+  ring.count.store(count + 1);
 }
 
 void ExecutionTracer::begin_region(const char* label) {
-  MCMM_REQUIRE(current_region_ == -1,
+  MCMM_REQUIRE(current_region_.load() == -1,
                "ExecutionTracer: regions must not nest (begin_region while a "
                "region is open)");
-  current_region_ = static_cast<std::int32_t>(regions_.size());
-  for (WorkerRing& ring : rings_) ring.last_end_ns = -1;
+  current_region_.store(static_cast<std::int32_t>(regions_.size()));
+  for (WorkerRing& ring : rings_) ring.last_end_ns.store(-1);
   regions_.push_back(Region{label != nullptr ? label : "region", now_ns(), -1});
 }
 
 void ExecutionTracer::end_region() {
-  MCMM_REQUIRE(current_region_ != -1,
+  MCMM_REQUIRE(current_region_.load() != -1,
                "ExecutionTracer: end_region without begin_region");
-  Region& region = regions_[static_cast<std::size_t>(current_region_)];
+  Region& region = regions_[static_cast<std::size_t>(current_region_.load())];
   region.end_ns = now_ns();
   for (int w = 0; w < workers(); ++w) {
     WorkerRing& ring = rings_[static_cast<std::size_t>(w)];
-    if (ring.last_end_ns < 0) continue;  // did not participate in this region
-    const std::int64_t idle_from = ring.last_end_ns;
+    const std::int64_t idle_from = ring.last_end_ns.load();
+    if (idle_from < 0) continue;  // did not participate in this region
     if (region.end_ns > idle_from) {
       record(w, TracePhase::kBarrier, idle_from, region.end_ns);
     }
   }
-  current_region_ = -1;
+  current_region_.store(-1);
 }
 
 std::size_t ExecutionTracer::span_count(int worker) const {
   MCMM_REQUIRE(worker >= 0 && worker < workers(),
                "ExecutionTracer::span_count: bad worker id");
-  return rings_[static_cast<std::size_t>(worker)].count;
+  return rings_[static_cast<std::size_t>(worker)].count.load();
 }
 
 const TraceSpan& ExecutionTracer::span(int worker, std::size_t i) const {
   MCMM_REQUIRE(worker >= 0 && worker < workers() &&
-                   i < rings_[static_cast<std::size_t>(worker)].count,
+                   i < rings_[static_cast<std::size_t>(worker)].count.load(),
                "ExecutionTracer::span: out of range");
   return rings_[static_cast<std::size_t>(worker)].spans[i];
 }
@@ -98,12 +101,12 @@ const TraceSpan& ExecutionTracer::span(int worker, std::size_t i) const {
 std::int64_t ExecutionTracer::dropped(int worker) const {
   MCMM_REQUIRE(worker >= 0 && worker < workers(),
                "ExecutionTracer::dropped: bad worker id");
-  return rings_[static_cast<std::size_t>(worker)].dropped;
+  return rings_[static_cast<std::size_t>(worker)].dropped.load();
 }
 
 std::int64_t ExecutionTracer::total_dropped() const {
   std::int64_t sum = 0;
-  for (const WorkerRing& ring : rings_) sum += ring.dropped;
+  for (const WorkerRing& ring : rings_) sum += ring.dropped.load();
   return sum;
 }
 

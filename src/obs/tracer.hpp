@@ -17,7 +17,11 @@
 // thread running job(w).  begin_region/end_region are called by the
 // coordinating thread while the workers are quiescent (ThreadPool brackets
 // its dispatch with them); the pool's mutex provides the happens-before
-// edges, so the tracer itself needs no synchronisation.
+// edges, so the tracer itself needs no synchronisation.  That claim is not
+// taken on faith: the cross-thread fields are held in sync::value slots
+// (bare data in normal builds, race-detector hooks under
+// -DMCMM_CHECKED_SYNC=ON), and the model checker's tracer scenarios verify
+// the mutex edges cover every access (tools/mcmm_check, "tracer/...").
 //
 // Exporters live in obs/trace_export.hpp (Chrome trace-event JSON and the
 // aggregated per-phase summary); docs/observability.md has the worked
@@ -27,6 +31,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "check/sync.hpp"
 
 namespace mcmm {
 
@@ -102,9 +108,10 @@ class ExecutionTracer {
   /// recording never false-shares.
   struct alignas(64) WorkerRing {
     std::vector<TraceSpan> spans;   // preallocated to capacity_
-    std::size_t count = 0;
-    std::int64_t dropped = 0;
-    std::int64_t last_end_ns = -1;  // latest span end in the open region
+    sync::value<std::size_t> count{0};
+    sync::value<std::int64_t> dropped{0};
+    // Latest span end in the open region (-1 = none yet).
+    sync::value<std::int64_t> last_end_ns{-1};
   };
   struct Region {
     std::string label;
@@ -116,7 +123,8 @@ class ExecutionTracer {
   std::size_t capacity_;
   std::vector<WorkerRing> rings_;
   std::vector<Region> regions_;
-  std::int32_t current_region_ = -1;
+  // Written by the coordinating thread, read by workers inside record().
+  sync::value<std::int32_t> current_region_{-1};
 };
 
 }  // namespace mcmm

@@ -14,7 +14,10 @@ std::int64_t isqrt(std::int64_t n) {
   // so inputs near INT64_MAX (whose roots square past 2^63) stay exact.
   auto s = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)));
   const auto sq = [](std::int64_t v) {
-    return static_cast<__int128>(v) * static_cast<__int128>(v);
+    // __extension__ keeps -Wpedantic quiet about the non-ISO __int128
+    // (GCC 12 flags it; newer GCCs only without the keyword).
+    __extension__ typedef __int128 int128;
+    return static_cast<int128>(v) * static_cast<int128>(v);
   };
   while (s > 0 && sq(s) > n) --s;
   while (sq(s + 1) <= n) ++s;

@@ -1,0 +1,163 @@
+// Bounded lock-free MPMC ring buffer (Vyukov bounded-queue design).
+//
+// This generalises the per-worker ring idea behind obs/tracer.hpp into the
+// multi-producer/multi-consumer request ring the serving daemon
+// (ROADMAP: `mcmm_serve`) will use for admission: each slot carries a
+// sequence number; producers claim a ticket from `tail_` with a CAS and
+// publish the payload by advancing the slot's sequence with a release
+// store; consumers mirror the dance on `head_`.  Full and empty are
+// detected from the slot sequence alone, so neither side ever blocks the
+// other, and a stalled producer only delays the one slot it claimed.
+//
+// The sync layer is a template policy so the *same* algorithm runs in two
+// worlds:
+//
+//   * `MpmcRing<T>` (MpmcRingStdTraits) — real std::atomic, zero overhead,
+//     for production use and the TSan stress tests;
+//   * `MpmcRing<T, MpmcRingCheckedTraits>` (src/check/sync.hpp) — every
+//     atomic is a check::checked_atomic and every payload cell a
+//     check::checked_value, so the deterministic model checker
+//     (tools/mcmm_check) can exhaustively explore interleavings and verify
+//     the happens-before edges with vector clocks.
+//
+// `racy_publish` exists for the checker's seeded-mutation self-test: a
+// traits variant that publishes the slot sequence with a *relaxed* store —
+// dropping the release edge that makes the payload visible — must be
+// flagged as a data race by the checker, proving the race detector is not
+// vacuously green.  The mutation is only reachable behind
+// MCMM_CHECK_ENABLE_MUTATIONS (defined by the checker's scenario suite and
+// its tests, never by production code).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+
+/// Production sync policy: plain std::atomic sequence counters and an
+/// uninstrumented payload cell.
+struct MpmcRingStdTraits {
+  template <typename T>
+  using atomic = std::atomic<T>;
+
+  /// Payload storage; load/store are plain (the slot sequence's
+  /// release/acquire pair orders them).
+  template <typename T>
+  struct cell {
+    T v{};
+    T load() const { return v; }
+    void store(const T& x) { v = x; }
+  };
+
+  static constexpr bool racy_publish = false;
+};
+
+#ifdef MCMM_CHECK_ENABLE_MUTATIONS
+/// Seeded mutation: publish the slot sequence with memory_order_relaxed,
+/// severing the happens-before edge from the payload write to the
+/// consumer's read.  The model checker must report this as a data race.
+template <typename Base>
+struct MpmcRingRacyPublishTraits : Base {
+  static constexpr bool racy_publish = true;
+};
+#endif
+
+template <typename T, typename Traits = MpmcRingStdTraits>
+class MpmcRing {
+ public:
+  /// `capacity` must be a power of two >= 2 (throws mcmm::Error otherwise).
+  explicit MpmcRing(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    MCMM_REQUIRE(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                 "MpmcRing: capacity must be a power of two >= 2");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Enqueue `v`; false when the ring is full.  Lock-free, safe from any
+  /// number of producers.
+  bool try_push(const T& v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+          slot.value.store(v);
+          slot.seq.store(pos + 1, publish_order());
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the new ticket.
+      } else if (dif < 0) {
+        return false;  // slot still owned by a reader one lap behind: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeue into `out`; false when the ring is empty.  Lock-free, safe
+  /// from any number of consumers.
+  bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+          out = slot.value.load();
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // producer has not published this slot yet: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Instantaneous occupancy estimate (exact only when quiescent).
+  std::size_t size_estimate() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  static constexpr std::memory_order publish_order() {
+    return Traits::racy_publish ? std::memory_order_relaxed
+                                : std::memory_order_release;
+  }
+
+  struct Slot {
+    typename Traits::template atomic<std::size_t> seq{0};
+    typename Traits::template cell<T> value;
+  };
+
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  // Producers and consumers contend on different cache lines.
+  alignas(64) typename Traits::template atomic<std::size_t> tail_{0};
+  alignas(64) typename Traits::template atomic<std::size_t> head_{0};
+};
+
+}  // namespace mcmm

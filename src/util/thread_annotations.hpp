@@ -1,0 +1,64 @@
+// Clang Thread Safety Analysis macros (-Wthread-safety).
+//
+// These expand to Clang's capability attributes when compiling with Clang
+// and to nothing elsewhere, so GCC builds are unaffected.  The repo's
+// annotated lock types live in src/check/sync.hpp (mcmm::sync::mutex and
+// friends — libstdc++'s std::mutex carries no capability annotations, so a
+// thin annotated wrapper is required for the analysis to see anything);
+// mutex-guarded members are annotated at their declaration:
+//
+//   sync::mutex mutex_;
+//   int remaining_ MCMM_GUARDED_BY(mutex_) = 0;
+//
+// The clang CI build compiles with -Wthread-safety -Werror, so a guarded
+// member accessed without its mutex is a build break, not a code review
+// comment.  Conventions are documented in docs/static_analysis.md.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define MCMM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MCMM_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define MCMM_CAPABILITY(x) MCMM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MCMM_SCOPED_CAPABILITY MCMM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define MCMM_GUARDED_BY(x) MCMM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define MCMM_PT_GUARDED_BY(x) MCMM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define MCMM_REQUIRES(...) \
+  MCMM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (not held on entry).
+#define MCMM_ACQUIRE(...) \
+  MCMM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define MCMM_RELEASE(...) \
+  MCMM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define MCMM_TRY_ACQUIRE(ret, ...) \
+  MCMM_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held.
+#define MCMM_EXCLUDES(...) MCMM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the calling thread already holds the capability.
+#define MCMM_ASSERT_CAPABILITY(x) \
+  MCMM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Returns a reference to the capability guarding this object.
+#define MCMM_RETURN_CAPABILITY(x) MCMM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis (use sparingly, with a comment).
+#define MCMM_NO_THREAD_SAFETY_ANALYSIS \
+  MCMM_THREAD_ANNOTATION(no_thread_safety_analysis)

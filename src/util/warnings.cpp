@@ -1,30 +1,40 @@
 #include "util/warnings.hpp"
 
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "check/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcmm {
 
 namespace {
 
-std::mutex& sink_mutex() {
-  static std::mutex m;
-  return m;
-}
+// One mutex + slot pair so the guarded_by relation is expressible: the
+// sink slot may only be touched while `m` is held.  Built on sync::mutex,
+// so under -DMCMM_CHECKED_SYNC=ON the model checker explores concurrent
+// set_warning_sink/emit_warning interleavings (the "warnings/..."
+// scenarios) against this exact code.
+struct SinkState {
+  sync::mutex m;
+  WarningSink sink MCMM_GUARDED_BY(m);  // empty = stderr default
+};
 
-WarningSink& sink_slot() {
-  static WarningSink sink;  // empty = stderr default
-  return sink;
+SinkState& sink_state() {
+  static SinkState state;
+  return state;
 }
 
 }  // namespace
 
 void emit_warning(const std::string& message) {
+  // Copy the sink out under the lock, invoke it outside: a slow or
+  // reentrant sink must not serialise (or deadlock) other warners.
+  SinkState& state = sink_state();
   WarningSink sink;
   {
-    std::lock_guard<std::mutex> lock(sink_mutex());
-    sink = sink_slot();
+    sync::lock_guard lock(state.m);
+    sink = state.sink;
   }
   if (sink) {
     sink(message);
@@ -34,22 +44,23 @@ void emit_warning(const std::string& message) {
 }
 
 WarningSink set_warning_sink(WarningSink sink) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  WarningSink previous = std::move(sink_slot());
-  sink_slot() = std::move(sink);
+  SinkState& state = sink_state();
+  sync::lock_guard lock(state.m);
+  WarningSink previous = std::move(state.sink);
+  state.sink = std::move(sink);
   return previous;
 }
 
 struct ScopedWarningCapture::State {
-  mutable std::mutex mutex;
-  std::vector<std::string> messages;
+  sync::mutex mutex;
+  std::vector<std::string> messages MCMM_GUARDED_BY(mutex);
 };
 
 ScopedWarningCapture::ScopedWarningCapture()
     : state_(std::make_shared<State>()) {
   std::shared_ptr<State> state = state_;
   previous_ = set_warning_sink([state](const std::string& message) {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    sync::lock_guard lock(state->mutex);
     state->messages.push_back(message);
   });
 }
@@ -59,7 +70,7 @@ ScopedWarningCapture::~ScopedWarningCapture() {
 }
 
 std::vector<std::string> ScopedWarningCapture::messages() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  sync::lock_guard lock(state_->mutex);
   return state_->messages;
 }
 

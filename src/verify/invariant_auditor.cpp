@@ -20,11 +20,25 @@ const char* to_string(ViolationKind k) {
 }
 
 std::string Violation::str() const {
-  std::string out = "[" + std::string(to_string(kind)) + "]";
-  if (step >= 0) out += " step " + std::to_string(step);
-  if (core >= 0) out += " core " + std::to_string(core);
-  if (block.valid()) out += " block " + block.str();
-  out += ": " + detail;
+  // Built by append: GCC 12's -O2 inliner raises a spurious -Wrestrict on
+  // operator+ chains that mix literals and temporaries.
+  std::string out = "[";
+  out += to_string(kind);
+  out += ']';
+  if (step >= 0) {
+    out += " step ";
+    out += std::to_string(step);
+  }
+  if (core >= 0) {
+    out += " core ";
+    out += std::to_string(core);
+  }
+  if (block.valid()) {
+    out += " block ";
+    out += block.str();
+  }
+  out += ": ";
+  out += detail;
   return out;
 }
 

@@ -1,0 +1,143 @@
+// MpmcRing unit and stress tests (real threads).
+//
+// The deterministic interleaving coverage lives in the model-check suite
+// (tests/test_model_check.cpp, scenarios "ring/..."); this file covers the
+// production std::atomic instantiation: API edges, FIFO/conservation
+// properties, and multi-threaded stress designed to run under TSan (the
+// CI tsan job includes this binary) — TSan validates the real memory
+// orderings that the model checker validates symbolically.
+#include "util/mpmc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(MpmcRing, RejectsBadCapacity) {
+  EXPECT_THROW(MpmcRing<int>(0), Error);
+  EXPECT_THROW(MpmcRing<int>(1), Error);
+  EXPECT_THROW(MpmcRing<int>(3), Error);
+  EXPECT_THROW(MpmcRing<int>(100), Error);
+  EXPECT_NO_THROW(MpmcRing<int>(2));
+  EXPECT_NO_THROW(MpmcRing<int>(64));
+}
+
+TEST(MpmcRing, FifoSingleThread) {
+  MpmcRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "full ring must reject";
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v)) << "empty ring must reject";
+}
+
+TEST(MpmcRing, WrapsAroundManyLaps) {
+  MpmcRing<int> ring(2);
+  int v = -1;
+  for (int lap = 0; lap < 1000; ++lap) {
+    ASSERT_TRUE(ring.try_push(lap));
+    ASSERT_TRUE(ring.try_push(lap + 1000000));
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, lap);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, lap + 1000000);
+  }
+}
+
+TEST(MpmcRing, SizeEstimateQuiescent) {
+  MpmcRing<int> ring(8);
+  EXPECT_EQ(ring.size_estimate(), 0u);
+  ring.try_push(1);
+  ring.try_push(2);
+  EXPECT_EQ(ring.size_estimate(), 2u);
+  int v;
+  ring.try_pop(v);
+  EXPECT_EQ(ring.size_estimate(), 1u);
+}
+
+TEST(MpmcRing, MovesNonTrivialPayloads) {
+  MpmcRing<std::vector<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::vector<int>{1, 2, 3}));
+  std::vector<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+// Stress: P producers push disjoint value ranges, C consumers drain; every
+// value must surface exactly once (conservation), and each producer's
+// values must be consumed in its push order (per-producer FIFO follows
+// from ticket ordering).  Runs under TSan in CI.
+void stress(int producers, int consumers, int per_producer,
+            std::size_t capacity) {
+  MpmcRing<int> ring(capacity);
+  const int total = producers * per_producer;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<int>> consumed(
+      static_cast<std::size_t>(consumers));
+  std::atomic<int> popped{0};
+
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&ring, p, per_producer] {
+      for (int i = 0; i < per_producer; ++i) {
+        const int value = p * per_producer + i;
+        while (!ring.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&ring, &consumed, &popped, total, c] {
+      int v = -1;
+      while (popped.load(std::memory_order_relaxed) < total) {
+        if (ring.try_pop(v)) {
+          consumed[static_cast<std::size_t>(c)].push_back(v);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<int> all;
+  for (const auto& c : consumed) all.insert(all.end(), c.begin(), c.end());
+  ASSERT_EQ(static_cast<int>(all.size()), total);
+  std::vector<int> sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < total; ++i) {
+    ASSERT_EQ(sorted[static_cast<std::size_t>(i)], i)
+        << "value lost or duplicated";
+  }
+  // Per-producer FIFO within each consumer's stream.
+  for (const auto& stream : consumed) {
+    std::vector<int> last(static_cast<std::size_t>(producers), -1);
+    for (const int v : stream) {
+      const auto p = static_cast<std::size_t>(v / per_producer);
+      EXPECT_LT(last[p], v % per_producer)
+          << "producer " << p << " order inverted";
+      last[p] = v % per_producer;
+    }
+  }
+}
+
+TEST(MpmcRingStress, SpscTinyCapacity) { stress(1, 1, 20000, 2); }
+
+TEST(MpmcRingStress, MpmcContended) { stress(4, 4, 5000, 8); }
+
+TEST(MpmcRingStress, ManyProducersOneConsumer) { stress(8, 1, 2000, 16); }
+
+TEST(MpmcRingStress, OneProducerManyConsumers) { stress(1, 8, 16000, 16); }
+
+}  // namespace
+}  // namespace mcmm

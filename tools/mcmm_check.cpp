@@ -1,0 +1,194 @@
+// mcmm_check — deterministic concurrency model checker driver.
+//
+// Runs the registered scenario suites (src/check/scenarios.cpp) through
+// the CHESS-style explorer: exhaustive preemption-bounded search plus
+// optional seeded random walks.  Scenarios marked as expected failures
+// (the seeded-mutation self-tests) must be *flagged* — the tool exits
+// non-zero when a mutation comes back green, so the race detector can
+// never rot into vacuous silence.
+//
+//   mcmm_check --list
+//   mcmm_check                          # whole suite, bound 2 + random
+//   mcmm_check --scenario ring/mpmc --bound 3
+//   mcmm_check --scenario pool/run-batch --random 20000 --seed 7
+//   mcmm_check --scenario ring/racy-publish --replay 0,1,1,0
+//
+// Exit status: 0 = every scenario behaved as expected, 1 = a scenario
+// failed (unexpected failure, or an expected mutation not flagged),
+// 2 = usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.hpp"
+#include "check/scenarios.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using mcmm::check::ExploreOptions;
+using mcmm::check::ExploreResult;
+using mcmm::check::Failure;
+using mcmm::check::FailureKind;
+using mcmm::check::Scenario;
+
+void print_failure(const Failure& failure) {
+  std::printf("    kind: %s\n", mcmm::check::to_string(failure.kind));
+  std::printf("    message: %s\n", failure.message.c_str());
+  std::printf("    schedule: %s\n", failure.schedule.c_str());
+  std::printf("    interleaving (replay with --replay %s):\n",
+              failure.schedule.c_str());
+  for (std::size_t i = 0; i < failure.interleaving.size(); ++i) {
+    std::printf("      %3zu. %s\n", i, failure.interleaving[i].c_str());
+  }
+}
+
+/// Runs one scenario through exploration; returns true when its outcome
+/// matches its expectation.
+bool run_scenario(const Scenario& scenario, const ExploreOptions& opts,
+                  std::uint64_t random_iterations) {
+  std::printf("[%s] %s\n", scenario.name.c_str(),
+              scenario.description.c_str());
+  ExploreResult result = mcmm::check::explore(scenario.fn, opts);
+  std::uint64_t explored = result.schedules_explored;
+  if (!result.failure && random_iterations > 0) {
+    ExploreOptions random_opts = opts;
+    random_opts.random_iterations = random_iterations;
+    ExploreResult random_result =
+        mcmm::check::explore_random(scenario.fn, random_opts);
+    explored += random_result.schedules_explored;
+    if (random_result.failure) result = random_result;
+  }
+
+  const char* coverage = result.exhausted
+                             ? "exhausted"
+                             : (result.hit_schedule_cap ? "schedule-cap"
+                                                        : "partial");
+  if (scenario.expect == FailureKind::kNone) {
+    if (result.failure) {
+      std::printf("  FAIL after %llu schedules (%s):\n",
+                  static_cast<unsigned long long>(explored), coverage);
+      print_failure(result.failure);
+      return false;
+    }
+    std::printf("  ok: %llu schedules (%s), no failure\n",
+                static_cast<unsigned long long>(explored), coverage);
+    return true;
+  }
+
+  // Mutation self-test: the checker must flag this scenario.
+  if (!result.failure) {
+    std::printf(
+        "  FAIL: expected a %s failure but %llu schedules (%s) came back "
+        "green — the detector is blind to this mutation\n",
+        mcmm::check::to_string(scenario.expect),
+        static_cast<unsigned long long>(explored), coverage);
+    return false;
+  }
+  if (result.failure.kind != scenario.expect) {
+    std::printf("  FAIL: expected %s, got:\n",
+                mcmm::check::to_string(scenario.expect));
+    print_failure(result.failure);
+    return false;
+  }
+  std::printf("  ok: flagged as expected (%s) after %llu schedules\n",
+              mcmm::check::to_string(result.failure.kind),
+              static_cast<unsigned long long>(explored));
+  std::printf("  minimized interleaving:\n");
+  for (const std::string& line : result.failure.interleaving) {
+    std::printf("    %s\n", line.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcmm::CliParser cli;
+  cli.add_flag("list", "list registered scenarios and exit");
+  cli.add_option("scenario", "run only this scenario (default: all)", "");
+  cli.add_option("bound", "preemption bound for exhaustive exploration", "2");
+  cli.add_option("max-schedules",
+                 "cap on exhaustively explored schedules (0 = unlimited)",
+                 "200000");
+  cli.add_option("max-steps", "per-run step cap (livelock guard)", "20000");
+  cli.add_option("random",
+                 "extra seeded random schedules per scenario (0 = off)",
+                 "1000");
+  cli.add_option("seed", "seed for the random exploration", "1");
+  cli.add_option("replay",
+                 "replay one recorded schedule (requires --scenario)", "");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    mcmm::check::register_builtin_scenarios();
+
+    if (cli.flag("list")) {
+      for (const Scenario& s : mcmm::check::scenario_registry()) {
+        std::printf("%-28s %s%s\n", s.name.c_str(), s.description.c_str(),
+                    s.expect == FailureKind::kNone
+                        ? ""
+                        : (std::string(" [expects ") +
+                           mcmm::check::to_string(s.expect) + "]")
+                              .c_str());
+      }
+      return 0;
+    }
+
+    const std::string only = cli.str("scenario");
+    const std::string replay_schedule = cli.str("replay");
+
+    if (!replay_schedule.empty()) {
+      if (only.empty()) {
+        std::fprintf(stderr, "mcmm_check: --replay requires --scenario\n");
+        return 2;
+      }
+      const Scenario* scenario = mcmm::check::find_scenario(only);
+      if (scenario == nullptr) {
+        std::fprintf(stderr, "mcmm_check: unknown scenario '%s'\n",
+                     only.c_str());
+        return 2;
+      }
+      const auto outcome = mcmm::check::replay(
+          scenario->fn, replay_schedule,
+          static_cast<std::uint64_t>(cli.integer("max-steps")));
+      std::printf("[%s] replay of %s\n", scenario->name.c_str(),
+                  replay_schedule.c_str());
+      if (outcome.failure) {
+        print_failure(outcome.failure);
+      } else {
+        std::printf("    no failure on this schedule\n");
+      }
+      return 0;
+    }
+
+    ExploreOptions opts;
+    opts.preemption_bound = static_cast<int>(cli.integer("bound"));
+    opts.max_schedules =
+        static_cast<std::uint64_t>(cli.integer("max-schedules"));
+    opts.max_steps_per_run =
+        static_cast<std::uint64_t>(cli.integer("max-steps"));
+    opts.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+    const auto random_iterations =
+        static_cast<std::uint64_t>(cli.integer("random"));
+
+    int failures = 0;
+    int ran = 0;
+    for (const Scenario& s : mcmm::check::scenario_registry()) {
+      if (!only.empty() && s.name != only) continue;
+      ++ran;
+      if (!run_scenario(s, opts, random_iterations)) ++failures;
+    }
+    if (ran == 0) {
+      std::fprintf(stderr, "mcmm_check: no scenario matches '%s'\n",
+                   only.c_str());
+      return 2;
+    }
+    std::printf("%d/%d scenarios behaved as expected\n", ran - failures, ran);
+    return failures == 0 ? 0 : 1;
+  } catch (const mcmm::Error& e) {
+    std::fprintf(stderr, "mcmm_check: %s\n", e.what());
+    return 2;
+  }
+}
