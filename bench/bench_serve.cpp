@@ -1,0 +1,407 @@
+// bench_serve — open-loop load generator for the GEMM service.
+//
+// Two drive modes share one report:
+//
+//   in-process (default): owns a GemmServer and fans --tenants client
+//   threads over it.  Submission is open-loop: each client issues its
+//   next request on a fixed cadence (--rate products/sec per tenant,
+//   0 = as fast as admission allows) WITHOUT waiting for the previous
+//   completion, so the bounded ring's backpressure is actually exercised
+//   — rejected submissions are counted, not retried.  Tickets are
+//   drained at the end; per-request latency (queue + exec) feeds the
+//   percentile summary.
+//
+//   --socket PATH: drives a running mcmm_serve daemon over its Unix
+//   socket line protocol, one connection per tenant (closed-loop per
+//   connection — socket concurrency comes from the tenant fan-out), then
+//   pulls the daemon's mcmm-serve-v1 stats document and embeds it in the
+//   report.  --shutdown asks the daemon to exit afterwards (the CI
+//   serve-smoke job uses this).
+//
+// The report (--json) is `mcmm-serve-bench-v1`: offered/accepted/
+// rejected/failed counts, wall time, products/sec, latency percentiles,
+// plus the server's own stats document under "server".  Exit status is
+// non-zero when any accepted request failed, so the bench doubles as the
+// zero-failed-requests gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "gemm/matrix.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using mcmm::Matrix;
+using mcmm::serve::GemmRequest;
+using mcmm::serve::GemmResponse;
+using mcmm::serve::GemmServer;
+using mcmm::serve::ScheduleKind;
+using mcmm::serve::Submit;
+using mcmm::serve::SubmitStatus;
+using mcmm::serve::Ticket;
+
+struct LoadResult {
+  std::int64_t offered = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t failed = 0;
+  double wall_ms = 0;
+  std::vector<double> latency_ms;
+  std::string server_stats;  ///< the service's own mcmm-serve-v1 line
+};
+
+double now_ms() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1e3;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - static_cast<double>(lo));
+}
+
+/// One tenant's open-loop client: fixed-cadence submits, tickets drained
+/// at the end.
+struct TenantLoad {
+  std::int64_t offered = 0;
+  std::int64_t rejected = 0;
+  std::int64_t failed = 0;
+  std::vector<double> latency_ms;
+};
+
+LoadResult run_in_process(const GemmServer::Config& config,
+                          std::int64_t requests, int tenants,
+                          std::int64_t order, ScheduleKind schedule,
+                          double rate) {
+  GemmServer server(config);
+  std::vector<TenantLoad> loads(static_cast<std::size_t>(tenants));
+  std::vector<std::thread> clients;
+  const double t0 = now_ms();
+  for (int t = 0; t < tenants; ++t) {
+    clients.emplace_back([&server, &loads, t, requests, tenants, order,
+                          schedule, rate] {
+      TenantLoad& load = loads[static_cast<std::size_t>(t)];
+      const std::int64_t mine =
+          requests / tenants + (t < requests % tenants ? 1 : 0);
+      // Each in-flight request needs its own C (A and B are read-only and
+      // shared); the window buffers below are recycled once their ticket
+      // completes.
+      Matrix a(order, order), b(order, order);
+      a.fill_random(101 + static_cast<std::uint64_t>(t));
+      b.fill_random(211 + static_cast<std::uint64_t>(t));
+      struct Slot {
+        std::unique_ptr<Matrix> c;
+        std::shared_ptr<Ticket> ticket;
+      };
+      std::vector<Slot> window;
+      const double interval_ms = rate > 0 ? 1e3 / rate : 0;
+      const double start = now_ms();
+      for (std::int64_t i = 0; i < mine; ++i) {
+        if (interval_ms > 0) {
+          const double due = start + static_cast<double>(i) * interval_ms;
+          while (now_ms() < due) std::this_thread::yield();
+        }
+        // Recycle completed slots so the window stays bounded.
+        for (Slot& slot : window) {
+          if (slot.ticket != nullptr && slot.ticket->done()) {
+            const GemmResponse& r = slot.ticket->wait();
+            if (!r.ok) ++load.failed;
+            load.latency_ms.push_back(r.queue_ms + r.exec_ms);
+            slot.ticket = nullptr;
+          }
+        }
+        Slot* free_slot = nullptr;
+        for (Slot& slot : window) {
+          if (slot.ticket == nullptr) {
+            free_slot = &slot;
+            break;
+          }
+        }
+        if (free_slot == nullptr) {
+          window.push_back(Slot{std::make_unique<Matrix>(order, order), {}});
+          free_slot = &window.back();
+        }
+        free_slot->c->set_zero();
+        GemmRequest req;
+        req.tenant = t;
+        req.a = &a;
+        req.b = &b;
+        req.c = free_slot->c.get();
+        req.schedule = schedule;
+        ++load.offered;
+        Submit submitted = server.submit(req);
+        if (submitted.status == SubmitStatus::kAccepted) {
+          free_slot->ticket = std::move(submitted.ticket);
+        } else {
+          ++load.rejected;  // open-loop: backpressure is recorded, not retried
+        }
+      }
+      for (Slot& slot : window) {
+        if (slot.ticket == nullptr) continue;
+        const GemmResponse& r = slot.ticket->wait();
+        if (!r.ok) ++load.failed;
+        load.latency_ms.push_back(r.queue_ms + r.exec_ms);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  LoadResult result;
+  result.wall_ms = now_ms() - t0;
+  server.shutdown();
+  result.server_stats = server.stats_json();
+  for (const TenantLoad& load : loads) {
+    result.offered += load.offered;
+    result.rejected += load.rejected;
+    result.failed += load.failed;
+    result.latency_ms.insert(result.latency_ms.end(), load.latency_ms.begin(),
+                             load.latency_ms.end());
+  }
+  result.accepted = result.offered - result.rejected;
+  return result;
+}
+
+#ifdef __linux__
+/// Minimal line-oriented client for the daemon's Unix socket protocol.
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    MCMM_REQUIRE(fd_ >= 0, "bench_serve: cannot create socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    MCMM_REQUIRE(path.size() < sizeof(addr.sun_path),
+                 "bench_serve: socket path too long");
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    MCMM_REQUIRE(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0,
+                 "bench_serve: cannot connect to " + path);
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  std::string request(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t put = ::write(fd_, out.data() + off, out.size() - off);
+      MCMM_REQUIRE(put > 0, "bench_serve: socket write failed");
+      off += static_cast<std::size_t>(put);
+    }
+    std::size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      MCMM_REQUIRE(got > 0, "bench_serve: socket closed mid-reply");
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    std::string reply = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+LoadResult run_socket(const std::string& path, std::int64_t requests,
+                      int tenants, std::int64_t order, ScheduleKind schedule,
+                      bool shutdown_after) {
+  std::vector<TenantLoad> loads(static_cast<std::size_t>(tenants));
+  std::vector<std::thread> clients;
+  const double t0 = now_ms();
+  for (int t = 0; t < tenants; ++t) {
+    clients.emplace_back([&loads, &path, t, requests, tenants, order,
+                          schedule] {
+      TenantLoad& load = loads[static_cast<std::size_t>(t)];
+      SocketClient client(path);
+      const std::int64_t mine =
+          requests / tenants + (t < requests % tenants ? 1 : 0);
+      for (std::int64_t i = 0; i < mine; ++i) {
+        char line[160];
+        std::snprintf(line, sizeof(line), "gemm %d %lld %lld %lld %s %lld", t,
+                      static_cast<long long>(order),
+                      static_cast<long long>(order),
+                      static_cast<long long>(order),
+                      mcmm::serve::to_string(schedule),
+                      static_cast<long long>(1000 * t + i));
+        ++load.offered;
+        const mcmm::JsonValue reply = mcmm::json_parse(client.request(line));
+        const mcmm::JsonValue* ok = reply.find("ok");
+        if (ok == nullptr || !ok->boolean) {
+          ++load.failed;
+          continue;
+        }
+        const mcmm::JsonValue* queue_ms = reply.find("queue_ms");
+        const mcmm::JsonValue* exec_ms = reply.find("exec_ms");
+        load.latency_ms.push_back(
+            (queue_ms != nullptr ? queue_ms->number : 0) +
+            (exec_ms != nullptr ? exec_ms->number : 0));
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  LoadResult result;
+  result.wall_ms = now_ms() - t0;
+  {
+    SocketClient control(path);
+    result.server_stats = control.request("stats");
+    if (shutdown_after) control.request("shutdown");
+  }
+  for (const TenantLoad& load : loads) {
+    result.offered += load.offered;
+    result.rejected += load.rejected;
+    result.failed += load.failed;
+    result.latency_ms.insert(result.latency_ms.end(), load.latency_ms.begin(),
+                             load.latency_ms.end());
+  }
+  result.accepted = result.offered - result.rejected;
+  return result;
+}
+#endif  // __linux__
+
+std::string report_json(const LoadResult& result, const std::string& mode,
+                        std::int64_t requests, int tenants,
+                        std::int64_t order) {
+  std::vector<double> sorted = result.latency_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  const double wall_s = result.wall_ms / 1e3;
+  const std::int64_t completed =
+      static_cast<std::int64_t>(sorted.size()) - result.failed;
+
+  mcmm::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "mcmm-serve-bench-v1");
+  w.kv("mode", mode);
+  w.kv("requests", requests);
+  w.kv("tenants", tenants);
+  w.kv("order", order);
+  w.kv("offered", result.offered);
+  w.kv("accepted", result.accepted);
+  w.kv("rejected", result.rejected);
+  w.kv("completed", completed);
+  w.kv("failed", result.failed);
+  w.kv("wall_ms", result.wall_ms);
+  w.kv("products_per_sec",
+       wall_s > 0 ? static_cast<double>(completed) / wall_s : 0.0);
+  w.key("latency_ms").begin_object();
+  w.kv("count", static_cast<std::int64_t>(sorted.size()));
+  w.kv("mean",
+       sorted.empty() ? 0.0 : sum / static_cast<double>(sorted.size()));
+  w.kv("min", sorted.empty() ? 0.0 : sorted.front());
+  w.kv("max", sorted.empty() ? 0.0 : sorted.back());
+  w.kv("p50", percentile(sorted, 0.50));
+  w.kv("p95", percentile(sorted, 0.95));
+  w.kv("p99", percentile(sorted, 0.99));
+  w.end_object();
+  if (!result.server_stats.empty()) {
+    w.key("server").raw_value(result.server_stats);
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcmm::CliParser cli;
+  cli.add_option("requests", "total products to offer", "64");
+  cli.add_option("tenants", "concurrent client threads / tenant ids", "2");
+  cli.add_option("order", "square matrix order per product", "192");
+  cli.add_option("rate",
+                 "open-loop offered rate per tenant, products/sec (0 = max)",
+                 "0");
+  cli.add_option("schedule", "auto|shared-opt|distributed-opt|tradeoff",
+                 "auto");
+  cli.add_option("workers", "in-process server pool workers", "2");
+  cli.add_option("queue", "in-process request ring capacity", "64");
+  cli.add_option("q", "in-process block side", "64");
+  cli.add_option("kernel", "in-process kernel path: auto|scalar|simd",
+                 "auto");
+  cli.add_option("socket", "drive a running mcmm_serve on this socket", "");
+  cli.add_flag("shutdown", "ask the daemon to exit after the run (--socket)");
+  cli.add_option("json", "write the mcmm-serve-bench-v1 report here", "");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::int64_t requests = cli.integer("requests");
+    const int tenants = static_cast<int>(cli.integer("tenants"));
+    const std::int64_t order = cli.integer("order");
+    const ScheduleKind schedule =
+        mcmm::serve::parse_schedule_kind(cli.str("schedule"));
+    MCMM_REQUIRE(requests >= 1 && tenants >= 1 && order >= 1,
+                 "bench_serve: requests, tenants and order must be >= 1");
+
+    LoadResult result;
+    std::string mode;
+    if (!cli.str("socket").empty()) {
+#ifdef __linux__
+      mode = "socket";
+      result = run_socket(cli.str("socket"), requests, tenants, order,
+                          schedule, cli.flag("shutdown"));
+#else
+      std::fprintf(stderr, "bench_serve: --socket requires Linux\n");
+      return 2;
+#endif
+    } else {
+      mode = "in-process";
+      GemmServer::Config config;
+      config.workers = static_cast<int>(cli.integer("workers"));
+      config.queue_capacity = static_cast<std::size_t>(cli.integer("queue"));
+      config.max_tenants = std::max(tenants, 2);
+      config.q = cli.integer("q");
+      config.kernel = mcmm::parse_kernel_path(cli.str("kernel"));
+      result = run_in_process(config, requests, tenants, order, schedule,
+                              cli.real("rate"));
+    }
+
+    const std::string report =
+        report_json(result, mode, requests, tenants, order);
+    std::printf("%s\n", report.c_str());
+    if (!cli.str("json").empty()) {
+      std::FILE* f = std::fopen(cli.str("json").c_str(), "w");
+      MCMM_REQUIRE(f != nullptr,
+                   "bench_serve: cannot write " + cli.str("json"));
+      std::fprintf(f, "%s\n", report.c_str());
+      std::fclose(f);
+    }
+    std::fprintf(stderr,
+                 "bench_serve: %lld offered, %lld accepted, %lld rejected, "
+                 "%lld failed, %.1f ms\n",
+                 static_cast<long long>(result.offered),
+                 static_cast<long long>(result.accepted),
+                 static_cast<long long>(result.rejected),
+                 static_cast<long long>(result.failed), result.wall_ms);
+    return result.failed == 0 ? 0 : 1;
+  } catch (const mcmm::Error& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    return 2;
+  }
+}

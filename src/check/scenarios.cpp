@@ -204,6 +204,154 @@ void ring_racy_publish() {
   producer.join();
 }
 
+// --- serve protocol (mirrors src/serve/server.cpp) ----------------------
+//
+// The GemmServer protocol on the checked primitives, stripped of the pool
+// and the kernels so the checker can explore it exhaustively: admission
+// pushes onto the bounded ring and bumps queued_ under the server mutex,
+// the single dispatcher waits on work_cv_ with a predicate loop, tickets
+// are completed through a latch, and shutdown drains via drain_cv_.
+
+void serve_admission_backpressure() {
+  CheckedRing ring(2);
+  checked_mutex m;
+  checked_condvar work_cv;
+  checked_value<int> queued{0};
+  checked_value<bool> stop{false};
+  checked_value<int> accepted{0};
+  checked_value<int> rejected{0};
+  checked_value<int> served{0};
+
+  // GemmServer::submit: try_push under the lock; a full ring is
+  // backpressure (reject now), never unbounded buffering.
+  auto submit = [&](int id) {
+    m.lock();
+    if (ring.try_push(id)) {
+      accepted.store(accepted.load() + 1);
+      queued.store(queued.load() + 1);
+      work_cv.notify_one();
+    } else {
+      rejected.store(rejected.load() + 1);
+    }
+    m.unlock();
+  };
+
+  checked_thread client_a([&] {
+    submit(1);
+    submit(2);
+  });
+  checked_thread client_b([&] { submit(3); });
+
+  // GemmServer::dispatcher_loop: predicate wait, decrement, pop outside
+  // the lock — the pop cannot miss because queued counts exactly the
+  // pushed-but-unclaimed ids and this is the only consumer.
+  checked_thread dispatcher([&] {
+    for (;;) {
+      m.lock();
+      while (!stop.load() && queued.load() == 0) work_cv.wait(m);
+      if (stop.load() && queued.load() == 0) {
+        m.unlock();
+        return;
+      }
+      queued.store(queued.load() - 1);
+      m.unlock();
+      int id = 0;
+      expect(ring.try_pop(id), "queued > 0 implies a poppable id");
+      served.store(served.load() + 1);
+    }
+  });
+
+  client_a.join();
+  client_b.join();
+  m.lock();
+  stop.store(true);
+  work_cv.notify_one();
+  m.unlock();
+  dispatcher.join();
+  expect(accepted.load() + rejected.load() == 3, "every submit resolves");
+  expect(served.load() == accepted.load(), "every accepted id is served");
+  expect(rejected.load() <= 1, "capacity 2 rejects at most one of three");
+}
+
+void serve_ticket_handoff() {
+  // Ticket::complete / Ticket::wait: response published under the latch
+  // mutex, flag flipped, waiter loops on the predicate.
+  checked_mutex m;
+  checked_condvar cv;
+  checked_value<bool> done{false};
+  checked_value<int> payload{0};
+  checked_thread dispatcher([&] {
+    m.lock();
+    payload.store(42);
+    done.store(true);
+    m.unlock();
+    cv.notify_all();
+  });
+  m.lock();
+  while (!done.load()) cv.wait(m);
+  m.unlock();
+  expect(payload.load() == 42, "wait() must observe the published response");
+  dispatcher.join();
+}
+
+void serve_completion_lost_wakeup() {
+  // Seeded mutation of serve_ticket_handoff: Ticket::wait without its
+  // done_ predicate.  When complete() fires before the client reaches the
+  // wait, the notify is lost and the client blocks forever.
+  checked_mutex m;
+  checked_condvar cv;
+  checked_value<int> payload{0};
+  checked_thread dispatcher([&] {
+    m.lock();
+    payload.store(42);
+    m.unlock();
+    cv.notify_all();
+  });
+  m.lock();
+  cv.wait(m);  // BUG: no done_ loop
+  m.unlock();
+  dispatcher.join();
+}
+
+void serve_shutdown_drain() {
+  // GemmServer::shutdown: close admission, wake a possibly-paused
+  // dispatcher, wait on drain_cv_ until the in-flight request completes,
+  // then raise stop_ and join.  One request is already admitted.
+  checked_mutex m;
+  checked_condvar work_cv;
+  checked_condvar drain_cv;
+  checked_value<int> queued{1};
+  checked_value<int> inflight{1};
+  checked_value<bool> stop{false};
+  checked_value<bool> served{false};
+  checked_thread dispatcher([&] {
+    for (;;) {
+      m.lock();
+      while (!stop.load() && queued.load() == 0) work_cv.wait(m);
+      if (stop.load() && queued.load() == 0) {
+        m.unlock();
+        return;
+      }
+      queued.store(queued.load() - 1);
+      m.unlock();
+      // ... execute the request (elided) ...
+      m.lock();
+      inflight.store(inflight.load() - 1);
+      served.store(true);
+      if (inflight.load() == 0 && queued.load() == 0) drain_cv.notify_all();
+      m.unlock();
+    }
+  });
+  m.lock();
+  work_cv.notify_all();  // accepting_ = false; wake a paused dispatcher
+  while (!(inflight.load() == 0 && queued.load() == 0)) drain_cv.wait(m);
+  stop.store(true);
+  work_cv.notify_all();
+  m.unlock();
+  dispatcher.join();
+  expect(served.load(), "shutdown drained the in-flight request");
+}
+
 // --- warning sink -------------------------------------------------------
 
 void warnings_concurrent_sink() {
@@ -358,6 +506,18 @@ void register_builtin_scenarios() {
   add("ring/racy-publish",
       "mutation: ring publishing slots with relaxed stores — must be flagged",
       ring_racy_publish, FailureKind::kDataRace);
+  add("serve/admission-backpressure",
+      "GemmServer admission: bounded ring, queued counter, FIFO dispatch",
+      serve_admission_backpressure);
+  add("serve/ticket-handoff",
+      "Ticket completion latch: publish under the lock, predicate wait",
+      serve_ticket_handoff);
+  add("serve/completion-lost-wakeup",
+      "mutation: Ticket::wait without its done_ predicate — must be flagged",
+      serve_completion_lost_wakeup, FailureKind::kLostWakeup);
+  add("serve/shutdown-drain",
+      "GemmServer shutdown: close admission, drain in-flight, stop, join",
+      serve_shutdown_drain);
   add("warnings/concurrent-sink",
       "sink swap racing concurrent emit_warning calls, no message lost",
       warnings_concurrent_sink);

@@ -10,6 +10,10 @@
 //     both passing protocols and seeded bugs the checker must flag;
 //   * MpmcRing (util/mpmc_ring.hpp) instantiated on the checked traits,
 //     including the racy-publish mutation self-test;
+//   * the GemmServer protocol (src/serve/server.cpp) — bounded-ring
+//     admission with backpressure, the Ticket completion latch, and the
+//     shutdown-drain handshake — modelled on the checked primitives, with
+//     a seeded lost-wakeup mutation of Ticket::wait;
 //   * with -DMCMM_CHECKED_SYNC=ON, the production ThreadPool dispatch
 //     protocol and the ExecutionTracer ring contract, compiled exactly as
 //     shipped but on the instrumented sync layer.

@@ -91,6 +91,30 @@ Tiling tiling_for_host(int p, std::int64_t shared_cache_bytes,
     emit_warning(msg);
     cfg.cs = inclusive_cs;
   }
+  // Second feasibility floor: the Tradeoff solver must stage at least its
+  // minimal tile, grain^2 + 2*grain <= CS with grain = mu * lcm(r, c).
+  // The inclusive clamp does not imply this (many cores with modest
+  // private caches push grain^2 past p*CD), and a multi-tenant share can
+  // land below it even on hosts where the full cache is fine — so raise
+  // CS to the staging floor, again loudly rather than silently.
+  const std::int64_t host_mu = max_reuse_parameter(cfg.cd);
+  const Grid host_grid = balanced_grid(p);
+  const std::int64_t host_grain = host_mu * lcm(host_grid.r, host_grid.c);
+  const std::int64_t staging_cs = host_grain * host_grain + 2 * host_grain;
+  if (cfg.cs < staging_cs) {
+    char msg[384];
+    std::snprintf(msg, sizeof(msg),
+                  "tiling_for_host: warning: shared cache holds %lld blocks "
+                  "but the tradeoff tile needs grain^2 + 2*grain = %lld "
+                  "(grain = %lld); clamping CS to %lld — the derived "
+                  "alpha/beta assume more shared cache than is physical",
+                  static_cast<long long>(cfg.cs),
+                  static_cast<long long>(staging_cs),
+                  static_cast<long long>(host_grain),
+                  static_cast<long long>(staging_cs));
+    emit_warning(msg);
+    cfg.cs = staging_cs;
+  }
   Tiling t;
   t.q = q;
   t.lambda = shared_opt_params(cfg.cs).lambda;

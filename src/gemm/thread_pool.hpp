@@ -50,6 +50,14 @@ public:
 
   /// Execute job(core_id) on every worker; returns when all are done.
   /// The first exception thrown by a worker (if any) is rethrown here.
+  ///
+  /// Exception ownership: workers capture throws with catch (...) — any
+  /// type, not just std::exception — and the dispatch site rethrows the
+  /// first one after the region drains, so the exception belongs to the
+  /// *caller* of run_on_all/run_batch and the pool stays fully usable for
+  /// the next region.  Long-lived callers (the serve dispatcher) must
+  /// therefore catch (...) at the dispatch site if one failed job must not
+  /// take down their loop.
   void run_on_all(const std::function<void(int)>& job);
 
   /// Split [0, total) into per-worker chunks and run body(core, lo, hi)

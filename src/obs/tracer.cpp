@@ -85,6 +85,17 @@ void ExecutionTracer::end_region() {
   current_region_.store(-1);
 }
 
+void ExecutionTracer::reset() {
+  MCMM_REQUIRE(current_region_.load() == -1,
+               "ExecutionTracer: reset while a region is open");
+  for (WorkerRing& ring : rings_) {
+    ring.count.store(0);
+    ring.dropped.store(0);
+    ring.last_end_ns.store(-1);
+  }
+  regions_.clear();
+}
+
 std::size_t ExecutionTracer::span_count(int worker) const {
   MCMM_REQUIRE(worker >= 0 && worker < workers(),
                "ExecutionTracer::span_count: bad worker id");

@@ -92,6 +92,13 @@ class ExecutionTracer {
   /// end] — the time it idled waiting for the slowest sibling.
   void end_region();
 
+  /// Discard all recorded spans, dropped counts and regions, keeping the
+  /// rings (and their allocations) and the clock epoch.  Same contract as
+  /// the accessors: call only from the coordinating thread while no region
+  /// is open and no worker is executing — the serve dispatcher uses this
+  /// between requests so each request's summary covers exactly one region.
+  void reset();
+
   // --- accessors (call only while no region is executing) ---
   std::size_t span_count(int worker) const;
   const TraceSpan& span(int worker, std::size_t i) const;

@@ -1,0 +1,118 @@
+#include "serve/partition.hpp"
+
+#include <algorithm>
+
+#include "analysis/params.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm::serve {
+
+TenantModel partition_for_tenants(const ServeModel& base, int k) {
+  MCMM_REQUIRE(k >= 1, "partition_for_tenants: tenant count must be >= 1");
+  MCMM_REQUIRE(base.p >= 1, "partition_for_tenants: p must be >= 1");
+  MCMM_REQUIRE(base.q >= 1, "partition_for_tenants: q must be >= 1");
+  MCMM_REQUIRE(base.shared_cache_bytes > 0 && base.private_cache_bytes > 0,
+               "partition_for_tenants: cache sizes must be positive");
+  MCMM_REQUIRE(base.sigma_s > 0 && base.sigma_d > 0,
+               "partition_for_tenants: bandwidths must be positive");
+
+  TenantModel model;
+  model.tenants = k;
+  model.cs_share_bytes = base.shared_cache_bytes / k;
+
+  // tiling_for_host is the single source of truth for deriving
+  // lambda/mu/alpha/beta from byte capacities (it owns the minimum block
+  // counts and the clamp warning); feed it the tenant's share.
+  model.tiling = tiling_for_host(base.p, model.cs_share_bytes,
+                                 base.private_cache_bytes, base.q);
+
+  // Mirror the same capacity math in blocks for the MachineConfig the
+  // predictions run on.  A cache must hold at least the 3-block working
+  // set (one block of each operand) to make progress.
+  const std::int64_t block_bytes = base.q * base.q * 8;
+  std::int64_t cs = std::max<std::int64_t>(model.cs_share_bytes / block_bytes, 3);
+  const std::int64_t cd =
+      std::max<std::int64_t>(base.private_cache_bytes / block_bytes, 3);
+  if (cs < static_cast<std::int64_t>(base.p) * cd) {
+    model.clamped = true;
+    cs = static_cast<std::int64_t>(base.p) * cd;
+  }
+  // Same staging floor tiling_for_host applies: the Tradeoff solver needs
+  // grain^2 + 2*grain <= CS (grain = mu * lcm(r, c)) or predict_for would
+  // throw on a share the tiling already accepted.
+  const std::int64_t mu = max_reuse_parameter(cd);
+  const Grid grid = balanced_grid(base.p);
+  const std::int64_t grain = mu * lcm(grid.r, grid.c);
+  if (cs < grain * grain + 2 * grain) {
+    model.clamped = true;
+    cs = grain * grain + 2 * grain;
+  }
+  model.config =
+      MachineConfig{base.p, cs, cd, base.sigma_s, base.sigma_d};
+  model.config.validate();
+  return model;
+}
+
+const char* to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kAuto:
+      return "auto";
+    case ScheduleKind::kSharedOpt:
+      return "shared-opt";
+    case ScheduleKind::kDistributedOpt:
+      return "distributed-opt";
+    case ScheduleKind::kTradeoff:
+      return "tradeoff";
+  }
+  return "unknown";
+}
+
+ScheduleKind parse_schedule_kind(const std::string& name) {
+  if (name == "auto") return ScheduleKind::kAuto;
+  if (name == "shared-opt") return ScheduleKind::kSharedOpt;
+  if (name == "distributed-opt") return ScheduleKind::kDistributedOpt;
+  if (name == "tradeoff") return ScheduleKind::kTradeoff;
+  throw Error("unknown schedule kind: " + name +
+              " (expected auto|shared-opt|distributed-opt|tradeoff)");
+}
+
+MissPrediction predict_for(const TenantModel& model, const Problem& prob,
+                           ScheduleKind kind) {
+  const MachineConfig& cfg = model.config;
+  switch (kind) {
+    case ScheduleKind::kSharedOpt:
+      return predict_shared_opt(prob, cfg.p, shared_opt_params(cfg.cs));
+    case ScheduleKind::kDistributedOpt:
+      return predict_distributed_opt(prob, cfg.p, distributed_opt_params(cfg));
+    case ScheduleKind::kTradeoff:
+      return predict_tradeoff(prob, cfg.p, tradeoff_params(cfg));
+    case ScheduleKind::kAuto:
+      break;
+  }
+  throw Error("predict_for: kAuto is not a concrete schedule");
+}
+
+ScheduleKind choose_schedule(const TenantModel& model, const Problem& prob) {
+  constexpr ScheduleKind kCandidates[] = {
+      ScheduleKind::kSharedOpt,
+      ScheduleKind::kDistributedOpt,
+      ScheduleKind::kTradeoff,
+  };
+  ScheduleKind best = ScheduleKind::kSharedOpt;
+  double best_tdata = 0;
+  bool first = true;
+  for (ScheduleKind kind : kCandidates) {
+    const MissPrediction pred = predict_for(model, prob, kind);
+    const double tdata =
+        pred.tdata(model.config.sigma_s, model.config.sigma_d);
+    if (first || tdata < best_tdata) {
+      first = false;
+      best = kind;
+      best_tdata = tdata;
+    }
+  }
+  return best;
+}
+
+}  // namespace mcmm::serve

@@ -1,0 +1,88 @@
+// Model-driven multi-tenant cache partitioning for the serving daemon.
+//
+// The paper's machine model has one shared cache CS over p private caches
+// CD.  When the server has k tenants with requests in flight, the tenants
+// compete for the same physical CS — so instead of letting LRU arbitrate
+// blindly, the server *declares* an even partition CS/k to each tenant and
+// re-derives that tenant's algorithm parameters from the paper's formulas
+// on the partitioned machine:
+//
+//   lambda(k): largest integer with 1 + lambda + lambda^2 <= CS/k   (Alg. 1)
+//   mu:        largest integer with 1 + mu + mu^2 <= CD             (Alg. 2;
+//              private caches are not shared across tenants, so mu is
+//              independent of k)
+//   alpha(k), beta(k): the Tradeoff solver on the partitioned config (Alg. 3)
+//
+// The inclusive-hierarchy clamp (CS >= p * CD) is re-applied *after*
+// partitioning: a small share can fall below p*CD, in which case the model
+// clamps the declared share up and flags it — the derived tiling then
+// assumes more shared cache than the tenant's fair share, exactly the
+// situation the `clamped` bit reports to operators.
+//
+// Schedule choice is a prediction, not a heuristic: choose_schedule()
+// evaluates the closed-form MS/MD predictions (analysis/predictions.hpp)
+// for each schedule under the tenant's partitioned machine and picks the
+// minimum data time  Tdata = MS/sigma_S + MD/sigma_D.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/predictions.hpp"
+#include "gemm/parallel_gemm.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/problem.hpp"
+
+namespace mcmm::serve {
+
+/// The calibrated machine the server partitions: worker count, block side
+/// and the physical cache sizes (from mcmm_calibrate or CLI overrides).
+struct ServeModel {
+  int p = 2;                                    ///< pool workers (= model cores)
+  std::int64_t q = 64;                          ///< block side, coefficients
+  std::int64_t shared_cache_bytes = 8ll << 20;  ///< physical CS
+  std::int64_t private_cache_bytes = 256ll << 10;  ///< per-core CD (declared)
+  double sigma_s = 1.0;  ///< memory -> shared bandwidth (blocks/unit)
+  double sigma_d = 1.0;  ///< shared -> private bandwidth
+};
+
+/// One tenant's view of the machine when k tenants are active.
+struct TenantModel {
+  int tenants = 1;                   ///< k this partition was derived for
+  std::int64_t cs_share_bytes = 0;   ///< declared share of the shared cache
+  MachineConfig config;              ///< partitioned machine, in q x q blocks
+  Tiling tiling;                     ///< re-derived lambda / mu / alpha / beta
+  bool clamped = false;  ///< share fell below p*CD; CS clamped up (model debt)
+};
+
+/// Partition `base` evenly across `k` tenants and re-derive the paper's
+/// parameters on the share.  Throws mcmm::Error on k < 1 or an invalid
+/// base model.  Emits the tiling_for_host clamp warning when the share is
+/// infeasible for an inclusive hierarchy.
+TenantModel partition_for_tenants(const ServeModel& base, int k);
+
+/// Which real-execution schedule serves a request.  kAuto defers to
+/// choose_schedule on the tenant's partitioned model.
+enum class ScheduleKind : std::uint8_t {
+  kAuto = 0,
+  kSharedOpt,
+  kDistributedOpt,
+  kTradeoff,
+};
+
+/// Stable names: "auto", "shared-opt", "distributed-opt", "tradeoff".
+const char* to_string(ScheduleKind kind);
+
+/// Parse a to_string name; throws mcmm::Error on anything else.
+ScheduleKind parse_schedule_kind(const std::string& name);
+
+/// Closed-form prediction for `kind` on `model`'s partitioned machine
+/// (prob in q x q blocks).  kAuto is not a schedule; passing it throws.
+MissPrediction predict_for(const TenantModel& model, const Problem& prob,
+                           ScheduleKind kind);
+
+/// The schedule with the minimum predicted Tdata on this tenant's
+/// partitioned machine (ties resolve in enum order, SharedOpt first).
+ScheduleKind choose_schedule(const TenantModel& model, const Problem& prob);
+
+}  // namespace mcmm::serve

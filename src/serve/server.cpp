@@ -1,0 +1,451 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "gemm/parallel_gemm.hpp"
+#include "obs/trace_export.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/math.hpp"
+
+namespace mcmm::serve {
+
+namespace {
+
+/// Thrown by FaultInjection::kThrowUnknown: deliberately NOT derived from
+/// std::exception, so the test exercises the dispatcher's catch (...) arm.
+struct InjectedUnknownFault {};
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+const char* to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kRejectedQueueFull:
+      return "rejected-queue-full";
+    case SubmitStatus::kRejectedShutdown:
+      return "rejected-shutdown";
+    case SubmitStatus::kRejectedInvalid:
+      return "rejected-invalid";
+  }
+  return "unknown";
+}
+
+const GemmResponse& Ticket::wait() {
+  sync::unique_lock lock(mutex_);
+  while (!done_) cv_.wait(lock);
+  return response_;
+}
+
+bool Ticket::done() const {
+  sync::lock_guard lock(mutex_);
+  return done_;
+}
+
+void Ticket::complete(GemmResponse&& response) {
+  {
+    sync::lock_guard lock(mutex_);
+    MCMM_ASSERT(!done_, "Ticket::complete called twice");
+    response_ = std::move(response);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+GemmServer::GemmServer(const Config& config)
+    : config_(config),
+      pool_(config.workers),
+      ctx_(config.workers, config.kernel),
+      tracer_(config.workers),
+      ring_(config.queue_capacity) {
+  MCMM_REQUIRE(config.max_tenants >= 1,
+               "GemmServer: max_tenants must be >= 1");
+  MCMM_REQUIRE(config.request_log_capacity >= 1,
+               "GemmServer: request_log_capacity must be >= 1");
+  const ServeModel base{config.workers, config.q, config.shared_cache_bytes,
+                        config.private_cache_bytes, config.sigma_s,
+                        config.sigma_d};
+  partitions_.reserve(static_cast<std::size_t>(config.max_tenants));
+  for (int k = 1; k <= config.max_tenants; ++k) {
+    partitions_.push_back(partition_for_tenants(base, k));
+  }
+  tenant_pending_.resize(static_cast<std::size_t>(config.max_tenants), 0);
+  tenant_counters_.resize(static_cast<std::size_t>(config.max_tenants));
+  pool_.set_tracer(&tracer_);
+  ctx_.set_tracer(&tracer_);
+  if (!config.pin_cpus.empty()) pool_.pin_workers(config.pin_cpus);
+  dispatcher_ = sync::thread([this] { dispatcher_loop(); });
+}
+
+GemmServer::~GemmServer() { shutdown(); }
+
+const TenantModel& GemmServer::partition(int k) const {
+  const int clamped =
+      std::clamp(k, 1, static_cast<int>(partitions_.size()));
+  return partitions_[static_cast<std::size_t>(clamped - 1)];
+}
+
+Submit GemmServer::submit(const GemmRequest& request) {
+  Submit result;
+  sync::lock_guard lock(mutex_);
+  ++counters_.submitted;
+  if (!accepting_) {
+    ++counters_.rejected_shutdown;
+    result.status = SubmitStatus::kRejectedShutdown;
+    result.error = "server is shutting down";
+    return result;
+  }
+  if (request.tenant < 0 || request.tenant >= max_tenants()) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "tenant id out of range";
+    return result;
+  }
+  if (request.c == nullptr || request.a == nullptr || request.b == nullptr) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "null matrix operand";
+    return result;
+  }
+  try {
+    check_gemm_shapes(*request.c, *request.a, *request.b);
+  } catch (const std::exception& e) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = e.what();
+    return result;
+  }
+  const std::uint64_t id = next_id_++;
+  if (!ring_.try_push(id)) {
+    ++counters_.rejected_queue_full;
+    result.status = SubmitStatus::kRejectedQueueFull;
+    result.error = "request ring full (backpressure)";
+    return result;
+  }
+  auto ticket = std::make_shared<Ticket>();
+  inflight_.emplace(id, Inflight{ticket, request, tracer_.now_ns()});
+  ++tenant_pending_[static_cast<std::size_t>(request.tenant)];
+  ++queued_;
+  ++counters_.accepted;
+  work_cv_.notify_one();
+  result.status = SubmitStatus::kAccepted;
+  result.ticket = std::move(ticket);
+  return result;
+}
+
+GemmResponse GemmServer::run(const GemmRequest& request) {
+  Submit submitted = submit(request);
+  if (submitted.status == SubmitStatus::kAccepted) {
+    return submitted.ticket->wait();
+  }
+  GemmResponse response;
+  response.tenant = request.tenant;
+  response.ok = false;
+  response.error = std::string(to_string(submitted.status)) + ": " +
+                   submitted.error;
+  return response;
+}
+
+void GemmServer::pause_dispatch() {
+  sync::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void GemmServer::resume_dispatch() {
+  {
+    sync::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void GemmServer::shutdown() {
+  sync::unique_lock lock(mutex_);
+  accepting_ = false;
+  paused_ = false;
+  work_cv_.notify_all();
+  while (!(inflight_.empty() && queued_ == 0)) drain_cv_.wait(lock);
+  stop_ = true;
+  work_cv_.notify_all();
+  if (joined_) return;  // an earlier shutdown() already joined
+  joined_ = true;
+  lock.unlock();
+  dispatcher_.join();
+}
+
+void GemmServer::dispatcher_loop() {
+  for (;;) {
+    {
+      sync::unique_lock lock(mutex_);
+      while (!stop_ && (paused_ || queued_ == 0)) work_cv_.wait(lock);
+      if (stop_ && queued_ == 0) return;
+      --queued_;
+    }
+    std::uint64_t id = 0;
+    const bool popped = ring_.try_pop(id);
+    // queued_ counts exactly the pushed-but-unclaimed ids and this is the
+    // only consumer, so the pop cannot miss.
+    MCMM_ASSERT(popped, "GemmServer: request ring empty with queued_ > 0");
+    execute(id);
+  }
+}
+
+void GemmServer::execute(std::uint64_t id) {
+  std::shared_ptr<Ticket> ticket;
+  GemmRequest request;
+  std::int64_t submit_ns = 0;
+  int active_tenants = 1;
+  {
+    sync::lock_guard lock(mutex_);
+    auto it = inflight_.find(id);
+    MCMM_ASSERT(it != inflight_.end(), "GemmServer: unknown request id");
+    ticket = it->second.ticket;
+    request = it->second.request;
+    submit_ns = it->second.submit_ns;
+    std::int64_t distinct = 0;
+    for (std::int64_t pending : tenant_pending_) {
+      if (pending > 0) ++distinct;
+    }
+    active_tenants =
+        std::clamp(static_cast<int>(distinct), 1, max_tenants());
+  }
+
+  const TenantModel& model = partition(active_tenants);
+  const std::int64_t q = model.tiling.q;
+  const Problem prob{ceil_div(request.c->rows(), q),
+                     ceil_div(request.c->cols(), q),
+                     ceil_div(request.a->cols(), q)};
+  ScheduleKind schedule = request.schedule;
+  if (schedule == ScheduleKind::kAuto) schedule = choose_schedule(model, prob);
+
+  GemmResponse response;
+  response.id = id;
+  response.tenant = request.tenant;
+  response.schedule = schedule;
+  response.active_tenants = model.tenants;
+  response.tiling = model.tiling;
+
+  const std::int64_t start_ns = tracer_.now_ns();
+  response.queue_ms = static_cast<double>(start_ns - submit_ns) / 1e6;
+  tracer_.reset();
+  pool_.set_trace_label(to_string(schedule));
+
+  // Exception ownership: ThreadPool rethrows the first worker throw here
+  // and remains fully usable; both arms below convert it into an error
+  // reply for THIS request only — a worker failure never tears down the
+  // dispatcher or the pool.  The catch (...) arm matters: workers can
+  // surface non-std::exception throws (worker_loop captures with
+  // catch (...)), and letting one escape would kill the dispatcher thread.
+  try {
+    switch (request.fault) {
+      case FaultInjection::kThrowError: {
+        std::vector<std::function<void()>> tasks(
+            static_cast<std::size_t>(pool_.workers()), [] {});
+        tasks[0] = [] { throw Error("injected worker fault"); };
+        pool_.run_batch(tasks);
+        break;
+      }
+      case FaultInjection::kThrowUnknown: {
+        std::vector<std::function<void()>> tasks(
+            static_cast<std::size_t>(pool_.workers()), [] {});
+        tasks[0] = [] { throw InjectedUnknownFault{}; };
+        pool_.run_batch(tasks);
+        break;
+      }
+      case FaultInjection::kNone:
+        switch (schedule) {
+          case ScheduleKind::kSharedOpt:
+            parallel_gemm_shared_opt(*request.c, *request.a, *request.b,
+                                     model.tiling, pool_, ctx_);
+            break;
+          case ScheduleKind::kDistributedOpt:
+            parallel_gemm_distributed_opt(*request.c, *request.a, *request.b,
+                                          model.tiling, pool_, ctx_);
+            break;
+          case ScheduleKind::kTradeoff:
+            parallel_gemm_tradeoff(*request.c, *request.a, *request.b,
+                                   model.tiling, pool_, ctx_);
+            break;
+          case ScheduleKind::kAuto:
+            MCMM_ASSERT(false, "GemmServer: unresolved kAuto schedule");
+            break;
+        }
+        response.ok = true;
+        break;
+    }
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.error = e.what();
+  } catch (...) {
+    response.ok = false;
+    response.error = "non-standard exception from worker";
+  }
+
+  response.exec_ms =
+      static_cast<double>(tracer_.now_ns() - start_ns) / 1e6;
+
+  // The request ran as exactly one traced region (each schedule is a
+  // single run_on_all dispatch); distil it into the per-request summary.
+  const TraceSummary summary = summarize_trace(tracer_);
+  if (!summary.regions.empty()) {
+    const RegionSummary& region = summary.regions.back();
+    response.trace.wall_ms = region.wall_ms();
+    for (const PhaseTotals& worker : region.workers) {
+      response.trace.pack_a_ms += worker.ms(TracePhase::kPackA);
+      response.trace.pack_b_ms += worker.ms(TracePhase::kPackB);
+      response.trace.micro_kernel_ms += worker.ms(TracePhase::kMicroKernel);
+      response.trace.barrier_ms += worker.ms(TracePhase::kBarrier);
+      response.trace.other_ms += worker.other_ms();
+      for (std::int64_t spans : worker.spans) response.trace.spans += spans;
+    }
+  }
+
+  {
+    sync::lock_guard lock(mutex_);
+    inflight_.erase(id);
+    --tenant_pending_[static_cast<std::size_t>(request.tenant)];
+    Counters& tenant = tenant_counters_[static_cast<std::size_t>(request.tenant)];
+    if (response.ok) {
+      ++counters_.completed;
+      ++tenant.completed;
+    } else {
+      ++counters_.failed;
+      ++tenant.failed;
+    }
+    latency_ms_.push_back(response.queue_ms + response.exec_ms);
+    request_log_.push_back(RequestRecord{
+        id, request.tenant, response.ok, response.error, schedule,
+        response.active_tenants, response.queue_ms, response.exec_ms,
+        response.trace});
+    while (request_log_.size() > config_.request_log_capacity) {
+      request_log_.pop_front();
+    }
+    if (!accepting_ && inflight_.empty() && queued_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+  ticket->complete(std::move(response));
+}
+
+GemmServer::Counters GemmServer::counters() const {
+  sync::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::string GemmServer::stats_json() const {
+  Counters counters;
+  std::vector<double> latencies;
+  std::vector<Counters> tenants;
+  std::deque<RequestRecord> requests;
+  {
+    sync::lock_guard lock(mutex_);
+    counters = counters_;
+    latencies = latency_ms_;
+    tenants = tenant_counters_;
+    requests = request_log_;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0;
+  for (double v : latencies) sum += v;
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "mcmm-serve-v1");
+  w.kv("workers", workers());
+  w.kv("pinned_workers", pinned_workers());
+  w.kv("queue_capacity", static_cast<std::int64_t>(queue_capacity()));
+  w.kv("max_tenants", max_tenants());
+  w.kv("kernel", dispatch_name());
+  w.key("model").begin_object();
+  w.kv("q", config_.q);
+  w.kv("shared_cache_bytes", config_.shared_cache_bytes);
+  w.kv("private_cache_bytes", config_.private_cache_bytes);
+  w.kv("sigma_s", config_.sigma_s);
+  w.kv("sigma_d", config_.sigma_d);
+  w.end_object();
+  w.key("partitions").begin_array();
+  for (const TenantModel& m : partitions_) {
+    w.begin_object();
+    w.kv("tenants", m.tenants);
+    w.kv("cs_share_bytes", m.cs_share_bytes);
+    w.kv("cs_blocks", m.config.cs);
+    w.kv("cd_blocks", m.config.cd);
+    w.kv("clamped", m.clamped);
+    w.key("tiling").begin_object();
+    w.kv("q", m.tiling.q);
+    w.kv("lambda", m.tiling.lambda);
+    w.kv("mu", m.tiling.mu);
+    w.kv("alpha", m.tiling.alpha);
+    w.kv("beta", m.tiling.beta);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counters").begin_object();
+  w.kv("submitted", counters.submitted);
+  w.kv("accepted", counters.accepted);
+  w.kv("rejected_queue_full", counters.rejected_queue_full);
+  w.kv("rejected_shutdown", counters.rejected_shutdown);
+  w.kv("rejected_invalid", counters.rejected_invalid);
+  w.kv("completed", counters.completed);
+  w.kv("failed", counters.failed);
+  w.end_object();
+  w.key("latency_ms").begin_object();
+  w.kv("count", static_cast<std::int64_t>(latencies.size()));
+  w.kv("mean", latencies.empty() ? 0.0
+                                 : sum / static_cast<double>(latencies.size()));
+  w.kv("min", latencies.empty() ? 0.0 : latencies.front());
+  w.kv("max", latencies.empty() ? 0.0 : latencies.back());
+  w.kv("p50", percentile(latencies, 0.50));
+  w.kv("p95", percentile(latencies, 0.95));
+  w.kv("p99", percentile(latencies, 0.99));
+  w.end_object();
+  w.key("tenants").begin_array();
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    w.begin_object();
+    w.kv("tenant", static_cast<std::int64_t>(t));
+    w.kv("completed", tenants[t].completed);
+    w.kv("failed", tenants[t].failed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("requests").begin_array();
+  for (const RequestRecord& r : requests) {
+    w.begin_object();
+    w.kv("id", static_cast<std::int64_t>(r.id));
+    w.kv("tenant", r.tenant);
+    w.kv("ok", r.ok);
+    if (!r.ok) w.kv("error", r.error);
+    w.kv("schedule", to_string(r.schedule));
+    w.kv("active_tenants", r.active_tenants);
+    w.kv("queue_ms", r.queue_ms);
+    w.kv("exec_ms", r.exec_ms);
+    w.key("trace").begin_object();
+    w.kv("wall_ms", r.trace.wall_ms);
+    w.kv("pack_a_ms", r.trace.pack_a_ms);
+    w.kv("pack_b_ms", r.trace.pack_b_ms);
+    w.kv("micro_kernel_ms", r.trace.micro_kernel_ms);
+    w.kv("barrier_ms", r.trace.barrier_ms);
+    w.kv("other_ms", r.trace.other_ms);
+    w.kv("spans", r.trace.spans);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace mcmm::serve

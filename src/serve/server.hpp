@@ -1,0 +1,260 @@
+// GEMM-as-a-service: a long-lived server owning the pinned ThreadPool and
+// per-worker KernelContext, fed through the model-checked Vyukov MPMC ring
+// (util/mpmc_ring.hpp) with bounded-queue admission control.
+//
+// Request lifecycle:
+//
+//   submit() —— validates, registers a Ticket, pushes the ticket id onto
+//   the request ring.  A full ring is *backpressure*: the submit returns
+//   kRejectedQueueFull immediately instead of buffering unboundedly, and
+//   the client decides whether to retry.
+//
+//   dispatcher —— one internal thread pops ids off the ring in admission
+//   order and executes each request on the shared ThreadPool.  Requests
+//   are serialised on the compute resource (the pool IS the machine the
+//   model describes: p cores under one shared cache); concurrency across
+//   tenants shows up in the *model*, not in oversubscribed threads.
+//
+//   model-driven multi-tenancy —— at execution time the dispatcher counts
+//   the distinct tenants with requests in flight (k), takes the
+//   precomputed partition of the calibrated CS into k shares, and serves
+//   the request with the tiling and lambda/alpha/beta re-derived from the
+//   paper's formulas on that share (serve/partition.hpp).  kAuto schedule
+//   requests pick the schedule with the least predicted data time on the
+//   partitioned machine — admission and scheduling decisions are
+//   predictions from src/sim, not heuristics.
+//
+//   completion —— each Ticket is a latch; wait() blocks until the
+//   dispatcher publishes the GemmResponse, which carries the resolved
+//   schedule/tiling, queue/execution latency, and a per-request trace
+//   summary distilled from the ExecutionTracer region that ran it.
+//
+// Exception ownership (the run_batch/dispatcher contract): ThreadPool
+// rethrows the first worker exception at the dispatch site and stays
+// usable; the dispatcher catches *everything* there — std::exception and
+// non-standard throws alike — and turns it into an error reply for that
+// request only.  A worker throw fails one request, never the server.
+//
+// Thread-safety: all mutable server state is MCMM_GUARDED_BY(mutex_);
+// the ring is accessed under the mutex too (submission is a control path;
+// the ring still provides the bounded FIFO admission structure, and its
+// lock-free MPMC face is exercised by the stress tests and model-check
+// scenarios).  The whole protocol runs on mcmm::sync primitives, so
+// -DMCMM_CHECKED_SYNC=ON model-checks the serve path (see
+// src/check/scenarios.cpp, "serve/...").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gemm/kernel.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/thread_pool.hpp"
+#include "obs/tracer.hpp"
+#include "serve/partition.hpp"
+#include "util/mpmc_ring.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mcmm::serve {
+
+/// Test-only fault injection: makes a worker throw mid-request so the
+/// exception-ownership contract is testable end-to-end.
+enum class FaultInjection : std::uint8_t {
+  kNone = 0,
+  kThrowError,    ///< a worker throws mcmm::Error
+  kThrowUnknown,  ///< a worker throws a non-std::exception type
+};
+
+/// One GEMM product: C += A * B.  The caller owns the matrices and must
+/// keep them alive (and untouched) until the ticket completes.
+struct GemmRequest {
+  int tenant = 0;                ///< [0, Config::max_tenants)
+  Matrix* c = nullptr;
+  const Matrix* a = nullptr;
+  const Matrix* b = nullptr;
+  ScheduleKind schedule = ScheduleKind::kAuto;
+  FaultInjection fault = FaultInjection::kNone;
+};
+
+/// Per-request distillation of the ExecutionTracer region that ran it.
+struct RequestTraceSummary {
+  double wall_ms = 0;          ///< region wall time
+  double pack_a_ms = 0;        ///< summed across workers
+  double pack_b_ms = 0;
+  double micro_kernel_ms = 0;
+  double barrier_ms = 0;       ///< idle waiting for the slowest sibling
+  double other_ms = 0;         ///< uninstrumented region-job time
+  std::int64_t spans = 0;      ///< spans recorded (all workers)
+};
+
+struct GemmResponse {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  bool ok = false;
+  std::string error;                ///< set when !ok
+  ScheduleKind schedule = ScheduleKind::kAuto;  ///< resolved, never kAuto on ok
+  int active_tenants = 1;           ///< k the partition was derived for
+  Tiling tiling;                    ///< the partitioned tiling actually used
+  double queue_ms = 0;              ///< admission -> execution start
+  double exec_ms = 0;               ///< execution start -> completion
+  RequestTraceSummary trace;
+};
+
+enum class SubmitStatus : std::uint8_t {
+  kAccepted = 0,
+  kRejectedQueueFull,  ///< bounded ring full — backpressure, retry later
+  kRejectedShutdown,   ///< server no longer accepting
+  kRejectedInvalid,    ///< bad tenant id or mismatched shapes
+};
+
+const char* to_string(SubmitStatus status);
+
+/// Completion latch handed out by submit().  wait() blocks until the
+/// dispatcher publishes the response; the reference stays valid for the
+/// ticket's lifetime.
+class Ticket {
+ public:
+  const GemmResponse& wait();
+  bool done() const;
+
+ private:
+  friend class GemmServer;
+  void complete(GemmResponse&& response);
+
+  mutable sync::mutex mutex_;
+  mutable sync::condition_variable cv_;
+  bool done_ MCMM_GUARDED_BY(mutex_) = false;
+  GemmResponse response_ MCMM_GUARDED_BY(mutex_);
+};
+
+struct Submit {
+  SubmitStatus status = SubmitStatus::kRejectedInvalid;
+  std::shared_ptr<Ticket> ticket;  ///< non-null iff kAccepted
+  std::string error;               ///< human-readable rejection reason
+};
+
+class GemmServer {
+ public:
+  struct Config {
+    int workers = 2;
+    std::size_t queue_capacity = 64;  ///< request ring slots (power of two)
+    int max_tenants = 4;              ///< partitions precomputed for 1..k
+    std::int64_t q = 64;              ///< block side, coefficients
+    std::int64_t shared_cache_bytes = 8ll << 20;
+    std::int64_t private_cache_bytes = 256ll << 10;
+    double sigma_s = 1.0;
+    double sigma_d = 1.0;
+    std::vector<int> pin_cpus;        ///< empty = unpinned
+    std::size_t request_log_capacity = 256;  ///< stats_json "requests" depth
+    KernelPath kernel = KernelPath::kAuto;
+  };
+
+  /// Monotonically increasing counters since construction.
+  struct Counters {
+    std::int64_t submitted = 0;  ///< all submit() calls
+    std::int64_t accepted = 0;
+    std::int64_t rejected_queue_full = 0;
+    std::int64_t rejected_shutdown = 0;
+    std::int64_t rejected_invalid = 0;
+    std::int64_t completed = 0;  ///< finished ok
+    std::int64_t failed = 0;     ///< finished with an error reply
+  };
+
+  /// Spawns the pool and the dispatcher thread; precomputes the CS
+  /// partitions for every tenant count.  Throws mcmm::Error on an invalid
+  /// config (workers < 1, non-power-of-two capacity, max_tenants < 1, ...).
+  explicit GemmServer(const Config& config);
+  ~GemmServer();
+
+  GemmServer(const GemmServer&) = delete;
+  GemmServer& operator=(const GemmServer&) = delete;
+
+  int workers() const { return pool_.workers(); }
+  int pinned_workers() const { return pool_.pinned_workers(); }
+  std::size_t queue_capacity() const { return ring_.capacity(); }
+  int max_tenants() const { return static_cast<int>(partitions_.size()); }
+  const std::string& dispatch_name() const { return ctx_.dispatch_name(); }
+
+  /// The precomputed tenant model for k concurrent tenants (clamped to
+  /// [1, max_tenants]).  Const after construction.
+  const TenantModel& partition(int k) const;
+
+  /// Non-blocking admission.  On kAccepted the caller later waits on the
+  /// ticket; any rejection is final for this call (backpressure, not
+  /// queuing).  Thread-safe from any number of client threads.
+  Submit submit(const GemmRequest& request);
+
+  /// submit() + wait(), with rejections synthesised into error responses.
+  GemmResponse run(const GemmRequest& request);
+
+  /// Hold the dispatcher between requests (admission keeps running), so
+  /// tests can fill the ring deterministically.  resume_dispatch() wakes it.
+  void pause_dispatch();
+  void resume_dispatch();
+
+  /// Stop accepting, drain every in-flight request, join the dispatcher.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  Counters counters() const;
+
+  /// The mcmm-serve-v1 stats document: model + partitions + counters +
+  /// latency percentiles + per-tenant totals + the recent-request log with
+  /// per-request trace summaries.  One line, stable key order.
+  std::string stats_json() const;
+
+ private:
+  void dispatcher_loop();
+  void execute(std::uint64_t id);
+
+  /// One completed request as kept for the stats log.
+  struct RequestRecord {
+    std::uint64_t id = 0;
+    int tenant = 0;
+    bool ok = false;
+    std::string error;
+    ScheduleKind schedule = ScheduleKind::kAuto;
+    int active_tenants = 1;
+    double queue_ms = 0;
+    double exec_ms = 0;
+    RequestTraceSummary trace;
+  };
+
+  struct Inflight {
+    std::shared_ptr<Ticket> ticket;
+    GemmRequest request;
+    std::int64_t submit_ns = 0;
+  };
+
+  const Config config_;
+  std::vector<TenantModel> partitions_;  // index k-1; const after ctor
+
+  ThreadPool pool_;
+  KernelContext ctx_;
+  ExecutionTracer tracer_;
+  MpmcRing<std::uint64_t> ring_;  // accessed under mutex_ (see header note)
+
+  mutable sync::mutex mutex_;
+  sync::condition_variable work_cv_;   // dispatcher waits for queued work
+  sync::condition_variable drain_cv_;  // shutdown waits for inflight == 0
+  std::uint64_t next_id_ MCMM_GUARDED_BY(mutex_) = 1;
+  std::unordered_map<std::uint64_t, Inflight> inflight_ MCMM_GUARDED_BY(mutex_);
+  std::vector<std::int64_t> tenant_pending_ MCMM_GUARDED_BY(mutex_);
+  std::size_t queued_ MCMM_GUARDED_BY(mutex_) = 0;
+  bool accepting_ MCMM_GUARDED_BY(mutex_) = true;
+  bool paused_ MCMM_GUARDED_BY(mutex_) = false;
+  bool stop_ MCMM_GUARDED_BY(mutex_) = false;
+  bool joined_ MCMM_GUARDED_BY(mutex_) = false;
+  Counters counters_ MCMM_GUARDED_BY(mutex_);
+  std::vector<double> latency_ms_ MCMM_GUARDED_BY(mutex_);
+  std::vector<Counters> tenant_counters_ MCMM_GUARDED_BY(mutex_);
+  std::deque<RequestRecord> request_log_ MCMM_GUARDED_BY(mutex_);
+
+  sync::thread dispatcher_;  // started last, joined by shutdown()
+};
+
+}  // namespace mcmm::serve

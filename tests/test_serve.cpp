@@ -1,0 +1,378 @@
+// GEMM-as-a-service end-to-end: in-process clients drive GemmServer
+// through submit/wait and run(), covering bit-correct results against the
+// gemm_micro reference, bounded-queue backpressure, model-driven
+// multi-tenant tilings, worker-fault isolation, graceful shutdown with
+// requests in flight, and the mcmm-serve-v1 stats document.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gemm/kernel.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/validate.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/math.hpp"
+
+namespace mcmm::serve {
+namespace {
+
+GemmServer::Config small_config() {
+  GemmServer::Config config;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.max_tenants = 4;
+  config.q = 16;
+  config.shared_cache_bytes = 8ll << 20;
+  config.private_cache_bytes = 256ll << 10;
+  return config;
+}
+
+/// One product with its gemm_micro reference answer (same q and kernel
+/// path the server dispatches with).
+struct Product {
+  Matrix a, b, c, expect;
+  Product(std::int64_t m, std::int64_t n, std::int64_t z, std::int64_t q,
+          std::uint64_t seed)
+      : a(m, z), b(z, n), c(m, n, 0.0), expect(m, n, 0.0) {
+    a.fill_random(seed);
+    b.fill_random(seed + 1);
+    KernelContext ref(1);
+    gemm_micro(expect, a, b, q, ref);
+  }
+  GemmRequest request(int tenant,
+                      ScheduleKind schedule = ScheduleKind::kAuto) {
+    GemmRequest r;
+    r.tenant = tenant;
+    r.c = &c;
+    r.a = &a;
+    r.b = &b;
+    r.schedule = schedule;
+    return r;
+  }
+};
+
+TEST(Serve, RoundTripMatchesGemmMicroEverySchedule) {
+  GemmServer server(small_config());
+  for (ScheduleKind kind : {ScheduleKind::kAuto, ScheduleKind::kSharedOpt,
+                            ScheduleKind::kDistributedOpt,
+                            ScheduleKind::kTradeoff}) {
+    Product prod(48, 40, 56, small_config().q, 11);
+    const GemmResponse response = server.run(prod.request(0, kind));
+    ASSERT_TRUE(response.ok) << to_string(kind) << ": " << response.error;
+    EXPECT_NE(response.schedule, ScheduleKind::kAuto);
+    if (kind != ScheduleKind::kAuto) EXPECT_EQ(response.schedule, kind);
+    EXPECT_TRUE(gemm_matches(prod.c, prod.expect, 56))
+        << to_string(kind) << " max diff "
+        << Matrix::max_abs_diff(prod.c, prod.expect);
+    EXPECT_GE(response.queue_ms, 0.0);
+    EXPECT_GT(response.exec_ms, 0.0);
+    EXPECT_GT(response.trace.spans, 0) << "per-request trace missing";
+    EXPECT_GT(response.trace.wall_ms, 0.0);
+  }
+  const GemmServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.completed, 4);
+  EXPECT_EQ(counters.failed, 0);
+}
+
+TEST(Serve, AutoScheduleFollowsPartitionedPrediction) {
+  GemmServer server(small_config());
+  Product prod(64, 64, 64, small_config().q, 3);
+  const GemmResponse response = server.run(prod.request(0));
+  ASSERT_TRUE(response.ok) << response.error;
+  // Solo request: the model is partition(1) and the resolved schedule must
+  // be exactly the predicted-Tdata argmin, not a heuristic.
+  const TenantModel& model = server.partition(1);
+  const std::int64_t q = model.tiling.q;
+  const Problem prob{ceil_div(64, q), ceil_div(64, q), ceil_div(64, q)};
+  EXPECT_EQ(response.schedule, choose_schedule(model, prob));
+  EXPECT_EQ(response.active_tenants, 1);
+}
+
+TEST(Serve, ConcurrentClientsAllComplete) {
+  GemmServer::Config config = small_config();
+  config.queue_capacity = 32;
+  GemmServer server(config);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 4;
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Product prod(32, 32, 32, config.q,
+                     static_cast<std::uint64_t>(100 + t * kPerClient + i));
+        const GemmResponse response = server.run(prod.request(t));
+        if (response.ok && gemm_matches(prod.c, prod.expect, 32)) {
+          ++ok_counts[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int t = 0; t < kClients; ++t) EXPECT_EQ(ok_counts[t], kPerClient);
+  const GemmServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.completed, kClients * kPerClient);
+  EXPECT_EQ(counters.failed, 0);
+  EXPECT_EQ(counters.rejected_queue_full, 0);
+}
+
+TEST(Serve, BoundedQueueRejectsWithBackpressure) {
+  GemmServer::Config config = small_config();
+  config.queue_capacity = 4;
+  GemmServer server(config);
+  server.pause_dispatch();
+
+  std::vector<std::unique_ptr<Product>> products;
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  for (std::size_t i = 0; i < config.queue_capacity; ++i) {
+    products.push_back(std::make_unique<Product>(32, 32, 32, config.q, i));
+    const Submit submitted = server.submit(products.back()->request(0));
+    ASSERT_EQ(submitted.status, SubmitStatus::kAccepted) << submitted.error;
+    ASSERT_TRUE(submitted.ticket != nullptr);
+    EXPECT_FALSE(submitted.ticket->done());
+    tickets.push_back(submitted.ticket);
+  }
+
+  // The ring is full: the next submit is rejected *now* (backpressure),
+  // not buffered for later.
+  Product extra(32, 32, 32, config.q, 99);
+  const Submit rejected = server.submit(extra.request(0));
+  EXPECT_EQ(rejected.status, SubmitStatus::kRejectedQueueFull);
+  EXPECT_TRUE(rejected.ticket == nullptr);
+  EXPECT_NE(rejected.error.find("backpressure"), std::string::npos);
+
+  server.resume_dispatch();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const GemmResponse& response = tickets[i]->wait();
+    EXPECT_TRUE(response.ok) << response.error;
+    EXPECT_TRUE(gemm_matches(products[i]->c, products[i]->expect, 32));
+  }
+  const GemmServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.accepted,
+            static_cast<std::int64_t>(config.queue_capacity));
+  EXPECT_EQ(counters.rejected_queue_full, 1);
+  EXPECT_EQ(counters.completed,
+            static_cast<std::int64_t>(config.queue_capacity));
+
+  // run() synthesises rejections into error replies instead of blocking.
+  server.pause_dispatch();
+  for (std::size_t i = 0; i < config.queue_capacity; ++i) {
+    products[i]->c.set_zero();
+    (void)server.submit(products[i]->request(0));
+  }
+  const GemmResponse synthesised = server.run(extra.request(0));
+  EXPECT_FALSE(synthesised.ok);
+  EXPECT_NE(synthesised.error.find("rejected-queue-full"), std::string::npos);
+  server.resume_dispatch();
+}
+
+TEST(Serve, ShutdownDrainsRequestsInFlight) {
+  GemmServer::Config config = small_config();
+  GemmServer server(config);
+  server.pause_dispatch();
+  std::vector<std::unique_ptr<Product>> products;
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  for (int i = 0; i < 3; ++i) {
+    products.push_back(std::make_unique<Product>(
+        32, 32, 32, config.q, static_cast<std::uint64_t>(i)));
+    const Submit submitted = server.submit(products.back()->request(i % 2));
+    ASSERT_EQ(submitted.status, SubmitStatus::kAccepted);
+    tickets.push_back(submitted.ticket);
+  }
+  // Graceful shutdown: every admitted request still completes (the paused
+  // dispatcher is resumed by shutdown itself), then admission closes.
+  server.shutdown();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i]->done());
+    EXPECT_TRUE(tickets[i]->wait().ok);
+    EXPECT_TRUE(gemm_matches(products[i]->c, products[i]->expect, 32));
+  }
+  Product late(32, 32, 32, config.q, 77);
+  const Submit refused = server.submit(late.request(0));
+  EXPECT_EQ(refused.status, SubmitStatus::kRejectedShutdown);
+  const GemmResponse reply = server.run(late.request(0));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("rejected-shutdown"), std::string::npos);
+  server.shutdown();  // idempotent; destructor will call it again
+  const GemmServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.completed, 3);
+  EXPECT_EQ(counters.rejected_shutdown, 2);
+}
+
+TEST(Serve, MultiTenantRequestsUsePartitionedTilings) {
+  GemmServer::Config config = small_config();
+  GemmServer server(config);
+  // The halved share must actually change the model: lambda solves
+  // 1 + lambda + lambda^2 <= CS, so CS/2 gives a strictly smaller lambda.
+  const Tiling solo = server.partition(1).tiling;
+  const Tiling duo = server.partition(2).tiling;
+  ASSERT_NE(duo.lambda, solo.lambda);
+  ASSERT_EQ(server.partition(2).cs_share_bytes,
+            config.shared_cache_bytes / 2);
+
+  server.pause_dispatch();
+  Product first(48, 48, 48, config.q, 21);
+  Product second(48, 48, 48, config.q, 22);
+  const Submit s0 = server.submit(first.request(0));
+  const Submit s1 = server.submit(second.request(1));
+  ASSERT_EQ(s0.status, SubmitStatus::kAccepted);
+  ASSERT_EQ(s1.status, SubmitStatus::kAccepted);
+  server.resume_dispatch();
+  const GemmResponse& r0 = s0.ticket->wait();
+  const GemmResponse& r1 = s1.ticket->wait();
+
+  // FIFO dispatch: the first request executes while tenant 1's request is
+  // still pending, so it is served on the 2-tenant partition; by the time
+  // the second runs it is alone again and gets the full share back.
+  ASSERT_TRUE(r0.ok) << r0.error;
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_EQ(r0.active_tenants, 2);
+  EXPECT_EQ(r0.tiling.lambda, duo.lambda);
+  EXPECT_EQ(r1.active_tenants, 1);
+  EXPECT_EQ(r1.tiling.lambda, solo.lambda);
+  EXPECT_NE(r0.tiling.lambda, r1.tiling.lambda);
+
+  // Partitioning only reshapes the schedule; results stay bit-correct.
+  EXPECT_TRUE(gemm_matches(first.c, first.expect, 48))
+      << "max diff " << Matrix::max_abs_diff(first.c, first.expect);
+  EXPECT_TRUE(gemm_matches(second.c, second.expect, 48))
+      << "max diff " << Matrix::max_abs_diff(second.c, second.expect);
+}
+
+TEST(Serve, WorkerThrowFailsOnlyThatRequest) {
+  GemmServer server(small_config());
+  Product faulty(32, 32, 32, small_config().q, 5);
+  GemmRequest request = faulty.request(0);
+  request.fault = FaultInjection::kThrowError;
+  const GemmResponse failed = server.run(request);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.error.find("injected worker fault"), std::string::npos);
+
+  // The contract under test: a worker throw is owned by the dispatcher and
+  // fails one request — the pool and the server keep serving.
+  Product healthy(32, 32, 32, small_config().q, 6);
+  const GemmResponse ok = server.run(healthy.request(0));
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_TRUE(gemm_matches(healthy.c, healthy.expect, 32));
+
+  // Same for non-std::exception throws (the catch (...) arm).
+  Product weird(32, 32, 32, small_config().q, 7);
+  GemmRequest unknown = weird.request(1);
+  unknown.fault = FaultInjection::kThrowUnknown;
+  const GemmResponse failed2 = server.run(unknown);
+  EXPECT_FALSE(failed2.ok);
+  EXPECT_NE(failed2.error.find("non-standard exception"), std::string::npos);
+
+  Product again(32, 32, 32, small_config().q, 8);
+  const GemmResponse ok2 = server.run(again.request(1));
+  ASSERT_TRUE(ok2.ok) << ok2.error;
+  EXPECT_TRUE(gemm_matches(again.c, again.expect, 32));
+
+  const GemmServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.failed, 2);
+  EXPECT_EQ(counters.completed, 2);
+}
+
+TEST(Serve, InvalidSubmissionsAreRejectedUpfront) {
+  GemmServer server(small_config());
+  Product prod(32, 32, 32, small_config().q, 1);
+
+  GemmRequest bad_tenant = prod.request(-1);
+  EXPECT_EQ(server.submit(bad_tenant).status, SubmitStatus::kRejectedInvalid);
+  bad_tenant.tenant = server.max_tenants();
+  EXPECT_EQ(server.submit(bad_tenant).status, SubmitStatus::kRejectedInvalid);
+
+  GemmRequest null_operand = prod.request(0);
+  null_operand.c = nullptr;
+  EXPECT_EQ(server.submit(null_operand).status,
+            SubmitStatus::kRejectedInvalid);
+
+  Matrix wrong(8, 8);
+  GemmRequest mismatched = prod.request(0);
+  mismatched.b = &wrong;  // A is 32x32, B must be 32xN
+  EXPECT_EQ(server.submit(mismatched).status, SubmitStatus::kRejectedInvalid);
+
+  const GemmServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.submitted, 4);
+  EXPECT_EQ(counters.rejected_invalid, 4);
+  EXPECT_EQ(counters.accepted, 0);
+}
+
+TEST(Serve, RejectsBadConfig) {
+  GemmServer::Config config = small_config();
+  config.queue_capacity = 3;  // MpmcRing needs a power of two
+  EXPECT_THROW(GemmServer{config}, Error);
+  config = small_config();
+  config.max_tenants = 0;
+  EXPECT_THROW(GemmServer{config}, Error);
+  config = small_config();
+  config.workers = 0;
+  EXPECT_THROW(GemmServer{config}, Error);
+}
+
+TEST(Serve, StatsJsonMatchesServeV1Schema) {
+  GemmServer::Config config = small_config();
+  GemmServer server(config);
+  Product ok_prod(32, 32, 32, config.q, 1);
+  ASSERT_TRUE(server.run(ok_prod.request(0)).ok);
+  Product bad_prod(32, 32, 32, config.q, 2);
+  GemmRequest faulty = bad_prod.request(1);
+  faulty.fault = FaultInjection::kThrowError;
+  ASSERT_FALSE(server.run(faulty).ok);
+
+  const JsonValue doc = json_parse(server.stats_json());
+  ASSERT_EQ(doc.type, JsonValue::Type::kObject);
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->string, "mcmm-serve-v1");
+  EXPECT_EQ(doc.find("workers")->number, config.workers);
+  EXPECT_EQ(doc.find("queue_capacity")->number,
+            static_cast<double>(config.queue_capacity));
+  EXPECT_EQ(doc.find("max_tenants")->number, config.max_tenants);
+
+  const JsonValue* model = doc.find("model");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->find("q")->number, static_cast<double>(config.q));
+
+  const JsonValue* partitions = doc.find("partitions");
+  ASSERT_NE(partitions, nullptr);
+  ASSERT_EQ(partitions->array.size(),
+            static_cast<std::size_t>(config.max_tenants));
+  for (std::size_t k = 0; k < partitions->array.size(); ++k) {
+    const JsonValue& part = partitions->array[k];
+    EXPECT_EQ(part.find("tenants")->number, static_cast<double>(k + 1));
+    ASSERT_NE(part.find("tiling"), nullptr);
+    EXPECT_GE(part.find("tiling")->find("lambda")->number, 1.0);
+  }
+
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("completed")->number, 1.0);
+  EXPECT_EQ(counters->find("failed")->number, 1.0);
+
+  const JsonValue* latency = doc.find("latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->number, 2.0);
+  EXPECT_GE(latency->find("p99")->number, latency->find("p50")->number);
+
+  const JsonValue* requests = doc.find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_EQ(requests->array.size(), 2u);
+  const JsonValue& good = requests->array[0];
+  EXPECT_TRUE(good.find("ok")->boolean);
+  EXPECT_EQ(good.find("error"), nullptr);  // only failures carry an error
+  ASSERT_NE(good.find("trace"), nullptr);
+  EXPECT_GT(good.find("trace")->find("spans")->number, 0.0);
+  const JsonValue& bad = requests->array[1];
+  EXPECT_FALSE(bad.find("ok")->boolean);
+  ASSERT_NE(bad.find("error"), nullptr);
+  EXPECT_NE(bad.find("error")->string.find("injected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcmm::serve

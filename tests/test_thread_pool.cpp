@@ -153,5 +153,43 @@ TEST(ThreadPool, RunBatchWithEmptyBatchIsANoOp) {
   pool.run_batch({});
 }
 
+TEST(ThreadPool, RunBatchThrowLeavesPoolUsable) {
+  // Exception-ownership regression (the serve dispatcher contract): the
+  // first worker throw is rethrown at the dispatch site and the pool keeps
+  // serving batches and regions afterwards — one failed task must never
+  // wedge or tear down the pool.
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks(2, [] {});
+  tasks[0] = [] { throw Error("batch boom"); };
+  EXPECT_THROW(pool.run_batch(tasks), Error);
+
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> next(4, [&] { counter.fetch_add(1); });
+  pool.run_batch(next);
+  EXPECT_EQ(counter.load(), 4);
+  pool.run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 6);
+
+  // Repeated failures keep the same contract (first_error_ is re-armed per
+  // dispatch, not sticky).
+  EXPECT_THROW(pool.run_batch(tasks), Error);
+  pool.run_batch(next);
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, RunBatchPropagatesNonStdException) {
+  // Workers capture with catch (...): a throw that is not derived from
+  // std::exception must still reach the dispatch site with its type intact.
+  struct NotAnException {};
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks(2, [] {});
+  tasks[0] = [] { throw NotAnException{}; };
+  EXPECT_THROW(pool.run_batch(tasks), NotAnException);
+
+  std::atomic<int> counter{0};
+  pool.run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
 }  // namespace
 }  // namespace mcmm

@@ -1,0 +1,336 @@
+// mcmm_serve — the GEMM-as-a-service daemon.
+//
+// Owns one GemmServer (pinned ThreadPool + per-worker KernelContext +
+// bounded MPMC admission ring) and exposes it two ways:
+//
+//   --self-test N   in-process traffic generator: N products spread over
+//                   --tenants concurrent client threads, then the
+//                   mcmm-serve-v1 stats document on stdout.  Exits
+//                   non-zero when any request fails — the no-socket
+//                   smoke path for CI and ctest.
+//
+//   --socket PATH   listen on a Unix domain socket with a newline text
+//                   protocol (one request per line, one JSON reply line):
+//
+//                     gemm <tenant> <m> <n> <z> <schedule> <seed>
+//                         operands are generated server-side with the
+//                         deterministic fill (SplitMix64 on <seed>), so
+//                         the wire stays tiny; the reply carries a
+//                         checksum of C for cross-run comparison
+//                     stats      -> the mcmm-serve-v1 document
+//                     ping       -> liveness probe
+//                     shutdown   -> drain, reply, exit
+//
+// Each connection is served by its own thread, so two clients on two
+// sockets ARE two tenants in flight: the server re-derives the partition
+// of CS and each request's tiling from the live tenant count.
+//
+// The machine model defaults to the host topology (sysfs) and can be
+// pinned down with --machine (an mcmm-calibrate profile) or explicit
+// --shared-cache/--private-cache byte overrides.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "gemm/matrix.hpp"
+#include "hw/affinity.hpp"
+#include "hw/machine_profile.hpp"
+#include "hw/topology.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using mcmm::Matrix;
+using mcmm::serve::GemmRequest;
+using mcmm::serve::GemmResponse;
+using mcmm::serve::GemmServer;
+using mcmm::serve::ScheduleKind;
+
+double checksum(const Matrix& m) {
+  double sum = 0;
+  const double* p = m.data();
+  const std::int64_t n = m.rows() * m.cols();
+  for (std::int64_t i = 0; i < n; ++i) sum += p[i];
+  return sum;
+}
+
+std::string response_json(const GemmResponse& r, double sum) {
+  mcmm::JsonWriter w;
+  w.begin_object();
+  w.kv("id", static_cast<std::int64_t>(r.id));
+  w.kv("tenant", r.tenant);
+  w.kv("ok", r.ok);
+  if (!r.ok) w.kv("error", r.error);
+  w.kv("schedule", mcmm::serve::to_string(r.schedule));
+  w.kv("active_tenants", r.active_tenants);
+  w.kv("lambda", r.tiling.lambda);
+  w.kv("queue_ms", r.queue_ms);
+  w.kv("exec_ms", r.exec_ms);
+  w.kv("checksum", sum);
+  w.end_object();
+  return w.str();
+}
+
+/// Generate the request operands and run it; the reply is one JSON line.
+std::string handle_gemm_line(GemmServer& server, const std::string& line) {
+  int tenant = 0;
+  long long m = 0, n = 0, z = 0;
+  char schedule_buf[32] = "auto";
+  unsigned long long seed = 1;
+  const int fields =
+      std::sscanf(line.c_str(), "gemm %d %lld %lld %lld %31s %llu", &tenant,
+                  &m, &n, &z, schedule_buf, &seed);
+  if (fields < 4 || m < 1 || n < 1 || z < 1 || m > 8192 || n > 8192 ||
+      z > 8192) {
+    return R"({"ok":false,"error":"usage: gemm <tenant> <m> <n> <z> [schedule] [seed]"})";
+  }
+  GemmRequest req;
+  req.tenant = tenant;
+  try {
+    req.schedule = mcmm::serve::parse_schedule_kind(schedule_buf);
+  } catch (const mcmm::Error& e) {
+    return std::string(R"({"ok":false,"error":")") +
+           mcmm::json_escape(e.what()) + "\"}";
+  }
+  Matrix a(m, z), b(z, n), c(m, n);
+  a.fill_random(seed);
+  b.fill_random(seed + 1);
+  req.a = &a;
+  req.b = &b;
+  req.c = &c;
+  const GemmResponse resp = server.run(req);
+  return response_json(resp, resp.ok ? checksum(c) : 0.0);
+}
+
+int run_self_test(GemmServer& server, int requests, int tenants,
+                  std::int64_t order) {
+  std::vector<std::thread> clients;
+  std::vector<int> failures(static_cast<std::size_t>(tenants), 0);
+  for (int t = 0; t < tenants; ++t) {
+    clients.emplace_back([&server, &failures, t, requests, tenants, order] {
+      const int mine = requests / tenants + (t < requests % tenants ? 1 : 0);
+      Matrix a(order, order), b(order, order), c(order, order);
+      a.fill_random(11 + static_cast<std::uint64_t>(t));
+      b.fill_random(29 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < mine; ++i) {
+        c.set_zero();
+        GemmRequest req;
+        req.tenant = t;
+        req.a = &a;
+        req.b = &b;
+        req.c = &c;
+        const GemmResponse resp = server.run(req);
+        if (!resp.ok) {
+          std::fprintf(stderr, "mcmm_serve: tenant %d request failed: %s\n",
+                       t, resp.error.c_str());
+          ++failures[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  server.shutdown();
+  std::printf("%s\n", server.stats_json().c_str());
+  int failed = 0;
+  for (int f : failures) failed += f;
+  return failed == 0 ? 0 : 1;
+}
+
+#ifdef __linux__
+/// One connection = one client loop; `gemm` lines block in server.run, so
+/// concurrent connections are concurrent tenants.  A `shutdown` command
+/// shuts the listener down too, unblocking the accept loop.
+void serve_connection(GemmServer& server, int fd, int listener,
+                      std::atomic<bool>& stop) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    std::size_t newline = buffer.find('\n');
+    while (newline == std::string::npos) {
+      const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+      if (got <= 0) {
+        ::close(fd);
+        return;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      newline = buffer.find('\n');
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    std::string reply;
+    bool last = false;
+    if (line.rfind("gemm", 0) == 0) {
+      reply = handle_gemm_line(server, line);
+    } else if (line == "stats") {
+      reply = server.stats_json();
+    } else if (line == "ping") {
+      reply = R"({"ok":true,"pong":true})";
+    } else if (line == "shutdown") {
+      reply = R"({"ok":true,"shutdown":true})";
+      last = true;
+    } else if (line.empty()) {
+      continue;
+    } else {
+      reply = R"({"ok":false,"error":"unknown command"})";
+    }
+    reply.push_back('\n');
+    ssize_t off = 0;
+    while (off < static_cast<ssize_t>(reply.size())) {
+      const ssize_t put =
+          ::write(fd, reply.data() + off, reply.size() - static_cast<std::size_t>(off));
+      if (put <= 0) break;
+      off += put;
+    }
+    if (last) {
+      stop.store(true);
+      ::shutdown(listener, SHUT_RDWR);
+      ::close(fd);
+      return;
+    }
+  }
+}
+
+int run_socket_server(GemmServer& server, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("mcmm_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "mcmm_serve: socket path too long\n");
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::perror("mcmm_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::printf("mcmm_serve: listening on %s\n", path.c_str());
+  std::fflush(stdout);
+
+  std::vector<std::thread> handlers;
+  std::atomic<bool> stop{false};
+  while (!stop.load()) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;  // listener shut down by a `shutdown` command
+    handlers.emplace_back([&server, fd, listener, &stop] {
+      serve_connection(server, fd, listener, stop);
+    });
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  for (std::thread& h : handlers) h.join();
+  server.shutdown();
+  std::printf("%s\n", server.stats_json().c_str());
+  return 0;
+}
+#endif  // __linux__
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcmm::CliParser cli;
+  cli.add_option("workers", "pool workers (default: machine/topology p)", "2");
+  cli.add_option("queue", "request ring capacity (power of two)", "64");
+  cli.add_option("max-tenants", "tenant slots (CS partitioned for 1..k)", "4");
+  cli.add_option("q", "block side in coefficients", "64");
+  cli.add_option("shared-cache", "shared cache bytes (0 = detect)", "0");
+  cli.add_option("private-cache", "per-core cache bytes (0 = detect)", "0");
+  cli.add_option("machine", "mcmm-machine-v1 profile to serve with", "");
+  cli.add_option("kernel", "micro-kernel path: auto|scalar|simd", "auto");
+  cli.add_flag("pin", "pin workers across private-cache domains");
+  cli.add_option("socket", "listen on this Unix domain socket path", "");
+  cli.add_option("self-test", "serve N in-process requests and exit", "0");
+  cli.add_option("tenants", "concurrent client threads for --self-test", "2");
+  cli.add_option("order", "matrix order for --self-test products", "192");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    GemmServer::Config config;
+    config.workers = static_cast<int>(cli.integer("workers"));
+    config.queue_capacity =
+        static_cast<std::size_t>(cli.integer("queue"));
+    config.max_tenants = static_cast<int>(cli.integer("max-tenants"));
+    config.q = cli.integer("q");
+    config.kernel = mcmm::parse_kernel_path(cli.str("kernel"));
+
+    mcmm::HostTopology topo;
+    if (!cli.str("machine").empty()) {
+      const mcmm::MachineProfile profile =
+          mcmm::load_machine_profile(cli.str("machine"));
+      topo = profile.topology;
+      const mcmm::MachineConfig mc = profile.machine_config();
+      if (!cli.is_set("workers")) config.workers = mc.p;
+      if (!cli.is_set("q")) config.q = profile.q;
+      config.sigma_s = mc.sigma_s;
+      config.sigma_d = mc.sigma_d;
+    } else {
+      topo = mcmm::detect_host_topology();
+    }
+    config.shared_cache_bytes = cli.integer("shared-cache") > 0
+                                    ? cli.integer("shared-cache")
+                                    : topo.shared_cache_bytes();
+    config.private_cache_bytes = cli.integer("private-cache") > 0
+                                     ? cli.integer("private-cache")
+                                     : topo.private_cache_bytes();
+    if (cli.flag("pin")) {
+      config.pin_cpus = mcmm::affinity_cpus(topo, config.workers);
+    }
+
+    GemmServer server(config);
+    std::fprintf(stderr,
+                 "mcmm_serve: %d workers (%d pinned), kernel %s, queue %zu, "
+                 "%d tenant slots\n",
+                 server.workers(), server.pinned_workers(),
+                 server.dispatch_name().c_str(), server.queue_capacity(),
+                 server.max_tenants());
+
+    const int self_test = static_cast<int>(cli.integer("self-test"));
+    if (self_test > 0) {
+      const int tenants = std::max(
+          1, std::min(static_cast<int>(cli.integer("tenants")),
+                      server.max_tenants()));
+      return run_self_test(server, self_test, tenants, cli.integer("order"));
+    }
+
+    const std::string socket_path = cli.str("socket");
+    if (!socket_path.empty()) {
+#ifdef __linux__
+      return run_socket_server(server, socket_path);
+#else
+      std::fprintf(stderr, "mcmm_serve: --socket requires Linux\n");
+      return 2;
+#endif
+    }
+
+    std::fprintf(stderr,
+                 "mcmm_serve: nothing to do (pass --socket PATH or "
+                 "--self-test N)\n");
+    return 2;
+  } catch (const mcmm::Error& e) {
+    std::fprintf(stderr, "mcmm_serve: %s\n", e.what());
+    return 2;
+  }
+}
