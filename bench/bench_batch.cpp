@@ -1,0 +1,309 @@
+// bench_batch — throughput bench for the batched small-shape GEMM engine
+// (src/batch), emitting the `mcmm-batch-v1` report.
+//
+// Three measured phases over one generated batch of independent products:
+//
+//   serial    — gemm_batch_serial: the same buckets executed one product
+//               at a time on one worker (the baseline AND the bit-identity
+//               oracle: the parallel engine must reproduce it exactly).
+//   parallel  — gemm_batch on the pinned ThreadPool, products claimed
+//               from the per-bucket atomic cursor (open loop: the whole
+//               batch is in flight at once; nothing waits on anything).
+//   pack amortisation — the same batch with a shared B versus per-product
+//               B operands, both traced, comparing the pack-B share of
+//               total attributed time.  A shared-B batch packs B once per
+//               batch instead of once per product, so its share must drop.
+//
+// The report carries products/sec for both engines, the speedup, the
+// per-bucket breakdown, and the pack-amortisation ratio.  Exit status:
+// non-zero when the parallel results are not bit-identical to the serial
+// ones, or when --min-speedup > 0 and the measured speedup falls short
+// (CI multi-core runners gate on >= 3; the default 0 is report-only so
+// single-core hosts still produce a valid report).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/gemm_batch.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/thread_pool.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using mcmm::ExecutionTracer;
+using mcmm::JsonWriter;
+using mcmm::KernelContext;
+using mcmm::Matrix;
+using mcmm::PhaseTotals;
+using mcmm::ThreadPool;
+using mcmm::TracePhase;
+using mcmm::TraceSummary;
+using mcmm::batch::BatchPolicy;
+using mcmm::batch::BatchProduct;
+using mcmm::batch::BatchResult;
+using mcmm::batch::BucketStats;
+
+double now_ms() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1e3;
+}
+
+/// One generated batch: the matrices live here, products point into them.
+struct Workload {
+  std::vector<std::unique_ptr<Matrix>> storage;
+  std::vector<BatchProduct> products;
+
+  Matrix* add(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+    storage.push_back(std::make_unique<Matrix>(r, c));
+    if (seed != 0) storage.back()->fill_random(seed);
+    return storage.back().get();
+  }
+
+  void reset_c() {
+    for (BatchProduct& p : products) {
+      for (std::int64_t i = 0; i < p.c->rows(); ++i) {
+        double* row = p.c->row_ptr(i);
+        for (std::int64_t j = 0; j < p.c->cols(); ++j) row[j] = 0;
+      }
+    }
+  }
+};
+
+/// `shared_b`: every product consumes ONE B operand (the amortisation
+/// case); otherwise each product owns its B.
+Workload make_workload(std::int64_t products, std::int64_t m, std::int64_t n,
+                       std::int64_t k, bool shared_b) {
+  Workload w;
+  Matrix* shared = shared_b ? w.add(k, n, 7777) : nullptr;
+  for (std::int64_t i = 0; i < products; ++i) {
+    const auto seed = static_cast<std::uint64_t>(2 * i + 1);
+    Matrix* a = w.add(m, k, seed);
+    Matrix* b = shared_b ? shared : w.add(k, n, seed + 1);
+    w.products.push_back(BatchProduct{w.add(m, n, 0), a, b});
+  }
+  return w;
+}
+
+double products_per_sec(std::int64_t products, double wall_ms) {
+  return wall_ms > 0 ? static_cast<double>(products) / (wall_ms / 1e3) : 0.0;
+}
+
+struct TracedRun {
+  BatchResult result;
+  double pack_b_ms = 0;
+  double attributed_ms = 0;  ///< pack-A + pack-B + micro-kernel
+};
+
+/// Run the batch on the pool with the tracer attached and distil the
+/// phase mix across every region (per-bucket pack + exec).
+TracedRun traced_parallel_run(Workload& w, ThreadPool& pool,
+                              KernelContext& ctx, ExecutionTracer& tracer,
+                              const BatchPolicy& policy) {
+  w.reset_c();
+  tracer.reset();
+  TracedRun run;
+  run.result = gemm_batch(w.products, pool, ctx, policy);
+  const TraceSummary summary = summarize_trace(tracer);
+  const PhaseTotals totals = aggregate_region_totals(summary);
+  run.pack_b_ms = totals.ms(TracePhase::kPackB);
+  run.attributed_ms = totals.ms(TracePhase::kPackA) + run.pack_b_ms +
+                      totals.ms(TracePhase::kMicroKernel);
+  return run;
+}
+
+void emit_buckets(JsonWriter& w, const std::vector<BucketStats>& buckets) {
+  w.key("buckets").begin_array();
+  for (const BucketStats& bucket : buckets) {
+    w.begin_object();
+    w.kv("m", bucket.shape.m);
+    w.kv("n", bucket.shape.n);
+    w.kv("k", bucket.shape.k);
+    w.kv("strategy", mcmm::batch::to_string(bucket.strategy));
+    w.kv("shared_b", bucket.shared_b);
+    w.kv("products", bucket.products);
+    w.kv("wall_ms", bucket.wall_ms);
+    w.kv("products_per_sec",
+         products_per_sec(bucket.products, bucket.wall_ms));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcmm::CliParser cli;
+  cli.add_option("products", "independent products in the batch", "1024");
+  cli.add_option("m", "rows of each C", "64");
+  cli.add_option("n", "cols of each C", "64");
+  cli.add_option("k", "inner dimension", "64");
+  cli.add_option("q", "block side for the packed path", "64");
+  cli.add_option("workers", "pool workers (0 = hardware concurrency)", "0");
+  cli.add_option("kernel", "kernel path: auto|scalar|simd", "auto");
+  cli.add_option("repeat", "timed repetitions; best wall time wins", "3");
+  cli.add_option("min-speedup",
+                 "fail unless parallel/serial products/sec >= this "
+                 "(0 = report-only)",
+                 "0");
+  cli.add_option("json", "write the mcmm-batch-v1 report here", "");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::int64_t products = cli.integer("products");
+    const std::int64_t m = cli.integer("m");
+    const std::int64_t n = cli.integer("n");
+    const std::int64_t k = cli.integer("k");
+    const std::int64_t repeat = cli.integer("repeat");
+    MCMM_REQUIRE(products >= 1 && m >= 1 && n >= 1 && k >= 1 && repeat >= 1,
+                 "bench_batch: products, m, n, k and repeat must be >= 1");
+    int workers = static_cast<int>(cli.integer("workers"));
+    if (workers == 0) {
+      workers = std::max(1u, std::thread::hardware_concurrency());
+    }
+    MCMM_REQUIRE(workers >= 1, "bench_batch: workers must be >= 0");
+    const mcmm::KernelPath path = mcmm::parse_kernel_path(cli.str("kernel"));
+    BatchPolicy policy;
+    policy.q = cli.integer("q");
+
+    ThreadPool pool(workers);
+    KernelContext ctx(workers, path);
+    ExecutionTracer tracer(workers);
+    pool.set_tracer(&tracer);
+    ctx.set_tracer(&tracer);
+
+    Workload w = make_workload(products, m, n, k, /*shared_b=*/false);
+
+    // Serial baseline (and oracle): keep the final C for the identity
+    // check.  Best-of-N wall time for both engines.
+    KernelContext serial_ctx(1, path);
+    double serial_ms = 0;
+    BatchResult serial;
+    for (std::int64_t r = 0; r < repeat; ++r) {
+      w.reset_c();
+      const double t0 = now_ms();
+      serial = gemm_batch_serial(w.products, serial_ctx, policy);
+      const double wall = now_ms() - t0;
+      if (r == 0 || wall < serial_ms) serial_ms = wall;
+    }
+    std::vector<Matrix> oracle;
+    for (const BatchProduct& p : w.products) oracle.push_back(*p.c);
+
+    double parallel_ms = 0;
+    TracedRun parallel;
+    for (std::int64_t r = 0; r < repeat; ++r) {
+      const double t0 = now_ms();
+      parallel = traced_parallel_run(w, pool, ctx, tracer, policy);
+      const double wall = now_ms() - t0;
+      if (r == 0 || wall < parallel_ms) parallel_ms = wall;
+    }
+
+    // Bit-identity: the parallel engine must reproduce the serial result
+    // exactly, for every product.
+    std::int64_t mismatched = 0;
+    for (std::size_t i = 0; i < w.products.size(); ++i) {
+      if (Matrix::max_abs_diff(*w.products[i].c, oracle[i]) != 0.0) {
+        ++mismatched;
+      }
+    }
+
+    const double serial_pps = products_per_sec(products, serial_ms);
+    const double parallel_pps = products_per_sec(products, parallel_ms);
+    const double speedup = serial_pps > 0 ? parallel_pps / serial_pps : 0.0;
+
+    // Pack amortisation: same shape and count, shared vs per-product B.
+    Workload shared_w = make_workload(products, m, n, k, /*shared_b=*/true);
+    const TracedRun unshared_run =
+        traced_parallel_run(w, pool, ctx, tracer, policy);
+    const TracedRun shared_run =
+        traced_parallel_run(shared_w, pool, ctx, tracer, policy);
+    const double unshared_share =
+        unshared_run.attributed_ms > 0
+            ? unshared_run.pack_b_ms / unshared_run.attributed_ms
+            : 0.0;
+    const double shared_share =
+        shared_run.attributed_ms > 0
+            ? shared_run.pack_b_ms / shared_run.attributed_ms
+            : 0.0;
+    const double amortisation_ratio =
+        shared_share > 0 ? unshared_share / shared_share : 0.0;
+
+    JsonWriter out;
+    out.begin_object();
+    out.kv("schema", "mcmm-batch-v1");
+    out.kv("workers", workers);
+    out.kv("kernel", ctx.dispatch_name());
+    out.kv("q", policy.q);
+    out.kv("products", products);
+    out.key("shape").begin_object();
+    out.kv("m", m);
+    out.kv("n", n);
+    out.kv("k", k);
+    out.end_object();
+    out.key("serial").begin_object();
+    out.kv("wall_ms", serial_ms);
+    out.kv("products_per_sec", serial_pps);
+    out.end_object();
+    out.key("parallel").begin_object();
+    out.kv("wall_ms", parallel_ms);
+    out.kv("products_per_sec", parallel_pps);
+    emit_buckets(out, parallel.result.buckets);
+    out.end_object();
+    out.kv("speedup", speedup);
+    out.kv("bit_identical", mismatched == 0);
+    out.key("pack_amortisation").begin_object();
+    out.key("unshared").begin_object();
+    out.kv("pack_b_ms", unshared_run.pack_b_ms);
+    out.kv("attributed_ms", unshared_run.attributed_ms);
+    out.kv("pack_b_share", unshared_share);
+    out.end_object();
+    out.key("shared").begin_object();
+    out.kv("pack_b_ms", shared_run.pack_b_ms);
+    out.kv("attributed_ms", shared_run.attributed_ms);
+    out.kv("pack_b_share", shared_share);
+    out.end_object();
+    out.kv("ratio", amortisation_ratio);
+    out.end_object();
+    out.end_object();
+
+    const std::string report = out.str();
+    std::printf("%s\n", report.c_str());
+    if (!cli.str("json").empty()) {
+      std::FILE* f = std::fopen(cli.str("json").c_str(), "w");
+      MCMM_REQUIRE(f != nullptr,
+                   "bench_batch: cannot write " + cli.str("json"));
+      std::fprintf(f, "%s\n", report.c_str());
+      std::fclose(f);
+    }
+
+    if (mismatched > 0) {
+      std::fprintf(stderr,
+                   "bench_batch: %lld products NOT bit-identical to the "
+                   "serial reference\n",
+                   static_cast<long long>(mismatched));
+      return 1;
+    }
+    const double min_speedup = cli.real("min-speedup");
+    if (min_speedup > 0 && speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "bench_batch: speedup %.2f below required %.2f\n", speedup,
+                   min_speedup);
+      return 1;
+    }
+    return 0;
+  } catch (const mcmm::Error& e) {
+    std::fprintf(stderr, "bench_batch: %s\n", e.what());
+    return 2;
+  }
+}

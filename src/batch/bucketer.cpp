@@ -1,0 +1,117 @@
+#include "batch/bucketer.hpp"
+
+#include <unordered_map>
+
+#include "gemm/kernel.hpp"
+#include "gemm/microkernel.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm::batch {
+
+const char* to_string(BucketStrategy strategy) {
+  switch (strategy) {
+    case BucketStrategy::kDirect:
+      return "direct";
+    case BucketStrategy::kPacked:
+      return "packed";
+    case BucketStrategy::kPackedSharedB:
+      return "packed-shared-b";
+  }
+  return "unknown";
+}
+
+std::int64_t direct_data_volume(std::int64_t m, std::int64_t n,
+                                std::int64_t k) {
+  return m * k * ceil_div(n, kMicroN) + k * n * ceil_div(m, kMicroM) + m * n;
+}
+
+std::int64_t packed_data_volume(std::int64_t m, std::int64_t n,
+                                std::int64_t k) {
+  return 3 * (m * k + k * n) + m * n;
+}
+
+bool prefer_direct(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return direct_data_volume(m, n, k) <= packed_data_volume(m, n, k);
+}
+
+namespace {
+
+/// Bucket key: shape class + (for shared-B splitting) the B operand.
+struct BucketKey {
+  ShapeClass shape;
+  const Matrix* b = nullptr;  ///< nullptr for the per-shape residual bucket
+
+  bool operator==(const BucketKey& o) const {
+    return shape == o.shape && b == o.b;
+  }
+};
+
+struct BucketKeyHash {
+  std::size_t operator()(const BucketKey& key) const {
+    std::uint64_t h = static_cast<std::uint64_t>(key.shape.m);
+    h = h * 0x9E3779B97F4A7C15ull ^ static_cast<std::uint64_t>(key.shape.n);
+    h = h * 0x9E3779B97F4A7C15ull ^ static_cast<std::uint64_t>(key.shape.k);
+    h = h * 0x9E3779B97F4A7C15ull ^
+        reinterpret_cast<std::uintptr_t>(key.b);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::vector<Bucket> bucket_products(const std::vector<BatchProduct>& products,
+                                    const BatchPolicy& policy) {
+  MCMM_REQUIRE(policy.q >= 1, "bucket_products: policy.q must be >= 1");
+  for (const BatchProduct& p : products) {
+    MCMM_REQUIRE(p.c != nullptr && p.a != nullptr && p.b != nullptr,
+                 "bucket_products: null matrix operand");
+    check_gemm_shapes(*p.c, *p.a, *p.b);
+  }
+
+  // Pass 1: how often each B operand recurs within its shape class, so
+  // pass 2 can decide per product whether its pack-B would amortise.
+  std::unordered_map<BucketKey, std::int64_t, BucketKeyHash> b_uses;
+  for (const BatchProduct& p : products) {
+    const ShapeClass shape{p.c->rows(), p.c->cols(), p.a->cols()};
+    ++b_uses[BucketKey{shape, p.b}];
+  }
+
+  std::vector<Bucket> buckets;
+  std::unordered_map<BucketKey, std::size_t, BucketKeyHash> index;
+  for (std::size_t i = 0; i < products.size(); ++i) {
+    const BatchProduct& p = products[i];
+    const ShapeClass shape{p.c->rows(), p.c->cols(), p.a->cols()};
+
+    BucketStrategy strategy;
+    if (policy.force) {
+      strategy = policy.forced;
+    } else if (prefer_direct(shape.m, shape.n, shape.k)) {
+      // No pack on the direct path, so there is nothing to amortise:
+      // shared B never upgrades a direct bucket.
+      strategy = BucketStrategy::kDirect;
+    } else if (b_uses[BucketKey{shape, p.b}] >= policy.min_shared_b) {
+      strategy = BucketStrategy::kPackedSharedB;
+    } else {
+      strategy = BucketStrategy::kPacked;
+    }
+
+    // Shared-B buckets are keyed on the operand so every bucket has ONE
+    // panel set; everything else pools per shape class.
+    const bool shared = strategy == BucketStrategy::kPackedSharedB;
+    const BucketKey key{shape, shared ? p.b : nullptr};
+    auto it = index.find(key);
+    if (it == index.end()) {
+      Bucket bucket;
+      bucket.shape = shape;
+      bucket.strategy = strategy;
+      bucket.shared_b = shared ? p.b : nullptr;
+      it = index.emplace(key, buckets.size()).first;
+      buckets.push_back(std::move(bucket));
+    }
+    buckets[it->second].items.push_back(i);
+  }
+  return buckets;
+}
+
+}  // namespace mcmm::batch

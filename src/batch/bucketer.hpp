@@ -1,0 +1,119 @@
+// Shape-bucketed scheduling for batched small-shape GEMM (src/batch).
+//
+// A batch is thousands of independent, possibly ragged products.  The
+// bucketer groups them by (m, n, k) class and picks one execution
+// strategy per bucket:
+//
+//  * kDirect — whole-product-per-worker with packing skipped.  Below a
+//    modelled crossover the pack traffic costs more than it saves, the
+//    regime the paper's Tdata = MS/sigma_S + MD/sigma_D accounting makes
+//    precise (see direct_data_volume / packed_data_volume below and
+//    docs/batching.md for the derivation).
+//  * kPacked — the per-worker packed micro-kernel path
+//    (KernelContext::block_op), exactly gemm_micro's loop per product.
+//  * kPackedSharedB — kPacked, but every product in the bucket shares
+//    one B operand: B is packed ONCE into a shared read-only panel set
+//    (SharedPackedB) and all workers consume it via block_op_packed_b.
+//    The server-side analogue of the paper's operand-reuse parameter.
+//
+// Strategy choice is per bucket, deterministic, and independent of the
+// worker count, so results can be compared bit-for-bit against a serial
+// gemm_micro loop (see gemm_batch.hpp for how kDirect keeps that true).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gemm/matrix.hpp"
+
+namespace mcmm::batch {
+
+/// One product of a batch: C += A * B.  The caller owns the matrices and
+/// keeps them alive (and the A/B contents untouched) until gemm_batch
+/// returns.  Distinct products must write distinct C matrices.
+struct BatchProduct {
+  Matrix* c = nullptr;
+  const Matrix* a = nullptr;
+  const Matrix* b = nullptr;
+};
+
+/// The (m, n, k) shape class a bucket collects.
+struct ShapeClass {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+
+  bool operator==(const ShapeClass& o) const {
+    return m == o.m && n == o.n && k == o.k;
+  }
+};
+
+enum class BucketStrategy : std::uint8_t {
+  kDirect = 0,     ///< unpacked whole-product per worker (tiny shapes)
+  kPacked,         ///< per-worker packed micro-kernel path
+  kPackedSharedB,  ///< packed path consuming one shared packed B
+};
+
+/// Stable names: "direct", "packed", "packed-shared-b".
+const char* to_string(BucketStrategy strategy);
+
+/// Knobs for bucketing and strategy choice.
+struct BatchPolicy {
+  std::int64_t q = 64;  ///< block side for the packed path (>= 1)
+
+  /// Minimum products sharing one B operand before the bucket is split
+  /// out onto the shared-packed-B path (the pack must amortise over at
+  /// least this many consumers).
+  std::int64_t min_shared_b = 2;
+
+  /// Force one strategy for every bucket (tests, ablations); kAuto-like
+  /// behaviour when unset.
+  bool force = false;
+  BucketStrategy forced = BucketStrategy::kPacked;
+};
+
+/// Data volume (coefficient reads + C writes) of one unpacked product:
+/// without packing, every MR x NR register tile re-streams its A strip
+/// and B strip, so A is read once per NR-wide column strip and B once
+/// per MR-wide row strip:
+///
+///   Vdirect = m*k * ceil(n/NR) + k*n * ceil(m/MR) + m*n
+std::int64_t direct_data_volume(std::int64_t m, std::int64_t n,
+                                std::int64_t k);
+
+/// Data volume of the packed path: A and B are each read once, written
+/// once into panels, and the panels re-streamed by the kernel (the
+/// panel re-reads hit cache for the small shapes this model arbitrates,
+/// but they are still transfers the paper's sigma_D level pays):
+///
+///   Vpacked = 3*(m*k + k*n) + m*n
+std::int64_t packed_data_volume(std::int64_t m, std::int64_t n,
+                                std::int64_t k);
+
+/// The modelled crossover: pack only when it moves less data.  For square
+/// shapes this flips around order ~16 (a 16x16x16 product runs direct,
+/// 64x64x64 packs) — the batched small-shape regime the Tdata model
+/// predicts packing cannot pay for.
+bool prefer_direct(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// One bucket: every product of one shape class (and, for
+/// kPackedSharedB, one shared B operand), with its chosen strategy.
+struct Bucket {
+  ShapeClass shape;
+  BucketStrategy strategy = BucketStrategy::kPacked;
+  const Matrix* shared_b = nullptr;  ///< non-null iff kPackedSharedB
+  std::vector<std::size_t> items;    ///< indices into the batch, in order
+};
+
+/// Group `products` into buckets and pick each bucket's strategy.
+/// Deterministic: buckets appear in first-appearance order of their
+/// (shape, shared-B) key and items keep batch order.  Products whose B
+/// pointer recurs >= policy.min_shared_b times within a shape class form
+/// a shared-B bucket (unless the shape prefers the direct path, where
+/// there is no pack to amortise).  Throws mcmm::Error on null operands
+/// or mismatched product shapes.
+std::vector<Bucket> bucket_products(const std::vector<BatchProduct>& products,
+                                    const BatchPolicy& policy);
+
+}  // namespace mcmm::batch

@@ -1,0 +1,275 @@
+#include "batch/gemm_batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+#include "gemm/microkernel.hpp"
+#include "gemm/pack.hpp"
+#include "obs/tracer.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace mcmm::batch {
+
+namespace {
+
+double now_ms() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1e3;
+}
+
+/// Tracks which operands each worker's pack memo is valid for; the memo
+/// keys are offsets only, so moving to a product with different matrices
+/// must invalidate that worker (and only that worker).
+struct MemoGuard {
+  std::vector<const Matrix*> a, b;
+
+  explicit MemoGuard(int workers)
+      : a(static_cast<std::size_t>(workers), nullptr),
+        b(static_cast<std::size_t>(workers), nullptr) {}
+
+  void ensure(KernelContext& ctx, int worker, const Matrix* pa,
+              const Matrix* pb) {
+    const auto w = static_cast<std::size_t>(worker);
+    if (a[w] != pa || b[w] != pb) {
+      ctx.invalidate_worker(worker);
+      a[w] = pa;
+      b[w] = pb;
+    }
+  }
+};
+
+/// gemm_micro's block loop on the claiming worker (same order, same
+/// block_op calls => bit-identical results).
+void packed_product(KernelContext& ctx, int worker, Matrix& c, const Matrix& a,
+                    const Matrix& b, std::int64_t q) {
+  const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  for (std::int64_t i0 = 0; i0 < m; i0 += q) {
+    const std::int64_t mb = std::min(q, m - i0);
+    for (std::int64_t k0 = 0; k0 < z; k0 += q) {
+      const std::int64_t kb = std::min(q, z - k0);
+      for (std::int64_t j0 = 0; j0 < n; j0 += q) {
+        const std::int64_t nb = std::min(q, n - j0);
+        ctx.block_op(worker, c, a, b, i0, j0, k0, mb, nb, kb);
+      }
+    }
+  }
+}
+
+/// The same loop consuming the bucket's shared packed B panels.
+void shared_b_product(KernelContext& ctx, int worker, Matrix& c,
+                      const Matrix& a, const SharedPackedB& panels,
+                      std::int64_t q) {
+  const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  for (std::int64_t i0 = 0; i0 < m; i0 += q) {
+    const std::int64_t mb = std::min(q, m - i0);
+    for (std::int64_t k0 = 0; k0 < z; k0 += q) {
+      const std::int64_t kb = std::min(q, z - k0);
+      for (std::int64_t j0 = 0; j0 < n; j0 += q) {
+        const std::int64_t nb = std::min(q, n - j0);
+        ctx.block_op_packed_b(worker, c, a, panels.panel(k0, j0), i0, j0, k0,
+                              mb, nb, kb);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void direct_product(Matrix& c, const Matrix& a, const Matrix& b,
+                    std::int64_t q, bool fused) {
+  const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  const std::int64_t ldb = b.cols();
+  // Per coefficient this is exactly the packed path's value chain: for
+  // each ascending k-block, a zero-initialised accumulator folded
+  // k-ascending, then added to C once.  The micro-kernel's accumulate is
+  // fused per lane on the SIMD path (mirrored with std::fma) and a plain
+  // mul+add on the scalar path (the generic x86-64 target cannot
+  // contract), so both mirrors are bit-exact.
+  for (std::int64_t k0 = 0; k0 < z; k0 += q) {
+    const std::int64_t kb = std::min(q, z - k0);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const double* arow = a.row_ptr(i) + k0;
+      const double* bblock = b.row_ptr(k0);
+      double* crow = c.row_ptr(i);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double* bcol = bblock + j;
+        double s = 0;
+        if (fused) {
+          for (std::int64_t k = 0; k < kb; ++k) {
+            s = std::fma(arow[k], bcol[k * ldb], s);
+          }
+        } else {
+          for (std::int64_t k = 0; k < kb; ++k) {
+            s += arow[k] * bcol[k * ldb];
+          }
+        }
+        crow[j] += s;
+      }
+    }
+  }
+}
+
+SharedPackedB::SharedPackedB(std::int64_t k, std::int64_t n, std::int64_t q)
+    : k_(k), n_(n), q_(q), jblocks_(ceil_div(n, q)) {
+  MCMM_REQUIRE(k >= 0 && n >= 0 && q >= 1, "SharedPackedB: bad geometry");
+  std::size_t total = 0;
+  for (std::int64_t k0 = 0; k0 < k_; k0 += q_) {
+    const std::int64_t kb = std::min(q_, k_ - k0);
+    for (std::int64_t j0 = 0; j0 < n_; j0 += q_) {
+      const std::int64_t nb = std::min(q_, n_ - j0);
+      offsets_.push_back(total);
+      total += static_cast<std::size_t>(packed_b_size(kb, nb, kMicroN));
+    }
+  }
+  buf_.resize(std::max<std::size_t>(total, 1));
+}
+
+void SharedPackedB::block_coords(std::int64_t index, std::int64_t& k0,
+                                 std::int64_t& j0) const {
+  MCMM_ASSERT(index >= 0 && index < blocks(),
+              "SharedPackedB: block index out of range");
+  k0 = (index / jblocks_) * q_;
+  j0 = (index % jblocks_) * q_;
+}
+
+void SharedPackedB::pack_block(const Matrix& b, std::int64_t index) {
+  std::int64_t k0 = 0, j0 = 0;
+  block_coords(index, k0, j0);
+  const std::int64_t kb = std::min(q_, k_ - k0);
+  const std::int64_t nb = std::min(q_, n_ - j0);
+  pack_b_panel(b, k0, j0, kb, nb, kMicroN,
+               buf_.data() + offsets_[static_cast<std::size_t>(index)]);
+}
+
+const double* SharedPackedB::panel(std::int64_t k0, std::int64_t j0) const {
+  const std::int64_t index = (k0 / q_) * jblocks_ + j0 / q_;
+  MCMM_ASSERT(index >= 0 && index < blocks(),
+              "SharedPackedB: panel offsets out of range");
+  return buf_.data() + offsets_[static_cast<std::size_t>(index)];
+}
+
+BatchResult gemm_batch(const std::vector<BatchProduct>& batch,
+                       ThreadPool& pool, KernelContext& ctx,
+                       const BatchPolicy& policy) {
+  MCMM_REQUIRE(ctx.workers() >= pool.workers(),
+               "gemm_batch: context has fewer workers than the pool");
+  const std::vector<Bucket> buckets = bucket_products(batch, policy);
+  ctx.invalidate();
+  MemoGuard memo(ctx.workers());
+  ExecutionTracer* const tracer = ctx.tracer();
+
+  BatchResult result;
+  result.products = static_cast<std::int64_t>(batch.size());
+  const double t0 = now_ms();
+  for (const Bucket& bucket : buckets) {
+    const double bucket_t0 = now_ms();
+
+    // Amortised packing: fill the shared panels once, in parallel, with
+    // each pack recorded as a pack-B span — the tracer is how the bench
+    // proves the per-product pack cost collapsed to a per-batch one.
+    SharedPackedB panels(bucket.shape.k, bucket.shape.n, policy.q);
+    if (bucket.strategy == BucketStrategy::kPackedSharedB) {
+      const Matrix* shared_b = bucket.shared_b;
+      std::atomic<std::int64_t> pack_cursor{0};
+      pool.set_trace_label("batch-pack-b");
+      pool.run_on_all([&](int worker) {
+        for (;;) {
+          const std::int64_t blk =
+              pack_cursor.fetch_add(1, std::memory_order_relaxed);
+          if (blk >= panels.blocks()) return;
+          const std::int64_t begin_ns =
+              tracer != nullptr ? tracer->now_ns() : 0;
+          panels.pack_block(*shared_b, blk);
+          if (tracer != nullptr) {
+            tracer->record(worker, TracePhase::kPackB, begin_ns,
+                           tracer->now_ns());
+          }
+        }
+      });
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    switch (bucket.strategy) {
+      case BucketStrategy::kDirect:
+        pool.set_trace_label("batch-direct");
+        break;
+      case BucketStrategy::kPacked:
+        pool.set_trace_label("batch-packed");
+        break;
+      case BucketStrategy::kPackedSharedB:
+        pool.set_trace_label("batch-packed-shared-b");
+        break;
+    }
+    const bool fused = ctx.fused();
+    pool.run_on_all([&](int worker) {
+      for (;;) {
+        const std::size_t slot =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= bucket.items.size()) return;
+        const BatchProduct& p = batch[bucket.items[slot]];
+        switch (bucket.strategy) {
+          case BucketStrategy::kDirect:
+            direct_product(*p.c, *p.a, *p.b, policy.q, fused);
+            break;
+          case BucketStrategy::kPacked:
+            memo.ensure(ctx, worker, p.a, p.b);
+            packed_product(ctx, worker, *p.c, *p.a, *p.b, policy.q);
+            break;
+          case BucketStrategy::kPackedSharedB:
+            memo.ensure(ctx, worker, p.a, p.b);
+            shared_b_product(ctx, worker, *p.c, *p.a, panels, policy.q);
+            break;
+        }
+      }
+    });
+
+    BucketStats stats;
+    stats.shape = bucket.shape;
+    stats.strategy = bucket.strategy;
+    stats.shared_b = bucket.shared_b != nullptr;
+    stats.products = static_cast<std::int64_t>(bucket.items.size());
+    stats.wall_ms = now_ms() - bucket_t0;
+    result.buckets.push_back(stats);
+  }
+  result.wall_ms = now_ms() - t0;
+  return result;
+}
+
+BatchResult gemm_batch_serial(const std::vector<BatchProduct>& batch,
+                              KernelContext& ctx, const BatchPolicy& policy) {
+  const std::vector<Bucket> buckets = bucket_products(batch, policy);
+  const bool fused = ctx.fused();
+  BatchResult result;
+  result.products = static_cast<std::int64_t>(batch.size());
+  const double t0 = now_ms();
+  for (const Bucket& bucket : buckets) {
+    const double bucket_t0 = now_ms();
+    for (const std::size_t item : bucket.items) {
+      const BatchProduct& p = batch[item];
+      if (bucket.strategy == BucketStrategy::kDirect) {
+        direct_product(*p.c, *p.a, *p.b, policy.q, fused);
+      } else {
+        // Both packed strategies are bit-identical to gemm_micro, so the
+        // serial face of either is exactly a gemm_micro loop.
+        gemm_micro(*p.c, *p.a, *p.b, policy.q, ctx);
+      }
+    }
+    BucketStats stats;
+    stats.shape = bucket.shape;
+    stats.strategy = bucket.strategy;
+    stats.shared_b = bucket.shared_b != nullptr;
+    stats.products = static_cast<std::int64_t>(bucket.items.size());
+    stats.wall_ms = now_ms() - bucket_t0;
+    result.buckets.push_back(stats);
+  }
+  result.wall_ms = now_ms() - t0;
+  return result;
+}
+
+}  // namespace mcmm::batch

@@ -1,0 +1,112 @@
+// gemm_batch — execute thousands of independent (possibly ragged) GEMM
+// products on the pinned ThreadPool + per-worker KernelContext engine.
+//
+// The batch is bucketed by shape class (bucketer.hpp); each bucket runs
+// as one parallel region in which workers claim whole products from a
+// shared atomic cursor (dynamic load balancing: ragged shapes and
+// heterogeneous costs never leave a worker idle while products remain).
+// One product is computed by exactly ONE worker, with the same block
+// sequence gemm_micro uses, so the result for every product is
+// bit-identical to a serial gemm_micro loop — for every bucket strategy
+// and every worker count:
+//
+//  * kPacked       — gemm_micro's (i0, k0, j0) block loop through
+//                    KernelContext::block_op on the claiming worker.
+//  * kPackedSharedB — the bucket's shared B is packed once (in parallel,
+//                    traced as pack-B) into a SharedPackedB panel set
+//                    with exactly pack_b_panel's layout, then consumed by
+//                    every worker via block_op_packed_b.  Identical panel
+//                    bytes => identical kernel results; the pack cost is
+//                    paid once per batch instead of once per product.
+//  * kDirect       — no packing at all.  The per-coefficient arithmetic
+//                    of the micro-kernel is mirrored exactly: for each
+//                    ascending k-block, an accumulator folded k-ascending
+//                    (std::fma when the dispatched kernel fuses, mul+add
+//                    when it does not) then added to C — the same value
+//                    chain the packed path produces, without the panels.
+//
+// Per-worker pack memos are keyed on block offsets only, so the engine
+// invalidates a worker's memo whenever it moves to a product with
+// different operands (KernelContext::invalidate_worker); products that
+// share operands keep the memo warm for free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batch/bucketer.hpp"
+#include "gemm/kernel.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/thread_pool.hpp"
+
+namespace mcmm::batch {
+
+/// A bucket's shared B operand packed once for the whole batch: the
+/// NR-strided panels of every (k0, j0) q-block, byte-identical to what
+/// pack_b_panel would produce per worker, laid out back to back.
+class SharedPackedB {
+ public:
+  /// Lay out (but do not fill) panels for a (k x n) B at block side q.
+  SharedPackedB(std::int64_t k, std::int64_t n, std::int64_t q);
+
+  std::int64_t blocks() const {
+    return static_cast<std::int64_t>(offsets_.size());
+  }
+
+  /// Pack block `index` (row-major over the (k0, j0) grid) from `b`.
+  void pack_block(const Matrix& b, std::int64_t index);
+
+  /// The packed panel for the block containing (k0, j0); offsets must be
+  /// multiples of q inside the layout.
+  const double* panel(std::int64_t k0, std::int64_t j0) const;
+
+  /// Block coordinates of `index` in the (k0, j0) grid.
+  void block_coords(std::int64_t index, std::int64_t& k0,
+                    std::int64_t& j0) const;
+
+ private:
+  std::int64_t k_ = 0, n_ = 0, q_ = 0;
+  std::int64_t jblocks_ = 0;
+  std::vector<std::size_t> offsets_;  ///< per block, into buf_
+  AlignedVector buf_;
+};
+
+/// Per-bucket execution record for reports.
+struct BucketStats {
+  ShapeClass shape;
+  BucketStrategy strategy = BucketStrategy::kPacked;
+  bool shared_b = false;
+  std::int64_t products = 0;
+  double wall_ms = 0;  ///< this bucket's parallel region(s), incl. pack
+};
+
+struct BatchResult {
+  std::int64_t products = 0;
+  double wall_ms = 0;
+  std::vector<BucketStats> buckets;
+};
+
+/// Execute every product of `batch` on `pool` through `ctx`.  `ctx` must
+/// have at least pool.workers() workers.  Results are bit-identical to
+/// gemm_batch_serial on the same batch and policy.  Throws mcmm::Error on
+/// invalid products (via bucket_products); worker exceptions propagate
+/// from the pool's dispatch site.
+BatchResult gemm_batch(const std::vector<BatchProduct>& batch,
+                       ThreadPool& pool, KernelContext& ctx,
+                       const BatchPolicy& policy = {});
+
+/// The serial reference: the same buckets and strategies executed one
+/// product at a time on worker 0 — a loop of gemm_micro for the packed
+/// strategies (which are bit-identical to gemm_micro by construction)
+/// and of the mirrored direct product for kDirect.  The bench's baseline
+/// and the bit-identity oracle of the tests.
+BatchResult gemm_batch_serial(const std::vector<BatchProduct>& batch,
+                              KernelContext& ctx,
+                              const BatchPolicy& policy = {});
+
+/// One unpacked product mirroring the micro-kernel's per-coefficient
+/// arithmetic (see the header comment); exposed for tests.
+void direct_product(Matrix& c, const Matrix& a, const Matrix& b,
+                    std::int64_t q, bool fused);
+
+}  // namespace mcmm::batch

@@ -149,21 +149,19 @@ void KernelContext::invalidate() {
   }
 }
 
-void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
-                             const Matrix& b, std::int64_t i0, std::int64_t j0,
-                             std::int64_t k0, std::int64_t mb, std::int64_t nb,
-                             std::int64_t kb) {
+void KernelContext::invalidate_worker(int worker) {
   MCMM_REQUIRE(worker >= 0 && worker < workers(),
-               "KernelContext::block_op: bad worker id");
-  if (mb <= 0 || nb <= 0 || kb <= 0) return;
+               "KernelContext::invalidate_worker: bad worker id");
   WorkerState& st = states_[static_cast<std::size_t>(worker)];
+  st.a_key = PackKey{};
+  for (BSlot& slot : st.b) slot.key = PackKey{};
+}
 
-  // Phase spans chain off one running timestamp, so a fully instrumented
-  // block op costs at most four clock reads (pack-A end doubles as pack-B
-  // begin doubles as micro begin).
-  ExecutionTracer* const tracer = tracer_;
-  std::int64_t mark_ns = tracer != nullptr ? tracer->now_ns() : 0;
-
+const double* KernelContext::pack_a_memo(WorkerState& st, int worker,
+                                         const Matrix& a, std::int64_t i0,
+                                         std::int64_t k0, std::int64_t mb,
+                                         std::int64_t kb,
+                                         std::int64_t& mark_ns) {
   // The schedules revisit A blocks along a row of C and B blocks across
   // their tile loops; memoising the packed panels per worker turns those
   // revisits into free reuse instead of repacking.
@@ -172,32 +170,20 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
     if (st.a_buf.size() < need) st.a_buf.resize(need);
     pack_a_panel(a, i0, k0, mb, kb, kMicroM, st.a_buf.data());
     st.a_key = {i0, k0, mb, kb};
-    if (tracer != nullptr) {
-      const std::int64_t t = tracer->now_ns();
-      tracer->record(worker, TracePhase::kPackA, mark_ns, t);
+    if (tracer_ != nullptr) {
+      const std::int64_t t = tracer_->now_ns();
+      tracer_->record(worker, TracePhase::kPackA, mark_ns, t);
       mark_ns = t;
     }
   }
-  // Mix from the high bits: block offsets are multiples of q, so the low
-  // bits of (j0, k0) carry no entropy.
-  const std::uint64_t hash =
-      static_cast<std::uint64_t>(j0) * 0x9E3779B97F4A7C15ull ^
-      static_cast<std::uint64_t>(k0) * 0xC2B2AE3D27D4EB4Full;
-  BSlot& slot = st.b[static_cast<std::size_t>(hash >> 32) % kBSlots];
-  if (!slot.key.matches(k0, j0, kb, nb)) {
-    const auto need = static_cast<std::size_t>(packed_b_size(kb, nb, kMicroN));
-    if (slot.buf.size() < need) slot.buf.resize(need);
-    pack_b_panel(b, k0, j0, kb, nb, kMicroN, slot.buf.data());
-    slot.key = {k0, j0, kb, nb};
-    if (tracer != nullptr) {
-      const std::int64_t t = tracer->now_ns();
-      tracer->record(worker, TracePhase::kPackB, mark_ns, t);
-      mark_ns = t;
-    }
-  }
+  return st.a_buf.data();
+}
 
-  const double* ap = st.a_buf.data();
-  const double* bp = slot.buf.data();
+void KernelContext::micro_tiles(int worker, Matrix& c, const double* ap,
+                                const double* bp, std::int64_t i0,
+                                std::int64_t j0, std::int64_t mb,
+                                std::int64_t nb, std::int64_t kb,
+                                std::int64_t mark_ns) {
   const std::int64_t ldc = c.cols();
   for (std::int64_t jt = 0; jt < nb; jt += kMicroN) {
     const std::int64_t nr_eff = std::min(kMicroN, nb - jt);
@@ -221,17 +207,72 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
       }
     }
   }
-  if (tracer != nullptr) {
-    tracer->record(worker, TracePhase::kMicroKernel, mark_ns, tracer->now_ns());
+  if (tracer_ != nullptr) {
+    tracer_->record(worker, TracePhase::kMicroKernel, mark_ns,
+                    tracer_->now_ns());
   }
+}
+
+void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
+                             const Matrix& b, std::int64_t i0, std::int64_t j0,
+                             std::int64_t k0, std::int64_t mb, std::int64_t nb,
+                             std::int64_t kb) {
+  MCMM_REQUIRE(worker >= 0 && worker < workers(),
+               "KernelContext::block_op: bad worker id");
+  if (mb <= 0 || nb <= 0 || kb <= 0) return;
+  WorkerState& st = states_[static_cast<std::size_t>(worker)];
+
+  // Phase spans chain off one running timestamp, so a fully instrumented
+  // block op costs at most four clock reads (pack-A end doubles as pack-B
+  // begin doubles as micro begin).
+  std::int64_t mark_ns = tracer_ != nullptr ? tracer_->now_ns() : 0;
+
+  const double* ap = pack_a_memo(st, worker, a, i0, k0, mb, kb, mark_ns);
+  // Mix from the high bits: block offsets are multiples of q, so the low
+  // bits of (j0, k0) carry no entropy.
+  const std::uint64_t hash =
+      static_cast<std::uint64_t>(j0) * 0x9E3779B97F4A7C15ull ^
+      static_cast<std::uint64_t>(k0) * 0xC2B2AE3D27D4EB4Full;
+  BSlot& slot = st.b[static_cast<std::size_t>(hash >> 32) % kBSlots];
+  if (!slot.key.matches(k0, j0, kb, nb)) {
+    const auto need = static_cast<std::size_t>(packed_b_size(kb, nb, kMicroN));
+    if (slot.buf.size() < need) slot.buf.resize(need);
+    pack_b_panel(b, k0, j0, kb, nb, kMicroN, slot.buf.data());
+    slot.key = {k0, j0, kb, nb};
+    if (tracer_ != nullptr) {
+      const std::int64_t t = tracer_->now_ns();
+      tracer_->record(worker, TracePhase::kPackB, mark_ns, t);
+      mark_ns = t;
+    }
+  }
+
+  micro_tiles(worker, c, ap, slot.buf.data(), i0, j0, mb, nb, kb, mark_ns);
+}
+
+void KernelContext::block_op_packed_b(int worker, Matrix& c, const Matrix& a,
+                                      const double* packed_b, std::int64_t i0,
+                                      std::int64_t j0, std::int64_t k0,
+                                      std::int64_t mb, std::int64_t nb,
+                                      std::int64_t kb) {
+  MCMM_REQUIRE(worker >= 0 && worker < workers(),
+               "KernelContext::block_op_packed_b: bad worker id");
+  if (mb <= 0 || nb <= 0 || kb <= 0) return;
+  WorkerState& st = states_[static_cast<std::size_t>(worker)];
+
+  std::int64_t mark_ns = tracer_ != nullptr ? tracer_->now_ns() : 0;
+  const double* ap = pack_a_memo(st, worker, a, i0, k0, mb, kb, mark_ns);
+  micro_tiles(worker, c, ap, packed_b, i0, j0, mb, nb, kb, mark_ns);
 }
 
 void gemm_micro(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t q,
                 KernelContext& ctx) {
   check_gemm_shapes(c, a, b);
   MCMM_REQUIRE(q >= 1, "gemm_micro: block size must be >= 1");
-  ctx.invalidate();
   const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
+  // A degenerate product (any dimension 0) is an empty sum: return before
+  // touching the context so pack buffers and memo keys stay untouched.
+  if (m == 0 || n == 0 || z == 0) return;
+  ctx.invalidate();
   for (std::int64_t i0 = 0; i0 < m; i0 += q) {
     const std::int64_t mb = std::min(q, m - i0);
     for (std::int64_t k0 = 0; k0 < z; k0 += q) {

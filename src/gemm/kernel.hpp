@@ -80,17 +80,39 @@ public:
   /// Dispatch string for reports, e.g. "avx2-fma-4x8" or "scalar-4x8".
   const std::string& dispatch_name() const { return name_; }
 
+  /// Whether the dispatched micro-kernel contracts multiply-adds (FMA).
+  /// The batch engine's direct path mirrors this per coefficient
+  /// (std::fma vs mul+add) so skipping the packed path stays bit-identical.
+  bool fused() const { return kernel_.fused; }
+
   /// C[i0.., j0..] += A[i0.., k0..] * B[k0.., j0..] over an
   /// (mb x nb x kb) sub-problem, using `worker`'s packing buffers.
   void block_op(int worker, Matrix& c, const Matrix& a, const Matrix& b,
                 std::int64_t i0, std::int64_t j0, std::int64_t k0,
                 std::int64_t mb, std::int64_t nb, std::int64_t kb);
 
+  /// block_op with the B panel supplied by the caller: `packed_b` must
+  /// hold B[k0.., j0..] NR-strided exactly as pack_b_panel would produce
+  /// it (kb x nb, zero-padded ragged strips).  A is still packed and
+  /// memoised per worker; no B slot is touched, so a batch-wide shared
+  /// panel is consumed without repacking (src/batch amortised packing).
+  void block_op_packed_b(int worker, Matrix& c, const Matrix& a,
+                         const double* packed_b, std::int64_t i0,
+                         std::int64_t j0, std::int64_t k0, std::int64_t mb,
+                         std::int64_t nb, std::int64_t kb);
+
   /// Drop every memoised panel (buffers are kept).  The memo is keyed on
   /// block offsets only, so it is valid for one (A, B) pair; every engine
   /// entry point (gemm_micro, the parallel schedules) calls this before a
   /// product.  Direct block_op users working on fresh matrices must too.
   void invalidate();
+
+  /// Drop one worker's memoised panels only.  The batch engine runs many
+  /// independent products per parallel region, each on one worker; when a
+  /// worker moves to a product with different operands its memo is stale
+  /// while its siblings' memos are still live, so a full invalidate()
+  /// would be both racy and wasteful.
+  void invalidate_worker(int worker);
 
   /// Attach an ExecutionTracer (nullptr detaches): block_op then records
   /// pack-A / pack-B / micro-kernel spans per worker (2-4 steady-clock
@@ -120,6 +142,17 @@ private:
     AlignedVector a_buf;
     std::array<BSlot, kBSlots> b;
   };
+
+  /// Pack (memoised) the A sub-block into `st` and return the panel;
+  /// records a kPackA span and advances `mark_ns` on a memo miss.
+  const double* pack_a_memo(WorkerState& st, int worker, const Matrix& a,
+                            std::int64_t i0, std::int64_t k0, std::int64_t mb,
+                            std::int64_t kb, std::int64_t& mark_ns);
+
+  /// The register-tile sweep shared by block_op and block_op_packed_b.
+  void micro_tiles(int worker, Matrix& c, const double* ap, const double* bp,
+                   std::int64_t i0, std::int64_t j0, std::int64_t mb,
+                   std::int64_t nb, std::int64_t kb, std::int64_t mark_ns);
 
   MicroKernel kernel_;
   KernelPath path_;

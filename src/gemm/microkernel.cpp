@@ -107,13 +107,17 @@ std::string simd_unavailable_reason() {
 #endif
 }
 
-MicroKernel scalar_micro_kernel() { return {&kernel_scalar_4x8, "scalar-4x8"}; }
+MicroKernel scalar_micro_kernel() {
+  // Plain mul+add: the generic x86-64 target has no FMA instruction, so
+  // the compiler cannot contract the accumulate loop.
+  return {&kernel_scalar_4x8, "scalar-4x8", false};
+}
 
 MicroKernel simd_micro_kernel() {
   MCMM_REQUIRE(simd_kernel_available(),
                "simd_micro_kernel: " + simd_unavailable_reason());
 #if MCMM_SIMD_X86
-  return {&kernel_avx2_4x8, "avx2-fma-4x8"};
+  return {&kernel_avx2_4x8, "avx2-fma-4x8", true};
 #else
   return {};  // unreachable: the MCMM_REQUIRE above always throws here
 #endif

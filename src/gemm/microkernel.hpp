@@ -43,6 +43,11 @@ using MicroKernelFn = void (*)(std::int64_t kc, const double* a,
 struct MicroKernel {
   MicroKernelFn fn = nullptr;
   const char* name = "";  ///< dispatch string, e.g. "avx2-fma-4x8"
+  /// Whether each multiply-add is contracted to one fused operation (the
+  /// AVX2 kernel's per-lane vfmadd).  Callers that must reproduce the
+  /// kernel's per-coefficient arithmetic exactly (the batch engine's
+  /// direct small-shape path) mirror this with std::fma vs mul+add.
+  bool fused = false;
 };
 
 /// True when the AVX2+FMA kernel is compiled in (MCMM_SIMD=ON, x86-64)

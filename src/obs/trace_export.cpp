@@ -86,6 +86,14 @@ TraceSummary summarize_trace(const ExecutionTracer& tracer) {
   return out;
 }
 
+PhaseTotals aggregate_region_totals(const TraceSummary& summary) {
+  PhaseTotals out;
+  for (const RegionSummary& region : summary.regions) {
+    for (const PhaseTotals& t : region.workers) out.merge(t);
+  }
+  return out;
+}
+
 std::string trace_summary_json(const TraceSummary& summary) {
   JsonWriter w;
   w.begin_object()

@@ -61,6 +61,12 @@ struct TraceSummary {
 /// count toward `totals` only; still-open regions are skipped.
 TraceSummary summarize_trace(const ExecutionTracer& tracer);
 
+/// Every worker's totals across ALL closed regions merged into one
+/// PhaseTotals — the whole-trace phase mix of a multi-region dispatch
+/// (e.g. a batch request's per-bucket pack/exec regions condensed into
+/// one stats record, where regions.back() would see only the last).
+PhaseTotals aggregate_region_totals(const TraceSummary& summary);
+
 /// The summary as an mcmm-trace-summary-v1 JSON object (one line, stable
 /// key order — embeddable under the bench report's "timing" subtree).
 std::string trace_summary_json(const TraceSummary& summary);

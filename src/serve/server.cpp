@@ -39,6 +39,8 @@ const char* to_string(SubmitStatus status) {
       return "rejected-shutdown";
     case SubmitStatus::kRejectedInvalid:
       return "rejected-invalid";
+    case SubmitStatus::kRejectedTenantQuota:
+      return "rejected-tenant-quota";
   }
   return "unknown";
 }
@@ -58,6 +60,27 @@ void Ticket::complete(GemmResponse&& response) {
   {
     sync::lock_guard lock(mutex_);
     MCMM_ASSERT(!done_, "Ticket::complete called twice");
+    response_ = std::move(response);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+const BatchGemmResponse& BatchTicket::wait() {
+  sync::unique_lock lock(mutex_);
+  while (!done_) cv_.wait(lock);
+  return response_;
+}
+
+bool BatchTicket::done() const {
+  sync::lock_guard lock(mutex_);
+  return done_;
+}
+
+void BatchTicket::complete(BatchGemmResponse&& response) {
+  {
+    sync::lock_guard lock(mutex_);
+    MCMM_ASSERT(!done_, "BatchTicket::complete called twice");
     response_ = std::move(response);
     done_ = true;
   }
@@ -127,6 +150,14 @@ Submit GemmServer::submit(const GemmRequest& request) {
     result.error = e.what();
     return result;
   }
+  if (config_.max_inflight_per_tenant > 0 &&
+      tenant_pending_[static_cast<std::size_t>(request.tenant)] >=
+          config_.max_inflight_per_tenant) {
+    ++counters_.rejected_tenant_quota;
+    result.status = SubmitStatus::kRejectedTenantQuota;
+    result.error = "tenant at max in-flight quota";
+    return result;
+  }
   const std::uint64_t id = next_id_++;
   if (!ring_.try_push(id)) {
     ++counters_.rejected_queue_full;
@@ -158,6 +189,93 @@ GemmResponse GemmServer::run(const GemmRequest& request) {
   return response;
 }
 
+BatchSubmit GemmServer::submit_batch(const BatchGemmRequest& request) {
+  BatchSubmit result;
+  sync::lock_guard lock(mutex_);
+  ++counters_.submitted;
+  if (!accepting_) {
+    ++counters_.rejected_shutdown;
+    result.status = SubmitStatus::kRejectedShutdown;
+    result.error = "server is shutting down";
+    return result;
+  }
+  if (request.tenant < 0 || request.tenant >= max_tenants()) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "tenant id out of range";
+    return result;
+  }
+  if (request.products.empty()) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "empty batch";
+    return result;
+  }
+  for (const batch::BatchProduct& p : request.products) {
+    if (p.c == nullptr || p.a == nullptr || p.b == nullptr) {
+      ++counters_.rejected_invalid;
+      result.status = SubmitStatus::kRejectedInvalid;
+      result.error = "null matrix operand in batch";
+      return result;
+    }
+    try {
+      check_gemm_shapes(*p.c, *p.a, *p.b);
+    } catch (const std::exception& e) {
+      ++counters_.rejected_invalid;
+      result.status = SubmitStatus::kRejectedInvalid;
+      result.error = e.what();
+      return result;
+    }
+  }
+  if (request.policy.q < 1) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "batch policy q must be >= 1";
+    return result;
+  }
+  // One batch = one admission unit against the tenant quota, the same
+  // unit it occupies on the ring.
+  if (config_.max_inflight_per_tenant > 0 &&
+      tenant_pending_[static_cast<std::size_t>(request.tenant)] >=
+          config_.max_inflight_per_tenant) {
+    ++counters_.rejected_tenant_quota;
+    result.status = SubmitStatus::kRejectedTenantQuota;
+    result.error = "tenant at max in-flight quota";
+    return result;
+  }
+  const std::uint64_t id = next_id_++;
+  if (!ring_.try_push(id)) {
+    ++counters_.rejected_queue_full;
+    result.status = SubmitStatus::kRejectedQueueFull;
+    result.error = "request ring full (backpressure)";
+    return result;
+  }
+  auto ticket = std::make_shared<BatchTicket>();
+  batch_inflight_.emplace(id,
+                          BatchInflight{ticket, request, tracer_.now_ns()});
+  ++tenant_pending_[static_cast<std::size_t>(request.tenant)];
+  ++queued_;
+  ++counters_.accepted;
+  work_cv_.notify_one();
+  result.status = SubmitStatus::kAccepted;
+  result.ticket = std::move(ticket);
+  return result;
+}
+
+BatchGemmResponse GemmServer::run_batch(const BatchGemmRequest& request) {
+  BatchSubmit submitted = submit_batch(request);
+  if (submitted.status == SubmitStatus::kAccepted) {
+    return submitted.ticket->wait();
+  }
+  BatchGemmResponse response;
+  response.tenant = request.tenant;
+  response.products = static_cast<std::int64_t>(request.products.size());
+  response.ok = false;
+  response.error = std::string(to_string(submitted.status)) + ": " +
+                   submitted.error;
+  return response;
+}
+
 void GemmServer::pause_dispatch() {
   sync::lock_guard lock(mutex_);
   paused_ = true;
@@ -176,7 +294,9 @@ void GemmServer::shutdown() {
   accepting_ = false;
   paused_ = false;
   work_cv_.notify_all();
-  while (!(inflight_.empty() && queued_ == 0)) drain_cv_.wait(lock);
+  while (!(inflight_.empty() && batch_inflight_.empty() && queued_ == 0)) {
+    drain_cv_.wait(lock);
+  }
   stop_ = true;
   work_cv_.notify_all();
   if (joined_) return;  // an earlier shutdown() already joined
@@ -198,7 +318,16 @@ void GemmServer::dispatcher_loop() {
     // queued_ counts exactly the pushed-but-unclaimed ids and this is the
     // only consumer, so the pop cannot miss.
     MCMM_ASSERT(popped, "GemmServer: request ring empty with queued_ > 0");
-    execute(id);
+    bool is_batch = false;
+    {
+      sync::lock_guard lock(mutex_);
+      is_batch = batch_inflight_.find(id) != batch_inflight_.end();
+    }
+    if (is_batch) {
+      execute_batch(id);
+    } else {
+      execute(id);
+    }
   }
 }
 
@@ -332,7 +461,97 @@ void GemmServer::execute(std::uint64_t id) {
     while (request_log_.size() > config_.request_log_capacity) {
       request_log_.pop_front();
     }
-    if (!accepting_ && inflight_.empty() && queued_ == 0) {
+    if (!accepting_ && inflight_.empty() && batch_inflight_.empty() &&
+        queued_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+  ticket->complete(std::move(response));
+}
+
+void GemmServer::execute_batch(std::uint64_t id) {
+  std::shared_ptr<BatchTicket> ticket;
+  const BatchGemmRequest* request = nullptr;
+  std::int64_t submit_ns = 0;
+  {
+    sync::lock_guard lock(mutex_);
+    auto it = batch_inflight_.find(id);
+    MCMM_ASSERT(it != batch_inflight_.end(), "GemmServer: unknown batch id");
+    ticket = it->second.ticket;
+    // The entry stays in batch_inflight_ until completion, so the pointer
+    // is stable while this (the only dispatcher) executes it.
+    request = &it->second.request;
+    submit_ns = it->second.submit_ns;
+  }
+
+  BatchGemmResponse response;
+  response.id = id;
+  response.tenant = request->tenant;
+  response.products = static_cast<std::int64_t>(request->products.size());
+
+  const std::int64_t start_ns = tracer_.now_ns();
+  response.queue_ms = static_cast<double>(start_ns - submit_ns) / 1e6;
+  tracer_.reset();
+
+  // Same exception ownership as execute(): gemm_batch rethrows the first
+  // worker throw at its dispatch site, and a failure fails this batch
+  // only, never the dispatcher.
+  try {
+    const batch::BatchResult result =
+        batch::gemm_batch(request->products, pool_, ctx_, request->policy);
+    response.buckets = result.buckets;
+    response.ok = true;
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.error = e.what();
+  } catch (...) {
+    response.ok = false;
+    response.error = "non-standard exception from worker";
+  }
+
+  response.exec_ms = static_cast<double>(tracer_.now_ns() - start_ns) / 1e6;
+  response.products_per_sec =
+      response.exec_ms > 0
+          ? static_cast<double>(response.products) / (response.exec_ms / 1e3)
+          : 0.0;
+
+  // A batch runs MANY traced regions (a pack + exec region per bucket);
+  // aggregate the phase mix across all of them, not just the last.
+  const TraceSummary summary = summarize_trace(tracer_);
+  const PhaseTotals totals = aggregate_region_totals(summary);
+  for (const RegionSummary& region : summary.regions) {
+    response.trace.wall_ms += region.wall_ms();
+  }
+  response.trace.pack_a_ms = totals.ms(TracePhase::kPackA);
+  response.trace.pack_b_ms = totals.ms(TracePhase::kPackB);
+  response.trace.micro_kernel_ms = totals.ms(TracePhase::kMicroKernel);
+  response.trace.barrier_ms = totals.ms(TracePhase::kBarrier);
+  response.trace.other_ms = totals.other_ms();
+  for (std::int64_t spans : totals.spans) response.trace.spans += spans;
+
+  {
+    sync::lock_guard lock(mutex_);
+    batch_inflight_.erase(id);
+    --tenant_pending_[static_cast<std::size_t>(response.tenant)];
+    Counters& tenant =
+        tenant_counters_[static_cast<std::size_t>(response.tenant)];
+    if (response.ok) {
+      ++counters_.completed;
+      ++tenant.completed;
+    } else {
+      ++counters_.failed;
+      ++tenant.failed;
+    }
+    latency_ms_.push_back(response.queue_ms + response.exec_ms);
+    batch_log_.push_back(BatchRecord{
+        id, response.tenant, response.ok, response.error, response.products,
+        response.queue_ms, response.exec_ms, response.products_per_sec,
+        response.buckets, response.trace});
+    while (batch_log_.size() > config_.request_log_capacity) {
+      batch_log_.pop_front();
+    }
+    if (!accepting_ && inflight_.empty() && batch_inflight_.empty() &&
+        queued_ == 0) {
       drain_cv_.notify_all();
     }
   }
@@ -349,12 +568,14 @@ std::string GemmServer::stats_json() const {
   std::vector<double> latencies;
   std::vector<Counters> tenants;
   std::deque<RequestRecord> requests;
+  std::deque<BatchRecord> batches;
   {
     sync::lock_guard lock(mutex_);
     counters = counters_;
     latencies = latency_ms_;
     tenants = tenant_counters_;
     requests = request_log_;
+    batches = batch_log_;
   }
   std::sort(latencies.begin(), latencies.end());
   double sum = 0;
@@ -367,6 +588,7 @@ std::string GemmServer::stats_json() const {
   w.kv("pinned_workers", pinned_workers());
   w.kv("queue_capacity", static_cast<std::int64_t>(queue_capacity()));
   w.kv("max_tenants", max_tenants());
+  w.kv("max_inflight_per_tenant", config_.max_inflight_per_tenant);
   w.kv("kernel", dispatch_name());
   w.key("model").begin_object();
   w.kv("q", config_.q);
@@ -399,6 +621,7 @@ std::string GemmServer::stats_json() const {
   w.kv("rejected_queue_full", counters.rejected_queue_full);
   w.kv("rejected_shutdown", counters.rejected_shutdown);
   w.kv("rejected_invalid", counters.rejected_invalid);
+  w.kv("rejected_tenant_quota", counters.rejected_tenant_quota);
   w.kv("completed", counters.completed);
   w.kv("failed", counters.failed);
   w.end_object();
@@ -432,6 +655,45 @@ std::string GemmServer::stats_json() const {
     w.kv("active_tenants", r.active_tenants);
     w.kv("queue_ms", r.queue_ms);
     w.kv("exec_ms", r.exec_ms);
+    w.key("trace").begin_object();
+    w.kv("wall_ms", r.trace.wall_ms);
+    w.kv("pack_a_ms", r.trace.pack_a_ms);
+    w.kv("pack_b_ms", r.trace.pack_b_ms);
+    w.kv("micro_kernel_ms", r.trace.micro_kernel_ms);
+    w.kv("barrier_ms", r.trace.barrier_ms);
+    w.kv("other_ms", r.trace.other_ms);
+    w.kv("spans", r.trace.spans);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  // Batch admissions are logged separately from single requests: the
+  // "requests" records promise a resolved schedule per entry, which a
+  // bucketed batch does not have (it has per-bucket strategies instead).
+  w.key("batches").begin_array();
+  for (const BatchRecord& r : batches) {
+    w.begin_object();
+    w.kv("id", static_cast<std::int64_t>(r.id));
+    w.kv("tenant", r.tenant);
+    w.kv("ok", r.ok);
+    if (!r.ok) w.kv("error", r.error);
+    w.kv("products", r.products);
+    w.kv("queue_ms", r.queue_ms);
+    w.kv("exec_ms", r.exec_ms);
+    w.kv("products_per_sec", r.products_per_sec);
+    w.key("buckets").begin_array();
+    for (const batch::BucketStats& bucket : r.buckets) {
+      w.begin_object();
+      w.kv("m", bucket.shape.m);
+      w.kv("n", bucket.shape.n);
+      w.kv("k", bucket.shape.k);
+      w.kv("strategy", batch::to_string(bucket.strategy));
+      w.kv("shared_b", bucket.shared_b);
+      w.kv("products", bucket.products);
+      w.kv("wall_ms", bucket.wall_ms);
+      w.end_object();
+    }
+    w.end_array();
     w.key("trace").begin_object();
     w.kv("wall_ms", r.trace.wall_ms);
     w.kv("pack_a_ms", r.trace.pack_a_ms);

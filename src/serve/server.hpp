@@ -51,6 +51,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "batch/gemm_batch.hpp"
 #include "gemm/kernel.hpp"
 #include "gemm/matrix.hpp"
 #include "gemm/thread_pool.hpp"
@@ -106,9 +107,10 @@ struct GemmResponse {
 
 enum class SubmitStatus : std::uint8_t {
   kAccepted = 0,
-  kRejectedQueueFull,  ///< bounded ring full — backpressure, retry later
-  kRejectedShutdown,   ///< server no longer accepting
-  kRejectedInvalid,    ///< bad tenant id or mismatched shapes
+  kRejectedQueueFull,    ///< bounded ring full — backpressure, retry later
+  kRejectedShutdown,     ///< server no longer accepting
+  kRejectedInvalid,      ///< bad tenant id or mismatched shapes
+  kRejectedTenantQuota,  ///< tenant at max_inflight_per_tenant admissions
 };
 
 const char* to_string(SubmitStatus status);
@@ -137,6 +139,54 @@ struct Submit {
   std::string error;               ///< human-readable rejection reason
 };
 
+/// A batched submission: many independent products admitted as ONE unit.
+/// The batch occupies one ring slot, counts once against the tenant's
+/// in-flight quota, and is dispatched as one admission-order turn on the
+/// pool — the server-side face of gemm_batch (batch/gemm_batch.hpp).
+/// The caller owns every matrix until the batch ticket completes.
+struct BatchGemmRequest {
+  int tenant = 0;
+  std::vector<batch::BatchProduct> products;
+  batch::BatchPolicy policy;
+};
+
+struct BatchGemmResponse {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  bool ok = false;
+  std::string error;           ///< set when !ok
+  std::int64_t products = 0;
+  double queue_ms = 0;         ///< admission -> execution start
+  double exec_ms = 0;          ///< execution start -> completion
+  double products_per_sec = 0; ///< products / exec time
+  std::vector<batch::BucketStats> buckets;
+  /// Phase mix aggregated across ALL of the batch's traced regions
+  /// (per-bucket pack + exec), unlike the single-region request trace.
+  RequestTraceSummary trace;
+};
+
+/// Completion latch for a batch submission (see Ticket).
+class BatchTicket {
+ public:
+  const BatchGemmResponse& wait();
+  bool done() const;
+
+ private:
+  friend class GemmServer;
+  void complete(BatchGemmResponse&& response);
+
+  mutable sync::mutex mutex_;
+  mutable sync::condition_variable cv_;
+  bool done_ MCMM_GUARDED_BY(mutex_) = false;
+  BatchGemmResponse response_ MCMM_GUARDED_BY(mutex_);
+};
+
+struct BatchSubmit {
+  SubmitStatus status = SubmitStatus::kRejectedInvalid;
+  std::shared_ptr<BatchTicket> ticket;  ///< non-null iff kAccepted
+  std::string error;
+};
+
 class GemmServer {
  public:
   struct Config {
@@ -151,15 +201,22 @@ class GemmServer {
     std::vector<int> pin_cpus;        ///< empty = unpinned
     std::size_t request_log_capacity = 256;  ///< stats_json "requests" depth
     KernelPath kernel = KernelPath::kAuto;
+
+    /// Max admission units (single requests + whole batches) one tenant
+    /// may have in flight at once; 0 = unlimited.  Exceeding it returns
+    /// kRejectedTenantQuota — per-tenant backpressure, so one tenant
+    /// cannot monopolise the bounded ring.
+    std::int64_t max_inflight_per_tenant = 0;
   };
 
   /// Monotonically increasing counters since construction.
   struct Counters {
-    std::int64_t submitted = 0;  ///< all submit() calls
+    std::int64_t submitted = 0;  ///< all submit()/submit_batch() calls
     std::int64_t accepted = 0;
     std::int64_t rejected_queue_full = 0;
     std::int64_t rejected_shutdown = 0;
     std::int64_t rejected_invalid = 0;
+    std::int64_t rejected_tenant_quota = 0;
     std::int64_t completed = 0;  ///< finished ok
     std::int64_t failed = 0;     ///< finished with an error reply
   };
@@ -191,6 +248,15 @@ class GemmServer {
   /// submit() + wait(), with rejections synthesised into error responses.
   GemmResponse run(const GemmRequest& request);
 
+  /// Non-blocking batch admission: the whole batch is ONE admission unit
+  /// (one ring slot, one quota charge, one dispatch turn).  Rejects with
+  /// kRejectedInvalid on an empty batch, a bad tenant, or any product
+  /// with null operands / mismatched shapes.
+  BatchSubmit submit_batch(const BatchGemmRequest& request);
+
+  /// submit_batch() + wait(), rejections synthesised into error responses.
+  BatchGemmResponse run_batch(const BatchGemmRequest& request);
+
   /// Hold the dispatcher between requests (admission keeps running), so
   /// tests can fill the ring deterministically.  resume_dispatch() wakes it.
   void pause_dispatch();
@@ -210,6 +276,7 @@ class GemmServer {
  private:
   void dispatcher_loop();
   void execute(std::uint64_t id);
+  void execute_batch(std::uint64_t id);
 
   /// One completed request as kept for the stats log.
   struct RequestRecord {
@@ -230,6 +297,26 @@ class GemmServer {
     std::int64_t submit_ns = 0;
   };
 
+  struct BatchInflight {
+    std::shared_ptr<BatchTicket> ticket;
+    BatchGemmRequest request;
+    std::int64_t submit_ns = 0;
+  };
+
+  /// One completed batch as kept for the stats log ("batches" array).
+  struct BatchRecord {
+    std::uint64_t id = 0;
+    int tenant = 0;
+    bool ok = false;
+    std::string error;
+    std::int64_t products = 0;
+    double queue_ms = 0;
+    double exec_ms = 0;
+    double products_per_sec = 0;
+    std::vector<batch::BucketStats> buckets;
+    RequestTraceSummary trace;
+  };
+
   const Config config_;
   std::vector<TenantModel> partitions_;  // index k-1; const after ctor
 
@@ -243,6 +330,8 @@ class GemmServer {
   sync::condition_variable drain_cv_;  // shutdown waits for inflight == 0
   std::uint64_t next_id_ MCMM_GUARDED_BY(mutex_) = 1;
   std::unordered_map<std::uint64_t, Inflight> inflight_ MCMM_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, BatchInflight> batch_inflight_
+      MCMM_GUARDED_BY(mutex_);
   std::vector<std::int64_t> tenant_pending_ MCMM_GUARDED_BY(mutex_);
   std::size_t queued_ MCMM_GUARDED_BY(mutex_) = 0;
   bool accepting_ MCMM_GUARDED_BY(mutex_) = true;
@@ -253,6 +342,7 @@ class GemmServer {
   std::vector<double> latency_ms_ MCMM_GUARDED_BY(mutex_);
   std::vector<Counters> tenant_counters_ MCMM_GUARDED_BY(mutex_);
   std::deque<RequestRecord> request_log_ MCMM_GUARDED_BY(mutex_);
+  std::deque<BatchRecord> batch_log_ MCMM_GUARDED_BY(mutex_);
 
   sync::thread dispatcher_;  // started last, joined by shutdown()
 };

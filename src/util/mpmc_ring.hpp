@@ -69,13 +69,21 @@ struct MpmcRingRacyPublishTraits : Base {
 template <typename T, typename Traits = MpmcRingStdTraits>
 class MpmcRing {
  public:
-  /// `capacity` must be a power of two >= 2 (throws mcmm::Error otherwise).
+  /// `capacity` must be a power of two >= 1 (throws mcmm::Error otherwise).
+  ///
+  /// Slot sequences use a doubled encoding: a slot is push-ready for
+  /// ticket `pos` at seq == 2*pos (even) and pop-ready at seq == 2*pos + 1
+  /// (odd).  The classical encoding (seq == pos / pos + 1) collides at
+  /// capacity 1, where the pop-ready mark of ticket pos equals the
+  /// push-ready mark of ticket pos + capacity, letting a second push
+  /// overwrite an unconsumed slot; keeping the parities disjoint makes the
+  /// degenerate single-slot ring (mask_ == 0) cycle correctly too.
   explicit MpmcRing(std::size_t capacity)
       : mask_(capacity - 1), slots_(capacity) {
-    MCMM_REQUIRE(capacity >= 2 && (capacity & (capacity - 1)) == 0,
-                 "MpmcRing: capacity must be a power of two >= 2");
+    MCMM_REQUIRE(capacity >= 1 && (capacity & (capacity - 1)) == 0,
+                 "MpmcRing: capacity must be a power of two >= 1");
     for (std::size_t i = 0; i < capacity; ++i) {
-      slots_[i].seq.store(i, std::memory_order_relaxed);
+      slots_[i].seq.store(2 * i, std::memory_order_relaxed);
     }
   }
 
@@ -92,13 +100,13 @@ class MpmcRing {
       Slot& slot = slots_[pos & mask_];
       const std::size_t seq = slot.seq.load(std::memory_order_acquire);
       const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
-                                static_cast<std::intptr_t>(pos);
+                                static_cast<std::intptr_t>(2 * pos);
       if (dif == 0) {
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed,
                                         std::memory_order_relaxed)) {
           slot.value.store(v);
-          slot.seq.store(pos + 1, publish_order());
+          slot.seq.store(2 * pos + 1, publish_order());
           return true;
         }
         // CAS failure reloaded `pos`; retry with the new ticket.
@@ -118,13 +126,14 @@ class MpmcRing {
       Slot& slot = slots_[pos & mask_];
       const std::size_t seq = slot.seq.load(std::memory_order_acquire);
       const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
-                                static_cast<std::intptr_t>(pos + 1);
+                                static_cast<std::intptr_t>(2 * pos + 1);
       if (dif == 0) {
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed,
                                         std::memory_order_relaxed)) {
           out = slot.value.load();
-          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          // Re-arm for the slot's next producer ticket, pos + capacity.
+          slot.seq.store(2 * (pos + mask_ + 1), std::memory_order_release);
           return true;
         }
       } else if (dif < 0) {

@@ -1,0 +1,405 @@
+// The batched small-shape GEMM engine (src/batch): bucketer properties,
+// the Tdata crossover model, bit-identity of every bucket strategy
+// against the serial reference, shared-packed-B equivalence, and the
+// server's batch verb.  Suite names start with "Batch" — the CI tsan job
+// keys its presence guard on that prefix.
+#include "batch/gemm_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "batch/bucketer.hpp"
+#include "gemm/microkernel.hpp"
+#include "gemm/pack.hpp"
+#include "gemm/validate.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mcmm::batch {
+namespace {
+
+Matrix random_matrix(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Matrix m(r, c);
+  m.fill_random(seed);
+  return m;
+}
+
+/// Operand pool + product list for one batch.  Matrices live here so the
+/// BatchProduct pointers stay valid for the test's lifetime.
+struct TestBatch {
+  std::vector<std::unique_ptr<Matrix>> storage;
+  std::vector<BatchProduct> products;
+
+  Matrix* make(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+    storage.push_back(std::make_unique<Matrix>(r, c));
+    storage.back()->fill_random(seed);
+    return storage.back().get();
+  }
+
+  Matrix* zeros(std::int64_t r, std::int64_t c) {
+    storage.push_back(std::make_unique<Matrix>(r, c));
+    return storage.back().get();
+  }
+
+  void add(std::int64_t m, std::int64_t n, std::int64_t k, std::uint64_t seed,
+           const Matrix* shared_b = nullptr) {
+    Matrix* a = make(m, k, seed * 2 + 1);
+    const Matrix* b = shared_b != nullptr ? shared_b : make(k, n, seed * 2 + 2);
+    products.push_back(BatchProduct{zeros(m, n), a, b});
+  }
+
+  /// Deep-copy every C so one batch can run under several engines.
+  std::vector<Matrix> snapshot_c() const {
+    std::vector<Matrix> out;
+    for (const BatchProduct& p : products) out.push_back(*p.c);
+    return out;
+  }
+
+  void restore_c(const std::vector<Matrix>& saved) {
+    for (std::size_t i = 0; i < products.size(); ++i) *products[i].c = saved[i];
+  }
+};
+
+// --- crossover model ----------------------------------------------------
+
+TEST(BatchBucketer, CrossoverPrefersDirectOnlyForTinyShapes) {
+  // Well below the modelled crossover: the unpacked path moves less data.
+  EXPECT_TRUE(prefer_direct(4, 4, 4));
+  EXPECT_TRUE(prefer_direct(8, 8, 8));
+  EXPECT_TRUE(prefer_direct(1, 1, 1));
+  // Well above: packing pays for itself.
+  EXPECT_FALSE(prefer_direct(64, 64, 64));
+  EXPECT_FALSE(prefer_direct(128, 128, 128));
+  // The square crossover sits near order 16 (see docs/batching.md); it is
+  // monotone in each dimension around there.
+  EXPECT_LT(direct_data_volume(8, 8, 8), packed_data_volume(8, 8, 8));
+  EXPECT_GT(direct_data_volume(64, 64, 64), packed_data_volume(64, 64, 64));
+}
+
+TEST(BatchBucketer, VolumesMatchTheClosedForms) {
+  // m=n=k=8 with MR=4, NR=8: direct = 64*1 + 64*2 + 64; packed = 3*128+64.
+  EXPECT_EQ(direct_data_volume(8, 8, 8), 8 * 8 * 1 + 8 * 8 * 2 + 64);
+  EXPECT_EQ(packed_data_volume(8, 8, 8), 3 * (64 + 64) + 64);
+}
+
+// --- bucketing ----------------------------------------------------------
+
+TEST(BatchBucketer, GroupsByShapeInFirstAppearanceOrder) {
+  TestBatch tb;
+  tb.add(64, 64, 64, 1);
+  tb.add(32, 48, 16, 2);
+  tb.add(64, 64, 64, 3);
+  tb.add(32, 48, 16, 4);
+  const auto buckets = bucket_products(tb.products, BatchPolicy{});
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].shape, (ShapeClass{64, 64, 64}));
+  EXPECT_EQ(buckets[0].items, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(buckets[1].shape, (ShapeClass{32, 48, 16}));
+  EXPECT_EQ(buckets[1].items, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(BatchBucketer, StrategyFollowsTheCrossover) {
+  TestBatch tb;
+  tb.add(8, 8, 8, 1);     // tiny -> direct
+  tb.add(64, 64, 64, 2);  // large, unshared B -> packed
+  const auto buckets = bucket_products(tb.products, BatchPolicy{});
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].strategy, BucketStrategy::kDirect);
+  EXPECT_EQ(buckets[1].strategy, BucketStrategy::kPacked);
+}
+
+TEST(BatchBucketer, RecurringBOperandSplitsIntoASharedBucket) {
+  TestBatch tb;
+  Matrix* shared = tb.make(64, 64, 99);
+  tb.add(64, 64, 64, 1, shared);
+  tb.add(64, 64, 64, 2, shared);
+  tb.add(64, 64, 64, 3, shared);
+  tb.add(64, 64, 64, 4);  // same shape, its own B -> plain packed
+  const auto buckets = bucket_products(tb.products, BatchPolicy{});
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].strategy, BucketStrategy::kPackedSharedB);
+  EXPECT_EQ(buckets[0].shared_b, shared);
+  EXPECT_EQ(buckets[0].items.size(), 3u);
+  EXPECT_EQ(buckets[1].strategy, BucketStrategy::kPacked);
+  EXPECT_EQ(buckets[1].shared_b, nullptr);
+}
+
+TEST(BatchBucketer, SharedBNeverUpgradesADirectBucket) {
+  TestBatch tb;
+  Matrix* shared = tb.make(8, 8, 7);
+  tb.add(8, 8, 8, 1, shared);
+  tb.add(8, 8, 8, 2, shared);
+  const auto buckets = bucket_products(tb.products, BatchPolicy{});
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].strategy, BucketStrategy::kDirect);
+  EXPECT_EQ(buckets[0].shared_b, nullptr);
+}
+
+TEST(BatchBucketer, RejectsInvalidProducts) {
+  TestBatch tb;
+  tb.add(16, 16, 16, 1);
+  BatchProduct bad = tb.products[0];
+  bad.b = nullptr;
+  EXPECT_THROW(bucket_products({bad}, BatchPolicy{}), Error);
+
+  Matrix c(4, 4), a(4, 5), b(6, 4);  // inner dimension mismatch
+  EXPECT_THROW(bucket_products({BatchProduct{&c, &a, &b}}, BatchPolicy{}),
+               Error);
+
+  BatchPolicy bad_q;
+  bad_q.q = 0;
+  EXPECT_THROW(bucket_products(tb.products, bad_q), Error);
+}
+
+// --- shared packed B ----------------------------------------------------
+
+TEST(Batch, SharedPackedBPanelsAreByteIdenticalToPackBPanel) {
+  const std::int64_t k = 37, n = 23, q = 16;
+  Matrix b = random_matrix(k, n, 11);
+  SharedPackedB panels(k, n, q);
+  for (std::int64_t i = 0; i < panels.blocks(); ++i) panels.pack_block(b, i);
+  for (std::int64_t k0 = 0; k0 < k; k0 += q) {
+    const std::int64_t kb = std::min(q, k - k0);
+    for (std::int64_t j0 = 0; j0 < n; j0 += q) {
+      const std::int64_t nb = std::min(q, n - j0);
+      AlignedVector expect(
+          static_cast<std::size_t>(packed_b_size(kb, nb, kMicroN)));
+      pack_b_panel(b, k0, j0, kb, nb, kMicroN, expect.data());
+      ASSERT_EQ(std::memcmp(panels.panel(k0, j0), expect.data(),
+                            expect.size() * sizeof(double)),
+                0)
+          << "panel (" << k0 << ", " << j0 << ") differs";
+    }
+  }
+}
+
+// --- bit-identity -------------------------------------------------------
+
+/// Runs one batch through gemm_batch on `workers` workers and through the
+/// serial reference, asserting every C is bitwise identical.
+void expect_bit_identical(TestBatch& tb, const BatchPolicy& policy,
+                          KernelPath path, int workers) {
+  const std::vector<Matrix> original = tb.snapshot_c();
+
+  KernelContext serial_ctx(1, path);
+  const BatchResult serial = gemm_batch_serial(tb.products, serial_ctx, policy);
+  const std::vector<Matrix> expect = tb.snapshot_c();
+
+  tb.restore_c(original);
+  ThreadPool pool(workers);
+  KernelContext ctx(workers, path);
+  const BatchResult parallel = gemm_batch(tb.products, pool, ctx, policy);
+
+  EXPECT_EQ(serial.products, parallel.products);
+  EXPECT_EQ(serial.buckets.size(), parallel.buckets.size());
+  for (std::size_t i = 0; i < tb.products.size(); ++i) {
+    ASSERT_EQ(Matrix::max_abs_diff(*tb.products[i].c, expect[i]), 0.0)
+        << "product " << i << " not bit-identical (path "
+        << ctx.dispatch_name() << ", " << workers << " workers)";
+  }
+}
+
+/// A ragged mixed batch: tiny direct shapes, packed shapes, a shared-B
+/// run, and sub-micro-tile raggedness.
+TestBatch mixed_batch() {
+  TestBatch tb;
+  Matrix* shared = tb.make(48, 40, 1000);
+  for (int i = 0; i < 6; ++i) tb.add(8, 8, 8, static_cast<std::uint64_t>(i));
+  for (int i = 0; i < 4; ++i) {
+    tb.add(48, 40, 48, static_cast<std::uint64_t>(100 + i), shared);
+  }
+  for (int i = 0; i < 3; ++i) {
+    tb.add(33, 29, 17, static_cast<std::uint64_t>(200 + i));
+  }
+  tb.add(3, 5, 2, 300);
+  tb.add(1, 1, 1, 301);
+  return tb;
+}
+
+TEST(Batch, BitIdenticalToSerialAutoStrategies) {
+  for (const int workers : {1, 2, 4}) {
+    TestBatch tb = mixed_batch();
+    expect_bit_identical(tb, BatchPolicy{}, KernelPath::kScalar, workers);
+  }
+  TestBatch tb = mixed_batch();
+  expect_bit_identical(tb, BatchPolicy{}, KernelPath::kAuto, 4);
+}
+
+TEST(Batch, BitIdenticalToSerialEveryForcedStrategy) {
+  for (const BucketStrategy strategy :
+       {BucketStrategy::kDirect, BucketStrategy::kPacked,
+        BucketStrategy::kPackedSharedB}) {
+    for (const KernelPath path : {KernelPath::kScalar, KernelPath::kAuto}) {
+      TestBatch tb = mixed_batch();
+      BatchPolicy policy;
+      policy.force = true;
+      policy.forced = strategy;
+      expect_bit_identical(tb, policy, path, 4);
+    }
+  }
+}
+
+TEST(Batch, MatchesTheReferenceKernelWithinTolerance) {
+  TestBatch tb = mixed_batch();
+  ThreadPool pool(2);
+  KernelContext ctx(2, KernelPath::kAuto);
+  gemm_batch(tb.products, pool, ctx, BatchPolicy{});
+  for (const BatchProduct& p : tb.products) {
+    Matrix expect(p.c->rows(), p.c->cols());
+    gemm_reference(expect, *p.a, *p.b);
+    ASSERT_TRUE(gemm_matches(*p.c, expect, p.a->cols()));
+  }
+}
+
+// --- edges --------------------------------------------------------------
+
+TEST(Batch, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  KernelContext ctx(2, KernelPath::kScalar);
+  const BatchResult result = gemm_batch({}, pool, ctx, BatchPolicy{});
+  EXPECT_EQ(result.products, 0);
+  EXPECT_TRUE(result.buckets.empty());
+}
+
+TEST(Batch, ZeroDimensionProductsAreNoOps) {
+  TestBatch tb;
+  tb.add(0, 8, 8, 1);
+  tb.add(8, 0, 8, 2);
+  tb.add(8, 8, 0, 3);
+  tb.add(8, 8, 8, 4);  // one real product rides along
+  ThreadPool pool(2);
+  KernelContext ctx(2, KernelPath::kScalar);
+  const BatchResult result = gemm_batch(tb.products, pool, ctx, BatchPolicy{});
+  EXPECT_EQ(result.products, 4);
+  Matrix expect(8, 8);
+  gemm_reference(expect, *tb.products[3].a, *tb.products[3].b);
+  EXPECT_TRUE(gemm_matches(*tb.products[3].c, expect, 8));
+}
+
+TEST(Batch, ResultReportsPerBucketCounts) {
+  TestBatch tb = mixed_batch();
+  ThreadPool pool(2);
+  KernelContext ctx(2, KernelPath::kScalar);
+  const BatchResult result = gemm_batch(tb.products, pool, ctx, BatchPolicy{});
+  EXPECT_EQ(result.products, static_cast<std::int64_t>(tb.products.size()));
+  std::int64_t sum = 0;
+  bool saw_shared = false;
+  for (const BucketStats& bucket : result.buckets) {
+    sum += bucket.products;
+    EXPECT_GE(bucket.wall_ms, 0.0);
+    if (bucket.strategy == BucketStrategy::kPackedSharedB) {
+      saw_shared = true;
+      EXPECT_TRUE(bucket.shared_b);
+    }
+  }
+  EXPECT_EQ(sum, result.products);
+  EXPECT_TRUE(saw_shared) << "mixed batch must exercise the shared-B path";
+  EXPECT_GE(result.wall_ms, 0.0);
+}
+
+// --- serving path -------------------------------------------------------
+
+serve::GemmServer::Config batch_server_config() {
+  serve::GemmServer::Config config;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.max_tenants = 4;
+  config.q = 16;
+  return config;
+}
+
+TEST(BatchServe, RoundTripThroughTheServer) {
+  TestBatch tb = mixed_batch();
+  serve::GemmServer server(batch_server_config());
+  serve::BatchGemmRequest request;
+  request.tenant = 1;
+  request.products = tb.products;
+  request.policy.q = 16;
+  const serve::BatchGemmResponse response = server.run_batch(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.products, static_cast<std::int64_t>(tb.products.size()));
+  EXPECT_GT(response.products_per_sec, 0.0);
+  EXPECT_FALSE(response.buckets.empty());
+  EXPECT_GT(response.trace.spans, 0);
+  for (const BatchProduct& p : tb.products) {
+    Matrix expect(p.c->rows(), p.c->cols());
+    gemm_reference(expect, *p.a, *p.b);
+    ASSERT_TRUE(gemm_matches(*p.c, expect, p.a->cols()));
+  }
+
+  // The batch surfaces in the stats document's "batches" array (NOT in
+  // "requests", whose records promise a per-request schedule).
+  const std::string stats = server.stats_json();
+  const JsonValue doc = json_parse(stats);
+  const JsonValue* batches = doc.find("batches");
+  ASSERT_NE(batches, nullptr);
+  ASSERT_EQ(batches->array.size(), 1u);
+  const JsonValue& record = batches->array[0];
+  EXPECT_EQ(record.find("tenant")->number, 1.0);
+  EXPECT_TRUE(record.find("ok")->boolean);
+  EXPECT_EQ(record.find("products")->number,
+            static_cast<double>(tb.products.size()));
+  EXPECT_GT(record.find("products_per_sec")->number, 0.0);
+  ASSERT_NE(record.find("buckets"), nullptr);
+  const JsonValue* requests = doc.find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_TRUE(requests->array.empty())
+      << "batches must not leak into the per-request log";
+}
+
+TEST(BatchServe, RejectsInvalidBatches) {
+  serve::GemmServer server(batch_server_config());
+  serve::BatchGemmRequest empty;
+  empty.tenant = 0;
+  EXPECT_EQ(server.submit_batch(empty).status,
+            serve::SubmitStatus::kRejectedInvalid);
+
+  TestBatch tb;
+  tb.add(8, 8, 8, 1);
+  serve::BatchGemmRequest bad_tenant;
+  bad_tenant.tenant = 99;
+  bad_tenant.products = tb.products;
+  EXPECT_EQ(server.submit_batch(bad_tenant).status,
+            serve::SubmitStatus::kRejectedInvalid);
+
+  Matrix c(4, 4), a(4, 5), b(6, 4);
+  serve::BatchGemmRequest bad_shape;
+  bad_shape.tenant = 0;
+  bad_shape.products.push_back(BatchProduct{&c, &a, &b});
+  EXPECT_EQ(server.submit_batch(bad_shape).status,
+            serve::SubmitStatus::kRejectedInvalid);
+}
+
+TEST(BatchServe, BatchIsOneAdmissionUnit) {
+  serve::GemmServer::Config config = batch_server_config();
+  config.queue_capacity = 2;
+  serve::GemmServer server(config);
+  server.pause_dispatch();
+
+  TestBatch tb;
+  for (int i = 0; i < 16; ++i) {
+    tb.add(8, 8, 8, static_cast<std::uint64_t>(i));
+  }
+  serve::BatchGemmRequest request;
+  request.tenant = 0;
+  request.products = tb.products;
+
+  // A 16-product batch takes ONE of the two ring slots.
+  serve::BatchSubmit first = server.submit_batch(request);
+  ASSERT_EQ(first.status, serve::SubmitStatus::kAccepted);
+  serve::BatchSubmit second = server.submit_batch(request);
+  ASSERT_EQ(second.status, serve::SubmitStatus::kAccepted);
+  serve::BatchSubmit third = server.submit_batch(request);
+  EXPECT_EQ(third.status, serve::SubmitStatus::kRejectedQueueFull);
+
+  server.resume_dispatch();
+  EXPECT_TRUE(first.ticket->wait().ok);
+  EXPECT_TRUE(second.ticket->wait().ok);
+}
+
+}  // namespace
+}  // namespace mcmm::batch

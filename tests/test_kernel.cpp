@@ -208,6 +208,79 @@ TEST(KernelContext, ForcedSimdThrowsWhenUnavailable) {
   EXPECT_THROW(KernelContext(0), Error);
 }
 
+// Regression: a degenerate product (any dimension 0) is an empty sum.
+// gemm_micro must return before touching the context, so C is untouched
+// and the worker's pack memo is not poisoned with zero-extent keys.
+TEST(KernelContext, DegenerateShapesAreNoOps) {
+  KernelContext ctx(1, KernelPath::kScalar);
+  const struct {
+    std::int64_t m, n, z;
+  } shapes[] = {{0, 4, 4}, {4, 0, 4}, {4, 4, 0}, {0, 0, 0}};
+  for (const auto& s : shapes) {
+    Matrix a = random_matrix(s.m, s.z, 1);
+    Matrix b = random_matrix(s.z, s.n, 2);
+    Matrix c(s.m, s.n, 0.5);
+    EXPECT_NO_THROW(gemm_micro(c, a, b, 8, ctx))
+        << "m=" << s.m << " n=" << s.n << " z=" << s.z;
+    for (std::int64_t i = 0; i < s.m; ++i) {
+      for (std::int64_t j = 0; j < s.n; ++j) {
+        EXPECT_EQ(c.at(i, j), 0.5) << "degenerate product wrote to C";
+      }
+    }
+  }
+  // The context must remain fully usable for a real product afterwards.
+  Matrix a = random_matrix(4, 4, 3);
+  Matrix b = random_matrix(4, 4, 4);
+  Matrix c(4, 4, 0.0), expect(4, 4, 0.0);
+  gemm_reference(expect, a, b);
+  gemm_micro(c, a, b, 8, ctx);
+  EXPECT_TRUE(gemm_matches(c, expect, 4));
+}
+
+// block_op with an empty sub-problem (mb/nb/kb of 0) must return without
+// touching the pack buffers; zero-extent packs would stamp memo keys that
+// alias real blocks on the next call.
+TEST(KernelContext, BlockOpZeroExtentIsANoOp) {
+  KernelContext ctx(1, KernelPath::kScalar);
+  Matrix a = random_matrix(8, 8, 5);
+  Matrix b = random_matrix(8, 8, 6);
+  Matrix c(8, 8, 1.0);
+  ctx.invalidate();
+  EXPECT_NO_THROW(ctx.block_op(0, c, a, b, 0, 0, 0, 0, 8, 8));
+  EXPECT_NO_THROW(ctx.block_op(0, c, a, b, 0, 0, 0, 8, 0, 8));
+  EXPECT_NO_THROW(ctx.block_op(0, c, a, b, 0, 0, 0, 8, 8, 0));
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      ASSERT_EQ(c.at(i, j), 1.0) << "zero-extent block op wrote to C";
+    }
+  }
+  // A real block op after the no-ops must still be correct (the memo
+  // keys were not poisoned by the zero-extent calls).
+  Matrix expect(8, 8, 1.0);
+  gemm_reference(expect, a, b);
+  ctx.block_op(0, c, a, b, 0, 0, 0, 8, 8, 8);
+  EXPECT_TRUE(gemm_matches(c, expect, 8));
+}
+
+// Sub-register-tile shapes (smaller than the MR x NR = 4 x 8 micro tile)
+// run entirely through the zero-padded edge path.
+TEST(KernelContext, SubMicroTileShapesMatchReference) {
+  const struct {
+    std::int64_t m, n, z;
+  } shapes[] = {{1, 1, 1}, {3, 5, 2}, {2, 7, 1}, {3, 8, 3}, {4, 7, 5}};
+  for (const auto& s : shapes) {
+    Matrix a = random_matrix(s.m, s.z, static_cast<std::uint64_t>(s.m + 10));
+    Matrix b = random_matrix(s.z, s.n, static_cast<std::uint64_t>(s.n + 20));
+    Matrix expect(s.m, s.n, 0.25);
+    gemm_reference(expect, a, b);
+    KernelContext ctx(1, KernelPath::kScalar);
+    Matrix c(s.m, s.n, 0.25);
+    gemm_micro(c, a, b, 8, ctx);
+    ASSERT_TRUE(gemm_matches(c, expect, s.z))
+        << "m=" << s.m << " n=" << s.n << " z=" << s.z;
+  }
+}
+
 TEST(Pack, SizesRoundUpToTheStride) {
   EXPECT_EQ(packed_a_size(4, 3, 4), 4 * 3);
   EXPECT_EQ(packed_a_size(5, 3, 4), 8 * 3);  // 2 strips of 4 rows

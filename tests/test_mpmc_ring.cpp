@@ -22,11 +22,29 @@ namespace {
 
 TEST(MpmcRing, RejectsBadCapacity) {
   EXPECT_THROW(MpmcRing<int>(0), Error);
-  EXPECT_THROW(MpmcRing<int>(1), Error);
   EXPECT_THROW(MpmcRing<int>(3), Error);
   EXPECT_THROW(MpmcRing<int>(100), Error);
+  EXPECT_NO_THROW(MpmcRing<int>(1));
   EXPECT_NO_THROW(MpmcRing<int>(2));
   EXPECT_NO_THROW(MpmcRing<int>(64));
+}
+
+// Capacity 1 is the degenerate single-slot ring (mask_ == 0): full after
+// one push, empty after one pop, and the slot must re-arm on every lap.
+TEST(MpmcRing, CapacityOneFullEmptyCycling) {
+  MpmcRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  int v = -1;
+  EXPECT_FALSE(ring.try_pop(v)) << "fresh ring must be empty";
+  for (int lap = 0; lap < 1000; ++lap) {
+    ASSERT_TRUE(ring.try_push(lap));
+    EXPECT_FALSE(ring.try_push(lap)) << "capacity-1 ring full after one push";
+    EXPECT_EQ(ring.size_estimate(), 1u);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, lap);
+    EXPECT_FALSE(ring.try_pop(v)) << "capacity-1 ring empty after one pop";
+    EXPECT_EQ(ring.size_estimate(), 0u);
+  }
 }
 
 TEST(MpmcRing, FifoSingleThread) {
@@ -138,6 +156,18 @@ TEST(MpmcRingStress, MpmcContended) { stress(4, 4, 5000, 8); }
 TEST(MpmcRingStress, ManyProducersOneConsumer) { stress(8, 1, 2000, 16); }
 
 TEST(MpmcRingStress, OneProducerManyConsumers) { stress(1, 8, 16000, 16); }
+
+// Every transfer through a capacity-1 ring serialises on the single
+// slot's seq — the hardest wraparound case for the ticket protocol.
+TEST(MpmcRingStress, CapacityOneContended) { stress(2, 2, 4000, 1); }
+
+// Producer count == capacity: a burst can claim every slot of one lap
+// concurrently, so each producer's CAS lands on a distinct slot and the
+// consumers observe a full ring being drained while it refills.
+TEST(MpmcRingStress, MultiProducerBurstAtExactCapacity) {
+  stress(4, 2, 4000, 4);
+  stress(8, 4, 2000, 8);
+}
 
 }  // namespace
 }  // namespace mcmm

@@ -172,6 +172,103 @@ TEST(Serve, BoundedQueueRejectsWithBackpressure) {
   server.resume_dispatch();
 }
 
+TEST(Serve, PerTenantQuotaRejectsOnlyTheSaturatedTenant) {
+  GemmServer::Config config = small_config();
+  config.max_inflight_per_tenant = 2;
+  GemmServer server(config);
+  server.pause_dispatch();
+
+  // Fill tenant 0 exactly to its quota.
+  std::vector<std::unique_ptr<Product>> products;
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  for (int i = 0; i < 2; ++i) {
+    products.push_back(std::make_unique<Product>(
+        32, 32, 32, config.q, static_cast<std::uint64_t>(40 + i)));
+    const Submit submitted = server.submit(products.back()->request(0));
+    ASSERT_EQ(submitted.status, SubmitStatus::kAccepted) << submitted.error;
+    tickets.push_back(submitted.ticket);
+  }
+
+  // Tenant 0 is at quota: rejected immediately, with no ticket.
+  Product over(32, 32, 32, config.q, 50);
+  const Submit rejected = server.submit(over.request(0));
+  EXPECT_EQ(rejected.status, SubmitStatus::kRejectedTenantQuota);
+  EXPECT_TRUE(rejected.ticket == nullptr);
+  EXPECT_NE(rejected.error.find("quota"), std::string::npos);
+
+  // Quotas are per tenant: another tenant is unaffected.
+  products.push_back(std::make_unique<Product>(32, 32, 32, config.q, 51));
+  const Submit other = server.submit(products.back()->request(1));
+  ASSERT_EQ(other.status, SubmitStatus::kAccepted) << other.error;
+  tickets.push_back(other.ticket);
+
+  server.resume_dispatch();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_TRUE(tickets[i]->wait().ok);
+    EXPECT_TRUE(gemm_matches(products[i]->c, products[i]->expect, 32));
+  }
+
+  // Completion releases the quota: tenant 0 can submit again.
+  over.c.set_zero();
+  const GemmResponse retry = server.run(over.request(0));
+  EXPECT_TRUE(retry.ok) << retry.error;
+
+  const GemmServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.rejected_tenant_quota, 1);
+  EXPECT_EQ(counters.completed, 4);
+
+  // run() synthesises the rejection into an error reply, like queue-full.
+  server.pause_dispatch();
+  Product p0(32, 32, 32, config.q, 60);
+  Product p1(32, 32, 32, config.q, 61);
+  (void)server.submit(p0.request(0));
+  (void)server.submit(p1.request(0));
+  Product p2(32, 32, 32, config.q, 62);
+  const GemmResponse synthesised = server.run(p2.request(0));
+  EXPECT_FALSE(synthesised.ok);
+  EXPECT_NE(synthesised.error.find("rejected-tenant-quota"),
+            std::string::npos);
+  server.resume_dispatch();
+}
+
+TEST(Serve, TenantQuotaCountsBatchesAsOneUnit) {
+  GemmServer::Config config = small_config();
+  config.max_inflight_per_tenant = 1;
+  GemmServer server(config);
+  server.pause_dispatch();
+
+  // A whole batch charges its tenant ONE in-flight unit.
+  std::vector<std::unique_ptr<Product>> products;
+  std::vector<batch::BatchProduct> items;
+  for (int i = 0; i < 4; ++i) {
+    products.push_back(std::make_unique<Product>(
+        16, 16, 16, config.q, static_cast<std::uint64_t>(70 + i)));
+    items.push_back(
+        batch::BatchProduct{&products.back()->c, &products.back()->a,
+                            &products.back()->b});
+  }
+  BatchGemmRequest batch;
+  batch.tenant = 0;
+  batch.products = items;
+  const BatchSubmit accepted = server.submit_batch(batch);
+  ASSERT_EQ(accepted.status, SubmitStatus::kAccepted) << accepted.error;
+
+  // ...so both a second batch and a scalar request hit the quota.
+  const BatchSubmit second = server.submit_batch(batch);
+  EXPECT_EQ(second.status, SubmitStatus::kRejectedTenantQuota);
+  Product scalar(32, 32, 32, config.q, 80);
+  EXPECT_EQ(server.submit(scalar.request(0)).status,
+            SubmitStatus::kRejectedTenantQuota);
+
+  server.resume_dispatch();
+  const BatchGemmResponse& response = accepted.ticket->wait();
+  EXPECT_TRUE(response.ok) << response.error;
+  for (const std::unique_ptr<Product>& p : products) {
+    EXPECT_TRUE(gemm_matches(p->c, p->expect, 16));
+  }
+  EXPECT_EQ(server.counters().rejected_tenant_quota, 2);
+}
+
 TEST(Serve, ShutdownDrainsRequestsInFlight) {
   GemmServer::Config config = small_config();
   GemmServer server(config);

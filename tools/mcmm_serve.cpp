@@ -17,6 +17,13 @@
 //                         deterministic fill (SplitMix64 on <seed>), so
 //                         the wire stays tiny; the reply carries a
 //                         checksum of C for cross-run comparison
+//                     batch <tenant> <count> <m> <n> <z> [shared_b] [seed]
+//                         a server-side generated batch of <count>
+//                         independent m x n x z products admitted as ONE
+//                         unit through submit_batch; shared_b=1 gives
+//                         every product the same B operand so the packed
+//                         panels amortise.  The reply carries the
+//                         per-bucket breakdown and a checksum over all C
 //                     stats      -> the mcmm-serve-v1 document
 //                     ping       -> liveness probe
 //                     shutdown   -> drain, reply, exit
@@ -32,6 +39,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,6 +123,78 @@ std::string handle_gemm_line(GemmServer& server, const std::string& line) {
   return response_json(resp, resp.ok ? checksum(c) : 0.0);
 }
 
+/// Generate a whole batch server-side and run it through submit_batch;
+/// the reply is one JSON line with the per-bucket breakdown.
+std::string handle_batch_line(GemmServer& server, const std::string& line) {
+  int tenant = 0;
+  long long count = 0, m = 0, n = 0, z = 0;
+  int shared_b = 0;
+  unsigned long long seed = 1;
+  const int fields = std::sscanf(line.c_str(),
+                                 "batch %d %lld %lld %lld %lld %d %llu",
+                                 &tenant, &count, &m, &n, &z, &shared_b,
+                                 &seed);
+  if (fields < 5 || count < 1 || count > 65536 || m < 1 || n < 1 || z < 1 ||
+      m > 1024 || n > 1024 || z > 1024) {
+    return R"({"ok":false,"error":"usage: batch <tenant> <count> <m> <n> <z> [shared_b 0|1] [seed]"})";
+  }
+  std::vector<std::unique_ptr<Matrix>> storage;
+  mcmm::serve::BatchGemmRequest req;
+  req.tenant = tenant;
+  Matrix* shared = nullptr;
+  if (shared_b != 0) {
+    storage.push_back(std::make_unique<Matrix>(z, n));
+    storage.back()->fill_random(seed);
+    shared = storage.back().get();
+  }
+  for (long long i = 0; i < count; ++i) {
+    storage.push_back(std::make_unique<Matrix>(m, z));
+    storage.back()->fill_random(seed + 2 * static_cast<unsigned long long>(i) + 1);
+    Matrix* a = storage.back().get();
+    Matrix* b = shared;
+    if (b == nullptr) {
+      storage.push_back(std::make_unique<Matrix>(z, n));
+      storage.back()->fill_random(seed + 2 * static_cast<unsigned long long>(i) + 2);
+      b = storage.back().get();
+    }
+    storage.push_back(std::make_unique<Matrix>(m, n, 0.0));
+    req.products.push_back(
+        mcmm::batch::BatchProduct{storage.back().get(), a, b});
+  }
+  const mcmm::serve::BatchGemmResponse resp = server.run_batch(req);
+  double sum = 0;
+  if (resp.ok) {
+    for (const mcmm::batch::BatchProduct& p : req.products) {
+      sum += checksum(*p.c);
+    }
+  }
+  mcmm::JsonWriter w;
+  w.begin_object();
+  w.kv("id", static_cast<std::int64_t>(resp.id));
+  w.kv("tenant", resp.tenant);
+  w.kv("ok", resp.ok);
+  if (!resp.ok) w.kv("error", resp.error);
+  w.kv("products", resp.products);
+  w.kv("queue_ms", resp.queue_ms);
+  w.kv("exec_ms", resp.exec_ms);
+  w.kv("products_per_sec", resp.products_per_sec);
+  w.key("buckets").begin_array();
+  for (const mcmm::batch::BucketStats& bucket : resp.buckets) {
+    w.begin_object();
+    w.kv("m", bucket.shape.m);
+    w.kv("n", bucket.shape.n);
+    w.kv("k", bucket.shape.k);
+    w.kv("strategy", mcmm::batch::to_string(bucket.strategy));
+    w.kv("shared_b", bucket.shared_b);
+    w.kv("products", bucket.products);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("checksum", sum);
+  w.end_object();
+  return w.str();
+}
+
 int run_self_test(GemmServer& server, int requests, int tenants,
                   std::int64_t order) {
   std::vector<std::thread> clients;
@@ -176,6 +256,8 @@ void serve_connection(GemmServer& server, int fd, int listener,
     bool last = false;
     if (line.rfind("gemm", 0) == 0) {
       reply = handle_gemm_line(server, line);
+    } else if (line.rfind("batch", 0) == 0) {
+      reply = handle_batch_line(server, line);
     } else if (line == "stats") {
       reply = server.stats_json();
     } else if (line == "ping") {
