@@ -48,6 +48,12 @@ SeriesTable& BenchDriver::table(const std::string& title,
   return tables_.back().table;
 }
 
+SeriesTable& BenchDriver::timing_table(const std::string& title,
+                                       const std::string& x_label) {
+  timing_tables_.push_back(Titled{title, SeriesTable(x_label)});
+  return timing_tables_.back().table;
+}
+
 void BenchDriver::cell(std::size_t series, double x,
                        const std::string& algorithm, std::int64_t order,
                        const MachineConfig& cfg, Setting setting,
@@ -115,11 +121,15 @@ void BenchDriver::finish() {
   }
 
   for (const Titled& t : tables_) emit(t.title, t.table, opt_.csv);
+  for (const Titled& t : timing_tables_) emit(t.title, t.table, opt_.csv);
 
   if (opt_.json_path.empty()) return;
   BenchReport report(name_);
   for (const auto& [key, value] : annotations_) report.set_context(key, value);
   for (const Titled& t : tables_) report.add_table(t.title, t.table);
+  for (const Titled& t : timing_tables_) {
+    report.add_timing_table(t.title, t.table);
+  }
   for (std::size_t sim = 0; sim < runner_.num_simulations(); ++sim) {
     const RunResult& res = runner_.result(sim);
     report.add_point(runner_.simulation(sim), static_cast<double>(res.ms),

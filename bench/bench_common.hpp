@@ -48,6 +48,15 @@ public:
   /// it directly.
   SeriesTable& table(const std::string& title, const std::string& x_label);
 
+  /// Start a *measured* sub-figure: same printing as table(), but the JSON
+  /// report emits it under "timing.tables" instead of "results.tables", so
+  /// wall-clock series (GFLOP/s, %-of-roofline) never perturb the
+  /// deterministic results subtree the sweep-parity job diffs.  Cells are
+  /// set directly on the returned table; cell()/cell_custom() do not
+  /// target it.
+  SeriesTable& timing_table(const std::string& title,
+                            const std::string& x_label);
+
   /// Declare a simulated cell of the *current* table: metric of one
   /// experiment point.  Points appearing in several cells (across tables,
   /// sub-figures or metrics) are simulated once.
@@ -100,6 +109,7 @@ private:
   SweepRunner runner_;
   std::vector<std::pair<std::string, std::string>> annotations_;
   std::deque<Titled> tables_;
+  std::deque<Titled> timing_tables_;
   std::vector<SimFill> sim_fills_;
   std::vector<CustomFill> custom_fills_;
   std::string trace_json_;

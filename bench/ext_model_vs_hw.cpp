@@ -171,7 +171,14 @@ int main(int argc, char** argv) {
     if (!pin_topo.detected()) pin_topo = profile.topology;
     pinned = pin_pool_to_host(pool, pin_topo);
   }
-  KernelContext ctx(pool.workers(), parse_kernel_path(cli.str("kernel")));
+  // An explicit --kernel wins; otherwise a tuned profile (mcmm_tune's
+  // kernel_tuning section) supplies the kernel, prefetch distances, and
+  // streaming policy for the measured half.
+  const KernelPath kernel_path = parse_kernel_path(cli.str("kernel"));
+  KernelContext ctx =
+      kernel_path == KernelPath::kAuto && profile.kernel_tuning.tuned
+          ? KernelContext(pool.workers(), profile.kernel_tuning)
+          : KernelContext(pool.workers(), kernel_path);
 
   std::printf("# model vs hardware | %s | q=%lld | %s | threads=%d\n",
               cfg.describe().c_str(), static_cast<long long>(q),
@@ -377,6 +384,119 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // --- Roofline: the measured FLOP rate of each run against
+  // roof = min(compute peak, bandwidth ceiling), Treibig–Hager style.
+  // The compute leg is the packed engine's own single-core rate (measured
+  // once, same kernel/knobs, scaled by the worker count); the bandwidth
+  // leg converts the *simulated* shared-memory traffic MS·q²·8 bytes to
+  // time at the calibrated memory bandwidth.  Bound times are
+  // model-deterministic given a calibrated profile, so they sit in
+  // "results"; measured GFLOP/s and %-of-roof are wall-clock figures and
+  // land in "timing" (docs/calibration.md).
+  double peak_gflops = 0;  // one core, this kernel configuration
+  {
+    const std::int64_t n_peak =
+        std::max<std::int64_t>(q, 384 / q * q);
+    Matrix a(n_peak, n_peak);
+    Matrix b(n_peak, n_peak);
+    Matrix c(n_peak, n_peak);
+    a.fill_random(1);
+    b.fill_random(2);
+    KernelContext peak_ctx =
+        kernel_path == KernelPath::kAuto && profile.kernel_tuning.tuned
+            ? KernelContext(1, profile.kernel_tuning)
+            : KernelContext(1, kernel_path);
+    const double flops = 2.0 * static_cast<double>(n_peak) *
+                         static_cast<double>(n_peak) *
+                         static_cast<double>(n_peak);
+    double best_ms = 0;
+    for (int rep = 0; rep < 4; ++rep) {  // rep 0 is the warm-up
+      c.set_zero();
+      const auto t0 = std::chrono::steady_clock::now();
+      gemm_micro(c, a, b, q, peak_ctx);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double run_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (rep == 0) continue;
+      best_ms = best_ms <= 0 ? run_ms : std::min(best_ms, run_ms);
+    }
+    if (best_ms > 0) peak_gflops = flops / (best_ms * 1e6);
+  }
+  const double machine_peak_gflops =
+      peak_gflops * static_cast<double>(pool.workers());
+
+  struct RoofPoint {
+    double bw_ms = 0;      ///< time to move the simulated MS traffic
+    double comp_ms = 0;    ///< time at the measured compute peak
+    double gflops = 0;     ///< measured rate of this run
+    double roof_gflops = 0;
+    double pct = 0;        ///< 100 * measured / roof
+  };
+  std::map<std::pair<std::string, std::int64_t>, RoofPoint> roof_of;
+  {
+    SeriesTable& table = driver.table(
+        "roofline bounds: bandwidth time (sim MS at calibrated GB/s) and "
+        "compute time (measured peak) per schedule (ms)",
+        "order");
+    for (const Schedule& sched : kSchedules) {
+      const std::size_t s_bw =
+          table.add_series(std::string(sched.name) + ".bw_bound_ms");
+      for (const std::int64_t order : orders) {
+        const auto x = static_cast<double>(order);
+        const RunResult& res =
+            driver.runner().result(sim_of.at({sched.name, order}));
+        if (bw.mem_gbs <= 0) continue;
+        const double traffic_bytes = static_cast<double>(res.ms) * block_bytes;
+        table.set(s_bw, x, traffic_bytes / (bw.mem_gbs * 1e6));
+      }
+    }
+    for (const Schedule& sched : kSchedules) {
+      for (const std::int64_t order : orders) {
+        const std::int64_t n = order * q;
+        const double flops = 2.0 * static_cast<double>(n) *
+                             static_cast<double>(n) * static_cast<double>(n);
+        RoofPoint pt;
+        const RunResult& res =
+            driver.runner().result(sim_of.at({sched.name, order}));
+        if (bw.mem_gbs > 0) {
+          pt.bw_ms = static_cast<double>(res.ms) * block_bytes /
+                     (bw.mem_gbs * 1e6);
+        }
+        if (machine_peak_gflops > 0) {
+          pt.comp_ms = flops / (machine_peak_gflops * 1e6);
+        }
+        const double roof_ms = std::max(pt.bw_ms, pt.comp_ms);
+        const double wall = hw[{sched.name, order}].wall_ms;
+        if (wall > 0) pt.gflops = flops / (wall * 1e6);
+        if (roof_ms > 0) {
+          pt.roof_gflops = flops / (roof_ms * 1e6);
+          if (wall > 0) pt.pct = 100.0 * roof_ms / wall;
+        }
+        roof_of[{sched.name, order}] = pt;
+      }
+    }
+  }
+  {
+    SeriesTable& table = driver.timing_table(
+        "roofline: measured GFLOP/s, attainable roof, and %-of-roof per "
+        "schedule",
+        "order");
+    for (const Schedule& sched : kSchedules) {
+      const std::size_t s_gf =
+          table.add_series(std::string(sched.name) + ".gflops");
+      const std::size_t s_roof =
+          table.add_series(std::string(sched.name) + ".roof_gflops");
+      const std::size_t s_pct =
+          table.add_series(std::string(sched.name) + ".pct_of_peak");
+      for (const std::int64_t order : orders) {
+        const auto x = static_cast<double>(order);
+        const RoofPoint& pt = roof_of[{sched.name, order}];
+        if (pt.gflops > 0) table.set(s_gf, x, pt.gflops);
+        if (pt.roof_gflops > 0) table.set(s_roof, x, pt.roof_gflops);
+        if (pt.pct > 0) table.set(s_pct, x, pt.pct);
+      }
+    }
+  }
   {
     // Where each worker's region time went on the largest product (the
     // full per-region attribution is embedded under timing.trace).
@@ -460,6 +580,26 @@ int main(int argc, char** argv) {
         sched.name, wall, env.serial, env.overlap,
         env.serial > 0 ? wall / env.serial : 0,
         env.overlap > 0 ? wall / env.overlap : 0, to_string(env.bottleneck));
+  }
+
+  // --- Roofline summary at the largest order: how close each schedule
+  // runs to roof = min(measured compute peak, calibrated bandwidth).
+  std::printf(
+      "\n# roofline at order %lld: single-core peak %.2f GFLOP/s x %d "
+      "workers, memory %.2f GB/s\n",
+      static_cast<long long>(top), peak_gflops, pool.workers(), bw.mem_gbs);
+  for (const Schedule& sched : kSchedules) {
+    const RoofPoint& pt = roof_of[{sched.name, top}];
+    if (pt.gflops <= 0 || pt.roof_gflops <= 0) {
+      std::printf("  %-18s n/a (wall time or bounds unavailable)\n",
+                  sched.name);
+      continue;
+    }
+    std::printf(
+        "  %-18s measured %8.2f GFLOP/s  roof %8.2f GFLOP/s  "
+        "%5.1f%% of peak  limited by %s\n",
+        sched.name, pt.gflops, pt.roof_gflops, pt.pct,
+        pt.bw_ms > pt.comp_ms ? "bandwidth" : "compute");
   }
 
   if (!cli.str("trace").empty()) {

@@ -21,9 +21,9 @@ const char* to_string(BucketStrategy strategy) {
   return "unknown";
 }
 
-std::int64_t direct_data_volume(std::int64_t m, std::int64_t n,
-                                std::int64_t k) {
-  return m * k * ceil_div(n, kMicroN) + k * n * ceil_div(m, kMicroM) + m * n;
+std::int64_t direct_data_volume(std::int64_t m, std::int64_t n, std::int64_t k,
+                                std::int64_t mr, std::int64_t nr) {
+  return m * k * ceil_div(n, nr) + k * n * ceil_div(m, mr) + m * n;
 }
 
 std::int64_t packed_data_volume(std::int64_t m, std::int64_t n,
@@ -31,8 +31,9 @@ std::int64_t packed_data_volume(std::int64_t m, std::int64_t n,
   return 3 * (m * k + k * n) + m * n;
 }
 
-bool prefer_direct(std::int64_t m, std::int64_t n, std::int64_t k) {
-  return direct_data_volume(m, n, k) <= packed_data_volume(m, n, k);
+bool prefer_direct(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::int64_t mr, std::int64_t nr) {
+  return direct_data_volume(m, n, k, mr, nr) <= packed_data_volume(m, n, k);
 }
 
 namespace {
@@ -86,7 +87,8 @@ std::vector<Bucket> bucket_products(const std::vector<BatchProduct>& products,
     BucketStrategy strategy;
     if (policy.force) {
       strategy = policy.forced;
-    } else if (prefer_direct(shape.m, shape.n, shape.k)) {
+    } else if (prefer_direct(shape.m, shape.n, shape.k, policy.mr,
+                             policy.nr)) {
       // No pack on the direct path, so there is nothing to amortise:
       // shared B never upgrades a direct bucket.
       strategy = BucketStrategy::kDirect;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "gemm/matrix.hpp"
+#include "gemm/microkernel.hpp"
 
 namespace mcmm::batch {
 
@@ -71,6 +72,15 @@ struct BatchPolicy {
   /// behaviour when unset.
   bool force = false;
   BucketStrategy forced = BucketStrategy::kPacked;
+
+  /// Register-tile extents of the kernel that will execute the batch
+  /// (KernelContext::kernel().mr/nr).  The direct-vs-packed crossover
+  /// depends on them (direct re-streams per tile strip), and the shared
+  /// B panels must be packed at the consuming kernel's NR.  gemm_batch
+  /// overwrites these from its context; the defaults match the
+  /// scalar/AVX2 4x8 shape.
+  std::int64_t mr = kMicroM;
+  std::int64_t nr = kMicroN;
 };
 
 /// Data volume (coefficient reads + C writes) of one unpacked product:
@@ -79,8 +89,9 @@ struct BatchPolicy {
 /// per MR-wide row strip:
 ///
 ///   Vdirect = m*k * ceil(n/NR) + k*n * ceil(m/MR) + m*n
-std::int64_t direct_data_volume(std::int64_t m, std::int64_t n,
-                                std::int64_t k);
+std::int64_t direct_data_volume(std::int64_t m, std::int64_t n, std::int64_t k,
+                                std::int64_t mr = kMicroM,
+                                std::int64_t nr = kMicroN);
 
 /// Data volume of the packed path: A and B are each read once, written
 /// once into panels, and the panels re-streamed by the kernel (the
@@ -95,7 +106,8 @@ std::int64_t packed_data_volume(std::int64_t m, std::int64_t n,
 /// shapes this flips around order ~16 (a 16x16x16 product runs direct,
 /// 64x64x64 packs) — the batched small-shape regime the Tdata model
 /// predicts packing cannot pay for.
-bool prefer_direct(std::int64_t m, std::int64_t n, std::int64_t k);
+bool prefer_direct(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::int64_t mr = kMicroM, std::int64_t nr = kMicroN);
 
 /// One bucket: every product of one shape class (and, for
 /// kPackedSharedB, one shared B operand), with its chosen strategy.

@@ -115,16 +115,18 @@ void direct_product(Matrix& c, const Matrix& a, const Matrix& b,
   }
 }
 
-SharedPackedB::SharedPackedB(std::int64_t k, std::int64_t n, std::int64_t q)
-    : k_(k), n_(n), q_(q), jblocks_(ceil_div(n, q)) {
-  MCMM_REQUIRE(k >= 0 && n >= 0 && q >= 1, "SharedPackedB: bad geometry");
+SharedPackedB::SharedPackedB(std::int64_t k, std::int64_t n, std::int64_t q,
+                             std::int64_t nr)
+    : k_(k), n_(n), q_(q), nr_(nr), jblocks_(ceil_div(n, q)) {
+  MCMM_REQUIRE(k >= 0 && n >= 0 && q >= 1 && nr >= 1,
+               "SharedPackedB: bad geometry");
   std::size_t total = 0;
   for (std::int64_t k0 = 0; k0 < k_; k0 += q_) {
     const std::int64_t kb = std::min(q_, k_ - k0);
     for (std::int64_t j0 = 0; j0 < n_; j0 += q_) {
       const std::int64_t nb = std::min(q_, n_ - j0);
       offsets_.push_back(total);
-      total += static_cast<std::size_t>(packed_b_size(kb, nb, kMicroN));
+      total += static_cast<std::size_t>(packed_b_size(kb, nb, nr_));
     }
   }
   buf_.resize(std::max<std::size_t>(total, 1));
@@ -143,7 +145,7 @@ void SharedPackedB::pack_block(const Matrix& b, std::int64_t index) {
   block_coords(index, k0, j0);
   const std::int64_t kb = std::min(q_, k_ - k0);
   const std::int64_t nb = std::min(q_, n_ - j0);
-  pack_b_panel(b, k0, j0, kb, nb, kMicroN,
+  pack_b_panel(b, k0, j0, kb, nb, nr_,
                buf_.data() + offsets_[static_cast<std::size_t>(index)]);
 }
 
@@ -159,7 +161,13 @@ BatchResult gemm_batch(const std::vector<BatchProduct>& batch,
                        const BatchPolicy& policy) {
   MCMM_REQUIRE(ctx.workers() >= pool.workers(),
                "gemm_batch: context has fewer workers than the pool");
-  const std::vector<Bucket> buckets = bucket_products(batch, policy);
+  // Strategy choice and shared panels must match the kernel that will
+  // actually execute (direct-path crossover and B strip width are both
+  // shape-dependent), so the context overrides the policy's tile extents.
+  BatchPolicy eff = policy;
+  eff.mr = ctx.kernel().mr;
+  eff.nr = ctx.kernel().nr;
+  const std::vector<Bucket> buckets = bucket_products(batch, eff);
   ctx.invalidate();
   MemoGuard memo(ctx.workers());
   ExecutionTracer* const tracer = ctx.tracer();
@@ -173,7 +181,8 @@ BatchResult gemm_batch(const std::vector<BatchProduct>& batch,
     // Amortised packing: fill the shared panels once, in parallel, with
     // each pack recorded as a pack-B span — the tracer is how the bench
     // proves the per-product pack cost collapsed to a per-batch one.
-    SharedPackedB panels(bucket.shape.k, bucket.shape.n, policy.q);
+    SharedPackedB panels(bucket.shape.k, bucket.shape.n, eff.q,
+                         ctx.kernel().nr);
     if (bucket.strategy == BucketStrategy::kPackedSharedB) {
       const Matrix* shared_b = bucket.shared_b;
       std::atomic<std::int64_t> pack_cursor{0};
@@ -215,15 +224,15 @@ BatchResult gemm_batch(const std::vector<BatchProduct>& batch,
         const BatchProduct& p = batch[bucket.items[slot]];
         switch (bucket.strategy) {
           case BucketStrategy::kDirect:
-            direct_product(*p.c, *p.a, *p.b, policy.q, fused);
+            direct_product(*p.c, *p.a, *p.b, eff.q, fused);
             break;
           case BucketStrategy::kPacked:
             memo.ensure(ctx, worker, p.a, p.b);
-            packed_product(ctx, worker, *p.c, *p.a, *p.b, policy.q);
+            packed_product(ctx, worker, *p.c, *p.a, *p.b, eff.q);
             break;
           case BucketStrategy::kPackedSharedB:
             memo.ensure(ctx, worker, p.a, p.b);
-            shared_b_product(ctx, worker, *p.c, *p.a, panels, policy.q);
+            shared_b_product(ctx, worker, *p.c, *p.a, panels, eff.q);
             break;
         }
       }
@@ -243,7 +252,12 @@ BatchResult gemm_batch(const std::vector<BatchProduct>& batch,
 
 BatchResult gemm_batch_serial(const std::vector<BatchProduct>& batch,
                               KernelContext& ctx, const BatchPolicy& policy) {
-  const std::vector<Bucket> buckets = bucket_products(batch, policy);
+  // Mirror gemm_batch's tile-extent override so the serial face buckets
+  // (and therefore executes) identically.
+  BatchPolicy eff = policy;
+  eff.mr = ctx.kernel().mr;
+  eff.nr = ctx.kernel().nr;
+  const std::vector<Bucket> buckets = bucket_products(batch, eff);
   const bool fused = ctx.fused();
   BatchResult result;
   result.products = static_cast<std::int64_t>(batch.size());
@@ -253,11 +267,11 @@ BatchResult gemm_batch_serial(const std::vector<BatchProduct>& batch,
     for (const std::size_t item : bucket.items) {
       const BatchProduct& p = batch[item];
       if (bucket.strategy == BucketStrategy::kDirect) {
-        direct_product(*p.c, *p.a, *p.b, policy.q, fused);
+        direct_product(*p.c, *p.a, *p.b, eff.q, fused);
       } else {
         // Both packed strategies are bit-identical to gemm_micro, so the
         // serial face of either is exactly a gemm_micro loop.
-        gemm_micro(*p.c, *p.a, *p.b, policy.q, ctx);
+        gemm_micro(*p.c, *p.a, *p.b, eff.q, ctx);
       }
     }
     BucketStats stats;

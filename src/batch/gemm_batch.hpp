@@ -46,8 +46,11 @@ namespace mcmm::batch {
 /// pack_b_panel would produce per worker, laid out back to back.
 class SharedPackedB {
  public:
-  /// Lay out (but do not fill) panels for a (k x n) B at block side q.
-  SharedPackedB(std::int64_t k, std::int64_t n, std::int64_t q);
+  /// Lay out (but do not fill) panels for a (k x n) B at block side q,
+  /// packed at register-tile width `nr` (must be the NR of the kernel
+  /// that will consume the panels — the strip layout depends on it).
+  SharedPackedB(std::int64_t k, std::int64_t n, std::int64_t q,
+                std::int64_t nr = kMicroN);
 
   std::int64_t blocks() const {
     return static_cast<std::int64_t>(offsets_.size());
@@ -65,7 +68,7 @@ class SharedPackedB {
                     std::int64_t& j0) const;
 
  private:
-  std::int64_t k_ = 0, n_ = 0, q_ = 0;
+  std::int64_t k_ = 0, n_ = 0, q_ = 0, nr_ = kMicroN;
   std::int64_t jblocks_ = 0;
   std::vector<std::size_t> offsets_;  ///< per block, into buf_
   AlignedVector buf_;

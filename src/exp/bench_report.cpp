@@ -17,6 +17,11 @@ void BenchReport::add_table(const std::string& title,
   tables_.push_back(Table{title, table});
 }
 
+void BenchReport::add_timing_table(const std::string& title,
+                                   const SeriesTable& table) {
+  timing_tables_.push_back(Table{title, table});
+}
+
 void BenchReport::add_point(const SweepPoint& point, double ms, double md,
                             double tdata, double wall_ms) {
   MCMM_REQUIRE(std::isfinite(wall_ms) && wall_ms >= 0,
@@ -73,28 +78,7 @@ void BenchReport::emit(JsonWriter& w, bool include_timing) const {
   }
 
   w.key("tables").begin_array();
-  for (const Table& t : tables_) {
-    w.begin_object().kv("title", t.title).kv("x_label", t.table.x_label());
-    w.key("series").begin_array();
-    for (std::size_t s = 0; s < t.table.num_series(); ++s) {
-      w.value(t.table.series_name(s));
-    }
-    w.end_array();
-    w.key("rows").begin_array();
-    for (std::size_t r = 0; r < t.table.num_rows(); ++r) {
-      w.begin_object().kv("x", t.table.x_at(r));
-      w.key("values").begin_array();
-      for (std::size_t s = 0; s < t.table.num_series(); ++s) {
-        if (const auto v = t.table.at(r, s)) {
-          w.value(*v);
-        } else {
-          w.null_value();
-        }
-      }
-      w.end_array().end_object();
-    }
-    w.end_array().end_object();
-  }
+  for (const Table& t : tables_) emit_table(w, t);
   w.end_array();
 
   w.key("points").begin_array();
@@ -139,10 +123,38 @@ void BenchReport::emit(JsonWriter& w, bool include_timing) const {
     w.key("point_wall_ms").begin_array();
     for (const Point& p : points_) w.value(p.wall_ms);
     w.end_array();
+    if (!timing_tables_.empty()) {
+      w.key("tables").begin_array();
+      for (const Table& t : timing_tables_) emit_table(w, t);
+      w.end_array();
+    }
     if (!trace_json_.empty()) w.key("trace").raw_value(trace_json_);
     w.end_object();
   }
   w.end_object();
+}
+
+void BenchReport::emit_table(JsonWriter& w, const Table& t) {
+  w.begin_object().kv("title", t.title).kv("x_label", t.table.x_label());
+  w.key("series").begin_array();
+  for (std::size_t s = 0; s < t.table.num_series(); ++s) {
+    w.value(t.table.series_name(s));
+  }
+  w.end_array();
+  w.key("rows").begin_array();
+  for (std::size_t r = 0; r < t.table.num_rows(); ++r) {
+    w.begin_object().kv("x", t.table.x_at(r));
+    w.key("values").begin_array();
+    for (std::size_t s = 0; s < t.table.num_series(); ++s) {
+      if (const auto v = t.table.at(r, s)) {
+        w.value(*v);
+      } else {
+        w.null_value();
+      }
+    }
+    w.end_array().end_object();
+  }
+  w.end_array().end_object();
 }
 
 std::string BenchReport::results_json() const {

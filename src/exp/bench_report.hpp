@@ -35,6 +35,13 @@ public:
   /// Append a rendered sub-figure (snapshots the table).
   void add_table(const std::string& title, const SeriesTable& table);
 
+  /// Append a table of *measured* values (snapshots it).  Emitted under
+  /// the "timing" subtree as "tables" — same row/series shape as the
+  /// results tables, but excluded from results_json(), so nondeterministic
+  /// series (wall-clock GFLOP/s, %-of-roofline) never break the
+  /// sweep-parity byte diff.
+  void add_timing_table(const std::string& title, const SeriesTable& table);
+
   /// Append one deduplicated simulation point with its metric values and
   /// measured wall time.  Throws mcmm::Error on a non-finite or negative
   /// wall time (a NaN here would silently poison every speedup statistic
@@ -86,10 +93,12 @@ private:
   };
 
   void emit(JsonWriter& w, bool include_timing) const;
+  static void emit_table(JsonWriter& w, const Table& t);
 
   std::string bench_;
   std::vector<std::pair<std::string, std::string>> context_;
   std::vector<Table> tables_;
+  std::vector<Table> timing_tables_;
   std::vector<Point> points_;
   std::size_t requests_ = 0;
   std::size_t cache_hits_ = 0;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <cstdint>
+
 #include "gemm/pack.hpp"
 #include "obs/tracer.hpp"
 #include "util/math.hpp"
+#include "util/warnings.hpp"
 
 namespace mcmm {
 
@@ -122,7 +125,10 @@ KernelPath parse_kernel_path(const std::string& name) {
   if (name == "auto") return KernelPath::kAuto;
   if (name == "scalar") return KernelPath::kScalar;
   if (name == "simd") return KernelPath::kSimd;
-  throw Error("unknown kernel path: " + name + " (auto|scalar|simd)");
+  if (name == "avx2") return KernelPath::kAvx2;
+  if (name == "avx512") return KernelPath::kAvx512;
+  throw Error("unknown kernel path: " + name +
+              " (auto|scalar|simd|avx2|avx512)");
 }
 
 KernelContext::KernelContext(int workers, KernelPath path) : path_(path) {
@@ -134,12 +140,59 @@ KernelContext::KernelContext(int workers, KernelPath path) : path_(path) {
     case KernelPath::kSimd:
       kernel_ = simd_micro_kernel();  // throws when unavailable
       break;
+    case KernelPath::kAvx2:
+      kernel_ = avx2_micro_kernel();  // throws when unavailable
+      break;
+    case KernelPath::kAvx512:
+      kernel_ = avx512_micro_kernels().front();  // throws when unavailable
+      break;
     case KernelPath::kAuto:
       kernel_ = best_micro_kernel();
       break;
   }
   name_ = kernel_.name;
   states_.resize(static_cast<std::size_t>(workers));
+}
+
+KernelContext::KernelContext(int workers, const KernelTuning& tuning)
+    : path_(KernelPath::kAuto) {
+  MCMM_REQUIRE(workers >= 1, "KernelContext: need at least one worker");
+  if (tuning.tuned && !tuning.kernel.empty()) {
+    try {
+      kernel_ = micro_kernel_by_name(tuning.kernel);
+    } catch (const Error&) {
+      // A profile tuned on another machine: keep running with the best
+      // local kernel rather than failing the whole tool.
+      emit_warning("KernelContext: tuned kernel \"" + tuning.kernel +
+                   "\" cannot run on this host (" +
+                   (avx512_unavailable_reason().empty()
+                        ? simd_unavailable_reason()
+                        : avx512_unavailable_reason()) +
+                   "); falling back to auto dispatch");
+      kernel_ = best_micro_kernel();
+    }
+    knobs_.prefetch_a = tuning.prefetch_a;
+    knobs_.prefetch_b = tuning.prefetch_b;
+    pack_prefetch_ = tuning.pack_prefetch;
+    stream_stores_ = tuning.stream_stores;
+  } else {
+    kernel_ = best_micro_kernel();
+  }
+  name_ = kernel_.name;
+  states_.resize(static_cast<std::size_t>(workers));
+}
+
+void KernelContext::set_kernel(const MicroKernel& kernel) {
+  MCMM_REQUIRE(kernel.fn != nullptr && kernel.mr >= 1 && kernel.nr >= 1,
+               "KernelContext::set_kernel: malformed kernel");
+  MCMM_REQUIRE(kernel.mr <= kMaxMicroM && kernel.nr <= kMaxMicroN,
+               "KernelContext::set_kernel: tile exceeds kMaxMicroM/N");
+  kernel_ = kernel;
+  name_ = kernel_.name;
+  // Stale panels cannot be served even without this: the memo keys carry
+  // the pack stride.  Dropping them anyway frees the slots for the new
+  // shape immediately.
+  invalidate();
 }
 
 void KernelContext::invalidate() {
@@ -165,11 +218,12 @@ const double* KernelContext::pack_a_memo(WorkerState& st, int worker,
   // The schedules revisit A blocks along a row of C and B blocks across
   // their tile loops; memoising the packed panels per worker turns those
   // revisits into free reuse instead of repacking.
-  if (!st.a_key.matches(i0, k0, mb, kb)) {
-    const auto need = static_cast<std::size_t>(packed_a_size(mb, kb, kMicroM));
+  const std::int64_t mr = kernel_.mr;
+  if (!st.a_key.matches(i0, k0, mb, kb, mr)) {
+    const auto need = static_cast<std::size_t>(packed_a_size(mb, kb, mr));
     if (st.a_buf.size() < need) st.a_buf.resize(need);
-    pack_a_panel(a, i0, k0, mb, kb, kMicroM, st.a_buf.data());
-    st.a_key = {i0, k0, mb, kb};
+    pack_a_panel(a, i0, k0, mb, kb, mr, st.a_buf.data(), pack_prefetch_);
+    st.a_key = {i0, k0, mb, kb, mr};
     if (tracer_ != nullptr) {
       const std::int64_t t = tracer_->now_ns();
       tracer_->record(worker, TracePhase::kPackA, mark_ns, t);
@@ -183,30 +237,55 @@ void KernelContext::micro_tiles(int worker, Matrix& c, const double* ap,
                                 const double* bp, std::int64_t i0,
                                 std::int64_t j0, std::int64_t mb,
                                 std::int64_t nb, std::int64_t kb,
-                                std::int64_t mark_ns) {
+                                bool last_k_panel, std::int64_t mark_ns) {
   const std::int64_t ldc = c.cols();
-  for (std::int64_t jt = 0; jt < nb; jt += kMicroN) {
-    const std::int64_t nr_eff = std::min(kMicroN, nb - jt);
-    const double* bstrip = bp + (jt / kMicroN) * (kMicroN * kb);
-    for (std::int64_t it = 0; it < mb; it += kMicroM) {
-      const std::int64_t mr_eff = std::min(kMicroM, mb - it);
-      const double* astrip = ap + (it / kMicroM) * (kMicroM * kb);
+  const std::int64_t mr = kernel_.mr, nr = kernel_.nr;
+  // The NT path is legal only on the product's final accumulation into
+  // this C block (streamed lines bypass the caches, so re-reading them on
+  // the next k-panel would forfeit the win) and only for tiles whose rows
+  // all meet the kernel's store alignment.  Row alignment is uniform when
+  // the row stride is a multiple of the vector width, so one tile check
+  // (base pointer + ldc) covers every row.
+  const bool want_stream =
+      stream_stores_ && last_k_panel && kernel_.stream_align > 0 &&
+      (ldc * static_cast<std::int64_t>(sizeof(double))) %
+              kernel_.stream_align ==
+          0;
+  bool streamed = false;
+  for (std::int64_t jt = 0; jt < nb; jt += nr) {
+    const std::int64_t nr_eff = std::min(nr, nb - jt);
+    const double* bstrip = bp + (jt / nr) * (nr * kb);
+    for (std::int64_t it = 0; it < mb; it += mr) {
+      const std::int64_t mr_eff = std::min(mr, mb - it);
+      const double* astrip = ap + (it / mr) * (mr * kb);
       double* cptr = c.row_ptr(i0 + it) + j0 + jt;
-      if (mr_eff == kMicroM && nr_eff == kMicroN) {
-        kernel_.fn(kb, astrip, bstrip, cptr, ldc);
+      if (mr_eff == mr && nr_eff == nr) {
+        if (want_stream &&
+            reinterpret_cast<std::uintptr_t>(cptr) %
+                    static_cast<std::uintptr_t>(kernel_.stream_align) ==
+                0) {
+          kernel_.stream_fn(kb, astrip, bstrip, cptr, ldc, knobs_);
+          streamed = true;
+        } else {
+          kernel_.fn(kb, astrip, bstrip, cptr, ldc, knobs_);
+        }
       } else {
         // Edge tile: run the full-size kernel into a scratch tile (the
         // packed panels are zero-padded), then add only the live corner.
-        alignas(64) double tmp[kMicroM * kMicroN] = {};
-        kernel_.fn(kb, astrip, bstrip, tmp, kMicroN);
+        alignas(64) double tmp[kMaxMicroM * kMaxMicroN] = {};
+        kernel_.fn(kb, astrip, bstrip, tmp, nr, knobs_);
         for (std::int64_t r = 0; r < mr_eff; ++r) {
           double* crow = cptr + r * ldc;
-          const double* trow = tmp + r * kMicroN;
+          const double* trow = tmp + r * nr;
           for (std::int64_t j = 0; j < nr_eff; ++j) crow[j] += trow[j];
         }
       }
     }
   }
+  // Order the non-temporal stores before this block op completes: after
+  // the fence the C lines are globally visible, so the pool barrier (or
+  // any later reader) observes them exactly like regular stores.
+  if (streamed) stream_fence();
   if (tracer_ != nullptr) {
     tracer_->record(worker, TracePhase::kMicroKernel, mark_ns,
                     tracer_->now_ns());
@@ -234,11 +313,12 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
       static_cast<std::uint64_t>(j0) * 0x9E3779B97F4A7C15ull ^
       static_cast<std::uint64_t>(k0) * 0xC2B2AE3D27D4EB4Full;
   BSlot& slot = st.b[static_cast<std::size_t>(hash >> 32) % kBSlots];
-  if (!slot.key.matches(k0, j0, kb, nb)) {
-    const auto need = static_cast<std::size_t>(packed_b_size(kb, nb, kMicroN));
+  const std::int64_t nr = kernel_.nr;
+  if (!slot.key.matches(k0, j0, kb, nb, nr)) {
+    const auto need = static_cast<std::size_t>(packed_b_size(kb, nb, nr));
     if (slot.buf.size() < need) slot.buf.resize(need);
-    pack_b_panel(b, k0, j0, kb, nb, kMicroN, slot.buf.data());
-    slot.key = {k0, j0, kb, nb};
+    pack_b_panel(b, k0, j0, kb, nb, nr, slot.buf.data(), pack_prefetch_);
+    slot.key = {k0, j0, kb, nb, nr};
     if (tracer_ != nullptr) {
       const std::int64_t t = tracer_->now_ns();
       tracer_->record(worker, TracePhase::kPackB, mark_ns, t);
@@ -246,7 +326,8 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
     }
   }
 
-  micro_tiles(worker, c, ap, slot.buf.data(), i0, j0, mb, nb, kb, mark_ns);
+  micro_tiles(worker, c, ap, slot.buf.data(), i0, j0, mb, nb, kb,
+              k0 + kb == a.cols(), mark_ns);
 }
 
 void KernelContext::block_op_packed_b(int worker, Matrix& c, const Matrix& a,
@@ -261,7 +342,8 @@ void KernelContext::block_op_packed_b(int worker, Matrix& c, const Matrix& a,
 
   std::int64_t mark_ns = tracer_ != nullptr ? tracer_->now_ns() : 0;
   const double* ap = pack_a_memo(st, worker, a, i0, k0, mb, kb, mark_ns);
-  micro_tiles(worker, c, ap, packed_b, i0, j0, mb, nb, kb, mark_ns);
+  micro_tiles(worker, c, ap, packed_b, i0, j0, mb, nb, kb,
+              k0 + kb == a.cols(), mark_ns);
 }
 
 void gemm_micro(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t q,

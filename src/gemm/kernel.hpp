@@ -50,12 +50,15 @@ void gemm_blocked_packed(Matrix& c, const Matrix& a, const Matrix& b,
 
 /// Which micro-kernel a KernelContext uses.
 enum class KernelPath {
-  kAuto,    ///< SIMD when compiled in and the CPU supports it, else scalar
+  kAuto,    ///< best kernel this host can run (AVX-512 > AVX2 > scalar)
   kScalar,  ///< force the portable kernel (bitwise-reproducible everywhere)
-  kSimd,    ///< force AVX2+FMA; constructing throws when unavailable
+  kSimd,    ///< force the best SIMD kernel; constructing throws when none
+  kAvx2,    ///< force avx2-fma-4x8 (the PR-4 baseline); throws when absent
+  kAvx512,  ///< force the AVX-512 family's default shape; throws when absent
 };
 
-/// Parse "auto" | "scalar" | "simd" (the --kernel CLI flag).
+/// Parse "auto" | "scalar" | "simd" | "avx2" | "avx512" (the --kernel
+/// CLI flag).
 KernelPath parse_kernel_path(const std::string& name);
 
 /// The block-kernel engine: per-worker packing state + dispatched
@@ -74,11 +77,44 @@ class KernelContext {
 public:
   explicit KernelContext(int workers, KernelPath path = KernelPath::kAuto);
 
+  /// Build from an autotuned profile (mcmm_tune): selects the tuned
+  /// kernel by name and installs the tuned prefetch distances, pack
+  /// prefetch, and streaming-store policy.  When the profile is untuned
+  /// this is exactly the kAuto constructor; when the tuned kernel cannot
+  /// run on this host (profile from another machine) it falls back to
+  /// the best available kernel and emits a warning.
+  KernelContext(int workers, const KernelTuning& tuning);
+
   int workers() const { return static_cast<int>(states_.size()); }
   KernelPath path() const { return path_; }
 
   /// Dispatch string for reports, e.g. "avx2-fma-4x8" or "scalar-4x8".
   const std::string& dispatch_name() const { return name_; }
+
+  /// The dispatched micro-kernel (tile shape, contraction, NT variant).
+  const MicroKernel& kernel() const { return kernel_; }
+
+  /// Replace the dispatched micro-kernel (the autotuner's A/B lever; also
+  /// lets tests pin an exact kernel).  Memoised panels are dropped via
+  /// the pack-stride key, so a mid-process switch can never consume a
+  /// panel packed for another shape.
+  void set_kernel(const MicroKernel& kernel);
+
+  /// Micro-kernel prefetch distances passed to every tile invocation.
+  void set_knobs(const KernelKnobs& knobs) { knobs_ = knobs; }
+  const KernelKnobs& knobs() const { return knobs_; }
+
+  /// Pack-time prefetch distance (lines/rows ahead; 0 off).
+  void set_pack_prefetch(std::int64_t distance) { pack_prefetch_ = distance; }
+  std::int64_t pack_prefetch() const { return pack_prefetch_; }
+
+  /// Enable non-temporal C stores on each product's final k-panel.  Only
+  /// tiles that meet the kernel's stream_align on every row use the NT
+  /// path (ragged and misaligned tiles fall back to regular stores), and
+  /// the engine fences before block_op returns, so results are bit-
+  /// identical with streaming on or off.
+  void set_stream_stores(bool on) { stream_stores_ = on; }
+  bool stream_stores() const { return stream_stores_; }
 
   /// Whether the dispatched micro-kernel contracts multiply-adds (FMA).
   /// The batch engine's direct path mirrors this per coefficient
@@ -102,9 +138,10 @@ public:
                          std::int64_t nb, std::int64_t kb);
 
   /// Drop every memoised panel (buffers are kept).  The memo is keyed on
-  /// block offsets only, so it is valid for one (A, B) pair; every engine
-  /// entry point (gemm_micro, the parallel schedules) calls this before a
-  /// product.  Direct block_op users working on fresh matrices must too.
+  /// block offsets + pack stride, so it is valid for one (A, B) pair;
+  /// every engine entry point (gemm_micro, the parallel schedules) calls
+  /// this before a product.  Direct block_op users working on fresh
+  /// matrices must too.
   void invalidate();
 
   /// Drop one worker's memoised panels only.  The batch engine runs many
@@ -124,12 +161,15 @@ public:
   ExecutionTracer* tracer() const { return tracer_; }
 
 private:
-  /// Identity of a packed sub-block (offsets + extents in coefficients).
+  /// Identity of a packed sub-block: offsets + extents in coefficients
+  /// AND the pack stride (MR for A panels, NR for B panels).  The stride
+  /// is part of the layout, so a kernel switch (set_kernel, tuned shapes)
+  /// can never match a panel packed for a different register tile.
   struct PackKey {
-    std::int64_t r0 = -1, c0 = -1, rows = 0, cols = 0;
+    std::int64_t r0 = -1, c0 = -1, rows = 0, cols = 0, stride = 0;
     bool matches(std::int64_t r, std::int64_t c, std::int64_t nr,
-                 std::int64_t nc) const {
-      return r0 == r && c0 == c && rows == nr && cols == nc;
+                 std::int64_t nc, std::int64_t s) const {
+      return r0 == r && c0 == c && rows == nr && cols == nc && stride == s;
     }
   };
   struct BSlot {
@@ -150,13 +190,19 @@ private:
                             std::int64_t kb, std::int64_t& mark_ns);
 
   /// The register-tile sweep shared by block_op and block_op_packed_b.
+  /// `last_k_panel` marks the product's final accumulation into this C
+  /// block — the only time the NT store path may be used.
   void micro_tiles(int worker, Matrix& c, const double* ap, const double* bp,
                    std::int64_t i0, std::int64_t j0, std::int64_t mb,
-                   std::int64_t nb, std::int64_t kb, std::int64_t mark_ns);
+                   std::int64_t nb, std::int64_t kb, bool last_k_panel,
+                   std::int64_t mark_ns);
 
   MicroKernel kernel_;
   KernelPath path_;
   std::string name_;
+  KernelKnobs knobs_;
+  std::int64_t pack_prefetch_ = 0;
+  bool stream_stores_ = false;
   std::vector<WorkerState> states_;
   ExecutionTracer* tracer_ = nullptr;
 };

@@ -1,5 +1,7 @@
 #include "gemm/microkernel.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 // The SIMD path needs: the CMake switch (MCMM_SIMD=ON defines
@@ -14,49 +16,89 @@
 #define MCMM_SIMD_X86 0
 #endif
 
+// AVX-512 stacks on top: its own CMake switch so CI can probe both
+// configurations, still gated on the same toolchain requirements.
+#if MCMM_SIMD_X86 && defined(MCMM_AVX512_ENABLED) && MCMM_AVX512_ENABLED
+#define MCMM_AVX512_X86 1
+#else
+#define MCMM_AVX512_X86 0
+#endif
+
+// Prefetch hints are GNU builtins; they compile to nothing elsewhere.
+// Prefetching is architecturally side-effect-free (never faults, never
+// changes results), so running past a panel's end by a few k-steps is
+// safe — it only warms (or wastes) a cache line.
+#if defined(__GNUC__) || defined(__clang__)
+#define MCMM_PREFETCH_R(addr) __builtin_prefetch((addr), 0, 3)
+#define MCMM_PREFETCH_W(addr) __builtin_prefetch((addr), 1, 3)
+#else
+#define MCMM_PREFETCH_R(addr) ((void)0)
+#define MCMM_PREFETCH_W(addr) ((void)0)
+#endif
+
 namespace mcmm {
 
 namespace {
 
-void kernel_scalar_4x8(std::int64_t kc, const double* a, const double* b,
-                       double* c, std::int64_t ldc) {
-  // Accumulate the whole tile in locals, then add once to C: one store per
-  // element and a per-element summation order (k ascending) that does not
-  // depend on how the caller decomposed the matrix.
-  double acc[kMicroM][kMicroN] = {};
+/// The portable tile kernel, shape- and contraction-parameterised: the
+/// scalar dispatch path (FUSED=false) and the bit-exact mirrors of the
+/// SIMD kernels (FUSED=true, std::fma == the hardware vfmadd per lane).
+/// Accumulates the whole tile in locals, then adds once to C: one store
+/// per element and a per-element summation order (k ascending) that does
+/// not depend on how the caller decomposed the matrix.
+template <int MR, int NR, bool FUSED>
+void kernel_generic(std::int64_t kc, const double* a, const double* b,
+                    double* c, std::int64_t ldc, const KernelKnobs& knobs) {
+  double acc[MR][NR] = {};
+  const std::int64_t pfa = knobs.prefetch_a, pfb = knobs.prefetch_b;
+  if (pfa > 0 || pfb > 0) {
+    for (int r = 0; r < MR; ++r) MCMM_PREFETCH_W(c + r * ldc);
+  }
   for (std::int64_t k = 0; k < kc; ++k) {
-    const double* ak = a + k * kMicroM;
-    const double* bk = b + k * kMicroN;
-    for (std::int64_t r = 0; r < kMicroM; ++r) {
+    if (pfa > 0) MCMM_PREFETCH_R(a + (k + pfa) * MR);
+    if (pfb > 0) MCMM_PREFETCH_R(b + (k + pfb) * NR);
+    const double* ak = a + k * MR;
+    const double* bk = b + k * NR;
+    for (int r = 0; r < MR; ++r) {
       const double ar = ak[r];
-      for (std::int64_t j = 0; j < kMicroN; ++j) {
-        acc[r][j] += ar * bk[j];
+      for (int j = 0; j < NR; ++j) {
+        if constexpr (FUSED) {
+          acc[r][j] = std::fma(ar, bk[j], acc[r][j]);
+        } else {
+          acc[r][j] += ar * bk[j];
+        }
       }
     }
   }
-  for (std::int64_t r = 0; r < kMicroM; ++r) {
+  for (int r = 0; r < MR; ++r) {
     double* crow = c + r * ldc;
-    for (std::int64_t j = 0; j < kMicroN; ++j) crow[j] += acc[r][j];
+    for (int j = 0; j < NR; ++j) crow[j] += acc[r][j];
   }
 }
 
 #if MCMM_SIMD_X86
-__attribute__((target("avx2,fma"))) void kernel_avx2_4x8(std::int64_t kc,
-                                                         const double* a,
-                                                         const double* b,
-                                                         double* c,
-                                                         std::int64_t ldc) {
-  // 4 rows x 8 columns = 8 ymm accumulators; each k step broadcasts four
-  // A coefficients against two aligned B vectors (packed panels are
-  // 64-byte aligned and NR == 8 doubles keeps every B row on a boundary).
+// 4 rows x 8 columns = 8 ymm accumulators; each k step broadcasts four
+// A coefficients against two aligned B vectors (packed panels are
+// 64-byte aligned and NR == 8 doubles keeps every B row on a boundary).
+// `stream` selects the non-temporal write-back: same load+add arithmetic,
+// only the store instruction differs, so the bits in C are identical.
+__attribute__((target("avx2,fma"))) inline void avx2_4x8_body(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs, bool stream) {
   __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
   __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
   __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
   __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  const std::int64_t pfa = knobs.prefetch_a, pfb = knobs.prefetch_b;
+  if (pfa > 0 || pfb > 0) {
+    for (int r = 0; r < 4; ++r) MCMM_PREFETCH_W(c + r * ldc);
+  }
   for (std::int64_t k = 0; k < kc; ++k) {
-    const __m256d b0 = _mm256_load_pd(b + k * kMicroN);
-    const __m256d b1 = _mm256_load_pd(b + k * kMicroN + 4);
-    const double* ak = a + k * kMicroM;
+    if (pfa > 0) MCMM_PREFETCH_R(a + (k + pfa) * 4);
+    if (pfb > 0) MCMM_PREFETCH_R(b + (k + pfb) * 8);
+    const __m256d b0 = _mm256_load_pd(b + k * 8);
+    const __m256d b1 = _mm256_load_pd(b + k * 8 + 4);
+    const double* ak = a + k * 4;
     __m256d ar = _mm256_broadcast_sd(ak + 0);
     c00 = _mm256_fmadd_pd(ar, b0, c00);
     c01 = _mm256_fmadd_pd(ar, b1, c01);
@@ -70,21 +112,227 @@ __attribute__((target("avx2,fma"))) void kernel_avx2_4x8(std::int64_t kc,
     c30 = _mm256_fmadd_pd(ar, b0, c30);
     c31 = _mm256_fmadd_pd(ar, b1, c31);
   }
-  // C is the caller's matrix (or an aligned scratch tile): unaligned ops.
   double* c0 = c;
   double* c1 = c + ldc;
   double* c2 = c + 2 * ldc;
   double* c3 = c + 3 * ldc;
-  _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), c00));
-  _mm256_storeu_pd(c0 + 4, _mm256_add_pd(_mm256_loadu_pd(c0 + 4), c01));
-  _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), c10));
-  _mm256_storeu_pd(c1 + 4, _mm256_add_pd(_mm256_loadu_pd(c1 + 4), c11));
-  _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), c20));
-  _mm256_storeu_pd(c2 + 4, _mm256_add_pd(_mm256_loadu_pd(c2 + 4), c21));
-  _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), c30));
-  _mm256_storeu_pd(c3 + 4, _mm256_add_pd(_mm256_loadu_pd(c3 + 4), c31));
+  if (stream) {
+    // Caller guarantees 32-byte-aligned rows (stream_align); aligned
+    // loads read the old C, the sums go out through the WC buffers.
+    _mm256_stream_pd(c0, _mm256_add_pd(_mm256_load_pd(c0), c00));
+    _mm256_stream_pd(c0 + 4, _mm256_add_pd(_mm256_load_pd(c0 + 4), c01));
+    _mm256_stream_pd(c1, _mm256_add_pd(_mm256_load_pd(c1), c10));
+    _mm256_stream_pd(c1 + 4, _mm256_add_pd(_mm256_load_pd(c1 + 4), c11));
+    _mm256_stream_pd(c2, _mm256_add_pd(_mm256_load_pd(c2), c20));
+    _mm256_stream_pd(c2 + 4, _mm256_add_pd(_mm256_load_pd(c2 + 4), c21));
+    _mm256_stream_pd(c3, _mm256_add_pd(_mm256_load_pd(c3), c30));
+    _mm256_stream_pd(c3 + 4, _mm256_add_pd(_mm256_load_pd(c3 + 4), c31));
+  } else {
+    // C is the caller's matrix (or an aligned scratch tile): unaligned ops.
+    _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), c00));
+    _mm256_storeu_pd(c0 + 4, _mm256_add_pd(_mm256_loadu_pd(c0 + 4), c01));
+    _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), c10));
+    _mm256_storeu_pd(c1 + 4, _mm256_add_pd(_mm256_loadu_pd(c1 + 4), c11));
+    _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), c20));
+    _mm256_storeu_pd(c2 + 4, _mm256_add_pd(_mm256_loadu_pd(c2 + 4), c21));
+    _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), c30));
+    _mm256_storeu_pd(c3 + 4, _mm256_add_pd(_mm256_loadu_pd(c3 + 4), c31));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void kernel_avx2_4x8(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs) {
+  avx2_4x8_body(kc, a, b, c, ldc, knobs, false);
+}
+
+__attribute__((target("avx2,fma"))) void kernel_avx2_4x8_stream(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs) {
+  avx2_4x8_body(kc, a, b, c, ldc, knobs, true);
 }
 #endif  // MCMM_SIMD_X86
+
+#if MCMM_AVX512_X86
+// 8 rows x 16 columns = 16 zmm accumulators + 2 B vectors + 1 broadcast
+// (19 of 32 zmm).  B rows are 16 doubles = two full cache lines, always
+// 64-byte aligned in the packed panel.
+__attribute__((target("avx512f"))) inline void avx512_8x16_body(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs, bool stream) {
+  __m512d acc0a = _mm512_setzero_pd(), acc0b = _mm512_setzero_pd();
+  __m512d acc1a = _mm512_setzero_pd(), acc1b = _mm512_setzero_pd();
+  __m512d acc2a = _mm512_setzero_pd(), acc2b = _mm512_setzero_pd();
+  __m512d acc3a = _mm512_setzero_pd(), acc3b = _mm512_setzero_pd();
+  __m512d acc4a = _mm512_setzero_pd(), acc4b = _mm512_setzero_pd();
+  __m512d acc5a = _mm512_setzero_pd(), acc5b = _mm512_setzero_pd();
+  __m512d acc6a = _mm512_setzero_pd(), acc6b = _mm512_setzero_pd();
+  __m512d acc7a = _mm512_setzero_pd(), acc7b = _mm512_setzero_pd();
+  const std::int64_t pfa = knobs.prefetch_a, pfb = knobs.prefetch_b;
+  if (pfa > 0 || pfb > 0) {
+    for (int r = 0; r < 8; ++r) {
+      MCMM_PREFETCH_W(c + r * ldc);
+      MCMM_PREFETCH_W(c + r * ldc + 8);
+    }
+  }
+  for (std::int64_t k = 0; k < kc; ++k) {
+    if (pfa > 0) MCMM_PREFETCH_R(a + (k + pfa) * 8);
+    if (pfb > 0) {
+      MCMM_PREFETCH_R(b + (k + pfb) * 16);
+      MCMM_PREFETCH_R(b + (k + pfb) * 16 + 8);
+    }
+    const __m512d b0 = _mm512_load_pd(b + k * 16);
+    const __m512d b1 = _mm512_load_pd(b + k * 16 + 8);
+    const double* ak = a + k * 8;
+    __m512d ar = _mm512_set1_pd(ak[0]);
+    acc0a = _mm512_fmadd_pd(ar, b0, acc0a);
+    acc0b = _mm512_fmadd_pd(ar, b1, acc0b);
+    ar = _mm512_set1_pd(ak[1]);
+    acc1a = _mm512_fmadd_pd(ar, b0, acc1a);
+    acc1b = _mm512_fmadd_pd(ar, b1, acc1b);
+    ar = _mm512_set1_pd(ak[2]);
+    acc2a = _mm512_fmadd_pd(ar, b0, acc2a);
+    acc2b = _mm512_fmadd_pd(ar, b1, acc2b);
+    ar = _mm512_set1_pd(ak[3]);
+    acc3a = _mm512_fmadd_pd(ar, b0, acc3a);
+    acc3b = _mm512_fmadd_pd(ar, b1, acc3b);
+    ar = _mm512_set1_pd(ak[4]);
+    acc4a = _mm512_fmadd_pd(ar, b0, acc4a);
+    acc4b = _mm512_fmadd_pd(ar, b1, acc4b);
+    ar = _mm512_set1_pd(ak[5]);
+    acc5a = _mm512_fmadd_pd(ar, b0, acc5a);
+    acc5b = _mm512_fmadd_pd(ar, b1, acc5b);
+    ar = _mm512_set1_pd(ak[6]);
+    acc6a = _mm512_fmadd_pd(ar, b0, acc6a);
+    acc6b = _mm512_fmadd_pd(ar, b1, acc6b);
+    ar = _mm512_set1_pd(ak[7]);
+    acc7a = _mm512_fmadd_pd(ar, b0, acc7a);
+    acc7b = _mm512_fmadd_pd(ar, b1, acc7b);
+  }
+  const __m512d accs[8][2] = {{acc0a, acc0b}, {acc1a, acc1b}, {acc2a, acc2b},
+                              {acc3a, acc3b}, {acc4a, acc4b}, {acc5a, acc5b},
+                              {acc6a, acc6b}, {acc7a, acc7b}};
+  for (int r = 0; r < 8; ++r) {
+    double* crow = c + r * ldc;
+    if (stream) {
+      _mm512_stream_pd(crow, _mm512_add_pd(_mm512_load_pd(crow), accs[r][0]));
+      _mm512_stream_pd(crow + 8,
+                       _mm512_add_pd(_mm512_load_pd(crow + 8), accs[r][1]));
+    } else {
+      _mm512_storeu_pd(crow,
+                       _mm512_add_pd(_mm512_loadu_pd(crow), accs[r][0]));
+      _mm512_storeu_pd(crow + 8,
+                       _mm512_add_pd(_mm512_loadu_pd(crow + 8), accs[r][1]));
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void kernel_avx512_8x16(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs) {
+  avx512_8x16_body(kc, a, b, c, ldc, knobs, false);
+}
+
+__attribute__((target("avx512f"))) void kernel_avx512_8x16_stream(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs) {
+  avx512_8x16_body(kc, a, b, c, ldc, knobs, true);
+}
+
+// 4 rows x 24 columns = 12 zmm accumulators + 3 B vectors + 1 broadcast
+// (16 of 32 zmm): a wider, shallower tile for hosts where broadcast
+// latency dominates (fewer A broadcasts per FMA).
+__attribute__((target("avx512f"))) inline void avx512_4x24_body(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs, bool stream) {
+  __m512d acc0a = _mm512_setzero_pd(), acc0b = _mm512_setzero_pd(),
+          acc0c = _mm512_setzero_pd();
+  __m512d acc1a = _mm512_setzero_pd(), acc1b = _mm512_setzero_pd(),
+          acc1c = _mm512_setzero_pd();
+  __m512d acc2a = _mm512_setzero_pd(), acc2b = _mm512_setzero_pd(),
+          acc2c = _mm512_setzero_pd();
+  __m512d acc3a = _mm512_setzero_pd(), acc3b = _mm512_setzero_pd(),
+          acc3c = _mm512_setzero_pd();
+  const std::int64_t pfa = knobs.prefetch_a, pfb = knobs.prefetch_b;
+  if (pfa > 0 || pfb > 0) {
+    for (int r = 0; r < 4; ++r) {
+      MCMM_PREFETCH_W(c + r * ldc);
+      MCMM_PREFETCH_W(c + r * ldc + 8);
+      MCMM_PREFETCH_W(c + r * ldc + 16);
+    }
+  }
+  for (std::int64_t k = 0; k < kc; ++k) {
+    if (pfa > 0) MCMM_PREFETCH_R(a + (k + pfa) * 4);
+    if (pfb > 0) {
+      MCMM_PREFETCH_R(b + (k + pfb) * 24);
+      MCMM_PREFETCH_R(b + (k + pfb) * 24 + 8);
+      MCMM_PREFETCH_R(b + (k + pfb) * 24 + 16);
+    }
+    const __m512d b0 = _mm512_load_pd(b + k * 24);
+    const __m512d b1 = _mm512_load_pd(b + k * 24 + 8);
+    const __m512d b2 = _mm512_load_pd(b + k * 24 + 16);
+    const double* ak = a + k * 4;
+    __m512d ar = _mm512_set1_pd(ak[0]);
+    acc0a = _mm512_fmadd_pd(ar, b0, acc0a);
+    acc0b = _mm512_fmadd_pd(ar, b1, acc0b);
+    acc0c = _mm512_fmadd_pd(ar, b2, acc0c);
+    ar = _mm512_set1_pd(ak[1]);
+    acc1a = _mm512_fmadd_pd(ar, b0, acc1a);
+    acc1b = _mm512_fmadd_pd(ar, b1, acc1b);
+    acc1c = _mm512_fmadd_pd(ar, b2, acc1c);
+    ar = _mm512_set1_pd(ak[2]);
+    acc2a = _mm512_fmadd_pd(ar, b0, acc2a);
+    acc2b = _mm512_fmadd_pd(ar, b1, acc2b);
+    acc2c = _mm512_fmadd_pd(ar, b2, acc2c);
+    ar = _mm512_set1_pd(ak[3]);
+    acc3a = _mm512_fmadd_pd(ar, b0, acc3a);
+    acc3b = _mm512_fmadd_pd(ar, b1, acc3b);
+    acc3c = _mm512_fmadd_pd(ar, b2, acc3c);
+  }
+  const __m512d accs[4][3] = {{acc0a, acc0b, acc0c},
+                              {acc1a, acc1b, acc1c},
+                              {acc2a, acc2b, acc2c},
+                              {acc3a, acc3b, acc3c}};
+  for (int r = 0; r < 4; ++r) {
+    double* crow = c + r * ldc;
+    for (int v = 0; v < 3; ++v) {
+      double* cp = crow + v * 8;
+      if (stream) {
+        _mm512_stream_pd(cp, _mm512_add_pd(_mm512_load_pd(cp), accs[r][v]));
+      } else {
+        _mm512_storeu_pd(cp, _mm512_add_pd(_mm512_loadu_pd(cp), accs[r][v]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void kernel_avx512_4x24(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs) {
+  avx512_4x24_body(kc, a, b, c, ldc, knobs, false);
+}
+
+__attribute__((target("avx512f"))) void kernel_avx512_4x24_stream(
+    std::int64_t kc, const double* a, const double* b, double* c,
+    std::int64_t ldc, const KernelKnobs& knobs) {
+  avx512_4x24_body(kc, a, b, c, ldc, knobs, true);
+}
+#endif  // MCMM_AVX512_X86
+
+MicroKernel mirror_fma_4x8() {
+  return {&kernel_generic<4, 8, true>, &kernel_generic<4, 8, true>,
+          "scalar-fma-4x8", true, 4, 8, 0};
+}
+
+MicroKernel mirror_fma_8x16() {
+  return {&kernel_generic<8, 16, true>, &kernel_generic<8, 16, true>,
+          "scalar-fma-8x16", true, 8, 16, 0};
+}
+
+MicroKernel mirror_fma_4x24() {
+  return {&kernel_generic<4, 24, true>, &kernel_generic<4, 24, true>,
+          "scalar-fma-4x24", true, 4, 24, 0};
+}
 
 }  // namespace
 
@@ -107,24 +355,101 @@ std::string simd_unavailable_reason() {
 #endif
 }
 
+bool avx512_kernel_available() {
+#if MCMM_AVX512_X86
+  static const bool supported = __builtin_cpu_supports("avx512f");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+std::string avx512_unavailable_reason() {
+#if MCMM_AVX512_X86
+  if (avx512_kernel_available()) return "";
+  return "host CPU lacks AVX-512F";
+#else
+  return "compiled without the AVX-512 kernels (MCMM_AVX512=OFF, "
+         "MCMM_SIMD=OFF, or non-x86-64)";
+#endif
+}
+
 MicroKernel scalar_micro_kernel() {
   // Plain mul+add: the generic x86-64 target has no FMA instruction, so
   // the compiler cannot contract the accumulate loop.
-  return {&kernel_scalar_4x8, "scalar-4x8", false};
+  return {&kernel_generic<4, 8, false>, &kernel_generic<4, 8, false>,
+          "scalar-4x8", false, 4, 8, 0};
 }
 
-MicroKernel simd_micro_kernel() {
+MicroKernel avx2_micro_kernel() {
   MCMM_REQUIRE(simd_kernel_available(),
-               "simd_micro_kernel: " + simd_unavailable_reason());
+               "avx2_micro_kernel: " + simd_unavailable_reason());
 #if MCMM_SIMD_X86
-  return {&kernel_avx2_4x8, "avx2-fma-4x8", true};
+  return {&kernel_avx2_4x8, &kernel_avx2_4x8_stream,
+          "avx2-fma-4x8", true, 4, 8, 32};
 #else
   return {};  // unreachable: the MCMM_REQUIRE above always throws here
 #endif
 }
 
+std::vector<MicroKernel> avx512_micro_kernels() {
+  MCMM_REQUIRE(avx512_kernel_available(),
+               "avx512_micro_kernels: " + avx512_unavailable_reason());
+#if MCMM_AVX512_X86
+  return {{&kernel_avx512_8x16, &kernel_avx512_8x16_stream,
+           "avx512-fma-8x16", true, 8, 16, 64},
+          {&kernel_avx512_4x24, &kernel_avx512_4x24_stream,
+           "avx512-fma-4x24", true, 4, 24, 64}};
+#else
+  return {};  // unreachable: the MCMM_REQUIRE above always throws here
+#endif
+}
+
+MicroKernel simd_micro_kernel() {
+  if (avx512_kernel_available()) return avx512_micro_kernels().front();
+  return avx2_micro_kernel();  // throws when no SIMD kernel can run
+}
+
 MicroKernel best_micro_kernel() {
-  return simd_kernel_available() ? simd_micro_kernel() : scalar_micro_kernel();
+  if (avx512_kernel_available()) return avx512_micro_kernels().front();
+  return simd_kernel_available() ? avx2_micro_kernel() : scalar_micro_kernel();
+}
+
+std::vector<MicroKernel> all_micro_kernels() {
+  std::vector<MicroKernel> out;
+  out.push_back(scalar_micro_kernel());
+  if (simd_kernel_available()) out.push_back(avx2_micro_kernel());
+  if (avx512_kernel_available()) {
+    for (const MicroKernel& k : avx512_micro_kernels()) out.push_back(k);
+  }
+  return out;
+}
+
+MicroKernel micro_kernel_by_name(const std::string& name) {
+  for (const MicroKernel& k : all_micro_kernels()) {
+    if (name == k.name) return k;
+  }
+  // The portable mirrors are runnable everywhere, by construction.
+  for (const MicroKernel& k :
+       {mirror_fma_4x8(), mirror_fma_8x16(), mirror_fma_4x24()}) {
+    if (name == k.name) return k;
+  }
+  throw Error("micro_kernel_by_name: \"" + name +
+              "\" is unknown or cannot run on this host");
+}
+
+MicroKernel scalar_mirror(const MicroKernel& k) {
+  if (!k.fused) return scalar_micro_kernel();
+  if (k.mr == 4 && k.nr == 8) return mirror_fma_4x8();
+  if (k.mr == 8 && k.nr == 16) return mirror_fma_8x16();
+  if (k.mr == 4 && k.nr == 24) return mirror_fma_4x24();
+  throw Error(std::string("scalar_mirror: no mirror for kernel ") + k.name);
+}
+
+void stream_fence() {
+#if MCMM_SIMD_X86
+  _mm_sfence();
+#endif
 }
 
 }  // namespace mcmm

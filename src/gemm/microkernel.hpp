@@ -11,43 +11,88 @@
 // are 64-byte aligned with ragged edges zero-padded, so the kernel never
 // branches on shape: the caller trims the store for edge tiles.
 //
-// Two implementations share that contract:
-//  * scalar  — portable C++, MR x NR accumulator array, k ascending.  The
-//    per-element summation order is fixed, so results are bit-identical
-//    for every worker count and tile decomposition.
-//  * avx2-fma — 4 x 8 doubles in 8 ymm accumulators via FMA intrinsics,
-//    compiled only when MCMM_SIMD=ON on an x86-64 toolchain and selected
-//    at runtime after a one-time CPUID probe (__builtin_cpu_supports).
+// The kernel family (runtime-dispatched after a one-time CPUID probe):
+//  * scalar-4x8     — portable C++, MR x NR accumulator array, k ascending.
+//  * avx2-fma-4x8   — 4 x 8 doubles in 8 ymm accumulators via FMA.
+//  * avx512-fma-8x16 / avx512-fma-4x24 — zmm accumulators, compiled only
+//    when MCMM_AVX512=ON (requires MCMM_SIMD=ON) and selected at runtime
+//    only when the CPU reports avx512f.
+//
+// Every kernel accumulates the whole tile in registers/locals and adds it
+// to C once, with a per-coefficient summation order (k ascending) that
+// does not depend on the caller's decomposition — that is the bit-
+// determinism contract the engine builds on.  For each SIMD kernel,
+// scalar_mirror() returns a portable kernel with the same shape and the
+// same per-coefficient arithmetic (std::fma when the SIMD kernel fuses),
+// so the SIMD path can be proven bit-identical on any host that runs it.
+//
+// Two optional levers ride on the same contract:
+//  * KernelKnobs carries software-prefetch distances (k-steps ahead for
+//    the A/B panels).  Prefetching only warms caches; arithmetic and
+//    results are unchanged.
+//  * stream_fn is a non-temporal variant that writes the C tile with
+//    streaming stores (same load+add arithmetic, so identical bits) —
+//    legal only on the product's final k-panel, when the tile rows are
+//    vector-aligned (stream_align), and followed by stream_fence() before
+//    another thread may read C.  KernelContext guards all three.
 //
 // Dispatch policy lives in KernelContext (gemm/kernel.hpp); this header
-// only exposes the kernels and the availability probe.
+// only exposes the kernels, the availability probes, and the registry.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mcmm {
 
-/// Register-tile extents, in double coefficients.  4 x 8 fills the AVX2
-/// register file: 8 accumulator ymm registers + 2 B vectors + 1 broadcast.
+/// Default register-tile extents, in double coefficients (the AVX2/scalar
+/// shape: 8 accumulator ymm registers + 2 B vectors + 1 broadcast).
 inline constexpr std::int64_t kMicroM = 4;
 inline constexpr std::int64_t kMicroN = 8;
+
+/// Upper bounds over every compiled-in kernel shape — size scratch tiles
+/// and shared buffers with these, never with kMicroM/kMicroN, when the
+/// kernel is chosen at runtime.
+inline constexpr std::int64_t kMaxMicroM = 8;
+inline constexpr std::int64_t kMaxMicroN = 24;
+
+/// Tunable software-prefetch distances, in k-steps ahead of the current
+/// rank-1 update (0 disables the hint).  A distance d prefetches the
+/// packed A/B row the kernel will consume d iterations from now; the C
+/// tile is prefetched once ahead of the k-loop whenever either distance
+/// is set.  Values come from the autotuner (KernelTuning) or default 0.
+struct KernelKnobs {
+  std::int64_t prefetch_a = 0;
+  std::int64_t prefetch_b = 0;
+};
 
 /// C tile += packed-A-strip * packed-B-strip over `kc` rank-1 updates.
 /// `a` is MR-strided, `b` is NR-strided (see pack.hpp); `c` points at the
 /// tile's top-left coefficient with row stride `ldc` (full MR x NR store —
 /// edge tiles go through a scratch tile in the caller).
 using MicroKernelFn = void (*)(std::int64_t kc, const double* a,
-                               const double* b, double* c, std::int64_t ldc);
+                               const double* b, double* c, std::int64_t ldc,
+                               const KernelKnobs& knobs);
 
 struct MicroKernel {
   MicroKernelFn fn = nullptr;
+  /// Non-temporal variant: identical arithmetic, C written with streaming
+  /// stores.  Equal to `fn` when the kernel has no NT path (stream_align
+  /// is then 0).  Callers must honour the streaming-store contract above.
+  MicroKernelFn stream_fn = nullptr;
   const char* name = "";  ///< dispatch string, e.g. "avx2-fma-4x8"
   /// Whether each multiply-add is contracted to one fused operation (the
-  /// AVX2 kernel's per-lane vfmadd).  Callers that must reproduce the
+  /// SIMD kernels' per-lane vfmadd).  Callers that must reproduce the
   /// kernel's per-coefficient arithmetic exactly (the batch engine's
-  /// direct small-shape path) mirror this with std::fma vs mul+add.
+  /// direct small-shape path, scalar_mirror) mirror this with std::fma
+  /// vs mul+add.
   bool fused = false;
+  std::int64_t mr = kMicroM;  ///< register-tile rows
+  std::int64_t nr = kMicroN;  ///< register-tile columns
+  /// Byte alignment stream_fn requires of every C tile row (c + r*ldc).
+  /// 0 means no real NT variant exists.
+  std::int64_t stream_align = 0;
 };
 
 /// True when the AVX2+FMA kernel is compiled in (MCMM_SIMD=ON, x86-64)
@@ -57,14 +102,63 @@ bool simd_kernel_available();
 /// Human-readable reason the SIMD kernel cannot run ("" when it can).
 std::string simd_unavailable_reason();
 
+/// True when the AVX-512 kernels are compiled in (MCMM_AVX512=ON under
+/// MCMM_SIMD=ON, x86-64) and the host CPU reports avx512f.
+bool avx512_kernel_available();
+
+/// Human-readable reason the AVX-512 kernels cannot run ("" when they can).
+std::string avx512_unavailable_reason();
+
 /// The portable kernel (always available).
 MicroKernel scalar_micro_kernel();
 
-/// The AVX2+FMA kernel; requires simd_kernel_available().  Throws
-/// mcmm::Error otherwise so a forced-SIMD request fails loudly.
+/// The AVX2+FMA 4x8 kernel; requires simd_kernel_available().  Throws
+/// mcmm::Error otherwise so a forced-AVX2 request fails loudly.
+MicroKernel avx2_micro_kernel();
+
+/// The best SIMD kernel this host can run (AVX-512 8x16 when available,
+/// else AVX2 4x8); throws mcmm::Error when no SIMD kernel can run.
 MicroKernel simd_micro_kernel();
+
+/// The AVX-512 kernels (8x16 first); requires avx512_kernel_available(),
+/// throws mcmm::Error otherwise.
+std::vector<MicroKernel> avx512_micro_kernels();
 
 /// Best kernel for this host: SIMD when available, scalar otherwise.
 MicroKernel best_micro_kernel();
+
+/// Every kernel that can actually run on this host (scalar always, then
+/// AVX2, then the AVX-512 shapes) — the autotuner's candidate set.
+std::vector<MicroKernel> all_micro_kernels();
+
+/// Look up a kernel by dispatch name — real kernels and scalar mirrors
+/// ("scalar-fma-MRxNR") alike.  Throws mcmm::Error when the name is
+/// unknown or the kernel cannot run on this host.
+MicroKernel micro_kernel_by_name(const std::string& name);
+
+/// A portable kernel with `k`'s tile shape and per-coefficient arithmetic
+/// (std::fma when k.fused): bit-identical results to `k` on every input,
+/// runnable on every host.  The mirror of the scalar kernel is itself.
+MicroKernel scalar_mirror(const MicroKernel& k);
+
+/// Order non-temporal stores before subsequent loads/stores (sfence).
+/// Call after a block whose C tile was written through stream_fn and
+/// before another thread may read C.  No-op on non-SIMD builds.
+void stream_fence();
+
+/// The autotuner's verdict for one host, persisted in the mcmm-machine-v1
+/// profile ("kernel_tuning" section) and consumed by KernelContext and
+/// MachineProfile::tiling().  Defaults mean "untuned": best kernel, model
+/// q, no prefetch, no streaming.
+struct KernelTuning {
+  bool tuned = false;
+  std::string kernel;             ///< dispatch name, e.g. "avx512-fma-8x16"
+  std::int64_t kc = 0;            ///< tuned k-panel depth (execution q)
+  std::int64_t prefetch_a = 0;    ///< micro-kernel A prefetch, k-steps
+  std::int64_t prefetch_b = 0;    ///< micro-kernel B prefetch, k-steps
+  std::int64_t pack_prefetch = 0; ///< pack-time prefetch, rows ahead
+  bool stream_stores = false;     ///< use the NT store path for C
+  double gflops = 0.0;            ///< measured rate at tune time
+};
 
 }  // namespace mcmm

@@ -4,7 +4,21 @@
 
 #include "util/math.hpp"
 
+// Prefetch hints are GNU builtins and compile to nothing elsewhere;
+// architecturally they never fault, so hinting an address a few lines
+// past the matrix edge is safe (row_ptr is unchecked pointer math).
+#if defined(__GNUC__) || defined(__clang__)
+#define MCMM_PACK_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define MCMM_PACK_PREFETCH(addr) ((void)0)
+#endif
+
 namespace mcmm {
+
+namespace {
+/// Doubles per 64-byte cache line: prefetch granularity for the packs.
+constexpr std::int64_t kLineDoubles = 8;
+}  // namespace
 
 std::int64_t packed_a_size(std::int64_t mb, std::int64_t kb, std::int64_t mr) {
   return ceil_div(mb, mr) * mr * kb;
@@ -16,12 +30,20 @@ std::int64_t packed_b_size(std::int64_t kb, std::int64_t nb, std::int64_t nr) {
 
 void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
                   std::int64_t mb, std::int64_t kb, std::int64_t mr,
-                  double* out) {
+                  double* out, std::int64_t prefetch) {
   for (std::int64_t s = 0; s < mb; s += mr) {
     const std::int64_t rows = std::min(mr, mb - s);
     double* strip = out + (s / mr) * (mr * kb);
     for (std::int64_t k = 0; k < kb; ++k) {
       double* dst = strip + k * mr;
+      // Once per line boundary, hint the line each source row will need
+      // `prefetch` lines from now (the k-walk streams along the rows).
+      if (prefetch > 0 && (k0 + k) % kLineDoubles == 0) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          MCMM_PACK_PREFETCH(a.row_ptr(i0 + s + r) + k0 + k +
+                             prefetch * kLineDoubles);
+        }
+      }
       for (std::int64_t r = 0; r < rows; ++r) {
         dst[r] = a.row_ptr(i0 + s + r)[k0 + k];
       }
@@ -32,12 +54,20 @@ void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
 
 void pack_b_panel(const Matrix& b, std::int64_t k0, std::int64_t j0,
                   std::int64_t kb, std::int64_t nb, std::int64_t nr,
-                  double* out) {
+                  double* out, std::int64_t prefetch) {
   for (std::int64_t t = 0; t < nb; t += nr) {
     const std::int64_t cols = std::min(nr, nb - t);
     double* strip = out + (t / nr) * (nr * kb);
     for (std::int64_t k = 0; k < kb; ++k) {
       const double* brow = b.row_ptr(k0 + k) + j0 + t;
+      // Hint the source row `prefetch` k-steps ahead (one line per 8
+      // doubles of strip width).
+      if (prefetch > 0) {
+        const double* next = b.row_ptr(k0 + k + prefetch) + j0 + t;
+        for (std::int64_t j = 0; j < cols; j += kLineDoubles) {
+          MCMM_PACK_PREFETCH(next + j);
+        }
+      }
       double* dst = strip + k * nr;
       for (std::int64_t j = 0; j < cols; ++j) dst[j] = brow[j];
       for (std::int64_t j = cols; j < nr; ++j) dst[j] = 0.0;

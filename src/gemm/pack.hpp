@@ -31,14 +31,24 @@ std::int64_t packed_b_size(std::int64_t kb, std::int64_t nb, std::int64_t nr);
 
 /// Pack A[i0 .. i0+mb, k0 .. k0+kb) MR-strided into `out`
 /// (capacity >= packed_a_size(mb, kb, mr)).
+///
+/// `prefetch` > 0 issues a software prefetch that many cache lines ahead
+/// along each source row while copying (the pack walks A column-by-column
+/// within a strip, so the upcoming lines of every row are the next thing
+/// it touches).  Prefetching never faults and never changes the packed
+/// bytes; 0 disables it.  Tuned via KernelTuning::pack_prefetch.
 void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
                   std::int64_t mb, std::int64_t kb, std::int64_t mr,
-                  double* out);
+                  double* out, std::int64_t prefetch = 0);
 
 /// Pack B[k0 .. k0+kb, j0 .. j0+nb) NR-strided into `out`
 /// (capacity >= packed_b_size(kb, nb, nr)).
+///
+/// `prefetch` > 0 prefetches the source row that many k-steps ahead of
+/// the one being copied (B is read row-by-row, one row per k).  Same
+/// contract as pack_a_panel's knob: hint only, 0 disables.
 void pack_b_panel(const Matrix& b, std::int64_t k0, std::int64_t j0,
                   std::int64_t kb, std::int64_t nb, std::int64_t nr,
-                  double* out);
+                  double* out, std::int64_t prefetch = 0);
 
 }  // namespace mcmm

@@ -80,9 +80,14 @@ MachineConfig MachineProfile::machine_config() const {
 
 Tiling MachineProfile::tiling() const {
   const MachineConfig cfg = machine_config();
+  // A tuned k-panel depth replaces the model q as the execution block
+  // side; lambda/mu/alpha/beta are re-derived from the same cache-share
+  // formulas at that depth, so the tiling stays internally consistent.
+  const std::int64_t exec_q =
+      kernel_tuning.tuned && kernel_tuning.kc >= 1 ? kernel_tuning.kc : q;
   return tiling_for_host(
       cfg.p, topology.shared_cache_bytes(),
-      declared_bytes(topology.private_cache_bytes(), data_fraction), q);
+      declared_bytes(topology.private_cache_bytes(), data_fraction), exec_q);
 }
 
 std::string MachineProfile::describe() const {
@@ -100,6 +105,14 @@ std::string MachineProfile::describe() const {
       << (counters_available ? "available" : "unavailable") << "\n";
   out << "model (q=" << q << ", fraction=" << data_fraction
       << "): " << cfg.describe();
+  if (kernel_tuning.tuned) {
+    out << "\nkernel_tuning: " << kernel_tuning.kernel
+        << " kc=" << kernel_tuning.kc << " prefetch a/b="
+        << kernel_tuning.prefetch_a << "/" << kernel_tuning.prefetch_b
+        << " pack=" << kernel_tuning.pack_prefetch << " stream="
+        << (kernel_tuning.stream_stores ? "on" : "off") << " ("
+        << kernel_tuning.gflops << " GFLOP/s at tune time)";
+  }
   return out.str();
 }
 
@@ -151,8 +164,23 @@ std::string machine_profile_to_json(const MachineProfile& profile) {
       .kv("mu", t.mu)
       .kv("alpha", t.alpha)
       .kv("beta", t.beta)
-      .end_object()
       .end_object();
+  // The tuning section is optional: absent on untuned profiles (so every
+  // pre-tuner document round-trips unchanged), raw measured values when
+  // present (re-emitted verbatim — byte-stable like the rest).
+  if (profile.kernel_tuning.tuned) {
+    w.key("kernel_tuning")
+        .begin_object()
+        .kv("kernel", profile.kernel_tuning.kernel)
+        .kv("kc", profile.kernel_tuning.kc)
+        .kv("prefetch_a", profile.kernel_tuning.prefetch_a)
+        .kv("prefetch_b", profile.kernel_tuning.prefetch_b)
+        .kv("pack_prefetch", profile.kernel_tuning.pack_prefetch)
+        .kv("stream_stores", profile.kernel_tuning.stream_stores)
+        .kv("gflops", profile.kernel_tuning.gflops)
+        .end_object();
+  }
+  w.end_object();
   return w.str();
 }
 
@@ -203,6 +231,28 @@ MachineProfile machine_profile_from_json(const std::string& text) {
   // "p"/"cs"/"cd"/"sigma_*" and "tiling" are derived on write; recomputing
   // them here (instead of trusting the file) keeps the document internally
   // consistent and the round trip byte-stable.
+
+  if (const JsonValue* tuning = root.find("kernel_tuning")) {
+    MCMM_REQUIRE(tuning->type == JsonValue::Type::kObject,
+                 "machine profile: kernel_tuning must be an object");
+    profile.kernel_tuning.tuned = true;
+    profile.kernel_tuning.kernel = as_string(*tuning, "kernel");
+    profile.kernel_tuning.kc = as_int(*tuning, "kc");
+    profile.kernel_tuning.prefetch_a = as_int(*tuning, "prefetch_a");
+    profile.kernel_tuning.prefetch_b = as_int(*tuning, "prefetch_b");
+    profile.kernel_tuning.pack_prefetch = as_int(*tuning, "pack_prefetch");
+    profile.kernel_tuning.stream_stores = as_bool(*tuning, "stream_stores");
+    profile.kernel_tuning.gflops = as_double(*tuning, "gflops");
+    MCMM_REQUIRE(!profile.kernel_tuning.kernel.empty(),
+                 "machine profile: kernel_tuning.kernel must be non-empty");
+    MCMM_REQUIRE(profile.kernel_tuning.kc >= 1,
+                 "machine profile: kernel_tuning.kc must be >= 1");
+    MCMM_REQUIRE(profile.kernel_tuning.prefetch_a >= 0 &&
+                     profile.kernel_tuning.prefetch_b >= 0 &&
+                     profile.kernel_tuning.pack_prefetch >= 0,
+                 "machine profile: kernel_tuning prefetch distances must "
+                 "be >= 0");
+  }
   return profile;
 }
 

@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "gemm/microkernel.hpp"
 #include "gemm/parallel_gemm.hpp"
 #include "hw/bandwidth.hpp"
 #include "hw/topology.hpp"
@@ -38,6 +39,14 @@ struct MachineProfile {
   /// Section 4.1 knob: 2/3 optimistic, 1/2 pessimistic); the shared cache
   /// is taken whole, and the LRU-50 halving stays with the Setting.
   double data_fraction = 2.0 / 3.0;
+
+  /// The autotuner's verdict (tools/mcmm_tune): tuned = false means the
+  /// optional "kernel_tuning" section is absent and every consumer falls
+  /// back to auto dispatch with the model q.  When tuned, KernelContext
+  /// loads the kernel/prefetch/streaming knobs and tiling() re-derives
+  /// the tile parameters at the tuned k-panel depth (lambda-consistent:
+  /// same tiling_for_host formulas, tuned execution q).
+  KernelTuning kernel_tuning;
 
   /// The simulator machine this host corresponds to: p = number of
   /// private-cache domains, CS from the whole shared cache, CD from the

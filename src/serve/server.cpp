@@ -90,7 +90,9 @@ void BatchTicket::complete(BatchGemmResponse&& response) {
 GemmServer::GemmServer(const Config& config)
     : config_(config),
       pool_(config.workers),
-      ctx_(config.workers, config.kernel),
+      ctx_(config.kernel == KernelPath::kAuto && config.kernel_tuning.tuned
+               ? KernelContext(config.workers, config.kernel_tuning)
+               : KernelContext(config.workers, config.kernel)),
       tracer_(config.workers),
       ring_(config.queue_capacity) {
   MCMM_REQUIRE(config.max_tenants >= 1,

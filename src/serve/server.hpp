@@ -202,6 +202,13 @@ class GemmServer {
     std::size_t request_log_capacity = 256;  ///< stats_json "requests" depth
     KernelPath kernel = KernelPath::kAuto;
 
+    /// Autotuned kernel configuration (a profile's kernel_tuning
+    /// section).  When tuned and `kernel` is kAuto, the worker contexts
+    /// are built from it — tuned shape, prefetch distances, streaming —
+    /// so a served deployment inherits mcmm_tune's verdict; an explicit
+    /// --kernel path always wins.
+    KernelTuning kernel_tuning;
+
     /// Max admission units (single requests + whole batches) one tenant
     /// may have in flight at once; 0 = unlimited.  Exceeding it returns
     /// kRejectedTenantQuota — per-tenant backpressure, so one tenant

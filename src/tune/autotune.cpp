@@ -1,0 +1,181 @@
+#include "tune/autotune.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "gemm/kernel.hpp"
+#include "gemm/matrix.hpp"
+#include "util/error.hpp"
+
+namespace mcmm::tune {
+
+namespace {
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/// Deterministic non-trivial fill (same scheme the benches use): values
+/// vary per coefficient so packing and arithmetic see realistic data.
+void fill_operand(Matrix& m, double seed) {
+  for (std::int64_t i = 0; i < m.rows(); ++i) {
+    double* row = m.row_ptr(i);
+    for (std::int64_t j = 0; j < m.cols(); ++j) {
+      row[j] = seed + 0.25 * static_cast<double>(i % 13) -
+               0.125 * static_cast<double>(j % 7);
+    }
+  }
+}
+
+/// Median wall-clock ms of `repeats` gemm_micro runs of the configured
+/// context (one untimed warm-up first: page faults, buffer growth, and
+/// the CPUID probe all land there).
+double time_candidate(KernelContext& ctx, Matrix& c, const Matrix& a,
+                      const Matrix& b, std::int64_t kc, int repeats) {
+  using clock = std::chrono::steady_clock;
+  c.set_zero();
+  gemm_micro(c, a, b, kc, ctx);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    c.set_zero();
+    const clock::time_point t0 = clock::now();
+    gemm_micro(c, a, b, kc, ctx);
+    const clock::time_point t1 = clock::now();
+    times.push_back(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        1e6);
+  }
+  return median(std::move(times));
+}
+
+struct Candidate {
+  MicroKernel kernel;
+  std::int64_t kc = 0;
+  KernelKnobs knobs;
+  std::int64_t pack_prefetch = 0;
+  bool stream = false;
+};
+
+}  // namespace
+
+TuneReport autotune_kernel(const TuneOptions& opts) {
+  TuneOptions o = opts;
+  if (o.quick) {
+    if (o.order == TuneOptions{}.order) o.order = 192;
+    o.repeats = std::min(o.repeats, 2);
+    if (o.kc_candidates.empty()) o.kc_candidates = {32, 64};
+    if (o.prefetch_grid.empty()) o.prefetch_grid = {0, 4};
+    if (o.pack_prefetch_grid.empty()) o.pack_prefetch_grid = {0, 2};
+  }
+  if (o.kc_candidates.empty()) o.kc_candidates = {32, 64, 128, 256};
+  if (o.prefetch_grid.empty()) o.prefetch_grid = {0, 2, 4, 8};
+  if (o.pack_prefetch_grid.empty()) o.pack_prefetch_grid = {0, 1, 2, 4};
+  MCMM_REQUIRE(o.order >= 32, "autotune_kernel: order must be >= 32");
+  MCMM_REQUIRE(o.repeats >= 1, "autotune_kernel: repeats must be >= 1");
+
+  std::vector<MicroKernel> kernels;
+  if (!o.only_kernel.empty()) {
+    kernels.push_back(micro_kernel_by_name(o.only_kernel));
+  } else {
+    kernels = all_micro_kernels();
+  }
+
+  Matrix a(o.order, o.order), b(o.order, o.order), c(o.order, o.order);
+  fill_operand(a, 1.0);
+  fill_operand(b, -2.0);
+
+  const double flops = 2.0 * static_cast<double>(o.order) *
+                       static_cast<double>(o.order) *
+                       static_cast<double>(o.order);
+
+  TuneReport report;
+  report.order = o.order;
+  KernelContext ctx(1, KernelPath::kScalar);
+
+  Candidate best;
+  double best_ms = 0.0;
+  const auto run = [&](const Candidate& cand) {
+    ctx.set_kernel(cand.kernel);
+    ctx.set_knobs(cand.knobs);
+    ctx.set_pack_prefetch(cand.pack_prefetch);
+    ctx.set_stream_stores(cand.stream);
+    const double ms = time_candidate(ctx, c, a, b, cand.kc, o.repeats);
+    TuneTrial trial;
+    trial.kernel = cand.kernel.name;
+    trial.kc = cand.kc;
+    trial.prefetch_a = cand.knobs.prefetch_a;
+    trial.prefetch_b = cand.knobs.prefetch_b;
+    trial.pack_prefetch = cand.pack_prefetch;
+    trial.stream_stores = cand.stream;
+    trial.ms = ms;
+    trial.gflops = flops / (ms * 1e6);
+    report.trials.push_back(trial);
+    if (best.kernel.fn == nullptr || ms < best_ms) {
+      best = cand;
+      best_ms = ms;
+    }
+    return ms;
+  };
+
+  // Stage 1: register-tile shape x k-panel depth.  These two interact
+  // (the tile dictates how much of the panel each pass touches), so they
+  // are searched jointly; the later knobs are refinements of the winner.
+  for (const MicroKernel& kernel : kernels) {
+    for (const std::int64_t kc : o.kc_candidates) {
+      if (kc > o.order) continue;
+      Candidate cand;
+      cand.kernel = kernel;
+      cand.kc = kc;
+      run(cand);
+    }
+  }
+
+  // Stage 2: micro-kernel prefetch distances on the winning shape/depth.
+  {
+    const Candidate base = best;
+    for (const std::int64_t pa : o.prefetch_grid) {
+      for (const std::int64_t pb : o.prefetch_grid) {
+        if (pa == base.knobs.prefetch_a && pb == base.knobs.prefetch_b) {
+          continue;  // already timed in stage 1
+        }
+        Candidate cand = base;
+        cand.knobs.prefetch_a = pa;
+        cand.knobs.prefetch_b = pb;
+        run(cand);
+      }
+    }
+  }
+
+  // Stage 3: pack prefetch, then the streaming-store toggle.
+  {
+    const Candidate base = best;
+    for (const std::int64_t pp : o.pack_prefetch_grid) {
+      if (pp == base.pack_prefetch) continue;
+      Candidate cand = base;
+      cand.pack_prefetch = pp;
+      run(cand);
+    }
+  }
+  if (best.kernel.stream_align > 0) {
+    Candidate cand = best;
+    cand.stream = !cand.stream;
+    run(cand);
+  }
+
+  report.best.tuned = true;
+  report.best.kernel = best.kernel.name;
+  report.best.kc = best.kc;
+  report.best.prefetch_a = best.knobs.prefetch_a;
+  report.best.prefetch_b = best.knobs.prefetch_b;
+  report.best.pack_prefetch = best.pack_prefetch;
+  report.best.stream_stores = best.stream;
+  report.best.gflops = flops / (best_ms * 1e6);
+  return report;
+}
+
+}  // namespace mcmm::tune

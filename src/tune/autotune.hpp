@@ -1,0 +1,90 @@
+// On-host micro-kernel autotuning (tools/mcmm_tune).
+//
+// The kernel registry (gemm/microkernel.hpp) offers several register-tile
+// shapes, and the engine exposes three more levers: the k-panel depth the
+// blocked loops run at (the execution q — deeper panels amortise the C
+// write-back over more rank-1 updates, shallower ones keep the packed
+// strips resident), the software-prefetch distances threaded through the
+// packs and the micro-kernel, and non-temporal C stores.  Which
+// combination wins is a property of the machine — cache sizes, bandwidth,
+// port widths — not of the code, which is why Martinez et al. (PAPERS.md)
+// pick micro-kernel shapes per cache level and why BLIS ships per-uarch
+// configs.
+//
+// autotune_kernel searches that space with live timed runs of gemm_micro
+// on this host, in stages (shape x depth first, then prefetch distances,
+// then pack prefetch and streaming), scoring each candidate by the median
+// of N repeats.  The winner is returned as a KernelTuning, which
+// mcmm_tune persists into the mcmm-machine-v1 profile ("kernel_tuning"
+// section); KernelContext and MachineProfile::tiling() consume it so
+// every tool that loads the profile runs the tuned configuration.
+//
+// Every candidate computes bit-identical C (the engine's determinism
+// contract is kernel-independent in value only up to contraction — the
+// tuner never mixes results, it only times), so tuning is purely a
+// performance decision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gemm/microkernel.hpp"
+
+namespace mcmm::tune {
+
+struct TuneOptions {
+  /// Problem order the candidates are timed at.  Big enough that the
+  /// blocked loops stream panels through the cache hierarchy the way a
+  /// real product does; the default keeps a full tuning run in seconds.
+  std::int64_t order = 512;
+
+  /// Timed repeats per candidate; the score is the median (robust to a
+  /// stray context switch, unlike the mean).
+  int repeats = 3;
+
+  /// CI smoke mode: a small order, fewer repeats, and a pruned candidate
+  /// grid so the whole search runs in well under a second per kernel.
+  bool quick = false;
+
+  /// Candidate k-panel depths (the execution q).  Empty = defaults
+  /// ({32, 64, 128, 256}, clamped to the order).
+  std::vector<std::int64_t> kc_candidates;
+
+  /// Candidate micro-kernel prefetch distances, in k-steps (applied to
+  /// A and B independently).  Empty = defaults ({0, 2, 4, 8}).
+  std::vector<std::int64_t> prefetch_grid;
+
+  /// Candidate pack-time prefetch distances.  Empty = defaults
+  /// ({0, 1, 2, 4}).
+  std::vector<std::int64_t> pack_prefetch_grid;
+
+  /// Restrict the kernel search to one dispatch name ("" = all kernels
+  /// the host can run).
+  std::string only_kernel;
+};
+
+/// One timed candidate, in search order.
+struct TuneTrial {
+  std::string kernel;
+  std::int64_t kc = 0;
+  std::int64_t prefetch_a = 0;
+  std::int64_t prefetch_b = 0;
+  std::int64_t pack_prefetch = 0;
+  bool stream_stores = false;
+  double ms = 0.0;      ///< median wall time of the repeats
+  double gflops = 0.0;  ///< 2*order^3 / median time
+};
+
+struct TuneReport {
+  KernelTuning best;             ///< the winner (tuned = true)
+  std::int64_t order = 0;        ///< order the search timed at
+  std::vector<TuneTrial> trials; ///< every candidate, in search order
+};
+
+/// Run the staged search on the calling thread (worker 0 of a 1-worker
+/// KernelContext — kernel speed is a per-core property; the parallel
+/// schedules inherit it through the shared context).
+TuneReport autotune_kernel(const TuneOptions& opts = {});
+
+}  // namespace mcmm::tune

@@ -148,9 +148,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          "tradeoff"),
                        ::testing::Values(Setting::kIdeal, Setting::kLru50,
                                          Setting::kLruFull)),
-    [](const ::testing::TestParamInfo<CleanSchedules::ParamType>& info) {
-      std::string n = std::get<0>(info.param) + "_" +
-                      to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<CleanSchedules::ParamType>& p_info) {
+      std::string n = std::get<0>(p_info.param) + "_" +
+                      to_string(std::get<1>(p_info.param));
       for (char& c : n) {
         if (c == '-' || c == '(' || c == ')') c = '_';
       }

@@ -284,6 +284,58 @@ TEST(MachineProfile, DerivesModelFromTopology) {
   EXPECT_GE(t.mu, 1);
 }
 
+MachineProfile tuned_profile() {
+  MachineProfile profile = reference_profile();
+  profile.kernel_tuning.tuned = true;
+  profile.kernel_tuning.kernel = "avx2-fma-4x8";
+  profile.kernel_tuning.kc = 64;
+  profile.kernel_tuning.prefetch_a = 2;
+  profile.kernel_tuning.prefetch_b = 4;
+  profile.kernel_tuning.pack_prefetch = 1;
+  profile.kernel_tuning.stream_stores = true;
+  profile.kernel_tuning.gflops = 24.517283946172839;
+  return profile;
+}
+
+TEST(MachineProfile, KernelTuningRoundTripIsByteStable) {
+  const MachineProfile profile = tuned_profile();
+  const std::string text = machine_profile_to_json(profile);
+  EXPECT_NE(text.find("\"kernel_tuning\""), std::string::npos);
+  EXPECT_EQ(machine_profile_to_json(machine_profile_from_json(text)), text);
+  EXPECT_EQ(json_serialize(json_parse(text)), text);
+}
+
+TEST(MachineProfile, KernelTuningFieldsSurviveTheRoundTrip) {
+  const MachineProfile a = tuned_profile();
+  const MachineProfile b =
+      machine_profile_from_json(machine_profile_to_json(a));
+  EXPECT_TRUE(b.kernel_tuning.tuned);
+  EXPECT_EQ(b.kernel_tuning.kernel, a.kernel_tuning.kernel);
+  EXPECT_EQ(b.kernel_tuning.kc, a.kernel_tuning.kc);
+  EXPECT_EQ(b.kernel_tuning.prefetch_a, a.kernel_tuning.prefetch_a);
+  EXPECT_EQ(b.kernel_tuning.prefetch_b, a.kernel_tuning.prefetch_b);
+  EXPECT_EQ(b.kernel_tuning.pack_prefetch, a.kernel_tuning.pack_prefetch);
+  EXPECT_EQ(b.kernel_tuning.stream_stores, a.kernel_tuning.stream_stores);
+  EXPECT_DOUBLE_EQ(b.kernel_tuning.gflops, a.kernel_tuning.gflops);
+}
+
+TEST(MachineProfile, UntunedProfileOmitsKernelTuning) {
+  const std::string text = machine_profile_to_json(reference_profile());
+  EXPECT_EQ(text.find("kernel_tuning"), std::string::npos);
+  EXPECT_FALSE(machine_profile_from_json(text).kernel_tuning.tuned);
+}
+
+TEST(MachineProfile, TuningKcOverridesTheExecutionTiling) {
+  MachineProfile profile = tuned_profile();
+  profile.kernel_tuning.kc = 16;  // tuned depth differs from model q=32
+  const Tiling t = profile.tiling();
+  EXPECT_EQ(t.q, 16);
+  EXPECT_GE(t.lambda, 1);
+  // The *model* geometry stays at the declared q.
+  EXPECT_EQ(profile.machine_config().cs,
+            (16 << 20) / (32 * 32 * 8));
+}
+
 TEST(MachineProfile, RejectsForeignOrMalformedDocuments) {
   EXPECT_THROW(machine_profile_from_json("not json"), Error);
   EXPECT_THROW(machine_profile_from_json("[1,2]"), Error);
@@ -296,6 +348,20 @@ TEST(MachineProfile, RejectsForeignOrMalformedDocuments) {
   const std::string needle = "\"logical_cpus\":8";
   text.replace(text.find(needle), needle.size(), "\"logical_cpus\":\"8\"");
   EXPECT_THROW(machine_profile_from_json(text), Error);
+}
+
+TEST(MachineProfile, RejectsMalformedKernelTuning) {
+  std::string text = machine_profile_to_json(tuned_profile());
+  const std::string needle = "\"kc\":64";
+  ASSERT_NE(text.find(needle), std::string::npos);
+  std::string bad = text;
+  bad.replace(bad.find(needle), needle.size(), "\"kc\":0");
+  EXPECT_THROW(machine_profile_from_json(bad), Error);
+  bad = text;
+  const std::string kname = "\"kernel\":\"avx2-fma-4x8\"";
+  ASSERT_NE(bad.find(kname), std::string::npos);
+  bad.replace(bad.find(kname), kname.size(), "\"kernel\":\"\"");
+  EXPECT_THROW(machine_profile_from_json(bad), Error);
 }
 
 TEST(MachineProfile, LoadRejectsMissingFile) {

@@ -171,11 +171,13 @@ std::uint64_t ulp_distance(double x, double y) {
 /// coefficient is wrong by ~1e15 ulp).
 constexpr std::uint64_t kMaxUlp = 256;
 
-TEST(KernelPathParse, AcceptsTheThreeNames) {
+TEST(KernelPathParse, AcceptsTheFiveNames) {
   EXPECT_EQ(parse_kernel_path("auto"), KernelPath::kAuto);
   EXPECT_EQ(parse_kernel_path("scalar"), KernelPath::kScalar);
   EXPECT_EQ(parse_kernel_path("simd"), KernelPath::kSimd);
-  EXPECT_THROW(parse_kernel_path("avx512"), Error);
+  EXPECT_EQ(parse_kernel_path("avx2"), KernelPath::kAvx2);
+  EXPECT_EQ(parse_kernel_path("avx512"), KernelPath::kAvx512);
+  EXPECT_THROW(parse_kernel_path("sse2"), Error);
   EXPECT_THROW(parse_kernel_path(""), Error);
 }
 
@@ -188,15 +190,34 @@ TEST(MicroKernelDispatch, ScalarAlwaysAvailable) {
 TEST(MicroKernelDispatch, BestMatchesAvailability) {
   const MicroKernel best = best_micro_kernel();
   ASSERT_NE(best.fn, nullptr);
-  if (simd_kernel_available()) {
+  if (avx512_kernel_available()) {
+    EXPECT_STREQ(best.name, "avx512-fma-8x16");
+    EXPECT_EQ(avx512_unavailable_reason(), "");
+    EXPECT_EQ(avx512_micro_kernels().size(), 2u);
+  } else if (simd_kernel_available()) {
     EXPECT_STREQ(best.name, "avx2-fma-4x8");
     EXPECT_EQ(simd_unavailable_reason(), "");
     EXPECT_NE(simd_micro_kernel().fn, nullptr);
+    EXPECT_NE(avx512_unavailable_reason(), "");
   } else {
     EXPECT_STREQ(best.name, "scalar-4x8");
     EXPECT_NE(simd_unavailable_reason(), "");
     EXPECT_THROW(simd_micro_kernel(), Error);
   }
+}
+
+TEST(MicroKernelDispatch, RegistryNamesResolveAndMirrorShapes) {
+  // Every host-runnable kernel resolves by name, and its scalar mirror
+  // keeps the register-tile shape (bit-identity depends on it).
+  for (const MicroKernel& k : all_micro_kernels()) {
+    const MicroKernel by_name = micro_kernel_by_name(k.name);
+    EXPECT_STREQ(by_name.name, k.name);
+    const MicroKernel mirror = scalar_mirror(k);
+    EXPECT_EQ(mirror.mr, k.mr) << k.name;
+    EXPECT_EQ(mirror.nr, k.nr) << k.name;
+    EXPECT_EQ(mirror.fused, k.fused) << k.name;
+  }
+  EXPECT_THROW(micro_kernel_by_name("no-such-kernel"), Error);
 }
 
 TEST(KernelContext, ForcedSimdThrowsWhenUnavailable) {
@@ -333,7 +354,8 @@ TEST(MicroKernel, ScalarComputesOneRegisterTile) {
   pack_a_panel(a, 0, 0, kMicroM, 5, kMicroM, ap.data());
   pack_b_panel(b, 0, 0, 5, kMicroN, kMicroN, bp.data());
   Matrix c(kMicroM, kMicroN, 0.5);
-  scalar_micro_kernel().fn(5, ap.data(), bp.data(), c.row_ptr(0), kMicroN);
+  scalar_micro_kernel().fn(5, ap.data(), bp.data(), c.row_ptr(0), kMicroN,
+                           KernelKnobs{});
   for (std::int64_t i = 0; i < kMicroM; ++i) {
     for (std::int64_t j = 0; j < kMicroN; ++j) {
       double expect = 0.5;
@@ -347,29 +369,98 @@ TEST(MicroKernel, SimdAgreesWithScalar) {
   if (!simd_kernel_available()) {
     GTEST_SKIP() << "SIMD kernel not available: " << simd_unavailable_reason();
   }
-  Matrix a = random_matrix(kMicroM, 64, 9);
-  Matrix b = random_matrix(64, kMicroN, 10);
-  std::vector<double> ap(static_cast<std::size_t>(packed_a_size(kMicroM, 64, kMicroM)));
-  AlignedVector bp(static_cast<std::size_t>(packed_b_size(64, kMicroN, kMicroN)));
-  pack_a_panel(a, 0, 0, kMicroM, 64, kMicroM, ap.data());
-  pack_b_panel(b, 0, 0, 64, kMicroN, kMicroN, bp.data());
-  Matrix cs(kMicroM, kMicroN, 1.0);
-  Matrix cv(kMicroM, kMicroN, 1.0);
-  scalar_micro_kernel().fn(64, ap.data(), bp.data(), cs.row_ptr(0), kMicroN);
-  simd_micro_kernel().fn(64, ap.data(), bp.data(), cv.row_ptr(0), kMicroN);
+  // simd_micro_kernel() is the *best* SIMD kernel (AVX-512 when the host
+  // has it), so pack at its register-tile shape, not the scalar 4x8.
+  const MicroKernel k = simd_micro_kernel();
+  Matrix a = random_matrix(k.mr, 64, 9);
+  Matrix b = random_matrix(64, k.nr, 10);
+  std::vector<double> ap(
+      static_cast<std::size_t>(packed_a_size(k.mr, 64, k.mr)));
+  AlignedVector bp(static_cast<std::size_t>(packed_b_size(64, k.nr, k.nr)));
+  pack_a_panel(a, 0, 0, k.mr, 64, k.mr, ap.data());
+  pack_b_panel(b, 0, 0, 64, k.nr, k.nr, bp.data());
+  Matrix cs(k.mr, k.nr, 1.0);
+  Matrix cv(k.mr, k.nr, 1.0);
+  scalar_mirror(k).fn(64, ap.data(), bp.data(), cs.row_ptr(0), k.nr,
+                      KernelKnobs{});
+  k.fn(64, ap.data(), bp.data(), cv.row_ptr(0), k.nr, KernelKnobs{});
   EXPECT_TRUE(matches_within_ulp(cv, cs, 64, kMaxUlp));
+}
+
+/// Tentpole acceptance: every SIMD kernel (AVX2 and both AVX-512 shapes)
+/// is *bit-identical* to its std::fma scalar mirror on one packed
+/// register tile, with and without prefetch knobs, and the streaming
+/// store variant is bit-identical to the regular one (same load+add
+/// arithmetic, only the final store instruction differs).
+TEST(MicroKernel, AllKernelsBitMatchTheirScalarMirrors) {
+  for (const MicroKernel& k : all_micro_kernels()) {
+    const MicroKernel mirror = scalar_mirror(k);
+    const std::int64_t kc = 37;
+    Matrix a = random_matrix(k.mr, kc, 13);
+    Matrix b = random_matrix(kc, k.nr, 14);
+    std::vector<double> ap(
+        static_cast<std::size_t>(packed_a_size(k.mr, kc, k.mr)));
+    AlignedVector bp(static_cast<std::size_t>(packed_b_size(kc, k.nr, k.nr)));
+    pack_a_panel(a, 0, 0, k.mr, kc, k.mr, ap.data());
+    pack_b_panel(b, 0, 0, kc, k.nr, k.nr, bp.data());
+    Matrix want(k.mr, k.nr, 0.5);
+    mirror.fn(kc, ap.data(), bp.data(), want.row_ptr(0), k.nr, KernelKnobs{});
+    for (const KernelKnobs knobs : {KernelKnobs{}, KernelKnobs{4, 8}}) {
+      Matrix got(k.mr, k.nr, 0.5);
+      k.fn(kc, ap.data(), bp.data(), got.row_ptr(0), k.nr, knobs);
+      for (std::int64_t i = 0; i < k.mr; ++i) {
+        for (std::int64_t j = 0; j < k.nr; ++j) {
+          ASSERT_EQ(std::bit_cast<std::uint64_t>(got.at(i, j)),
+                    std::bit_cast<std::uint64_t>(want.at(i, j)))
+              << k.name << " pfa=" << knobs.prefetch_a << " cell (" << i
+              << "," << j << ")";
+        }
+      }
+    }
+    if (k.stream_align > 0) {
+      ASSERT_NE(k.stream_fn, nullptr) << k.name;
+      // A 64-byte aligned C tile so the streaming stores are legal.
+      AlignedVector c_stream(static_cast<std::size_t>(k.mr * k.nr));
+      for (std::int64_t i = 0; i < k.mr * k.nr; ++i) c_stream[i] = 0.5;
+      k.stream_fn(kc, ap.data(), bp.data(), c_stream.data(), k.nr,
+                  KernelKnobs{});
+      stream_fence();
+      for (std::int64_t i = 0; i < k.mr; ++i) {
+        for (std::int64_t j = 0; j < k.nr; ++j) {
+          ASSERT_EQ(std::bit_cast<std::uint64_t>(c_stream[i * k.nr + j]),
+                    std::bit_cast<std::uint64_t>(want.at(i, j)))
+              << k.name << " stream cell (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
 }
 
 /// Satellite sweep (docs/kernels.md): every engine against the reference
 /// over ragged shapes m, n, z in {1, q-1, q, q+1, 3q+5} with q = 8, so
 /// every micro-tile edge case (full tiles, 1-wide remainders, multi-block
 /// k panels) is exercised, under both forced kernel paths.
-class MicroEngineSweep : public ::testing::TestWithParam<KernelPath> {};
+class MicroEngineSweep : public ::testing::TestWithParam<KernelPath> {
+protected:
+  /// Why this host cannot run the forced path; empty when it can.  The
+  /// test body turns a non-empty reason into GTEST_SKIP (the macro only
+  /// returns from the function it expands in, so it must run there).
+  static std::string unavailable_reason(KernelPath path) {
+    if ((path == KernelPath::kSimd || path == KernelPath::kAvx2) &&
+        !simd_kernel_available()) {
+      return "SIMD kernel not available: " + simd_unavailable_reason();
+    }
+    if (path == KernelPath::kAvx512 && !avx512_kernel_available()) {
+      return "AVX-512 kernels not available: " + avx512_unavailable_reason();
+    }
+    return {};
+  }
+};
 
 TEST_P(MicroEngineSweep, AllEnginesMatchReference) {
   const KernelPath path = GetParam();
-  if (path == KernelPath::kSimd && !simd_kernel_available()) {
-    GTEST_SKIP() << "SIMD kernel not available: " << simd_unavailable_reason();
+  if (const std::string skip = unavailable_reason(path); !skip.empty()) {
+    GTEST_SKIP() << skip;
   }
   const std::int64_t q = 8;
   const std::int64_t sizes[] = {1, q - 1, q, q + 1, 3 * q + 5};
@@ -405,8 +496,8 @@ TEST_P(MicroEngineSweep, AllEnginesMatchReference) {
 
 TEST_P(MicroEngineSweep, AllSchedulesMatchReference) {
   const KernelPath path = GetParam();
-  if (path == KernelPath::kSimd && !simd_kernel_available()) {
-    GTEST_SKIP() << "SIMD kernel not available: " << simd_unavailable_reason();
+  if (const std::string skip = unavailable_reason(path); !skip.empty()) {
+    GTEST_SKIP() << skip;
   }
   Tiling t;
   t.q = 8;
@@ -444,12 +535,154 @@ TEST_P(MicroEngineSweep, AllSchedulesMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(Paths, MicroEngineSweep,
                          ::testing::Values(KernelPath::kScalar,
-                                           KernelPath::kSimd),
-                         [](const ::testing::TestParamInfo<KernelPath>& info) {
-                           return info.param == KernelPath::kScalar
-                                      ? "scalar"
-                                      : "simd";
+                                           KernelPath::kSimd,
+                                           KernelPath::kAvx2,
+                                           KernelPath::kAvx512),
+                         [](const ::testing::TestParamInfo<KernelPath>& p) {
+                           switch (p.param) {
+                             case KernelPath::kScalar: return "scalar";
+                             case KernelPath::kSimd: return "simd";
+                             case KernelPath::kAvx2: return "avx2";
+                             case KernelPath::kAvx512: return "avx512";
+                             default: return "auto";
+                           }
                          });
+
+/// Every host-runnable kernel, ragged shapes, streaming stores forced on
+/// and off: the engine must agree with the reference, and the streamed
+/// result must be bit-identical to the unstreamed one (the stream variant
+/// performs the same load+add arithmetic; only the store differs, and
+/// ragged/misaligned tiles silently fall back).
+TEST(MicroEngineStreaming, OnOffBitIdenticalAcrossKernels) {
+  const std::int64_t q = 16;
+  const std::int64_t sizes[] = {1, q - 1, q, q + 1, 2 * q + 3};
+  for (const MicroKernel& k : all_micro_kernels()) {
+    for (const std::int64_t m : sizes) {
+      for (const std::int64_t n : sizes) {
+        for (const std::int64_t z : sizes) {
+          Matrix a =
+              random_matrix(m, z, static_cast<std::uint64_t>(m * 131 + z));
+          Matrix b =
+              random_matrix(z, n, static_cast<std::uint64_t>(z * 131 + n));
+          Matrix expect(m, n, 0.25);
+          gemm_reference(expect, a, b);
+
+          KernelContext plain(1, KernelPath::kScalar);
+          plain.set_kernel(k);
+          Matrix base(m, n, 0.25);
+          gemm_micro(base, a, b, q, plain);
+          ASSERT_TRUE(matches_within_ulp(base, expect, z, kMaxUlp))
+              << k.name << " m=" << m << " n=" << n << " z=" << z;
+
+          KernelContext streaming(1, KernelPath::kScalar);
+          streaming.set_kernel(k);
+          streaming.set_stream_stores(true);
+          Matrix streamed(m, n, 0.25);
+          gemm_micro(streamed, a, b, q, streaming);
+          for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) {
+              ASSERT_EQ(std::bit_cast<std::uint64_t>(streamed.at(i, j)),
+                        std::bit_cast<std::uint64_t>(base.at(i, j)))
+                  << k.name << " m=" << m << " n=" << n << " z=" << z
+                  << " cell (" << i << "," << j << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Prefetch distances are hints: any knob setting must leave the result
+/// bit-identical (prefetching can never change arithmetic).
+TEST(MicroEngineKnobs, PrefetchKnobsAreBitNeutral) {
+  const std::int64_t m = 37, n = 29, z = 41, q = 16;
+  Matrix a = random_matrix(m, z, 7);
+  Matrix b = random_matrix(z, n, 8);
+  for (const MicroKernel& k : all_micro_kernels()) {
+    KernelContext base_ctx(1, KernelPath::kScalar);
+    base_ctx.set_kernel(k);
+    Matrix base(m, n, -1.5);
+    gemm_micro(base, a, b, q, base_ctx);
+    KernelContext knobbed(1, KernelPath::kScalar);
+    knobbed.set_kernel(k);
+    knobbed.set_knobs(KernelKnobs{8, 4});
+    knobbed.set_pack_prefetch(2);
+    Matrix got(m, n, -1.5);
+    gemm_micro(got, a, b, q, knobbed);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(got.at(i, j)),
+                  std::bit_cast<std::uint64_t>(base.at(i, j)))
+            << k.name << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+/// Regression for the 8-slot direct-mapped B memo: switching kernels on a
+/// live context invalidates packed panels, and the memo key carries the
+/// register-tile shape — without it, a panel packed at NR=8 is replayed
+/// into an NR=16 kernel and the product silently corrupts.  The scalar
+/// mirrors make this check runnable on any host.
+TEST(KernelContext, PackedBMemoSurvivesKernelSwitch) {
+  const std::int64_t m = 24, n = 48, z = 40, q = 16;
+  Matrix a = random_matrix(m, z, 91);
+  Matrix b = random_matrix(z, n, 92);
+  Matrix expect(m, n, 0.0);
+  gemm_reference(expect, a, b);
+
+  KernelContext ctx(1, KernelPath::kScalar);
+  const MicroKernel narrow = micro_kernel_by_name("scalar-fma-4x8");
+  const MicroKernel wide = micro_kernel_by_name("scalar-fma-8x16");
+  for (const MicroKernel* k : {&narrow, &wide, &narrow, &wide}) {
+    ctx.set_kernel(*k);
+    Matrix c(m, n, 0.0);
+    gemm_micro(c, a, b, q, ctx);
+    ASSERT_TRUE(matches_within_ulp(c, expect, z, kMaxUlp))
+        << "after switching to " << k->name;
+  }
+}
+
+/// set_kernel rejects malformed register tiles instead of letting the
+/// pack layer scribble out of bounds.
+TEST(KernelContext, SetKernelValidatesShape) {
+  KernelContext ctx(1, KernelPath::kScalar);
+  MicroKernel bad = scalar_micro_kernel();
+  bad.fn = nullptr;
+  EXPECT_THROW(ctx.set_kernel(bad), Error);
+  bad = scalar_micro_kernel();
+  bad.mr = 0;
+  EXPECT_THROW(ctx.set_kernel(bad), Error);
+  bad = scalar_micro_kernel();
+  bad.nr = kMaxMicroN + 1;
+  EXPECT_THROW(ctx.set_kernel(bad), Error);
+}
+
+/// A context built from a KernelTuning installs the tuned kernel and
+/// knobs; an unknown kernel name degrades to the best available one
+/// instead of failing the run.
+TEST(KernelContext, TuningConstructorInstallsKnobs) {
+  KernelTuning tuning;
+  tuning.tuned = true;
+  tuning.kernel = "scalar-fma-8x16";
+  tuning.kc = 32;
+  tuning.prefetch_a = 2;
+  tuning.prefetch_b = 4;
+  tuning.pack_prefetch = 1;
+  tuning.stream_stores = true;
+  KernelContext ctx(1, tuning);
+  EXPECT_EQ(ctx.dispatch_name(), "scalar-fma-8x16");
+  EXPECT_EQ(ctx.knobs().prefetch_a, 2);
+  EXPECT_EQ(ctx.knobs().prefetch_b, 4);
+  EXPECT_EQ(ctx.pack_prefetch(), 1);
+  EXPECT_TRUE(ctx.stream_stores());
+
+  KernelTuning unknown = tuning;
+  unknown.kernel = "riscv-rvv-8x8";
+  KernelContext fallback(1, unknown);
+  EXPECT_EQ(fallback.dispatch_name(), best_micro_kernel().name);
+}
 
 /// Acceptance criterion: under the scalar kernel every schedule is
 /// bitwise-deterministic across worker counts (static ownership + fixed
@@ -469,23 +702,35 @@ TEST(MicroEngineDeterminism, BitwiseAcrossWorkerCounts) {
   const std::int64_t m = 29, n = 27, z = 31;
   Matrix a = random_matrix(m, z, 41);
   Matrix b = random_matrix(z, n, 42);
-  for (const CtxGemmFn fn : schedules) {
-    Matrix baseline(m, n, 0.75);
-    {
-      ThreadPool pool(1);
-      KernelContext ctx(1, KernelPath::kScalar);
-      fn(baseline, a, b, t, pool, ctx);
-    }
-    for (const int workers : {2, 3, 5}) {
-      Matrix got(m, n, 0.75);
-      ThreadPool pool(workers);
-      KernelContext ctx(workers, KernelPath::kScalar);
-      fn(got, a, b, t, pool, ctx);
-      for (std::int64_t i = 0; i < m; ++i) {
-        for (std::int64_t j = 0; j < n; ++j) {
-          ASSERT_EQ(std::bit_cast<std::uint64_t>(got.at(i, j)),
-                    std::bit_cast<std::uint64_t>(baseline.at(i, j)))
-              << workers << " workers, cell (" << i << "," << j << ")";
+  // Every host-runnable register tile (SIMD kernels included: static
+  // ownership and the per-coefficient k order are shape-independent), with
+  // streaming stores both off and on.
+  for (const MicroKernel& kernel : all_micro_kernels()) {
+    for (const bool stream : {false, true}) {
+      for (const CtxGemmFn fn : schedules) {
+        Matrix baseline(m, n, 0.75);
+        {
+          ThreadPool pool(1);
+          KernelContext ctx(1, KernelPath::kScalar);
+          ctx.set_kernel(kernel);
+          ctx.set_stream_stores(stream);
+          fn(baseline, a, b, t, pool, ctx);
+        }
+        for (const int workers : {2, 3, 5}) {
+          Matrix got(m, n, 0.75);
+          ThreadPool pool(workers);
+          KernelContext ctx(workers, KernelPath::kScalar);
+          ctx.set_kernel(kernel);
+          ctx.set_stream_stores(stream);
+          fn(got, a, b, t, pool, ctx);
+          for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) {
+              ASSERT_EQ(std::bit_cast<std::uint64_t>(got.at(i, j)),
+                        std::bit_cast<std::uint64_t>(baseline.at(i, j)))
+                  << kernel.name << (stream ? " stream" : "") << " "
+                  << workers << " workers, cell (" << i << "," << j << ")";
+            }
+          }
         }
       }
     }

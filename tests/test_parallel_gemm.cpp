@@ -74,8 +74,8 @@ std::vector<Case> cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchedules, ParallelGemm, ::testing::ValuesIn(cases()),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      const Case& c = info.param;
+    [](const ::testing::TestParamInfo<Case>& p_info) {
+      const Case& c = p_info.param;
       return std::string(c.name) + "_m" + std::to_string(c.shape.m) + "n" +
              std::to_string(c.shape.n) + "z" + std::to_string(c.shape.z);
     });

@@ -187,8 +187,8 @@ TEST_P(PartitionProperty, ChosenScheduleMinimisesPredictedTdata) {
 
 INSTANTIATE_TEST_SUITE_P(
     Geometries, PartitionProperty, ::testing::ValuesIn(partition_geometries()),
-    [](const ::testing::TestParamInfo<PartitionGeometry>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<PartitionGeometry>& p_info) {
+      return p_info.param.name;
     });
 
 TEST(Partition, ClampedFlagTracksInfeasibleShares) {

@@ -68,8 +68,8 @@ TEST_P(GeometrySweep, IdealNeverBeatsLowerBounds) {
 
 INSTANTIATE_TEST_SUITE_P(
     Geometries, GeometrySweep, ::testing::ValuesIn(geometries()),
-    [](const ::testing::TestParamInfo<Geometry>& info) {
-      const Geometry& g = info.param;
+    [](const ::testing::TestParamInfo<Geometry>& p_info) {
+      const Geometry& g = p_info.param;
       std::string name = "p";
   name += std::to_string(g.p);
   name += "cs";

@@ -66,7 +66,9 @@ TEST(Serve, RoundTripMatchesGemmMicroEverySchedule) {
     const GemmResponse response = server.run(prod.request(0, kind));
     ASSERT_TRUE(response.ok) << to_string(kind) << ": " << response.error;
     EXPECT_NE(response.schedule, ScheduleKind::kAuto);
-    if (kind != ScheduleKind::kAuto) EXPECT_EQ(response.schedule, kind);
+    if (kind != ScheduleKind::kAuto) {
+      EXPECT_EQ(response.schedule, kind);
+    }
     EXPECT_TRUE(gemm_matches(prod.c, prod.expect, 56))
         << to_string(kind) << " max diff "
         << Matrix::max_abs_diff(prod.c, prod.expect);

@@ -51,13 +51,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Dims{8, 8, 1}, Dims{8, 8, 8}, Dims{16, 8, 5},
                       Dims{8, 24, 3}, Dims{16, 16, 16}, Dims{32, 16, 10},
                       Dims{24, 24, 7}),
-    [](const ::testing::TestParamInfo<Dims>& info) {
+    [](const ::testing::TestParamInfo<Dims>& p_info) {
       std::string name = "m";
-      name += std::to_string(info.param.m);
+      name += std::to_string(p_info.param.m);
       name += "n";
-      name += std::to_string(info.param.n);
+      name += std::to_string(p_info.param.n);
       name += "z";
-      name += std::to_string(info.param.z);
+      name += std::to_string(p_info.param.z);
       return name;
     });
 

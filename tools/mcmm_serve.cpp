@@ -368,6 +368,7 @@ int main(int argc, char** argv) {
       if (!cli.is_set("q")) config.q = profile.q;
       config.sigma_s = mc.sigma_s;
       config.sigma_d = mc.sigma_d;
+      config.kernel_tuning = profile.kernel_tuning;
     } else {
       topo = mcmm::detect_host_topology();
     }

@@ -1,0 +1,117 @@
+// Kernel autotuning: search the micro-kernel registry x k-panel depth x
+// prefetch/streaming knobs on the live host and persist the winner into
+// the mcmm-machine-v1 profile's optional "kernel_tuning" section.
+//
+//   $ mcmm_tune --machine machine.json            # tune in place
+//   $ mcmm_tune --json tuned.json                 # fresh profile + tuning
+//   $ mcmm_tune --quick --json tuned.json         # CI smoke (sub-second)
+//   $ mcmm_tune --order 1024 --repeats 5          # slower, steadier search
+//
+// With --machine the profile is loaded first (its topology/bandwidth are
+// kept) and rewritten with the new tuning; otherwise the host is
+// calibrated topology-only (no bandwidth sweep — kernel tuning does not
+// need it) into a fresh profile.  Every consumer of --machine
+// (mcmm_run, mcmm_serve, bench_gemm, the batch engine) then inherits the
+// tuned kernel, prefetch distances, streaming policy, and k-panel depth
+// (tiling() re-derives lambda/mu/alpha/beta at the tuned depth).
+//
+// The search itself is src/tune/autotune.hpp: stage 1 register-tile
+// shape x kc, stage 2 micro-kernel prefetch grid, stage 3 pack prefetch
+// + streaming toggle, each candidate scored by the median of --repeats
+// timed gemm_micro runs.
+#include <cstdio>
+
+#include "gemm/microkernel.hpp"
+#include "hw/machine_profile.hpp"
+#include "hw/topology.hpp"
+#include "tune/autotune.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+using namespace mcmm;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("machine",
+                 "mcmm-machine-v1 profile to tune and rewrite in place", "");
+  cli.add_option("json",
+                 "write the tuned profile here (defaults to --machine; "
+                 "stdout when neither is given)",
+                 "");
+  cli.add_option("order", "problem order the candidates are timed at", "512");
+  cli.add_option("repeats", "timed repeats per candidate (median)", "3");
+  cli.add_option("kernel",
+                 "restrict the search to one dispatch name, e.g. "
+                 "avx2-fma-4x8 (default: every kernel this host can run)",
+                 "");
+  cli.add_flag("quick", "small order / pruned grid (CI smoke)");
+  cli.add_flag("trials", "print every timed candidate, not just the winner");
+  if (!cli.parse(argc, argv)) return 0;
+
+  MachineProfile profile;
+  if (!cli.str("machine").empty()) {
+    profile = load_machine_profile(cli.str("machine"));
+  } else {
+    profile.topology = detect_host_topology();
+  }
+
+  std::printf("kernels this host can run:");
+  for (const MicroKernel& k : all_micro_kernels()) std::printf(" %s", k.name);
+  std::printf("\n");
+  if (!avx512_kernel_available()) {
+    std::printf("avx512: %s\n", avx512_unavailable_reason().c_str());
+  }
+
+  tune::TuneOptions opts;
+  opts.order = cli.integer("order");
+  opts.repeats = static_cast<int>(cli.integer("repeats"));
+  opts.quick = cli.flag("quick");
+  opts.only_kernel = cli.str("kernel");
+
+  std::printf("tuning, %d repeats per candidate%s...\n", opts.repeats,
+              opts.quick ? " (quick)" : "");
+  std::fflush(stdout);
+  const tune::TuneReport report = tune::autotune_kernel(opts);
+  std::printf("timed at order %lld\n", static_cast<long long>(report.order));
+
+  if (cli.flag("trials")) {
+    std::printf("%-18s %5s %4s %4s %5s %7s %10s %9s\n", "kernel", "kc", "pfa",
+                "pfb", "packp", "stream", "ms", "GFLOP/s");
+    for (const tune::TuneTrial& t : report.trials) {
+      std::printf("%-18s %5lld %4lld %4lld %5lld %7s %10.3f %9.2f\n",
+                  t.kernel.c_str(), static_cast<long long>(t.kc),
+                  static_cast<long long>(t.prefetch_a),
+                  static_cast<long long>(t.prefetch_b),
+                  static_cast<long long>(t.pack_prefetch),
+                  t.stream_stores ? "on" : "off", t.ms, t.gflops);
+    }
+  }
+
+  const KernelTuning& best = report.best;
+  std::printf("winner: %s kc=%lld prefetch a/b=%lld/%lld pack=%lld "
+              "stream=%s — %.2f GFLOP/s (%zu candidates)\n",
+              best.kernel.c_str(), static_cast<long long>(best.kc),
+              static_cast<long long>(best.prefetch_a),
+              static_cast<long long>(best.prefetch_b),
+              static_cast<long long>(best.pack_prefetch),
+              best.stream_stores ? "on" : "off", best.gflops,
+              report.trials.size());
+
+  profile.kernel_tuning = best;
+  const Tiling t = profile.tiling();
+  std::printf("tiling at tuned depth: q=%lld lambda=%lld mu=%lld "
+              "alpha=%lld beta=%lld\n",
+              static_cast<long long>(t.q), static_cast<long long>(t.lambda),
+              static_cast<long long>(t.mu), static_cast<long long>(t.alpha),
+              static_cast<long long>(t.beta));
+
+  std::string out = cli.str("json");
+  if (out.empty()) out = cli.str("machine");
+  if (!out.empty()) {
+    save_machine_profile(profile, out);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::printf("%s\n", machine_profile_to_json(profile).c_str());
+  }
+  return 0;
+}
