@@ -82,34 +82,39 @@ void shared_b_product(KernelContext& ctx, int worker, Matrix& c,
 }  // namespace
 
 void direct_product(Matrix& c, const Matrix& a, const Matrix& b,
-                    std::int64_t q, bool fused) {
+                    std::int64_t q, bool fused, std::int64_t kc) {
   const std::int64_t m = c.rows(), n = c.cols(), z = a.cols();
   const std::int64_t ldb = b.cols();
   // Per coefficient this is exactly the packed path's value chain: for
-  // each ascending k-block, a zero-initialised accumulator folded
-  // k-ascending, then added to C once.  The micro-kernel's accumulate is
-  // fused per lane on the SIMD path (mirrored with std::fma) and a plain
-  // mul+add on the scalar path (the generic x86-64 target cannot
-  // contract), so both mirrors are bit-exact.
+  // each ascending k-block — split further at the tuned kc, exactly where
+  // block_op splits — a zero-initialised accumulator folded k-ascending,
+  // then added to C once.  The micro-kernel's accumulate is fused per
+  // lane on the SIMD path (mirrored with std::fma) and a plain mul+add on
+  // the scalar path (the generic x86-64 target cannot contract), so both
+  // mirrors are bit-exact.
   for (std::int64_t k0 = 0; k0 < z; k0 += q) {
     const std::int64_t kb = std::min(q, z - k0);
-    for (std::int64_t i = 0; i < m; ++i) {
-      const double* arow = a.row_ptr(i) + k0;
-      const double* bblock = b.row_ptr(k0);
-      double* crow = c.row_ptr(i);
-      for (std::int64_t j = 0; j < n; ++j) {
-        const double* bcol = bblock + j;
-        double s = 0;
-        if (fused) {
-          for (std::int64_t k = 0; k < kb; ++k) {
-            s = std::fma(arow[k], bcol[k * ldb], s);
+    const std::int64_t kc_eff = kc > 0 && kc < kb ? kc : kb;
+    for (std::int64_t ks = 0; ks < kb; ks += kc_eff) {
+      const std::int64_t kcb = std::min(kc_eff, kb - ks);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const double* arow = a.row_ptr(i) + k0 + ks;
+        const double* bblock = b.row_ptr(k0 + ks);
+        double* crow = c.row_ptr(i);
+        for (std::int64_t j = 0; j < n; ++j) {
+          const double* bcol = bblock + j;
+          double s = 0;
+          if (fused) {
+            for (std::int64_t k = 0; k < kcb; ++k) {
+              s = std::fma(arow[k], bcol[k * ldb], s);
+            }
+          } else {
+            for (std::int64_t k = 0; k < kcb; ++k) {
+              s += arow[k] * bcol[k * ldb];
+            }
           }
-        } else {
-          for (std::int64_t k = 0; k < kb; ++k) {
-            s += arow[k] * bcol[k * ldb];
-          }
+          crow[j] += s;
         }
-        crow[j] += s;
       }
     }
   }
@@ -224,7 +229,7 @@ BatchResult gemm_batch(const std::vector<BatchProduct>& batch,
         const BatchProduct& p = batch[bucket.items[slot]];
         switch (bucket.strategy) {
           case BucketStrategy::kDirect:
-            direct_product(*p.c, *p.a, *p.b, eff.q, fused);
+            direct_product(*p.c, *p.a, *p.b, eff.q, fused, ctx.kc());
             break;
           case BucketStrategy::kPacked:
             memo.ensure(ctx, worker, p.a, p.b);
@@ -267,7 +272,7 @@ BatchResult gemm_batch_serial(const std::vector<BatchProduct>& batch,
     for (const std::size_t item : bucket.items) {
       const BatchProduct& p = batch[item];
       if (bucket.strategy == BucketStrategy::kDirect) {
-        direct_product(*p.c, *p.a, *p.b, eff.q, fused);
+        direct_product(*p.c, *p.a, *p.b, eff.q, fused, ctx.kc());
       } else {
         // Both packed strategies are bit-identical to gemm_micro, so the
         // serial face of either is exactly a gemm_micro loop.

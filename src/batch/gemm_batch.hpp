@@ -108,8 +108,10 @@ BatchResult gemm_batch_serial(const std::vector<BatchProduct>& batch,
                               const BatchPolicy& policy = {});
 
 /// One unpacked product mirroring the micro-kernel's per-coefficient
-/// arithmetic (see the header comment); exposed for tests.
+/// arithmetic (see the header comment); exposed for tests.  `kc` mirrors
+/// KernelContext's tuned k-panel split (one accumulator add to C per kc
+/// sub-panel of each q block); 0 = no split, matching an untuned context.
 void direct_product(Matrix& c, const Matrix& a, const Matrix& b,
-                    std::int64_t q, bool fused);
+                    std::int64_t q, bool fused, std::int64_t kc = 0);
 
 }  // namespace mcmm::batch

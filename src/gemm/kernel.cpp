@@ -175,6 +175,7 @@ KernelContext::KernelContext(int workers, const KernelTuning& tuning)
     knobs_.prefetch_b = tuning.prefetch_b;
     pack_prefetch_ = tuning.pack_prefetch;
     stream_stores_ = tuning.stream_stores;
+    kc_ = tuning.kc;
   } else {
     kernel_ = best_micro_kernel();
   }
@@ -192,6 +193,14 @@ void KernelContext::set_kernel(const MicroKernel& kernel) {
   // Stale panels cannot be served even without this: the memo keys carry
   // the pack stride.  Dropping them anyway frees the slots for the new
   // shape immediately.
+  invalidate();
+}
+
+void KernelContext::set_kc(std::int64_t kc) {
+  MCMM_REQUIRE(kc >= 0, "KernelContext::set_kc: depth must be >= 0");
+  kc_ = kc;
+  // Panels packed at the old split depth carry it in their keys, so they
+  // could never be served anyway; drop them to free the slots.
   invalidate();
 }
 
@@ -213,22 +222,30 @@ void KernelContext::invalidate_worker(int worker) {
 const double* KernelContext::pack_a_memo(WorkerState& st, int worker,
                                          const Matrix& a, std::int64_t i0,
                                          std::int64_t k0, std::int64_t mb,
-                                         std::int64_t kb,
+                                         std::int64_t kb, bool negate,
                                          std::int64_t& mark_ns) {
   // The schedules revisit A blocks along a row of C and B blocks across
   // their tile loops; memoising the packed panels per worker turns those
-  // revisits into free reuse instead of repacking.
+  // revisits into free reuse instead of repacking.  The whole kb-deep
+  // block is packed as consecutive kc-deep sub-panels so a revisit hits
+  // even when the tuned kc splits the k loop.
   const std::int64_t mr = kernel_.mr;
-  if (!st.a_key.matches(i0, k0, mb, kb, mr)) {
+  const std::int64_t kc = kc_depth(kb);
+  if (!st.a_key.matches(i0, k0, mb, kb, mr, kc, negate)) {
     const auto need = static_cast<std::size_t>(packed_a_size(mb, kb, mr));
     if (st.a_buf.size() < need) st.a_buf.resize(need);
-    pack_a_panel(a, i0, k0, mb, kb, mr, st.a_buf.data(), pack_prefetch_);
-    st.a_key = {i0, k0, mb, kb, mr};
-    if (tracer_ != nullptr) {
-      const std::int64_t t = tracer_->now_ns();
-      tracer_->record(worker, TracePhase::kPackA, mark_ns, t);
-      mark_ns = t;
+    const std::int64_t strip_rows = ceil_div(mb, mr) * mr;
+    for (std::int64_t ks = 0; ks < kb; ks += kc) {
+      const std::int64_t kcb = std::min(kc, kb - ks);
+      pack_a_panel(a, i0, k0 + ks, mb, kcb, mr,
+                   st.a_buf.data() + strip_rows * ks, pack_prefetch_, negate);
+      if (tracer_ != nullptr) {
+        const std::int64_t t = tracer_->now_ns();
+        tracer_->record(worker, TracePhase::kPackA, mark_ns, t);
+        mark_ns = t;
+      }
     }
+    st.a_key = {i0, k0, mb, kb, mr, kc, negate};
   }
   return st.a_buf.data();
 }
@@ -237,7 +254,8 @@ void KernelContext::micro_tiles(int worker, Matrix& c, const double* ap,
                                 const double* bp, std::int64_t i0,
                                 std::int64_t j0, std::int64_t mb,
                                 std::int64_t nb, std::int64_t kb,
-                                bool last_k_panel, std::int64_t mark_ns) {
+                                std::int64_t b_panel_kb, bool last_k_panel,
+                                std::int64_t& mark_ns) {
   const std::int64_t ldc = c.cols();
   const std::int64_t mr = kernel_.mr, nr = kernel_.nr;
   // The NT path is legal only on the product's final accumulation into
@@ -254,7 +272,7 @@ void KernelContext::micro_tiles(int worker, Matrix& c, const double* ap,
   bool streamed = false;
   for (std::int64_t jt = 0; jt < nb; jt += nr) {
     const std::int64_t nr_eff = std::min(nr, nb - jt);
-    const double* bstrip = bp + (jt / nr) * (nr * kb);
+    const double* bstrip = bp + (jt / nr) * (nr * b_panel_kb);
     for (std::int64_t it = 0; it < mb; it += mr) {
       const std::int64_t mr_eff = std::min(mr, mb - it);
       const double* astrip = ap + (it / mr) * (mr * kb);
@@ -287,26 +305,31 @@ void KernelContext::micro_tiles(int worker, Matrix& c, const double* ap,
   // any later reader) observes them exactly like regular stores.
   if (streamed) stream_fence();
   if (tracer_ != nullptr) {
-    tracer_->record(worker, TracePhase::kMicroKernel, mark_ns,
-                    tracer_->now_ns());
+    const std::int64_t t = tracer_->now_ns();
+    tracer_->record(worker, TracePhase::kMicroKernel, mark_ns, t);
+    mark_ns = t;
   }
 }
 
-void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
-                             const Matrix& b, std::int64_t i0, std::int64_t j0,
-                             std::int64_t k0, std::int64_t mb, std::int64_t nb,
-                             std::int64_t kb) {
+void KernelContext::block_op_impl(int worker, Matrix& c, const Matrix& a,
+                                  const Matrix& b, std::int64_t i0,
+                                  std::int64_t j0, std::int64_t k0,
+                                  std::int64_t mb, std::int64_t nb,
+                                  std::int64_t kb, bool negate,
+                                  bool may_stream) {
   MCMM_REQUIRE(worker >= 0 && worker < workers(),
                "KernelContext::block_op: bad worker id");
   if (mb <= 0 || nb <= 0 || kb <= 0) return;
   WorkerState& st = states_[static_cast<std::size_t>(worker)];
 
   // Phase spans chain off one running timestamp, so a fully instrumented
-  // block op costs at most four clock reads (pack-A end doubles as pack-B
-  // begin doubles as micro begin).
+  // block op costs at most four clock reads per sub-panel (pack-A end
+  // doubles as pack-B begin doubles as micro begin).
   std::int64_t mark_ns = tracer_ != nullptr ? tracer_->now_ns() : 0;
 
-  const double* ap = pack_a_memo(st, worker, a, i0, k0, mb, kb, mark_ns);
+  const std::int64_t kc = kc_depth(kb);
+  const double* ap = pack_a_memo(st, worker, a, i0, k0, mb, kb, negate,
+                                 mark_ns);
   // Mix from the high bits: block offsets are multiples of q, so the low
   // bits of (j0, k0) carry no entropy.
   const std::uint64_t hash =
@@ -314,20 +337,71 @@ void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
       static_cast<std::uint64_t>(k0) * 0xC2B2AE3D27D4EB4Full;
   BSlot& slot = st.b[static_cast<std::size_t>(hash >> 32) % kBSlots];
   const std::int64_t nr = kernel_.nr;
-  if (!slot.key.matches(k0, j0, kb, nb, nr)) {
+  if (!slot.key.matches(k0, j0, kb, nb, nr, kc)) {
     const auto need = static_cast<std::size_t>(packed_b_size(kb, nb, nr));
     if (slot.buf.size() < need) slot.buf.resize(need);
-    pack_b_panel(b, k0, j0, kb, nb, nr, slot.buf.data(), pack_prefetch_);
-    slot.key = {k0, j0, kb, nb, nr};
-    if (tracer_ != nullptr) {
-      const std::int64_t t = tracer_->now_ns();
-      tracer_->record(worker, TracePhase::kPackB, mark_ns, t);
-      mark_ns = t;
+    // Like the A memo: consecutive kc-deep sub-panels, each in the
+    // standard NR-strided layout, so the sub-panel at k offset ks starts
+    // at ceil(nb/nr)*nr*ks.
+    const std::int64_t strip_cols = ceil_div(nb, nr) * nr;
+    for (std::int64_t ks = 0; ks < kb; ks += kc) {
+      const std::int64_t kcb = std::min(kc, kb - ks);
+      pack_b_panel(b, k0 + ks, j0, kcb, nb, nr,
+                   slot.buf.data() + strip_cols * ks, pack_prefetch_);
+      if (tracer_ != nullptr) {
+        const std::int64_t t = tracer_->now_ns();
+        tracer_->record(worker, TracePhase::kPackB, mark_ns, t);
+        mark_ns = t;
+      }
     }
+    slot.key = {k0, j0, kb, nb, nr, kc};
   }
 
-  micro_tiles(worker, c, ap, slot.buf.data(), i0, j0, mb, nb, kb,
-              k0 + kb == a.cols(), mark_ns);
+  const std::int64_t a_strip_rows = ceil_div(mb, kernel_.mr) * kernel_.mr;
+  const std::int64_t b_strip_cols = ceil_div(nb, nr) * nr;
+  for (std::int64_t ks = 0; ks < kb; ks += kc) {
+    const std::int64_t kcb = std::min(kc, kb - ks);
+    const bool last = may_stream && k0 + ks + kcb == a.cols();
+    micro_tiles(worker, c, ap + a_strip_rows * ks,
+                slot.buf.data() + b_strip_cols * ks, i0, j0, mb, nb, kcb, kcb,
+                last, mark_ns);
+  }
+}
+
+void KernelContext::block_op_packed_b_impl(int worker, Matrix& c,
+                                           const Matrix& a,
+                                           const double* packed_b,
+                                           std::int64_t i0, std::int64_t j0,
+                                           std::int64_t k0, std::int64_t mb,
+                                           std::int64_t nb, std::int64_t kb,
+                                           bool negate, bool may_stream) {
+  MCMM_REQUIRE(worker >= 0 && worker < workers(),
+               "KernelContext::block_op_packed_b: bad worker id");
+  if (mb <= 0 || nb <= 0 || kb <= 0) return;
+  WorkerState& st = states_[static_cast<std::size_t>(worker)];
+
+  std::int64_t mark_ns = tracer_ != nullptr ? tracer_->now_ns() : 0;
+  const std::int64_t kc = kc_depth(kb);
+  const double* ap = pack_a_memo(st, worker, a, i0, k0, mb, kb, negate,
+                                 mark_ns);
+  // The caller's panel is packed at the full kb depth; each kc sub-range
+  // starts ks rows into every strip, so the strips keep their kb stride.
+  const std::int64_t a_strip_rows = ceil_div(mb, kernel_.mr) * kernel_.mr;
+  const std::int64_t nr = kernel_.nr;
+  for (std::int64_t ks = 0; ks < kb; ks += kc) {
+    const std::int64_t kcb = std::min(kc, kb - ks);
+    const bool last = may_stream && k0 + ks + kcb == a.cols();
+    micro_tiles(worker, c, ap + a_strip_rows * ks, packed_b + ks * nr, i0, j0,
+                mb, nb, kcb, kb, last, mark_ns);
+  }
+}
+
+void KernelContext::block_op(int worker, Matrix& c, const Matrix& a,
+                             const Matrix& b, std::int64_t i0, std::int64_t j0,
+                             std::int64_t k0, std::int64_t mb, std::int64_t nb,
+                             std::int64_t kb) {
+  block_op_impl(worker, c, a, b, i0, j0, k0, mb, nb, kb, /*negate=*/false,
+                /*may_stream=*/true);
 }
 
 void KernelContext::block_op_packed_b(int worker, Matrix& c, const Matrix& a,
@@ -335,15 +409,27 @@ void KernelContext::block_op_packed_b(int worker, Matrix& c, const Matrix& a,
                                       std::int64_t j0, std::int64_t k0,
                                       std::int64_t mb, std::int64_t nb,
                                       std::int64_t kb) {
-  MCMM_REQUIRE(worker >= 0 && worker < workers(),
-               "KernelContext::block_op_packed_b: bad worker id");
-  if (mb <= 0 || nb <= 0 || kb <= 0) return;
-  WorkerState& st = states_[static_cast<std::size_t>(worker)];
+  block_op_packed_b_impl(worker, c, a, packed_b, i0, j0, k0, mb, nb, kb,
+                         /*negate=*/false, /*may_stream=*/true);
+}
 
-  std::int64_t mark_ns = tracer_ != nullptr ? tracer_->now_ns() : 0;
-  const double* ap = pack_a_memo(st, worker, a, i0, k0, mb, kb, mark_ns);
-  micro_tiles(worker, c, ap, packed_b, i0, j0, mb, nb, kb,
-              k0 + kb == a.cols(), mark_ns);
+void KernelContext::block_op_sub(int worker, Matrix& c, const Matrix& a,
+                                 const Matrix& b, std::int64_t i0,
+                                 std::int64_t j0, std::int64_t k0,
+                                 std::int64_t mb, std::int64_t nb,
+                                 std::int64_t kb) {
+  block_op_impl(worker, c, a, b, i0, j0, k0, mb, nb, kb, /*negate=*/true,
+                /*may_stream=*/false);
+}
+
+void KernelContext::block_op_sub_packed_b(int worker, Matrix& c,
+                                          const Matrix& a,
+                                          const double* packed_b,
+                                          std::int64_t i0, std::int64_t j0,
+                                          std::int64_t k0, std::int64_t mb,
+                                          std::int64_t nb, std::int64_t kb) {
+  block_op_packed_b_impl(worker, c, a, packed_b, i0, j0, k0, mb, nb, kb,
+                         /*negate=*/true, /*may_stream=*/false);
 }
 
 void gemm_micro(Matrix& c, const Matrix& a, const Matrix& b, std::int64_t q,

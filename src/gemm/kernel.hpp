@@ -108,6 +108,18 @@ public:
   void set_pack_prefetch(std::int64_t distance) { pack_prefetch_ = distance; }
   std::int64_t pack_prefetch() const { return pack_prefetch_; }
 
+  /// Tuned k-panel depth: when 0 < kc < kb, block products split their k
+  /// loop at kc so panels are packed and the micro-kernel runs at the
+  /// tuned depth even when the schedule's q exceeds kc (mcmm_tune's
+  /// winning depth used to stop applying inside block_op exactly there).
+  /// 0 disables the split.  Installed from KernelTuning::kc by the tuning
+  /// constructor.  Splitting changes the C write-back granularity (one
+  /// register-tile add per kc sub-panel), so results match a q=kc run
+  /// bit-for-bit, not a q=kb run — still deterministic for every worker
+  /// count, like every engine path.
+  void set_kc(std::int64_t kc);
+  std::int64_t kc() const { return kc_; }
+
   /// Enable non-temporal C stores on each product's final k-panel.  Only
   /// tiles that meet the kernel's stream_align on every row use the NT
   /// path (ragged and misaligned tiles fall back to regular stores), and
@@ -137,6 +149,25 @@ public:
                          std::int64_t j0, std::int64_t k0, std::int64_t mb,
                          std::int64_t nb, std::int64_t kb);
 
+  /// C[i0.., j0..] -= A[i0.., k0..] * B[k0.., j0..]: the rank-kb downdate
+  /// the LU trailing update is made of.  Implemented by packing -A — with
+  /// IEEE-754 doubles (-a)*b is bit-exactly -(a*b) — so every micro-kernel
+  /// path, the memo layer, and the determinism contract carry over
+  /// unchanged.  Never takes the streaming-store path: the same C block is
+  /// downdated again on later LU steps, so there is no "final k-panel".
+  void block_op_sub(int worker, Matrix& c, const Matrix& a, const Matrix& b,
+                    std::int64_t i0, std::int64_t j0, std::int64_t k0,
+                    std::int64_t mb, std::int64_t nb, std::int64_t kb);
+
+  /// block_op_sub with the B panel supplied by the caller in pack_b_panel
+  /// layout (kb x nb, NR-strided, zero-padded) — the LU row-panel U strip
+  /// packed once per step and shared read-only across workers, the same
+  /// amortisation SharedPackedB proves in src/batch.
+  void block_op_sub_packed_b(int worker, Matrix& c, const Matrix& a,
+                             const double* packed_b, std::int64_t i0,
+                             std::int64_t j0, std::int64_t k0, std::int64_t mb,
+                             std::int64_t nb, std::int64_t kb);
+
   /// Drop every memoised panel (buffers are kept).  The memo is keyed on
   /// block offsets + pack stride, so it is valid for one (A, B) pair;
   /// every engine entry point (gemm_micro, the parallel schedules) calls
@@ -161,15 +192,21 @@ public:
   ExecutionTracer* tracer() const { return tracer_; }
 
 private:
-  /// Identity of a packed sub-block: offsets + extents in coefficients
-  /// AND the pack stride (MR for A panels, NR for B panels).  The stride
-  /// is part of the layout, so a kernel switch (set_kernel, tuned shapes)
-  /// can never match a panel packed for a different register tile.
+  /// Identity of a packed sub-block: offsets + extents in coefficients,
+  /// the pack stride (MR for A panels, NR for B panels), the kc sub-panel
+  /// depth the panel was split at, and whether it was packed negated.
+  /// Stride and split are part of the layout and the sign is part of the
+  /// values, so a kernel switch (set_kernel, tuned shapes), a kc change,
+  /// or an add/sub flip can never be served a mismatched panel.
   struct PackKey {
     std::int64_t r0 = -1, c0 = -1, rows = 0, cols = 0, stride = 0;
+    std::int64_t kc = 0;
+    bool neg = false;
     bool matches(std::int64_t r, std::int64_t c, std::int64_t nr,
-                 std::int64_t nc, std::int64_t s) const {
-      return r0 == r && c0 == c && rows == nr && cols == nc && stride == s;
+                 std::int64_t nc, std::int64_t s, std::int64_t kcv = 0,
+                 bool negv = false) const {
+      return r0 == r && c0 == c && rows == nr && cols == nc && stride == s &&
+             kc == kcv && neg == negv;
     }
   };
   struct BSlot {
@@ -183,25 +220,54 @@ private:
     std::array<BSlot, kBSlots> b;
   };
 
-  /// Pack (memoised) the A sub-block into `st` and return the panel;
-  /// records a kPackA span and advances `mark_ns` on a memo miss.
+  /// Effective sub-panel depth for a kb-deep k loop: kc_ when it splits,
+  /// else the full kb.
+  std::int64_t kc_depth(std::int64_t kb) const {
+    return kc_ > 0 && kc_ < kb ? kc_ : kb;
+  }
+
+  /// Pack (memoised) the whole kb-deep A sub-block into `st` as
+  /// consecutive kc-deep sub-panels (sub-panel at k offset ks starts at
+  /// ceil(mb/mr)*mr*ks; one sub-panel, the classic layout, when kc does
+  /// not split) and return the base; records one kPackA span per
+  /// sub-panel packed and advances `mark_ns` on a memo miss.
   const double* pack_a_memo(WorkerState& st, int worker, const Matrix& a,
                             std::int64_t i0, std::int64_t k0, std::int64_t mb,
-                            std::int64_t kb, std::int64_t& mark_ns);
+                            std::int64_t kb, bool negate,
+                            std::int64_t& mark_ns);
 
-  /// The register-tile sweep shared by block_op and block_op_packed_b.
-  /// `last_k_panel` marks the product's final accumulation into this C
-  /// block — the only time the NT store path may be used.
+  /// The register-tile sweep shared by every block-op face, over one
+  /// kb-deep sub-panel pair.  `b_panel_kb` is the depth the B panel was
+  /// packed at (its strip stride) — kb when bp points at a panel of
+  /// exactly this depth, the full panel depth when bp points into a
+  /// deeper caller-packed panel.  `last_k_panel` marks the product's
+  /// final accumulation into this C block — the only time the NT store
+  /// path may be used.  Advances `mark_ns` past the recorded span.
   void micro_tiles(int worker, Matrix& c, const double* ap, const double* bp,
                    std::int64_t i0, std::int64_t j0, std::int64_t mb,
-                   std::int64_t nb, std::int64_t kb, bool last_k_panel,
-                   std::int64_t mark_ns);
+                   std::int64_t nb, std::int64_t kb, std::int64_t b_panel_kb,
+                   bool last_k_panel, std::int64_t& mark_ns);
+
+  /// Shared body of block_op / block_op_sub: packs A (negated for sub),
+  /// packs B into a memo slot, and sweeps the kc sub-panels.
+  void block_op_impl(int worker, Matrix& c, const Matrix& a, const Matrix& b,
+                     std::int64_t i0, std::int64_t j0, std::int64_t k0,
+                     std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                     bool negate, bool may_stream);
+
+  /// Shared body of block_op_packed_b / block_op_sub_packed_b.
+  void block_op_packed_b_impl(int worker, Matrix& c, const Matrix& a,
+                              const double* packed_b, std::int64_t i0,
+                              std::int64_t j0, std::int64_t k0, std::int64_t mb,
+                              std::int64_t nb, std::int64_t kb, bool negate,
+                              bool may_stream);
 
   MicroKernel kernel_;
   KernelPath path_;
   std::string name_;
   KernelKnobs knobs_;
   std::int64_t pack_prefetch_ = 0;
+  std::int64_t kc_ = 0;
   bool stream_stores_ = false;
   std::vector<WorkerState> states_;
   ExecutionTracer* tracer_ = nullptr;

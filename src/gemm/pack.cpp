@@ -30,7 +30,7 @@ std::int64_t packed_b_size(std::int64_t kb, std::int64_t nb, std::int64_t nr) {
 
 void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
                   std::int64_t mb, std::int64_t kb, std::int64_t mr,
-                  double* out, std::int64_t prefetch) {
+                  double* out, std::int64_t prefetch, bool negate) {
   for (std::int64_t s = 0; s < mb; s += mr) {
     const std::int64_t rows = std::min(mr, mb - s);
     double* strip = out + (s / mr) * (mr * kb);
@@ -44,8 +44,14 @@ void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
                              prefetch * kLineDoubles);
         }
       }
-      for (std::int64_t r = 0; r < rows; ++r) {
-        dst[r] = a.row_ptr(i0 + s + r)[k0 + k];
+      if (negate) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          dst[r] = -a.row_ptr(i0 + s + r)[k0 + k];
+        }
+      } else {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          dst[r] = a.row_ptr(i0 + s + r)[k0 + k];
+        }
       }
       for (std::int64_t r = rows; r < mr; ++r) dst[r] = 0.0;
     }

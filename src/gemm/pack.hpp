@@ -37,9 +37,14 @@ std::int64_t packed_b_size(std::int64_t kb, std::int64_t nb, std::int64_t nr);
 /// within a strip, so the upcoming lines of every row are the next thing
 /// it touches).  Prefetching never faults and never changes the packed
 /// bytes; 0 disables it.  Tuned via KernelTuning::pack_prefetch.
+///
+/// `negate` packs -A instead of A: with IEEE-754 doubles (-a)*b is
+/// bit-exactly -(a*b), so a negated A panel turns the micro-kernel's
+/// C += A*B write-back into C -= A*B without touching the kernel contract
+/// (the LU trailing update rides on this).  Padding stays +0.0 either way.
 void pack_a_panel(const Matrix& a, std::int64_t i0, std::int64_t k0,
                   std::int64_t mb, std::int64_t kb, std::int64_t mr,
-                  double* out, std::int64_t prefetch = 0);
+                  double* out, std::int64_t prefetch = 0, bool negate = false);
 
 /// Pack B[k0 .. k0+kb, j0 .. j0+nb) NR-strided into `out`
 /// (capacity >= packed_b_size(kb, nb, nr)).

@@ -12,11 +12,11 @@ namespace {
 void check_square(const Matrix& a, const char* who) {
   MCMM_REQUIRE(a.rows() == a.cols(),
                std::string(who) + ": matrix must be square");
-  MCMM_REQUIRE(a.rows() >= 1, std::string(who) + ": matrix must be non-empty");
 }
 
-/// Unblocked LU restricted to the diagonal sub-block [k0, k0+kb).
-void factor_diagonal(Matrix& a, std::int64_t k0, std::int64_t kb) {
+}  // namespace
+
+void lu_factor_diagonal(Matrix& a, std::int64_t k0, std::int64_t kb) {
   for (std::int64_t k = k0; k < k0 + kb; ++k) {
     const double pivot = a.at(k, k);
     MCMM_REQUIRE(pivot != 0.0, "lu_factor: zero pivot (matrix needs pivoting)");
@@ -30,11 +30,9 @@ void factor_diagonal(Matrix& a, std::int64_t k0, std::int64_t kb) {
   }
 }
 
-}  // namespace
-
 void lu_factor_unblocked(Matrix& a) {
   check_square(a, "lu_factor_unblocked");
-  factor_diagonal(a, 0, a.rows());
+  lu_factor_diagonal(a, 0, a.rows());
 }
 
 void trsm_lower_left_unit(const Matrix& lu, Matrix& a, std::int64_t k0,
@@ -75,7 +73,7 @@ void lu_factor_blocked(Matrix& a, std::int64_t q) {
   const std::int64_t n = a.rows();
   for (std::int64_t k0 = 0; k0 < n; k0 += q) {
     const std::int64_t kb = std::min(q, n - k0);
-    factor_diagonal(a, k0, kb);
+    lu_factor_diagonal(a, k0, kb);
     const std::int64_t rest = n - (k0 + kb);
     if (rest <= 0) continue;
     // U12 = L11^-1 A12 and L21 = A21 U11^-1.

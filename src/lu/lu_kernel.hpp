@@ -15,12 +15,19 @@
 namespace mcmm {
 
 /// Right-looking unblocked LU (Doolittle), in place.  Throws on a zero
-/// pivot or a non-square matrix.
+/// pivot or a non-square matrix.  A 0 x 0 matrix is a no-op.
 void lu_factor_unblocked(Matrix& a);
+
+/// Unblocked LU restricted to the diagonal sub-block [k0, k0+kb) — the
+/// panel kernel every blocked/parallel factorization in this library
+/// shares (exported so there is exactly one implementation to maintain).
+/// Throws on a zero pivot; kb = 0 is a no-op.
+void lu_factor_diagonal(Matrix& a, std::int64_t k0, std::int64_t kb);
 
 /// Right-looking blocked LU with q x q tiles: factor the diagonal block,
 /// triangular-solve the row and column panels, rank-q update the trailing
 /// matrix.  Identical factors to the unblocked routine up to rounding.
+/// Handles every degenerate shape (n < q, q = 1, 1 x 1, 0 x 0).
 void lu_factor_blocked(Matrix& a, std::int64_t q);
 
 /// Solve L * X = B in place on B, with L's strictly-lower part taken from

@@ -1,34 +1,22 @@
 #include "lu/parallel_lu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
+#include "gemm/kernel.hpp"
+#include "gemm/pack.hpp"
 #include "lu/lu_kernel.hpp"
+#include "obs/tracer.hpp"
 #include "util/math.hpp"
 
 namespace mcmm {
 
 namespace {
 
-// Re-declared here because lu_kernel.cpp keeps it internal: unblocked LU of
-// the diagonal sub-block.
-void factor_diagonal(Matrix& a, std::int64_t k0, std::int64_t kb) {
-  for (std::int64_t k = k0; k < k0 + kb; ++k) {
-    const double pivot = a.at(k, k);
-    MCMM_REQUIRE(pivot != 0.0,
-                 "parallel_lu_factor: zero pivot (matrix needs pivoting)");
-    for (std::int64_t i = k + 1; i < k0 + kb; ++i) {
-      a.at(i, k) /= pivot;
-      const double lik = a.at(i, k);
-      for (std::int64_t j = k + 1; j < k0 + kb; ++j) {
-        a.at(i, j) -= lik * a.at(k, j);
-      }
-    }
-  }
-}
-
 /// A[i0.., j0..] -= A[i0.., k0..] * A[k0.., j0..] on an mb x nb x kb
-/// sub-problem (trailing update; the three regions are disjoint).
+/// sub-problem (trailing update; the three regions are disjoint).  The
+/// loop-based baseline and the parity oracle for the kernel-routed path.
 void trailing_update(Matrix& a, std::int64_t i0, std::int64_t mb,
                      std::int64_t j0, std::int64_t nb, std::int64_t k0,
                      std::int64_t kb) {
@@ -42,17 +30,27 @@ void trailing_update(Matrix& a, std::int64_t i0, std::int64_t mb,
   }
 }
 
+/// Sub-block width of the blocked triangular solves: the scalar solve
+/// touches only d x d triangles, everything else is rank-d updates routed
+/// through the kernel engine.
+constexpr std::int64_t kTrsmBlock = 32;
+
+void check_lu_args(const Matrix& a, std::int64_t q, const char* who) {
+  MCMM_REQUIRE(a.rows() == a.cols(),
+               std::string(who) + ": matrix must be square");
+  MCMM_REQUIRE(q >= 1, std::string(who) + ": block size must be >= 1");
+}
+
 }  // namespace
 
 void parallel_lu_factor(Matrix& a, std::int64_t q, ThreadPool& pool) {
-  MCMM_REQUIRE(a.rows() == a.cols(), "parallel_lu_factor: matrix must be square");
-  MCMM_REQUIRE(a.rows() >= 1, "parallel_lu_factor: matrix must be non-empty");
-  MCMM_REQUIRE(q >= 1, "parallel_lu_factor: block size must be >= 1");
+  check_lu_args(a, q, "parallel_lu_factor");
   const std::int64_t n = a.rows();
+  if (n == 0) return;  // an empty factorization has no factors to compute
 
   for (std::int64_t k0 = 0; k0 < n; k0 += q) {
     const std::int64_t kb = std::min(q, n - k0);
-    factor_diagonal(a, k0, kb);
+    lu_factor_diagonal(a, k0, kb);
     const std::int64_t rest = n - (k0 + kb);
     if (rest <= 0) continue;
 
@@ -83,6 +81,129 @@ void parallel_lu_factor(Matrix& a, std::int64_t q, ThreadPool& pool) {
         const std::int64_t j0 = k0 + kb + (t % panel_tiles) * q;
         trailing_update(a, i0, std::min(q, n - i0), j0, std::min(q, n - j0),
                         k0, kb);
+      }
+    });
+  }
+}
+
+void parallel_lu_factor(Matrix& a, std::int64_t q, ThreadPool& pool,
+                        KernelContext& ctx) {
+  check_lu_args(a, q, "parallel_lu_factor");
+  MCMM_REQUIRE(ctx.workers() >= pool.workers(),
+               "parallel_lu_factor: context has fewer workers than the pool");
+  const std::int64_t n = a.rows();
+  if (n == 0) return;
+  ctx.invalidate();
+  ExecutionTracer* const tracer = ctx.tracer();
+
+  // The row-panel U strip of each step, packed ONCE into shared read-only
+  // panels (pack_b_panel layout, one panel per trailing j block) and
+  // consumed by every trailing tile via block_op_sub_packed_b — the same
+  // amortisation SharedPackedB proves for batches.  Sized once for the
+  // widest strip; panels keep a uniform full-block stride.
+  const std::int64_t nr = ctx.kernel().nr;
+  const std::int64_t panel_stride = packed_b_size(q, q, nr);
+  const std::int64_t max_jblocks = ceil_div(n, q);
+  AlignedVector panels(static_cast<std::size_t>(
+      std::max<std::int64_t>(panel_stride * max_jblocks, 1)));
+
+  for (std::int64_t k0 = 0; k0 < n; k0 += q) {
+    const std::int64_t kb = std::min(q, n - k0);
+
+    // (1) Factor the diagonal tile on worker 0 inside its own region, so
+    // the tracer attributes it and a zero pivot propagates out of the
+    // pool's dispatch site without wedging the pool.
+    pool.set_trace_label("lu-factor");
+    pool.run_on_all([&](int worker) {
+      if (worker != 0) return;
+      const std::int64_t t0 = tracer != nullptr ? tracer->now_ns() : 0;
+      lu_factor_diagonal(a, k0, kb);
+      if (tracer != nullptr) {
+        tracer->record(worker, TracePhase::kFactor, t0, tracer->now_ns());
+      }
+    });
+
+    const std::int64_t rest = n - (k0 + kb);
+    if (rest <= 0) continue;
+    const std::int64_t panel_tiles = ceil_div(rest, q);
+
+    // (2) Panel solves, blocked at kTrsmBlock: per tile, each diagonal
+    // sub-block first takes the bulk contribution of the already-solved
+    // sub-blocks as one packed rank-s0 downdate through the engine, then
+    // scalar-solves only its own small triangle.  Tiles are independent
+    // and each is computed by exactly one worker, so the value chain per
+    // tile does not depend on the worker count.
+    pool.set_trace_label("lu-trsm");
+    pool.parallel_for(2 * panel_tiles,
+                      [&](int worker, std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const bool is_row_panel = t < panel_tiles;
+        const std::int64_t off = (is_row_panel ? t : t - panel_tiles) * q;
+        const std::int64_t t0 = k0 + kb + off;
+        const std::int64_t tb = std::min(q, n - t0);
+        for (std::int64_t s0 = 0; s0 < kb; s0 += kTrsmBlock) {
+          const std::int64_t db = std::min(kTrsmBlock, kb - s0);
+          if (is_row_panel) {
+            // X rows [s0, s0+db) -= L[s0.., 0..s0) * X[0..s0): solved rows.
+            if (s0 > 0) {
+              ctx.block_op_sub(worker, a, a, a, k0 + s0, t0, k0, db, tb, s0);
+            }
+            const std::int64_t m0 = tracer != nullptr ? tracer->now_ns() : 0;
+            trsm_lower_left_unit(a, a, k0 + s0, db, t0, tb);
+            if (tracer != nullptr) {
+              tracer->record(worker, TracePhase::kTrsm, m0, tracer->now_ns());
+            }
+          } else {
+            // X cols [s0, s0+db) -= X[0..s0) * U[0..s0, s0..): solved cols.
+            if (s0 > 0) {
+              ctx.block_op_sub(worker, a, a, a, t0, k0 + s0, k0, tb, db, s0);
+            }
+            const std::int64_t m0 = tracer != nullptr ? tracer->now_ns() : 0;
+            trsm_upper_right(a, a, k0 + s0, db, t0, tb);
+            if (tracer != nullptr) {
+              tracer->record(worker, TracePhase::kTrsm, m0, tracer->now_ns());
+            }
+          }
+        }
+      }
+    });
+
+    // (3) Pack the solved U strip once, in parallel: workers claim whole
+    // j-block panels from an atomic cursor, each pack recorded as a
+    // pack-B span (the tracer is how bench_lu proves the per-tile pack
+    // collapsed to a per-step one).
+    pool.set_trace_label("lu-pack-b");
+    std::atomic<std::int64_t> pack_cursor{0};
+    pool.run_on_all([&](int worker) {
+      for (;;) {
+        const std::int64_t blk =
+            pack_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (blk >= panel_tiles) return;
+        const std::int64_t j0 = k0 + kb + blk * q;
+        const std::int64_t nb = std::min(q, n - j0);
+        const std::int64_t m0 = tracer != nullptr ? tracer->now_ns() : 0;
+        pack_b_panel(a, k0, j0, kb, nb, nr,
+                     panels.data() + blk * panel_stride, ctx.pack_prefetch());
+        if (tracer != nullptr) {
+          tracer->record(worker, TracePhase::kPackB, m0, tracer->now_ns());
+        }
+      }
+    });
+
+    // (4) Trailing downdates A22 -= L21 * U12 through the engine: tiles
+    // partition the writes; the L panel packs negated per worker (memo
+    // reused along a row of tiles), the U panels come from (3).
+    pool.set_trace_label("lu-trailing");
+    pool.parallel_for(panel_tiles * panel_tiles,
+                      [&](int worker, std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const std::int64_t jblk = t % panel_tiles;
+        const std::int64_t i0 = k0 + kb + (t / panel_tiles) * q;
+        const std::int64_t j0 = k0 + kb + jblk * q;
+        ctx.block_op_sub_packed_b(worker, a, a,
+                                  panels.data() + jblk * panel_stride, i0, j0,
+                                  k0, std::min(q, n - i0), std::min(q, n - j0),
+                                  kb);
       }
     });
   }

@@ -3,9 +3,22 @@
 //
 // Right-looking with q x q tiles; each step factors the diagonal tile
 // (sequential), then triangular-solves the row and column panels and
-// applies the trailing update in parallel (tiles statically partitioned
-// among the workers; a fork/join barrier separates the phases, which is
-// exactly the dependency structure of the factorization).
+// applies the trailing update in parallel (a fork/join barrier separates
+// the phases, which is exactly the dependency structure of the
+// factorization).
+//
+// Two faces:
+//  * the loop-based overload — naive per-coefficient panel solves and
+//    trailing updates, kept as the measurable baseline and parity oracle;
+//  * the kernel-routed overload — the O(n^3)-dominant trailing update
+//    runs through KernelContext as packed rank-kb downdates (C -= L*U via
+//    a negated packed L panel, bit-exact under IEEE-754), the row-panel U
+//    strip is packed ONCE per step and shared read-only across workers
+//    (the SharedPackedB amortisation argument from src/batch), and the
+//    panel solves are blocked so their own bulk updates route through the
+//    engine too.  Tracer phases: factor / trsm / pack-b / pack-a /
+//    micro-kernel, one region per phase per step.  docs/lu.md has the
+//    full contract.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +28,23 @@
 
 namespace mcmm {
 
+class KernelContext;
+
 /// Factor A = L * U in place with q x q tiles using `pool`'s workers.
 /// Identical factors to lu_factor_blocked up to rounding.  No pivoting —
 /// use matrices with safe pivots (e.g. diagonally_dominant_matrix).
+/// Handles every degenerate shape (n < q, q = 1, 1 x 1, 0 x 0).
 void parallel_lu_factor(Matrix& a, std::int64_t q, ThreadPool& pool);
+
+/// The kernel-routed factorization: same tile dependency structure, with
+/// panel solves and trailing updates executing through `ctx`'s packed
+/// micro-kernel engine (see the header comment).  `ctx` must have at
+/// least pool.workers() workers.  Same factors as the loop-based overload
+/// up to rounding; bit-identical across worker counts for a fixed kernel
+/// path (every tile's value chain is worker-independent).  A zero pivot
+/// throws mcmm::Error from the pool's dispatch site without wedging the
+/// pool.
+void parallel_lu_factor(Matrix& a, std::int64_t q, ThreadPool& pool,
+                        KernelContext& ctx);
 
 }  // namespace mcmm

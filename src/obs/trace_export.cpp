@@ -45,7 +45,8 @@ void PhaseTotals::merge(const PhaseTotals& other) {
 
 double PhaseTotals::other_ms() const {
   const double attributed = ms(TracePhase::kPackA) + ms(TracePhase::kPackB) +
-                            ms(TracePhase::kMicroKernel);
+                            ms(TracePhase::kMicroKernel) +
+                            ms(TracePhase::kTrsm) + ms(TracePhase::kFactor);
   return std::max(ms(TracePhase::kWork) - attributed, 0.0);
 }
 

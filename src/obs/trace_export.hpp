@@ -27,7 +27,8 @@ struct PhaseTotals {
     return static_cast<double>(ns[static_cast<int>(phase)]) / 1e6;
   }
   /// Region-job time not attributed to any instrumented phase (loop
-  /// bookkeeping, memo hashing, C write-back): work - (packs + micro).
+  /// bookkeeping, memo hashing, C write-back):
+  /// work - (packs + micro + trsm + factor).
   double other_ms() const;
   /// Fraction of this worker's region time spent at barriers:
   /// barrier / (work + barrier).  0 when the worker recorded no work.

@@ -24,6 +24,8 @@ const char* to_string(TracePhase phase) {
     case TracePhase::kBarrier: return "barrier";
     case TracePhase::kTask: return "task";
     case TracePhase::kWork: return "work";
+    case TracePhase::kTrsm: return "trsm";
+    case TracePhase::kFactor: return "factor";
   }
   return "?";
 }

@@ -39,7 +39,9 @@ namespace mcmm {
 /// What a span measures.  kWork is the whole per-worker parallel-region
 /// job (the phases below nest inside it); kTask is one dynamically claimed
 /// ThreadPool::run_batch task; kBarrier is the tail of a region a worker
-/// spent waiting for the slowest sibling.
+/// spent waiting for the slowest sibling.  kTrsm and kFactor are the LU
+/// panel phases (triangular solves and the diagonal-block factorization)
+/// recorded by the kernel-routed parallel_lu_factor.
 enum class TracePhase : std::uint8_t {
   kPackA = 0,
   kPackB,
@@ -47,8 +49,10 @@ enum class TracePhase : std::uint8_t {
   kBarrier,
   kTask,
   kWork,
+  kTrsm,
+  kFactor,
 };
-inline constexpr int kNumTracePhases = 6;
+inline constexpr int kNumTracePhases = 8;
 
 /// Stable lower-case name ("pack-a", "micro-kernel", ...).
 const char* to_string(TracePhase phase);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "gemm/parallel_gemm.hpp"
+#include "lu/parallel_lu.hpp"
 #include "obs/trace_export.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -81,6 +82,27 @@ void BatchTicket::complete(BatchGemmResponse&& response) {
   {
     sync::lock_guard lock(mutex_);
     MCMM_ASSERT(!done_, "BatchTicket::complete called twice");
+    response_ = std::move(response);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+const LuResponse& LuTicket::wait() {
+  sync::unique_lock lock(mutex_);
+  while (!done_) cv_.wait(lock);
+  return response_;
+}
+
+bool LuTicket::done() const {
+  sync::lock_guard lock(mutex_);
+  return done_;
+}
+
+void LuTicket::complete(LuResponse&& response) {
+  {
+    sync::lock_guard lock(mutex_);
+    MCMM_ASSERT(!done_, "LuTicket::complete called twice");
     response_ = std::move(response);
     done_ = true;
   }
@@ -278,6 +300,81 @@ BatchGemmResponse GemmServer::run_batch(const BatchGemmRequest& request) {
   return response;
 }
 
+LuSubmit GemmServer::submit_lu(const LuRequest& request) {
+  LuSubmit result;
+  sync::lock_guard lock(mutex_);
+  ++counters_.submitted;
+  if (!accepting_) {
+    ++counters_.rejected_shutdown;
+    result.status = SubmitStatus::kRejectedShutdown;
+    result.error = "server is shutting down";
+    return result;
+  }
+  if (request.tenant < 0 || request.tenant >= max_tenants()) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "tenant id out of range";
+    return result;
+  }
+  if (request.a == nullptr) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "null matrix operand";
+    return result;
+  }
+  if (request.a->rows() != request.a->cols()) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "lu matrix must be square";
+    return result;
+  }
+  if (request.q < 0) {
+    ++counters_.rejected_invalid;
+    result.status = SubmitStatus::kRejectedInvalid;
+    result.error = "lu q override must be >= 0";
+    return result;
+  }
+  // One factorization = one admission unit (ring slot + quota charge).
+  if (config_.max_inflight_per_tenant > 0 &&
+      tenant_pending_[static_cast<std::size_t>(request.tenant)] >=
+          config_.max_inflight_per_tenant) {
+    ++counters_.rejected_tenant_quota;
+    result.status = SubmitStatus::kRejectedTenantQuota;
+    result.error = "tenant at max in-flight quota";
+    return result;
+  }
+  const std::uint64_t id = next_id_++;
+  if (!ring_.try_push(id)) {
+    ++counters_.rejected_queue_full;
+    result.status = SubmitStatus::kRejectedQueueFull;
+    result.error = "request ring full (backpressure)";
+    return result;
+  }
+  auto ticket = std::make_shared<LuTicket>();
+  lu_inflight_.emplace(id, LuInflight{ticket, request, tracer_.now_ns()});
+  ++tenant_pending_[static_cast<std::size_t>(request.tenant)];
+  ++queued_;
+  ++counters_.accepted;
+  work_cv_.notify_one();
+  result.status = SubmitStatus::kAccepted;
+  result.ticket = std::move(ticket);
+  return result;
+}
+
+LuResponse GemmServer::run_lu(const LuRequest& request) {
+  LuSubmit submitted = submit_lu(request);
+  if (submitted.status == SubmitStatus::kAccepted) {
+    return submitted.ticket->wait();
+  }
+  LuResponse response;
+  response.tenant = request.tenant;
+  response.n = request.a != nullptr ? request.a->rows() : 0;
+  response.ok = false;
+  response.error = std::string(to_string(submitted.status)) + ": " +
+                   submitted.error;
+  return response;
+}
+
 void GemmServer::pause_dispatch() {
   sync::lock_guard lock(mutex_);
   paused_ = true;
@@ -296,7 +393,8 @@ void GemmServer::shutdown() {
   accepting_ = false;
   paused_ = false;
   work_cv_.notify_all();
-  while (!(inflight_.empty() && batch_inflight_.empty() && queued_ == 0)) {
+  while (!(inflight_.empty() && batch_inflight_.empty() &&
+           lu_inflight_.empty() && queued_ == 0)) {
     drain_cv_.wait(lock);
   }
   stop_ = true;
@@ -321,12 +419,16 @@ void GemmServer::dispatcher_loop() {
     // only consumer, so the pop cannot miss.
     MCMM_ASSERT(popped, "GemmServer: request ring empty with queued_ > 0");
     bool is_batch = false;
+    bool is_lu = false;
     {
       sync::lock_guard lock(mutex_);
       is_batch = batch_inflight_.find(id) != batch_inflight_.end();
+      is_lu = lu_inflight_.find(id) != lu_inflight_.end();
     }
     if (is_batch) {
       execute_batch(id);
+    } else if (is_lu) {
+      execute_lu(id);
     } else {
       execute(id);
     }
@@ -438,6 +540,8 @@ void GemmServer::execute(std::uint64_t id) {
       response.trace.pack_b_ms += worker.ms(TracePhase::kPackB);
       response.trace.micro_kernel_ms += worker.ms(TracePhase::kMicroKernel);
       response.trace.barrier_ms += worker.ms(TracePhase::kBarrier);
+      response.trace.trsm_ms += worker.ms(TracePhase::kTrsm);
+      response.trace.factor_ms += worker.ms(TracePhase::kFactor);
       response.trace.other_ms += worker.other_ms();
       for (std::int64_t spans : worker.spans) response.trace.spans += spans;
     }
@@ -464,7 +568,7 @@ void GemmServer::execute(std::uint64_t id) {
       request_log_.pop_front();
     }
     if (!accepting_ && inflight_.empty() && batch_inflight_.empty() &&
-        queued_ == 0) {
+        lu_inflight_.empty() && queued_ == 0) {
       drain_cv_.notify_all();
     }
   }
@@ -528,6 +632,8 @@ void GemmServer::execute_batch(std::uint64_t id) {
   response.trace.pack_b_ms = totals.ms(TracePhase::kPackB);
   response.trace.micro_kernel_ms = totals.ms(TracePhase::kMicroKernel);
   response.trace.barrier_ms = totals.ms(TracePhase::kBarrier);
+  response.trace.trsm_ms = totals.ms(TracePhase::kTrsm);
+  response.trace.factor_ms = totals.ms(TracePhase::kFactor);
   response.trace.other_ms = totals.other_ms();
   for (std::int64_t spans : totals.spans) response.trace.spans += spans;
 
@@ -553,7 +659,103 @@ void GemmServer::execute_batch(std::uint64_t id) {
       batch_log_.pop_front();
     }
     if (!accepting_ && inflight_.empty() && batch_inflight_.empty() &&
-        queued_ == 0) {
+        lu_inflight_.empty() && queued_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+  ticket->complete(std::move(response));
+}
+
+void GemmServer::execute_lu(std::uint64_t id) {
+  std::shared_ptr<LuTicket> ticket;
+  LuRequest request;
+  std::int64_t submit_ns = 0;
+  int active_tenants = 1;
+  {
+    sync::lock_guard lock(mutex_);
+    auto it = lu_inflight_.find(id);
+    MCMM_ASSERT(it != lu_inflight_.end(), "GemmServer: unknown lu id");
+    ticket = it->second.ticket;
+    request = it->second.request;
+    submit_ns = it->second.submit_ns;
+    std::int64_t distinct = 0;
+    for (std::int64_t pending : tenant_pending_) {
+      if (pending > 0) ++distinct;
+    }
+    active_tenants =
+        std::clamp(static_cast<int>(distinct), 1, max_tenants());
+  }
+
+  const TenantModel& model = partition(active_tenants);
+
+  LuResponse response;
+  response.id = id;
+  response.tenant = request.tenant;
+  response.n = request.a->rows();
+  // A zero q override inherits the partitioned tiling, so the block size
+  // shrinks with the tenant's shared-cache share exactly like GEMM.
+  response.q = request.q > 0 ? request.q : model.tiling.q;
+  response.active_tenants = model.tenants;
+
+  const std::int64_t start_ns = tracer_.now_ns();
+  response.queue_ms = static_cast<double>(start_ns - submit_ns) / 1e6;
+  tracer_.reset();
+
+  // Same exception ownership as execute(): a zero pivot (or any worker
+  // throw) surfaces at the pool's dispatch site inside parallel_lu_factor,
+  // fails THIS request, and leaves the pool and dispatcher usable.
+  try {
+    parallel_lu_factor(*request.a, response.q, pool_, ctx_);
+    response.ok = true;
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.error = e.what();
+  } catch (...) {
+    response.ok = false;
+    response.error = "non-standard exception from worker";
+  }
+
+  response.exec_ms = static_cast<double>(tracer_.now_ns() - start_ns) / 1e6;
+
+  // A factorization runs MANY traced regions (factor/trsm/pack/trailing
+  // per step); aggregate the phase mix across all of them like a batch.
+  const TraceSummary summary = summarize_trace(tracer_);
+  const PhaseTotals totals = aggregate_region_totals(summary);
+  for (const RegionSummary& region : summary.regions) {
+    response.trace.wall_ms += region.wall_ms();
+  }
+  response.trace.pack_a_ms = totals.ms(TracePhase::kPackA);
+  response.trace.pack_b_ms = totals.ms(TracePhase::kPackB);
+  response.trace.micro_kernel_ms = totals.ms(TracePhase::kMicroKernel);
+  response.trace.barrier_ms = totals.ms(TracePhase::kBarrier);
+  response.trace.trsm_ms = totals.ms(TracePhase::kTrsm);
+  response.trace.factor_ms = totals.ms(TracePhase::kFactor);
+  response.trace.other_ms = totals.other_ms();
+  for (std::int64_t spans : totals.spans) response.trace.spans += spans;
+
+  {
+    sync::lock_guard lock(mutex_);
+    lu_inflight_.erase(id);
+    --tenant_pending_[static_cast<std::size_t>(request.tenant)];
+    Counters& tenant =
+        tenant_counters_[static_cast<std::size_t>(request.tenant)];
+    if (response.ok) {
+      ++counters_.completed;
+      ++tenant.completed;
+    } else {
+      ++counters_.failed;
+      ++tenant.failed;
+    }
+    latency_ms_.push_back(response.queue_ms + response.exec_ms);
+    lu_log_.push_back(LuRecord{
+        id, request.tenant, response.ok, response.error, response.n,
+        response.q, response.active_tenants, response.queue_ms,
+        response.exec_ms, response.trace});
+    while (lu_log_.size() > config_.request_log_capacity) {
+      lu_log_.pop_front();
+    }
+    if (!accepting_ && inflight_.empty() && batch_inflight_.empty() &&
+        lu_inflight_.empty() && queued_ == 0) {
       drain_cv_.notify_all();
     }
   }
@@ -571,6 +773,7 @@ std::string GemmServer::stats_json() const {
   std::vector<Counters> tenants;
   std::deque<RequestRecord> requests;
   std::deque<BatchRecord> batches;
+  std::deque<LuRecord> factorizations;
   {
     sync::lock_guard lock(mutex_);
     counters = counters_;
@@ -578,6 +781,7 @@ std::string GemmServer::stats_json() const {
     tenants = tenant_counters_;
     requests = request_log_;
     batches = batch_log_;
+    factorizations = lu_log_;
   }
   std::sort(latencies.begin(), latencies.end());
   double sum = 0;
@@ -663,6 +867,8 @@ std::string GemmServer::stats_json() const {
     w.kv("pack_b_ms", r.trace.pack_b_ms);
     w.kv("micro_kernel_ms", r.trace.micro_kernel_ms);
     w.kv("barrier_ms", r.trace.barrier_ms);
+    w.kv("trsm_ms", r.trace.trsm_ms);
+    w.kv("factor_ms", r.trace.factor_ms);
     w.kv("other_ms", r.trace.other_ms);
     w.kv("spans", r.trace.spans);
     w.end_object();
@@ -702,6 +908,36 @@ std::string GemmServer::stats_json() const {
     w.kv("pack_b_ms", r.trace.pack_b_ms);
     w.kv("micro_kernel_ms", r.trace.micro_kernel_ms);
     w.kv("barrier_ms", r.trace.barrier_ms);
+    w.kv("trsm_ms", r.trace.trsm_ms);
+    w.kv("factor_ms", r.trace.factor_ms);
+    w.kv("other_ms", r.trace.other_ms);
+    w.kv("spans", r.trace.spans);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  // LU admissions: like batches, these have no resolved GEMM schedule;
+  // the trace summary carries the LU-only trsm/factor phases.
+  w.key("lu").begin_array();
+  for (const LuRecord& r : factorizations) {
+    w.begin_object();
+    w.kv("id", static_cast<std::int64_t>(r.id));
+    w.kv("tenant", r.tenant);
+    w.kv("ok", r.ok);
+    if (!r.ok) w.kv("error", r.error);
+    w.kv("n", r.n);
+    w.kv("q", r.q);
+    w.kv("active_tenants", r.active_tenants);
+    w.kv("queue_ms", r.queue_ms);
+    w.kv("exec_ms", r.exec_ms);
+    w.key("trace").begin_object();
+    w.kv("wall_ms", r.trace.wall_ms);
+    w.kv("pack_a_ms", r.trace.pack_a_ms);
+    w.kv("pack_b_ms", r.trace.pack_b_ms);
+    w.kv("micro_kernel_ms", r.trace.micro_kernel_ms);
+    w.kv("barrier_ms", r.trace.barrier_ms);
+    w.kv("trsm_ms", r.trace.trsm_ms);
+    w.kv("factor_ms", r.trace.factor_ms);
     w.kv("other_ms", r.trace.other_ms);
     w.kv("spans", r.trace.spans);
     w.end_object();

@@ -88,6 +88,8 @@ struct RequestTraceSummary {
   double pack_b_ms = 0;
   double micro_kernel_ms = 0;
   double barrier_ms = 0;       ///< idle waiting for the slowest sibling
+  double trsm_ms = 0;          ///< LU triangular solves (zero for GEMM)
+  double factor_ms = 0;        ///< LU diagonal factorization (zero for GEMM)
   double other_ms = 0;         ///< uninstrumented region-job time
   std::int64_t spans = 0;      ///< spans recorded (all workers)
 };
@@ -187,6 +189,58 @@ struct BatchSubmit {
   std::string error;
 };
 
+/// One in-place LU factorization A = L * U (no pivoting): the `lu` verb.
+/// One admission unit — one ring slot, one quota charge, one dispatch
+/// turn — executed through the kernel-routed parallel_lu_factor on the
+/// server's pool and per-worker contexts.  The caller owns `a` (square,
+/// with safe pivots, e.g. diagonally_dominant_matrix) until the ticket
+/// completes; on success it holds the packed factors.
+struct LuRequest {
+  int tenant = 0;
+  Matrix* a = nullptr;
+  /// Block size override; 0 resolves to the active partition's tiling q,
+  /// so a served factorization inherits the model-driven cache share.
+  std::int64_t q = 0;
+};
+
+struct LuResponse {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  bool ok = false;
+  std::string error;           ///< set when !ok (e.g. zero pivot)
+  std::int64_t n = 0;          ///< matrix order
+  std::int64_t q = 0;          ///< resolved block size, never 0 on ok
+  int active_tenants = 1;      ///< k the partition was derived for
+  double queue_ms = 0;         ///< admission -> execution start
+  double exec_ms = 0;          ///< execution start -> completion
+  /// Phase mix aggregated across ALL of the factorization's traced
+  /// regions (factor/trsm/pack/trailing, one set per step); trsm_ms and
+  /// factor_ms carry the LU-only phases.
+  RequestTraceSummary trace;
+};
+
+/// Completion latch for an LU submission (see Ticket).
+class LuTicket {
+ public:
+  const LuResponse& wait();
+  bool done() const;
+
+ private:
+  friend class GemmServer;
+  void complete(LuResponse&& response);
+
+  mutable sync::mutex mutex_;
+  mutable sync::condition_variable cv_;
+  bool done_ MCMM_GUARDED_BY(mutex_) = false;
+  LuResponse response_ MCMM_GUARDED_BY(mutex_);
+};
+
+struct LuSubmit {
+  SubmitStatus status = SubmitStatus::kRejectedInvalid;
+  std::shared_ptr<LuTicket> ticket;  ///< non-null iff kAccepted
+  std::string error;
+};
+
 class GemmServer {
  public:
   struct Config {
@@ -264,6 +318,14 @@ class GemmServer {
   /// submit_batch() + wait(), rejections synthesised into error responses.
   BatchGemmResponse run_batch(const BatchGemmRequest& request);
 
+  /// Non-blocking LU admission: one admission unit like a batch.  Rejects
+  /// with kRejectedInvalid on a bad tenant, a null or non-square matrix,
+  /// or a negative q override.
+  LuSubmit submit_lu(const LuRequest& request);
+
+  /// submit_lu() + wait(), rejections synthesised into error responses.
+  LuResponse run_lu(const LuRequest& request);
+
   /// Hold the dispatcher between requests (admission keeps running), so
   /// tests can fill the ring deterministically.  resume_dispatch() wakes it.
   void pause_dispatch();
@@ -284,6 +346,7 @@ class GemmServer {
   void dispatcher_loop();
   void execute(std::uint64_t id);
   void execute_batch(std::uint64_t id);
+  void execute_lu(std::uint64_t id);
 
   /// One completed request as kept for the stats log.
   struct RequestRecord {
@@ -308,6 +371,26 @@ class GemmServer {
     std::shared_ptr<BatchTicket> ticket;
     BatchGemmRequest request;
     std::int64_t submit_ns = 0;
+  };
+
+  struct LuInflight {
+    std::shared_ptr<LuTicket> ticket;
+    LuRequest request;
+    std::int64_t submit_ns = 0;
+  };
+
+  /// One completed factorization as kept for the stats log ("lu" array).
+  struct LuRecord {
+    std::uint64_t id = 0;
+    int tenant = 0;
+    bool ok = false;
+    std::string error;
+    std::int64_t n = 0;
+    std::int64_t q = 0;
+    int active_tenants = 1;
+    double queue_ms = 0;
+    double exec_ms = 0;
+    RequestTraceSummary trace;
   };
 
   /// One completed batch as kept for the stats log ("batches" array).
@@ -339,6 +422,8 @@ class GemmServer {
   std::unordered_map<std::uint64_t, Inflight> inflight_ MCMM_GUARDED_BY(mutex_);
   std::unordered_map<std::uint64_t, BatchInflight> batch_inflight_
       MCMM_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, LuInflight> lu_inflight_
+      MCMM_GUARDED_BY(mutex_);
   std::vector<std::int64_t> tenant_pending_ MCMM_GUARDED_BY(mutex_);
   std::size_t queued_ MCMM_GUARDED_BY(mutex_) = 0;
   bool accepting_ MCMM_GUARDED_BY(mutex_) = true;
@@ -350,6 +435,7 @@ class GemmServer {
   std::vector<Counters> tenant_counters_ MCMM_GUARDED_BY(mutex_);
   std::deque<RequestRecord> request_log_ MCMM_GUARDED_BY(mutex_);
   std::deque<BatchRecord> batch_log_ MCMM_GUARDED_BY(mutex_);
+  std::deque<LuRecord> lu_log_ MCMM_GUARDED_BY(mutex_);
 
   sync::thread dispatcher_;  // started last, joined by shutdown()
 };

@@ -1,0 +1,296 @@
+// The kernel-routed parallel LU (src/lu/parallel_lu.hpp, KernelContext
+// overload) and the kc-blocking fix it exposed in the packed engine:
+//
+//  * parity — routed factors match the unblocked oracle within the same
+//    absolute-or-ULP bound the GEMM engines are held to, for every forced
+//    kernel path and ragged shape;
+//  * determinism — bit-identical factors across 1/2/4 workers per fixed
+//    kernel path (each tile's value chain is worker-independent);
+//  * degenerate shapes — n < q, q = 1, 1 x 1 and 0 x 0 all factor;
+//  * zero pivot — the error surfaces at the dispatch site as mcmm::Error
+//    and the pool stays usable for the next factorization;
+//  * kc split — a tuned kc < kb block_op packs and sweeps at depth kc
+//    (one pack-A span per sub-panel) and reproduces the kb = kc run
+//    bit-for-bit, the regression for the bug where the tuned depth was
+//    ignored and the full k panel was packed in one strip.
+#include "lu/parallel_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "gemm/kernel.hpp"
+#include "gemm/microkernel.hpp"
+#include "gemm/thread_pool.hpp"
+#include "gemm/validate.hpp"
+#include "lu/lu_kernel.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
+#include "util/error.hpp"
+
+namespace mcmm {
+namespace {
+
+/// ULP distance between two doubles (the monotone-integer-line mapping,
+/// same as test_kernel.cpp).
+std::uint64_t ulp_distance(double x, double y) {
+  const auto key = [](double v) {
+    const auto u = std::bit_cast<std::uint64_t>(v);
+    return (u & 0x8000000000000000ull) != 0 ? ~u : (u | 0x8000000000000000ull);
+  };
+  const std::uint64_t a = key(x);
+  const std::uint64_t b = key(y);
+  return a > b ? a - b : b - a;
+}
+
+/// Cell passes on EITHER the absolute bound (scaled to n like the GEMM
+/// tolerance) or the ULP bound — near-cancellation cells are judged by
+/// absolute error, large-magnitude cells by relative error.
+::testing::AssertionResult factors_match(const Matrix& got,
+                                         const Matrix& expect,
+                                         std::uint64_t max_ulp) {
+  const double tol = gemm_tolerance(expect.rows());
+  for (std::int64_t i = 0; i < got.rows(); ++i) {
+    for (std::int64_t j = 0; j < got.cols(); ++j) {
+      const double g = got.at(i, j);
+      const double e = expect.at(i, j);
+      const double diff = g > e ? g - e : e - g;
+      if (diff <= tol) continue;
+      if (ulp_distance(g, e) <= max_ulp) continue;
+      return ::testing::AssertionFailure()
+             << "factor (" << i << "," << j << "): got " << g << " expect "
+             << e << " (diff " << diff << " > tol " << tol << ", "
+             << ulp_distance(g, e) << " ulp > " << max_ulp << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// The routed path reassociates the trailing sums (block tiles + FMA) and
+/// the divisions then amplify a few ulp more than pure GEMM; 512 is still
+/// ~1e12 below what a wrong coefficient produces.
+constexpr std::uint64_t kMaxUlp = 512;
+
+::testing::AssertionResult bit_identical(const Matrix& x, const Matrix& y) {
+  for (std::int64_t i = 0; i < x.rows(); ++i) {
+    for (std::int64_t j = 0; j < x.cols(); ++j) {
+      if (std::bit_cast<std::uint64_t>(x.at(i, j)) !=
+          std::bit_cast<std::uint64_t>(y.at(i, j))) {
+        return ::testing::AssertionFailure()
+               << "cell (" << i << "," << j << "): " << x.at(i, j)
+               << " != " << y.at(i, j);
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class LuRoutedPaths : public ::testing::TestWithParam<KernelPath> {
+ protected:
+  /// Why this host cannot run the forced path; empty when it can.
+  static std::string unavailable_reason(KernelPath path) {
+    if ((path == KernelPath::kSimd || path == KernelPath::kAvx2) &&
+        !simd_kernel_available()) {
+      return "SIMD kernel not available: " + simd_unavailable_reason();
+    }
+    if (path == KernelPath::kAvx512 && !avx512_kernel_available()) {
+      return "AVX-512 kernels not available: " + avx512_unavailable_reason();
+    }
+    return {};
+  }
+};
+
+TEST_P(LuRoutedPaths, MatchesUnblockedOracle) {
+  const KernelPath path = GetParam();
+  if (const std::string skip = unavailable_reason(path); !skip.empty()) {
+    GTEST_SKIP() << skip;
+  }
+  ThreadPool pool(4);
+  KernelContext ctx(pool.workers(), path);
+  const std::int64_t q = 16;
+  const std::int64_t sizes[] = {1, q - 1, q, q + 1, 3 * q + 5};
+  for (const std::int64_t n : sizes) {
+    Matrix oracle = diagonally_dominant_matrix(n, 100 + static_cast<std::uint64_t>(n));
+    Matrix routed = oracle;
+    lu_factor_unblocked(oracle);
+    parallel_lu_factor(routed, q, pool, ctx);
+    ASSERT_TRUE(factors_match(routed, oracle, kMaxUlp))
+        << "n=" << n << " q=" << q << " under " << ctx.dispatch_name();
+  }
+}
+
+TEST_P(LuRoutedPaths, BitIdenticalAcrossWorkerCounts) {
+  const KernelPath path = GetParam();
+  if (const std::string skip = unavailable_reason(path); !skip.empty()) {
+    GTEST_SKIP() << skip;
+  }
+  const std::int64_t n = 3 * 16 + 5;
+  const std::int64_t q = 16;
+  const Matrix original = diagonally_dominant_matrix(n, 7);
+  Matrix reference(0, 0);
+  for (const int workers : {1, 2, 4}) {
+    ThreadPool pool(workers);
+    KernelContext ctx(workers, path);
+    Matrix a = original;
+    parallel_lu_factor(a, q, pool, ctx);
+    if (workers == 1) {
+      reference = std::move(a);
+      continue;
+    }
+    ASSERT_TRUE(bit_identical(a, reference))
+        << workers << " workers under " << ctx.dispatch_name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, LuRoutedPaths,
+                         ::testing::Values(KernelPath::kScalar,
+                                           KernelPath::kSimd,
+                                           KernelPath::kAvx2,
+                                           KernelPath::kAvx512),
+                         [](const ::testing::TestParamInfo<KernelPath>& p) {
+                           switch (p.param) {
+                             case KernelPath::kScalar: return "scalar";
+                             case KernelPath::kSimd: return "simd";
+                             case KernelPath::kAvx2: return "avx2";
+                             case KernelPath::kAvx512: return "avx512";
+                             default: return "auto";
+                           }
+                         });
+
+TEST(LuRoutedShapes, DegenerateShapesFactor) {
+  ThreadPool pool(2);
+  KernelContext ctx(pool.workers());
+  // (n, q): n < q, q = 1 on a multi-tile order, 1 x 1, and 0 x 0.
+  const std::int64_t cases[][2] = {{5, 64}, {7, 1}, {1, 1}, {1, 64}, {0, 4}};
+  for (const auto& c : cases) {
+    const std::int64_t n = c[0];
+    const std::int64_t q = c[1];
+    Matrix routed = diagonally_dominant_matrix(n, 33);
+    Matrix oracle = routed;
+    parallel_lu_factor(routed, q, pool, ctx);
+    lu_factor_unblocked(oracle);
+    ASSERT_TRUE(factors_match(routed, oracle, kMaxUlp))
+        << "n=" << n << " q=" << q;
+    // The loop-based overload must accept the same degenerate shapes.
+    Matrix looped = diagonally_dominant_matrix(n, 33);
+    parallel_lu_factor(looped, q, pool);
+    ASSERT_TRUE(factors_match(looped, oracle, kMaxUlp))
+        << "loop-based n=" << n << " q=" << q;
+  }
+}
+
+TEST(LuRoutedShapes, RejectsNonSquareAndBadQ) {
+  ThreadPool pool(1);
+  KernelContext ctx(1);
+  Matrix rect(4, 6);
+  EXPECT_THROW(parallel_lu_factor(rect, 2, pool, ctx), Error);
+  Matrix square = diagonally_dominant_matrix(4, 1);
+  EXPECT_THROW(parallel_lu_factor(square, 0, pool, ctx), Error);
+}
+
+TEST(LuRoutedZeroPivot, ThrowsWithoutWedgingThePool) {
+  ThreadPool pool(2);
+  KernelContext ctx(pool.workers());
+  Matrix bad = diagonally_dominant_matrix(24, 5);
+  bad.at(0, 0) = 0.0;  // first pivot of the first diagonal factor
+  EXPECT_THROW(parallel_lu_factor(bad, 8, pool, ctx), Error);
+
+  // The throw surfaced at the dispatch site; the pool and context must
+  // serve the next factorization normally.
+  Matrix good = diagonally_dominant_matrix(24, 6);
+  Matrix oracle = good;
+  parallel_lu_factor(good, 8, pool, ctx);
+  lu_factor_unblocked(oracle);
+  EXPECT_TRUE(factors_match(good, oracle, kMaxUlp));
+}
+
+TEST(LuRoutedTrace, RecordsEveryPhase) {
+  ThreadPool pool(2);
+  KernelContext ctx(pool.workers());
+  ExecutionTracer tracer(pool.workers());
+  pool.set_tracer(&tracer);
+  ctx.set_tracer(&tracer);
+  Matrix a = diagonally_dominant_matrix(64, 9);
+  parallel_lu_factor(a, 16, pool, ctx);
+  const TraceSummary summary = summarize_trace(tracer);
+  PhaseTotals all;
+  for (const PhaseTotals& worker : summary.totals) all.merge(worker);
+  // The routed factorization must actually execute through the packed
+  // engine: pack + micro-kernel spans, plus the LU-only phases.
+  EXPECT_GT(all.spans[static_cast<int>(TracePhase::kPackA)], 0);
+  EXPECT_GT(all.spans[static_cast<int>(TracePhase::kPackB)], 0);
+  EXPECT_GT(all.spans[static_cast<int>(TracePhase::kMicroKernel)], 0);
+  EXPECT_GT(all.spans[static_cast<int>(TracePhase::kTrsm)], 0);
+  EXPECT_GT(all.spans[static_cast<int>(TracePhase::kFactor)], 0);
+}
+
+// ---------------------------------------------------------------------------
+// The kc-blocking regression: a tuned k-panel depth must actually block
+// the packing and the sweep.
+
+TEST(LuRoutedKcSplit, TunedKcPacksAtDepthKcAndMatchesBitForBit) {
+  const std::int64_t m = 8, n = 8, kb = 256, kc = 64;
+  Matrix a(m, kb);
+  a.fill_random(11);
+  Matrix b(kb, n);
+  b.fill_random(12);
+
+  // Split path: one block_op over the full k panel with kc installed.
+  KernelContext split_ctx(1, KernelPath::kScalar);
+  split_ctx.set_kc(kc);
+  ExecutionTracer tracer(1);
+  split_ctx.set_tracer(&tracer);
+  Matrix c_split(m, n, 0.25);
+  split_ctx.invalidate();
+  split_ctx.block_op(0, c_split, a, b, 0, 0, 0, m, n, kb);
+  const TraceSummary summary = summarize_trace(tracer);
+  ASSERT_FALSE(summary.totals.empty());
+  // One pack-A, pack-B and micro-kernel span PER kc-deep sub-panel: the
+  // q = 256 / kc = 64 run demonstrably packs at depth 64, not 256.
+  EXPECT_EQ(summary.totals[0].spans[static_cast<int>(TracePhase::kPackA)],
+            kb / kc);
+  EXPECT_EQ(summary.totals[0].spans[static_cast<int>(TracePhase::kPackB)],
+            kb / kc);
+  EXPECT_EQ(summary.totals[0].spans[static_cast<int>(TracePhase::kMicroKernel)],
+            kb / kc);
+
+  // Reference: an untuned context fed kc-deep panels explicitly.  The
+  // split must reproduce it bit-for-bit (same per-coefficient chain).
+  KernelContext plain_ctx(1, KernelPath::kScalar);
+  Matrix c_plain(m, n, 0.25);
+  for (std::int64_t k0 = 0; k0 < kb; k0 += kc) {
+    plain_ctx.invalidate();
+    plain_ctx.block_op(0, c_plain, a, b, 0, 0, k0, m, n, kc);
+  }
+  EXPECT_TRUE(bit_identical(c_split, c_plain));
+}
+
+TEST(LuRoutedKcSplit, KcAtLeastKbIsUnsplit) {
+  const std::int64_t m = 4, n = 4, kb = 32;
+  Matrix a(m, kb);
+  a.fill_random(21);
+  Matrix b(kb, n);
+  b.fill_random(22);
+  Matrix c_ref(m, n, 0.0);
+  KernelContext ref_ctx(1, KernelPath::kScalar);
+  ref_ctx.block_op(0, c_ref, a, b, 0, 0, 0, m, n, kb);
+
+  for (const std::int64_t kc : {kb, kb * 2}) {
+    KernelContext ctx(1, KernelPath::kScalar);
+    ctx.set_kc(kc);
+    ExecutionTracer tracer(1);
+    ctx.set_tracer(&tracer);
+    Matrix c(m, n, 0.0);
+    ctx.block_op(0, c, a, b, 0, 0, 0, m, n, kb);
+    const TraceSummary summary = summarize_trace(tracer);
+    EXPECT_EQ(summary.totals[0].spans[static_cast<int>(TracePhase::kPackA)],
+              1)
+        << "kc=" << kc;
+    EXPECT_TRUE(bit_identical(c, c_ref)) << "kc=" << kc;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -14,6 +14,7 @@
 #include "gemm/kernel.hpp"
 #include "gemm/matrix.hpp"
 #include "gemm/validate.hpp"
+#include "lu/lu_kernel.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -471,6 +472,96 @@ TEST(Serve, StatsJsonMatchesServeV1Schema) {
   EXPECT_FALSE(bad.find("ok")->boolean);
   ASSERT_NE(bad.find("error"), nullptr);
   EXPECT_NE(bad.find("error")->string.find("injected"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The `lu` verb: one factorization = one admission unit through the
+// kernel-routed parallel_lu_factor.
+
+TEST(ServeLu, RunFactorsInPlaceWithTraceSummary) {
+  GemmServer server(small_config());
+  Matrix a = diagonally_dominant_matrix(48, 17);
+  Matrix oracle = a;
+  lu_factor_unblocked(oracle);
+
+  LuRequest req;
+  req.tenant = 0;
+  req.a = &a;
+  const LuResponse response = server.run_lu(req);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.n, 48);
+  // q = 0 inherits the solo partition's tiling.
+  EXPECT_EQ(response.q, server.partition(1).tiling.q);
+  EXPECT_GE(response.queue_ms, 0.0);
+  EXPECT_GT(response.exec_ms, 0.0);
+  // The factorization ran through the engine: pack/micro-kernel spans
+  // plus the LU-only factor phase in the per-request summary.
+  EXPECT_GT(response.trace.spans, 0);
+  EXPECT_GT(response.trace.wall_ms, 0.0);
+  EXPECT_GT(response.trace.factor_ms, 0.0);
+  EXPECT_LT(Matrix::max_abs_diff(a, oracle),
+            gemm_tolerance(48) * 48);
+}
+
+TEST(ServeLu, RejectsInvalidRequests) {
+  GemmServer server(small_config());
+  LuRequest null_matrix;
+  null_matrix.tenant = 0;
+  EXPECT_EQ(server.submit_lu(null_matrix).status,
+            SubmitStatus::kRejectedInvalid);
+
+  Matrix rect(4, 6);
+  LuRequest non_square;
+  non_square.tenant = 0;
+  non_square.a = &rect;
+  EXPECT_EQ(server.submit_lu(non_square).status,
+            SubmitStatus::kRejectedInvalid);
+
+  Matrix square = diagonally_dominant_matrix(8, 1);
+  LuRequest bad_tenant;
+  bad_tenant.tenant = 99;
+  bad_tenant.a = &square;
+  EXPECT_EQ(server.submit_lu(bad_tenant).status,
+            SubmitStatus::kRejectedInvalid);
+
+  LuRequest bad_q;
+  bad_q.tenant = 0;
+  bad_q.a = &square;
+  bad_q.q = -1;
+  EXPECT_EQ(server.submit_lu(bad_q).status, SubmitStatus::kRejectedInvalid);
+}
+
+TEST(ServeLu, ZeroPivotFailsRequestNotServer) {
+  GemmServer server(small_config());
+  Matrix bad = diagonally_dominant_matrix(24, 3);
+  bad.at(0, 0) = 0.0;
+  LuRequest req;
+  req.tenant = 0;
+  req.a = &bad;
+  req.q = 8;
+  const LuResponse failed = server.run_lu(req);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.error.find("pivot"), std::string::npos) << failed.error;
+
+  // The dispatcher and pool survived; the next factorization succeeds and
+  // the stats document carries both outcomes in the "lu" array.
+  Matrix good = diagonally_dominant_matrix(24, 4);
+  LuRequest ok_req;
+  ok_req.tenant = 0;
+  ok_req.a = &good;
+  EXPECT_TRUE(server.run_lu(ok_req).ok);
+
+  const JsonValue doc = json_parse(server.stats_json());
+  const JsonValue* lu = doc.find("lu");
+  ASSERT_NE(lu, nullptr);
+  ASSERT_EQ(lu->array.size(), 2u);
+  EXPECT_FALSE(lu->array[0].find("ok")->boolean);
+  ASSERT_NE(lu->array[0].find("error"), nullptr);
+  EXPECT_TRUE(lu->array[1].find("ok")->boolean);
+  ASSERT_NE(lu->array[1].find("trace"), nullptr);
+  EXPECT_GT(lu->array[1].find("trace")->find("spans")->number, 0.0);
+  EXPECT_GE(lu->array[1].find("trace")->find("trsm_ms")->number, 0.0);
+  EXPECT_GE(lu->array[1].find("trace")->find("factor_ms")->number, 0.0);
 }
 
 }  // namespace

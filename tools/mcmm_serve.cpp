@@ -24,6 +24,15 @@
 //                         every product the same B operand so the packed
 //                         panels amortise.  The reply carries the
 //                         per-bucket breakdown and a checksum over all C
+//                     lu <tenant> <n> [q] [seed]
+//                         in-place LU factorization of a server-side
+//                         generated diagonally dominant n x n matrix
+//                         through the kernel-routed parallel_lu_factor;
+//                         q=0 (the default) inherits the tenant
+//                         partition's tiling.  The reply carries the
+//                         resolved q, the trace phase summary (factor /
+//                         trsm / pack / micro-kernel), and a checksum of
+//                         the packed factors
 //                     stats      -> the mcmm-serve-v1 document
 //                     ping       -> liveness probe
 //                     shutdown   -> drain, reply, exit
@@ -52,6 +61,7 @@
 
 #include "gemm/matrix.hpp"
 #include "hw/affinity.hpp"
+#include "lu/lu_kernel.hpp"
 #include "hw/machine_profile.hpp"
 #include "hw/topology.hpp"
 #include "serve/server.hpp"
@@ -195,6 +205,51 @@ std::string handle_batch_line(GemmServer& server, const std::string& line) {
   return w.str();
 }
 
+/// Generate a diagonally dominant matrix server-side and factor it
+/// through the `lu` verb; the reply is one JSON line with the resolved
+/// block size, the trace phase summary, and a factor checksum.
+std::string handle_lu_line(GemmServer& server, const std::string& line) {
+  int tenant = 0;
+  long long n = 0, q = 0;
+  unsigned long long seed = 1;
+  const int fields = std::sscanf(line.c_str(), "lu %d %lld %lld %llu",
+                                 &tenant, &n, &q, &seed);
+  if (fields < 2 || n < 1 || n > 8192 || q < 0 || q > 8192) {
+    return R"({"ok":false,"error":"usage: lu <tenant> <n> [q] [seed]"})";
+  }
+  Matrix a = mcmm::diagonally_dominant_matrix(n, seed);
+  mcmm::serve::LuRequest req;
+  req.tenant = tenant;
+  req.a = &a;
+  req.q = q;
+  const mcmm::serve::LuResponse resp = server.run_lu(req);
+  mcmm::JsonWriter w;
+  w.begin_object();
+  w.kv("id", static_cast<std::int64_t>(resp.id));
+  w.kv("tenant", resp.tenant);
+  w.kv("ok", resp.ok);
+  if (!resp.ok) w.kv("error", resp.error);
+  w.kv("n", resp.n);
+  w.kv("q", resp.q);
+  w.kv("active_tenants", resp.active_tenants);
+  w.kv("queue_ms", resp.queue_ms);
+  w.kv("exec_ms", resp.exec_ms);
+  w.key("trace").begin_object();
+  w.kv("wall_ms", resp.trace.wall_ms);
+  w.kv("pack_a_ms", resp.trace.pack_a_ms);
+  w.kv("pack_b_ms", resp.trace.pack_b_ms);
+  w.kv("micro_kernel_ms", resp.trace.micro_kernel_ms);
+  w.kv("barrier_ms", resp.trace.barrier_ms);
+  w.kv("trsm_ms", resp.trace.trsm_ms);
+  w.kv("factor_ms", resp.trace.factor_ms);
+  w.kv("other_ms", resp.trace.other_ms);
+  w.kv("spans", resp.trace.spans);
+  w.end_object();
+  w.kv("checksum", resp.ok ? checksum(a) : 0.0);
+  w.end_object();
+  return w.str();
+}
+
 int run_self_test(GemmServer& server, int requests, int tenants,
                   std::int64_t order) {
   std::vector<std::thread> clients;
@@ -258,6 +313,8 @@ void serve_connection(GemmServer& server, int fd, int listener,
       reply = handle_gemm_line(server, line);
     } else if (line.rfind("batch", 0) == 0) {
       reply = handle_batch_line(server, line);
+    } else if (line.rfind("lu", 0) == 0) {
+      reply = handle_lu_line(server, line);
     } else if (line == "stats") {
       reply = server.stats_json();
     } else if (line == "ping") {
